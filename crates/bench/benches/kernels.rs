@@ -1,0 +1,105 @@
+//! Micro-benchmarks of the simulator's hot kernels: the per-hop policy
+//! evaluation, arrangement embeddings, occupancy accounting and a full
+//! network cycle. These are the knobs that determine how large a network
+//! the simulator can sustain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexvc_core::policy::{flexvc_options, flexvc_options_lookahead};
+use flexvc_core::{Arrangement, CreditClass, LinkClass, MessageClass, RoutingMode};
+use flexvc_sim::bank::Occupancy;
+use flexvc_sim::prelude::*;
+use flexvc_traffic::{Pattern, Workload};
+use std::hint::black_box;
+
+fn bench_policy(c: &mut Criterion) {
+    use LinkClass::*;
+    let arr = Arrangement::dragonfly_rr((4, 2), (2, 1));
+    let planned = [Local, Global, Local, Local, Global, Local];
+    let min = [Local, Global, Local];
+    c.bench_function("policy_flexvc_options_safe", |b| {
+        b.iter(|| {
+            black_box(flexvc_options(
+                black_box(&arr),
+                MessageClass::Request,
+                None,
+                &planned,
+                &min,
+            ))
+        })
+    });
+    let escapes: [&[LinkClass]; 6] = [&min, &min, &min, &min, &min[1..], &min[2..]];
+    c.bench_function("policy_flexvc_lookahead_opportunistic", |b| {
+        b.iter(|| {
+            black_box(flexvc_options_lookahead(
+                black_box(&arr),
+                MessageClass::Reply,
+                None,
+                &planned,
+                &escapes,
+            ))
+        })
+    });
+}
+
+fn bench_arrangement(c: &mut Criterion) {
+    use LinkClass::*;
+    let arr = Arrangement::dragonfly(8, 4);
+    let hops = [Local, Global, Local, Local, Global, Local];
+    c.bench_function("arrangement_embeds", |b| {
+        b.iter(|| black_box(arr.embeds(black_box(&hops), Some(2), (0, arr.len()))))
+    });
+    c.bench_function("arrangement_max_landing", |b| {
+        b.iter(|| {
+            black_box(arr.max_landing(Local, black_box(&hops[1..]), None, arr.len(), (0, arr.len())))
+        })
+    });
+}
+
+fn bench_occupancy(c: &mut Criterion) {
+    c.bench_function("occupancy_damq_accept_add_remove", |b| {
+        let mut occ = Occupancy::new_damq(4, 256, 32);
+        b.iter(|| {
+            for vc in 0..4 {
+                if occ.can_accept(vc, 8) {
+                    occ.add(vc, 8, CreditClass::MinRouted);
+                }
+            }
+            for vc in 0..4 {
+                if occ.occupancy(vc) >= 8 {
+                    occ.remove(vc, 8, CreditClass::MinRouted);
+                }
+            }
+            black_box(occ.total())
+        })
+    });
+}
+
+fn bench_network_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network_step");
+    for (label, h) in [("h2_36routers", 2usize), ("h3_114routers", 3)] {
+        let mut cfg = SimConfig::dragonfly_baseline(
+            h,
+            RoutingMode::Min,
+            Workload::oblivious(Pattern::Uniform),
+        )
+        .with_flexvc(Arrangement::dragonfly(4, 2));
+        cfg.warmup = 0;
+        cfg.measure = u64::MAX / 2;
+        let mut net = Network::new(cfg, 0.6, 3).unwrap();
+        // Warm the network into steady state once.
+        for _ in 0..2_000 {
+            net.step();
+        }
+        g.bench_function(label, |b| b.iter(|| net.step()));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_policy,
+    bench_arrangement,
+    bench_occupancy,
+    bench_network_cycle
+);
+criterion_main!(kernels);

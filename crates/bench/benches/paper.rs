@@ -1,0 +1,191 @@
+//! One criterion bench per table and figure of the paper.
+//!
+//! Each figure bench runs a micro-scale slice of that figure's central
+//! workload (h = 2 Dragonfly, short window) so `cargo bench` exercises the
+//! exact code paths of every experiment in seconds; the full curves are
+//! produced by the `fig5`…`fig11` binaries. Table benches measure the
+//! analytic classifier that regenerates Tables I–IV.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexvc_core::classify::{classify_both, classify_combined, NetworkFamily};
+use flexvc_core::{Arrangement, MessageClass, RoutingMode, VcSelection};
+use flexvc_sim::prelude::*;
+use flexvc_traffic::{Pattern, Workload};
+use std::hint::black_box;
+
+const MODES: [RoutingMode; 3] = [RoutingMode::Min, RoutingMode::Valiant, RoutingMode::Par];
+
+fn micro(cfg: &SimConfig, load: f64) -> SimResult {
+    let mut cfg = cfg.clone();
+    cfg.warmup = 200;
+    cfg.measure = 400;
+    cfg.watchdog = 5_000;
+    run_one(&cfg, load, 7).expect("valid config")
+}
+
+fn base(routing: RoutingMode, workload: Workload) -> SimConfig {
+    SimConfig::dragonfly_baseline(2, routing, workload)
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table_i_diameter2_classification", |b| {
+        b.iter(|| {
+            for vcs in 2..=5 {
+                let arr = Arrangement::generic(vcs);
+                for mode in MODES {
+                    black_box(flexvc_core::classify(
+                        NetworkFamily::Diameter2,
+                        mode,
+                        &arr,
+                        MessageClass::Request,
+                    ));
+                }
+            }
+        })
+    });
+    c.bench_function("table_ii_protocol_deadlock_classification", |b| {
+        b.iter(|| {
+            for (q, p) in [(2, 2), (3, 2), (3, 3), (4, 4), (5, 5)] {
+                let arr = Arrangement::generic_rr(q, p);
+                for mode in MODES {
+                    black_box(classify_combined(NetworkFamily::Diameter2, mode, &arr));
+                }
+            }
+        })
+    });
+    c.bench_function("table_iii_dragonfly_classification", |b| {
+        b.iter(|| {
+            for (l, g) in [(2, 1), (3, 1), (2, 2), (3, 2), (4, 2), (5, 2)] {
+                let arr = Arrangement::dragonfly(l, g);
+                for mode in MODES {
+                    black_box(flexvc_core::classify(
+                        NetworkFamily::Dragonfly,
+                        mode,
+                        &arr,
+                        MessageClass::Request,
+                    ));
+                }
+            }
+        })
+    });
+    c.bench_function("table_iv_dragonfly_rr_classification", |b| {
+        b.iter(|| {
+            for (req, rep) in [((2, 1), (2, 1)), ((3, 2), (2, 1)), ((4, 2), (4, 2)), ((5, 2), (5, 2))]
+            {
+                let arr = Arrangement::dragonfly_rr(req, rep);
+                for mode in MODES {
+                    black_box(classify_both(NetworkFamily::Dragonfly, mode, &arr));
+                }
+            }
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_oblivious");
+    g.sample_size(10);
+    let un = base(RoutingMode::Min, Workload::oblivious(Pattern::Uniform));
+    g.bench_function("baseline_un", |b| b.iter(|| black_box(micro(&un, 0.6))));
+    let flex = un.clone().with_flexvc(Arrangement::dragonfly(4, 2));
+    g.bench_function("flexvc_4_2_un", |b| b.iter(|| black_box(micro(&flex, 0.6))));
+    let adv = base(RoutingMode::Valiant, Workload::oblivious(Pattern::adv1()));
+    g.bench_function("valiant_adv", |b| b.iter(|| black_box(micro(&adv, 0.4))));
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_buffer_capacity");
+    g.sample_size(10);
+    let mut cfg = base(RoutingMode::Min, Workload::oblivious(Pattern::Uniform))
+        .with_flexvc(Arrangement::dragonfly(4, 2));
+    cfg.buffers.sizing = BufferSizing::PerPort {
+        local: 128,
+        global: 512,
+    };
+    g.bench_function("flexvc_4_2_128_512_saturated", |b| {
+        b.iter(|| black_box(micro(&cfg, 1.0)))
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_request_reply");
+    g.sample_size(10);
+    let baseline = base(RoutingMode::Min, Workload::reactive(Pattern::Uniform));
+    g.bench_function("baseline_rr_un", |b| b.iter(|| black_box(micro(&baseline, 0.6))));
+    let flex = baseline
+        .clone()
+        .with_flexvc(Arrangement::dragonfly_rr((4, 3), (2, 1)));
+    g.bench_function("flexvc_6_4_rr_un", |b| b.iter(|| black_box(micro(&flex, 0.6))));
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_adaptive");
+    g.sample_size(10);
+    let mut pb = base(RoutingMode::Piggyback, Workload::reactive(Pattern::adv1()))
+        .with_flexvc(Arrangement::dragonfly_rr((4, 2), (2, 1)));
+    pb.sensing = SensingConfig {
+        mode: SensingMode::PerPort,
+        min_cred: true,
+        threshold: 3,
+    };
+    g.bench_function("pb_flexvc_mincred_adv", |b| b.iter(|| black_box(micro(&pb, 0.4))));
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_vc_selection");
+    g.sample_size(10);
+    for sel in VcSelection::all() {
+        let mut cfg = base(RoutingMode::Min, Workload::reactive(Pattern::Uniform))
+            .with_flexvc(Arrangement::dragonfly_rr((3, 2), (2, 1)));
+        cfg.selection = sel;
+        g.bench_function(sel.label(), move |b| b.iter(|| black_box(micro(&cfg, 1.0))));
+    }
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_damq_reservation");
+    g.sample_size(10);
+    for (label, frac) in [("damq_75pct", 0.75), ("damq_25pct", 0.25)] {
+        let mut cfg = base(RoutingMode::Min, Workload::oblivious(Pattern::Uniform));
+        cfg.buffers.sizing = BufferSizing::PerPort {
+            local: 128,
+            global: 512,
+        };
+        cfg.buffers.organization = BufferOrg::Damq {
+            private_fraction: frac,
+        };
+        g.bench_function(label, move |b| b.iter(|| black_box(micro(&cfg, 0.6))));
+    }
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_no_speedup");
+    g.sample_size(10);
+    for (label, flex) in [("baseline", false), ("flexvc_8_4", true)] {
+        let mut cfg = base(RoutingMode::Min, Workload::oblivious(Pattern::Uniform));
+        cfg.speedup = 1;
+        if flex {
+            cfg = cfg.with_flexvc(Arrangement::dragonfly(8, 4));
+        }
+        g.bench_function(label, move |b| b.iter(|| black_box(micro(&cfg, 1.0))));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    paper,
+    bench_tables,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11
+);
+criterion_main!(paper);

@@ -1,0 +1,45 @@
+//! Figure 11: the Figure 6 buffer-capacity study repeated without router
+//! speedup (crossbar at link frequency), where HoLB is strongest and FlexVC
+//! gains the most (up to +37.8% in the paper).
+//!
+//! Usage: `cargo run --release -p flexvc-bench --bin fig11`
+
+use flexvc_bench::{oblivious_series, print_max_throughput, Scale};
+use flexvc_sim::{saturation_throughput, BufferSizing};
+use flexvc_traffic::Pattern;
+
+fn main() {
+    let scale = Scale::from_env();
+    let caps: [(u32, u32); 4] = [(64, 256), (128, 512), (192, 768), (256, 1024)];
+    println!(
+        "# Figure 11: max throughput without router speedup (h = {})",
+        scale.h
+    );
+    for pattern in [Pattern::Uniform, Pattern::bursty(), Pattern::adv1()] {
+        let caps: Vec<(u32, u32)> = if pattern == Pattern::adv1() {
+            caps[1..].to_vec()
+        } else {
+            caps.to_vec()
+        };
+        let series = oblivious_series(&scale, pattern);
+        let labels: Vec<String> = series.iter().map(|s| s.label.clone()).collect();
+        let columns: Vec<String> = caps.iter().map(|(l, g)| format!("{l}/{g}")).collect();
+        let mut data = Vec::new();
+        for s in &series {
+            let mut row = Vec::new();
+            for &(local, global) in &caps {
+                let mut cfg = s.cfg.clone();
+                cfg.buffers.sizing = BufferSizing::PerPort { local, global };
+                cfg.speedup = 1;
+                row.push(saturation_throughput(&cfg, &scale.seeds));
+            }
+            data.push(row);
+        }
+        print_max_throughput(
+            &format!("{} — no speedup", pattern.label()),
+            &labels,
+            &columns,
+            &data,
+        );
+    }
+}

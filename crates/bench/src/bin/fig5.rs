@@ -1,0 +1,24 @@
+//! Figure 5: latency and throughput vs offered load under oblivious
+//! routing — UN and BURSTY-UN with MIN, ADV with VAL — for Baseline,
+//! DAMQ 75%, and FlexVC with 2/1, 4/2 and 8/4 VCs.
+//!
+//! Usage: `cargo run --release -p flexvc-bench --bin fig5`
+
+use flexvc_bench::{default_loads, oblivious_series, print_sweep, Scale};
+use flexvc_traffic::Pattern;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Figure 5: oblivious routing (h = {})", scale.h);
+    let loads = default_loads();
+    for pattern in [Pattern::Uniform, Pattern::bursty(), Pattern::adv1()] {
+        let series = oblivious_series(&scale, pattern);
+        let routing = if pattern == Pattern::adv1() { "VAL" } else { "MIN" };
+        print_sweep(
+            &format!("Fig. 5 — {} with {} routing", pattern.label(), routing),
+            &series,
+            &loads,
+            &scale.seeds,
+        );
+    }
+}

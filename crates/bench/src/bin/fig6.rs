@@ -1,0 +1,65 @@
+//! Figure 6: maximum throughput for constant buffer capacity per port
+//! (64/256, 128/512, 192/768, 256/1024 phits local/global), oblivious
+//! routing. FlexVC splits the same memory over more VCs; all series use
+//! identical per-port storage.
+//!
+//! Usage: `cargo run --release -p flexvc-bench --bin fig6`
+
+use flexvc_bench::{oblivious_series, print_max_throughput, Scale};
+use flexvc_sim::{saturation_throughput, BufferSizing};
+use flexvc_traffic::Pattern;
+
+fn main() {
+    run(Scale::from_env(), 2);
+}
+
+/// Shared with fig11 (speedup 1).
+pub fn run(scale: Scale, speedup: u32) {
+    let caps: [(u32, u32); 4] = [(64, 256), (128, 512), (192, 768), (256, 1024)];
+    println!(
+        "# Figure {}: max throughput vs per-port buffer capacity (h = {}, speedup {})",
+        if speedup == 2 { 6 } else { 11 },
+        scale.h,
+        speedup
+    );
+    for pattern in [Pattern::Uniform, Pattern::bursty(), Pattern::adv1()] {
+        // The paper omits the smallest capacity for ADV (256-phit global VCs
+        // cannot fit in 256/VAL's two VCs at 64/256 per port).
+        let caps: Vec<(u32, u32)> = if pattern == Pattern::adv1() {
+            caps[1..].to_vec()
+        } else {
+            caps.to_vec()
+        };
+        let series = oblivious_series(&scale, pattern);
+        let labels: Vec<String> = series.iter().map(|s| s.label.clone()).collect();
+        let columns: Vec<String> = caps.iter().map(|(l, g)| format!("{l}/{g}")).collect();
+        let mut data = Vec::new();
+        for s in &series {
+            let mut row = Vec::new();
+            for &(local, global) in &caps {
+                let mut cfg = s.cfg.clone();
+                cfg.sizing_per_port(local, global);
+                cfg.speedup = speedup;
+                row.push(saturation_throughput(&cfg, &scale.seeds));
+            }
+            data.push(row);
+        }
+        print_max_throughput(
+            &format!("{} — absolute and relative max throughput", pattern.label()),
+            &labels,
+            &columns,
+            &data,
+        );
+    }
+}
+
+/// Helper trait to set per-port sizing tersely.
+trait SizingExt {
+    fn sizing_per_port(&mut self, local: u32, global: u32);
+}
+
+impl SizingExt for flexvc_sim::SimConfig {
+    fn sizing_per_port(&mut self, local: u32, global: u32) {
+        self.buffers.sizing = BufferSizing::PerPort { local, global };
+    }
+}

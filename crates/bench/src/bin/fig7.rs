@@ -1,0 +1,24 @@
+//! Figure 7: latency and throughput under request–reply traffic with
+//! oblivious routing; FlexVC request/reply VC splits (4/2, 5/3, 6/4 for
+//! UN/BURSTY-UN; 8/4 and 10/6 for ADV).
+//!
+//! Usage: `cargo run --release -p flexvc-bench --bin fig7`
+
+use flexvc_bench::{default_loads, print_sweep, reactive_series, Scale};
+use flexvc_traffic::Pattern;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Figure 7: request-reply traffic (h = {})", scale.h);
+    let loads = default_loads();
+    for pattern in [Pattern::Uniform, Pattern::bursty(), Pattern::adv1()] {
+        let series = reactive_series(&scale, pattern);
+        let routing = if pattern == Pattern::adv1() { "VAL" } else { "MIN" };
+        print_sweep(
+            &format!("Fig. 7 — {}-RR with {} routing", pattern.label(), routing),
+            &series,
+            &loads,
+            &scale.seeds,
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Figure 8: Piggyback source-adaptive routing with request–reply traffic:
+//! per-port vs per-VC sensing, baseline (4/2+4/2 VCs) vs FlexVC (4/2+2/1)
+//! vs FlexVC-minCred.
+//!
+//! Usage: `cargo run --release -p flexvc-bench --bin fig8`
+
+use flexvc_bench::{adaptive_series, default_loads, print_sweep, Scale};
+use flexvc_traffic::Pattern;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Figure 8: adaptive routing (PB) with request-reply traffic (h = {})", scale.h);
+    let loads = default_loads();
+    for pattern in [Pattern::Uniform, Pattern::bursty(), Pattern::adv1()] {
+        let series = adaptive_series(&scale, pattern);
+        print_sweep(
+            &format!("Fig. 8 — {} (reactive)", pattern.label()),
+            &series,
+            &loads,
+            &scale.seeds,
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure 9: throughput at 100% offered load under UN request–reply
+//! traffic, for each VC selection function × request/reply VC split.
+//!
+//! Usage: `cargo run --release -p flexvc-bench --bin fig9`
+
+use flexvc_bench::Scale;
+use flexvc_core::{Arrangement, RoutingMode, VcSelection};
+use flexvc_sim::run_averaged;
+use flexvc_traffic::{Pattern, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Figure 9: VC selection functions at 100% load, UN-RR, MIN (h = {})\n", scale.h);
+    let wl = Workload::reactive(Pattern::Uniform);
+    let base = scale.config(RoutingMode::Min, wl);
+
+    let splits: [((usize, usize), (usize, usize)); 6] = [
+        ((2, 1), (2, 1)),
+        ((2, 1), (3, 2)),
+        ((3, 2), (2, 1)),
+        ((2, 1), (4, 3)),
+        ((3, 2), (3, 2)),
+        ((4, 3), (2, 1)),
+    ];
+    print!("| series |");
+    for (req, rep) in splits {
+        print!(
+            " {}/{}({}/{}+{}/{}) |",
+            req.0 + rep.0,
+            req.1 + rep.1,
+            req.0,
+            req.1,
+            rep.0,
+            rep.1
+        );
+    }
+    println!();
+    print!("|---|");
+    for _ in splits {
+        print!("---|");
+    }
+    println!();
+
+    // Reference rows: baseline and DAMQ (VC split fixed at 2/1+2/1).
+    for (label, cfg) in [
+        ("Baseline", base.clone()),
+        ("DAMQ 75%", base.clone().with_damq75()),
+    ] {
+        let r = run_averaged(&cfg, 1.0, &scale.seeds);
+        print!("| {label} |");
+        for _ in splits {
+            print!(" {:.3} |", r.accepted);
+        }
+        println!();
+    }
+    // FlexVC rows per selection function.
+    for sel in VcSelection::all() {
+        print!("| FlexVC {sel} |");
+        for (req, rep) in splits {
+            let mut cfg = base
+                .clone()
+                .with_flexvc(Arrangement::dragonfly_rr(req, rep));
+            cfg.selection = sel;
+            let r = run_averaged(&cfg, 1.0, &scale.seeds);
+            print!(" {:.3} |", r.accepted);
+        }
+        println!();
+    }
+}

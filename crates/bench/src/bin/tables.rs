@@ -1,0 +1,153 @@
+//! Reproduce Tables I–IV (path classification) and print the Table V
+//! simulation parameters in effect.
+//!
+//! Usage: `cargo run --release -p flexvc-bench --bin tables`
+
+use flexvc_bench::Scale;
+use flexvc_core::classify::{classify_both, classify_combined, NetworkFamily};
+use flexvc_core::{Arrangement, MessageClass, RoutingMode};
+use flexvc_sim::paper_routing_for;
+use flexvc_traffic::{Pattern, Workload};
+
+const MODES: [RoutingMode; 3] = [RoutingMode::Min, RoutingMode::Valiant, RoutingMode::Par];
+
+fn main() {
+    println!("# FlexVC path classification tables (paper Tables I–IV)\n");
+
+    println!("## Table I: generic diameter-2 network\n");
+    println!("| Routing | 2 | 3 | 4 | 5 |");
+    println!("|---|---|---|---|---|");
+    for mode in MODES {
+        print!("| {mode} |");
+        for vcs in 2..=5 {
+            let arr = Arrangement::generic(vcs);
+            print!(
+                " {} |",
+                flexvc_core::classify(NetworkFamily::Diameter2, mode, &arr, MessageClass::Request)
+            );
+        }
+        println!();
+    }
+
+    println!("\n## Table II: diameter-2 with protocol deadlock (request+reply)\n");
+    let cols = [(2, 2), (3, 2), (3, 3), (4, 4), (5, 5)];
+    print!("| Routing |");
+    for (q, p) in cols {
+        print!(" {q}+{p}={} |", q + p);
+    }
+    println!();
+    print!("|---|");
+    for _ in cols {
+        print!("---|");
+    }
+    println!();
+    for mode in MODES {
+        print!("| {mode} |");
+        for (q, p) in cols {
+            let arr = Arrangement::generic_rr(q, p);
+            print!(" {} |", classify_combined(NetworkFamily::Diameter2, mode, &arr));
+        }
+        println!();
+    }
+
+    println!("\n## Table III: Dragonfly (local/global order)\n");
+    let cols = [(2, 1), (3, 1), (2, 2), (3, 2), (4, 2), (5, 2)];
+    print!("| Routing |");
+    for (l, g) in cols {
+        print!(" {l}/{g} |");
+    }
+    println!();
+    print!("|---|");
+    for _ in cols {
+        print!("---|");
+    }
+    println!();
+    for mode in MODES {
+        print!("| {mode} |");
+        for (l, g) in cols {
+            let arr = Arrangement::dragonfly(l, g);
+            print!(
+                " {} |",
+                flexvc_core::classify(NetworkFamily::Dragonfly, mode, &arr, MessageClass::Request)
+            );
+        }
+        println!();
+    }
+
+    println!("\n## Table IV: Dragonfly with protocol deadlock (request / reply)\n");
+    type RrCol = ((usize, usize), (usize, usize), &'static str);
+    let cols: [RrCol; 4] = [
+        ((2, 1), (2, 1), "4/2"),
+        ((3, 2), (2, 1), "5/3"),
+        ((4, 2), (4, 2), "8/4"),
+        ((5, 2), (5, 2), "10/4"),
+    ];
+    print!("| Routing |");
+    for (_, _, name) in cols {
+        print!(" {name} |");
+    }
+    println!();
+    print!("|---|");
+    for _ in cols {
+        print!("---|");
+    }
+    println!();
+    for mode in MODES {
+        print!("| {mode} |");
+        for (req, rep, _) in cols {
+            let arr = Arrangement::dragonfly_rr(req, rep);
+            let (q, p) = classify_both(NetworkFamily::Dragonfly, mode, &arr);
+            if q == p {
+                print!(" {q} |");
+            } else {
+                print!(" {q} / {p} |");
+            }
+        }
+        println!();
+    }
+
+    println!("\n## Table V: simulation parameters in effect\n");
+    let scale = Scale::from_env();
+    let cfg = scale.config(
+        paper_routing_for(Pattern::Uniform),
+        Workload::oblivious(Pattern::Uniform),
+    );
+    let topo = cfg.topology.build();
+    println!("| Parameter | Value |");
+    println!("|---|---|");
+    println!(
+        "| Router size | {} ports ({} global, {} injection, {} local) |",
+        topo.num_ports() + topo.nodes_per_router(),
+        scale.h,
+        topo.nodes_per_router(),
+        topo.num_ports() - scale.h
+    );
+    println!(
+        "| Group size | {} routers, {} computing nodes |",
+        topo.routers_per_group(),
+        topo.routers_per_group() * topo.nodes_per_router()
+    );
+    println!(
+        "| System size | {} groups, {} routers, {} computing nodes |",
+        topo.num_groups(),
+        topo.num_routers(),
+        topo.num_nodes()
+    );
+    println!(
+        "| Latency | {}/{} cycles (local/global links), {} cycles (router pipeline) |",
+        cfg.local_latency, cfg.global_latency, cfg.pipeline_latency
+    );
+    println!(
+        "| Buffer size (phits) | {} local input per VC / output, {} injection & global input per VC |",
+        cfg.vc_capacity(flexvc_core::LinkClass::Local),
+        cfg.vc_capacity(flexvc_core::LinkClass::Global)
+    );
+    println!("| Packet size | {} phits |", cfg.packet_size);
+    println!("| Router speedup | {}x |", cfg.speedup);
+    println!("| VC selection policy | {} (in FlexVC) |", cfg.selection);
+    println!("| PB threshold | T = {} |", cfg.sensing.threshold);
+    println!(
+        "| Windows | warmup {} / measure {} cycles, seeds {:?} |",
+        scale.warmup, scale.measure, scale.seeds
+    );
+}

@@ -1,0 +1,364 @@
+//! # flexvc-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (`tables`, `fig5` … `fig11`),
+//! each printing the same rows/series the paper reports, plus criterion
+//! benches exercising the same workloads at micro scale.
+//!
+//! ## Scale control
+//!
+//! The paper simulates an `h = 8` Dragonfly (2,064 routers) for 5×60k
+//! cycles per point — far beyond a laptop budget. The harness defaults to
+//! a scaled `h = 2` network with shorter windows that preserves every
+//! mechanism and the comparative shape of all results (see `DESIGN.md` §3).
+//! Environment variables override the defaults:
+//!
+//! | Variable         | Meaning                            | Default |
+//! |------------------|------------------------------------|---------|
+//! | `FLEXVC_H`       | Dragonfly size parameter `h`       | 2       |
+//! | `FLEXVC_SEEDS`   | Repetitions per point              | 2       |
+//! | `FLEXVC_WARMUP`  | Warm-up cycles                     | 8,000   |
+//! | `FLEXVC_MEASURE` | Measurement window                 | 15,000  |
+//! | `FLEXVC_PAPER`   | `1` = full Table-V scale (h=8, 5 seeds, 60k cycles) | off |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use flexvc_core::{Arrangement, RoutingMode};
+use flexvc_sim::prelude::*;
+use flexvc_traffic::{Pattern, Workload};
+
+/// Experiment scale resolved from the environment.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Dragonfly `h` (balanced: `p = h`, `a = 2h`, `g = 2h² + 1`).
+    pub h: usize,
+    /// Seeds to average over.
+    pub seeds: Vec<u64>,
+    /// Warm-up cycles.
+    pub warmup: u64,
+    /// Measurement window.
+    pub measure: u64,
+}
+
+impl Scale {
+    /// Read the scale from the environment (see crate docs).
+    pub fn from_env() -> Self {
+        let env_u = |k: &str, d: u64| -> u64 {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        if std::env::var("FLEXVC_PAPER").map(|v| v == "1").unwrap_or(false) {
+            return Scale {
+                h: 8,
+                seeds: (1..=5).collect(),
+                warmup: 20_000,
+                measure: 60_000,
+            };
+        }
+        let h = env_u("FLEXVC_H", 2) as usize;
+        let n_seeds = env_u("FLEXVC_SEEDS", 2).max(1);
+        Scale {
+            h,
+            seeds: (1..=n_seeds).collect(),
+            warmup: env_u("FLEXVC_WARMUP", 8_000),
+            measure: env_u("FLEXVC_MEASURE", 15_000),
+        }
+    }
+
+    /// Baseline config for a routing mode/workload at this scale.
+    pub fn config(&self, routing: RoutingMode, workload: Workload) -> SimConfig {
+        let mut cfg = SimConfig::dragonfly_baseline(self.h, routing, workload);
+        cfg.warmup = self.warmup;
+        cfg.measure = self.measure;
+        cfg.watchdog = (self.warmup + self.measure) / 2;
+        cfg
+    }
+}
+
+/// A named experiment series (one curve of a figure).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label (as in the paper).
+    pub label: String,
+    /// Configuration.
+    pub cfg: SimConfig,
+}
+
+impl Series {
+    /// Build a series.
+    pub fn new(label: impl Into<String>, cfg: SimConfig) -> Self {
+        Series {
+            label: label.into(),
+            cfg,
+        }
+    }
+}
+
+/// The oblivious-routing series of Figs. 5/6/11 for one traffic pattern:
+/// Baseline, DAMQ 75%, FlexVC at the minimum VC set, FlexVC 4/2 and 8/4.
+/// ADV uses VAL (2/1 cannot host it), UN/BURSTY use MIN.
+pub fn oblivious_series(scale: &Scale, pattern: Pattern) -> Vec<Series> {
+    let routing = paper_routing_for(pattern);
+    let wl = Workload::oblivious(pattern);
+    let base = scale.config(routing, wl);
+    let mut out = vec![
+        Series::new("Baseline", base.clone()),
+        Series::new("DAMQ 75%", base.clone().with_damq75()),
+    ];
+    if routing == RoutingMode::Min {
+        out.push(Series::new(
+            "FlexVC 2/1VCs",
+            base.clone().with_flexvc(Arrangement::dragonfly_min()),
+        ));
+    }
+    out.push(Series::new(
+        "FlexVC 4/2VCs",
+        base.clone().with_flexvc(Arrangement::dragonfly(4, 2)),
+    ));
+    out.push(Series::new(
+        "FlexVC 8/4VCs",
+        base.with_flexvc(Arrangement::dragonfly(8, 4)),
+    ));
+    out
+}
+
+/// Request–reply series of Fig. 7 for one traffic pattern.
+pub fn reactive_series(scale: &Scale, pattern: Pattern) -> Vec<Series> {
+    let routing = paper_routing_for(pattern);
+    let wl = Workload::reactive(pattern);
+    let base = scale.config(routing, wl);
+    let flex = |req: (usize, usize), rep: (usize, usize)| -> SimConfig {
+        base.clone()
+            .with_flexvc(Arrangement::dragonfly_rr(req, rep))
+    };
+    if routing == RoutingMode::Min {
+        vec![
+            Series::new("Baseline", base.clone()),
+            Series::new("DAMQ", base.clone().with_damq75()),
+            Series::new("FlexVC 4/2VCs(2/1+2/1)", flex((2, 1), (2, 1))),
+            Series::new("FlexVC 5/3VCs(2/1+3/2)", flex((2, 1), (3, 2))),
+            Series::new("FlexVC 5/3VCs(3/2+2/1)", flex((3, 2), (2, 1))),
+            Series::new("FlexVC 6/4VCs(2/1+4/3)", flex((2, 1), (4, 3))),
+            Series::new("FlexVC 6/4VCs(3/2+3/2)", flex((3, 2), (3, 2))),
+            Series::new("FlexVC 6/4VCs(4/3+2/1)", flex((4, 3), (2, 1))),
+        ]
+    } else {
+        vec![
+            Series::new("Baseline", base.clone()),
+            Series::new("DAMQ", base.clone().with_damq75()),
+            Series::new("FlexVC 8/4VCs(4/2+4/2)", flex((4, 2), (4, 2))),
+            Series::new("FlexVC 10/6VCs(5/3+5/3)", flex((5, 3), (5, 3))),
+            Series::new("FlexVC 10/6VCs(6/4+4/2)", flex((6, 4), (4, 2))),
+        ]
+    }
+}
+
+/// Piggyback adaptive series of Fig. 8: reference MIN/VAL, PB per-VC and
+/// per-port on the baseline policy (4/2+4/2), and the four FlexVC variants
+/// on 6/3 VCs (4/2+2/1): plain per-VC/per-port and minCred per-VC/per-port.
+pub fn adaptive_series(scale: &Scale, pattern: Pattern) -> Vec<Series> {
+    let wl = Workload::reactive(pattern);
+    let reference = paper_routing_for(pattern);
+    let mut out = vec![Series::new(
+        if reference == RoutingMode::Min { "MIN" } else { "VAL" },
+        scale.config(reference, wl),
+    )];
+    let pb = scale.config(RoutingMode::Piggyback, wl);
+    let with = |mode: SensingMode, min_cred: bool, flex: bool| -> SimConfig {
+        let mut cfg = if flex {
+            pb.clone()
+                .with_flexvc(Arrangement::dragonfly_rr((4, 2), (2, 1)))
+        } else {
+            pb.clone()
+        };
+        cfg.sensing = SensingConfig {
+            mode,
+            min_cred,
+            threshold: cfg.sensing.threshold,
+        };
+        cfg
+    };
+    out.push(Series::new("PB - per VC", with(SensingMode::PerVc, false, false)));
+    out.push(Series::new("PB - per port", with(SensingMode::PerPort, false, false)));
+    out.push(Series::new(
+        "PB FlexVC - per VC",
+        with(SensingMode::PerVc, false, true),
+    ));
+    out.push(Series::new(
+        "PB FlexVC - per port",
+        with(SensingMode::PerPort, false, true),
+    ));
+    out.push(Series::new(
+        "PB FlexVC - per VC min",
+        with(SensingMode::PerVc, true, true),
+    ));
+    out.push(Series::new(
+        "PB FlexVC - per port min",
+        with(SensingMode::PerPort, true, true),
+    ));
+    out
+}
+
+/// Default offered-load sweep for latency/throughput figures.
+pub fn default_loads() -> Vec<f64> {
+    (1..=10).map(|i| i as f64 / 10.0).collect()
+}
+
+/// Render a latency/throughput sweep as two markdown tables (the paper's
+/// paired subplots).
+pub fn print_sweep(title: &str, series: &[Series], loads: &[f64], seeds: &[u64]) {
+    println!("\n## {title}\n");
+    let mut rows: Vec<(String, Vec<SimResult>)> = Vec::new();
+    for s in series {
+        let sweep = flexvc_sim::load_sweep(&s.cfg, loads, seeds);
+        rows.push((s.label.clone(), sweep.into_iter().map(|(_, r)| r).collect()));
+    }
+    let header = |metric: &str| {
+        println!("### {metric}\n");
+        print!("| series |");
+        for l in loads {
+            print!(" {l:.2} |");
+        }
+        println!();
+        print!("|---|");
+        for _ in loads {
+            print!("---|");
+        }
+        println!();
+    };
+    header("Accepted load (phits/node/cycle)");
+    for (label, results) in &rows {
+        print!("| {label} |");
+        for r in results {
+            if r.deadlocked {
+                print!(" DL |");
+            } else {
+                print!(" {:.3} |", r.accepted);
+            }
+        }
+        println!();
+    }
+    println!();
+    header("Average packet latency (cycles)");
+    for (label, results) in &rows {
+        print!("| {label} |");
+        for r in results {
+            if r.deadlocked {
+                print!(" DL |");
+            } else {
+                print!(" {:.0} |", r.latency);
+            }
+        }
+        println!();
+    }
+}
+
+/// Render a maximum-throughput comparison (Figs. 6/11) as absolute values
+/// plus improvement over the first series (the baseline).
+pub fn print_max_throughput(
+    title: &str,
+    labels: &[String],
+    columns: &[String],
+    data: &[Vec<SimResult>],
+) {
+    println!("\n## {title}\n");
+    print!("| series |");
+    for c in columns {
+        print!(" {c} |");
+    }
+    println!();
+    print!("|---|");
+    for _ in columns {
+        print!("---|");
+    }
+    println!();
+    for (label, row) in labels.iter().zip(data) {
+        print!("| {label} |");
+        for r in row {
+            if r.deadlocked {
+                print!(" DL |");
+            } else {
+                print!(" {:.3} |", r.accepted);
+            }
+        }
+        println!();
+    }
+    println!("\n### Improvement over {}\n", labels[0]);
+    print!("| series |");
+    for c in columns {
+        print!(" {c} |");
+    }
+    println!();
+    print!("|---|");
+    for _ in columns {
+        print!("---|");
+    }
+    println!();
+    for (label, row) in labels.iter().zip(data).skip(1) {
+        print!("| {label} |");
+        for (r, base) in row.iter().zip(&data[0]) {
+            print!(" {:.3} |", r.accepted / base.accepted.max(1e-9));
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_default() {
+        // Don't rely on ambient env in tests; just exercise config building.
+        let scale = Scale {
+            h: 2,
+            seeds: vec![1],
+            warmup: 100,
+            measure: 200,
+        };
+        let cfg = scale.config(
+            RoutingMode::Min,
+            Workload::oblivious(Pattern::Uniform),
+        );
+        assert_eq!(cfg.warmup, 100);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn all_series_validate() {
+        let scale = Scale {
+            h: 2,
+            seeds: vec![1],
+            warmup: 100,
+            measure: 200,
+        };
+        for pattern in [Pattern::Uniform, Pattern::bursty(), Pattern::adv1()] {
+            for s in oblivious_series(&scale, pattern) {
+                s.cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", s.label));
+            }
+            for s in reactive_series(&scale, pattern) {
+                s.cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", s.label));
+            }
+            for s in adaptive_series(&scale, pattern) {
+                s.cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", s.label));
+            }
+        }
+    }
+
+    #[test]
+    fn series_counts_match_paper_legends() {
+        let scale = Scale {
+            h: 2,
+            seeds: vec![1],
+            warmup: 100,
+            measure: 200,
+        };
+        assert_eq!(oblivious_series(&scale, Pattern::Uniform).len(), 5);
+        assert_eq!(oblivious_series(&scale, Pattern::adv1()).len(), 4);
+        assert_eq!(reactive_series(&scale, Pattern::Uniform).len(), 8);
+        assert_eq!(reactive_series(&scale, Pattern::adv1()).len(), 5);
+        assert_eq!(adaptive_series(&scale, Pattern::Uniform).len(), 7);
+    }
+}

@@ -1,0 +1,516 @@
+//! VC arrangements: master reference sequences and the position algebra.
+//!
+//! An [`Arrangement`] is an ordered sequence of [`LinkClass`]es — the *master
+//! reference sequence* `M` of a VC configuration. Every virtual channel of
+//! the network corresponds to one element of `M`: the VC with per-class index
+//! `i` of class `c` is the `i`-th occurrence of `c` in `M`, and its *position*
+//! is the index of that occurrence within `M`.
+//!
+//! Examples from the paper (Dragonfly, `local/global` counts):
+//!
+//! * `2/1` (MIN-safe)        → `L G L`
+//! * `3/2` (opportunistic)   → `L G L G L`
+//! * `4/2` (VAL-safe)        → `L G L L G L`
+//! * `5/2` (PAR-safe)        → `L L G L L G L`
+//! * `4/3` (deep zig-zag)    → `L G L G L G L`
+//!
+//! With request–reply traffic the arrangement is the concatenation
+//! `M = M_req ++ M_rep` and [`Arrangement::request_len`] marks the boundary
+//! (paper §III-B). A generic single-class diameter-2 network with `n` VCs is
+//! simply `L^n`.
+
+use crate::link::{LinkClass, MessageClass};
+
+/// A position inside the master sequence: `None` denotes "not yet in the
+/// network" (the packet still sits in an injection queue, which is outside
+/// the deadlock-avoidance resource ordering).
+pub type Pos = Option<usize>;
+
+/// A VC arrangement (master reference sequence, optionally split into
+/// request and reply parts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde_support", derive(serde::Serialize, serde::Deserialize))]
+pub struct Arrangement {
+    seq: Vec<LinkClass>,
+    /// Length of the request prefix. Equals `seq.len()` for single-class
+    /// traffic (no protocol-deadlock split).
+    req_len: usize,
+    /// Positions of each class, ascending (cache).
+    class_positions: [Vec<usize>; LinkClass::COUNT],
+}
+
+impl Arrangement {
+    /// Build an arrangement from an explicit sequence without a reply part.
+    pub fn new(seq: impl Into<Vec<LinkClass>>) -> Self {
+        let seq = seq.into();
+        let req_len = seq.len();
+        Self::with_request_len(seq, req_len)
+    }
+
+    /// Build an arrangement whose first `req_len` entries form the request
+    /// sub-sequence and the remainder the reply sub-sequence.
+    pub fn with_request_len(seq: impl Into<Vec<LinkClass>>, req_len: usize) -> Self {
+        let seq = seq.into();
+        assert!(req_len <= seq.len(), "request prefix exceeds sequence");
+        assert!(req_len > 0, "request prefix must be non-empty");
+        let mut class_positions: [Vec<usize>; LinkClass::COUNT] = Default::default();
+        for (pos, &c) in seq.iter().enumerate() {
+            class_positions[c.index()].push(pos);
+        }
+        Arrangement {
+            seq,
+            req_len,
+            class_positions,
+        }
+    }
+
+    /// Concatenate a request and a reply arrangement (paper §III-B):
+    /// `M = M_req ++ M_rep`.
+    pub fn concat(request: &Arrangement, reply: &Arrangement) -> Self {
+        let mut seq = request.seq.clone();
+        seq.extend_from_slice(&reply.seq);
+        Self::with_request_len(seq, request.seq.len())
+    }
+
+    // ---------------------------------------------------------------------
+    // Canonical constructors
+    // ---------------------------------------------------------------------
+
+    /// Generic single-class arrangement with `n` VCs (diameter-2 networks,
+    /// Tables I and II).
+    pub fn generic(n: usize) -> Self {
+        assert!(n > 0);
+        Self::new(vec![LinkClass::Local; n])
+    }
+
+    /// Dragonfly MIN-safe `2/1` arrangement: `L G L`.
+    pub fn dragonfly_min() -> Self {
+        Self::new(vec![LinkClass::Local, LinkClass::Global, LinkClass::Local])
+    }
+
+    /// Dragonfly VAL-safe `4/2` arrangement: `L G L L G L`.
+    pub fn dragonfly_val() -> Self {
+        use LinkClass::*;
+        Self::new(vec![Local, Global, Local, Local, Global, Local])
+    }
+
+    /// Dragonfly PAR-safe `5/2` arrangement: `L L G L L G L`.
+    pub fn dragonfly_par() -> Self {
+        use LinkClass::*;
+        Self::new(vec![Local, Local, Global, Local, Local, Global, Local])
+    }
+
+    /// "Zig-zag" arrangement `Z(k) = (L G)^k L` with `k+1` local and `k`
+    /// global VCs: chained minimal escapes. `Z(1) = 2/1`, `Z(2) = 3/2`
+    /// (the paper's `l0 − g1 − l2 − g3 − l4`), `Z(3) = 4/3`.
+    pub fn zigzag(k: usize) -> Self {
+        let mut seq = Vec::with_capacity(2 * k + 1);
+        for _ in 0..k {
+            seq.push(LinkClass::Local);
+            seq.push(LinkClass::Global);
+        }
+        seq.push(LinkClass::Local);
+        Self::new(seq)
+    }
+
+    /// Canonical Dragonfly arrangement for the `(local, global)` VC counts
+    /// used in the paper, with extra VCs (beyond the nearest canonical base)
+    /// prepended to the front of the sequence ("additional VCs … are
+    /// inserted at the start of the reference path", §III-C).
+    ///
+    /// Recognized bases: `2/1` (MIN), `3/2` and `4/3` (zig-zag), `4/2` (VAL),
+    /// `5/2` (PAR). Anything larger falls back to the largest base that fits
+    /// plus prepended extras, e.g. `8/4 = (extras L G L G L L) ++ (4/2)`.
+    pub fn dragonfly(local: usize, global: usize) -> Self {
+        assert!(local >= 2 && global >= 1, "need at least 2/1 VCs");
+        use LinkClass::*;
+        // Exact canonical bases.
+        match (local, global) {
+            (2, 1) => return Self::dragonfly_min(),
+            (3, 2) => return Self::zigzag(2),
+            (4, 3) => return Self::zigzag(3),
+            (4, 2) => return Self::dragonfly_val(),
+            (5, 2) => return Self::dragonfly_par(),
+            (5, 4) => return Self::zigzag(4),
+            _ => {}
+        }
+        // Largest base fitting within (local, global), preferring the one
+        // that leaves the fewest extras.
+        type Base = (usize, usize, fn() -> Arrangement);
+        let bases: [Base; 5] = [
+            (5, 2, Self::dragonfly_par as fn() -> Arrangement),
+            (4, 3, || Self::zigzag(3)),
+            (4, 2, Self::dragonfly_val),
+            (3, 2, || Self::zigzag(2)),
+            (2, 1, Self::dragonfly_min),
+        ];
+        let (bl, bg, make) = bases
+            .iter()
+            .filter(|(bl, bg, _)| *bl <= local && *bg <= global)
+            .min_by_key(|(bl, bg, _)| (local - bl) + (global - bg))
+            .expect("2/1 always fits");
+        let base = make();
+        let mut extras = Vec::new();
+        let (mut el, mut eg) = (local - bl, global - bg);
+        // Round-robin starting with Local so the prefix mirrors the L-G-L…
+        // texture of the reference path.
+        while el > 0 || eg > 0 {
+            if el > 0 {
+                extras.push(Local);
+                el -= 1;
+            }
+            if eg > 0 {
+                extras.push(Global);
+                eg -= 1;
+            }
+        }
+        extras.extend_from_slice(&base.seq);
+        Self::new(extras)
+    }
+
+    /// Request+reply Dragonfly arrangement from per-subpath counts, e.g.
+    /// `dragonfly_rr((4, 2), (2, 1))` is the paper's `6/3 = 4/2 + 2/1`.
+    pub fn dragonfly_rr(req: (usize, usize), rep: (usize, usize)) -> Self {
+        Self::concat(
+            &Self::dragonfly(req.0, req.1),
+            &Self::dragonfly(rep.0, rep.1),
+        )
+    }
+
+    /// Request+reply generic arrangement, e.g. `generic_rr(3, 2)` is the
+    /// paper's `3+2=5` configuration of Table II.
+    pub fn generic_rr(req: usize, rep: usize) -> Self {
+        Self::concat(&Self::generic(req), &Self::generic(rep))
+    }
+
+    // ---------------------------------------------------------------------
+    // Accessors
+    // ---------------------------------------------------------------------
+
+    /// Total number of positions (VCs) in the master sequence.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// `true` if the sequence is empty (never for validly constructed values).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Length of the request prefix.
+    #[inline]
+    pub fn request_len(&self) -> usize {
+        self.req_len
+    }
+
+    /// Whether this arrangement has a dedicated reply sub-sequence.
+    #[inline]
+    pub fn has_reply_part(&self) -> bool {
+        self.req_len < self.seq.len()
+    }
+
+    /// The raw master sequence.
+    #[inline]
+    pub fn sequence(&self) -> &[LinkClass] {
+        &self.seq
+    }
+
+    /// Class of the buffer at `pos`.
+    #[inline]
+    pub fn class_at(&self, pos: usize) -> LinkClass {
+        self.seq[pos]
+    }
+
+    /// Per-class VC index (occurrence number of its class) of the buffer at
+    /// `pos`. This is the index used to address physical buffers in a port.
+    pub fn vc_index_at(&self, pos: usize) -> usize {
+        let c = self.seq[pos];
+        self.class_positions[c.index()]
+            .iter()
+            .position(|&p| p == pos)
+            .expect("position belongs to its class list")
+    }
+
+    /// Position of the `vc`-th VC of class `c`, if it exists.
+    #[inline]
+    pub fn position(&self, c: LinkClass, vc: usize) -> Option<usize> {
+        self.class_positions[c.index()].get(vc).copied()
+    }
+
+    /// Number of VCs of class `c` over the whole sequence (physical buffer
+    /// count per port of that class).
+    #[inline]
+    pub fn vc_count(&self, c: LinkClass) -> usize {
+        self.class_positions[c.index()].len()
+    }
+
+    /// Number of VCs of class `c` within the request prefix.
+    pub fn vc_count_request(&self, c: LinkClass) -> usize {
+        self.class_positions[c.index()]
+            .iter()
+            .take_while(|&&p| p < self.req_len)
+            .count()
+    }
+
+    /// Total number of VCs across all classes (`len()` alias for clarity).
+    #[inline]
+    pub fn total_vcs(&self) -> usize {
+        self.len()
+    }
+
+    /// The half-open position region `[lo, hi)` in which *safe escape paths*
+    /// of a message class must embed: requests use the request prefix,
+    /// replies use the reply part only (paper §III-B: reply VCs are
+    /// dimensioned for safe minimal reply paths; borrowed request VCs are
+    /// opportunistic).
+    #[inline]
+    pub fn safe_region(&self, msg: MessageClass) -> (usize, usize) {
+        match msg {
+            MessageClass::Request => (0, self.req_len),
+            MessageClass::Reply => (self.req_len, self.seq.len()),
+        }
+    }
+
+    /// The half-open position region in which a packet of class `msg` may
+    /// *land* (occupy buffers): requests are confined to the request prefix,
+    /// replies may use any VC.
+    #[inline]
+    pub fn landing_region(&self, msg: MessageClass) -> (usize, usize) {
+        match msg {
+            MessageClass::Request => (0, self.req_len),
+            MessageClass::Reply => (0, self.seq.len()),
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Embedding (subsequence) queries
+    // ---------------------------------------------------------------------
+
+    /// Greedy check: can `hops` be realized as strictly-increasing positions,
+    /// all `> after` (pass `None` for "from the start") and inside the
+    /// half-open region `[region.0, region.1)`?
+    pub fn embeds(&self, hops: &[LinkClass], after: Pos, region: (usize, usize)) -> bool {
+        let mut cursor: isize = match after {
+            Some(p) => p as isize,
+            None => -1,
+        };
+        let floor = region.0 as isize;
+        if cursor < floor - 1 {
+            cursor = floor - 1;
+        }
+        for &h in hops {
+            match self.next_position(h, cursor, region.1) {
+                Some(p) => cursor = p as isize,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Smallest position of class `c` strictly greater than `after` and less
+    /// than `limit`.
+    fn next_position(&self, c: LinkClass, after: isize, limit: usize) -> Option<usize> {
+        let list = &self.class_positions[c.index()];
+        // Lists are tiny (≤ ~12); linear scan beats binary search overhead.
+        list.iter()
+            .copied()
+            .find(|&p| (p as isize) > after && p < limit)
+    }
+
+    /// Largest landing position `q` of class `hop` within `[floor_pos, limit)`
+    /// such that `rest` embeds after `q` inside `safe_region`. Returns `None`
+    /// if no such landing exists.
+    ///
+    /// `floor_pos = None` means unconstrained from below. `limit` bounds the
+    /// landing itself (requests may not land in reply VCs).
+    pub fn max_landing(
+        &self,
+        hop: LinkClass,
+        rest: &[LinkClass],
+        floor_pos: Pos,
+        landing_limit: usize,
+        safe_region: (usize, usize),
+    ) -> Option<usize> {
+        let floor: isize = match floor_pos {
+            Some(p) => p as isize,
+            None => -1,
+        };
+        let list = &self.class_positions[hop.index()];
+        // Embedding after q is monotone: easier for smaller q. Scan from the
+        // top; the first success is the maximum.
+        list.iter()
+            .rev()
+            .copied()
+            .filter(|&q| (q as isize) >= floor && q < landing_limit)
+            .find(|&q| self.embeds(rest, Some(q), safe_region))
+    }
+
+    /// Compact `L G L…` rendering, with a `|` at the request/reply boundary.
+    pub fn notation(&self) -> String {
+        let mut s = String::with_capacity(self.seq.len() * 2 + 2);
+        for (i, c) in self.seq.iter().enumerate() {
+            if i == self.req_len && self.has_reply_part() {
+                s.push('|');
+                s.push(' ');
+            }
+            s.push(c.letter());
+            if i + 1 < self.seq.len() {
+                s.push(' ');
+            }
+        }
+        s
+    }
+
+    /// `local/global` VC-count label as used in the paper (e.g. `4/2` or
+    /// `6/4(4/3+2/1)` for split arrangements).
+    pub fn count_label(&self) -> String {
+        use LinkClass::*;
+        let l = self.vc_count(Local);
+        let g = self.vc_count(Global);
+        if g == 0 {
+            // Single-class network.
+            if self.has_reply_part() {
+                let lr = self.vc_count_request(Local);
+                return format!("{}+{}={}", lr, l - lr, l);
+            }
+            return format!("{l}");
+        }
+        if self.has_reply_part() {
+            let lr = self.vc_count_request(Local);
+            let gr = self.vc_count_request(Global);
+            format!("{l}/{g}({lr}/{gr}+{}/{})", l - lr, g - gr)
+        } else {
+            format!("{l}/{g}")
+        }
+    }
+}
+
+impl std::fmt::Display for Arrangement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}]", self.count_label(), self.notation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use LinkClass::*;
+
+    #[test]
+    fn canonical_sequences_match_paper() {
+        assert_eq!(Arrangement::dragonfly_min().sequence(), seq!(L G L));
+        assert_eq!(Arrangement::dragonfly_val().sequence(), seq!(L G L L G L));
+        assert_eq!(
+            Arrangement::dragonfly_par().sequence(),
+            seq!(L L G L L G L)
+        );
+        assert_eq!(Arrangement::zigzag(2).sequence(), seq!(L G L G L));
+        assert_eq!(Arrangement::zigzag(3).sequence(), seq!(L G L G L G L));
+    }
+
+    #[test]
+    fn dragonfly_constructor_counts() {
+        for (l, g) in [(2, 1), (3, 2), (4, 2), (4, 3), (5, 2), (8, 4), (6, 3)] {
+            let a = Arrangement::dragonfly(l, g);
+            assert_eq!(a.vc_count(Local), l, "local count for {l}/{g}");
+            assert_eq!(a.vc_count(Global), g, "global count for {l}/{g}");
+        }
+    }
+
+    #[test]
+    fn vc_index_and_position_roundtrip() {
+        let a = Arrangement::dragonfly_val(); // L G L L G L
+        for pos in 0..a.len() {
+            let c = a.class_at(pos);
+            let idx = a.vc_index_at(pos);
+            assert_eq!(a.position(c, idx), Some(pos));
+        }
+        assert_eq!(a.vc_index_at(0), 0); // l0
+        assert_eq!(a.vc_index_at(2), 1); // l1
+        assert_eq!(a.vc_index_at(3), 2); // l2
+        assert_eq!(a.vc_index_at(5), 3); // l3
+        assert_eq!(a.vc_index_at(1), 0); // g0
+        assert_eq!(a.vc_index_at(4), 1); // g1
+    }
+
+    #[test]
+    fn request_reply_concat() {
+        let a = Arrangement::dragonfly_rr((4, 2), (2, 1)); // 6/3
+        assert_eq!(a.request_len(), 6);
+        assert_eq!(a.len(), 9);
+        assert_eq!(a.vc_count(Local), 6);
+        assert_eq!(a.vc_count(Global), 3);
+        assert_eq!(a.vc_count_request(Local), 4);
+        assert_eq!(a.vc_count_request(Global), 2);
+        assert!(a.has_reply_part());
+        assert_eq!(a.count_label(), "6/3(4/2+2/1)");
+    }
+
+    #[test]
+    fn embeds_basic() {
+        let a = Arrangement::dragonfly_val(); // L G L L G L
+        let whole = (0, a.len());
+        assert!(a.embeds(&seq!(L G L L G L), None, whole));
+        assert!(a.embeds(&seq!(L G L), None, whole));
+        assert!(a.embeds(&seq!(G L), None, whole));
+        assert!(!a.embeds(&seq!(L L G L L G L), None, whole)); // PAR needs 5/2
+        assert!(!a.embeds(&seq!(G G G), None, whole));
+        // After a position.
+        assert!(a.embeds(&seq!(L G L), Some(0), whole));
+        assert!(a.embeds(&seq!(G L), Some(3), whole));
+        assert!(!a.embeds(&seq!(L G L), Some(3), whole));
+    }
+
+    #[test]
+    fn embeds_respects_region() {
+        let a = Arrangement::generic_rr(3, 2); // T T T | T T
+        let rep = a.safe_region(MessageClass::Reply);
+        assert_eq!(rep, (3, 5));
+        assert!(a.embeds(&seq!(L L), None, rep));
+        assert!(!a.embeds(&seq!(L L L), None, rep));
+        // "after" below the region floor is clamped to the floor.
+        assert!(a.embeds(&seq!(L L), Some(1), rep));
+        assert!(!a.embeds(&seq!(L L), Some(3), rep));
+    }
+
+    #[test]
+    fn max_landing_min_first_hop() {
+        // Fig. 3a: 4 VCs in a diameter-2 network, MIN (2 hops). First hop may
+        // land in VCs 0..=2, second in 0..=3.
+        let a = Arrangement::generic(4);
+        let whole = (0, 4);
+        let q = a.max_landing(Local, &seq!(L), None, 4, whole).unwrap();
+        assert_eq!(q, 2);
+        let q = a.max_landing(Local, &[], None, 4, whole).unwrap();
+        assert_eq!(q, 3);
+    }
+
+    #[test]
+    fn max_landing_with_floor() {
+        let a = Arrangement::zigzag(2); // L G L G L
+        let whole = (0, 5);
+        // Escape [L G L] must fit after the landing; landing must be >= 2.
+        let q = a.max_landing(Local, &seq!(L G L), Some(2), 5, whole);
+        assert_eq!(q, None); // from position >= 2 there is no L,G,L above 2... except q=2? rest after 2: L@4 only
+        let q = a.max_landing(Local, &seq!(G L), Some(2), 5, whole);
+        assert_eq!(q, Some(2));
+    }
+
+    #[test]
+    fn notation_rendering() {
+        let a = Arrangement::dragonfly_rr((2, 1), (2, 1));
+        assert_eq!(a.notation(), "L G L | L G L");
+        assert_eq!(a.count_label(), "4/2(2/1+2/1)");
+        assert_eq!(Arrangement::generic(4).count_label(), "4");
+        assert_eq!(Arrangement::generic_rr(3, 2).count_label(), "3+2=5");
+    }
+
+    #[test]
+    #[should_panic(expected = "request prefix")]
+    fn zero_request_prefix_rejected() {
+        let _ = Arrangement::with_request_len(vec![Local], 0);
+    }
+}

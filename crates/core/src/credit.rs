@@ -1,0 +1,122 @@
+//! Split min/non-min occupancy accounting for FlexVC-minCred (paper §III-D).
+//!
+//! With the baseline fixed-VC policy, the first global VC of a port carries
+//! only minimally-routed packets, so per-VC occupancy implicitly identifies
+//! the traffic pattern: under adversarial traffic the minimal global links
+//! show high VC0 occupancy even when total link load is balanced. FlexVC
+//! merges minimal and non-minimal flows in the same buffers and destroys
+//! this signal. FlexVC-minCred restores it by accounting occupancy
+//! separately per routing type: packet headers already carry the routing
+//! type, so the only additional cost is one flag per credit message and one
+//! extra counter per output port.
+
+/// Whether a packet is currently routed minimally or non-minimally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde_support", derive(serde::Serialize, serde::Deserialize))]
+pub enum CreditClass {
+    /// Packet follows a minimal path to its destination.
+    MinRouted,
+    /// Packet follows a Valiant/derouted path.
+    NonMinRouted,
+}
+
+/// Phit occupancy split by routing type.
+///
+/// One `SplitOccupancy` mirrors the downstream buffer state of one VC (or
+/// one port, when aggregated) at the upstream credit counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SplitOccupancy {
+    min_phits: u32,
+    nonmin_phits: u32,
+}
+
+impl SplitOccupancy {
+    /// Empty occupancy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `phits` entering the downstream buffer.
+    pub fn add(&mut self, class: CreditClass, phits: u32) {
+        match class {
+            CreditClass::MinRouted => self.min_phits += phits,
+            CreditClass::NonMinRouted => self.nonmin_phits += phits,
+        }
+    }
+
+    /// Record `phits` leaving the downstream buffer (credit return).
+    pub fn remove(&mut self, class: CreditClass, phits: u32) {
+        let slot = match class {
+            CreditClass::MinRouted => &mut self.min_phits,
+            CreditClass::NonMinRouted => &mut self.nonmin_phits,
+        };
+        debug_assert!(*slot >= phits, "credit underflow: {slot} < {phits}");
+        *slot = slot.saturating_sub(phits);
+    }
+
+    /// Occupancy attributed to minimally-routed packets (the minCred signal).
+    #[inline]
+    pub fn min_occupancy(&self) -> u32 {
+        self.min_phits
+    }
+
+    /// Occupancy attributed to non-minimally-routed packets.
+    #[inline]
+    pub fn nonmin_occupancy(&self) -> u32 {
+        self.nonmin_phits
+    }
+
+    /// Total occupancy regardless of routing type (classic credit counter).
+    #[inline]
+    pub fn total(&self) -> u32 {
+        self.min_phits + self.nonmin_phits
+    }
+
+    /// Merge another counter into this one (per-port aggregation of per-VC
+    /// counters).
+    pub fn merge(&mut self, other: &SplitOccupancy) {
+        self.min_phits += other.min_phits;
+        self.nonmin_phits += other.nonmin_phits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut o = SplitOccupancy::new();
+        o.add(CreditClass::MinRouted, 8);
+        o.add(CreditClass::NonMinRouted, 16);
+        assert_eq!(o.min_occupancy(), 8);
+        assert_eq!(o.nonmin_occupancy(), 16);
+        assert_eq!(o.total(), 24);
+        o.remove(CreditClass::MinRouted, 8);
+        o.remove(CreditClass::NonMinRouted, 8);
+        assert_eq!(o.min_occupancy(), 0);
+        assert_eq!(o.nonmin_occupancy(), 8);
+        assert_eq!(o.total(), 8);
+    }
+
+    #[test]
+    fn merge_aggregates_per_port() {
+        let mut a = SplitOccupancy::new();
+        a.add(CreditClass::MinRouted, 4);
+        let mut b = SplitOccupancy::new();
+        b.add(CreditClass::NonMinRouted, 6);
+        b.add(CreditClass::MinRouted, 2);
+        a.merge(&b);
+        assert_eq!(a.min_occupancy(), 6);
+        assert_eq!(a.nonmin_occupancy(), 6);
+        assert_eq!(a.total(), 12);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "credit underflow")]
+    fn underflow_is_caught_in_debug() {
+        let mut o = SplitOccupancy::new();
+        o.remove(CreditClass::MinRouted, 1);
+    }
+}

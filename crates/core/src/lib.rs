@@ -1,0 +1,54 @@
+//! # flexvc-core — the FlexVC virtual-channel management model
+//!
+//! This crate implements the central contribution of *FlexVC: Flexible
+//! Virtual Channel Management in Low-Diameter Networks* (Fuentes et al.,
+//! IPDPS 2017) as a pure, simulator-independent model:
+//!
+//! * [`LinkClass`] — link/buffer classes (local vs. global in a Dragonfly,
+//!   a single generic class in diameter-2 networks such as Slim Fly).
+//! * [`Arrangement`] — a *master reference sequence* of buffer classes that
+//!   encodes a VC configuration (e.g. `4/2 = L G L L G L`), optionally split
+//!   into request and reply sub-sequences for protocol-deadlock avoidance.
+//! * [`policy`] — the per-hop allowed-VC rules: the baseline distance-based
+//!   policy (one fixed VC per reference hop) and FlexVC's relaxed rule with
+//!   *safe* and *opportunistic* hops (Definitions 1 and 2 of the paper).
+//! * [`mod@classify`] — analytic path classification reproducing Tables I–IV of
+//!   the paper (Safe / Opportunistic / not supported).
+//! * [`selection`] — VC selection functions (JSQ, highest, lowest, random;
+//!   Section VI-A of the paper).
+//! * [`credit`] — split min/non-min occupancy accounting used by
+//!   FlexVC-minCred (Section III-D).
+//!
+//! The cycle-accurate simulator in `flexvc-sim` consumes these rules verbatim,
+//! so the same code path that reproduces the paper's tables also drives every
+//! forwarding decision in the simulation.
+//!
+//! ## The position framework
+//!
+//! Deadlock freedom of distance-based schemes follows from assigning each hop
+//! a buffer whose *position* in a master sequence strictly increases along any
+//! blocking chain. FlexVC relaxes the per-hop assignment to a *range* of
+//! positions while preserving the invariant that, from every buffer a packet
+//! may occupy, a strictly-increasing *escape path* to its destination exists
+//! (its planned path if the hop was safe, the minimal continuation otherwise).
+//! See `DESIGN.md` §2 for the full derivation and the mapping to the paper's
+//! definitions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrangement;
+pub mod classify;
+pub mod credit;
+pub mod link;
+pub mod policy;
+pub mod routing;
+pub mod selection;
+
+pub use arrangement::Arrangement;
+pub use classify::{classify, NetworkFamily, Support};
+pub use credit::{CreditClass, SplitOccupancy};
+pub use link::{LinkClass, MessageClass};
+pub use policy::{baseline_vc, flexvc_options, HopKind, HopVcs, VcPolicy};
+pub use routing::RoutingMode;
+pub use selection::VcSelection;

@@ -1,0 +1,485 @@
+//! Per-hop allowed-VC rules: baseline distance-based and FlexVC.
+//!
+//! ## Baseline (distance-based deadlock avoidance, paper §II)
+//!
+//! Every hop of a *reference path* is assigned one fixed VC; the VC order is
+//! strictly increasing along the path, so the last VC never blocks and no
+//! cyclic dependency can form. [`baseline_vc`] maps a reference-path slot to
+//! its fixed `(class, vc)` pair.
+//!
+//! ## FlexVC (paper §III)
+//!
+//! FlexVC relaxes the assignment to a *range* of VCs per hop:
+//!
+//! * **Safe hop** (Definition 1): from the packet's current buffer there
+//!   exists a strictly-increasing realization of its whole remaining path
+//!   inside the message class's safe region. The packet may then land in
+//!   *any* VC `0 ..= k`, where `k` is the highest landing that keeps the
+//!   rest of the path realizable ("the maximum amount of VCs minus the
+//!   remaining hops", §III-A). Landing below the current VC is allowed —
+//!   this is what merges flows and mitigates HoLB — because safety is
+//!   re-established from the landing buffer.
+//! * **Opportunistic hop** (Definition 2): the planned remainder does not
+//!   embed, but a *safe escape path* (the minimal continuation from the
+//!   next router) embeds above the landing, and the landing is not below
+//!   the current position (`c_j1 ≥ c_j0`). Opportunistic hops are
+//!   non-blocking: the simulator only issues them when the downstream VC
+//!   can hold the whole packet right now, and otherwise *reverts* the
+//!   packet to its escape path.
+//!
+//! The functions here are pure; `flexvc-sim` calls them for every forwarding
+//! decision and the classifier in [`mod@crate::classify`] uses them to reproduce
+//! Tables I–IV.
+
+use crate::arrangement::{Arrangement, Pos};
+use crate::link::{LinkClass, MessageClass};
+
+/// Which buffer-management policy governs VC choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde_support", derive(serde::Serialize, serde::Deserialize))]
+pub enum VcPolicy {
+    /// One fixed VC per reference-path hop (Günther-style distance order).
+    Baseline,
+    /// FlexVC relaxed ranges with safe and opportunistic hops.
+    FlexVc,
+}
+
+/// Kind of hop granted by the FlexVC rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HopKind {
+    /// The planned remainder embeds from the current buffer; the request may
+    /// block (wait for credits) like any ordinary hop.
+    Safe,
+    /// Only an escape embeds; the request must be satisfiable immediately
+    /// (whole-packet credit) or the packet reverts to its escape path.
+    Opportunistic,
+}
+
+/// The set of VCs a packet may use for its next hop: per-class indices
+/// `lo ..= hi` of the output port's class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopVcs {
+    /// Safe or opportunistic.
+    pub kind: HopKind,
+    /// Lowest allowed per-class VC index (inclusive).
+    pub lo: usize,
+    /// Highest allowed per-class VC index (inclusive).
+    pub hi: usize,
+}
+
+impl HopVcs {
+    /// Iterator over the allowed per-class VC indices.
+    pub fn iter(&self) -> impl Iterator<Item = usize> {
+        self.lo..=self.hi
+    }
+
+    /// Number of allowed VCs.
+    pub fn count(&self) -> usize {
+        self.hi - self.lo + 1
+    }
+}
+
+/// Compute the FlexVC options for the next hop of a packet.
+///
+/// * `current` — position of the buffer the packet occupies (`None` while in
+///   an injection queue).
+/// * `planned` — the remaining planned hops *including* the hop being
+///   requested (`planned[0]`).
+/// * `escape_next` — link classes of the minimal path from the *next* router
+///   (after taking `planned[0]`) to the packet's final destination. For
+///   packets already following a minimal plan this equals `planned[1..]`.
+///
+/// Returns `None` when the hop is infeasible from the current buffer (the
+/// packet must revert to the minimal path from its *current* router, which
+/// the entry invariant guarantees to be feasible).
+pub fn flexvc_options(
+    arr: &Arrangement,
+    msg: MessageClass,
+    current: Pos,
+    planned: &[LinkClass],
+    escape_next: &[LinkClass],
+) -> Option<HopVcs> {
+    assert!(!planned.is_empty(), "no hop to evaluate");
+    let hop = planned[0];
+    let rest = &planned[1..];
+    let safe_region = arr.safe_region(msg);
+    let (_, land_hi) = arr.landing_region(msg);
+
+    // Definition 1: safe hop — the whole remainder embeds strictly above the
+    // current position within the safe region.
+    if arr.embeds(planned, current, safe_region) {
+        let hi_pos = arr
+            .max_landing(hop, rest, None, land_hi, safe_region)
+            .expect("planned embeds, so a landing must exist");
+        return Some(HopVcs {
+            kind: HopKind::Safe,
+            lo: 0,
+            hi: arr.vc_index_at(hi_pos),
+        });
+    }
+
+    // Definition 2: opportunistic hop — land at q >= current such that the
+    // escape path embeds above q.
+    let hi_pos = arr.max_landing(hop, escape_next, current, land_hi, safe_region)?;
+    let lo = match current {
+        None => 0,
+        Some(p) => (0..arr.vc_count(hop))
+            .find(|&i| arr.position(hop, i).expect("index in range") >= p)
+            .expect("hi_pos >= p exists, so a lowest landing exists"),
+    };
+    Some(HopVcs {
+        kind: HopKind::Opportunistic,
+        lo,
+        hi: arr.vc_index_at(hi_pos),
+    })
+}
+
+/// Like [`flexvc_options`], but for opportunistic hops the landing range is
+/// additionally constrained so that the *remaining planned path* stays
+/// traversable: Definition 2 requires every opportunistic hop of a path to
+/// keep its escape, so a landing that would strand the next hop (no landing
+/// `q' ≥ q` with a viable escape) is not offered. `escapes[i]` is the
+/// minimal continuation from the router reached after `planned[i]`.
+///
+/// Safe hops never dead-end (any landing keeps the remainder embeddable),
+/// so the lookahead only runs on opportunistic hops.
+pub fn flexvc_options_lookahead(
+    arr: &Arrangement,
+    msg: MessageClass,
+    current: Pos,
+    planned: &[LinkClass],
+    escapes: &[&[LinkClass]],
+) -> Option<HopVcs> {
+    debug_assert_eq!(planned.len(), escapes.len());
+    let base = flexvc_options(arr, msg, current, planned, escapes[0])?;
+    if base.kind == HopKind::Safe {
+        return Some(base);
+    }
+    let hop = planned[0];
+    // Landings are monotone: if the remainder traverses from q, it also
+    // traverses from any lower landing (weaker floors, easier embeddings).
+    // Scan from the top for the highest viable landing.
+    for idx in (base.lo..=base.hi).rev() {
+        let q = arr.position(hop, idx).expect("index in range");
+        if traversable(arr, msg, Some(q), &planned[1..], &escapes[1..]) {
+            return Some(HopVcs {
+                kind: HopKind::Opportunistic,
+                lo: base.lo,
+                hi: idx,
+            });
+        }
+    }
+    None
+}
+
+/// Can the planned path be fully traversed from `current` under the per-hop
+/// rules, assuming favourable credits? Used by the landing lookahead.
+fn traversable(
+    arr: &Arrangement,
+    msg: MessageClass,
+    current: Pos,
+    planned: &[LinkClass],
+    escapes: &[&[LinkClass]],
+) -> bool {
+    if planned.is_empty() {
+        return true;
+    }
+    let Some(opts) = flexvc_options(arr, msg, current, planned, escapes[0]) else {
+        return false;
+    };
+    // Monotonicity: a lower landing weakens every later constraint (floors
+    // and embeddings), so the path traverses from some landing iff it
+    // traverses from the lowest one. This makes the check linear.
+    let q = arr
+        .position(planned[0], opts.lo)
+        .expect("lo index in range");
+    traversable(arr, msg, Some(q), &planned[1..], &escapes[1..])
+}
+
+/// Fixed VC of the baseline distance-based policy for reference-path slot
+/// `slot` of `reference` (the routing mode's full reference sequence).
+///
+/// Replies are offset into the reply sub-sequence when the arrangement has
+/// one (separate virtual networks, as in Cray Cascade).
+pub fn baseline_vc(
+    arr: &Arrangement,
+    msg: MessageClass,
+    reference: &[LinkClass],
+    slot: usize,
+) -> (LinkClass, usize) {
+    let offset = match msg {
+        MessageClass::Request => 0,
+        MessageClass::Reply => {
+            if arr.has_reply_part() {
+                arr.request_len()
+            } else {
+                0
+            }
+        }
+    };
+    let pos = offset + slot;
+    let class = arr.class_at(pos);
+    debug_assert_eq!(
+        class, reference[slot],
+        "arrangement does not follow the reference sequence at slot {slot}"
+    );
+    (class, arr.vc_index_at(pos))
+}
+
+/// Whether the arrangement can host the baseline policy for a routing mode's
+/// reference sequence: the relevant sub-sequence must *equal* the reference
+/// (the baseline cannot exploit extra VCs, paper §V-A).
+pub fn supports_baseline(arr: &Arrangement, msg: MessageClass, reference: &[LinkClass]) -> bool {
+    let part: &[LinkClass] = match msg {
+        MessageClass::Request => &arr.sequence()[..arr.request_len()],
+        MessageClass::Reply => {
+            if arr.has_reply_part() {
+                &arr.sequence()[arr.request_len()..]
+            } else {
+                arr.sequence()
+            }
+        }
+    };
+    part == reference
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use LinkClass::*;
+    use MessageClass::*;
+
+    /// Fig. 3a: diameter-2, 4 VCs, MIN path (2 hops). First hop allows VCs
+    /// 0..=2, second hop 0..=3, both safe.
+    #[test]
+    fn fig3a_min_with_four_vcs() {
+        let a = Arrangement::generic(4);
+        let h1 = flexvc_options(&a, Request, None, &seq!(L L), &seq!(L)).unwrap();
+        assert_eq!(h1.kind, HopKind::Safe);
+        assert_eq!((h1.lo, h1.hi), (0, 2));
+        // After landing in VC 2, the final hop allows 0..=3 (descent allowed).
+        let h2 = flexvc_options(&a, Request, Some(2), &seq!(L), &[]).unwrap();
+        assert_eq!(h2.kind, HopKind::Safe);
+        assert_eq!((h2.lo, h2.hi), (0, 3));
+    }
+
+    /// Fig. 3a: Valiant (4 hops) with 4 VCs is safe; hop i allows 0..=i.
+    #[test]
+    fn fig3a_valiant_safe_with_four_vcs() {
+        let a = Arrangement::generic(4);
+        let mut cur: Pos = None;
+        let path = seq!(L L L L);
+        for i in 0..4 {
+            let h = flexvc_options(&a, Request, cur, &path[i..], &seq!(L L)).unwrap();
+            assert_eq!(h.kind, HopKind::Safe, "hop {i}");
+            assert_eq!((h.lo, h.hi), (0, i), "hop {i}");
+            cur = Some(h.hi); // take the highest
+        }
+    }
+
+    /// Fig. 3b: Valiant with only 3 VCs: the first two hops are
+    /// opportunistic (escape = 2-hop minimal continuation), the rest safe.
+    #[test]
+    fn fig3b_valiant_opportunistic_with_three_vcs() {
+        let a = Arrangement::generic(3);
+        let val = seq!(L L L L);
+        let esc = seq!(L L);
+        let h1 = flexvc_options(&a, Request, None, &val, &esc).unwrap();
+        assert_eq!(h1.kind, HopKind::Opportunistic);
+        assert_eq!((h1.lo, h1.hi), (0, 0));
+        let h2 = flexvc_options(&a, Request, Some(0), &val[1..], &esc).unwrap();
+        assert_eq!(h2.kind, HopKind::Opportunistic);
+        assert_eq!((h2.lo, h2.hi), (0, 0));
+        // At the Valiant router the remaining 2-hop path is safe.
+        let h3 = flexvc_options(&a, Request, Some(0), &val[2..], &seq!(L)).unwrap();
+        assert_eq!(h3.kind, HopKind::Safe);
+        assert_eq!((h3.lo, h3.hi), (0, 1));
+        let h4 = flexvc_options(&a, Request, Some(1), &val[3..], &[]).unwrap();
+        assert_eq!(h4.kind, HopKind::Safe);
+        assert_eq!((h4.lo, h4.hi), (0, 2));
+    }
+
+    /// Valiant with 2 VCs must be rejected outright (Table I).
+    #[test]
+    fn valiant_infeasible_with_two_vcs() {
+        let a = Arrangement::generic(2);
+        assert_eq!(
+            flexvc_options(&a, Request, None, &seq!(L L L L), &seq!(L L)),
+            None
+        );
+    }
+
+    /// Dragonfly MIN on 2/1: hop maxima follow the reference path exactly.
+    #[test]
+    fn dragonfly_min_on_2_1() {
+        let a = Arrangement::dragonfly_min();
+        let min = seq!(L G L);
+        let h1 = flexvc_options(&a, Request, None, &min, &seq!(G L)).unwrap();
+        assert_eq!((h1.kind, h1.lo, h1.hi), (HopKind::Safe, 0, 0));
+        let h2 = flexvc_options(&a, Request, Some(0), &min[1..], &seq!(L)).unwrap();
+        assert_eq!((h2.kind, h2.lo, h2.hi), (HopKind::Safe, 0, 0));
+        let h3 = flexvc_options(&a, Request, Some(1), &min[2..], &[]).unwrap();
+        assert_eq!((h3.kind, h3.lo, h3.hi), (HopKind::Safe, 0, 1));
+    }
+
+    /// Dragonfly MIN on 4/2 (VAL-provisioned): MIN exploits the extra VCs —
+    /// the core HoLB benefit of Fig. 5.
+    #[test]
+    fn dragonfly_min_exploits_val_vcs() {
+        let a = Arrangement::dragonfly_val(); // L G L L G L
+        let min = seq!(L G L);
+        let h1 = flexvc_options(&a, Request, None, &min, &seq!(G L)).unwrap();
+        assert_eq!((h1.lo, h1.hi), (0, 2)); // l0, l1, l2 of 4 locals
+        let h2 = flexvc_options(&a, Request, Some(3), &min[1..], &seq!(L)).unwrap();
+        assert_eq!((h2.lo, h2.hi), (0, 1)); // both globals
+        let h3 = flexvc_options(&a, Request, Some(4), &min[2..], &[]).unwrap();
+        assert_eq!((h3.lo, h3.hi), (0, 3)); // all four locals
+    }
+
+    /// A reply on a unified 3+2 arrangement may dip into request VCs while
+    /// its safe escape lives in the reply part (paper §III-B).
+    #[test]
+    fn reply_borrows_request_vcs() {
+        let a = Arrangement::generic_rr(3, 2);
+        // Reply MIN (2 hops): first hop may land anywhere up to position 3
+        // (VC index 3) since the rest embeds in the reply part.
+        let h1 = flexvc_options(&a, Reply, None, &seq!(L L), &seq!(L)).unwrap();
+        assert_eq!(h1.kind, HopKind::Safe);
+        assert_eq!((h1.lo, h1.hi), (0, 3));
+        // Reply VAL (4 hops) does not fit the reply part: opportunistic.
+        let h = flexvc_options(&a, Reply, None, &seq!(L L L L), &seq!(L L)).unwrap();
+        assert_eq!(h.kind, HopKind::Opportunistic);
+        assert_eq!((h.lo, h.hi), (0, 2));
+    }
+
+    /// Requests never use reply VCs.
+    #[test]
+    fn request_confined_to_prefix() {
+        let a = Arrangement::generic_rr(2, 2);
+        let h2 = flexvc_options(&a, Request, Some(0), &seq!(L), &[]).unwrap();
+        assert_eq!((h2.lo, h2.hi), (0, 1)); // only the two request VCs
+    }
+
+    /// Opportunistic landings respect the floor `c_j1 >= c_j0`.
+    #[test]
+    fn opportunistic_floor() {
+        let a = Arrangement::zigzag(2); // L G L G L
+        // A packet in local VC1 (position 2) pursuing a non-fitting plan with
+        // escape [G,L] may only land at local index >= 1.
+        let h = flexvc_options(
+            &a,
+            Request,
+            Some(2),
+            &seq!(L L G L), // does not embed after position 2
+            &seq!(G L),
+        )
+        .unwrap();
+        assert_eq!(h.kind, HopKind::Opportunistic);
+        assert_eq!((h.lo, h.hi), (1, 1));
+    }
+
+    #[test]
+    fn baseline_fixed_assignments() {
+        let a = Arrangement::dragonfly_val();
+        let r = seq!(L G L L G L);
+        assert!(supports_baseline(&a, Request, &r));
+        assert_eq!(baseline_vc(&a, Request, &r, 0), (Local, 0));
+        assert_eq!(baseline_vc(&a, Request, &r, 1), (Global, 0));
+        assert_eq!(baseline_vc(&a, Request, &r, 2), (Local, 1));
+        assert_eq!(baseline_vc(&a, Request, &r, 3), (Local, 2));
+        assert_eq!(baseline_vc(&a, Request, &r, 4), (Global, 1));
+        assert_eq!(baseline_vc(&a, Request, &r, 5), (Local, 3));
+    }
+
+    #[test]
+    fn baseline_reply_offsets() {
+        let a = Arrangement::dragonfly_rr((2, 1), (2, 1));
+        let min = seq!(L G L);
+        assert!(supports_baseline(&a, Request, &min));
+        assert!(supports_baseline(&a, Reply, &min));
+        assert_eq!(baseline_vc(&a, Reply, &min, 0), (Local, 2));
+        assert_eq!(baseline_vc(&a, Reply, &min, 1), (Global, 1));
+        assert_eq!(baseline_vc(&a, Reply, &min, 2), (Local, 3));
+    }
+
+    #[test]
+    fn baseline_rejects_mismatched_arrangement() {
+        let a = Arrangement::dragonfly_val();
+        assert!(!supports_baseline(&a, Request, &seq!(L G L)));
+        assert!(!supports_baseline(
+            &a,
+            Request,
+            &seq!(L L G L L G L)
+        ));
+    }
+
+    /// The lookahead must trim landings that would strand the next
+    /// opportunistic hop: a reply Valiant path on 4/2+2/1 may not land in
+    /// the highest request local VC (l3), because no global landing above it
+    /// keeps a reply-region escape.
+    #[test]
+    fn lookahead_trims_stranding_landings() {
+        let a = Arrangement::dragonfly_rr((4, 2), (2, 1));
+        let planned = seq!(L G L L G L); // worst-case reply Valiant path
+        let worst_min = seq!(L G L);
+        let escapes: [&[LinkClass]; 6] = [
+            &worst_min, &worst_min, &worst_min, &worst_min, &seq!(G L), &seq!(L),
+        ];
+        let unchecked = flexvc_options(&a, Reply, None, &planned, &worst_min).unwrap();
+        assert_eq!(unchecked.kind, HopKind::Opportunistic);
+        assert_eq!(unchecked.hi, 3, "per-hop rule alone allows l3");
+        let checked =
+            flexvc_options_lookahead(&a, Reply, None, &planned, &escapes).unwrap();
+        assert_eq!(checked.kind, HopKind::Opportunistic);
+        assert!(
+            checked.hi < unchecked.hi,
+            "lookahead must trim the stranding landing (hi = {})",
+            checked.hi
+        );
+        // From the trimmed landing the whole detour remains traversable.
+        assert_eq!((checked.lo, checked.hi), (0, 2));
+    }
+
+    /// Safe hops are returned unchanged by the lookahead.
+    #[test]
+    fn lookahead_passes_safe_hops_through() {
+        let a = Arrangement::dragonfly_val();
+        let planned = seq!(L G L);
+        let escapes: [&[LinkClass]; 3] = [&seq!(G L), &seq!(L), &[]];
+        let plain = flexvc_options(&a, Request, None, &planned, &seq!(G L)).unwrap();
+        let checked =
+            flexvc_options_lookahead(&a, Request, None, &planned, &escapes).unwrap();
+        assert_eq!(plain, checked);
+        assert_eq!(checked.kind, HopKind::Safe);
+    }
+
+    /// When no landing keeps the rest traversable the hop is rejected and
+    /// the caller reverts.
+    #[test]
+    fn lookahead_rejects_untraversable() {
+        let a = Arrangement::dragonfly(3, 2); // L G L G L
+        // A packet already deep in the sequence cannot start a full Valiant
+        // detour any more.
+        let planned = seq!(L G L L G L);
+        let worst_min = seq!(L G L);
+        let escapes: [&[LinkClass]; 6] = [
+            &worst_min, &worst_min, &worst_min, &worst_min, &seq!(G L), &seq!(L),
+        ];
+        assert_eq!(
+            flexvc_options_lookahead(&a, Request, Some(3), &planned, &escapes),
+            None
+        );
+    }
+
+    #[test]
+    fn hopvcs_iteration() {
+        let h = HopVcs {
+            kind: HopKind::Safe,
+            lo: 1,
+            hi: 3,
+        };
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Routing modes and their reference sequences.
+//!
+//! The paper evaluates four routing mechanisms (§II, §IV-A):
+//!
+//! * **MIN** — minimal routing, optimal for uniform traffic.
+//! * **VAL** — Valiant routing to a random intermediate router
+//!   ("Valiant-node" / "Valiant Any"), the oblivious defence against
+//!   adversarial patterns; doubles the worst-case path length.
+//! * **PAR** — Progressive Adaptive Routing: starts minimal, may divert to a
+//!   Valiant path after a minimal local hop (in-transit adaptivity).
+//! * **PB** — Piggyback source-adaptive routing: chooses MIN or VAL at
+//!   injection from piggybacked remote-congestion state plus a local credit
+//!   comparison. Its VC requirement equals VAL's.
+//!
+//! Each mode has a *reference sequence*: the class sequence of its longest
+//! allowed path, which determines the minimum VC arrangement for the
+//! baseline policy.
+
+use crate::link::LinkClass;
+
+/// Routing mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde_support", derive(serde::Serialize, serde::Deserialize))]
+pub enum RoutingMode {
+    /// Minimal routing.
+    Min,
+    /// Valiant-node oblivious misrouting.
+    Valiant,
+    /// Progressive Adaptive Routing (in-transit MIN→VAL switch).
+    Par,
+    /// Piggyback source-adaptive routing (MIN or VAL chosen at injection).
+    Piggyback,
+}
+
+impl RoutingMode {
+    /// Reference sequence in a Dragonfly (paper §II):
+    /// MIN `l0 g1 l2`, VAL `l0 g1 l2 l3 g4 l5`, PAR `l0 l1 g2 l3 l4 g5 l6`.
+    /// PB needs the same resources as VAL.
+    pub fn dragonfly_reference(self) -> &'static [LinkClass] {
+        use LinkClass::*;
+        match self {
+            RoutingMode::Min => &[Local, Global, Local],
+            RoutingMode::Valiant | RoutingMode::Piggyback => {
+                &[Local, Global, Local, Local, Global, Local]
+            }
+            RoutingMode::Par => &[Local, Local, Global, Local, Local, Global, Local],
+        }
+    }
+
+    /// Reference sequence in a generic diameter-`d` network: MIN has `d`
+    /// hops, VAL `2d`, PAR `2d + 1`.
+    pub fn generic_reference(self, diameter: usize) -> Vec<LinkClass> {
+        let hops = match self {
+            RoutingMode::Min => diameter,
+            RoutingMode::Valiant | RoutingMode::Piggyback => 2 * diameter,
+            RoutingMode::Par => 2 * diameter + 1,
+        };
+        vec![LinkClass::Local; hops]
+    }
+
+    /// Minimum safe Dragonfly `(local, global)` VC counts for the baseline
+    /// policy (Table V uses 2/1 for MIN and 4/2 for VAL and PB).
+    pub fn min_dragonfly_vcs(self) -> (usize, usize) {
+        match self {
+            RoutingMode::Min => (2, 1),
+            RoutingMode::Valiant | RoutingMode::Piggyback => (4, 2),
+            RoutingMode::Par => (5, 2),
+        }
+    }
+
+    /// Whether the mode may send packets over non-minimal paths.
+    pub fn is_nonminimal(self) -> bool {
+        !matches!(self, RoutingMode::Min)
+    }
+
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RoutingMode::Min => "MIN",
+            RoutingMode::Valiant => "VAL",
+            RoutingMode::Par => "PAR",
+            RoutingMode::Piggyback => "PB",
+        }
+    }
+}
+
+impl std::fmt::Display for RoutingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+
+    #[test]
+    fn dragonfly_references_match_paper() {
+        assert_eq!(RoutingMode::Min.dragonfly_reference(), seq!(L G L));
+        assert_eq!(
+            RoutingMode::Valiant.dragonfly_reference(),
+            seq!(L G L L G L)
+        );
+        assert_eq!(
+            RoutingMode::Par.dragonfly_reference(),
+            seq!(L L G L L G L)
+        );
+        assert_eq!(
+            RoutingMode::Piggyback.dragonfly_reference(),
+            RoutingMode::Valiant.dragonfly_reference()
+        );
+    }
+
+    #[test]
+    fn generic_reference_lengths() {
+        assert_eq!(RoutingMode::Min.generic_reference(2).len(), 2);
+        assert_eq!(RoutingMode::Valiant.generic_reference(2).len(), 4);
+        assert_eq!(RoutingMode::Par.generic_reference(2).len(), 5);
+        assert_eq!(RoutingMode::Valiant.generic_reference(3).len(), 6);
+    }
+
+    #[test]
+    fn min_vcs_match_table_v() {
+        assert_eq!(RoutingMode::Min.min_dragonfly_vcs(), (2, 1));
+        assert_eq!(RoutingMode::Valiant.min_dragonfly_vcs(), (4, 2));
+        assert_eq!(RoutingMode::Piggyback.min_dragonfly_vcs(), (4, 2));
+        assert_eq!(RoutingMode::Par.min_dragonfly_vcs(), (5, 2));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(RoutingMode::Min.to_string(), "MIN");
+        assert_eq!(RoutingMode::Piggyback.to_string(), "PB");
+        assert!(RoutingMode::Valiant.is_nonminimal());
+        assert!(!RoutingMode::Min.is_nonminimal());
+    }
+}

@@ -1,0 +1,147 @@
+//! VC selection functions (paper §VI-A).
+//!
+//! When FlexVC offers several eligible VCs for a hop, a *selection function*
+//! picks one. The paper evaluates four policies (Fig. 9): JSQ (join the
+//! shortest queue — the default throughout the evaluation), highest-index,
+//! lowest-index and random. JSQ and highest-VC perform best; lowest-VC
+//! saturates the low VCs used by the first hops of requests and consistently
+//! loses; the overall spread is below ~3.4%.
+
+use rand::Rng;
+
+/// Strategy for choosing among eligible VCs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde_support", derive(serde::Serialize, serde::Deserialize))]
+pub enum VcSelection {
+    /// Join the shortest queue: pick the eligible VC with the most free
+    /// credits downstream (ties broken toward the highest index).
+    #[default]
+    Jsq,
+    /// Highest eligible index.
+    HighestVc,
+    /// Lowest eligible index.
+    LowestVc,
+    /// Uniformly random among eligible VCs.
+    Random,
+}
+
+impl VcSelection {
+    /// Pick one VC among `candidates`, where each candidate is a
+    /// `(vc_index, free_credits)` pair (already filtered for eligibility and
+    /// sufficient space). Returns the chosen `vc_index`, or `None` if the
+    /// slice is empty.
+    pub fn pick<R: Rng + ?Sized>(
+        self,
+        candidates: &[(usize, usize)],
+        rng: &mut R,
+    ) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let chosen = match self {
+            VcSelection::Jsq => {
+                candidates
+                    .iter()
+                    .max_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
+                    .expect("non-empty")
+                    .0
+            }
+            VcSelection::HighestVc => candidates.iter().map(|c| c.0).max().expect("non-empty"),
+            VcSelection::LowestVc => candidates.iter().map(|c| c.0).min().expect("non-empty"),
+            VcSelection::Random => candidates[rng.gen_range(0..candidates.len())].0,
+        };
+        Some(chosen)
+    }
+
+    /// All selection functions, in the order of Fig. 9.
+    pub fn all() -> [VcSelection; 4] {
+        [
+            VcSelection::Jsq,
+            VcSelection::HighestVc,
+            VcSelection::LowestVc,
+            VcSelection::Random,
+        ]
+    }
+
+    /// Label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            VcSelection::Jsq => "JSQ",
+            VcSelection::HighestVc => "Highest-VC",
+            VcSelection::LowestVc => "Lowest-VC",
+            VcSelection::Random => "Random",
+        }
+    }
+}
+
+impl std::fmt::Display for VcSelection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        for s in VcSelection::all() {
+            assert_eq!(s.pick(&[], &mut rng()), None);
+        }
+    }
+
+    #[test]
+    fn jsq_prefers_most_credits() {
+        let c = [(0, 5), (1, 9), (2, 3)];
+        assert_eq!(VcSelection::Jsq.pick(&c, &mut rng()), Some(1));
+    }
+
+    #[test]
+    fn jsq_breaks_ties_toward_highest_index() {
+        let c = [(0, 9), (1, 9), (2, 3)];
+        assert_eq!(VcSelection::Jsq.pick(&c, &mut rng()), Some(1));
+    }
+
+    #[test]
+    fn highest_and_lowest() {
+        let c = [(1, 5), (3, 1), (2, 7)];
+        assert_eq!(VcSelection::HighestVc.pick(&c, &mut rng()), Some(3));
+        assert_eq!(VcSelection::LowestVc.pick(&c, &mut rng()), Some(1));
+    }
+
+    #[test]
+    fn random_always_picks_a_candidate() {
+        let c = [(4, 1), (7, 2)];
+        let mut r = rng();
+        for _ in 0..100 {
+            let got = VcSelection::Random.pick(&c, &mut r).unwrap();
+            assert!(got == 4 || got == 7);
+        }
+    }
+
+    #[test]
+    fn random_covers_all_candidates() {
+        let c = [(0, 1), (1, 1), (2, 1)];
+        let mut r = rng();
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[VcSelection::Random.pick(&c, &mut r).unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all VCs should be selectable");
+    }
+
+    #[test]
+    fn single_candidate_always_chosen() {
+        let c = [(5, 0)];
+        for s in VcSelection::all() {
+            assert_eq!(s.pick(&c, &mut rng()), Some(5));
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests of the core position framework and policies.
+
+use flexvc_core::classify::{classify, NetworkFamily, Support};
+use flexvc_core::policy::{flexvc_options, flexvc_options_lookahead};
+use flexvc_core::{Arrangement, HopKind, LinkClass, MessageClass, RoutingMode};
+use proptest::prelude::*;
+
+fn arb_class() -> impl Strategy<Value = LinkClass> {
+    prop_oneof![Just(LinkClass::Local), Just(LinkClass::Global)]
+}
+
+/// Arbitrary arrangement with at least one Local (so minimal hops exist) and
+/// 2..=12 positions, optionally split into request/reply parts.
+fn arb_arrangement() -> impl Strategy<Value = Arrangement> {
+    (
+        proptest::collection::vec(arb_class(), 1..=11),
+        any::<bool>(),
+        0usize..11,
+    )
+        .prop_map(|(mut seq, split, cut)| {
+            seq.insert(0, LinkClass::Local);
+            if split && seq.len() >= 2 {
+                let cut = 1 + cut % (seq.len() - 1);
+                Arrangement::with_request_len(seq, cut)
+            } else {
+                Arrangement::new(seq)
+            }
+        })
+}
+
+/// Arbitrary hop sequence (1..=6 hops).
+fn arb_hops() -> impl Strategy<Value = Vec<LinkClass>> {
+    proptest::collection::vec(arb_class(), 1..=6)
+}
+
+proptest! {
+    /// position() and vc_index_at() are inverse bijections per class.
+    #[test]
+    fn position_index_roundtrip(arr in arb_arrangement()) {
+        for pos in 0..arr.len() {
+            let c = arr.class_at(pos);
+            let idx = arr.vc_index_at(pos);
+            prop_assert_eq!(arr.position(c, idx), Some(pos));
+        }
+        for c in [LinkClass::Local, LinkClass::Global] {
+            for idx in 0..arr.vc_count(c) {
+                let pos = arr.position(c, idx).unwrap();
+                prop_assert_eq!(arr.vc_index_at(pos), idx);
+                prop_assert_eq!(arr.class_at(pos), c);
+            }
+        }
+    }
+
+    /// Embedding is monotone in the starting position: anything that embeds
+    /// after position q also embeds after any q' < q (and from the start).
+    #[test]
+    fn embeds_monotone(arr in arb_arrangement(), hops in arb_hops(), q in 0usize..12) {
+        let region = (0, arr.len());
+        let q = q % arr.len();
+        if arr.embeds(&hops, Some(q), region) {
+            for q2 in (0..q).rev() {
+                prop_assert!(arr.embeds(&hops, Some(q2), region));
+            }
+            prop_assert!(arr.embeds(&hops, None, region));
+        }
+    }
+
+    /// max_landing returns the maximum: the returned landing satisfies the
+    /// embedding and every higher same-class landing fails it.
+    #[test]
+    fn max_landing_is_maximal(arr in arb_arrangement(), hops in arb_hops()) {
+        let region = (0, arr.len());
+        let hop = hops[0];
+        let rest = &hops[1..];
+        if let Some(q) = arr.max_landing(hop, rest, None, arr.len(), region) {
+            prop_assert_eq!(arr.class_at(q), hop);
+            prop_assert!(arr.embeds(rest, Some(q), region));
+            for idx in 0..arr.vc_count(hop) {
+                let pos = arr.position(hop, idx).unwrap();
+                if pos > q {
+                    prop_assert!(!arr.embeds(rest, Some(pos), region));
+                }
+            }
+        }
+    }
+
+    /// Every VC offered by flexvc_options preserves the deadlock invariant:
+    /// safe hops keep the planned remainder embeddable above the landing,
+    /// opportunistic hops keep the escape embeddable and respect the floor.
+    #[test]
+    fn options_preserve_escape_invariant(
+        arr in arb_arrangement(),
+        planned in arb_hops(),
+        esc in arb_hops(),
+        cur in proptest::option::of(0usize..12),
+        msg in prop_oneof![Just(MessageClass::Request), Just(MessageClass::Reply)],
+    ) {
+        let msg = if arr.has_reply_part() { msg } else { MessageClass::Request };
+        let cur = cur.map(|c| c % arr.len());
+        let escape: Vec<LinkClass> = esc;
+        if let Some(opts) = flexvc_options(&arr, msg, cur, &planned, &escape) {
+            let region = arr.safe_region(msg);
+            let hop = planned[0];
+            prop_assert!(opts.lo <= opts.hi);
+            prop_assert!(opts.hi < arr.vc_count(hop));
+            for idx in opts.iter() {
+                let q = arr.position(hop, idx).unwrap();
+                let (_, land_hi) = arr.landing_region(msg);
+                prop_assert!(q < land_hi, "landing inside the landing region");
+                match opts.kind {
+                    HopKind::Safe => {
+                        prop_assert!(arr.embeds(&planned[1..], Some(q), region));
+                    }
+                    HopKind::Opportunistic => {
+                        prop_assert!(arr.embeds(&escape, Some(q), region));
+                        if let Some(p) = cur {
+                            prop_assert!(q >= p, "floor c_j1 >= c_j0");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The lookahead never *widens* the plain options and never changes safe
+    /// hops.
+    #[test]
+    fn lookahead_is_a_restriction(
+        arr in arb_arrangement(),
+        planned in arb_hops(),
+        cur in proptest::option::of(0usize..12),
+    ) {
+        let cur = cur.map(|c| c % arr.len());
+        // Use the planned tail as every hop's escape (a minimal-plan shape).
+        let escapes: Vec<&[LinkClass]> =
+            (0..planned.len()).map(|i| &planned[i + 1..]).collect();
+        let plain = flexvc_options(&arr, MessageClass::Request, cur, &planned, escapes[0]);
+        let checked =
+            flexvc_options_lookahead(&arr, MessageClass::Request, cur, &planned, &escapes);
+        match (plain, checked) {
+            (None, None) => {}
+            (Some(p), Some(c)) => {
+                prop_assert_eq!(p.kind, c.kind);
+                prop_assert_eq!(p.lo, c.lo);
+                prop_assert!(c.hi <= p.hi);
+                if p.kind == HopKind::Safe {
+                    prop_assert_eq!(p.hi, c.hi);
+                }
+            }
+            (Some(_), None) => {} // lookahead may reject entirely
+            (None, Some(_)) => prop_assert!(false, "lookahead cannot widen"),
+        }
+    }
+
+    /// Support is monotone in VC count for generic networks: adding a VC
+    /// never reduces what the network can route (Table I reads top-down).
+    #[test]
+    fn support_monotone_in_vcs(n in 2usize..8) {
+        for mode in [RoutingMode::Min, RoutingMode::Valiant, RoutingMode::Par] {
+            let small = classify(
+                NetworkFamily::Diameter2,
+                mode,
+                &Arrangement::generic(n),
+                MessageClass::Request,
+            );
+            let large = classify(
+                NetworkFamily::Diameter2,
+                mode,
+                &Arrangement::generic(n + 1),
+                MessageClass::Request,
+            );
+            prop_assert!(large >= small, "{mode}: {small:?} -> {large:?}");
+        }
+    }
+
+    /// MIN is safe on every arrangement whose request prefix embeds l-g-l —
+    /// and FlexVC's first-hop options always exist for it.
+    #[test]
+    fn min_routing_always_has_options(l in 2usize..6, g in 1usize..4) {
+        let arr = Arrangement::dragonfly(l, g);
+        prop_assert_eq!(
+            classify(NetworkFamily::Dragonfly, RoutingMode::Min, &arr, MessageClass::Request),
+            Support::Safe
+        );
+        let min = [LinkClass::Local, LinkClass::Global, LinkClass::Local];
+        let mut cur = None;
+        for i in 0..3 {
+            let opts = flexvc_options(&arr, MessageClass::Request, cur, &min[i..], &min[i + 1..])
+                .expect("safe minimal hop");
+            prop_assert_eq!(opts.kind, HopKind::Safe);
+            cur = Some(arr.position(min[i], opts.hi).unwrap());
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Round-robin arbiters for the iterative input-first separable allocator
+//! (Table V: "iterative input-first separable allocator").
+
+/// A round-robin arbiter over `n` requesters. The grant pointer advances
+/// past the last winner, giving each requester fair service under
+/// saturation.
+#[derive(Debug, Clone)]
+pub struct RrArbiter {
+    n: usize,
+    ptr: usize,
+}
+
+impl RrArbiter {
+    /// Arbiter over `n` requesters.
+    pub fn new(n: usize) -> Self {
+        RrArbiter { n, ptr: 0 }
+    }
+
+    /// Grant among requesters for which `requesting(i)` is true; returns the
+    /// winner and advances the pointer.
+    pub fn grant(&mut self, mut requesting: impl FnMut(usize) -> bool) -> Option<usize> {
+        if self.n == 0 {
+            return None;
+        }
+        for off in 0..self.n {
+            let i = (self.ptr + off) % self.n;
+            if requesting(i) {
+                self.ptr = (i + 1) % self.n;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Number of requesters.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the arbiter has no requesters.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_are_round_robin_fair() {
+        let mut arb = RrArbiter::new(3);
+        let all = |_i: usize| true;
+        let mut wins = [0usize; 3];
+        for _ in 0..9 {
+            wins[arb.grant(all).unwrap()] += 1;
+        }
+        assert_eq!(wins, [3, 3, 3]);
+    }
+
+    #[test]
+    fn skips_non_requesting() {
+        let mut arb = RrArbiter::new(4);
+        assert_eq!(arb.grant(|i| i == 2), Some(2));
+        assert_eq!(arb.grant(|i| i == 2), Some(2));
+        assert_eq!(arb.grant(|_| false), None);
+    }
+
+    #[test]
+    fn pointer_starts_after_last_winner() {
+        let mut arb = RrArbiter::new(3);
+        assert_eq!(arb.grant(|_| true), Some(0));
+        assert_eq!(arb.grant(|_| true), Some(1));
+        assert_eq!(arb.grant(|i| i == 0 || i == 1), Some(0));
+    }
+
+    #[test]
+    fn empty_arbiter() {
+        let mut arb = RrArbiter::new(0);
+        assert!(arb.is_empty());
+        assert_eq!(arb.grant(|_| true), None);
+    }
+}

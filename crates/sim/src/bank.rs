@@ -1,0 +1,312 @@
+//! Input buffer banks and their upstream credit mirrors.
+//!
+//! The same [`Occupancy`] accounting is used for the physical bank at the
+//! downstream router and for the credit counters at the upstream router, so
+//! the two views can never disagree about whether a packet fits — the
+//! essential property of credit-based flow control.
+//!
+//! Two organizations are modelled (paper §II, Fig. 2):
+//!
+//! * **Statically partitioned** — every VC owns a private FIFO of fixed
+//!   capacity.
+//! * **DAMQ** — the port's memory is a shared pool with a per-VC private
+//!   reservation. A VC may always use its reservation; beyond it, phits
+//!   consume the shared pool. With 0% private reservation a single VC can
+//!   absorb the whole port and deadlock the network (Fig. 10); the paper's
+//!   reference DAMQ reserves 75% privately.
+
+use crate::packet::Packet;
+use flexvc_core::{CreditClass, SplitOccupancy};
+use std::collections::VecDeque;
+
+/// Pure occupancy accounting for one port's VCs (static or DAMQ).
+#[derive(Debug, Clone)]
+pub struct Occupancy {
+    /// Phits resident per VC.
+    occ: Vec<u32>,
+    /// Private reservation per VC (equals per-VC capacity for static banks).
+    resv: Vec<u32>,
+    /// Shared pool capacity (0 for static banks).
+    shared_cap: u32,
+    /// Per-routing-type split per VC (minCred).
+    split: Vec<SplitOccupancy>,
+}
+
+impl Occupancy {
+    /// Statically partitioned: `vcs` private FIFOs of `per_vc` phits.
+    pub fn new_static(vcs: usize, per_vc: u32) -> Self {
+        Occupancy {
+            occ: vec![0; vcs],
+            resv: vec![per_vc; vcs],
+            shared_cap: 0,
+            split: vec![SplitOccupancy::new(); vcs],
+        }
+    }
+
+    /// DAMQ: total port memory `total`, of which `private_per_vc` phits are
+    /// reserved for each of the `vcs` VCs and the remainder is shared.
+    pub fn new_damq(vcs: usize, total: u32, private_per_vc: u32) -> Self {
+        let reserved = private_per_vc * vcs as u32;
+        assert!(
+            reserved <= total,
+            "private reservation {reserved} exceeds port memory {total}"
+        );
+        Occupancy {
+            occ: vec![0; vcs],
+            resv: vec![private_per_vc; vcs],
+            shared_cap: total - reserved,
+            split: vec![SplitOccupancy::new(); vcs],
+        }
+    }
+
+    /// Number of VCs.
+    pub fn vcs(&self) -> usize {
+        self.occ.len()
+    }
+
+    /// Shared-pool phits currently in use.
+    fn shared_used(&self) -> u32 {
+        self.occ
+            .iter()
+            .zip(&self.resv)
+            .map(|(&o, &r)| o.saturating_sub(r))
+            .sum()
+    }
+
+    /// Can `size` phits enter VC `vc` right now?
+    pub fn can_accept(&self, vc: usize, size: u32) -> bool {
+        let new_occ = self.occ[vc] + size;
+        let new_over = new_occ.saturating_sub(self.resv[vc]);
+        let others: u32 = self
+            .occ
+            .iter()
+            .zip(&self.resv)
+            .enumerate()
+            .filter(|(i, _)| *i != vc)
+            .map(|(_, (&o, &r))| o.saturating_sub(r))
+            .sum();
+        others + new_over <= self.shared_cap
+    }
+
+    /// Free space available to VC `vc` (private headroom plus remaining
+    /// shared pool) — the JSQ metric.
+    pub fn free_for(&self, vc: usize) -> u32 {
+        let private_head = self.resv[vc].saturating_sub(self.occ[vc]);
+        let shared_free = self.shared_cap - self.shared_used();
+        private_head + shared_free
+    }
+
+    /// Record `size` phits entering VC `vc`.
+    pub fn add(&mut self, vc: usize, size: u32, class: CreditClass) {
+        debug_assert!(self.can_accept(vc, size), "overflow on VC {vc}");
+        self.occ[vc] += size;
+        self.split[vc].add(class, size);
+    }
+
+    /// Record `size` phits leaving VC `vc`.
+    pub fn remove(&mut self, vc: usize, size: u32, class: CreditClass) {
+        debug_assert!(self.occ[vc] >= size, "underflow on VC {vc}");
+        self.occ[vc] -= size;
+        self.split[vc].remove(class, size);
+    }
+
+    /// Phits resident in VC `vc`.
+    pub fn occupancy(&self, vc: usize) -> u32 {
+        self.occ[vc]
+    }
+
+    /// Total phits resident in the port.
+    pub fn total(&self) -> u32 {
+        self.occ.iter().sum()
+    }
+
+    /// Min/non-min split of VC `vc` (minCred sensing).
+    pub fn split(&self, vc: usize) -> &SplitOccupancy {
+        &self.split[vc]
+    }
+
+    /// Aggregated min/non-min split over the whole port.
+    pub fn split_total(&self) -> SplitOccupancy {
+        let mut s = SplitOccupancy::new();
+        for v in &self.split {
+            s.merge(v);
+        }
+        s
+    }
+}
+
+/// A physical input bank: occupancy accounting plus per-VC packet queues.
+#[derive(Debug)]
+pub struct BufferBank {
+    /// Occupancy view (identical accounting to the upstream mirror).
+    pub occ: Occupancy,
+    /// Per-VC FIFO of resident packets.
+    pub queues: Vec<VecDeque<Packet>>,
+}
+
+impl BufferBank {
+    /// Build a bank around an occupancy model.
+    pub fn new(occ: Occupancy) -> Self {
+        let queues = (0..occ.vcs()).map(|_| VecDeque::new()).collect();
+        BufferBank { occ, queues }
+    }
+
+    /// Enqueue an arriving packet into VC `vc` (space was guaranteed by the
+    /// upstream credit check). Stamps the packet's `buffered_class` so the
+    /// eventual release matches this add even if the packet's routing type
+    /// changes while buffered.
+    pub fn push(&mut self, vc: usize, mut pkt: Packet) {
+        pkt.buffered_class = pkt.credit_class();
+        let class = pkt.buffered_class;
+        self.occ.add(vc, pkt.size, class);
+        self.queues[vc].push_back(pkt);
+    }
+
+    /// Head packet of VC `vc`.
+    pub fn head(&self, vc: usize) -> Option<&Packet> {
+        self.queues[vc].front()
+    }
+
+    /// Mutable head packet of VC `vc`.
+    pub fn head_mut(&mut self, vc: usize) -> Option<&mut Packet> {
+        self.queues[vc].front_mut()
+    }
+
+    /// Dequeue the head of VC `vc`. Occupancy is *not* released here — the
+    /// phits drain over the transfer duration; the caller schedules the
+    /// release at transfer completion.
+    pub fn pop(&mut self, vc: usize) -> Packet {
+        self.queues[vc].pop_front().expect("pop on empty VC")
+    }
+
+    /// Release `size` phits of VC `vc` after the transfer completes.
+    pub fn release(&mut self, vc: usize, size: u32, class: CreditClass) {
+        self.occ.remove(vc, size, class);
+    }
+
+    /// Number of VCs.
+    pub fn vcs(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Total queued packets across VCs (diagnostics).
+    pub fn queued_packets(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use CreditClass::*;
+
+    #[test]
+    fn static_bank_private_capacity() {
+        let mut o = Occupancy::new_static(2, 32);
+        assert!(o.can_accept(0, 32));
+        assert!(!o.can_accept(0, 33));
+        o.add(0, 32, MinRouted);
+        assert!(!o.can_accept(0, 8));
+        assert!(o.can_accept(1, 32), "VC1 unaffected by VC0 fill");
+        assert_eq!(o.free_for(0), 0);
+        assert_eq!(o.free_for(1), 32);
+        o.remove(0, 8, MinRouted);
+        assert!(o.can_accept(0, 8));
+        assert_eq!(o.total(), 24);
+    }
+
+    #[test]
+    fn damq_shares_pool() {
+        // 2 VCs, 64 total, 16 private each => 32 shared.
+        let mut o = Occupancy::new_damq(2, 64, 16);
+        // VC0 can take its 16 private + all 32 shared.
+        assert!(o.can_accept(0, 48));
+        assert!(!o.can_accept(0, 49));
+        o.add(0, 48, MinRouted);
+        // VC1 still has its private 16, but no shared.
+        assert!(o.can_accept(1, 16));
+        assert!(!o.can_accept(1, 17));
+        assert_eq!(o.free_for(1), 16);
+    }
+
+    #[test]
+    fn damq_zero_private_lets_one_vc_hog_everything() {
+        let mut o = Occupancy::new_damq(2, 64, 0);
+        o.add(0, 64, NonMinRouted);
+        // The pathological state behind Fig. 10's deadlock:
+        assert!(!o.can_accept(1, 8));
+        assert_eq!(o.free_for(1), 0);
+    }
+
+    #[test]
+    fn damq_full_private_equals_static() {
+        let damq = Occupancy::new_damq(2, 64, 32);
+        let stat = Occupancy::new_static(2, 32);
+        for vc in 0..2 {
+            for size in [1, 8, 32, 33] {
+                assert_eq!(damq.can_accept(vc, size), stat.can_accept(vc, size));
+            }
+            assert_eq!(damq.free_for(vc), stat.free_for(vc));
+        }
+    }
+
+    #[test]
+    fn mincred_split_tracks_classes() {
+        let mut o = Occupancy::new_static(1, 64);
+        o.add(0, 8, MinRouted);
+        o.add(0, 16, NonMinRouted);
+        assert_eq!(o.split(0).min_occupancy(), 8);
+        assert_eq!(o.split(0).nonmin_occupancy(), 16);
+        assert_eq!(o.split_total().total(), 24);
+        o.remove(0, 8, NonMinRouted);
+        assert_eq!(o.split(0).nonmin_occupancy(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds port memory")]
+    fn damq_overreservation_rejected() {
+        let _ = Occupancy::new_damq(4, 64, 32);
+    }
+
+    fn mk_packet(id: u64, size: u32) -> Packet {
+        use crate::packet::PlannedPath;
+        Packet {
+            id,
+            src: 0,
+            dst: 1,
+            dst_router: 0,
+            class: flexvc_core::MessageClass::Request,
+            size,
+            gen_cycle: 0,
+            head_arrival: 0,
+            tail_arrival: size as u64 - 1,
+            position: None,
+            plan: PlannedPath::empty(),
+            min_routed: true,
+            derouted: false,
+            buffered_class: CreditClass::MinRouted,
+            planned: true,
+            par_evaluated: false,
+            opp_blocked: 0,
+            hops: 0,
+            reverts: 0,
+        }
+    }
+
+    #[test]
+    fn bank_push_pop_release() {
+        let mut bank = BufferBank::new(Occupancy::new_static(2, 32));
+        bank.push(0, mk_packet(1, 8));
+        bank.push(0, mk_packet(2, 8));
+        assert_eq!(bank.head(0).unwrap().id, 1);
+        assert_eq!(bank.occ.occupancy(0), 16);
+        let p = bank.pop(0);
+        assert_eq!(p.id, 1);
+        // Occupancy stays until the transfer completes.
+        assert_eq!(bank.occ.occupancy(0), 16);
+        bank.release(0, 8, MinRouted);
+        assert_eq!(bank.occ.occupancy(0), 8);
+        assert_eq!(bank.head(0).unwrap().id, 2);
+        assert_eq!(bank.queued_packets(), 1);
+    }
+}

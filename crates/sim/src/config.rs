@@ -1,0 +1,504 @@
+//! Simulation configuration (Table V of the paper plus policy knobs).
+
+use flexvc_core::classify::{classify, NetworkFamily, Support};
+use flexvc_core::policy::supports_baseline;
+use flexvc_core::{Arrangement, MessageClass, RoutingMode, VcPolicy, VcSelection};
+use flexvc_topology::{Dragonfly, FlatButterfly2D, GlobalArrangement, Topology};
+use flexvc_traffic::{Pattern, Workload};
+use std::sync::Arc;
+
+/// Topology selector.
+#[derive(Debug, Clone)]
+pub enum TopologySpec {
+    /// Balanced Dragonfly with global-link count `h` per router
+    /// (`p = h`, `a = 2h`, `g = 2h² + 1`). Table V is `h = 8`.
+    DragonflyBalanced {
+        /// Global links per router.
+        h: usize,
+        /// Global wiring.
+        arrangement: GlobalArrangement,
+    },
+    /// Explicit Dragonfly parameters.
+    Dragonfly {
+        /// Terminals per router.
+        p: usize,
+        /// Routers per group.
+        a: usize,
+        /// Global links per router.
+        h: usize,
+        /// Groups.
+        g: usize,
+        /// Global wiring.
+        arrangement: GlobalArrangement,
+    },
+    /// `k × k` flattened butterfly with `p` terminals per router, treated
+    /// as a generic diameter-2 network.
+    FlatButterfly {
+        /// Routers per row/column.
+        k: usize,
+        /// Terminals per router.
+        p: usize,
+    },
+}
+
+impl TopologySpec {
+    /// Instantiate the topology.
+    pub fn build(&self) -> Arc<dyn Topology> {
+        match *self {
+            TopologySpec::DragonflyBalanced { h, arrangement } => {
+                Arc::new(Dragonfly::balanced_with(h, arrangement))
+            }
+            TopologySpec::Dragonfly {
+                p,
+                a,
+                h,
+                g,
+                arrangement,
+            } => Arc::new(Dragonfly::new(p, a, h, g, arrangement)),
+            TopologySpec::FlatButterfly { k, p } => Arc::new(FlatButterfly2D::new(k, p)),
+        }
+    }
+
+    /// Classification family of the topology.
+    pub fn family(&self) -> NetworkFamily {
+        match self {
+            TopologySpec::FlatButterfly { .. } => NetworkFamily::Diameter2,
+            _ => NetworkFamily::Dragonfly,
+        }
+    }
+}
+
+/// How per-VC buffer capacities are derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferSizing {
+    /// Fixed capacity per VC (Table V: 32 local, 256 global). Total port
+    /// memory grows with the VC count (Fig. 5 methodology).
+    PerVc {
+        /// Local input buffer per VC, phits.
+        local: u32,
+        /// Global input buffer per VC, phits.
+        global: u32,
+    },
+    /// Fixed total memory per port, split evenly across its VCs (Fig. 6 /
+    /// Fig. 11 methodology, constant cost comparison).
+    PerPort {
+        /// Total phits per local input port.
+        local: u32,
+        /// Total phits per global input port.
+        global: u32,
+    },
+}
+
+/// Buffer organization of the network input ports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BufferOrg {
+    /// Statically partitioned FIFOs (one private buffer per VC).
+    Static,
+    /// Dynamically-Allocated Multi-Queue: a shared pool per port with a
+    /// private reservation per VC. The paper's reference configuration
+    /// reserves 75% of the port memory privately (§VI-C).
+    Damq {
+        /// Fraction of the port memory reserved privately per VC,
+        /// distributed evenly (0.0 = fully shared, 1.0 = static).
+        private_fraction: f64,
+    },
+}
+
+/// Buffer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferConfig {
+    /// Input bank sizing.
+    pub sizing: BufferSizing,
+    /// Input bank organization.
+    pub organization: BufferOrg,
+    /// Injection buffer per injection VC, phits (Table V: 256).
+    pub injection: u32,
+    /// Output buffer per port, phits (Table V: 32).
+    pub output: u32,
+}
+
+impl Default for BufferConfig {
+    fn default() -> Self {
+        BufferConfig {
+            sizing: BufferSizing::PerVc {
+                local: 32,
+                global: 256,
+            },
+            organization: BufferOrg::Static,
+            injection: 256,
+            output: 32,
+        }
+    }
+}
+
+/// Congestion-sensing granularity for Piggyback routing (§III-D, §V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensingMode {
+    /// Sum of the credits of all VCs of each global port.
+    PerPort,
+    /// First VC of each global port only (first VC of each subpath with
+    /// request/reply traffic).
+    PerVc,
+}
+
+/// Piggyback sensing configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensingConfig {
+    /// Occupancy aggregation granularity.
+    pub mode: SensingMode,
+    /// FlexVC-minCred: measure only minimally-routed occupancy.
+    pub min_cred: bool,
+    /// UGAL/PB threshold `T` in packets (Table V: 3).
+    pub threshold: u32,
+}
+
+impl Default for SensingConfig {
+    fn default() -> Self {
+        SensingConfig {
+            mode: SensingMode::PerPort,
+            min_cred: false,
+            threshold: 3,
+        }
+    }
+}
+
+/// Full simulation configuration. Defaults follow Table V at a reduced
+/// network scale (see `DESIGN.md` §3 on the scale substitution).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Network topology.
+    pub topology: TopologySpec,
+    /// Routing mechanism.
+    pub routing: RoutingMode,
+    /// VC management policy.
+    pub policy: VcPolicy,
+    /// VC arrangement (master reference sequence).
+    pub arrangement: Arrangement,
+    /// FlexVC VC selection function (Table V: JSQ).
+    pub selection: VcSelection,
+    /// Traffic workload.
+    pub workload: Workload,
+    /// Packet size in phits (Table V: 8).
+    pub packet_size: u32,
+    /// Local link latency in cycles (Table V: 10).
+    pub local_latency: u32,
+    /// Global link latency in cycles (Table V: 100).
+    pub global_latency: u32,
+    /// Router pipeline latency in cycles (Table V: 5).
+    pub pipeline_latency: u32,
+    /// Internal crossbar frequency speedup (Table V: 2; Fig. 11 uses 1).
+    pub speedup: u32,
+    /// Buffers.
+    pub buffers: BufferConfig,
+    /// Injection VCs per injection port (Table V: 3).
+    pub injection_vcs: usize,
+    /// Piggyback sensing.
+    pub sensing: SensingConfig,
+    /// Warm-up cycles before measurement.
+    pub warmup: u64,
+    /// Measurement window in cycles (paper: 60,000).
+    pub measure: u64,
+    /// Forward-progress watchdog: abort and flag deadlock after this many
+    /// cycles without any packet movement while packets are in flight.
+    pub watchdog: u64,
+    /// How many allocation evaluations a head may stay blocked on an
+    /// opportunistic hop before reverting to its escape path. `0` reverts on
+    /// the first missing credit (the paper's strictest reading); a small
+    /// patience lets transient buffer fill-ups pass, which matters when
+    /// reverted packets would pile onto an already-congested minimal
+    /// channel. Waiting is deadlock-safe: the escape path stays available
+    /// (Duato's criterion).
+    pub revert_patience: u32,
+    /// Reactive traffic: staged replies a node may hold before its
+    /// *request* consumption stalls (the NIC's reply-generation queue).
+    /// This is the protocol coupling behind the paper's request–reply
+    /// congestion: when replies cannot drain into the network, requests
+    /// back up behind the stalled consumption ports. Reply consumption
+    /// never stalls, so the dependency chain stays acyclic.
+    pub reply_queue_packets: usize,
+}
+
+impl SimConfig {
+    /// Baseline configuration on a balanced Dragonfly of size `h` for a
+    /// routing mode, with the minimum VC arrangement of Table V
+    /// (2/1 for MIN, 4/2 for VAL/PB, 5/2 for PAR; doubled when reactive).
+    pub fn dragonfly_baseline(h: usize, routing: RoutingMode, workload: Workload) -> Self {
+        let (l, g) = routing.min_dragonfly_vcs();
+        let arrangement = if workload.reactive {
+            Arrangement::dragonfly_rr((l, g), (l, g))
+        } else {
+            Arrangement::dragonfly(l, g)
+        };
+        SimConfig {
+            topology: TopologySpec::DragonflyBalanced {
+                h,
+                arrangement: GlobalArrangement::default(),
+            },
+            routing,
+            policy: VcPolicy::Baseline,
+            arrangement,
+            selection: VcSelection::Jsq,
+            workload,
+            packet_size: 8,
+            local_latency: 10,
+            global_latency: 100,
+            pipeline_latency: 5,
+            speedup: 2,
+            buffers: BufferConfig::default(),
+            injection_vcs: 3,
+            sensing: SensingConfig::default(),
+            warmup: 10_000,
+            measure: 20_000,
+            watchdog: 20_000,
+            revert_patience: 16,
+            reply_queue_packets: 4,
+        }
+    }
+
+    /// Switch to FlexVC with the given arrangement.
+    pub fn with_flexvc(mut self, arrangement: Arrangement) -> Self {
+        self.policy = VcPolicy::FlexVc;
+        self.arrangement = arrangement;
+        self
+    }
+
+    /// Switch the buffer organization to DAMQ with the paper's reference
+    /// 75% private reservation.
+    pub fn with_damq75(mut self) -> Self {
+        self.buffers.organization = BufferOrg::Damq {
+            private_fraction: 0.75,
+        };
+        self
+    }
+
+    /// VC count for a port of the given class.
+    pub fn vcs_for_class(&self, class: flexvc_core::LinkClass) -> usize {
+        self.arrangement.vc_count(class)
+    }
+
+    /// Per-VC input buffer capacity for a port class.
+    pub fn vc_capacity(&self, class: flexvc_core::LinkClass) -> u32 {
+        use flexvc_core::LinkClass::*;
+        match self.buffers.sizing {
+            BufferSizing::PerVc { local, global } => match class {
+                Local => local,
+                Global => global,
+            },
+            BufferSizing::PerPort { local, global } => {
+                let total = match class {
+                    Local => local,
+                    Global => global,
+                };
+                let n = self.vcs_for_class(class).max(1) as u32;
+                (total / n).max(self.packet_size)
+            }
+        }
+    }
+
+    /// Total memory of an input port of the given class.
+    pub fn port_capacity(&self, class: flexvc_core::LinkClass) -> u32 {
+        use flexvc_core::LinkClass::*;
+        match self.buffers.sizing {
+            BufferSizing::PerVc { local, global } => {
+                let per = match class {
+                    Local => local,
+                    Global => global,
+                };
+                per * self.vcs_for_class(class) as u32
+            }
+            BufferSizing::PerPort { local, global } => match class {
+                Local => local,
+                Global => global,
+            },
+        }
+    }
+
+    /// Validate the configuration; returns a human-readable error when the
+    /// policy cannot operate deadlock-free on the arrangement.
+    pub fn validate(&self) -> Result<(), String> {
+        let family = self.topology.family();
+        if self.packet_size == 0 || self.speedup == 0 {
+            return Err("packet size and speedup must be positive".into());
+        }
+        let classes: &[MessageClass] = if self.workload.reactive {
+            &[MessageClass::Request, MessageClass::Reply]
+        } else {
+            &[MessageClass::Request]
+        };
+        if self.workload.reactive && !self.arrangement.has_reply_part() {
+            return Err("reactive workload requires a request+reply arrangement".into());
+        }
+        if !self.workload.reactive && self.arrangement.has_reply_part() {
+            return Err("non-reactive workload must not split the arrangement".into());
+        }
+        for &msg in classes {
+            match self.policy {
+                VcPolicy::Baseline => {
+                    let reference: Vec<_> = match family {
+                        NetworkFamily::Dragonfly => self.routing.dragonfly_reference().to_vec(),
+                        NetworkFamily::Diameter2 => self.routing.generic_reference(2),
+                    };
+                    if !supports_baseline(&self.arrangement, msg, &reference) {
+                        return Err(format!(
+                            "baseline policy requires the exact {} reference arrangement for {:?} \
+                             (got {})",
+                            self.routing,
+                            msg,
+                            self.arrangement
+                        ));
+                    }
+                }
+                VcPolicy::FlexVc => {
+                    // MIN must be safe (it is every packet's escape), and the
+                    // configured routing must be at least opportunistic.
+                    if classify(family, RoutingMode::Min, &self.arrangement, msg) != Support::Safe {
+                        return Err(format!(
+                            "minimal routing must be safe for {msg:?} on {}",
+                            self.arrangement
+                        ));
+                    }
+                    if classify(family, self.routing, &self.arrangement, msg)
+                        == Support::Unsupported
+                    {
+                        return Err(format!(
+                            "{} is unsupported for {:?} on {}",
+                            self.routing, msg, self.arrangement
+                        ));
+                    }
+                }
+            }
+        }
+        // Buffers must hold at least one packet per VC.
+        for class in [flexvc_core::LinkClass::Local, flexvc_core::LinkClass::Global] {
+            if self.vcs_for_class(class) > 0 && self.vc_capacity(class) < self.packet_size {
+                return Err(format!("{class:?} VC capacity below one packet"));
+            }
+        }
+        if self.buffers.output < self.packet_size || self.buffers.injection < self.packet_size {
+            return Err("output/injection buffers below one packet".into());
+        }
+        Ok(())
+    }
+
+    /// Convenience: the paper's quick test scale (h = 2 Dragonfly, short
+    /// windows) for unit/integration tests.
+    pub fn test_scale(mut self) -> Self {
+        self.topology = TopologySpec::DragonflyBalanced {
+            h: 2,
+            arrangement: GlobalArrangement::default(),
+        };
+        self.warmup = 3_000;
+        self.measure = 6_000;
+        self.watchdog = 10_000;
+        self
+    }
+}
+
+/// Convenience constructor for oblivious workloads matching the paper's
+/// Fig. 5 setups: MIN for UN/BURSTY-UN, VAL for ADV.
+pub fn paper_routing_for(pattern: Pattern) -> RoutingMode {
+    match pattern {
+        Pattern::Adversarial { .. } => RoutingMode::Valiant,
+        _ => RoutingMode::Min,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexvc_core::LinkClass::*;
+
+    #[test]
+    fn baseline_min_config_validates() {
+        let cfg = SimConfig::dragonfly_baseline(
+            2,
+            RoutingMode::Min,
+            Workload::oblivious(Pattern::Uniform),
+        );
+        cfg.validate().unwrap();
+        assert_eq!(cfg.vcs_for_class(Local), 2);
+        assert_eq!(cfg.vcs_for_class(Global), 1);
+        assert_eq!(cfg.vc_capacity(Local), 32);
+        assert_eq!(cfg.vc_capacity(Global), 256);
+        assert_eq!(cfg.port_capacity(Local), 64);
+    }
+
+    #[test]
+    fn baseline_rejects_flexvc_only_arrangement() {
+        let cfg = SimConfig::dragonfly_baseline(
+            2,
+            RoutingMode::Valiant,
+            Workload::oblivious(Pattern::adv1()),
+        )
+        .with_flexvc(Arrangement::dragonfly(3, 2));
+        // FlexVC 3/2 validates (opportunistic VAL)…
+        cfg.validate().unwrap();
+        // …but baseline on 3/2 must not.
+        let mut bad = cfg;
+        bad.policy = VcPolicy::Baseline;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn flexvc_rejects_unsupported() {
+        let mut cfg = SimConfig::dragonfly_baseline(
+            2,
+            RoutingMode::Valiant,
+            Workload::oblivious(Pattern::adv1()),
+        );
+        cfg = cfg.with_flexvc(Arrangement::dragonfly_min()); // VAL on 2/1: X
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn reactive_requires_split_arrangement() {
+        let mut cfg = SimConfig::dragonfly_baseline(
+            2,
+            RoutingMode::Min,
+            Workload::reactive(Pattern::Uniform),
+        );
+        cfg.validate().unwrap(); // constructor doubles the arrangement
+        cfg.arrangement = Arrangement::dragonfly_min();
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn per_port_sizing_splits_memory() {
+        let mut cfg = SimConfig::dragonfly_baseline(
+            2,
+            RoutingMode::Min,
+            Workload::oblivious(Pattern::Uniform),
+        )
+        .with_flexvc(Arrangement::dragonfly(4, 2));
+        cfg.buffers.sizing = BufferSizing::PerPort {
+            local: 128,
+            global: 512,
+        };
+        assert_eq!(cfg.vc_capacity(Local), 32); // 128 / 4
+        assert_eq!(cfg.vc_capacity(Global), 256); // 512 / 2
+        assert_eq!(cfg.port_capacity(Local), 128);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn paper_routing_selection() {
+        assert_eq!(paper_routing_for(Pattern::Uniform), RoutingMode::Min);
+        assert_eq!(paper_routing_for(Pattern::bursty()), RoutingMode::Min);
+        assert_eq!(paper_routing_for(Pattern::adv1()), RoutingMode::Valiant);
+    }
+
+    #[test]
+    fn damq_helper() {
+        let cfg = SimConfig::dragonfly_baseline(
+            2,
+            RoutingMode::Min,
+            Workload::oblivious(Pattern::Uniform),
+        )
+        .with_damq75();
+        match cfg.buffers.organization {
+            BufferOrg::Damq { private_fraction } => assert_eq!(private_fraction, 0.75),
+            _ => panic!("expected DAMQ"),
+        }
+        cfg.validate().unwrap();
+    }
+}

@@ -1,0 +1,1156 @@
+//! The cycle-accurate network engine.
+//!
+//! One [`Network`] owns every router, link, and node generator of a
+//! simulation. Each cycle proceeds in phases:
+//!
+//! 1. **Deliver** — packets whose head phit reaches a router enter its input
+//!    VC buffers; returning credits update the upstream mirrors.
+//! 2. **Release** — scheduled input/output buffer releases take effect.
+//! 3. **Generate** — node generators produce new packets into injection
+//!    queues (dropped when full); consumed requests spawn staged replies.
+//! 4. **Plan** — unplanned injection-queue heads receive their route
+//!    (adaptive decisions use fresh congestion state).
+//! 5. **Allocate** ×speedup — iterative input-first separable allocation:
+//!    per input port a round-robin arbiter picks one requesting VC, per
+//!    output port another arbiter picks one winning input; grants move
+//!    packets toward output buffers through a fixed-latency pipeline.
+//!    Ejection requests are granted against per-(node, class) consumption
+//!    channels.
+//! 6. **Serialize** — output-buffer heads start on free links at one phit
+//!    per cycle.
+//! 7. **Sense** — Piggyback saturation flags are recomputed and published.
+//! 8. **Watchdog** — genuine deadlock (no movement with packets stuck) is
+//!    detected and flagged rather than hanging the process.
+//!
+//! Virtual cut-through is modelled with packet-granularity occupancy and
+//! phit-accurate timing: a packet may be forwarded as soon as its head has
+//! arrived, a hop is only granted when the downstream VC can hold the whole
+//! packet, and transfers respect both crossbar bandwidth
+//! (`speedup` phits/cycle) and the arrival of the packet's own tail.
+
+#![allow(clippy::needless_range_loop)] // parallel arrays indexed by port/vc
+#![allow(clippy::type_complexity)]
+
+use crate::arbiter::RrArbiter;
+use crate::bank::{BufferBank, Occupancy};
+use crate::config::{BufferOrg, SensingMode, SimConfig};
+use crate::link::LinkState;
+use crate::metrics::{Metrics, SimResult};
+use crate::packet::{Packet, PlannedPath};
+use crate::plan::{min_plan, par_divert_plan, par_min_plan, valiant_plan};
+use crate::sensing::{choose_nonminimal, saturated_flags, GroupBoard};
+use flexvc_core::classify::NetworkFamily;
+use flexvc_core::policy::{baseline_vc, flexvc_options_lookahead};
+use flexvc_core::{
+    Arrangement, CreditClass, HopKind, LinkClass, MessageClass, RoutingMode, VcPolicy,
+};
+use flexvc_topology::Topology;
+use flexvc_traffic::generator::NodeSpace;
+use flexvc_traffic::NodeGenerator;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A packet queued at an output buffer awaiting link serialization.
+#[derive(Debug)]
+struct OutPkt {
+    pkt: Packet,
+    /// Head reaches the output buffer after the router pipeline.
+    ready_at: u64,
+    /// Landing VC at the downstream input port.
+    vc: u8,
+}
+
+/// Scheduled buffer releases.
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    /// Input VC occupancy release at transfer completion.
+    Input {
+        at: u64,
+        in_idx: u32,
+        vc: u8,
+        phits: u32,
+        class: CreditClass,
+    },
+    /// Output buffer release when the tail leaves on the link.
+    OutBuf { at: u64, port: u16, phits: u32 },
+}
+
+/// Per-router state.
+struct Router {
+    /// Network input banks (one per network port).
+    inputs: Vec<BufferBank>,
+    /// Injection banks (one per attached node).
+    inj: Vec<BufferBank>,
+    /// Input feed busy-until over the unified input space
+    /// (`0..P` network, `P..P+p` injection).
+    in_busy: Vec<u64>,
+    /// Per-input-port VC arbiters.
+    in_arb: Vec<RrArbiter>,
+    /// Per-output-port arbiters over the unified input space.
+    out_arb: Vec<RrArbiter>,
+    /// Credit mirrors of the downstream input banks per network output port.
+    out_credit: Vec<Occupancy>,
+    /// Output buffer occupancy per network output port.
+    out_occ: Vec<u32>,
+    /// Output queues awaiting serialization.
+    out_queue: Vec<VecDeque<OutPkt>>,
+    /// Crossbar feed busy-until per output port.
+    out_xbar: Vec<u64>,
+    /// Consumption channel busy-until per (local node × class).
+    eject_busy: Vec<u64>,
+    /// Scheduled releases.
+    pending: Vec<Pending>,
+    /// Router-local RNG (Valiant picks, random VC selection).
+    rng: SmallRng,
+}
+
+/// A forwarding decision for an input VC head.
+#[derive(Debug, Clone, Copy)]
+enum Decision {
+    Forward { port: u16, vc: u8, pos: u16 },
+    Eject { channel: u16 },
+}
+
+/// The simulation network.
+pub struct Network {
+    cfg: SimConfig,
+    topo: Arc<dyn Topology>,
+    family: NetworkFamily,
+    arr: Arrangement,
+    /// Network ports per router.
+    pp: usize,
+    /// Nodes per router.
+    pn: usize,
+    /// Flat adjacency: `r*pp + port -> (router, port)`.
+    adj: Vec<Option<(u32, u16)>>,
+    /// Class per port index (uniform across routers for our topologies).
+    port_class: Vec<LinkClass>,
+    /// Port indices of global ports.
+    global_ports: Vec<usize>,
+    routers: Vec<Router>,
+    links: Vec<LinkState>,
+    gens: Vec<NodeGenerator>,
+    /// Per-node staged replies: `(destination, ready_at)`.
+    staging: Vec<VecDeque<(u32, u64)>>,
+    /// Per-node injection VC round-robin (non-reactive traffic).
+    inj_rr: Vec<u8>,
+    /// Per-group Piggyback boards (empty unless PB routing).
+    boards: Vec<GroupBoard>,
+    metrics: Metrics,
+    cycle: u64,
+    next_id: u64,
+    offered: f64,
+    in_flight: i64,
+    last_progress: u64,
+}
+
+impl Network {
+    /// Build a network for `cfg` at offered load `load` (phits/node/cycle)
+    /// with deterministic `seed`.
+    pub fn new(cfg: SimConfig, load: f64, seed: u64) -> Result<Self, String> {
+        cfg.validate()?;
+        let topo = cfg.topology.build();
+        let family = cfg.topology.family();
+        if cfg.routing == RoutingMode::Piggyback && family != NetworkFamily::Dragonfly {
+            return Err("Piggyback sensing requires a Dragonfly topology".into());
+        }
+        let pp = topo.num_ports();
+        let pn = topo.nodes_per_router();
+        let nr = topo.num_routers();
+        let arr = cfg.arrangement.clone();
+
+        let mut adj = vec![None; nr * pp];
+        let mut port_class = vec![LinkClass::Local; pp];
+        for port in 0..pp {
+            port_class[port] = topo.port_class(0, port);
+        }
+        for r in 0..nr {
+            for port in 0..pp {
+                debug_assert_eq!(topo.port_class(r, port), port_class[port]);
+                adj[r * pp + port] = topo
+                    .neighbor(r, port)
+                    .map(|(nr_, np)| (nr_ as u32, np as u16));
+            }
+        }
+        let global_ports: Vec<usize> = (0..pp)
+            .filter(|&p| port_class[p] == LinkClass::Global)
+            .collect();
+
+        let make_bank = |class: LinkClass, cfg: &SimConfig| -> Occupancy {
+            let vcs = cfg.vcs_for_class(class).max(1);
+            match cfg.buffers.organization {
+                BufferOrg::Static => Occupancy::new_static(vcs, cfg.vc_capacity(class)),
+                BufferOrg::Damq { private_fraction } => {
+                    let total = cfg.port_capacity(class);
+                    let private = ((total as f64 * private_fraction) / vcs as f64).floor() as u32;
+                    Occupancy::new_damq(vcs, total, private)
+                }
+            }
+        };
+
+        let routers: Vec<Router> = (0..nr)
+            .map(|r| {
+                let inputs: Vec<BufferBank> = (0..pp)
+                    .map(|p| BufferBank::new(make_bank(port_class[p], &cfg)))
+                    .collect();
+                let inj: Vec<BufferBank> = (0..pn)
+                    .map(|_| {
+                        BufferBank::new(Occupancy::new_static(
+                            cfg.injection_vcs,
+                            cfg.buffers.injection,
+                        ))
+                    })
+                    .collect();
+                let out_credit: Vec<Occupancy> =
+                    (0..pp).map(|p| make_bank(port_class[p], &cfg)).collect();
+                let n_in = pp + pn;
+                Router {
+                    inputs,
+                    inj,
+                    in_busy: vec![0; n_in],
+                    in_arb: (0..n_in)
+                        .map(|i| {
+                            let vcs = if i < pp {
+                                cfg.vcs_for_class(port_class[i]).max(1)
+                            } else {
+                                cfg.injection_vcs
+                            };
+                            RrArbiter::new(vcs)
+                        })
+                        .collect(),
+                    out_arb: (0..pp).map(|_| RrArbiter::new(n_in)).collect(),
+                    out_credit,
+                    out_occ: vec![0; pp],
+                    out_queue: (0..pp).map(|_| VecDeque::new()).collect(),
+                    out_xbar: vec![0; pp],
+                    eject_busy: vec![0; pn * 2],
+                    pending: Vec::new(),
+                    rng: SmallRng::seed_from_u64(
+                        seed ^ 0xD1B5_4A32_D192_ED03u64.wrapping_mul(r as u64 + 1),
+                    ),
+                }
+            })
+            .collect();
+
+        let links = (0..nr * pp).map(|_| LinkState::default()).collect();
+
+        // Reactive workloads split the offered load between requests and the
+        // replies they trigger.
+        let gen_load = if cfg.workload.reactive {
+            load / 2.0
+        } else {
+            load
+        };
+        let space = NodeSpace {
+            num_nodes: topo.num_nodes(),
+            nodes_per_group: topo.num_nodes() / topo.num_groups(),
+            num_groups: topo.num_groups(),
+        };
+        let gens: Vec<NodeGenerator> = (0..topo.num_nodes())
+            .map(|n| {
+                NodeGenerator::new(
+                    cfg.workload.pattern,
+                    n,
+                    space,
+                    gen_load,
+                    cfg.packet_size,
+                    seed,
+                )
+            })
+            .collect();
+
+        let boards = if cfg.routing == RoutingMode::Piggyback {
+            let rpg = topo.routers_per_group();
+            (0..topo.num_groups())
+                .map(|_| GroupBoard::new(rpg, global_ports.len(), cfg.local_latency as u64))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let n_nodes = topo.num_nodes();
+        Ok(Network {
+            cfg,
+            topo,
+            family,
+            arr,
+            pp,
+            pn,
+            adj,
+            port_class,
+            global_ports,
+            routers,
+            links,
+            gens,
+            staging: vec![VecDeque::new(); n_nodes],
+            inj_rr: vec![0; n_nodes],
+            boards,
+            metrics: Metrics::default(),
+            cycle: 0,
+            next_id: 0,
+            offered: load,
+            in_flight: 0,
+            last_progress: 0,
+        })
+    }
+
+    /// Offered load this network was built with.
+    pub fn offered(&self) -> f64 {
+        self.offered
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Packets currently in queues, buffers or links.
+    pub fn packets_in_flight(&self) -> i64 {
+        self.in_flight
+    }
+
+    /// Whether the watchdog flagged a deadlock.
+    pub fn deadlocked(&self) -> bool {
+        self.metrics.deadlocked
+    }
+
+    fn in_window(&self, cycle: u64) -> bool {
+        cycle >= self.cfg.warmup && cycle < self.cfg.warmup + self.cfg.measure
+    }
+
+    fn latency_of(&self, class: LinkClass) -> u32 {
+        match class {
+            LinkClass::Local => self.cfg.local_latency,
+            LinkClass::Global => self.cfg.global_latency,
+        }
+    }
+
+    /// Run to completion and aggregate the result.
+    pub fn run(&mut self) -> SimResult {
+        let end = self.cfg.warmup + self.cfg.measure;
+        while self.cycle < end && !self.metrics.deadlocked {
+            self.step();
+        }
+        self.metrics.cycles = self
+            .cycle
+            .saturating_sub(self.cfg.warmup)
+            .min(self.cfg.measure);
+        SimResult::from_metrics(&self.metrics, self.offered, self.topo.num_nodes())
+    }
+
+    /// Advance one cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+        self.deliver(now);
+        self.process_pending(now);
+        self.generate(now);
+        self.plan_heads(now);
+        for _ in 0..self.cfg.speedup {
+            self.allocate(now);
+        }
+        self.serialize_outputs(now);
+        if self.cfg.routing == RoutingMode::Piggyback {
+            self.update_sensing(now);
+        }
+        if now.is_multiple_of(128) && self.in_window(now) {
+            self.sample_occupancy();
+        }
+        self.watchdog(now);
+        self.cycle += 1;
+    }
+
+    /// Periodic per-VC occupancy sampling (the §III-D sensing signal).
+    fn sample_occupancy(&mut self) {
+        let prof = &mut self.metrics.vc_profile;
+        if prof.samples == 0 {
+            for class in [LinkClass::Local, LinkClass::Global] {
+                let i = class.index();
+                prof.sums[i] = vec![0; self.cfg.vcs_for_class(class)];
+                prof.ports[i] = (self.port_class.iter().filter(|&&c| c == class).count()
+                    * self.routers.len()) as u64;
+            }
+        }
+        prof.samples += 1;
+        for router in &self.routers {
+            for (port, bank) in router.inputs.iter().enumerate() {
+                let sums = &mut prof.sums[self.port_class[port].index()];
+                for vc in 0..bank.vcs() {
+                    sums[vc] += bank.occ.occupancy(vc) as u64;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: arrivals
+    // ------------------------------------------------------------------
+
+    fn deliver(&mut self, now: u64) {
+        let pp = self.pp;
+        for r in 0..self.routers.len() {
+            // Packet arrivals on each input port (link owned by upstream).
+            for ip in 0..pp {
+                let Some((ur, up)) = self.adj[r * pp + ip] else {
+                    continue;
+                };
+                let lid = ur as usize * pp + up as usize;
+                while let Some(f) = self.links[lid].pop_arrived(now) {
+                    let mut pkt = f.packet;
+                    pkt.head_arrival = f.head_arrival;
+                    pkt.tail_arrival = f.tail_arrival;
+                    self.routers[r].inputs[ip].push(f.vc as usize, pkt);
+                    self.last_progress = now;
+                }
+            }
+            // Credit arrivals for each output port (stored on our own link).
+            for op in 0..pp {
+                if self.adj[r * pp + op].is_none() {
+                    continue;
+                }
+                let lid = r * pp + op;
+                while let Some(c) = self.links[lid].pop_credit(now) {
+                    self.routers[r].out_credit[op].remove(c.vc as usize, c.phits, c.class);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: scheduled releases
+    // ------------------------------------------------------------------
+
+    fn process_pending(&mut self, now: u64) {
+        let pp = self.pp;
+        for router in &mut self.routers {
+            let mut i = 0;
+            while i < router.pending.len() {
+                let due = match router.pending[i] {
+                    Pending::Input { at, .. } => at <= now,
+                    Pending::OutBuf { at, .. } => at <= now,
+                };
+                if !due {
+                    i += 1;
+                    continue;
+                }
+                match router.pending.swap_remove(i) {
+                    Pending::Input {
+                        in_idx,
+                        vc,
+                        phits,
+                        class,
+                        ..
+                    } => {
+                        let in_idx = in_idx as usize;
+                        if in_idx < pp {
+                            router.inputs[in_idx].release(vc as usize, phits, class);
+                        } else {
+                            router.inj[in_idx - pp].release(vc as usize, phits, class);
+                        }
+                    }
+                    Pending::OutBuf { port, phits, .. } => {
+                        router.out_occ[port as usize] -= phits;
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 3: traffic generation
+    // ------------------------------------------------------------------
+
+    fn generate(&mut self, now: u64) {
+        let size = self.cfg.packet_size;
+        let reactive = self.cfg.workload.reactive;
+        let in_window = self.in_window(now);
+        for n in 0..self.gens.len() {
+            // New requests from the pattern generator.
+            if let Some(dst) = self.gens[n].next_packet(now) {
+                if in_window {
+                    self.metrics.generated_packets += 1;
+                    self.metrics.generated_phits += size as u64;
+                }
+                let vc = if reactive {
+                    0
+                } else {
+                    let v = self.inj_rr[n];
+                    self.inj_rr[n] = (v + 1) % self.cfg.injection_vcs as u8;
+                    v
+                } as usize;
+                let r = self.topo.router_of_node(n);
+                let local = n - r * self.pn;
+                if self.routers[r].inj[local].occ.can_accept(vc, size) {
+                    let pkt = self.new_packet(n as u32, dst as u32, MessageClass::Request, now);
+                    self.routers[r].inj[local].push(vc, pkt);
+                    self.in_flight += 1;
+                    self.last_progress = now;
+                } else if in_window {
+                    self.metrics.dropped_packets += 1;
+                }
+            }
+            // Staged replies enter the reply injection VC when it has room.
+            while let Some(&(dst, ready)) = self.staging[n].front() {
+                if ready > now {
+                    break;
+                }
+                let r = self.topo.router_of_node(n);
+                let local = n - r * self.pn;
+                if !self.routers[r].inj[local].occ.can_accept(1, size) {
+                    break;
+                }
+                self.staging[n].pop_front();
+                if in_window {
+                    self.metrics.generated_packets += 1;
+                    self.metrics.generated_phits += size as u64;
+                }
+                let pkt = self.new_packet(n as u32, dst, MessageClass::Reply, now);
+                self.routers[r].inj[local].push(1, pkt);
+                self.in_flight += 1;
+                self.last_progress = now;
+            }
+        }
+    }
+
+    fn new_packet(&mut self, src: u32, dst: u32, class: MessageClass, now: u64) -> Packet {
+        let id = self.next_id;
+        self.next_id += 1;
+        Packet {
+            id,
+            src,
+            dst,
+            dst_router: self.topo.router_of_node(dst as usize) as u32,
+            class,
+            size: self.cfg.packet_size,
+            gen_cycle: now,
+            head_arrival: now,
+            tail_arrival: now,
+            position: None,
+            plan: PlannedPath::empty(),
+            min_routed: true,
+            derouted: false,
+            buffered_class: CreditClass::MinRouted,
+            planned: false,
+            par_evaluated: false,
+            opp_blocked: 0,
+            hops: 0,
+            reverts: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 4: route planning at injection heads
+    // ------------------------------------------------------------------
+
+    fn plan_heads(&mut self, _now: u64) {
+        let pp = self.pp;
+        for r in 0..self.routers.len() {
+            for local in 0..self.pn {
+                for vc in 0..self.cfg.injection_vcs {
+                    // Split borrows: the head lives in `inj`, congestion
+                    // state in `out_credit`/`rng`/boards.
+                    let router = &mut self.routers[r];
+                    let Some(head) = router.inj[local].queues[vc].front() else {
+                        continue;
+                    };
+                    if head.planned {
+                        continue;
+                    }
+                    let (plan, min_routed) = plan_route(
+                        &self.cfg,
+                        &*self.topo,
+                        self.family,
+                        &self.adj,
+                        &self.port_class,
+                        &self.global_ports,
+                        &self.boards,
+                        &router.out_credit,
+                        &mut router.rng,
+                        r,
+                        head.dst_router as usize,
+                        head.class,
+                    );
+                    let head = router.inj[local].queues[vc].front_mut().expect("head");
+                    head.plan = plan;
+                    head.min_routed = min_routed;
+                    head.derouted = !min_routed;
+                    head.planned = true;
+                }
+            }
+        }
+        let _ = pp;
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 5: allocation
+    // ------------------------------------------------------------------
+
+    fn allocate(&mut self, now: u64) {
+        let pp = self.pp;
+        let pn = self.pn;
+        let n_in = pp + pn;
+        let mut cand: Vec<Option<(u8, Decision)>> = vec![None; n_in];
+
+        for r in 0..self.routers.len() {
+            cand.iter_mut().for_each(|c| *c = None);
+            // Stage 1: each input port nominates one VC.
+            for in_idx in 0..n_in {
+                if self.routers[r].in_busy[in_idx] > now {
+                    continue;
+                }
+                let vcs = if in_idx < pp {
+                    self.routers[r].inputs[in_idx].vcs()
+                } else {
+                    self.cfg.injection_vcs
+                };
+                let mut reqs: [Option<Decision>; 16] = [None; 16];
+                for vc in 0..vcs.min(16) {
+                    reqs[vc] = self.evaluate_head(r, in_idx, vc, now);
+                }
+                let router = &mut self.routers[r];
+                if let Some(vc) = router.in_arb[in_idx].grant(|v| reqs[v].is_some()) {
+                    cand[in_idx] = Some((vc as u8, reqs[vc].expect("granted request")));
+                }
+            }
+            // Stage 1.5: ejection grants (consumption channels).
+            for in_idx in 0..n_in {
+                if let Some((vc, Decision::Eject { channel })) = cand[in_idx] {
+                    cand[in_idx] = None;
+                    if self.routers[r].eject_busy[channel as usize] <= now {
+                        self.grant_eject(r, in_idx, vc as usize, channel as usize, now);
+                    }
+                }
+            }
+            // Stage 2: output-port arbitration among forwarding candidates.
+            for port in 0..pp {
+                let winner = self.routers[r].out_arb[port].grant(|in_idx| {
+                    matches!(cand[in_idx], Some((_, Decision::Forward { port: p, .. })) if p as usize == port)
+                });
+                if let Some(in_idx) = winner {
+                    let (vc, d) = cand[in_idx].take().expect("winner has candidate");
+                    if let Decision::Forward { port, vc: out_vc, pos } = d {
+                        self.grant_forward(r, in_idx, vc as usize, port, out_vc, pos, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluate the head of one input VC; may mutate the packet (planning
+    /// reversion, PAR divert).
+    fn evaluate_head(
+        &mut self,
+        r: usize,
+        in_idx: usize,
+        vc: usize,
+        now: u64,
+    ) -> Option<Decision> {
+        let pp = self.pp;
+        let size = self.cfg.packet_size;
+        let is_injection = in_idx >= pp;
+
+        // Pre-read immutable facts about the head.
+        {
+            let router = &self.routers[r];
+            let head = if is_injection {
+                router.inj[in_idx - pp].head(vc)?
+            } else {
+                router.inputs[in_idx].head(vc)?
+            };
+            if head.head_arrival > now || !head.planned {
+                return None;
+            }
+        }
+
+        // PAR in-transit divert evaluation (may replace the plan).
+        if self.cfg.routing == RoutingMode::Par && !is_injection {
+            self.maybe_par_divert(r, in_idx, vc, now);
+        }
+
+        // Forwarding evaluation with at most one reversion.
+        let mut reverted = false;
+        loop {
+            let router = &self.routers[r];
+            let head = if is_injection {
+                router.inj[in_idx - pp].head(vc)?
+            } else {
+                router.inputs[in_idx].head(vc)?
+            };
+            // A done plan means ejection (possibly after a reversion of a
+            // detour that passed through the destination router).
+            if head.plan.is_done() {
+                debug_assert_eq!(head.dst_router as usize, r, "done plan away from dst");
+                // Protocol coupling: a node whose reply-generation queue is
+                // full cannot consume further requests until replies drain.
+                if self.cfg.workload.reactive
+                    && head.class == MessageClass::Request
+                    && self.staging[head.dst as usize].len() >= self.cfg.reply_queue_packets
+                {
+                    return None;
+                }
+                let local = head.dst as usize - r * self.pn;
+                let channel = (local * 2 + head.class.index()) as u16;
+                return if router.eject_busy[channel as usize] <= now {
+                    Some(Decision::Eject { channel })
+                } else {
+                    None
+                };
+            }
+            let hop = *head.plan.next_hop().expect("plan not done");
+            let dst_r = head.dst_router as usize;
+            let port = hop.port as usize;
+            let pclass = self.port_class[port];
+            // Output-side structural checks.
+            if router.out_xbar[port] > now
+                || router.out_occ[port] + size > self.cfg.buffers.output
+            {
+                return None;
+            }
+            let credit = &router.out_credit[port];
+            match self.cfg.policy {
+                VcPolicy::Baseline => {
+                    let reference: &[LinkClass] = match self.family {
+                        NetworkFamily::Dragonfly => self.cfg.routing.dragonfly_reference(),
+                        NetworkFamily::Diameter2 => {
+                            // Generic references are all-Local; slots map 1:1.
+                            &REF_GENERIC[..self.cfg.routing.generic_reference(2).len()]
+                        }
+                    };
+                    let (bclass, bvc) =
+                        baseline_vc(&self.arr, head.class, reference, hop.slot as usize);
+                    debug_assert_eq!(bclass, pclass, "reference class mismatch");
+                    if credit.can_accept(bvc, size) {
+                        let pos = self.arr.position(pclass, bvc).expect("baseline vc") as u16;
+                        return Some(Decision::Forward {
+                            port: port as u16,
+                            vc: bvc as u8,
+                            pos,
+                        });
+                    }
+                    return None;
+                }
+                VcPolicy::FlexVc => {
+                    let mut planned: [LinkClass; 8] = [LinkClass::Local; 8];
+                    let rem = head.plan.remaining();
+                    let nrem = rem.len();
+                    for (i, h) in rem.iter().enumerate() {
+                        planned[i] = h.class;
+                    }
+                    // Exact per-hop escapes: the minimal continuation from
+                    // every router along the remaining plan (needed by the
+                    // opportunistic landing lookahead).
+                    let mut esc_store: [flexvc_topology::ClassPath; 8] =
+                        [flexvc_topology::ClassPath::new(); 8];
+                    let mut cur_router = r;
+                    for (i, h) in rem.iter().enumerate() {
+                        let next = self.adj[cur_router * pp + h.port as usize]
+                            .expect("routed port wired")
+                            .0 as usize;
+                        esc_store[i] = self.topo.min_classes(next, head.dst_router as usize);
+                        cur_router = next;
+                    }
+                    let escapes: [&[LinkClass]; 8] = std::array::from_fn(|i| &esc_store[i][..]);
+                    let opts = flexvc_options_lookahead(
+                        &self.arr,
+                        head.class,
+                        head.pos(),
+                        &planned[..nrem],
+                        &escapes[..nrem],
+                    );
+                    if let Some(opts) = opts {
+                        let mut cands: [(usize, usize); 16] = [(0, 0); 16];
+                        let mut nc = 0;
+                        for v in opts.lo..=opts.hi {
+                            if credit.can_accept(v, size) {
+                                cands[nc] = (v, credit.free_for(v) as usize);
+                                nc += 1;
+                            }
+                        }
+                        if nc > 0 {
+                            let router = &mut self.routers[r];
+                            let pick = self
+                                .cfg
+                                .selection
+                                .pick(&cands[..nc], &mut router.rng)
+                                .expect("non-empty");
+                            let pos = self.arr.position(pclass, pick).expect("picked vc") as u16;
+                            return Some(Decision::Forward {
+                                port: port as u16,
+                                vc: pick as u8,
+                                pos,
+                            });
+                        }
+                        if opts.kind == HopKind::Safe {
+                            return None; // blocked safe hop: wait.
+                        }
+                        // Opportunistic hop without downstream space: wait
+                        // out the configured patience, then revert.
+                        let patience = self.cfg.revert_patience;
+                        let router = &mut self.routers[r];
+                        let head = if is_injection {
+                            router.inj[in_idx - pp].head_mut(vc)?
+                        } else {
+                            router.inputs[in_idx].head_mut(vc)?
+                        };
+                        if head.opp_blocked < patience {
+                            head.opp_blocked += 1;
+                            return None;
+                        }
+                        head.opp_blocked = 0;
+                    }
+                    // Revert to the escape path (minimal from here).
+                    if reverted {
+                        debug_assert!(false, "escape path not safe after reversion");
+                        return None;
+                    }
+                    reverted = true;
+                    let plan = min_plan(&*self.topo, r, dst_r);
+                    let router = &mut self.routers[r];
+                    let head = if is_injection {
+                        router.inj[in_idx - pp].head_mut(vc)?
+                    } else {
+                        router.inputs[in_idx].head_mut(vc)?
+                    };
+                    head.plan = plan;
+                    head.min_routed = true;
+                    head.reverts += 1;
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// PAR: after the first minimal hop, decide whether to divert to a
+    /// Valiant path based on local congestion toward the next minimal hop.
+    fn maybe_par_divert(&mut self, r: usize, in_idx: usize, vc: usize, _now: u64) {
+        let topo = Arc::clone(&self.topo);
+        let router = &mut self.routers[r];
+        let Some(head) = router.inputs[in_idx].head_mut(vc) else {
+            return;
+        };
+        // PAR diverts exactly at the classic decision point: after one
+        // minimal *local* hop in the source group, before committing to the
+        // global hop (the divert slots l1.. lie between l0 and g2 in the
+        // reference; diverting after a global hop would descend positions).
+        if head.par_evaluated
+            || !head.min_routed
+            || head.hops != 1
+            || head.plan.is_done()
+            || self.port_class[in_idx] != LinkClass::Local
+            || head.plan.next_hop().map(|h| h.class) != Some(LinkClass::Global)
+        {
+            return;
+        }
+        head.par_evaluated = true;
+        let dst_r = head.dst_router as usize;
+        let next = *head.plan.next_hop().expect("plan not done");
+        let q_min = router.out_credit[next.port as usize].total();
+        let via = router.rng.gen_range(0..topo.num_routers());
+        let divert = par_divert_plan(&*topo, self.family, r, via, dst_r);
+        let Some(first) = divert.next_hop() else {
+            return;
+        };
+        let q_val = router.out_credit[first.port as usize].total();
+        let t_phits = self.cfg.sensing.threshold * self.cfg.packet_size;
+        if choose_nonminimal(false, q_min, q_val, t_phits) {
+            head.plan = divert;
+            head.min_routed = false;
+            head.derouted = true;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // a grant is naturally 7-tuple-shaped
+    fn grant_forward(
+        &mut self,
+        r: usize,
+        in_idx: usize,
+        vc_in: usize,
+        port: u16,
+        out_vc: u8,
+        pos: u16,
+        now: u64,
+    ) {
+        let pp = self.pp;
+        let size = self.cfg.packet_size;
+        let dur = size.div_ceil(self.cfg.speedup);
+        let router = &mut self.routers[r];
+        let mut pkt = if in_idx < pp {
+            router.inputs[in_idx].pop(vc_in)
+        } else {
+            router.inj[in_idx - pp].pop(vc_in)
+        };
+        let released_class = pkt.buffered_class;
+        // Injection transfers serialize at link rate (the node-to-router
+        // channel); network transfers run at crossbar speed, bounded by the
+        // packet's own tail arrival (cut-through chaining).
+        let t_c = if in_idx < pp {
+            (now + dur as u64).max(pkt.tail_arrival + 1)
+        } else {
+            now + size as u64
+        };
+        router.in_busy[in_idx] = t_c;
+        router.out_xbar[port as usize] = t_c;
+        router.out_credit[port as usize].add(out_vc as usize, size, pkt.credit_class());
+        router.out_occ[port as usize] += size;
+        router.pending.push(Pending::Input {
+            at: t_c,
+            in_idx: in_idx as u32,
+            vc: vc_in as u8,
+            phits: size,
+            class: released_class,
+        });
+        pkt.position = Some(pos);
+        pkt.plan.advance();
+        pkt.hops += 1;
+        router.out_queue[port as usize].push_back(OutPkt {
+            pkt,
+            ready_at: now + self.cfg.pipeline_latency as u64,
+            vc: out_vc,
+        });
+        // Return the credit for the buffer we just vacated.
+        if in_idx < pp {
+            if let Some((ur, up)) = self.adj[r * pp + in_idx] {
+                let lat = self.latency_of(self.port_class[in_idx]);
+                self.links[ur as usize * pp + up as usize].send_credit(
+                    t_c,
+                    lat,
+                    vc_in as u8,
+                    size,
+                    released_class,
+                );
+            }
+        }
+        self.last_progress = now;
+    }
+
+    fn grant_eject(&mut self, r: usize, in_idx: usize, vc_in: usize, channel: usize, now: u64) {
+        let pp = self.pp;
+        let size = self.cfg.packet_size;
+        let router = &mut self.routers[r];
+        let pkt = if in_idx < pp {
+            router.inputs[in_idx].pop(vc_in)
+        } else {
+            router.inj[in_idx - pp].pop(vc_in)
+        };
+        let released_class = pkt.buffered_class;
+        let done = now + size as u64; // 1 phit/cycle consumption
+        let t_c = done.max(pkt.tail_arrival + 1);
+        router.in_busy[in_idx] = t_c;
+        router.eject_busy[channel] = t_c;
+        router.pending.push(Pending::Input {
+            at: t_c,
+            in_idx: in_idx as u32,
+            vc: vc_in as u8,
+            phits: size,
+            class: released_class,
+        });
+        if in_idx < pp {
+            if let Some((ur, up)) = self.adj[r * pp + in_idx] {
+                let lat = self.latency_of(self.port_class[in_idx]);
+                self.links[ur as usize * pp + up as usize].send_credit(
+                    t_c,
+                    lat,
+                    vc_in as u8,
+                    size,
+                    released_class,
+                );
+            }
+        }
+        self.in_flight -= 1;
+        self.last_progress = now;
+        if self.in_window(now) {
+            self.metrics.consume(
+                pkt.class,
+                size,
+                done - pkt.gen_cycle,
+                pkt.hops,
+                !pkt.derouted,
+                pkt.reverts,
+            );
+        }
+        // Reactive: the destination answers with a reply once the request
+        // has fully arrived.
+        if self.cfg.workload.reactive && pkt.class == MessageClass::Request {
+            self.staging[pkt.dst as usize].push_back((pkt.src, done));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 6: output serialization
+    // ------------------------------------------------------------------
+
+    fn serialize_outputs(&mut self, now: u64) {
+        let pp = self.pp;
+        for r in 0..self.routers.len() {
+            for port in 0..pp {
+                let lid = r * pp + port;
+                if !self.links[lid].is_free(now) {
+                    continue;
+                }
+                let lat = self.latency_of(self.port_class[port]);
+                let router = &mut self.routers[r];
+                let Some(front) = router.out_queue[port].front() else {
+                    continue;
+                };
+                if front.ready_at > now {
+                    continue;
+                }
+                let out = router.out_queue[port].pop_front().expect("front exists");
+                let size = out.pkt.size;
+                self.links[lid].transmit(now, lat, out.vc, out.pkt);
+                router.pending.push(Pending::OutBuf {
+                    at: now + size as u64,
+                    port: port as u16,
+                    phits: size,
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 7: Piggyback sensing
+    // ------------------------------------------------------------------
+
+    fn update_sensing(&mut self, now: u64) {
+        let rpg = self.topo.routers_per_group();
+        let t_phits = self.cfg.sensing.threshold * self.cfg.packet_size;
+        let min_cred = self.cfg.sensing.min_cred;
+        let classes: &[MessageClass] = if self.cfg.workload.reactive {
+            &[MessageClass::Request, MessageClass::Reply]
+        } else {
+            &[MessageClass::Request]
+        };
+        for r in 0..self.routers.len() {
+            let group = self.topo.group_of_router(r);
+            let local = r - group * rpg;
+            for &class in classes {
+                let occs: Vec<u32> = self
+                    .global_ports
+                    .iter()
+                    .map(|&gp| {
+                        let credit = &self.routers[r].out_credit[gp];
+                        match self.cfg.sensing.mode {
+                            SensingMode::PerPort => {
+                                if min_cred {
+                                    credit.split_total().min_occupancy()
+                                } else {
+                                    credit.total()
+                                }
+                            }
+                            SensingMode::PerVc => {
+                                let vc = match class {
+                                    MessageClass::Request => 0,
+                                    MessageClass::Reply => {
+                                        self.arr.vc_count_request(LinkClass::Global)
+                                    }
+                                };
+                                if min_cred {
+                                    credit.split(vc).min_occupancy()
+                                } else {
+                                    credit.occupancy(vc)
+                                }
+                            }
+                        }
+                    })
+                    .collect();
+                let flags = saturated_flags(&occs, t_phits);
+                for (i, &sat) in flags.iter().enumerate() {
+                    self.boards[group].publish(local, i, class, sat);
+                }
+            }
+        }
+        for b in &mut self.boards {
+            b.tick(now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 8: watchdog
+    // ------------------------------------------------------------------
+
+    fn watchdog(&mut self, now: u64) {
+        if self.in_flight > 0 && now.saturating_sub(self.last_progress) > self.cfg.watchdog {
+            self.metrics.deadlocked = true;
+        }
+    }
+}
+
+/// All-Local slot reference for generic networks (max PAR length 5).
+static REF_GENERIC: [LinkClass; 5] = [LinkClass::Local; 5];
+
+/// Route planning at injection (free function for borrow hygiene).
+#[allow(clippy::too_many_arguments)]
+fn plan_route(
+    cfg: &SimConfig,
+    topo: &dyn Topology,
+    family: NetworkFamily,
+    adj: &[Option<(u32, u16)>],
+    port_class: &[LinkClass],
+    global_ports: &[usize],
+    boards: &[GroupBoard],
+    out_credit: &[Occupancy],
+    rng: &mut SmallRng,
+    r: usize,
+    dst_r: usize,
+    class: MessageClass,
+) -> (PlannedPath, bool) {
+    if dst_r == r {
+        return (PlannedPath::empty(), true);
+    }
+    match cfg.routing {
+        RoutingMode::Min => (min_plan(topo, r, dst_r), true),
+        RoutingMode::Valiant => {
+            let via = rng.gen_range(0..topo.num_routers());
+            (valiant_plan(topo, family, r, via, dst_r), false)
+        }
+        RoutingMode::Par => (par_min_plan(topo, family, r, dst_r), true),
+        RoutingMode::Piggyback => {
+            let min_route = topo.min_route(r, dst_r);
+            // Same-group destinations route minimally.
+            if topo.group_of_router(r) == topo.group_of_router(dst_r) {
+                return (PlannedPath::from_route(&min_route), true);
+            }
+            let pp = topo.num_ports();
+            let min_cred = cfg.sensing.min_cred;
+            let metric = |occ: &Occupancy| -> u32 {
+                if min_cred {
+                    occ.split_total().min_occupancy()
+                } else {
+                    occ.total()
+                }
+            };
+            // Walk the minimal route to the first global channel and read
+            // its (piggybacked) saturation flag.
+            let mut sat = false;
+            let mut cur = r;
+            for hop in &min_route {
+                if port_class[hop.port as usize] == LinkClass::Global {
+                    let rpg = topo.routers_per_group();
+                    let group = topo.group_of_router(cur);
+                    let local = cur - group * rpg;
+                    let gp_off = global_ports
+                        .iter()
+                        .position(|&g| g == hop.port as usize)
+                        .expect("global port");
+                    sat = boards[group].read(local, gp_off, class);
+                    break;
+                }
+                cur = adj[cur * pp + hop.port as usize].expect("wired").0 as usize;
+            }
+            let q_min = metric(&out_credit[min_route[0].port as usize]);
+            let via = rng.gen_range(0..topo.num_routers());
+            let val = valiant_plan(topo, family, r, via, dst_r);
+            let q_val = val
+                .next_hop()
+                .map(|h| metric(&out_credit[h.port as usize]))
+                .unwrap_or(u32::MAX);
+            let t_phits = cfg.sensing.threshold * cfg.packet_size;
+            if choose_nonminimal(sat, q_min, q_val, t_phits) && val.next_hop().is_some() {
+                (val, false)
+            } else {
+                (PlannedPath::from_route(&min_route), true)
+            }
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Measurement-window statistics and simulation results.
+
+use flexvc_core::MessageClass;
+
+/// Power-of-two bucketed latency histogram (cycles). Bucket `i` counts
+/// latencies in `[2^i, 2^(i+1))`; enough buckets for ~1M-cycle latencies.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct LatencyHistogram {
+    buckets: [u64; 21],
+    count: u64,
+}
+
+
+impl LatencyHistogram {
+    /// Record one latency sample.
+    pub fn record(&mut self, latency: u64) {
+        let b = (64 - latency.max(1).leading_zeros() as usize - 1).min(20);
+        self.buckets[b] += 1;
+        self.count += 1;
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Approximate quantile (upper bound of the bucket containing it).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << 21
+    }
+
+    /// Merge another histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+}
+
+/// Mean per-VC occupancy profile of network input ports, per link class
+/// (sampled periodically during the measurement window). This is the
+/// signal behind the paper's §III-D observation: under adversarial
+/// traffic with the baseline policy, minimal traffic occupies only the
+/// first VC of each class, so per-VC occupancy identifies the pattern;
+/// FlexVC merges flows and flattens the profile.
+#[derive(Debug, Clone, Default)]
+pub struct VcOccupancyProfile {
+    /// Sum of sampled occupancies per (class, vc).
+    pub sums: [Vec<u64>; 2],
+    /// Number of samples taken.
+    pub samples: u64,
+    /// Ports contributing per class (for per-port averaging).
+    pub ports: [u64; 2],
+}
+
+impl VcOccupancyProfile {
+    /// Mean phits per port for VC `vc` of `class`.
+    pub fn mean(&self, class: flexvc_core::LinkClass, vc: usize) -> f64 {
+        let i = class.index();
+        let denom = (self.samples * self.ports[i].max(1)) as f64;
+        if denom == 0.0 || vc >= self.sums[i].len() {
+            return 0.0;
+        }
+        self.sums[i][vc] as f64 / denom
+    }
+
+    /// Per-VC means for a class.
+    pub fn means(&self, class: flexvc_core::LinkClass) -> Vec<f64> {
+        (0..self.sums[class.index()].len())
+            .map(|vc| self.mean(class, vc))
+            .collect()
+    }
+}
+
+/// Raw counters accumulated inside the measurement window.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Packets produced by the generators (including dropped ones).
+    pub generated_packets: u64,
+    /// Phits produced by the generators.
+    pub generated_phits: u64,
+    /// Packets dropped at the source (injection queue full).
+    pub dropped_packets: u64,
+    /// Packets consumed, per message class.
+    pub consumed_packets: [u64; 2],
+    /// Phits consumed, per message class.
+    pub consumed_phits: [u64; 2],
+    /// Sum of packet latencies (generation → tail consumption), per class.
+    pub latency_sum: [u64; 2],
+    /// Consumed packets that travelled non-minimally.
+    pub misrouted_packets: u64,
+    /// Total opportunistic-path reversions among consumed packets.
+    pub reverts: u64,
+    /// Total hops of consumed packets.
+    pub hop_sum: u64,
+    /// The watchdog detected a deadlock (no movement with packets stuck).
+    pub deadlocked: bool,
+    /// Cycles actually simulated in the measurement window.
+    pub cycles: u64,
+    /// Latency histogram over all consumed packets.
+    pub latency_hist: LatencyHistogram,
+    /// Sampled per-VC occupancy profile.
+    pub vc_profile: VcOccupancyProfile,
+}
+
+impl Metrics {
+    /// Record a consumed packet.
+    pub fn consume(
+        &mut self,
+        class: MessageClass,
+        size: u32,
+        latency: u64,
+        hops: u16,
+        min_routed: bool,
+        reverts: u16,
+    ) {
+        let i = class.index();
+        self.latency_hist.record(latency);
+        self.consumed_packets[i] += 1;
+        self.consumed_phits[i] += size as u64;
+        self.latency_sum[i] += latency;
+        self.hop_sum += hops as u64;
+        self.reverts += reverts as u64;
+        if !min_routed {
+            self.misrouted_packets += 1;
+        }
+    }
+}
+
+/// Aggregated result of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimResult {
+    /// Offered load, phits/node/cycle (as configured).
+    pub offered: f64,
+    /// Accepted load, phits/node/cycle (consumed in the window).
+    pub accepted: f64,
+    /// Mean packet latency in cycles over all classes.
+    pub latency: f64,
+    /// Mean request latency (equals `latency` for single-class traffic).
+    pub latency_req: f64,
+    /// Mean reply latency (0 when not reactive).
+    pub latency_rep: f64,
+    /// Fraction of consumed packets that were misrouted.
+    pub misroute_fraction: f64,
+    /// Mean hops per consumed packet.
+    pub avg_hops: f64,
+    /// Mean opportunistic reversions per consumed packet.
+    pub reverts_per_packet: f64,
+    /// Fraction of generated packets dropped at the source.
+    pub drop_fraction: f64,
+    /// Whether the run deadlocked.
+    pub deadlocked: bool,
+    /// Approximate 99th-percentile latency (cycles).
+    pub latency_p99: f64,
+    /// Mean per-VC occupancy of local input ports (phits).
+    pub local_vc_occupancy: Vec<f64>,
+    /// Mean per-VC occupancy of global input ports (phits).
+    pub global_vc_occupancy: Vec<f64>,
+}
+
+impl SimResult {
+    /// Build from raw metrics.
+    pub fn from_metrics(m: &Metrics, offered: f64, nodes: usize) -> Self {
+        let cycles = m.cycles.max(1) as f64;
+        let packets: u64 = m.consumed_packets.iter().sum();
+        let phits: u64 = m.consumed_phits.iter().sum();
+        let lat_total: u64 = m.latency_sum.iter().sum();
+        let per_class = |i: usize| {
+            if m.consumed_packets[i] == 0 {
+                0.0
+            } else {
+                m.latency_sum[i] as f64 / m.consumed_packets[i] as f64
+            }
+        };
+        SimResult {
+            offered,
+            accepted: phits as f64 / (nodes as f64 * cycles),
+            latency: if packets == 0 {
+                0.0
+            } else {
+                lat_total as f64 / packets as f64
+            },
+            latency_req: per_class(0),
+            latency_rep: per_class(1),
+            misroute_fraction: if packets == 0 {
+                0.0
+            } else {
+                m.misrouted_packets as f64 / packets as f64
+            },
+            avg_hops: if packets == 0 {
+                0.0
+            } else {
+                m.hop_sum as f64 / packets as f64
+            },
+            reverts_per_packet: if packets == 0 {
+                0.0
+            } else {
+                m.reverts as f64 / packets as f64
+            },
+            drop_fraction: if m.generated_packets == 0 {
+                0.0
+            } else {
+                m.dropped_packets as f64 / m.generated_packets as f64
+            },
+            deadlocked: m.deadlocked,
+            latency_p99: m.latency_hist.quantile(0.99) as f64,
+            local_vc_occupancy: m.vc_profile.means(flexvc_core::LinkClass::Local),
+            global_vc_occupancy: m.vc_profile.means(flexvc_core::LinkClass::Global),
+        }
+    }
+
+    /// Average several runs (different seeds) into one result.
+    pub fn average(results: &[SimResult]) -> SimResult {
+        assert!(!results.is_empty());
+        let n = results.len() as f64;
+        let mut out = SimResult::default();
+        let vec_avg = |get: fn(&SimResult) -> &Vec<f64>| -> Vec<f64> {
+            let len = get(&results[0]).len();
+            (0..len)
+                .map(|i| results.iter().map(|r| get(r)[i]).sum::<f64>() / n)
+                .collect()
+        };
+        out.local_vc_occupancy = vec_avg(|r| &r.local_vc_occupancy);
+        out.global_vc_occupancy = vec_avg(|r| &r.global_vc_occupancy);
+        for r in results {
+            out.offered += r.offered / n;
+            out.latency_p99 += r.latency_p99 / n;
+            out.accepted += r.accepted / n;
+            out.latency += r.latency / n;
+            out.latency_req += r.latency_req / n;
+            out.latency_rep += r.latency_rep / n;
+            out.misroute_fraction += r.misroute_fraction / n;
+            out.avg_hops += r.avg_hops / n;
+            out.reverts_per_packet += r.reverts_per_packet / n;
+            out.drop_fraction += r.drop_fraction / n;
+            out.deadlocked |= r.deadlocked;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consume_accumulates() {
+        let mut m = Metrics::default();
+        m.consume(MessageClass::Request, 8, 100, 3, true, 0);
+        m.consume(MessageClass::Reply, 8, 200, 6, false, 2);
+        assert_eq!(m.consumed_packets, [1, 1]);
+        assert_eq!(m.consumed_phits, [8, 8]);
+        assert_eq!(m.latency_sum, [100, 200]);
+        assert_eq!(m.misrouted_packets, 1);
+        assert_eq!(m.reverts, 2);
+        assert_eq!(m.hop_sum, 9);
+    }
+
+    #[test]
+    fn result_from_metrics() {
+        let mut m = Metrics::default();
+        m.cycles = 1000;
+        m.generated_packets = 30;
+        m.dropped_packets = 3;
+        for _ in 0..10 {
+            m.consume(MessageClass::Request, 8, 150, 3, true, 0);
+        }
+        let r = SimResult::from_metrics(&m, 0.5, 16);
+        assert!((r.accepted - 80.0 / 16_000.0).abs() < 1e-12);
+        assert_eq!(r.latency, 150.0);
+        assert_eq!(r.latency_req, 150.0);
+        assert_eq!(r.latency_rep, 0.0);
+        assert_eq!(r.avg_hops, 3.0);
+        assert_eq!(r.drop_fraction, 0.1);
+        assert!(!r.deadlocked);
+    }
+
+    #[test]
+    fn averaging() {
+        let a = SimResult {
+            accepted: 0.4,
+            latency: 100.0,
+            ..Default::default()
+        };
+        let b = SimResult {
+            accepted: 0.6,
+            latency: 200.0,
+            deadlocked: true,
+            ..Default::default()
+        };
+        let avg = SimResult::average(&[a, b]);
+        assert!((avg.accepted - 0.5).abs() < 1e-12);
+        assert!((avg.latency - 150.0).abs() < 1e-12);
+        assert!(avg.deadlocked, "deadlock in any run taints the average");
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = LatencyHistogram::default();
+        for lat in [100u64, 110, 120, 130, 2000] {
+            h.record(lat);
+        }
+        assert_eq!(h.count(), 5);
+        // 3/5 of samples are in [64,128); p50 upper bound = 128.
+        assert_eq!(h.quantile(0.5), 128);
+        assert!(h.quantile(0.99) >= 2048);
+        let mut h2 = LatencyHistogram::default();
+        h2.record(100);
+        h2.merge(&h);
+        assert_eq!(h2.count(), 6);
+        assert_eq!(LatencyHistogram::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn vc_profile_means() {
+        let mut p = VcOccupancyProfile::default();
+        p.sums[0] = vec![100, 50];
+        p.samples = 10;
+        p.ports[0] = 5;
+        assert!((p.mean(flexvc_core::LinkClass::Local, 0) - 2.0).abs() < 1e-12);
+        assert!((p.mean(flexvc_core::LinkClass::Local, 1) - 1.0).abs() < 1e-12);
+        assert_eq!(p.mean(flexvc_core::LinkClass::Global, 0), 0.0);
+        assert_eq!(p.means(flexvc_core::LinkClass::Local).len(), 2);
+    }
+
+    #[test]
+    fn empty_window_is_safe() {
+        let m = Metrics::default();
+        let r = SimResult::from_metrics(&m, 0.1, 8);
+        assert_eq!(r.accepted, 0.0);
+        assert_eq!(r.latency, 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Packets and planned paths.
+
+use flexvc_core::{CreditClass, MessageClass};
+use flexvc_topology::{Route, RouteHop};
+
+/// Maximum hops of any plan (the PAR reference path has 7).
+pub const MAX_PLAN: usize = 8;
+
+/// A packet's planned path: fixed-capacity, copy-friendly.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannedPath {
+    hops: [RouteHop; MAX_PLAN],
+    len: u8,
+    idx: u8,
+}
+
+impl PlannedPath {
+    /// Empty plan (packet already at its destination router).
+    pub fn empty() -> Self {
+        PlannedPath {
+            hops: [RouteHop {
+                port: 0,
+                class: flexvc_core::LinkClass::Local,
+                slot: 0,
+            }; MAX_PLAN],
+            len: 0,
+            idx: 0,
+        }
+    }
+
+    /// Build from a computed route.
+    pub fn from_route(route: &Route) -> Self {
+        assert!(route.len() <= MAX_PLAN, "route exceeds plan capacity");
+        let mut p = Self::empty();
+        for (i, h) in route.iter().enumerate() {
+            p.hops[i] = *h;
+        }
+        p.len = route.len() as u8;
+        p
+    }
+
+    /// Remaining hops (including the next one).
+    pub fn remaining(&self) -> &[RouteHop] {
+        &self.hops[self.idx as usize..self.len as usize]
+    }
+
+    /// Next hop, if any.
+    pub fn next_hop(&self) -> Option<&RouteHop> {
+        self.remaining().first()
+    }
+
+    /// Number of remaining hops.
+    pub fn remaining_len(&self) -> usize {
+        (self.len - self.idx) as usize
+    }
+
+    /// `true` when no hops remain.
+    pub fn is_done(&self) -> bool {
+        self.idx == self.len
+    }
+
+    /// Advance past the next hop (called when a hop is granted).
+    pub fn advance(&mut self) {
+        debug_assert!(self.idx < self.len);
+        self.idx += 1;
+    }
+
+    /// Replace the remaining plan (reversion to an escape path).
+    pub fn replace(&mut self, route: &Route) {
+        *self = Self::from_route(route);
+    }
+
+    /// Hops consumed so far.
+    pub fn hops_taken(&self) -> usize {
+        self.idx as usize
+    }
+}
+
+/// A packet in flight. Sized (~100 B) and clone-free on the hot path: the
+/// simulator moves packets between queues by value.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Unique id (monotonic per simulation).
+    pub id: u64,
+    /// Source node.
+    pub src: u32,
+    /// Destination node.
+    pub dst: u32,
+    /// Destination router (cached).
+    pub dst_router: u32,
+    /// Message class (request/reply).
+    pub class: MessageClass,
+    /// Size in phits.
+    pub size: u32,
+    /// Generation cycle (latency baseline; reply creation time for replies).
+    pub gen_cycle: u64,
+    /// Cycle the head phit arrived in the current buffer (cut-through
+    /// eligibility).
+    pub head_arrival: u64,
+    /// Cycle the tail phit arrives in the current buffer.
+    pub tail_arrival: u64,
+    /// Position of the current buffer in the master sequence (`None` while
+    /// in an injection queue).
+    pub position: Option<u16>,
+    /// Remaining planned path.
+    pub plan: PlannedPath,
+    /// Live routing-type header flag used by minCred credit accounting:
+    /// `false` while following a non-minimal plan, and back to `true` after
+    /// a reversion (the remaining path *is* minimal, and sensing must see
+    /// the packet's occupancy on the minimal channels it now uses).
+    pub min_routed: bool,
+    /// `true` if the packet ever adopted a non-minimal plan (statistics:
+    /// the misroute fraction counts detours even after reversion).
+    pub derouted: bool,
+    /// Credit class under which the packet entered its *current* buffer;
+    /// releases must use this class even if `min_routed` changed since
+    /// (PAR diverts packets while they sit in a buffer).
+    pub buffered_class: CreditClass,
+    /// Whether the routing decision has been made (plans are computed when
+    /// the packet reaches the head of its injection queue, so adaptive
+    /// decisions use fresh congestion state).
+    pub planned: bool,
+    /// PAR: the in-transit divert decision was already evaluated.
+    pub par_evaluated: bool,
+    /// Consecutive allocation evaluations this head has been blocked on an
+    /// opportunistic hop (reversion triggers past the configured patience).
+    pub opp_blocked: u32,
+    /// Total hops traversed (statistics).
+    pub hops: u16,
+    /// Times the packet reverted from an opportunistic plan (statistics).
+    pub reverts: u16,
+}
+
+impl Packet {
+    /// Credit class for minCred accounting.
+    pub fn credit_class(&self) -> CreditClass {
+        if self.min_routed {
+            CreditClass::MinRouted
+        } else {
+            CreditClass::NonMinRouted
+        }
+    }
+
+    /// Current position as the policy layer's `Pos`.
+    pub fn pos(&self) -> Option<usize> {
+        self.position.map(|p| p as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexvc_core::LinkClass;
+
+    fn hop(port: u16, slot: u8) -> RouteHop {
+        RouteHop {
+            port,
+            class: LinkClass::Local,
+            slot,
+        }
+    }
+
+    #[test]
+    fn planned_path_lifecycle() {
+        let route = vec![hop(1, 0), hop(2, 1), hop(3, 2)];
+        let mut p = PlannedPath::from_route(&route);
+        assert_eq!(p.remaining_len(), 3);
+        assert_eq!(p.next_hop().unwrap().port, 1);
+        p.advance();
+        assert_eq!(p.next_hop().unwrap().port, 2);
+        assert_eq!(p.hops_taken(), 1);
+        p.advance();
+        p.advance();
+        assert!(p.is_done());
+        assert!(p.next_hop().is_none());
+    }
+
+    #[test]
+    fn replace_resets_progress() {
+        let mut p = PlannedPath::from_route(&vec![hop(1, 0), hop(2, 1)]);
+        p.advance();
+        p.replace(&vec![hop(9, 0)]);
+        assert_eq!(p.remaining_len(), 1);
+        assert_eq!(p.next_hop().unwrap().port, 9);
+        assert_eq!(p.hops_taken(), 0);
+    }
+
+    #[test]
+    fn empty_plan_is_done() {
+        assert!(PlannedPath::empty().is_done());
+        assert_eq!(PlannedPath::empty().remaining_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "route exceeds plan capacity")]
+    fn oversized_route_rejected() {
+        let route: Vec<_> = (0..9).map(|i| hop(i, 0)).collect();
+        let _ = PlannedPath::from_route(&route);
+    }
+
+    #[test]
+    fn credit_class_follows_min_flag() {
+        let mut pkt = Packet {
+            id: 0,
+            src: 0,
+            dst: 1,
+            dst_router: 0,
+            class: MessageClass::Request,
+            size: 8,
+            gen_cycle: 0,
+            head_arrival: 0,
+            tail_arrival: 7,
+            position: None,
+            plan: PlannedPath::empty(),
+            min_routed: true,
+            derouted: false,
+            buffered_class: CreditClass::MinRouted,
+            planned: true,
+            par_evaluated: false,
+            opp_blocked: 0,
+            hops: 0,
+            reverts: 0,
+        };
+        assert_eq!(pkt.credit_class(), CreditClass::MinRouted);
+        pkt.min_routed = false;
+        assert_eq!(pkt.credit_class(), CreditClass::NonMinRouted);
+        assert_eq!(pkt.pos(), None);
+    }
+}

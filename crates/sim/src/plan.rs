@@ -1,0 +1,180 @@
+//! Path planning: minimal, Valiant and PAR plans with baseline slots.
+//!
+//! Plans carry the *reference-path slots* used by the baseline
+//! distance-based policy. FlexVC ignores slots entirely; it derives allowed
+//! VCs from the remaining class sequence (see `flexvc-core`).
+//!
+//! Slot layout per routing mode:
+//!
+//! * MIN: `l0 g1 l2` (Dragonfly) / `t0 t1` (diameter-2).
+//! * VAL `l0 g1 l2 | l3 g4 l5`: first subpath uses MIN slots, second is
+//!   offset by the diameter-dependent reference length (3 / 2).
+//! * PAR `l0 | l1 g2 l3 | l4 g5 l6`: first minimal hop at slot 0; a
+//!   non-diverted continuation maps its global to slot 2 and final local to
+//!   slot 3; a diverted path offsets the Valiant subpaths by +1 and +4
+//!   (+1/+3 for diameter-2).
+
+use crate::packet::PlannedPath;
+use flexvc_core::classify::NetworkFamily;
+use flexvc_core::LinkClass;
+use flexvc_topology::{offset_slots, Route, Topology};
+
+/// Minimal plan with plain MIN slots.
+pub fn min_plan(topo: &dyn Topology, from: usize, to: usize) -> PlannedPath {
+    PlannedPath::from_route(&topo.min_route(from, to))
+}
+
+/// Valiant plan `from → via → to`; degenerate `via` choices (on the minimal
+/// path endpoints) fall back to plain concatenation of the sub-routes.
+pub fn valiant_plan(
+    topo: &dyn Topology,
+    family: NetworkFamily,
+    from: usize,
+    via: usize,
+    to: usize,
+) -> PlannedPath {
+    let offset = second_subpath_offset(family);
+    let mut first = topo.min_route(from, via);
+    let mut second = topo.min_route(via, to);
+    offset_slots(&mut second, offset);
+    first.append(&mut second);
+    PlannedPath::from_route(&first)
+}
+
+/// PAR plan used at injection: a minimal route whose slots leave room for a
+/// later divert (`l0 g2 l3` in the Dragonfly reference).
+pub fn par_min_plan(topo: &dyn Topology, family: NetworkFamily, from: usize, to: usize) -> PlannedPath {
+    let mut route = topo.min_route(from, to);
+    remap_par_min_slots(&mut route, family);
+    PlannedPath::from_route(&route)
+}
+
+/// PAR divert plan adopted in-transit at `divert` (after the first minimal
+/// hop): Valiant via `via` with subpath slots offset by +1 and the
+/// reference length + 1.
+pub fn par_divert_plan(
+    topo: &dyn Topology,
+    family: NetworkFamily,
+    divert: usize,
+    via: usize,
+    to: usize,
+) -> PlannedPath {
+    let mut first = topo.min_route(divert, via);
+    offset_slots(&mut first, 1);
+    let mut second = topo.min_route(via, to);
+    offset_slots(&mut second, second_subpath_offset(family) + 1);
+    first.append(&mut second);
+    PlannedPath::from_route(&first)
+}
+
+/// Offset of the second Valiant subpath in the reference sequence: the
+/// length of the minimal reference (3 for Dragonfly, 2 for diameter-2).
+fn second_subpath_offset(family: NetworkFamily) -> u8 {
+    match family {
+        NetworkFamily::Dragonfly => 3,
+        NetworkFamily::Diameter2 => 2,
+    }
+}
+
+/// Remap MIN slots into the PAR reference (`l0 l1 g2 l3 l4 g5 l6`): the
+/// first hop keeps slot 0; later hops shift past the divert-local slot.
+fn remap_par_min_slots(route: &mut Route, family: NetworkFamily) {
+    match family {
+        NetworkFamily::Dragonfly => {
+            for hop in route.iter_mut() {
+                hop.slot = match (hop.class, hop.slot) {
+                    (LinkClass::Local, 0) => 0,
+                    (LinkClass::Global, 1) => 2,
+                    (LinkClass::Local, 2) => 3,
+                    _ => hop.slot,
+                };
+            }
+        }
+        NetworkFamily::Diameter2 => {
+            // T^5 reference: keep slot 0, shift the second hop to slot 2.
+            for hop in route.iter_mut() {
+                if hop.slot == 1 {
+                    hop.slot = 2;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexvc_topology::{Dragonfly, FlatButterfly2D};
+
+    #[test]
+    fn valiant_plan_slots_are_offset() {
+        let d = Dragonfly::balanced(2);
+        // Pick src/via/dst in three different groups for a full 6-hop path.
+        let from = d.router_id(0, 1);
+        let via = d.router_id(4, 2);
+        let to = d.router_id(7, 3);
+        let plan = valiant_plan(&d, NetworkFamily::Dragonfly, from, via, to);
+        let slots: Vec<u8> = plan.remaining().iter().map(|h| h.slot).collect();
+        // Strictly increasing slots guarantee baseline deadlock-freedom.
+        assert!(slots.windows(2).all(|w| w[0] < w[1]), "slots {slots:?}");
+        assert!(plan.remaining_len() <= 6);
+        // Second-subpath slots are >= 3.
+        let n_first = d.min_route(from, via).len();
+        for (i, h) in plan.remaining().iter().enumerate() {
+            if i >= n_first {
+                assert!(h.slot >= 3, "second subpath slot {}", h.slot);
+            } else {
+                assert!(h.slot < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn valiant_degenerate_via_is_minimal() {
+        let d = Dragonfly::balanced(2);
+        let from = d.router_id(0, 0);
+        let to = d.router_id(2, 1);
+        let plan = valiant_plan(&d, NetworkFamily::Dragonfly, from, from, to);
+        assert_eq!(plan.remaining_len(), d.min_route(from, to).len());
+    }
+
+    #[test]
+    fn par_min_slots_leave_divert_room() {
+        let d = Dragonfly::balanced(2);
+        let from = d.router_id(0, 1);
+        let to = d.router_id(5, 2);
+        let plan = par_min_plan(&d, NetworkFamily::Dragonfly, from, to);
+        for h in plan.remaining() {
+            match h.class {
+                LinkClass::Global => assert_eq!(h.slot, 2),
+                LinkClass::Local => assert!(h.slot == 0 || h.slot == 3),
+            }
+        }
+    }
+
+    #[test]
+    fn par_divert_slots_fit_reference() {
+        let d = Dragonfly::balanced(2);
+        let divert = d.router_id(0, 2);
+        let via = d.router_id(3, 1);
+        let to = d.router_id(6, 0);
+        let plan = par_divert_plan(&d, NetworkFamily::Dragonfly, divert, via, to);
+        let slots: Vec<u8> = plan.remaining().iter().map(|h| h.slot).collect();
+        assert!(slots.windows(2).all(|w| w[0] < w[1]), "slots {slots:?}");
+        // All diverted slots live past the first minimal hop (slot >= 1)
+        // and within the 7-slot PAR reference.
+        assert!(slots.iter().all(|&s| (1..7).contains(&s)), "slots {slots:?}");
+    }
+
+    #[test]
+    fn diameter2_plans() {
+        let t = FlatButterfly2D::new(4, 1);
+        let plan = valiant_plan(&t, NetworkFamily::Diameter2, 0, 10, 15);
+        assert!(plan.remaining_len() <= 4);
+        let slots: Vec<u8> = plan.remaining().iter().map(|h| h.slot).collect();
+        assert!(slots.windows(2).all(|w| w[0] < w[1]), "slots {slots:?}");
+        let pm = par_min_plan(&t, NetworkFamily::Diameter2, 0, 15);
+        let slots: Vec<u8> = pm.remaining().iter().map(|h| h.slot).collect();
+        assert_eq!(slots, vec![0, 2]);
+    }
+}

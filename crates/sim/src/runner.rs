@@ -1,0 +1,165 @@
+//! Experiment runner: parallel execution of independent simulation points.
+//!
+//! Every `(configuration, load, seed)` triple is an independent simulation;
+//! sweeps fan the triples out over a crossbeam scoped thread pool (one
+//! worker per available core) and results come back in input order, so
+//! experiment binaries stay deterministic regardless of scheduling.
+
+use crate::config::SimConfig;
+use crate::engine::Network;
+use crate::metrics::SimResult;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One simulation point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Full configuration.
+    pub cfg: SimConfig,
+    /// Offered load in phits/node/cycle.
+    pub load: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Run one simulation to completion.
+pub fn run_one(cfg: &SimConfig, load: f64, seed: u64) -> Result<SimResult, String> {
+    let mut net = Network::new(cfg.clone(), load, seed)?;
+    Ok(net.run())
+}
+
+/// Run a batch of points in parallel; results are in input order.
+/// Configuration errors abort with a panic (they indicate a programming
+/// error in the experiment definition, not a runtime condition).
+pub fn run_points(points: &[Point]) -> Vec<SimResult> {
+    run_points_with_threads(points, default_threads())
+}
+
+/// [`run_points`] with an explicit worker count (1 = sequential).
+pub fn run_points_with_threads(points: &[Point], threads: usize) -> Vec<SimResult> {
+    let n = points.len();
+    let mut results: Vec<Option<SimResult>> = vec![None; n];
+    if threads <= 1 || n <= 1 {
+        for (i, p) in points.iter().enumerate() {
+            results[i] = Some(run_one(&p.cfg, p.load, p.seed).expect("invalid experiment point"));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<parking_lot::Mutex<Option<SimResult>>> =
+            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        crossbeam::scope(|s| {
+            for _ in 0..threads.min(n) {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let p = &points[i];
+                    let r = run_one(&p.cfg, p.load, p.seed).expect("invalid experiment point");
+                    *slots[i].lock() = Some(r);
+                });
+            }
+        })
+        .expect("worker panicked");
+        for (i, slot) in slots.into_iter().enumerate() {
+            results[i] = slot.into_inner();
+        }
+    }
+    results.into_iter().map(|r| r.expect("slot filled")).collect()
+}
+
+/// Run `seeds` repetitions of one configuration/load and average.
+pub fn run_averaged(cfg: &SimConfig, load: f64, seeds: &[u64]) -> SimResult {
+    let points: Vec<Point> = seeds
+        .iter()
+        .map(|&seed| Point {
+            cfg: cfg.clone(),
+            load,
+            seed,
+        })
+        .collect();
+    SimResult::average(&run_points(&points))
+}
+
+/// Sweep offered loads for one configuration, averaging over `seeds`;
+/// returns `(load, result)` pairs in load order.
+pub fn load_sweep(cfg: &SimConfig, loads: &[f64], seeds: &[u64]) -> Vec<(f64, SimResult)> {
+    let points: Vec<Point> = loads
+        .iter()
+        .flat_map(|&load| {
+            seeds.iter().map(move |&seed| Point {
+                cfg: cfg.clone(),
+                load,
+                seed,
+            })
+        })
+        .collect();
+    let results = run_points(&points);
+    loads
+        .iter()
+        .enumerate()
+        .map(|(i, &load)| {
+            let chunk = &results[i * seeds.len()..(i + 1) * seeds.len()];
+            (load, SimResult::average(chunk))
+        })
+        .collect()
+}
+
+/// Saturation throughput: accepted load at 100% offered load (the paper's
+/// "maximum throughput" metric of Figs. 6 and 11).
+pub fn saturation_throughput(cfg: &SimConfig, seeds: &[u64]) -> SimResult {
+    run_averaged(cfg, 1.0, seeds)
+}
+
+/// Worker count: all cores.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexvc_core::RoutingMode;
+    use flexvc_traffic::{Pattern, Workload};
+
+    fn tiny_cfg() -> SimConfig {
+        let mut cfg = SimConfig::dragonfly_baseline(
+            2,
+            RoutingMode::Min,
+            Workload::oblivious(Pattern::Uniform),
+        )
+        .test_scale();
+        cfg.warmup = 500;
+        cfg.measure = 1000;
+        cfg
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let cfg = tiny_cfg();
+        let points: Vec<Point> = (0..4)
+            .map(|i| Point {
+                cfg: cfg.clone(),
+                load: 0.2,
+                seed: i,
+            })
+            .collect();
+        let seq = run_points_with_threads(&points, 1);
+        let par = run_points_with_threads(&points, 4);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.accepted, b.accepted);
+            assert_eq!(a.latency, b.latency);
+        }
+    }
+
+    #[test]
+    fn load_sweep_orders_results() {
+        let cfg = tiny_cfg();
+        let sweep = load_sweep(&cfg, &[0.1, 0.3], &[1, 2]);
+        assert_eq!(sweep.len(), 2);
+        assert!(sweep[0].0 < sweep[1].0);
+        assert!(sweep[0].1.accepted > 0.0);
+        assert!(sweep[1].1.accepted > sweep[0].1.accepted);
+    }
+}

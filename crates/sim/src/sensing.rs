@@ -1,0 +1,157 @@
+//! Piggyback congestion sensing (paper §II "PB and source adaptive
+//! routing", §III-D, §V-C).
+//!
+//! Every router measures the occupancy of its global output ports (mirrored
+//! by its credit counters), marks ports *saturated* when they exceed the
+//! group-local average by 50% (with a floor of `T` packets to avoid
+//! flapping at idle), and shares the flags with the routers of its group.
+//! Sharing is modelled by a per-group double-buffered board swapped every
+//! local-link-latency cycles, matching the piggybacked distribution delay.
+//!
+//! At injection the router routes minimally unless the minimal path's
+//! global channel is flagged saturated or the local credit comparison
+//! `q_min > 2·q_val + T` prefers the Valiant path (UGAL-style).
+
+use flexvc_core::MessageClass;
+
+/// Per-group saturation board: `flags[router_local][global_port][class]`.
+///
+/// Writers update `next`; readers see `cur`; the two swap every
+/// `swap_period` cycles, so information is between 0 and 2 periods stale.
+#[derive(Debug, Clone)]
+pub struct GroupBoard {
+    cur: Vec<[bool; 2]>,
+    next: Vec<[bool; 2]>,
+    routers: usize,
+    global_ports: usize,
+    swap_period: u64,
+    last_swap: u64,
+}
+
+impl GroupBoard {
+    /// Board for `routers` routers with `global_ports` global ports each.
+    pub fn new(routers: usize, global_ports: usize, swap_period: u64) -> Self {
+        let size = routers * global_ports;
+        GroupBoard {
+            cur: vec![[false; 2]; size],
+            next: vec![[false; 2]; size],
+            routers,
+            global_ports,
+            swap_period: swap_period.max(1),
+            last_swap: 0,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, router_local: usize, gp: usize) -> usize {
+        debug_assert!(router_local < self.routers && gp < self.global_ports);
+        router_local * self.global_ports + gp
+    }
+
+    /// Publish a router's flag for one of its global ports.
+    pub fn publish(&mut self, router_local: usize, gp: usize, class: MessageClass, sat: bool) {
+        let i = self.idx(router_local, gp);
+        self.next[i][class.index()] = sat;
+    }
+
+    /// Read the (delayed) flag of a global port in the group.
+    pub fn read(&self, router_local: usize, gp: usize, class: MessageClass) -> bool {
+        self.cur[self.idx(router_local, gp)][class.index()]
+    }
+
+    /// Advance time; swap buffers when the period elapses.
+    pub fn tick(&mut self, now: u64) {
+        if now >= self.last_swap + self.swap_period {
+            std::mem::swap(&mut self.cur, &mut self.next);
+            // Carry current knowledge forward so unwritten entries persist.
+            self.next.copy_from_slice(&self.cur);
+            self.last_swap = now;
+        }
+    }
+}
+
+/// Saturation rule: occupancy exceeds the average of the router's global
+/// ports by 50% *and* at least `floor_phits` (the `T`-packet floor).
+pub fn saturated_flags(occ: &[u32], floor_phits: u32) -> Vec<bool> {
+    if occ.is_empty() {
+        return Vec::new();
+    }
+    let avg = occ.iter().map(|&o| o as f64).sum::<f64>() / occ.len() as f64;
+    occ.iter()
+        .map(|&o| (o as f64) > 1.5 * avg && o >= floor_phits.max(1))
+        .collect()
+}
+
+/// UGAL/PB injection decision: take the Valiant path?
+///
+/// `q_min`/`q_val` are local occupancies (phits) toward the minimal and
+/// Valiant next hops; the minimal path is additionally vetoed by its global
+/// channel's saturation flag.
+pub fn choose_nonminimal(min_sat: bool, q_min: u32, q_val: u32, threshold_phits: u32) -> bool {
+    min_sat || q_min > 2 * q_val + threshold_phits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_needs_both_conditions() {
+        // avg = 10; 1.5*avg = 15; floor = 24.
+        assert_eq!(
+            saturated_flags(&[40, 0, 0, 0], 24),
+            vec![true, false, false, false]
+        );
+        // 40 > 15 but below the floor of 48.
+        assert_eq!(
+            saturated_flags(&[40, 0, 0, 0], 48),
+            vec![false, false, false, false]
+        );
+        // Balanced load: nothing saturated even when high.
+        assert_eq!(
+            saturated_flags(&[100, 100, 100, 100], 24),
+            vec![false; 4]
+        );
+    }
+
+    #[test]
+    fn empty_occupancies() {
+        assert!(saturated_flags(&[], 24).is_empty());
+    }
+
+    #[test]
+    fn ugal_decision() {
+        assert!(choose_nonminimal(true, 0, 100, 24));
+        assert!(!choose_nonminimal(false, 10, 0, 24));
+        assert!(choose_nonminimal(false, 25, 0, 24));
+        assert!(!choose_nonminimal(false, 48, 12, 24)); // 48 <= 24+24
+        assert!(choose_nonminimal(false, 49, 12, 24));
+    }
+
+    #[test]
+    fn board_delays_visibility() {
+        let mut b = GroupBoard::new(2, 2, 10);
+        b.publish(1, 0, MessageClass::Request, true);
+        assert!(!b.read(1, 0, MessageClass::Request), "not visible yet");
+        b.tick(5);
+        assert!(!b.read(1, 0, MessageClass::Request), "period not elapsed");
+        b.tick(10);
+        assert!(b.read(1, 0, MessageClass::Request), "visible after swap");
+        // Knowledge persists across swaps without re-publishing.
+        b.tick(20);
+        assert!(b.read(1, 0, MessageClass::Request));
+        // Clearing propagates too.
+        b.publish(1, 0, MessageClass::Request, false);
+        b.tick(30);
+        assert!(!b.read(1, 0, MessageClass::Request));
+    }
+
+    #[test]
+    fn board_classes_are_independent() {
+        let mut b = GroupBoard::new(1, 1, 1);
+        b.publish(0, 0, MessageClass::Reply, true);
+        b.tick(1);
+        assert!(b.read(0, 0, MessageClass::Reply));
+        assert!(!b.read(0, 0, MessageClass::Request));
+    }
+}

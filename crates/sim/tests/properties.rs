@@ -1,0 +1,146 @@
+//! Property-based tests of the simulator's flow-control accounting.
+
+use flexvc_core::CreditClass;
+use flexvc_sim::bank::Occupancy;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add { vc: usize, phits: u32, min: bool },
+    Remove { vc: usize },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..4, 1u32..16, any::<bool>())
+                .prop_map(|(vc, phits, min)| Op::Add { vc, phits, min }),
+            (0usize..4).prop_map(|vc| Op::Remove { vc }),
+        ],
+        0..64,
+    )
+}
+
+/// Replay adds/removes against an occupancy model; maintain a shadow ledger
+/// per (vc, class) so removes always match a prior add.
+fn replay(mut occ: Occupancy, ops: &[Op]) -> (Occupancy, Vec<Vec<(u32, CreditClass)>>) {
+    let vcs = occ.vcs();
+    let mut ledger: Vec<Vec<(u32, CreditClass)>> = vec![Vec::new(); vcs];
+    for op in ops {
+        match *op {
+            Op::Add { vc, phits, min } => {
+                let vc = vc % vcs;
+                let class = if min {
+                    CreditClass::MinRouted
+                } else {
+                    CreditClass::NonMinRouted
+                };
+                if occ.can_accept(vc, phits) {
+                    occ.add(vc, phits, class);
+                    ledger[vc].push((phits, class));
+                }
+            }
+            Op::Remove { vc } => {
+                let vc = vc % vcs;
+                if let Some((phits, class)) = ledger[vc].pop() {
+                    occ.remove(vc, phits, class);
+                }
+            }
+        }
+    }
+    (occ, ledger)
+}
+
+proptest! {
+    /// Static banks: occupancy equals the ledger, per-VC caps are never
+    /// exceeded, and free space is exact.
+    #[test]
+    fn static_occupancy_invariants(ops in arb_ops()) {
+        let (occ, ledger) = replay(Occupancy::new_static(4, 32), &ops);
+        let mut total = 0;
+        for vc in 0..4 {
+            let expect: u32 = ledger[vc].iter().map(|(p, _)| p).sum();
+            prop_assert_eq!(occ.occupancy(vc), expect);
+            prop_assert!(occ.occupancy(vc) <= 32);
+            prop_assert_eq!(occ.free_for(vc), 32 - expect);
+            let min: u32 = ledger[vc]
+                .iter()
+                .filter(|(_, c)| *c == CreditClass::MinRouted)
+                .map(|(p, _)| p)
+                .sum();
+            prop_assert_eq!(occ.split(vc).min_occupancy(), min);
+            total += expect;
+        }
+        prop_assert_eq!(occ.total(), total);
+    }
+
+    /// DAMQ banks: the shared pool is never oversubscribed, every VC always
+    /// retains its private reservation, and can_accept is exact (accepting
+    /// what it promised, rejecting what would overflow).
+    #[test]
+    fn damq_occupancy_invariants(ops in arb_ops(), private in 0u32..=16) {
+        let total_cap = 64;
+        let (occ, ledger) = replay(Occupancy::new_damq(4, total_cap, private), &ops);
+        let mut shared_used = 0;
+        for vc in 0..4 {
+            let expect: u32 = ledger[vc].iter().map(|(p, _)| p).sum();
+            prop_assert_eq!(occ.occupancy(vc), expect);
+            shared_used += expect.saturating_sub(private);
+        }
+        prop_assert!(shared_used <= total_cap - 4 * private);
+        for vc in 0..4 {
+            // The private reservation is always available.
+            let private_head = private.saturating_sub(occ.occupancy(vc));
+            prop_assert!(occ.free_for(vc) >= private_head);
+            // can_accept agrees with free_for.
+            if occ.free_for(vc) >= 8 {
+                prop_assert!(occ.can_accept(vc, 8));
+            } else {
+                prop_assert!(!occ.can_accept(vc, 8));
+            }
+        }
+    }
+
+    /// A DAMQ with full private reservation behaves exactly like a static
+    /// bank under any operation sequence.
+    #[test]
+    fn damq_full_private_equals_static(ops in arb_ops()) {
+        let (damq, _) = replay(Occupancy::new_damq(4, 128, 32), &ops);
+        let (stat, _) = replay(Occupancy::new_static(4, 32), &ops);
+        for vc in 0..4 {
+            prop_assert_eq!(damq.occupancy(vc), stat.occupancy(vc));
+            prop_assert_eq!(damq.free_for(vc), stat.free_for(vc));
+            for size in [1u32, 8, 32] {
+                prop_assert_eq!(damq.can_accept(vc, size), stat.can_accept(vc, size));
+            }
+        }
+    }
+}
+
+mod determinism {
+    use flexvc_core::RoutingMode;
+    use flexvc_sim::prelude::*;
+    use flexvc_traffic::{Pattern, Workload};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        /// Same seed, same result — across arbitrary seeds and loads.
+        #[test]
+        fn simulation_is_deterministic(seed in 0u64..1000, load in 1u32..9) {
+            let mut cfg = SimConfig::dragonfly_baseline(
+                2,
+                RoutingMode::Min,
+                Workload::oblivious(Pattern::Uniform),
+            );
+            cfg.warmup = 300;
+            cfg.measure = 700;
+            let load = load as f64 / 10.0;
+            let a = run_one(&cfg, load, seed).unwrap();
+            let b = run_one(&cfg, load, seed).unwrap();
+            prop_assert_eq!(a.accepted, b.accepted);
+            prop_assert_eq!(a.latency, b.latency);
+            prop_assert_eq!(a.misroute_fraction, b.misroute_fraction);
+        }
+    }
+}

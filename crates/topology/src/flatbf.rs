@@ -1,0 +1,212 @@
+//! 2-D flattened butterfly used as the paper's *generic diameter-2 network*.
+//!
+//! Routers sit on a `k × k` grid; each router links to every other router in
+//! its row and in its column, giving diameter 2. Following the paper's
+//! generic-network abstraction (Figures 1/3, Tables I/II) we impose *no*
+//! link-class restriction: all links share one class and deadlock avoidance
+//! is purely distance-based, so the single-class arrangements
+//! [`flexvc_core::Arrangement::generic`] apply directly.
+//!
+//! Minimal routes take the row hop first when both coordinates differ
+//! (deterministic, keeps baseline slots well-defined); same-row or
+//! same-column pairs need a single hop.
+
+use crate::route::{ClassPath, Route, RouteHop};
+use crate::Topology;
+use flexvc_core::classify::NetworkFamily;
+use flexvc_core::LinkClass;
+
+/// A `k × k` flattened butterfly with `p` terminals per router.
+#[derive(Debug, Clone)]
+pub struct FlatButterfly2D {
+    /// Routers per row/column.
+    pub k: usize,
+    /// Terminals per router.
+    pub p: usize,
+}
+
+impl FlatButterfly2D {
+    /// Build a `k × k` FB with `p` terminals per router.
+    pub fn new(k: usize, p: usize) -> Self {
+        assert!(k >= 2 && p >= 1, "degenerate flattened butterfly");
+        FlatButterfly2D { k, p }
+    }
+
+    /// Router coordinates `(x = column, y = row)`.
+    #[inline]
+    pub fn coords(&self, router: usize) -> (usize, usize) {
+        (router % self.k, router / self.k)
+    }
+
+    /// Router id from coordinates.
+    #[inline]
+    pub fn router_at(&self, x: usize, y: usize) -> usize {
+        y * self.k + x
+    }
+
+    /// Port on `(x, y)` leading to `(x2, y)` (row link; `x2 != x`).
+    #[inline]
+    fn row_port(&self, x: usize, x2: usize) -> usize {
+        debug_assert_ne!(x, x2);
+        if x2 < x {
+            x2
+        } else {
+            x2 - 1
+        }
+    }
+
+    /// Port on `(x, y)` leading to `(x, y2)` (column link; `y2 != y`).
+    #[inline]
+    fn col_port(&self, y: usize, y2: usize) -> usize {
+        (self.k - 1) + if y2 < y { y2 } else { y2 - 1 }
+    }
+}
+
+impl Topology for FlatButterfly2D {
+    fn num_routers(&self) -> usize {
+        self.k * self.k
+    }
+
+    fn nodes_per_router(&self) -> usize {
+        self.p
+    }
+
+    fn num_ports(&self) -> usize {
+        2 * (self.k - 1)
+    }
+
+    fn neighbor(&self, router: usize, port: usize) -> Option<(usize, usize)> {
+        let (x, y) = self.coords(router);
+        if port < self.k - 1 {
+            let x2 = if port < x { port } else { port + 1 };
+            Some((self.router_at(x2, y), self.row_port(x2, x)))
+        } else if port < 2 * (self.k - 1) {
+            let q = port - (self.k - 1);
+            let y2 = if q < y { q } else { q + 1 };
+            Some((self.router_at(x, y2), self.col_port(y2, y)))
+        } else {
+            None
+        }
+    }
+
+    fn port_class(&self, _router: usize, _port: usize) -> LinkClass {
+        LinkClass::Local // generic network: single class
+    }
+
+    fn min_route(&self, from: usize, to: usize) -> Route {
+        let mut route = Route::new();
+        if from == to {
+            return route;
+        }
+        let (x1, y1) = self.coords(from);
+        let (x2, y2) = self.coords(to);
+        let mut slot = 0;
+        if x1 != x2 {
+            route.push(RouteHop {
+                port: self.row_port(x1, x2) as u16,
+                class: LinkClass::Local,
+                slot,
+            });
+            slot += 1;
+        }
+        if y1 != y2 {
+            route.push(RouteHop {
+                port: self.col_port(y1, y2) as u16,
+                class: LinkClass::Local,
+                slot,
+            });
+        }
+        route
+    }
+
+    fn min_classes(&self, from: usize, to: usize) -> ClassPath {
+        let (x1, y1) = self.coords(from);
+        let (x2, y2) = self.coords(to);
+        let mut path = ClassPath::new();
+        if x1 != x2 {
+            path.push(LinkClass::Local);
+        }
+        if y1 != y2 {
+            path.push(LinkClass::Local);
+        }
+        path
+    }
+
+    fn diameter(&self) -> usize {
+        2
+    }
+
+    fn family(&self) -> NetworkFamily {
+        NetworkFamily::Diameter2
+    }
+
+    /// Rows play the role of groups for adversarial displacement.
+    fn num_groups(&self) -> usize {
+        self.k
+    }
+
+    fn group_of_router(&self, router: usize) -> usize {
+        router / self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{bfs_distances, check_wiring};
+
+    fn fb() -> FlatButterfly2D {
+        FlatButterfly2D::new(4, 2)
+    }
+
+    #[test]
+    fn dimensions() {
+        let t = fb();
+        assert_eq!(t.num_routers(), 16);
+        assert_eq!(t.num_nodes(), 32);
+        assert_eq!(t.num_ports(), 6);
+        assert_eq!(t.num_groups(), 4);
+    }
+
+    #[test]
+    fn wiring_is_involutive() {
+        check_wiring(&fb()).expect("clean involution");
+    }
+
+    #[test]
+    fn diameter_is_two() {
+        let t = fb();
+        let max = (0..t.num_routers())
+            .map(|r| *bfs_distances(&t, r).iter().max().unwrap())
+            .max()
+            .unwrap();
+        assert_eq!(max, 2);
+    }
+
+    #[test]
+    fn min_route_reaches_destination_with_bfs_length() {
+        let t = fb();
+        for from in 0..t.num_routers() {
+            let dist = bfs_distances(&t, from);
+            for to in 0..t.num_routers() {
+                let route = t.min_route(from, to);
+                let mut cur = from;
+                for hop in &route {
+                    cur = t.neighbor(cur, hop.port as usize).unwrap().0;
+                }
+                assert_eq!(cur, to);
+                assert_eq!(route.len(), dist[to]);
+                assert_eq!(t.min_classes(from, to).len(), route.len());
+            }
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = fb();
+        for r in 0..t.num_routers() {
+            let (x, y) = t.coords(r);
+            assert_eq!(t.router_at(x, y), r);
+        }
+    }
+}

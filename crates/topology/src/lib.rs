@@ -1,0 +1,107 @@
+//! # flexvc-topology — low-diameter network topologies
+//!
+//! Concrete topologies used by the FlexVC evaluation:
+//!
+//! * [`Dragonfly`] — the canonical Dragonfly of Kim et al. (ISCA 2008):
+//!   groups of `a` fully-connected routers, `h` global links per router,
+//!   `p` terminals per router, every pair of groups joined by exactly one
+//!   global link when `g = a·h + 1`. This is the paper's evaluation
+//!   platform (Table V uses the balanced `h = 8` instance with 2,064
+//!   routers and 16,512 nodes).
+//! * [`FlatButterfly2D`] — a 2-D flattened butterfly treated as a *generic
+//!   diameter-2 network* (single link class, no traversal-order
+//!   restriction), the setting of the paper's Figures 1/3 and Tables I/II.
+//!
+//! All topologies implement the [`Topology`] trait consumed by the
+//! simulator: port-level adjacency, link classes, minimal route
+//! computation (with baseline reference-path slots) and the group
+//! structure needed by adversarial traffic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dragonfly;
+pub mod flatbf;
+pub mod route;
+pub mod validate;
+
+pub use dragonfly::{Dragonfly, GlobalArrangement};
+pub use flatbf::FlatButterfly2D;
+pub use route::{offset_slots, ClassPath, Route, RouteHop};
+
+use flexvc_core::classify::NetworkFamily;
+use flexvc_core::LinkClass;
+
+/// Port-level view of a network topology.
+///
+/// Routers are numbered `0..num_routers()`; each has `num_ports()` network
+/// ports (injection/ejection channels are modelled by the simulator, not the
+/// topology). Nodes (terminals) are numbered `0..num_nodes()` and attach in
+/// blocks of `nodes_per_router()`.
+pub trait Topology: Send + Sync {
+    /// Number of routers.
+    fn num_routers(&self) -> usize;
+
+    /// Terminals attached to each router (`p` in Dragonfly notation).
+    fn nodes_per_router(&self) -> usize;
+
+    /// Network (inter-router) ports per router.
+    fn num_ports(&self) -> usize;
+
+    /// Remote end of a port: `(router, their_port)`, or `None` if the port
+    /// is unwired (possible in truncated Dragonflies).
+    fn neighbor(&self, router: usize, port: usize) -> Option<(usize, usize)>;
+
+    /// Link class of a port.
+    fn port_class(&self, router: usize, port: usize) -> LinkClass;
+
+    /// Minimal route between two routers, annotated with baseline
+    /// reference-path slots. Empty when `from == to`.
+    fn min_route(&self, from: usize, to: usize) -> Route;
+
+    /// Link classes of the minimal route, without computing ports. Used on
+    /// the simulator's hot path for escape-path checks.
+    fn min_classes(&self, from: usize, to: usize) -> ClassPath;
+
+    /// Network diameter in hops.
+    fn diameter(&self) -> usize;
+
+    /// Classification family (link-class restrictions or generic).
+    fn family(&self) -> NetworkFamily;
+
+    /// Number of groups (Dragonfly) or rows (FB); the unit of adversarial
+    /// traffic displacement.
+    fn num_groups(&self) -> usize;
+
+    /// Group of a router.
+    fn group_of_router(&self, router: usize) -> usize;
+
+    // ------------------------------------------------------------------
+    // Provided methods
+    // ------------------------------------------------------------------
+
+    /// Total number of terminals.
+    fn num_nodes(&self) -> usize {
+        self.num_routers() * self.nodes_per_router()
+    }
+
+    /// Router a node attaches to.
+    fn router_of_node(&self, node: usize) -> usize {
+        node / self.nodes_per_router()
+    }
+
+    /// Group of a node.
+    fn group_of_node(&self, node: usize) -> usize {
+        self.group_of_router(self.router_of_node(node))
+    }
+
+    /// Routers per group.
+    fn routers_per_group(&self) -> usize {
+        self.num_routers() / self.num_groups()
+    }
+
+    /// Minimal distance in hops between two routers.
+    fn min_distance(&self, from: usize, to: usize) -> usize {
+        self.min_classes(from, to).len()
+    }
+}

@@ -1,0 +1,151 @@
+//! Route representations shared by topologies and the simulator.
+
+use flexvc_core::LinkClass;
+
+/// One hop of a computed route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteHop {
+    /// Output port at the current router.
+    pub port: u16,
+    /// Link class of that port.
+    pub class: LinkClass,
+    /// Baseline reference-path slot (position within the routing mode's
+    /// reference sequence) used by the distance-based policy. FlexVC
+    /// ignores it.
+    pub slot: u8,
+}
+
+/// A computed route: the sequence of hops from a source router to a
+/// destination router.
+pub type Route = Vec<RouteHop>;
+
+/// Offset every slot of a route (used to shift the second Valiant subpath
+/// into the `l3 g4 l5` half of the reference sequence).
+pub fn offset_slots(route: &mut Route, offset: u8) {
+    for hop in route {
+        hop.slot += offset;
+    }
+}
+
+/// A short inline sequence of link classes (max 8, enough for the PAR
+/// reference path). Copy-friendly so the simulator can query minimal
+/// continuations without allocating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassPath {
+    len: u8,
+    classes: [LinkClass; 8],
+}
+
+impl ClassPath {
+    /// Empty path.
+    pub fn new() -> Self {
+        ClassPath {
+            len: 0,
+            classes: [LinkClass::Local; 8],
+        }
+    }
+
+    /// Build from a slice (panics if longer than 8).
+    pub fn from_slice(s: &[LinkClass]) -> Self {
+        let mut p = Self::new();
+        for &c in s {
+            p.push(c);
+        }
+        p
+    }
+
+    /// Append a class (panics beyond capacity 8).
+    pub fn push(&mut self, c: LinkClass) {
+        assert!((self.len as usize) < 8, "ClassPath overflow");
+        self.classes[self.len as usize] = c;
+        self.len += 1;
+    }
+
+    /// Number of hops.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` when there are no hops.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// View as a slice.
+    pub fn as_slice(&self) -> &[LinkClass] {
+        &self.classes[..self.len as usize]
+    }
+}
+
+impl Default for ClassPath {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for ClassPath {
+    type Target = [LinkClass];
+    fn deref(&self) -> &[LinkClass] {
+        self.as_slice()
+    }
+}
+
+impl FromIterator<LinkClass> for ClassPath {
+    fn from_iter<I: IntoIterator<Item = LinkClass>>(iter: I) -> Self {
+        let mut p = Self::new();
+        for c in iter {
+            p.push(c);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexvc_core::seq;
+
+    #[test]
+    fn classpath_roundtrip() {
+        let p = ClassPath::from_slice(&seq!(L G L));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.as_slice(), &seq!(L G L));
+        assert!(!p.is_empty());
+        assert!(ClassPath::new().is_empty());
+    }
+
+    #[test]
+    fn classpath_deref_and_collect() {
+        let p: ClassPath = seq!(G L).into_iter().collect();
+        assert_eq!(&p[..], &seq!(G L));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn classpath_overflow() {
+        let mut p = ClassPath::new();
+        for _ in 0..9 {
+            p.push(LinkClass::Local);
+        }
+    }
+
+    #[test]
+    fn offset_slots_shifts() {
+        let mut r: Route = vec![
+            RouteHop {
+                port: 1,
+                class: LinkClass::Local,
+                slot: 0,
+            },
+            RouteHop {
+                port: 2,
+                class: LinkClass::Global,
+                slot: 1,
+            },
+        ];
+        offset_slots(&mut r, 3);
+        assert_eq!(r[0].slot, 3);
+        assert_eq!(r[1].slot, 4);
+    }
+}

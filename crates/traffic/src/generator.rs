@@ -1,0 +1,323 @@
+//! Per-node traffic generator state machines.
+
+use crate::pattern::Pattern;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Geometry of the node population needed for destination selection.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeSpace {
+    /// Total number of nodes in the network.
+    pub num_nodes: usize,
+    /// Nodes per group (contiguous node-id blocks per group).
+    pub nodes_per_group: usize,
+    /// Number of groups.
+    pub num_groups: usize,
+}
+
+impl NodeSpace {
+    /// Group of a node id.
+    #[inline]
+    pub fn group_of(&self, node: usize) -> usize {
+        node / self.nodes_per_group
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BurstState {
+    Off,
+    On {
+        dest: usize,
+        /// Cycles until the next packet may be emitted (line-rate pacing).
+        cooldown: u32,
+    },
+}
+
+/// Per-node generator: owns its RNG so simulations are deterministic and
+/// nodes can be stepped independently (the parallel runner shards by node).
+#[derive(Debug)]
+pub struct NodeGenerator {
+    node: usize,
+    space: NodeSpace,
+    pattern: Pattern,
+    /// Packet generation probability per cycle (Bernoulli patterns).
+    packet_prob: f64,
+    /// Burst model parameters.
+    packet_size: u32,
+    burst_end_prob: f64,
+    burst_start_prob: f64,
+    state: BurstState,
+    rng: SmallRng,
+}
+
+impl NodeGenerator {
+    /// Build the generator for `node` at `load` phits/node/cycle with
+    /// `packet_size`-phit packets. The `seed` should be the experiment seed;
+    /// it is mixed with the node id so every node draws an independent
+    /// stream.
+    pub fn new(
+        pattern: Pattern,
+        node: usize,
+        space: NodeSpace,
+        load: f64,
+        packet_size: u32,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&load), "load in phits/node/cycle");
+        assert!(packet_size >= 1);
+        let packet_prob = load / packet_size as f64;
+        let (burst_end_prob, burst_start_prob) = match pattern {
+            Pattern::BurstyUniform { mean_burst } => {
+                assert!(mean_burst >= 1.0, "mean burst below one packet");
+                // ON bursts emit at line rate: one packet per packet_size
+                // cycles, mean_burst packets per burst. Mean ON duration is
+                // mean_burst * packet_size cycles at load 1.0, so the OFF
+                // duration satisfies load = on / (on + off).
+                let end = 1.0 / mean_burst;
+                let on_cycles = mean_burst * packet_size as f64;
+                // Renewal period = first packet of a burst to first packet of
+                // the next: (mean_burst − 1) in-burst gaps of packet_size
+                // cycles plus the OFF gap. Solve load = on_cycles / period
+                // for the OFF gap; at load 1.0 the gap equals the in-burst
+                // gap, i.e. exact line rate.
+                let start = if load <= 0.0 {
+                    0.0
+                } else {
+                    let off_cycles = on_cycles * (1.0 - load) / load + packet_size as f64;
+                    (1.0 / off_cycles).min(1.0)
+                };
+                (end, start)
+            }
+            _ => (0.0, 0.0),
+        };
+        NodeGenerator {
+            node,
+            space,
+            pattern,
+            packet_prob,
+            packet_size,
+            burst_end_prob,
+            burst_start_prob,
+            state: BurstState::Off,
+            rng: SmallRng::seed_from_u64(seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Uniform destination ≠ self.
+    fn uniform_dest(&mut self) -> usize {
+        debug_assert!(self.space.num_nodes > 1);
+        let mut d = self.rng.gen_range(0..self.space.num_nodes - 1);
+        if d >= self.node {
+            d += 1;
+        }
+        d
+    }
+
+    /// Random node in the group `offset` groups ahead.
+    fn adversarial_dest(&mut self, offset: usize) -> usize {
+        let g = (self.space.group_of(self.node) + offset) % self.space.num_groups;
+        g * self.space.nodes_per_group + self.rng.gen_range(0..self.space.nodes_per_group)
+    }
+
+    /// Step one cycle; returns the destination of a newly generated packet,
+    /// if one is generated this cycle.
+    pub fn next_packet(&mut self, _cycle: u64) -> Option<usize> {
+        match self.pattern {
+            Pattern::Uniform => {
+                (self.rng.gen::<f64>() < self.packet_prob).then(|| self.uniform_dest())
+            }
+            Pattern::Adversarial { offset } => {
+                (self.rng.gen::<f64>() < self.packet_prob).then(|| self.adversarial_dest(offset))
+            }
+            Pattern::BurstyUniform { .. } => self.step_burst(),
+        }
+    }
+
+    fn step_burst(&mut self) -> Option<usize> {
+        match self.state {
+            BurstState::Off => {
+                if self.rng.gen::<f64>() < self.burst_start_prob {
+                    let dest = self.uniform_dest();
+                    // Emit the first packet of the burst immediately.
+                    self.after_packet(dest);
+                    Some(dest)
+                } else {
+                    None
+                }
+            }
+            BurstState::On { dest, cooldown } => {
+                if cooldown > 1 {
+                    self.state = BurstState::On {
+                        dest,
+                        cooldown: cooldown - 1,
+                    };
+                    None
+                } else {
+                    self.after_packet(dest);
+                    Some(dest)
+                }
+            }
+        }
+    }
+
+    /// Post-packet bookkeeping: geometric burst termination, line-rate
+    /// pacing within the burst.
+    fn after_packet(&mut self, dest: usize) {
+        if self.rng.gen::<f64>() < self.burst_end_prob {
+            self.state = BurstState::Off;
+        } else {
+            self.state = BurstState::On {
+                dest,
+                cooldown: self.packet_size,
+            };
+        }
+    }
+
+    /// The node this generator belongs to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> NodeSpace {
+        NodeSpace {
+            num_nodes: 72,
+            nodes_per_group: 8,
+            num_groups: 9,
+        }
+    }
+
+    fn run(gen: &mut NodeGenerator, cycles: u64) -> Vec<(u64, usize)> {
+        (0..cycles)
+            .filter_map(|c| gen.next_packet(c).map(|d| (c, d)))
+            .collect()
+    }
+
+    #[test]
+    fn uniform_never_targets_self() {
+        let mut g = NodeGenerator::new(Pattern::Uniform, 10, space(), 0.9, 8, 1);
+        for (_, d) in run(&mut g, 20_000) {
+            assert_ne!(d, 10);
+            assert!(d < 72);
+        }
+    }
+
+    #[test]
+    fn uniform_covers_all_destinations() {
+        let mut g = NodeGenerator::new(Pattern::Uniform, 0, space(), 1.0, 8, 2);
+        let mut seen = vec![false; 72];
+        for (_, d) in run(&mut g, 50_000) {
+            seen[d] = true;
+        }
+        let missing: Vec<_> = (1..72).filter(|&i| !seen[i]).collect();
+        assert!(missing.is_empty(), "unreached destinations: {missing:?}");
+        assert!(!seen[0]);
+    }
+
+    #[test]
+    fn uniform_load_matches_offered() {
+        let load = 0.5;
+        let mut g = NodeGenerator::new(Pattern::Uniform, 3, space(), load, 8, 3);
+        let packets = run(&mut g, 200_000).len() as f64;
+        let measured = packets * 8.0 / 200_000.0;
+        assert!(
+            (measured - load).abs() < 0.02,
+            "measured {measured}, offered {load}"
+        );
+    }
+
+    #[test]
+    fn adversarial_targets_next_group_only() {
+        let mut g = NodeGenerator::new(Pattern::adv1(), 12, space(), 0.8, 8, 4);
+        // Node 12 is in group 1; all destinations must be in group 2.
+        for (_, d) in run(&mut g, 20_000) {
+            assert_eq!(d / 8, 2);
+        }
+    }
+
+    #[test]
+    fn adversarial_wraps_around() {
+        let last_group_node = 71; // group 8
+        let mut g = NodeGenerator::new(Pattern::adv1(), last_group_node, space(), 0.8, 8, 5);
+        for (_, d) in run(&mut g, 5_000) {
+            assert_eq!(d / 8, 0, "ADV+1 from the last group wraps to group 0");
+        }
+    }
+
+    #[test]
+    fn bursty_mean_burst_length_is_five() {
+        let mut g = NodeGenerator::new(Pattern::bursty(), 7, space(), 0.4, 8, 6);
+        let events = run(&mut g, 2_000_000);
+        // Reconstruct bursts: consecutive packets with the same destination
+        // spaced exactly packet_size cycles apart belong to one burst.
+        let mut bursts = Vec::new();
+        let mut cur_len = 0u32;
+        let mut last: Option<(u64, usize)> = None;
+        for (c, d) in events {
+            match last {
+                Some((lc, ld)) if ld == d && c == lc + 8 => cur_len += 1,
+                _ => {
+                    if cur_len > 0 {
+                        bursts.push(cur_len);
+                    }
+                    cur_len = 1;
+                }
+            }
+            last = Some((c, d));
+        }
+        bursts.push(cur_len);
+        let mean = bursts.iter().map(|&b| b as f64).sum::<f64>() / bursts.len() as f64;
+        assert!(
+            (mean - 5.0).abs() < 0.3,
+            "mean burst length {mean}, want ~5"
+        );
+    }
+
+    #[test]
+    fn bursty_load_matches_offered() {
+        for load in [0.2, 0.5, 0.8] {
+            let mut g = NodeGenerator::new(Pattern::bursty(), 1, space(), load, 8, 7);
+            let packets = run(&mut g, 400_000).len() as f64;
+            let measured = packets * 8.0 / 400_000.0;
+            assert!(
+                (measured - load).abs() < 0.05,
+                "measured {measured}, offered {load}"
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_full_load_saturates() {
+        let mut g = NodeGenerator::new(Pattern::bursty(), 1, space(), 1.0, 8, 8);
+        let packets = run(&mut g, 80_000).len() as f64;
+        let measured = packets * 8.0 / 80_000.0;
+        assert!(measured > 0.95, "line-rate bursts, measured {measured}");
+    }
+
+    #[test]
+    fn zero_load_generates_nothing() {
+        for p in [Pattern::Uniform, Pattern::adv1(), Pattern::bursty()] {
+            let mut g = NodeGenerator::new(p, 1, space(), 0.0, 8, 9);
+            assert!(run(&mut g, 10_000).is_empty(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mk = || NodeGenerator::new(Pattern::Uniform, 5, space(), 0.7, 8, 42);
+        let a = run(&mut mk(), 10_000);
+        let b = run(&mut mk(), 10_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_nodes_draw_different_streams() {
+        let mut g1 = NodeGenerator::new(Pattern::Uniform, 1, space(), 0.7, 8, 42);
+        let mut g2 = NodeGenerator::new(Pattern::Uniform, 2, space(), 0.7, 8, 42);
+        assert_ne!(run(&mut g1, 5_000), run(&mut g2, 5_000));
+    }
+}

@@ -1,0 +1,43 @@
+//! # flexvc-traffic — synthetic traffic generation
+//!
+//! The three patterns of the paper's evaluation (§IV-B), plus the
+//! request–reply ("reactive") wrapper:
+//!
+//! * **UN** — Bernoulli process, uniformly random destination (≠ source).
+//! * **ADV+k** — Bernoulli process, random destination in the group `k`
+//!   groups ahead; all minimal traffic funnels through a single global
+//!   link, demanding Valiant/adaptive routing.
+//! * **BURSTY-UN** — two-state Markov ON/OFF model (found representative
+//!   of data-centre traffic): an ON burst emits back-to-back packets at
+//!   line rate toward a single destination; burst length is geometric with
+//!   a configurable mean (5 packets in the paper); OFF durations are tuned
+//!   to meet the offered load.
+//!
+//! Reactive variants generate *requests* by one of the above; destination
+//! nodes answer each consumed request with a *reply* to the original
+//! source. Reply generation is driven by the simulator (it owns
+//! consumption); this crate only generates the forward pattern and flags
+//! the workload as reactive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod pattern;
+
+pub use generator::NodeGenerator;
+pub use pattern::{Pattern, Workload};
+
+/// Object-safe view of traffic generation, for users plugging custom
+/// patterns into the simulator.
+pub trait TrafficPattern: Send {
+    /// Called once per node per cycle; returns the destination node of a
+    /// newly generated packet, if any.
+    fn generate(&mut self, cycle: u64) -> Option<usize>;
+}
+
+impl TrafficPattern for NodeGenerator {
+    fn generate(&mut self, cycle: u64) -> Option<usize> {
+        self.next_packet(cycle)
+    }
+}

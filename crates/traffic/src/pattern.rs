@@ -1,0 +1,106 @@
+//! Traffic pattern and workload descriptors.
+
+/// Synthetic destination/arrival pattern (paper §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Bernoulli arrivals, uniform random destination (≠ source).
+    Uniform,
+    /// Bernoulli arrivals, random destination in the group `offset` groups
+    /// ahead (modulo the group count). The paper uses `ADV+1`.
+    Adversarial {
+        /// Group displacement.
+        offset: usize,
+    },
+    /// Markov ON/OFF bursts at line rate with geometric burst length.
+    BurstyUniform {
+        /// Mean burst length in packets (5 in the paper).
+        mean_burst: f64,
+    },
+}
+
+impl Pattern {
+    /// The paper's `ADV+1`.
+    pub fn adv1() -> Self {
+        Pattern::Adversarial { offset: 1 }
+    }
+
+    /// The paper's BURSTY-UN (mean burst 5 packets).
+    pub fn bursty() -> Self {
+        Pattern::BurstyUniform { mean_burst: 5.0 }
+    }
+
+    /// Label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Pattern::Uniform => "UN",
+            Pattern::Adversarial { .. } => "ADV",
+            Pattern::BurstyUniform { .. } => "BURSTY-UN",
+        }
+    }
+}
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A workload: a pattern plus the request–reply flag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Forward-traffic pattern (requests, or all packets when not reactive).
+    pub pattern: Pattern,
+    /// When `true`, destinations answer every consumed request with a reply
+    /// to the source (protocol-deadlock scenario, paper §V-B).
+    pub reactive: bool,
+}
+
+impl Workload {
+    /// Single-class workload.
+    pub fn oblivious(pattern: Pattern) -> Self {
+        Workload {
+            pattern,
+            reactive: false,
+        }
+    }
+
+    /// Request–reply workload.
+    pub fn reactive(pattern: Pattern) -> Self {
+        Workload {
+            pattern,
+            reactive: true,
+        }
+    }
+
+    /// Label such as `UN` or `UN-RR`.
+    pub fn label(&self) -> String {
+        if self.reactive {
+            format!("{}-RR", self.pattern.label())
+        } else {
+            self.pattern.label().to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Pattern::Uniform.label(), "UN");
+        assert_eq!(Pattern::adv1().label(), "ADV");
+        assert_eq!(Pattern::bursty().label(), "BURSTY-UN");
+        assert_eq!(Workload::reactive(Pattern::Uniform).label(), "UN-RR");
+        assert_eq!(Workload::oblivious(Pattern::bursty()).label(), "BURSTY-UN");
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        assert_eq!(Pattern::adv1(), Pattern::Adversarial { offset: 1 });
+        match Pattern::bursty() {
+            Pattern::BurstyUniform { mean_burst } => assert_eq!(mean_burst, 5.0),
+            _ => unreachable!(),
+        }
+    }
+}

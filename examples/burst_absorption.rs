@@ -1,0 +1,51 @@
+//! Burst absorption: the data-centre-style BURSTY-UN workload from the
+//! paper's motivation. Nodes emit line-rate bursts of ~5 packets toward a
+//! single destination; statically partitioned single-VC-per-hop buffers
+//! suffer head-of-line blocking while FlexVC spreads each burst over every
+//! deadlock-safe VC (paper Figs. 5b/6b).
+//!
+//! Run with: `cargo run --release --example burst_absorption`
+
+use flexvc::core::{Arrangement, RoutingMode};
+use flexvc::sim::prelude::*;
+use flexvc::traffic::{Pattern, Workload};
+
+fn main() {
+    let mut base = SimConfig::dragonfly_baseline(
+        2,
+        RoutingMode::Min,
+        Workload::oblivious(Pattern::bursty()),
+    );
+    base.warmup = 5_000;
+    base.measure = 10_000;
+
+    let series = [
+        ("baseline 2/1".to_string(), base.clone()),
+        ("DAMQ 75% 2/1".to_string(), base.clone().with_damq75()),
+        (
+            "FlexVC 2/1".to_string(),
+            base.clone().with_flexvc(Arrangement::dragonfly_min()),
+        ),
+        (
+            "FlexVC 4/2".to_string(),
+            base.clone().with_flexvc(Arrangement::dragonfly(4, 2)),
+        ),
+        (
+            "FlexVC 8/4".to_string(),
+            base.clone().with_flexvc(Arrangement::dragonfly(8, 4)),
+        ),
+    ];
+
+    println!("BURSTY-UN (mean burst 5 packets), MIN routing\n");
+    println!(
+        "{:<16} {:>16} {:>18}",
+        "policy", "latency @0.4", "max throughput"
+    );
+    for (name, cfg) in &series {
+        let mid = run_averaged(cfg, 0.4, &[1, 2]);
+        let sat = saturation_throughput(cfg, &[1, 2]);
+        println!("{:<16} {:>16.1} {:>18.3}", name, mid.latency, sat.accepted);
+    }
+    println!("\nThe paper reports the same ordering: bursts congest isolated");
+    println!("VCs, so flexibility in VC use pays off well below saturation.");
+}

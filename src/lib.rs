@@ -1,0 +1,34 @@
+//! # flexvc — facade crate
+//!
+//! Reproduction of *FlexVC: Flexible Virtual Channel Management in
+//! Low-Diameter Networks* (Fuentes et al., IPDPS 2017) as a Rust workspace.
+//!
+//! This crate re-exports the workspace's public APIs:
+//!
+//! * [`core`] — the FlexVC VC-management model (arrangements, safe and
+//!   opportunistic hop rules, path classification, selection functions).
+//! * [`topology`] — Dragonfly and flattened-butterfly topologies with
+//!   minimal/Valiant route computation.
+//! * [`traffic`] — uniform, adversarial and bursty traffic generators plus
+//!   the request–reply reactive wrapper.
+//! * [`sim`] — the cycle-accurate phit-level network simulator and the
+//!   experiment runner.
+//!
+//! See the `examples/` directory for runnable entry points and `DESIGN.md`
+//! for the architecture and the experiment index.
+
+pub use flexvc_core as core;
+pub use flexvc_sim as sim;
+pub use flexvc_topology as topology;
+pub use flexvc_traffic as traffic;
+
+/// Convenience prelude for examples and downstream users.
+pub mod prelude {
+    pub use flexvc_core::{
+        Arrangement, HopKind, LinkClass, MessageClass, RoutingMode, Support, VcPolicy,
+        VcSelection,
+    };
+    pub use flexvc_sim::prelude::*;
+    pub use flexvc_topology::{Dragonfly, Topology};
+    pub use flexvc_traffic::TrafficPattern;
+}

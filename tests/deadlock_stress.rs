@@ -1,0 +1,134 @@
+//! Deadlock-freedom stress: every supported configuration must survive
+//! saturation without tripping the forward-progress watchdog.
+//!
+//! This is the operational counterpart of Theorems 1 and 2: the escape-path
+//! invariant maintained by the FlexVC policy must keep the network live at
+//! 100% offered load, across routings, arrangements, message classes,
+//! selection functions and buffer organizations.
+
+use flexvc::core::{Arrangement, RoutingMode, VcSelection};
+use flexvc::sim::prelude::*;
+use flexvc::traffic::{Pattern, Workload};
+
+fn stress(cfg: &SimConfig, label: &str) {
+    let r = run_one(cfg, 1.0, 99).unwrap();
+    assert!(!r.deadlocked, "{label} deadlocked");
+    assert!(r.accepted > 0.05, "{label} made no progress: {}", r.accepted);
+}
+
+fn tiny(routing: RoutingMode, workload: Workload) -> SimConfig {
+    let mut cfg = SimConfig::dragonfly_baseline(2, routing, workload);
+    cfg.warmup = 1_000;
+    cfg.measure = 3_000;
+    cfg.watchdog = 6_000;
+    cfg
+}
+
+#[test]
+fn oblivious_matrix_survives_saturation() {
+    for pattern in [Pattern::Uniform, Pattern::bursty(), Pattern::adv1()] {
+        let routing = paper_routing_for(pattern);
+        let base = tiny(routing, Workload::oblivious(pattern));
+        stress(&base, &format!("baseline {pattern}"));
+        stress(&base.clone().with_damq75(), &format!("damq {pattern}"));
+        let (l, g) = routing.min_dragonfly_vcs();
+        for (dl, dg) in [(0, 0), (2, 1), (4, 2)] {
+            let arr = Arrangement::dragonfly(l + dl, g + dg);
+            stress(
+                &base.clone().with_flexvc(arr.clone()),
+                &format!("flexvc {} {pattern}", arr.count_label()),
+            );
+        }
+    }
+}
+
+#[test]
+fn opportunistic_arrangements_survive_saturation() {
+    // VAL on 3/2 (opportunistic only) and PAR on 4/2 / 3/2.
+    for (routing, l, g) in [
+        (RoutingMode::Valiant, 3, 2),
+        (RoutingMode::Par, 3, 2),
+        (RoutingMode::Par, 4, 2),
+    ] {
+        let cfg = tiny(routing, Workload::oblivious(Pattern::adv1()))
+            .with_flexvc(Arrangement::dragonfly(l, g));
+        stress(&cfg, &format!("{routing} {l}/{g}"));
+    }
+}
+
+#[test]
+fn reactive_matrix_survives_saturation() {
+    for pattern in [Pattern::Uniform, Pattern::adv1()] {
+        let routing = paper_routing_for(pattern);
+        let base = tiny(routing, Workload::reactive(pattern));
+        stress(&base, &format!("baseline rr {pattern}"));
+        let (l, g) = routing.min_dragonfly_vcs();
+        for (req, rep) in [((l, g), (l, g)), ((l + 1, g + 1), (l, g))] {
+            let arr = Arrangement::dragonfly_rr(req, rep);
+            stress(
+                &base.clone().with_flexvc(arr.clone()),
+                &format!("flexvc rr {} {pattern}", arr.count_label()),
+            );
+        }
+        // The 50%-reduction split with opportunistic reply detours.
+        if routing == RoutingMode::Valiant {
+            let arr = Arrangement::dragonfly_rr((4, 2), (2, 1));
+            stress(
+                &base.clone().with_flexvc(arr),
+                &format!("flexvc rr 6/3 {pattern}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn piggyback_variants_survive_saturation() {
+    for (mode, min_cred) in [
+        (SensingMode::PerPort, false),
+        (SensingMode::PerVc, false),
+        (SensingMode::PerPort, true),
+        (SensingMode::PerVc, true),
+    ] {
+        let mut cfg = tiny(
+            RoutingMode::Piggyback,
+            Workload::reactive(Pattern::adv1()),
+        )
+        .with_flexvc(Arrangement::dragonfly_rr((4, 2), (2, 1)));
+        cfg.sensing = SensingConfig {
+            mode,
+            min_cred,
+            threshold: 3,
+        };
+        stress(&cfg, &format!("pb {mode:?} mincred={min_cred}"));
+    }
+}
+
+#[test]
+fn selection_functions_survive_saturation() {
+    for sel in VcSelection::all() {
+        let mut cfg = tiny(RoutingMode::Min, Workload::oblivious(Pattern::Uniform))
+            .with_flexvc(Arrangement::dragonfly(4, 2));
+        cfg.selection = sel;
+        stress(&cfg, &format!("selection {sel}"));
+    }
+}
+
+#[test]
+fn flat_butterfly_survives_saturation() {
+    for (policy_arr, routing) in [
+        (None, RoutingMode::Min),
+        (Some(Arrangement::generic(2)), RoutingMode::Min),
+        (Some(Arrangement::generic(3)), RoutingMode::Valiant),
+        (Some(Arrangement::generic(4)), RoutingMode::Valiant),
+    ] {
+        let mut cfg = tiny(routing, Workload::oblivious(Pattern::Uniform));
+        cfg.topology = TopologySpec::FlatButterfly { k: 4, p: 2 };
+        match policy_arr {
+            None => cfg.arrangement = Arrangement::generic(2),
+            Some(arr) => {
+                cfg = cfg.with_flexvc(arr);
+            }
+        }
+        stress(&cfg, &format!("fb {routing}"));
+    }
+}
