@@ -50,7 +50,13 @@ fn bench_arrangement(c: &mut Criterion) {
     });
     c.bench_function("arrangement_max_landing", |b| {
         b.iter(|| {
-            black_box(arr.max_landing(Local, black_box(&hops[1..]), None, arr.len(), (0, arr.len())))
+            black_box(arr.max_landing(
+                Local,
+                black_box(&hops[1..]),
+                None,
+                arr.len(),
+                (0, arr.len()),
+            ))
         })
     });
 }

@@ -70,8 +70,12 @@ fn bench_tables(c: &mut Criterion) {
     });
     c.bench_function("table_iv_dragonfly_rr_classification", |b| {
         b.iter(|| {
-            for (req, rep) in [((2, 1), (2, 1)), ((3, 2), (2, 1)), ((4, 2), (4, 2)), ((5, 2), (5, 2))]
-            {
+            for (req, rep) in [
+                ((2, 1), (2, 1)),
+                ((3, 2), (2, 1)),
+                ((4, 2), (4, 2)),
+                ((5, 2), (5, 2)),
+            ] {
                 let arr = Arrangement::dragonfly_rr(req, rep);
                 for mode in MODES {
                     black_box(classify_both(NetworkFamily::Dragonfly, mode, &arr));
@@ -112,11 +116,15 @@ fn bench_fig7(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7_request_reply");
     g.sample_size(10);
     let baseline = base(RoutingMode::Min, Workload::reactive(Pattern::Uniform));
-    g.bench_function("baseline_rr_un", |b| b.iter(|| black_box(micro(&baseline, 0.6))));
+    g.bench_function("baseline_rr_un", |b| {
+        b.iter(|| black_box(micro(&baseline, 0.6)))
+    });
     let flex = baseline
         .clone()
         .with_flexvc(Arrangement::dragonfly_rr((4, 3), (2, 1)));
-    g.bench_function("flexvc_6_4_rr_un", |b| b.iter(|| black_box(micro(&flex, 0.6))));
+    g.bench_function("flexvc_6_4_rr_un", |b| {
+        b.iter(|| black_box(micro(&flex, 0.6)))
+    });
     g.finish();
 }
 
@@ -130,7 +138,9 @@ fn bench_fig8(c: &mut Criterion) {
         min_cred: true,
         threshold: 3,
     };
-    g.bench_function("pb_flexvc_mincred_adv", |b| b.iter(|| black_box(micro(&pb, 0.4))));
+    g.bench_function("pb_flexvc_mincred_adv", |b| {
+        b.iter(|| black_box(micro(&pb, 0.4)))
+    });
     g.finish();
 }
 

@@ -1,0 +1,299 @@
+//! `flexvc` — the unified experiment CLI.
+//!
+//! Replaces the nine per-figure binaries with one scenario-driven front
+//! end (see `flexvc help` or the crate docs of `flexvc-bench`):
+//!
+//! ```text
+//! flexvc list
+//! flexvc show fig9 > fig9.toml
+//! flexvc run fig9 --threads 8 --out results.json
+//! flexvc run --file custom.toml --format csv --out results.csv
+//! ```
+
+use flexvc_bench::scenario::{
+    render_csv, render_markdown, run_scenario, Scenario, ScenarioRegistry, ScenarioReport,
+};
+use flexvc_bench::Scale;
+use flexvc_serde::{from_json, from_toml, to_json_pretty, to_toml};
+use flexvc_sim::runner::default_threads;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+flexvc — scenario-first experiment runner for the FlexVC reproduction
+
+USAGE:
+    flexvc list                       list built-in scenarios
+    flexvc show <scenario> [options]  print a scenario as editable data
+    flexvc run <scenario> [options]   run a built-in scenario
+    flexvc run --file <path> [opts]   run a scenario from a TOML/JSON file
+    flexvc help                       this text
+
+SHOW OPTIONS:
+    --format toml|json     output format (default: toml)
+
+RUN OPTIONS:
+    --file <path>          load the scenario from a file instead of the registry
+    --threads <n>          worker threads (default: all cores)
+    --out <path>           write structured results to a file
+    --format json|csv      format for --out (default: by extension, else json)
+    --quiet                suppress per-point progress on stderr
+
+SCALE OPTIONS (run/show; defaults may also come from FLEXVC_* env vars):
+    --paper                full Table V scale (h = 8, 5 seeds, 60k cycles)
+    --h <n>                Dragonfly size parameter h
+    --seeds <n>            repetitions per point (seeds 1..=n)
+    --warmup <cycles>      warm-up window
+    --measure <cycles>     measurement window
+";
+
+struct Options {
+    names: Vec<String>,
+    file: Option<String>,
+    threads: usize,
+    out: Option<String>,
+    format: Option<String>,
+    quiet: bool,
+    scale: Scale,
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("run `flexvc help` for usage");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => return fail("missing command"),
+    };
+    match command {
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        "list" => list(),
+        "show" => match parse_options(rest) {
+            Ok(opts) => show(opts),
+            Err(msg) => fail(&msg),
+        },
+        "run" => match parse_options(rest) {
+            Ok(opts) => run(opts),
+            Err(msg) => fail(&msg),
+        },
+        other => fail(&format!("unknown command `{other}`")),
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        names: Vec::new(),
+        file: None,
+        threads: default_threads(),
+        out: None,
+        format: None,
+        quiet: false,
+        scale: Scale::from_env(),
+    };
+    let mut it = args.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--file" => opts.file = Some(value("--file", &mut it)?),
+            "--threads" => {
+                opts.threads = value("--threads", &mut it)?
+                    .parse::<usize>()
+                    .map_err(|_| "--threads needs an integer".to_string())?
+                    .max(1)
+            }
+            "--out" => opts.out = Some(value("--out", &mut it)?),
+            "--format" => opts.format = Some(value("--format", &mut it)?),
+            "--quiet" => opts.quiet = true,
+            "--paper" => opts.scale = Scale::paper(),
+            "--h" => {
+                opts.scale.h = value("--h", &mut it)?
+                    .parse()
+                    .map_err(|_| "--h needs an integer".to_string())?
+            }
+            "--seeds" => {
+                let n: u64 = value("--seeds", &mut it)?
+                    .parse()
+                    .map_err(|_| "--seeds needs an integer".to_string())?;
+                opts.scale.seeds = (1..=n.max(1)).collect();
+            }
+            "--warmup" => {
+                opts.scale.warmup = value("--warmup", &mut it)?
+                    .parse()
+                    .map_err(|_| "--warmup needs an integer".to_string())?
+            }
+            "--measure" => {
+                opts.scale.measure = value("--measure", &mut it)?
+                    .parse()
+                    .map_err(|_| "--measure needs an integer".to_string())?
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
+            name => opts.names.push(name.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn list() -> ExitCode {
+    let registry = ScenarioRegistry::builtin();
+    println!("built-in scenarios:");
+    for entry in registry.entries() {
+        println!("  {:<10} {}", entry.name, entry.summary);
+    }
+    println!("\nrun one with `flexvc run <name>`; export with `flexvc show <name>`.");
+    ExitCode::SUCCESS
+}
+
+/// Resolve the scenarios selected by names and/or `--file`.
+fn resolve(opts: &Options) -> Result<Vec<Scenario>, String> {
+    let registry = ScenarioRegistry::builtin();
+    let mut scenarios = Vec::new();
+    if let Some(path) = &opts.file {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let parsed: Result<Scenario, _> = if text.trim_start().starts_with('{') {
+            from_json(&text)
+        } else {
+            from_toml(&text)
+        };
+        scenarios.push(parsed.map_err(|e| format!("cannot parse {path}: {e}"))?);
+    }
+    for name in &opts.names {
+        match registry.build(name, &opts.scale) {
+            Some(sc) => scenarios.push(sc),
+            None => {
+                return Err(format!(
+                    "unknown scenario `{name}` (available: {})",
+                    registry.names().join(", ")
+                ))
+            }
+        }
+    }
+    if scenarios.is_empty() {
+        return Err("nothing to do: name a scenario or pass --file".to_string());
+    }
+    Ok(scenarios)
+}
+
+fn show(opts: Options) -> ExitCode {
+    let scenarios = match resolve(&opts) {
+        Ok(s) => s,
+        Err(msg) => return fail(&msg),
+    };
+    let format = opts.format.as_deref().unwrap_or("toml");
+    for sc in &scenarios {
+        let rendered = match format {
+            "toml" => match to_toml(sc) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("cannot serialize `{}`: {e}", sc.name)),
+            },
+            "json" => to_json_pretty(sc),
+            other => return fail(&format!("unknown show format `{other}` (toml or json)")),
+        };
+        print!("{rendered}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Resolve the output format for `--out` (flag wins, then extension).
+/// Validated *before* any simulation runs so a typo cannot discard a
+/// long run's results.
+fn output_format(path: &str, format: Option<&str>) -> Result<&'static str, String> {
+    match format {
+        Some("json") => Ok("json"),
+        Some("csv") => Ok("csv"),
+        Some(other) => Err(format!("unknown output format `{other}` (json or csv)")),
+        None if path.ends_with(".csv") => Ok("csv"),
+        None => Ok("json"),
+    }
+}
+
+fn write_output(report: &ScenarioReport, path: &str, format: &str) -> Result<(), String> {
+    let rendered = match format {
+        "csv" => render_csv(report),
+        _ => to_json_pretty(report),
+    };
+    std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+    Ok(())
+}
+
+fn run(opts: Options) -> ExitCode {
+    let scenarios = match resolve(&opts) {
+        Ok(s) => s,
+        Err(msg) => return fail(&msg),
+    };
+    if opts.out.is_some() && scenarios.len() > 1 {
+        return fail("--out supports a single scenario per invocation");
+    }
+    let out_format = match &opts.out {
+        Some(path) => match output_format(path, opts.format.as_deref()) {
+            Ok(f) => Some(f),
+            Err(msg) => return fail(&msg),
+        },
+        None => None,
+    };
+    for sc in &scenarios {
+        let sims = sc.simulation_count();
+        if !opts.quiet {
+            eprintln!(
+                "[{}] {} point(s) × {} seed(s) = {} simulation(s) on {} thread(s)",
+                sc.name,
+                sc.points.len(),
+                sc.seeds.len(),
+                sims,
+                opts.threads
+            );
+        }
+        let progress = |p: flexvc_bench::scenario::ScenarioProgress<'_>| {
+            if opts.quiet {
+                return;
+            }
+            let mut err = std::io::stderr().lock();
+            let _ = writeln!(
+                err,
+                "[{} {}/{}] {} @ {} load {:.2} -> accepted {:.3}, latency {:.0}{}",
+                sc.name,
+                p.completed,
+                p.total,
+                p.series,
+                p.x,
+                p.load,
+                p.result.accepted,
+                p.result.latency,
+                if p.result.deadlocked {
+                    " [DEADLOCK]"
+                } else {
+                    ""
+                }
+            );
+        };
+        let report = match run_scenario(sc, opts.threads, progress) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: scenario `{}`: {e}", sc.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", render_markdown(&report));
+        if let Some(path) = &opts.out {
+            let format = out_format.expect("validated with opts.out");
+            if let Err(msg) = write_output(&report, path, format) {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+            if !opts.quiet {
+                eprintln!("[{}] results written to {path}", sc.name);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,8 +1,23 @@
-//! # flexvc-bench — experiment harness
+//! # flexvc-bench — scenario-first experiment harness
 //!
-//! One binary per table/figure of the paper (`tables`, `fig5` … `fig11`),
-//! each printing the same rows/series the paper reports, plus criterion
-//! benches exercising the same workloads at micro scale.
+//! Every figure and table of the paper is expressed as *data*: a
+//! [`scenario::Scenario`] bundles named `(SimConfig, load, seed)` points
+//! plus analytic classification tables, serializes to TOML/JSON through
+//! `flexvc_serde`, and runs on the parallel scenario executor with
+//! streaming progress. The [`scenario::ScenarioRegistry`] holds the nine
+//! paper reproductions (`fig5` … `fig11`, `tables`, `ablations`) plus a
+//! tiny `smoke` scenario; the single `flexvc` CLI binary fronts them:
+//!
+//! ```text
+//! flexvc list                         # what can run
+//! flexvc show fig9 > fig9.toml        # scenario as editable data
+//! flexvc run fig9 --out results.json  # run + structured results
+//! flexvc run --file custom.toml       # no Rust needed for new scenarios
+//! ```
+//!
+//! This crate also keeps the series builders shared by the scenario
+//! definitions ([`oblivious_series`], [`reactive_series`],
+//! [`adaptive_series`]) and the environment-driven [`Scale`] control.
 //!
 //! ## Scale control
 //!
@@ -10,7 +25,8 @@
 //! cycles per point — far beyond a laptop budget. The harness defaults to
 //! a scaled `h = 2` network with shorter windows that preserves every
 //! mechanism and the comparative shape of all results (see `DESIGN.md` §3).
-//! Environment variables override the defaults:
+//! Environment variables (overridable by `flexvc` CLI flags) set the
+//! defaults:
 //!
 //! | Variable         | Meaning                            | Default |
 //! |------------------|------------------------------------|---------|
@@ -22,6 +38,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod scenario;
 
 use flexvc_core::{Arrangement, RoutingMode};
 use flexvc_sim::prelude::*;
@@ -49,13 +67,11 @@ impl Scale {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(d)
         };
-        if std::env::var("FLEXVC_PAPER").map(|v| v == "1").unwrap_or(false) {
-            return Scale {
-                h: 8,
-                seeds: (1..=5).collect(),
-                warmup: 20_000,
-                measure: 60_000,
-            };
+        if std::env::var("FLEXVC_PAPER")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
+            return Scale::paper();
         }
         let h = env_u("FLEXVC_H", 2) as usize;
         let n_seeds = env_u("FLEXVC_SEEDS", 2).max(1);
@@ -64,6 +80,16 @@ impl Scale {
             seeds: (1..=n_seeds).collect(),
             warmup: env_u("FLEXVC_WARMUP", 8_000),
             measure: env_u("FLEXVC_MEASURE", 15_000),
+        }
+    }
+
+    /// The paper's full Table V scale (h = 8, 5 seeds, 60k-cycle windows).
+    pub fn paper() -> Self {
+        Scale {
+            h: 8,
+            seeds: (1..=5).collect(),
+            warmup: 20_000,
+            measure: 60_000,
         }
     }
 
@@ -162,7 +188,11 @@ pub fn adaptive_series(scale: &Scale, pattern: Pattern) -> Vec<Series> {
     let wl = Workload::reactive(pattern);
     let reference = paper_routing_for(pattern);
     let mut out = vec![Series::new(
-        if reference == RoutingMode::Min { "MIN" } else { "VAL" },
+        if reference == RoutingMode::Min {
+            "MIN"
+        } else {
+            "VAL"
+        },
         scale.config(reference, wl),
     )];
     let pb = scale.config(RoutingMode::Piggyback, wl);
@@ -180,8 +210,14 @@ pub fn adaptive_series(scale: &Scale, pattern: Pattern) -> Vec<Series> {
         };
         cfg
     };
-    out.push(Series::new("PB - per VC", with(SensingMode::PerVc, false, false)));
-    out.push(Series::new("PB - per port", with(SensingMode::PerPort, false, false)));
+    out.push(Series::new(
+        "PB - per VC",
+        with(SensingMode::PerVc, false, false),
+    ));
+    out.push(Series::new(
+        "PB - per port",
+        with(SensingMode::PerPort, false, false),
+    ));
     out.push(Series::new(
         "PB FlexVC - per VC",
         with(SensingMode::PerVc, false, true),
@@ -206,159 +242,65 @@ pub fn default_loads() -> Vec<f64> {
     (1..=10).map(|i| i as f64 / 10.0).collect()
 }
 
-/// Render a latency/throughput sweep as two markdown tables (the paper's
-/// paired subplots).
-pub fn print_sweep(title: &str, series: &[Series], loads: &[f64], seeds: &[u64]) {
-    println!("\n## {title}\n");
-    let mut rows: Vec<(String, Vec<SimResult>)> = Vec::new();
-    for s in series {
-        let sweep = flexvc_sim::load_sweep(&s.cfg, loads, seeds);
-        rows.push((s.label.clone(), sweep.into_iter().map(|(_, r)| r).collect()));
-    }
-    let header = |metric: &str| {
-        println!("### {metric}\n");
-        print!("| series |");
-        for l in loads {
-            print!(" {l:.2} |");
-        }
-        println!();
-        print!("|---|");
-        for _ in loads {
-            print!("---|");
-        }
-        println!();
-    };
-    header("Accepted load (phits/node/cycle)");
-    for (label, results) in &rows {
-        print!("| {label} |");
-        for r in results {
-            if r.deadlocked {
-                print!(" DL |");
-            } else {
-                print!(" {:.3} |", r.accepted);
-            }
-        }
-        println!();
-    }
-    println!();
-    header("Average packet latency (cycles)");
-    for (label, results) in &rows {
-        print!("| {label} |");
-        for r in results {
-            if r.deadlocked {
-                print!(" DL |");
-            } else {
-                print!(" {:.0} |", r.latency);
-            }
-        }
-        println!();
-    }
-}
-
-/// Render a maximum-throughput comparison (Figs. 6/11) as absolute values
-/// plus improvement over the first series (the baseline).
-pub fn print_max_throughput(
-    title: &str,
-    labels: &[String],
-    columns: &[String],
-    data: &[Vec<SimResult>],
-) {
-    println!("\n## {title}\n");
-    print!("| series |");
-    for c in columns {
-        print!(" {c} |");
-    }
-    println!();
-    print!("|---|");
-    for _ in columns {
-        print!("---|");
-    }
-    println!();
-    for (label, row) in labels.iter().zip(data) {
-        print!("| {label} |");
-        for r in row {
-            if r.deadlocked {
-                print!(" DL |");
-            } else {
-                print!(" {:.3} |", r.accepted);
-            }
-        }
-        println!();
-    }
-    println!("\n### Improvement over {}\n", labels[0]);
-    print!("| series |");
-    for c in columns {
-        print!(" {c} |");
-    }
-    println!();
-    print!("|---|");
-    for _ in columns {
-        print!("---|");
-    }
-    println!();
-    for (label, row) in labels.iter().zip(data).skip(1) {
-        print!("| {label} |");
-        for (r, base) in row.iter().zip(&data[0]) {
-            print!(" {:.3} |", r.accepted / base.accepted.max(1e-9));
-        }
-        println!();
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn scale_default() {
-        // Don't rely on ambient env in tests; just exercise config building.
-        let scale = Scale {
+    pub(crate) fn test_scale() -> Scale {
+        Scale {
             h: 2,
             seeds: vec![1],
             warmup: 100,
             measure: 200,
-        };
-        let cfg = scale.config(
-            RoutingMode::Min,
-            Workload::oblivious(Pattern::Uniform),
-        );
+        }
+    }
+
+    #[test]
+    fn scale_default() {
+        // Don't rely on ambient env in tests; just exercise config building.
+        let scale = test_scale();
+        let cfg = scale.config(RoutingMode::Min, Workload::oblivious(Pattern::Uniform));
         assert_eq!(cfg.warmup, 100);
         cfg.validate().unwrap();
     }
 
     #[test]
     fn all_series_validate() {
-        let scale = Scale {
-            h: 2,
-            seeds: vec![1],
-            warmup: 100,
-            measure: 200,
-        };
+        let scale = test_scale();
         for pattern in [Pattern::Uniform, Pattern::bursty(), Pattern::adv1()] {
             for s in oblivious_series(&scale, pattern) {
-                s.cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", s.label));
+                s.cfg
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{}: {e}", s.label));
             }
             for s in reactive_series(&scale, pattern) {
-                s.cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", s.label));
+                s.cfg
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{}: {e}", s.label));
             }
             for s in adaptive_series(&scale, pattern) {
-                s.cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", s.label));
+                s.cfg
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{}: {e}", s.label));
             }
         }
     }
 
     #[test]
     fn series_counts_match_paper_legends() {
-        let scale = Scale {
-            h: 2,
-            seeds: vec![1],
-            warmup: 100,
-            measure: 200,
-        };
+        let scale = test_scale();
         assert_eq!(oblivious_series(&scale, Pattern::Uniform).len(), 5);
         assert_eq!(oblivious_series(&scale, Pattern::adv1()).len(), 4);
         assert_eq!(reactive_series(&scale, Pattern::Uniform).len(), 8);
         assert_eq!(reactive_series(&scale, Pattern::adv1()).len(), 5);
         assert_eq!(adaptive_series(&scale, Pattern::Uniform).len(), 7);
+    }
+
+    #[test]
+    fn paper_scale_matches_table_v() {
+        let paper = Scale::paper();
+        assert_eq!(paper.h, 8);
+        assert_eq!(paper.seeds.len(), 5);
+        assert_eq!(paper.measure, 60_000);
     }
 }

@@ -1,0 +1,165 @@
+//! The catalogue of built-in scenarios.
+
+use super::{defs, Scenario};
+use crate::Scale;
+
+/// A registered scenario: name, one-line summary, and the builder that
+/// expands it into data at a given [`Scale`].
+#[derive(Clone, Copy)]
+pub struct ScenarioEntry {
+    /// Registry name (`flexvc run <name>`).
+    pub name: &'static str,
+    /// One-line summary for `flexvc list`.
+    pub summary: &'static str,
+    build: fn(&Scale) -> Scenario,
+}
+
+impl ScenarioEntry {
+    /// Expand the scenario at the given scale.
+    pub fn build(&self, scale: &Scale) -> Scenario {
+        (self.build)(scale)
+    }
+}
+
+impl std::fmt::Debug for ScenarioEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioEntry")
+            .field("name", &self.name)
+            .field("summary", &self.summary)
+            .finish()
+    }
+}
+
+/// The scenario catalogue; [`ScenarioRegistry::builtin`] holds the nine
+/// paper reproductions plus `smoke`.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioRegistry {
+    entries: Vec<ScenarioEntry>,
+}
+
+impl ScenarioRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        ScenarioRegistry::default()
+    }
+
+    /// The built-in catalogue, in paper order.
+    pub fn builtin() -> Self {
+        let mut reg = ScenarioRegistry::new();
+        reg.register(ScenarioEntry {
+            name: "tables",
+            summary: "Tables I-IV: analytic path classification (no simulation)",
+            build: defs::tables,
+        });
+        reg.register(ScenarioEntry {
+            name: "fig5",
+            summary: "Oblivious routing: latency/throughput vs load (UN, BURSTY, ADV)",
+            build: defs::fig5,
+        });
+        reg.register(ScenarioEntry {
+            name: "fig6",
+            summary: "Max throughput vs per-port buffer capacity (speedup 2)",
+            build: defs::fig6,
+        });
+        reg.register(ScenarioEntry {
+            name: "fig7",
+            summary: "Request-reply traffic: FlexVC request/reply VC splits",
+            build: defs::fig7,
+        });
+        reg.register(ScenarioEntry {
+            name: "fig8",
+            summary: "Piggyback adaptive routing: sensing granularity and minCred",
+            build: defs::fig8,
+        });
+        reg.register(ScenarioEntry {
+            name: "fig9",
+            summary: "VC selection functions at 100% load (UN-RR)",
+            build: defs::fig9,
+        });
+        reg.register(ScenarioEntry {
+            name: "fig10",
+            summary: "DAMQ private-reservation sweep (deadlock at 0% private)",
+            build: defs::fig10,
+        });
+        reg.register(ScenarioEntry {
+            name: "fig11",
+            summary: "Buffer-capacity study without router speedup",
+            build: defs::fig11,
+        });
+        reg.register(ScenarioEntry {
+            name: "ablations",
+            summary: "Occupancy fingerprints, patience, PB threshold, reply queue",
+            build: defs::ablations,
+        });
+        reg.register(ScenarioEntry {
+            name: "smoke",
+            summary: "30-second sanity run (tiny windows, ignores scale)",
+            build: defs::smoke,
+        });
+        reg
+    }
+
+    /// Add an entry (replacing any previous entry of the same name).
+    pub fn register(&mut self, entry: ScenarioEntry) {
+        self.entries.retain(|e| e.name != entry.name);
+        self.entries.push(entry);
+    }
+
+    /// All entries in registration order.
+    pub fn entries(&self) -> &[ScenarioEntry] {
+        &self.entries
+    }
+
+    /// Look up by name.
+    pub fn get(&self, name: &str) -> Option<&ScenarioEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Build the named scenario at the given scale.
+    pub fn build(&self, name: &str, scale: &Scale) -> Option<Scenario> {
+        self.get(name).map(|e| e.build(scale))
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_covers_all_nine_paper_entry_points() {
+        let reg = ScenarioRegistry::builtin();
+        for name in [
+            "tables",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "ablations",
+            "smoke",
+        ] {
+            assert!(reg.get(name).is_some(), "missing scenario {name}");
+        }
+        assert_eq!(reg.entries().len(), 10);
+    }
+
+    #[test]
+    fn register_replaces_by_name() {
+        let mut reg = ScenarioRegistry::builtin();
+        let n = reg.entries().len();
+        reg.register(ScenarioEntry {
+            name: "smoke",
+            summary: "replacement",
+            build: super::defs::smoke,
+        });
+        assert_eq!(reg.entries().len(), n);
+        assert_eq!(reg.get("smoke").unwrap().summary, "replacement");
+    }
+}

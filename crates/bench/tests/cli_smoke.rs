@@ -1,0 +1,138 @@
+//! End-to-end smoke tests of the `flexvc` CLI binary: list, show, run (at
+//! test scale), run from a TOML file, and structured JSON/CSV output.
+
+use std::process::Command;
+
+fn flexvc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_flexvc"))
+}
+
+fn run_ok(cmd: &mut Command) -> (String, String) {
+    let out = cmd.output().expect("spawn flexvc");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        out.status.success(),
+        "flexvc failed ({:?}):\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        out.status
+    );
+    (stdout, stderr)
+}
+
+#[test]
+fn list_names_all_scenarios() {
+    let (stdout, _) = run_ok(flexvc().arg("list"));
+    for name in [
+        "tables",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "ablations",
+        "smoke",
+    ] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn run_smoke_reports_progress_and_results() {
+    let tmp = std::env::temp_dir().join(format!("flexvc-smoke-{}.json", std::process::id()));
+    let (stdout, stderr) = run_ok(
+        flexvc()
+            .args(["run", "smoke", "--threads", "2", "--out"])
+            .arg(&tmp),
+    );
+    // Markdown summary on stdout.
+    assert!(stdout.contains("Accepted load"), "{stdout}");
+    assert!(stdout.contains("FlexVC 4/2"), "{stdout}");
+    // Streaming per-point progress on stderr.
+    assert!(stderr.contains("[smoke 4/4]"), "{stderr}");
+    // Structured JSON results on disk.
+    let json = std::fs::read_to_string(&tmp).expect("results file");
+    std::fs::remove_file(&tmp).ok();
+    assert!(json.contains("\"accepted\""), "{json}");
+    assert!(json.contains("\"series\": \"Baseline\""), "{json}");
+}
+
+#[test]
+fn run_from_toml_file_without_writing_rust() {
+    // A scenario authored as pure data: two tiny points, sparse config
+    // (defaults fill the rest).
+    let scenario = r#"
+name = "custom-cli-test"
+title = "Custom scenario from TOML"
+description = "CLI smoke test"
+seeds = [7]
+
+[[points]]
+series = "MIN baseline"
+x = "0.3"
+load = 0.3
+
+[points.cfg]
+warmup = 200
+measure = 400
+watchdog = 2000
+
+[[points]]
+series = "FlexVC"
+x = "0.3"
+load = 0.3
+
+[points.cfg]
+policy = "flexvc"
+arrangement = "L G L G L"
+warmup = 200
+measure = 400
+watchdog = 2000
+"#;
+    let dir = std::env::temp_dir();
+    let toml_path = dir.join(format!("flexvc-custom-{}.toml", std::process::id()));
+    let csv_path = dir.join(format!("flexvc-custom-{}.csv", std::process::id()));
+    std::fs::write(&toml_path, scenario).expect("write scenario");
+    let (stdout, _) = run_ok(
+        flexvc()
+            .args(["run", "--quiet", "--file"])
+            .arg(&toml_path)
+            .arg("--out")
+            .arg(&csv_path),
+    );
+    assert!(stdout.contains("Custom scenario from TOML"), "{stdout}");
+    let csv = std::fs::read_to_string(&csv_path).expect("csv output");
+    std::fs::remove_file(&toml_path).ok();
+    std::fs::remove_file(&csv_path).ok();
+    assert_eq!(csv.lines().count(), 3, "header + 2 points:\n{csv}");
+    assert!(csv.starts_with("scenario,series,x,load,"), "{csv}");
+    assert!(csv.contains("custom-cli-test,FlexVC"), "{csv}");
+}
+
+#[test]
+fn show_round_trips_through_run() {
+    // `show smoke` must emit TOML that `run --file` accepts verbatim.
+    let (toml, _) = run_ok(flexvc().args(["show", "smoke"]));
+    assert!(toml.contains("name = \"smoke\""), "{toml}");
+    let path = std::env::temp_dir().join(format!("flexvc-show-{}.toml", std::process::id()));
+    std::fs::write(&path, &toml).expect("write shown scenario");
+    let (stdout, _) = run_ok(flexvc().args(["run", "--quiet", "--file"]).arg(&path));
+    std::fs::remove_file(&path).ok();
+    assert!(stdout.contains("Accepted load"), "{stdout}");
+}
+
+#[test]
+fn bad_input_fails_with_usage_errors() {
+    let out = flexvc().args(["run", "no-such-scenario"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown scenario"), "{stderr}");
+    assert!(stderr.contains("fig5"), "lists available names: {stderr}");
+
+    let out = flexvc().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+
+    let out = flexvc().args(["run"]).output().unwrap();
+    assert!(!out.status.success());
+}

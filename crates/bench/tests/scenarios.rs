@@ -1,0 +1,100 @@
+//! Registry-wide scenario guarantees: every built-in scenario expands to
+//! valid data at multiple scales, round-trips through TOML/JSON, and
+//! matches the legend/point structure of the paper figures it reproduces.
+
+use flexvc_bench::scenario::{Scenario, ScenarioRegistry};
+use flexvc_bench::Scale;
+use flexvc_serde::{from_json, from_toml, to_json, to_json_pretty, to_toml};
+
+fn test_scale() -> Scale {
+    Scale {
+        h: 2,
+        seeds: vec![1, 2],
+        warmup: 100,
+        measure: 200,
+    }
+}
+
+#[test]
+fn every_registered_scenario_validates() {
+    let registry = ScenarioRegistry::builtin();
+    for scale in [test_scale(), Scale::paper()] {
+        for entry in registry.entries() {
+            let sc = entry.build(&scale);
+            sc.validate()
+                .unwrap_or_else(|e| panic!("scenario {} at h={}: {e}", entry.name, scale.h));
+            assert_eq!(sc.name, entry.name, "scenario name matches registry key");
+            assert!(!sc.title.is_empty(), "{}: title", entry.name);
+            assert!(!sc.description.is_empty(), "{}: description", entry.name);
+        }
+    }
+}
+
+#[test]
+fn every_registered_scenario_round_trips() {
+    let registry = ScenarioRegistry::builtin();
+    let scale = test_scale();
+    for entry in registry.entries() {
+        let sc = entry.build(&scale);
+        let doc = to_json(&sc);
+
+        let via_json: Scenario = from_json(&to_json_pretty(&sc))
+            .unwrap_or_else(|e| panic!("{}: JSON parse: {e}", entry.name));
+        assert_eq!(to_json(&via_json), doc, "{}: JSON round trip", entry.name);
+
+        let toml = to_toml(&sc).unwrap_or_else(|e| panic!("{}: TOML emit: {e}", entry.name));
+        let via_toml: Scenario =
+            from_toml(&toml).unwrap_or_else(|e| panic!("{}: TOML parse: {e}", entry.name));
+        assert_eq!(to_json(&via_toml), doc, "{}: TOML round trip", entry.name);
+
+        via_toml
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: reparsed scenario invalid: {e}", entry.name));
+    }
+}
+
+#[test]
+fn scenario_structures_match_paper_legends() {
+    let registry = ScenarioRegistry::builtin();
+    let scale = test_scale();
+    let series_count = |sc: &Scenario| {
+        let mut labels: Vec<&str> = Vec::new();
+        for p in &sc.points {
+            if !labels.contains(&p.series.as_str()) {
+                labels.push(&p.series);
+            }
+        }
+        labels.len()
+    };
+
+    // fig5: 5 series (UN/BURSTY) + 4 (ADV), 10 loads each.
+    let fig5 = registry.build("fig5", &scale).unwrap();
+    assert_eq!(series_count(&fig5), 5 + 5 + 4);
+    assert_eq!(fig5.points.len(), (5 + 5 + 4) * 10);
+
+    // fig9: 2 single-point reference rows (their split IS the first
+    // column) + 4 selection functions over 6 splits.
+    let fig9 = registry.build("fig9", &scale).unwrap();
+    assert_eq!(series_count(&fig9), 6);
+    assert_eq!(fig9.points.len(), 2 + 4 * 6);
+
+    // fig10: 5 private-reservation fractions over 10 loads.
+    let fig10 = registry.build("fig10", &scale).unwrap();
+    assert_eq!(series_count(&fig10), 5);
+    assert_eq!(fig10.points.len(), 50);
+
+    // fig6/fig11: capacity columns, ADV drops the smallest.
+    for name in ["fig6", "fig11"] {
+        let sc = registry.build(name, &scale).unwrap();
+        assert_eq!(sc.points.len(), 5 * 4 + 5 * 4 + 4 * 3, "{name}");
+    }
+
+    // tables: pure classification, all four tables, no simulation.
+    let tables = registry.build("tables", &scale).unwrap();
+    assert!(tables.points.is_empty());
+    assert_eq!(tables.classifications.len(), 4);
+    assert_eq!(tables.simulation_count(), 0);
+
+    // The scale's seeds propagate into simulation scenarios.
+    assert_eq!(fig5.seeds, scale.seeds);
+}

@@ -1,0 +1,202 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment of this workspace has no registry access, so this
+//! crate provides the exact API subset the simulator uses — [`Rng`],
+//! [`SeedableRng`] and [`rngs::SmallRng`] — with no external dependencies.
+//! `SmallRng` is xoshiro256++ seeded through SplitMix64, matching the
+//! algorithm the real `rand 0.8` uses on 64-bit targets, so simulation
+//! streams stay deterministic and of equivalent statistical quality.
+//!
+//! Swap this path dependency for the real `rand` crate once a registry is
+//! reachable; no source changes are required in dependent crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Types that can be sampled uniformly from the generator's native stream
+/// (the `Standard` distribution of the real `rand`).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (same construction as
+    /// `rand`'s `Standard` for `f64`).
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    /// Draw one value uniformly from `range` (half-open).
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Unbiased sampling of `[0, width)` by rejection (Lemire-style threshold).
+fn uniform_u64<R: Rng + ?Sized>(rng: &mut R, width: u64) -> u64 {
+    debug_assert!(width > 0);
+    // Largest multiple of `width` that fits in u64; reject above it.
+    let zone = u64::MAX - (u64::MAX - width + 1) % width;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % width;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty gen_range");
+                let width = (range.end as u64).wrapping_sub(range.start as u64);
+                range.start + uniform_u64(rng, width) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(usize, u64, u32, u16, u8);
+
+/// The user-facing random-number interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// Next 64 raw bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Deterministic construction from seeds (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Small fast non-cryptographic generator: xoshiro256++.
+    ///
+    /// Matches the algorithm behind `rand 0.8`'s `SmallRng` on 64-bit
+    /// platforms. Not cryptographically secure — simulation use only.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into the 256-bit state,
+            // as rand_core's seed_from_u64 does.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_range_uniform_and_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut counts = [0usize; 7];
+        for _ in 0..70_000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            counts[v - 3] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn unsized_rng_usable() {
+        fn draw(rng: &mut (impl Rng + ?Sized)) -> usize {
+            rng.gen_range(0..5)
+        }
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(draw(&mut rng) < 5);
+    }
+}

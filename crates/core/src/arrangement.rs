@@ -29,7 +29,6 @@ pub type Pos = Option<usize>;
 /// A VC arrangement (master reference sequence, optionally split into
 /// request and reply parts).
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde_support", derive(serde::Serialize, serde::Deserialize))]
 pub struct Arrangement {
     seq: Vec<LinkClass>,
     /// Length of the request prefix. Equals `seq.len()` for single-class
@@ -403,10 +402,7 @@ mod tests {
     fn canonical_sequences_match_paper() {
         assert_eq!(Arrangement::dragonfly_min().sequence(), seq!(L G L));
         assert_eq!(Arrangement::dragonfly_val().sequence(), seq!(L G L L G L));
-        assert_eq!(
-            Arrangement::dragonfly_par().sequence(),
-            seq!(L L G L L G L)
-        );
+        assert_eq!(Arrangement::dragonfly_par().sequence(), seq!(L L G L L G L));
         assert_eq!(Arrangement::zigzag(2).sequence(), seq!(L G L G L));
         assert_eq!(Arrangement::zigzag(3).sequence(), seq!(L G L G L G L));
     }

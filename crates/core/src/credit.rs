@@ -12,7 +12,6 @@
 
 /// Whether a packet is currently routed minimally or non-minimally.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde_support", derive(serde::Serialize, serde::Deserialize))]
 pub enum CreditClass {
     /// Packet follows a minimal path to its destination.
     MinRouted,

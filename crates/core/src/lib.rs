@@ -44,6 +44,7 @@ pub mod link;
 pub mod policy;
 pub mod routing;
 pub mod selection;
+pub mod serde_impls;
 
 pub use arrangement::Arrangement;
 pub use classify::{classify, NetworkFamily, Support};

@@ -17,7 +17,6 @@
 /// (mapped to `Local`/`Global`), and single-class diameter-2 networks
 /// (everything `Local`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde_support", derive(serde::Serialize, serde::Deserialize))]
 pub enum LinkClass {
     /// Intra-group (Dragonfly) links, first dimension (FB), or the single
     /// class of a generic network.
@@ -75,7 +74,6 @@ impl std::fmt::Display for LinkClass {
 /// prefix, while replies may *safely* use reply VCs and *opportunistically*
 /// borrow request VCs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde_support", derive(serde::Serialize, serde::Deserialize))]
 pub enum MessageClass {
     /// A request, or any packet of single-class (non-reactive) traffic.
     #[default]
@@ -127,10 +125,7 @@ mod tests {
     #[test]
     fn seq_macro_builds_sequences() {
         let s = seq!(L G L);
-        assert_eq!(
-            s,
-            [LinkClass::Local, LinkClass::Global, LinkClass::Local]
-        );
+        assert_eq!(s, [LinkClass::Local, LinkClass::Global, LinkClass::Local]);
     }
 
     #[test]

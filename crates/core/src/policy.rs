@@ -36,7 +36,6 @@ use crate::link::{LinkClass, MessageClass};
 
 /// Which buffer-management policy governs VC choice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde_support", derive(serde::Serialize, serde::Deserialize))]
 pub enum VcPolicy {
     /// One fixed VC per reference-path hop (Günther-style distance order).
     Baseline,
@@ -365,8 +364,8 @@ mod tests {
     #[test]
     fn opportunistic_floor() {
         let a = Arrangement::zigzag(2); // L G L G L
-        // A packet in local VC1 (position 2) pursuing a non-fitting plan with
-        // escape [G,L] may only land at local index >= 1.
+                                        // A packet in local VC1 (position 2) pursuing a non-fitting plan with
+                                        // escape [G,L] may only land at local index >= 1.
         let h = flexvc_options(
             &a,
             Request,
@@ -407,11 +406,7 @@ mod tests {
     fn baseline_rejects_mismatched_arrangement() {
         let a = Arrangement::dragonfly_val();
         assert!(!supports_baseline(&a, Request, &seq!(L G L)));
-        assert!(!supports_baseline(
-            &a,
-            Request,
-            &seq!(L L G L L G L)
-        ));
+        assert!(!supports_baseline(&a, Request, &seq!(L L G L L G L)));
     }
 
     /// The lookahead must trim landings that would strand the next
@@ -424,13 +419,17 @@ mod tests {
         let planned = seq!(L G L L G L); // worst-case reply Valiant path
         let worst_min = seq!(L G L);
         let escapes: [&[LinkClass]; 6] = [
-            &worst_min, &worst_min, &worst_min, &worst_min, &seq!(G L), &seq!(L),
+            &worst_min,
+            &worst_min,
+            &worst_min,
+            &worst_min,
+            &seq!(G L),
+            &seq!(L),
         ];
         let unchecked = flexvc_options(&a, Reply, None, &planned, &worst_min).unwrap();
         assert_eq!(unchecked.kind, HopKind::Opportunistic);
         assert_eq!(unchecked.hi, 3, "per-hop rule alone allows l3");
-        let checked =
-            flexvc_options_lookahead(&a, Reply, None, &planned, &escapes).unwrap();
+        let checked = flexvc_options_lookahead(&a, Reply, None, &planned, &escapes).unwrap();
         assert_eq!(checked.kind, HopKind::Opportunistic);
         assert!(
             checked.hi < unchecked.hi,
@@ -448,8 +447,7 @@ mod tests {
         let planned = seq!(L G L);
         let escapes: [&[LinkClass]; 3] = [&seq!(G L), &seq!(L), &[]];
         let plain = flexvc_options(&a, Request, None, &planned, &seq!(G L)).unwrap();
-        let checked =
-            flexvc_options_lookahead(&a, Request, None, &planned, &escapes).unwrap();
+        let checked = flexvc_options_lookahead(&a, Request, None, &planned, &escapes).unwrap();
         assert_eq!(plain, checked);
         assert_eq!(checked.kind, HopKind::Safe);
     }
@@ -459,12 +457,17 @@ mod tests {
     #[test]
     fn lookahead_rejects_untraversable() {
         let a = Arrangement::dragonfly(3, 2); // L G L G L
-        // A packet already deep in the sequence cannot start a full Valiant
-        // detour any more.
+                                              // A packet already deep in the sequence cannot start a full Valiant
+                                              // detour any more.
         let planned = seq!(L G L L G L);
         let worst_min = seq!(L G L);
         let escapes: [&[LinkClass]; 6] = [
-            &worst_min, &worst_min, &worst_min, &worst_min, &seq!(G L), &seq!(L),
+            &worst_min,
+            &worst_min,
+            &worst_min,
+            &worst_min,
+            &seq!(G L),
+            &seq!(L),
         ];
         assert_eq!(
             flexvc_options_lookahead(&a, Request, Some(3), &planned, &escapes),

@@ -20,7 +20,6 @@ use crate::link::LinkClass;
 
 /// Routing mechanism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde_support", derive(serde::Serialize, serde::Deserialize))]
 pub enum RoutingMode {
     /// Minimal routing.
     Min,
@@ -102,10 +101,7 @@ mod tests {
             RoutingMode::Valiant.dragonfly_reference(),
             seq!(L G L L G L)
         );
-        assert_eq!(
-            RoutingMode::Par.dragonfly_reference(),
-            seq!(L L G L L G L)
-        );
+        assert_eq!(RoutingMode::Par.dragonfly_reference(), seq!(L L G L L G L));
         assert_eq!(
             RoutingMode::Piggyback.dragonfly_reference(),
             RoutingMode::Valiant.dragonfly_reference()

@@ -11,7 +11,6 @@ use rand::Rng;
 
 /// Strategy for choosing among eligible VCs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde_support", derive(serde::Serialize, serde::Deserialize))]
 pub enum VcSelection {
     /// Join the shortest queue: pick the eligible VC with the most free
     /// credits downstream (ties broken toward the highest index).

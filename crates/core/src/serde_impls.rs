@@ -1,0 +1,240 @@
+//! `flexvc_serde` conversions for the core model types.
+//!
+//! Conventions used across the workspace's serialized documents:
+//!
+//! * Unit enum variants are lowercase snake_case strings (`"min"`,
+//!   `"per_port"`, `"flexvc"`); parsing is case-insensitive.
+//! * [`Arrangement`]s serialize as their paper notation string, e.g.
+//!   `"L G L | L G L"`, with the `|` marking the request/reply boundary.
+
+use crate::classify::{NetworkFamily, Support};
+use crate::{Arrangement, LinkClass, RoutingMode, VcPolicy, VcSelection};
+use flexvc_serde::{Deserialize, Error, Serialize, Value};
+
+/// Shared helper: parse a lowercase keyword enum.
+fn keyword<T: Copy>(v: &Value, what: &str, table: &[(&str, T)]) -> Result<T, Error> {
+    let s = v.as_str()?.to_ascii_lowercase();
+    table
+        .iter()
+        .find(|(k, _)| *k == s)
+        .map(|(_, t)| *t)
+        .ok_or_else(|| {
+            let options: Vec<&str> = table.iter().map(|(k, _)| *k).collect();
+            Error::new(format!(
+                "unknown {what} `{s}` (expected one of {})",
+                options.join(", ")
+            ))
+        })
+}
+
+impl Serialize for RoutingMode {
+    fn to_value(&self) -> Value {
+        Value::Str(
+            match self {
+                RoutingMode::Min => "min",
+                RoutingMode::Valiant => "valiant",
+                RoutingMode::Par => "par",
+                RoutingMode::Piggyback => "piggyback",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for RoutingMode {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        keyword(
+            v,
+            "routing mode",
+            &[
+                ("min", RoutingMode::Min),
+                ("valiant", RoutingMode::Valiant),
+                ("val", RoutingMode::Valiant),
+                ("par", RoutingMode::Par),
+                ("piggyback", RoutingMode::Piggyback),
+                ("pb", RoutingMode::Piggyback),
+            ],
+        )
+    }
+}
+
+impl Serialize for VcPolicy {
+    fn to_value(&self) -> Value {
+        Value::Str(
+            match self {
+                VcPolicy::Baseline => "baseline",
+                VcPolicy::FlexVc => "flexvc",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for VcPolicy {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        keyword(
+            v,
+            "VC policy",
+            &[
+                ("baseline", VcPolicy::Baseline),
+                ("flexvc", VcPolicy::FlexVc),
+            ],
+        )
+    }
+}
+
+impl Serialize for VcSelection {
+    fn to_value(&self) -> Value {
+        Value::Str(
+            match self {
+                VcSelection::Jsq => "jsq",
+                VcSelection::HighestVc => "highest_vc",
+                VcSelection::LowestVc => "lowest_vc",
+                VcSelection::Random => "random",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for VcSelection {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        keyword(
+            v,
+            "VC selection",
+            &[
+                ("jsq", VcSelection::Jsq),
+                ("highest_vc", VcSelection::HighestVc),
+                ("lowest_vc", VcSelection::LowestVc),
+                ("random", VcSelection::Random),
+            ],
+        )
+    }
+}
+
+impl Serialize for NetworkFamily {
+    fn to_value(&self) -> Value {
+        Value::Str(
+            match self {
+                NetworkFamily::Diameter2 => "diameter2",
+                NetworkFamily::Dragonfly => "dragonfly",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for NetworkFamily {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        keyword(
+            v,
+            "network family",
+            &[
+                ("diameter2", NetworkFamily::Diameter2),
+                ("dragonfly", NetworkFamily::Dragonfly),
+            ],
+        )
+    }
+}
+
+impl Serialize for Support {
+    fn to_value(&self) -> Value {
+        // The classification glyphs of the paper's tables: S / O / X.
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for Arrangement {
+    fn to_value(&self) -> Value {
+        Value::Str(self.notation())
+    }
+}
+
+impl Deserialize for Arrangement {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let text = v.as_str()?;
+        let mut seq = Vec::new();
+        let mut req_len: Option<usize> = None;
+        for c in text.chars() {
+            match c {
+                'L' | 'l' => seq.push(LinkClass::Local),
+                'G' | 'g' => seq.push(LinkClass::Global),
+                '|' => {
+                    if req_len.replace(seq.len()).is_some() {
+                        return Err(Error::new(format!(
+                            "arrangement `{text}` has more than one `|` boundary"
+                        )));
+                    }
+                }
+                ' ' | '\t' => {}
+                other => {
+                    return Err(Error::new(format!(
+                        "invalid character `{other}` in arrangement `{text}` \
+                         (expected L, G, `|` and spaces)"
+                    )))
+                }
+            }
+        }
+        if seq.is_empty() {
+            return Err(Error::new("arrangement must contain at least one VC"));
+        }
+        let req_len = req_len.unwrap_or(seq.len());
+        if req_len == 0 {
+            return Err(Error::new(format!(
+                "arrangement `{text}` has an empty request prefix"
+            )));
+        }
+        Ok(Arrangement::with_request_len(seq, req_len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexvc_serde::{from_json, to_json};
+
+    #[test]
+    fn keyword_enums_round_trip() {
+        for mode in [
+            RoutingMode::Min,
+            RoutingMode::Valiant,
+            RoutingMode::Par,
+            RoutingMode::Piggyback,
+        ] {
+            assert_eq!(from_json::<RoutingMode>(&to_json(&mode)).unwrap(), mode);
+        }
+        for sel in VcSelection::all() {
+            assert_eq!(from_json::<VcSelection>(&to_json(&sel)).unwrap(), sel);
+        }
+        assert_eq!(
+            from_json::<RoutingMode>("\"VAL\"").unwrap(),
+            RoutingMode::Valiant
+        );
+        assert!(from_json::<RoutingMode>("\"warp\"").is_err());
+    }
+
+    #[test]
+    fn arrangement_notation_round_trips() {
+        for arr in [
+            Arrangement::dragonfly_min(),
+            Arrangement::dragonfly_par(),
+            Arrangement::dragonfly(8, 4),
+            Arrangement::dragonfly_rr((4, 2), (2, 1)),
+            Arrangement::generic(4),
+            Arrangement::generic_rr(3, 2),
+        ] {
+            let back = from_json::<Arrangement>(&to_json(&arr)).unwrap();
+            assert_eq!(back, arr, "notation {}", arr.notation());
+        }
+    }
+
+    #[test]
+    fn arrangement_parse_accepts_compact_forms() {
+        let a = from_json::<Arrangement>("\"lgl|lgl\"").unwrap();
+        assert_eq!(a, Arrangement::dragonfly_rr((2, 1), (2, 1)));
+        assert!(from_json::<Arrangement>("\"LQL\"").is_err());
+        assert!(from_json::<Arrangement>("\"\"").is_err());
+        assert!(from_json::<Arrangement>("\"|LGL\"").is_err());
+        assert!(from_json::<Arrangement>("\"L|G|L\"").is_err());
+    }
+}

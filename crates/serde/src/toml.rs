@@ -1,0 +1,719 @@
+//! TOML emitter and parser over the [`Value`] model.
+//!
+//! Covers the practical subset scenario files need: `[table]` and
+//! `[[array-of-tables]]` headers with dotted paths, dotted keys, basic and
+//! literal strings, integers (with `_` separators), floats, booleans,
+//! (multi-line) arrays, inline tables and `#` comments. Dates/times and
+//! multi-line strings are not supported.
+
+use crate::{Error, Map, Value};
+
+// ---------------------------------------------------------------------------
+// Emit
+// ---------------------------------------------------------------------------
+
+/// Emit a map as a TOML document.
+///
+/// Scalar and array entries come first, then sub-tables as `[path]`
+/// sections and sequences of maps as `[[path]]` sections, recursively.
+/// `Null` entries are skipped (TOML has no null).
+pub fn emit(root: &Map) -> String {
+    let mut out = String::new();
+    emit_table(&mut out, root, &mut Vec::new());
+    out
+}
+
+/// Whether a sequence must be emitted as `[[array-of-tables]]` sections.
+fn is_table_array(items: &[Value]) -> bool {
+    !items.is_empty() && items.iter().all(|v| matches!(v, Value::Map(_)))
+}
+
+fn emit_table(out: &mut String, table: &Map, path: &mut Vec<String>) {
+    // Inline entries first.
+    for (k, v) in table.iter() {
+        match v {
+            Value::Null | Value::Map(_) => {}
+            Value::Seq(items) if is_table_array(items) => {}
+            _ => {
+                out.push_str(&format!("{} = {}\n", key_text(k), inline_text(v)));
+            }
+        }
+    }
+    // Then sections.
+    for (k, v) in table.iter() {
+        match v {
+            Value::Map(m) => {
+                path.push(k.to_string());
+                out.push('\n');
+                out.push_str(&format!("[{}]\n", path_text(path)));
+                emit_table(out, m, path);
+                path.pop();
+            }
+            Value::Seq(items) if is_table_array(items) => {
+                path.push(k.to_string());
+                for item in items {
+                    let m = match item {
+                        Value::Map(m) => m,
+                        _ => unreachable!("is_table_array guarantees maps"),
+                    };
+                    out.push('\n');
+                    out.push_str(&format!("[[{}]]\n", path_text(path)));
+                    emit_table(out, m, path);
+                }
+                path.pop();
+            }
+            _ => {}
+        }
+    }
+}
+
+fn path_text(path: &[String]) -> String {
+    path.iter()
+        .map(|s| key_text(s))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn key_text(key: &str) -> String {
+    let bare = !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if bare {
+        key.to_string()
+    } else {
+        string_text(key)
+    }
+}
+
+fn string_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn inline_text(v: &Value) -> String {
+    match v {
+        Value::Null => "\"\"".to_string(), // unreachable from emit_table
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => float_text(*f),
+        Value::Str(s) => string_text(s),
+        Value::Seq(items) => {
+            let inner: Vec<String> = items.iter().map(inline_text).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Value::Map(m) => {
+            let inner: Vec<String> = m
+                .iter()
+                .filter(|(_, v)| !matches!(v, Value::Null))
+                .map(|(k, v)| format!("{} = {}", key_text(k), inline_text(v)))
+                .collect();
+            format!("{{ {} }}", inner.join(", "))
+        }
+    }
+}
+
+fn float_text(f: f64) -> String {
+    if f.is_nan() {
+        "nan".to_string()
+    } else if f.is_infinite() {
+        if f > 0.0 { "inf" } else { "-inf" }.to_string()
+    } else {
+        // `{:?}` always renders a `.` or exponent, both valid TOML floats.
+        format!("{f:?}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parse
+// ---------------------------------------------------------------------------
+
+/// Parse a TOML document into a [`Map`].
+pub fn parse(text: &str) -> Result<Map, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let mut root = Map::new();
+    let mut current: Vec<String> = Vec::new();
+    loop {
+        p.skip_trivia();
+        match p.peek() {
+            None => break,
+            Some(b'[') => {
+                let (path, is_array) = p.header()?;
+                if is_array {
+                    let parent =
+                        navigate(&mut root, &path[..path.len() - 1]).map_err(|e| p.with_line(e))?;
+                    let last = path.last().expect("non-empty header path").clone();
+                    match parent.get_mut(&last) {
+                        None => {
+                            parent.insert(last.clone(), Value::Seq(vec![Value::Map(Map::new())]));
+                        }
+                        Some(Value::Seq(items)) => items.push(Value::Map(Map::new())),
+                        Some(other) => {
+                            return Err(p.with_line(Error::new(format!(
+                                "`{last}` is a {}, not an array of tables",
+                                other.type_name()
+                            ))))
+                        }
+                    }
+                } else {
+                    navigate(&mut root, &path).map_err(|e| p.with_line(e))?;
+                }
+                current = path;
+            }
+            Some(_) => {
+                let (key_path, value) = p.keyval()?;
+                let mut full = current.clone();
+                full.extend_from_slice(&key_path[..key_path.len() - 1]);
+                let table = navigate(&mut root, &full).map_err(|e| p.with_line(e))?;
+                let last = key_path.last().expect("non-empty key").clone();
+                if table.contains_key(&last) {
+                    return Err(p.with_line(Error::new(format!("duplicate key `{last}`"))));
+                }
+                table.insert(last, value);
+            }
+        }
+    }
+    Ok(root)
+}
+
+/// Walk (and create) the table at `path`, descending into the *last*
+/// element of any array of tables along the way (TOML semantics).
+fn navigate<'a>(root: &'a mut Map, path: &[String]) -> Result<&'a mut Map, Error> {
+    let mut table = root;
+    for seg in path {
+        if !table.contains_key(seg) {
+            table.insert(seg.clone(), Value::Map(Map::new()));
+        }
+        table = match table.get_mut(seg).expect("just inserted") {
+            Value::Map(m) => m,
+            Value::Seq(items) => match items.last_mut() {
+                Some(Value::Map(m)) => m,
+                _ => return Err(Error::new(format!("`{seg}` is not an array of tables"))),
+            },
+            other => {
+                return Err(Error::new(format!(
+                    "`{seg}` is a {}, not a table",
+                    other.type_name()
+                )))
+            }
+        };
+    }
+    Ok(table)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn line(&self) -> usize {
+        1 + self.bytes[..self.pos.min(self.bytes.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("TOML parse error at line {}: {msg}", self.line()))
+    }
+
+    fn with_line(&self, e: Error) -> Error {
+        Error::new(format!(
+            "TOML parse error at line {}: {}",
+            self.line(),
+            e.message()
+        ))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Skip spaces/tabs on the current line.
+    fn skip_inline_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip whitespace, newlines and comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\n' | b'\r') => self.pos += 1,
+                Some(b'#') => {
+                    while !matches!(self.peek(), None | Some(b'\n')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Require end-of-line (or EOF), allowing a trailing comment.
+    fn end_of_line(&mut self) -> Result<(), Error> {
+        self.skip_inline_ws();
+        if self.peek() == Some(b'#') {
+            while !matches!(self.peek(), None | Some(b'\n')) {
+                self.pos += 1;
+            }
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some(b'\n') => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(b'\r') if self.bytes.get(self.pos + 1) == Some(&b'\n') => {
+                self.pos += 2;
+                Ok(())
+            }
+            Some(c) => Err(self.err(&format!(
+                "unexpected `{}` after value (one entry per line)",
+                c as char
+            ))),
+        }
+    }
+
+    /// Parse `[path]` or `[[path]]`; returns `(path, is_array)`.
+    fn header(&mut self) -> Result<(Vec<String>, bool), Error> {
+        self.pos += 1; // consume `[`
+        let is_array = self.peek() == Some(b'[');
+        if is_array {
+            self.pos += 1;
+        }
+        let path = self.dotted_path()?;
+        if self.peek() != Some(b']') {
+            return Err(self.err("expected `]` closing table header"));
+        }
+        self.pos += 1;
+        if is_array {
+            if self.peek() != Some(b']') {
+                return Err(self.err("expected `]]` closing array-of-tables header"));
+            }
+            self.pos += 1;
+        }
+        self.end_of_line()?;
+        Ok((path, is_array))
+    }
+
+    /// Parse `key.path = value` up to end of line.
+    fn keyval(&mut self) -> Result<(Vec<String>, Value), Error> {
+        let path = self.dotted_path()?;
+        if self.peek() != Some(b'=') {
+            return Err(self.err("expected `=` after key"));
+        }
+        self.pos += 1;
+        self.skip_inline_ws();
+        let v = self.value()?;
+        self.end_of_line()?;
+        Ok((path, v))
+    }
+
+    fn dotted_path(&mut self) -> Result<Vec<String>, Error> {
+        let mut path = Vec::new();
+        loop {
+            self.skip_inline_ws();
+            path.push(self.key_segment()?);
+            self.skip_inline_ws();
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+            } else {
+                return Ok(path);
+            }
+        }
+    }
+
+    fn key_segment(&mut self) -> Result<String, Error> {
+        match self.peek() {
+            Some(b'"') => self.basic_string(),
+            Some(b'\'') => self.literal_string(),
+            Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'-')
+                {
+                    self.pos += 1;
+                }
+                Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("ascii")
+                    .to_string())
+            }
+            _ => Err(self.err("expected a key")),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.basic_string()?)),
+            Some(b'\'') => Ok(Value::Str(self.literal_string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.inline_table(),
+            Some(b't') | Some(b'f') => self.boolean(),
+            Some(c) if c == b'+' || c == b'-' || c.is_ascii_digit() || c == b'i' || c == b'n' => {
+                self.number()
+            }
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn boolean(&mut self) -> Result<Value, Error> {
+        for (word, val) in [("true", true), ("false", false)] {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                return Ok(Value::Bool(val));
+            }
+        }
+        Err(self.err("invalid boolean"))
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // `[`
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            items.push(self.value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn inline_table(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // `{`
+        let mut m = Map::new();
+        self.skip_inline_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(m));
+        }
+        loop {
+            self.skip_inline_ws();
+            let path = self.dotted_path()?;
+            if self.peek() != Some(b'=') {
+                return Err(self.err("expected `=` in inline table"));
+            }
+            self.pos += 1;
+            self.skip_inline_ws();
+            let v = self.value()?;
+            let table = navigate(&mut m, &path[..path.len() - 1]).map_err(|e| self.with_line(e))?;
+            table.insert(path.last().expect("non-empty key").clone(), v);
+            self.skip_inline_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(m));
+                }
+                _ => return Err(self.err("expected `,` or `}` in inline table")),
+            }
+        }
+    }
+
+    fn basic_string(&mut self) -> Result<String, Error> {
+        self.pos += 1; // `"`
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' | b'U' => {
+                            let len = if esc == b'u' { 4 } else { 8 };
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + len)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated unicode escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid unicode escape"))?;
+                            self.pos += len;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode scalar"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown string escape")),
+                    }
+                }
+                Some(b'\n') | None => return Err(self.err("unterminated string")),
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'"' || c == b'\\' || c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    s.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn literal_string(&mut self) -> Result<String, Error> {
+        self.pos += 1; // `'`
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'\'' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            if c == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated literal string"))
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if matches!(self.peek(), Some(b'+' | b'-')) {
+            self.pos += 1;
+        }
+        for word in ["inf", "nan"] {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+                let f = match text.trim_start_matches('+') {
+                    "inf" => f64::INFINITY,
+                    "-inf" => f64::NEG_INFINITY,
+                    _ => f64::NAN,
+                };
+                return Ok(Value::Float(f));
+            }
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' | b'_' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                    // Exponent signs.
+                    if matches!(self.peek(), Some(b'+' | b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text: String = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ascii")
+            .chars()
+            .filter(|&c| c != '_')
+            .collect();
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err(&format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_arrays() {
+        let doc = parse(
+            r#"
+# comment
+name = "fig5" # trailing comment
+count = 1_000
+load = 0.5
+neg = -2
+on = true
+loads = [0.1, 0.2,
+         0.3]
+empty = []
+words = ['a', "b"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("name"), Some(&Value::Str("fig5".into())));
+        assert_eq!(doc.get("count"), Some(&Value::Int(1000)));
+        assert_eq!(doc.get("load"), Some(&Value::Float(0.5)));
+        assert_eq!(doc.get("neg"), Some(&Value::Int(-2)));
+        assert_eq!(doc.get("on"), Some(&Value::Bool(true)));
+        assert_eq!(
+            doc.get("loads"),
+            Some(&Value::Seq(vec![
+                Value::Float(0.1),
+                Value::Float(0.2),
+                Value::Float(0.3)
+            ]))
+        );
+        assert_eq!(doc.get("empty"), Some(&Value::Seq(vec![])));
+    }
+
+    #[test]
+    fn tables_and_arrays_of_tables() {
+        let doc = parse(
+            r#"
+title = "top"
+
+[cfg]
+routing = "min"
+
+[cfg.topology]
+kind = "dragonfly_balanced"
+h = 2
+
+[[points]]
+series = "Baseline"
+load = 0.1
+
+[points.cfg]
+speedup = 2
+
+[[points]]
+series = "FlexVC"
+load = 0.2
+"#,
+        )
+        .unwrap();
+        let cfg = doc.get("cfg").unwrap().as_map().unwrap();
+        assert_eq!(
+            cfg.get("topology").unwrap().as_map().unwrap().get("h"),
+            Some(&Value::Int(2))
+        );
+        let points = doc.get("points").unwrap().as_seq().unwrap();
+        assert_eq!(points.len(), 2);
+        let p0 = points[0].as_map().unwrap();
+        assert_eq!(p0.get("series"), Some(&Value::Str("Baseline".into())));
+        // [points.cfg] attaches to the most recent [[points]] element.
+        assert_eq!(
+            p0.get("cfg").unwrap().as_map().unwrap().get("speedup"),
+            Some(&Value::Int(2))
+        );
+        assert_eq!(
+            points[1].as_map().unwrap().get("load"),
+            Some(&Value::Float(0.2))
+        );
+    }
+
+    #[test]
+    fn inline_tables_and_dotted_keys() {
+        let doc = parse(
+            r#"
+pattern = { kind = "adversarial", offset = 1 }
+workload.reactive = true
+"#,
+        )
+        .unwrap();
+        let p = doc.get("pattern").unwrap().as_map().unwrap();
+        assert_eq!(p.get("offset"), Some(&Value::Int(1)));
+        let w = doc.get("workload").unwrap().as_map().unwrap();
+        assert_eq!(w.get("reactive"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let root = Map::new()
+            .with("name", Value::Str("scenario".into()))
+            .with("seeds", Value::Seq(vec![Value::Int(1), Value::Int(2)]))
+            .with(
+                "cfg",
+                Value::Map(
+                    Map::new()
+                        .with("speedup", Value::Int(2))
+                        .with("load", Value::Float(1.0))
+                        .with(
+                            "topology",
+                            Value::Map(Map::new().with("kind", Value::Str("dragonfly".into()))),
+                        ),
+                ),
+            )
+            .with(
+                "points",
+                Value::Seq(vec![
+                    Value::Map(
+                        Map::new()
+                            .with("series", Value::Str("Baseline 2/1".into()))
+                            .with("load", Value::Float(0.1)),
+                    ),
+                    Value::Map(
+                        Map::new()
+                            .with("series", Value::Str("FlexVC".into()))
+                            .with("load", Value::Float(0.2)),
+                    ),
+                ]),
+            );
+        let text = emit(&root);
+        let back = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(back, root, "emitted:\n{text}");
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        assert!(parse("a = 1\na = 2\n").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("good = 1\nbad =\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn strings_with_specials_round_trip() {
+        let root = Map::new().with(
+            "label",
+            Value::Str("FlexVC 6/3VCs(4/2+2/1) \"quoted\" | pipe".into()),
+        );
+        let text = emit(&root);
+        assert_eq!(parse(&text).unwrap(), root);
+    }
+}

@@ -1,0 +1,415 @@
+//! Validating builder for [`SimConfig`].
+//!
+//! The builder starts from the paper's Table V defaults at the reduced
+//! default scale (balanced `h = 2` Dragonfly), derives the minimum safe VC
+//! arrangement for the configured routing/workload when none is given
+//! explicitly, and validates on [`SimConfigBuilder::build`] — returning a
+//! typed [`ConfigError`] instead of panicking on inconsistent input.
+//!
+//! ```
+//! use flexvc_sim::{SimConfig, SensingMode};
+//! use flexvc_core::{Arrangement, RoutingMode};
+//! use flexvc_traffic::{Pattern, Workload};
+//!
+//! let cfg = SimConfig::builder()
+//!     .routing(RoutingMode::Piggyback)
+//!     .workload(Workload::reactive(Pattern::adv1()))
+//!     .flexvc(Arrangement::dragonfly_rr((4, 2), (2, 1)))
+//!     .sensing_mode(SensingMode::PerVc)
+//!     .min_cred(true)
+//!     .windows(5_000, 10_000)
+//!     .build()
+//!     .expect("valid configuration");
+//! assert!(cfg.sensing.min_cred);
+//! ```
+
+use crate::config::{BufferConfig, BufferOrg, BufferSizing, SensingConfig, SensingMode};
+use crate::config::{SimConfig, TopologySpec};
+use crate::error::ConfigError;
+use flexvc_core::classify::NetworkFamily;
+use flexvc_core::{Arrangement, RoutingMode, VcPolicy, VcSelection};
+use flexvc_topology::GlobalArrangement;
+use flexvc_traffic::{Pattern, Workload};
+
+/// Builder for [`SimConfig`]; see the module docs for defaults.
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    topology: TopologySpec,
+    routing: RoutingMode,
+    policy: VcPolicy,
+    arrangement: Option<Arrangement>,
+    selection: VcSelection,
+    workload: Workload,
+    packet_size: u32,
+    local_latency: u32,
+    global_latency: u32,
+    pipeline_latency: u32,
+    speedup: u32,
+    buffers: BufferConfig,
+    injection_vcs: usize,
+    sensing: SensingConfig,
+    warmup: u64,
+    measure: u64,
+    watchdog: u64,
+    revert_patience: u32,
+    reply_queue_packets: usize,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        SimConfigBuilder {
+            topology: TopologySpec::DragonflyBalanced {
+                h: 2,
+                arrangement: GlobalArrangement::default(),
+            },
+            routing: RoutingMode::Min,
+            policy: VcPolicy::Baseline,
+            arrangement: None,
+            selection: VcSelection::Jsq,
+            workload: Workload::oblivious(Pattern::Uniform),
+            packet_size: 8,
+            local_latency: 10,
+            global_latency: 100,
+            pipeline_latency: 5,
+            speedup: 2,
+            buffers: BufferConfig::default(),
+            injection_vcs: 3,
+            sensing: SensingConfig::default(),
+            warmup: 10_000,
+            measure: 20_000,
+            watchdog: 20_000,
+            revert_patience: 16,
+            reply_queue_packets: 4,
+        }
+    }
+}
+
+/// The minimum arrangement on which the baseline policy supports `routing`
+/// for the topology family, doubled into request/reply halves when
+/// `reactive`. This is the arrangement [`SimConfig::dragonfly_baseline`]
+/// uses and the builder's fallback when none is set explicitly.
+pub fn default_arrangement(
+    family: NetworkFamily,
+    routing: RoutingMode,
+    reactive: bool,
+) -> Arrangement {
+    match family {
+        NetworkFamily::Dragonfly => {
+            let (l, g) = routing.min_dragonfly_vcs();
+            if reactive {
+                Arrangement::dragonfly_rr((l, g), (l, g))
+            } else {
+                Arrangement::dragonfly(l, g)
+            }
+        }
+        NetworkFamily::Diameter2 => {
+            let n = routing.generic_reference(2).len();
+            if reactive {
+                Arrangement::generic_rr(n, n)
+            } else {
+                Arrangement::generic(n)
+            }
+        }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Fresh builder with Table V defaults at the reduced default scale.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Network topology.
+    pub fn topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Balanced Dragonfly shortcut (`p = h`, `a = 2h`, `g = 2h² + 1`).
+    pub fn dragonfly(mut self, h: usize) -> Self {
+        self.topology = TopologySpec::DragonflyBalanced {
+            h,
+            arrangement: GlobalArrangement::default(),
+        };
+        self
+    }
+
+    /// Routing mechanism.
+    pub fn routing(mut self, routing: RoutingMode) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// VC management policy (the arrangement stays as configured).
+    pub fn policy(mut self, policy: VcPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Explicit VC arrangement (otherwise the minimum safe arrangement for
+    /// the routing/workload is derived at build time).
+    pub fn arrangement(mut self, arrangement: Arrangement) -> Self {
+        self.arrangement = Some(arrangement);
+        self
+    }
+
+    /// Switch to the FlexVC policy on the given arrangement.
+    pub fn flexvc(mut self, arrangement: Arrangement) -> Self {
+        self.policy = VcPolicy::FlexVc;
+        self.arrangement = Some(arrangement);
+        self
+    }
+
+    /// Traffic workload.
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// FlexVC VC selection function.
+    pub fn selection(mut self, selection: VcSelection) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Packet size in phits.
+    pub fn packet_size(mut self, phits: u32) -> Self {
+        self.packet_size = phits;
+        self
+    }
+
+    /// Local and global link latencies in cycles.
+    pub fn link_latencies(mut self, local: u32, global: u32) -> Self {
+        self.local_latency = local;
+        self.global_latency = global;
+        self
+    }
+
+    /// Router pipeline latency in cycles.
+    pub fn pipeline_latency(mut self, cycles: u32) -> Self {
+        self.pipeline_latency = cycles;
+        self
+    }
+
+    /// Internal crossbar speedup factor.
+    pub fn speedup(mut self, speedup: u32) -> Self {
+        self.speedup = speedup;
+        self
+    }
+
+    /// Full buffer configuration.
+    pub fn buffers(mut self, buffers: BufferConfig) -> Self {
+        self.buffers = buffers;
+        self
+    }
+
+    /// Input bank sizing only.
+    pub fn buffer_sizing(mut self, sizing: BufferSizing) -> Self {
+        self.buffers.sizing = sizing;
+        self
+    }
+
+    /// Fixed total memory per port, split across its VCs.
+    pub fn per_port_buffers(mut self, local: u32, global: u32) -> Self {
+        self.buffers.sizing = BufferSizing::PerPort { local, global };
+        self
+    }
+
+    /// DAMQ buffer organization with the given private reservation.
+    pub fn damq(mut self, private_fraction: f64) -> Self {
+        self.buffers.organization = BufferOrg::Damq { private_fraction };
+        self
+    }
+
+    /// Injection VCs per injection port.
+    pub fn injection_vcs(mut self, vcs: usize) -> Self {
+        self.injection_vcs = vcs;
+        self
+    }
+
+    /// Full Piggyback sensing configuration.
+    pub fn sensing(mut self, sensing: SensingConfig) -> Self {
+        self.sensing = sensing;
+        self
+    }
+
+    /// Piggyback sensing granularity only.
+    pub fn sensing_mode(mut self, mode: SensingMode) -> Self {
+        self.sensing.mode = mode;
+        self
+    }
+
+    /// FlexVC-minCred: measure only minimally-routed occupancy.
+    pub fn min_cred(mut self, min_cred: bool) -> Self {
+        self.sensing.min_cred = min_cred;
+        self
+    }
+
+    /// Warm-up and measurement windows in cycles (the watchdog follows at
+    /// half their sum unless set explicitly afterwards).
+    pub fn windows(mut self, warmup: u64, measure: u64) -> Self {
+        self.warmup = warmup;
+        self.measure = measure;
+        self.watchdog = (warmup + measure) / 2;
+        self
+    }
+
+    /// Forward-progress watchdog limit in cycles.
+    pub fn watchdog(mut self, cycles: u64) -> Self {
+        self.watchdog = cycles;
+        self
+    }
+
+    /// Opportunistic-hop reversion patience in allocation evaluations.
+    pub fn revert_patience(mut self, evals: u32) -> Self {
+        self.revert_patience = evals;
+        self
+    }
+
+    /// Reply-generation queue depth in packets (reactive workloads).
+    pub fn reply_queue_packets(mut self, packets: usize) -> Self {
+        self.reply_queue_packets = packets;
+        self
+    }
+
+    /// Assemble and validate the configuration.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        let family = self.topology.family();
+        let arrangement = self
+            .arrangement
+            .unwrap_or_else(|| default_arrangement(family, self.routing, self.workload.reactive));
+        let cfg = SimConfig {
+            topology: self.topology,
+            routing: self.routing,
+            policy: self.policy,
+            arrangement,
+            selection: self.selection,
+            workload: self.workload,
+            packet_size: self.packet_size,
+            local_latency: self.local_latency,
+            global_latency: self.global_latency,
+            pipeline_latency: self.pipeline_latency,
+            speedup: self.speedup,
+            buffers: self.buffers,
+            injection_vcs: self.injection_vcs,
+            sensing: self.sensing,
+            warmup: self.warmup,
+            measure: self.measure,
+            watchdog: self.watchdog,
+            revert_patience: self.revert_patience,
+            reply_queue_packets: self.reply_queue_packets,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexvc_core::LinkClass;
+
+    #[test]
+    fn defaults_match_dragonfly_baseline() {
+        let built = SimConfigBuilder::new().build().unwrap();
+        let baseline = SimConfig::dragonfly_baseline(
+            2,
+            RoutingMode::Min,
+            Workload::oblivious(Pattern::Uniform),
+        );
+        assert_eq!(built.packet_size, baseline.packet_size);
+        assert_eq!(built.speedup, baseline.speedup);
+        assert_eq!(built.arrangement, baseline.arrangement);
+        assert_eq!(built.warmup, baseline.warmup);
+        assert_eq!(built.measure, baseline.measure);
+    }
+
+    #[test]
+    fn derives_arrangement_per_routing_and_workload() {
+        let val = SimConfigBuilder::new()
+            .routing(RoutingMode::Valiant)
+            .build()
+            .unwrap();
+        assert_eq!(val.arrangement.vc_count(LinkClass::Local), 4);
+        assert_eq!(val.arrangement.vc_count(LinkClass::Global), 2);
+
+        let rr = SimConfigBuilder::new()
+            .workload(Workload::reactive(Pattern::Uniform))
+            .build()
+            .unwrap();
+        assert!(rr.arrangement.has_reply_part());
+
+        let generic = SimConfigBuilder::new()
+            .topology(TopologySpec::FlatButterfly { k: 4, p: 2 })
+            .routing(RoutingMode::Valiant)
+            .build()
+            .unwrap();
+        assert_eq!(generic.arrangement.total_vcs(), 4);
+    }
+
+    #[test]
+    fn invalid_combinations_are_typed_errors() {
+        // FlexVC VAL on the 2/1 MIN arrangement: unsupported.
+        let err = SimConfigBuilder::new()
+            .routing(RoutingMode::Valiant)
+            .flexvc(Arrangement::dragonfly_min())
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, ConfigError::UnsupportedRouting { .. }),
+            "{err}"
+        );
+
+        // Piggyback needs a Dragonfly.
+        let err = SimConfigBuilder::new()
+            .topology(TopologySpec::FlatButterfly { k: 4, p: 2 })
+            .routing(RoutingMode::Piggyback)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::PiggybackNeedsDragonfly);
+
+        // Zero packet size.
+        let err = SimConfigBuilder::new().packet_size(0).build().unwrap_err();
+        assert!(matches!(err, ConfigError::NonPositive { .. }));
+    }
+
+    #[test]
+    fn knobs_land_in_config() {
+        let cfg = SimConfigBuilder::new()
+            .dragonfly(3)
+            .routing(RoutingMode::Valiant)
+            .flexvc(Arrangement::dragonfly(4, 2))
+            .selection(VcSelection::HighestVc)
+            .packet_size(4)
+            .link_latencies(5, 50)
+            .pipeline_latency(3)
+            .speedup(1)
+            .per_port_buffers(128, 512)
+            .damq(0.75)
+            .injection_vcs(2)
+            .sensing_mode(SensingMode::PerVc)
+            .min_cred(true)
+            .windows(1_000, 2_000)
+            .watchdog(9_000)
+            .revert_patience(0)
+            .reply_queue_packets(8)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.selection, VcSelection::HighestVc);
+        assert_eq!(cfg.packet_size, 4);
+        assert_eq!(cfg.local_latency, 5);
+        assert_eq!(cfg.global_latency, 50);
+        assert_eq!(cfg.pipeline_latency, 3);
+        assert_eq!(cfg.speedup, 1);
+        assert!(matches!(
+            cfg.buffers.organization,
+            BufferOrg::Damq { private_fraction } if private_fraction == 0.75
+        ));
+        assert_eq!(cfg.injection_vcs, 2);
+        assert_eq!(cfg.sensing.mode, SensingMode::PerVc);
+        assert!(cfg.sensing.min_cred);
+        assert_eq!(cfg.watchdog, 9_000);
+        assert_eq!(cfg.revert_patience, 0);
+        assert_eq!(cfg.reply_queue_packets, 8);
+    }
+}

@@ -109,9 +109,7 @@ pub fn check_baseline_routes(
                 );
                 let pos = route_positions(arr, msg, &reference, &route);
                 if !strictly_increasing(&pos) {
-                    return Err(format!(
-                        "PAR divert {s}->{d} via {via}: positions {pos:?}"
-                    ));
+                    return Err(format!("PAR divert {s}->{d} via {via}: positions {pos:?}"));
                 }
                 continue;
             }
@@ -202,8 +200,7 @@ mod tests {
     fn min_routes_strictly_increase() {
         let topo = Dragonfly::balanced(2);
         let arr = Arrangement::dragonfly_min();
-        check_baseline_routes(&topo, RoutingMode::Min, &arr, MessageClass::Request, 0, 1)
-            .unwrap();
+        check_baseline_routes(&topo, RoutingMode::Min, &arr, MessageClass::Request, 0, 1).unwrap();
     }
 
     #[test]
@@ -234,8 +231,15 @@ mod tests {
     fn par_divert_routes_strictly_increase() {
         let topo = Dragonfly::balanced(2);
         let arr = Arrangement::dragonfly_par();
-        check_baseline_routes(&topo, RoutingMode::Par, &arr, MessageClass::Request, 5_000, 3)
-            .unwrap();
+        check_baseline_routes(
+            &topo,
+            RoutingMode::Par,
+            &arr,
+            MessageClass::Request,
+            5_000,
+            3,
+        )
+        .unwrap();
     }
 
     #[test]

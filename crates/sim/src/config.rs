@@ -1,5 +1,12 @@
 //! Simulation configuration (Table V of the paper plus policy knobs).
+//!
+//! Build configurations with [`SimConfig::builder`] (validating, typed
+//! errors) or the [`SimConfig::dragonfly_baseline`] convenience
+//! constructor; serialize them through `flexvc_serde` (see the
+//! `serde_impls` module) to move whole experiments through TOML/JSON.
 
+use crate::builder::SimConfigBuilder;
+use crate::error::ConfigError;
 use flexvc_core::classify::{classify, NetworkFamily, Support};
 use flexvc_core::policy::supports_baseline;
 use flexvc_core::{Arrangement, MessageClass, RoutingMode, VcPolicy, VcSelection};
@@ -196,7 +203,11 @@ pub struct SimConfig {
     pub sensing: SensingConfig,
     /// Warm-up cycles before measurement.
     pub warmup: u64,
-    /// Measurement window in cycles (paper: 60,000).
+    /// Measurement window in cycles. The paper measures 60,000 cycles at
+    /// its full `h = 8` scale; [`SimConfig::dragonfly_baseline`] defaults
+    /// to 20,000 to match the reduced default network (use
+    /// `FLEXVC_PAPER=1` with the harness, or set this field, for the full
+    /// window).
     pub measure: u64,
     /// Forward-progress watchdog: abort and flag deadlock after this many
     /// cycles without any packet movement while packets are in flight.
@@ -219,6 +230,12 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
+    /// Start building a configuration field by field; `build()` validates
+    /// and returns typed [`ConfigError`]s instead of panicking.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::new()
+    }
+
     /// Baseline configuration on a balanced Dragonfly of size `h` for a
     /// routing mode, with the minimum VC arrangement of Table V
     /// (2/1 for MIN, 4/2 for VAL/PB, 5/2 for PAR; doubled when reactive).
@@ -313,12 +330,21 @@ impl SimConfig {
         }
     }
 
-    /// Validate the configuration; returns a human-readable error when the
-    /// policy cannot operate deadlock-free on the arrangement.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate the configuration; returns a typed [`ConfigError`] when the
+    /// policy cannot operate deadlock-free on the arrangement (or the
+    /// configuration cannot be simulated at all).
+    pub fn validate(&self) -> Result<(), ConfigError> {
         let family = self.topology.family();
-        if self.packet_size == 0 || self.speedup == 0 {
-            return Err("packet size and speedup must be positive".into());
+        if self.packet_size == 0 {
+            return Err(ConfigError::NonPositive {
+                what: "packet size",
+            });
+        }
+        if self.speedup == 0 {
+            return Err(ConfigError::NonPositive { what: "speedup" });
+        }
+        if self.routing == RoutingMode::Piggyback && family != NetworkFamily::Dragonfly {
+            return Err(ConfigError::PiggybackNeedsDragonfly);
         }
         let classes: &[MessageClass] = if self.workload.reactive {
             &[MessageClass::Request, MessageClass::Reply]
@@ -326,10 +352,10 @@ impl SimConfig {
             &[MessageClass::Request]
         };
         if self.workload.reactive && !self.arrangement.has_reply_part() {
-            return Err("reactive workload requires a request+reply arrangement".into());
+            return Err(ConfigError::MissingReplyArrangement);
         }
         if !self.workload.reactive && self.arrangement.has_reply_part() {
-            return Err("non-reactive workload must not split the arrangement".into());
+            return Err(ConfigError::UnexpectedReplyArrangement);
         }
         for &msg in classes {
             match self.policy {
@@ -339,43 +365,45 @@ impl SimConfig {
                         NetworkFamily::Diameter2 => self.routing.generic_reference(2),
                     };
                     if !supports_baseline(&self.arrangement, msg, &reference) {
-                        return Err(format!(
-                            "baseline policy requires the exact {} reference arrangement for {:?} \
-                             (got {})",
-                            self.routing,
+                        return Err(ConfigError::BaselineArrangement {
+                            routing: self.routing,
                             msg,
-                            self.arrangement
-                        ));
+                            arrangement: self.arrangement.to_string(),
+                        });
                     }
                 }
                 VcPolicy::FlexVc => {
                     // MIN must be safe (it is every packet's escape), and the
                     // configured routing must be at least opportunistic.
                     if classify(family, RoutingMode::Min, &self.arrangement, msg) != Support::Safe {
-                        return Err(format!(
-                            "minimal routing must be safe for {msg:?} on {}",
-                            self.arrangement
-                        ));
+                        return Err(ConfigError::MinimalNotSafe {
+                            msg,
+                            arrangement: self.arrangement.to_string(),
+                        });
                     }
                     if classify(family, self.routing, &self.arrangement, msg)
                         == Support::Unsupported
                     {
-                        return Err(format!(
-                            "{} is unsupported for {:?} on {}",
-                            self.routing, msg, self.arrangement
-                        ));
+                        return Err(ConfigError::UnsupportedRouting {
+                            routing: self.routing,
+                            msg,
+                            arrangement: self.arrangement.to_string(),
+                        });
                     }
                 }
             }
         }
         // Buffers must hold at least one packet per VC.
-        for class in [flexvc_core::LinkClass::Local, flexvc_core::LinkClass::Global] {
+        for class in [
+            flexvc_core::LinkClass::Local,
+            flexvc_core::LinkClass::Global,
+        ] {
             if self.vcs_for_class(class) > 0 && self.vc_capacity(class) < self.packet_size {
-                return Err(format!("{class:?} VC capacity below one packet"));
+                return Err(ConfigError::VcCapacityBelowPacket { class });
             }
         }
         if self.buffers.output < self.packet_size || self.buffers.injection < self.packet_size {
-            return Err("output/injection buffers below one packet".into());
+            return Err(ConfigError::PortBuffersBelowPacket);
         }
         Ok(())
     }

@@ -148,14 +148,12 @@ pub struct Network {
 
 impl Network {
     /// Build a network for `cfg` at offered load `load` (phits/node/cycle)
-    /// with deterministic `seed`.
-    pub fn new(cfg: SimConfig, load: f64, seed: u64) -> Result<Self, String> {
+    /// with deterministic `seed`. Fails with a typed [`ConfigError`] when
+    /// the configuration does not pass [`SimConfig::validate`].
+    pub fn new(cfg: SimConfig, load: f64, seed: u64) -> Result<Self, crate::error::ConfigError> {
         cfg.validate()?;
         let topo = cfg.topology.build();
         let family = cfg.topology.family();
-        if cfg.routing == RoutingMode::Piggyback && family != NetworkFamily::Dragonfly {
-            return Err("Piggyback sensing requires a Dragonfly topology".into());
-        }
         let pp = topo.num_ports();
         let pn = topo.nodes_per_router();
         let nr = topo.num_routers();
@@ -629,7 +627,12 @@ impl Network {
                 });
                 if let Some(in_idx) = winner {
                     let (vc, d) = cand[in_idx].take().expect("winner has candidate");
-                    if let Decision::Forward { port, vc: out_vc, pos } = d {
+                    if let Decision::Forward {
+                        port,
+                        vc: out_vc,
+                        pos,
+                    } = d
+                    {
                         self.grant_forward(r, in_idx, vc as usize, port, out_vc, pos, now);
                     }
                 }
@@ -639,13 +642,7 @@ impl Network {
 
     /// Evaluate the head of one input VC; may mutate the packet (planning
     /// reversion, PAR divert).
-    fn evaluate_head(
-        &mut self,
-        r: usize,
-        in_idx: usize,
-        vc: usize,
-        now: u64,
-    ) -> Option<Decision> {
+    fn evaluate_head(&mut self, r: usize, in_idx: usize, vc: usize, now: u64) -> Option<Decision> {
         let pp = self.pp;
         let size = self.cfg.packet_size;
         let is_injection = in_idx >= pp;
@@ -702,8 +699,7 @@ impl Network {
             let port = hop.port as usize;
             let pclass = self.port_class[port];
             // Output-side structural checks.
-            if router.out_xbar[port] > now
-                || router.out_occ[port] + size > self.cfg.buffers.output
+            if router.out_xbar[port] > now || router.out_occ[port] + size > self.cfg.buffers.output
             {
                 return None;
             }

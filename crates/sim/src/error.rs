@@ -1,0 +1,179 @@
+//! Typed errors for configuration validation and experiment runs.
+//!
+//! [`SimConfig::validate`](crate::SimConfig::validate) and
+//! [`Network::new`](crate::Network::new) report [`ConfigError`]; the batch
+//! runner ([`run_points`](crate::runner::run_points) and friends) wraps it
+//! in [`RunError`] with the index of the offending point. Both implement
+//! `std::error::Error`, so they compose with `?` and `Box<dyn Error>`.
+
+use flexvc_core::{LinkClass, MessageClass, RoutingMode};
+use std::fmt;
+
+/// A configuration that cannot be simulated deadlock-free (or at all).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A scalar parameter that must be strictly positive is zero.
+    NonPositive {
+        /// Which parameter.
+        what: &'static str,
+    },
+    /// A reactive workload needs a request+reply split arrangement.
+    MissingReplyArrangement,
+    /// A non-reactive workload must not carry a reply sub-sequence.
+    UnexpectedReplyArrangement,
+    /// The baseline policy requires the exact reference arrangement of the
+    /// routing mode.
+    BaselineArrangement {
+        /// Configured routing mode.
+        routing: RoutingMode,
+        /// Message class whose reference failed to match.
+        msg: MessageClass,
+        /// Display rendering of the configured arrangement.
+        arrangement: String,
+    },
+    /// FlexVC requires minimal routing to be *safe* (it is every packet's
+    /// escape path).
+    MinimalNotSafe {
+        /// Message class lacking a safe minimal embedding.
+        msg: MessageClass,
+        /// Display rendering of the configured arrangement.
+        arrangement: String,
+    },
+    /// The configured routing is unsupported (not even opportunistic) on
+    /// the arrangement.
+    UnsupportedRouting {
+        /// Configured routing mode.
+        routing: RoutingMode,
+        /// Message class without support.
+        msg: MessageClass,
+        /// Display rendering of the configured arrangement.
+        arrangement: String,
+    },
+    /// A per-VC input buffer cannot hold one packet.
+    VcCapacityBelowPacket {
+        /// Link class of the undersized buffers.
+        class: LinkClass,
+    },
+    /// Output or injection buffers cannot hold one packet.
+    PortBuffersBelowPacket,
+    /// Piggyback sensing reads Dragonfly group boards; other topologies
+    /// cannot run PB routing.
+    PiggybackNeedsDragonfly,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NonPositive { what } => {
+                write!(f, "{what} must be positive")
+            }
+            ConfigError::MissingReplyArrangement => {
+                write!(f, "reactive workload requires a request+reply arrangement")
+            }
+            ConfigError::UnexpectedReplyArrangement => {
+                write!(f, "non-reactive workload must not split the arrangement")
+            }
+            ConfigError::BaselineArrangement {
+                routing,
+                msg,
+                arrangement,
+            } => write!(
+                f,
+                "baseline policy requires the exact {routing} reference arrangement for {msg:?} \
+                 (got {arrangement})"
+            ),
+            ConfigError::MinimalNotSafe { msg, arrangement } => {
+                write!(
+                    f,
+                    "minimal routing must be safe for {msg:?} on {arrangement}"
+                )
+            }
+            ConfigError::UnsupportedRouting {
+                routing,
+                msg,
+                arrangement,
+            } => write!(f, "{routing} is unsupported for {msg:?} on {arrangement}"),
+            ConfigError::VcCapacityBelowPacket { class } => {
+                write!(f, "{class:?} VC capacity below one packet")
+            }
+            ConfigError::PortBuffersBelowPacket => {
+                write!(f, "output/injection buffers below one packet")
+            }
+            ConfigError::PiggybackNeedsDragonfly => {
+                write!(f, "Piggyback sensing requires a Dragonfly topology")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A batch run that could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A point's configuration failed [`crate::SimConfig::validate`].
+    InvalidPoint {
+        /// Index of the point within the submitted batch.
+        index: usize,
+        /// The underlying configuration error.
+        source: ConfigError,
+    },
+    /// The batch was empty where at least one point is required (e.g.
+    /// averaging over zero seeds).
+    EmptyBatch,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::InvalidPoint { index, source } => {
+                write!(f, "experiment point #{index} is invalid: {source}")
+            }
+            RunError::EmptyBatch => write!(f, "experiment batch is empty"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::InvalidPoint { source, .. } => Some(source),
+            RunError::EmptyBatch => None,
+        }
+    }
+}
+
+impl From<ConfigError> for RunError {
+    fn from(source: ConfigError) -> Self {
+        RunError::InvalidPoint { index: 0, source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_messages() {
+        let e = ConfigError::NonPositive {
+            what: "packet size",
+        };
+        assert_eq!(e.to_string(), "packet size must be positive");
+        let r = RunError::InvalidPoint {
+            index: 3,
+            source: e.clone(),
+        };
+        assert_eq!(
+            r.to_string(),
+            "experiment point #3 is invalid: packet size must be positive"
+        );
+        assert!(r.source().is_some());
+    }
+
+    #[test]
+    fn from_config_error() {
+        let r: RunError = ConfigError::PortBuffersBelowPacket.into();
+        assert!(matches!(r, RunError::InvalidPoint { index: 0, .. }));
+    }
+}

@@ -31,33 +31,44 @@
 
 pub mod arbiter;
 pub mod bank;
+pub mod builder;
 pub mod cdg;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod link;
 pub mod metrics;
 pub mod packet;
 pub mod plan;
 pub mod runner;
 pub mod sensing;
+pub mod serde_impls;
 
+pub use builder::SimConfigBuilder;
 pub use config::{
     paper_routing_for, BufferConfig, BufferOrg, BufferSizing, SensingConfig, SensingMode,
     SimConfig, TopologySpec,
 };
 pub use engine::Network;
+pub use error::{ConfigError, RunError};
 pub use metrics::{Metrics, SimResult};
-pub use runner::{load_sweep, run_averaged, run_one, run_points, saturation_throughput, Point};
+pub use runner::{
+    load_sweep, run_averaged, run_one, run_points, run_points_with_progress,
+    run_points_with_threads, saturation_throughput, Point, PointProgress,
+};
 
 /// Common imports for examples and experiment binaries.
 pub mod prelude {
+    pub use crate::builder::SimConfigBuilder;
     pub use crate::config::{
         paper_routing_for, BufferConfig, BufferOrg, BufferSizing, SensingConfig, SensingMode,
         SimConfig, TopologySpec,
     };
     pub use crate::engine::Network;
+    pub use crate::error::{ConfigError, RunError};
     pub use crate::metrics::SimResult;
     pub use crate::runner::{
-        load_sweep, run_averaged, run_one, run_points, saturation_throughput, Point,
+        load_sweep, run_averaged, run_one, run_points, run_points_with_progress,
+        run_points_with_threads, saturation_throughput, Point, PointProgress,
     };
 }

@@ -66,11 +66,7 @@ impl LinkState {
 
     /// Pop the next packet whose head has arrived by `now`.
     pub fn pop_arrived(&mut self, now: u64) -> Option<InFlight> {
-        if self
-            .packets
-            .front()
-            .is_some_and(|f| f.head_arrival <= now)
-        {
+        if self.packets.front().is_some_and(|f| f.head_arrival <= now) {
             self.packets.pop_front()
         } else {
             None
@@ -79,7 +75,14 @@ impl LinkState {
 
     /// Queue a credit return departing at `departs`, arriving after
     /// `latency`.
-    pub fn send_credit(&mut self, departs: u64, latency: u32, vc: u8, phits: u32, class: CreditClass) {
+    pub fn send_credit(
+        &mut self,
+        departs: u64,
+        latency: u32,
+        vc: u8,
+        phits: u32,
+        class: CreditClass,
+    ) {
         let msg = CreditMsg {
             arrival: departs + latency as u64,
             vc,

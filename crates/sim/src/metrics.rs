@@ -4,13 +4,11 @@ use flexvc_core::MessageClass;
 
 /// Power-of-two bucketed latency histogram (cycles). Bucket `i` counts
 /// latencies in `[2^i, 2^(i+1))`; enough buckets for ~1M-cycle latencies.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct LatencyHistogram {
     buckets: [u64; 21],
     count: u64,
 }
-
 
 impl LatencyHistogram {
     /// Record one latency sample.
@@ -269,6 +267,7 @@ mod tests {
         assert_eq!(m.hop_sum, 9);
     }
 
+    #[allow(clippy::field_reassign_with_default)] // builds raw counters field by field
     #[test]
     fn result_from_metrics() {
         let mut m = Metrics::default();

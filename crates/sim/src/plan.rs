@@ -43,7 +43,12 @@ pub fn valiant_plan(
 
 /// PAR plan used at injection: a minimal route whose slots leave room for a
 /// later divert (`l0 g2 l3` in the Dragonfly reference).
-pub fn par_min_plan(topo: &dyn Topology, family: NetworkFamily, from: usize, to: usize) -> PlannedPath {
+pub fn par_min_plan(
+    topo: &dyn Topology,
+    family: NetworkFamily,
+    from: usize,
+    to: usize,
+) -> PlannedPath {
     let mut route = topo.min_route(from, to);
     remap_par_min_slots(&mut route, family);
     PlannedPath::from_route(&route)
@@ -163,7 +168,10 @@ mod tests {
         assert!(slots.windows(2).all(|w| w[0] < w[1]), "slots {slots:?}");
         // All diverted slots live past the first minimal hop (slot >= 1)
         // and within the 7-slot PAR reference.
-        assert!(slots.iter().all(|&s| (1..7).contains(&s)), "slots {slots:?}");
+        assert!(
+            slots.iter().all(|&s| (1..7).contains(&s)),
+            "slots {slots:?}"
+        );
     }
 
     #[test]

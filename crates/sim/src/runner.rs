@@ -1,14 +1,22 @@
 //! Experiment runner: parallel execution of independent simulation points.
 //!
 //! Every `(configuration, load, seed)` triple is an independent simulation;
-//! sweeps fan the triples out over a crossbeam scoped thread pool (one
-//! worker per available core) and results come back in input order, so
-//! experiment binaries stay deterministic regardless of scheduling.
+//! batches fan the triples out over `std::thread::scope` workers (one per
+//! available core by default) and results come back in input order, so
+//! experiment harnesses stay deterministic regardless of scheduling.
+//!
+//! All entry points are non-panicking: configurations are validated up
+//! front and failures surface as [`RunError::InvalidPoint`] with the index
+//! of the offending point. [`run_points_with_progress`] additionally
+//! streams per-point completions to a callback, which the `flexvc` CLI
+//! uses for live progress output.
 
 use crate::config::SimConfig;
 use crate::engine::Network;
+use crate::error::{ConfigError, RunError};
 use crate::metrics::SimResult;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One simulation point.
 #[derive(Debug, Clone)]
@@ -21,54 +29,116 @@ pub struct Point {
     pub seed: u64,
 }
 
+/// A completed point, reported through the progress callback of
+/// [`run_points_with_progress`].
+#[derive(Debug, Clone, Copy)]
+pub struct PointProgress<'a> {
+    /// Index of the point in the submitted batch.
+    pub index: usize,
+    /// Points completed so far (including this one).
+    pub completed: usize,
+    /// Total points in the batch.
+    pub total: usize,
+    /// The point's result.
+    pub result: &'a SimResult,
+}
+
 /// Run one simulation to completion.
-pub fn run_one(cfg: &SimConfig, load: f64, seed: u64) -> Result<SimResult, String> {
+pub fn run_one(cfg: &SimConfig, load: f64, seed: u64) -> Result<SimResult, ConfigError> {
     let mut net = Network::new(cfg.clone(), load, seed)?;
     Ok(net.run())
 }
 
-/// Run a batch of points in parallel; results are in input order.
-/// Configuration errors abort with a panic (they indicate a programming
-/// error in the experiment definition, not a runtime condition).
-pub fn run_points(points: &[Point]) -> Vec<SimResult> {
+/// Run a batch of points in parallel; results are in input order. Invalid
+/// configurations are reported as [`RunError::InvalidPoint`] before any
+/// simulation starts.
+pub fn run_points(points: &[Point]) -> Result<Vec<SimResult>, RunError> {
     run_points_with_threads(points, default_threads())
 }
 
 /// [`run_points`] with an explicit worker count (1 = sequential).
-pub fn run_points_with_threads(points: &[Point], threads: usize) -> Vec<SimResult> {
-    let n = points.len();
-    let mut results: Vec<Option<SimResult>> = vec![None; n];
-    if threads <= 1 || n <= 1 {
-        for (i, p) in points.iter().enumerate() {
-            results[i] = Some(run_one(&p.cfg, p.load, p.seed).expect("invalid experiment point"));
-        }
-    } else {
-        let next = AtomicUsize::new(0);
-        let slots: Vec<parking_lot::Mutex<Option<SimResult>>> =
-            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
-        crossbeam::scope(|s| {
-            for _ in 0..threads.min(n) {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let p = &points[i];
-                    let r = run_one(&p.cfg, p.load, p.seed).expect("invalid experiment point");
-                    *slots[i].lock() = Some(r);
-                });
-            }
-        })
-        .expect("worker panicked");
-        for (i, slot) in slots.into_iter().enumerate() {
-            results[i] = slot.into_inner();
-        }
+pub fn run_points_with_threads(
+    points: &[Point],
+    threads: usize,
+) -> Result<Vec<SimResult>, RunError> {
+    run_points_with_progress(points, threads, |_| {})
+}
+
+/// [`run_points_with_threads`] invoking `progress` as each point completes.
+/// Completions arrive in scheduling order (not input order); the returned
+/// vector is always in input order.
+pub fn run_points_with_progress<F>(
+    points: &[Point],
+    threads: usize,
+    progress: F,
+) -> Result<Vec<SimResult>, RunError>
+where
+    F: Fn(PointProgress<'_>) + Sync,
+{
+    for (index, p) in points.iter().enumerate() {
+        p.cfg
+            .validate()
+            .map_err(|source| RunError::InvalidPoint { index, source })?;
     }
-    results.into_iter().map(|r| r.expect("slot filled")).collect()
+    let n = points.len();
+    let total = n;
+    let completed = AtomicUsize::new(0);
+    let report = |index: usize, result: &SimResult| {
+        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+        progress(PointProgress {
+            index,
+            completed: done,
+            total,
+            result,
+        });
+    };
+    let run_checked = |index: usize, p: &Point| -> Result<SimResult, RunError> {
+        run_one(&p.cfg, p.load, p.seed).map_err(|source| RunError::InvalidPoint { index, source })
+    };
+
+    if threads <= 1 || n <= 1 {
+        let mut results = Vec::with_capacity(n);
+        for (i, p) in points.iter().enumerate() {
+            let r = run_checked(i, p)?;
+            report(i, &r);
+            results.push(r);
+        }
+        return Ok(results);
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<SimResult, RunError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = run_checked(i, &points[i]);
+                if let Ok(result) = &r {
+                    report(i, result);
+                }
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled")
+        })
+        .collect()
 }
 
 /// Run `seeds` repetitions of one configuration/load and average.
-pub fn run_averaged(cfg: &SimConfig, load: f64, seeds: &[u64]) -> SimResult {
+pub fn run_averaged(cfg: &SimConfig, load: f64, seeds: &[u64]) -> Result<SimResult, RunError> {
+    if seeds.is_empty() {
+        return Err(RunError::EmptyBatch);
+    }
     let points: Vec<Point> = seeds
         .iter()
         .map(|&seed| Point {
@@ -77,12 +147,19 @@ pub fn run_averaged(cfg: &SimConfig, load: f64, seeds: &[u64]) -> SimResult {
             seed,
         })
         .collect();
-    SimResult::average(&run_points(&points))
+    Ok(SimResult::average(&run_points(&points)?))
 }
 
 /// Sweep offered loads for one configuration, averaging over `seeds`;
 /// returns `(load, result)` pairs in load order.
-pub fn load_sweep(cfg: &SimConfig, loads: &[f64], seeds: &[u64]) -> Vec<(f64, SimResult)> {
+pub fn load_sweep(
+    cfg: &SimConfig,
+    loads: &[f64],
+    seeds: &[u64],
+) -> Result<Vec<(f64, SimResult)>, RunError> {
+    if seeds.is_empty() {
+        return Err(RunError::EmptyBatch);
+    }
     let points: Vec<Point> = loads
         .iter()
         .flat_map(|&load| {
@@ -93,20 +170,20 @@ pub fn load_sweep(cfg: &SimConfig, loads: &[f64], seeds: &[u64]) -> Vec<(f64, Si
             })
         })
         .collect();
-    let results = run_points(&points);
-    loads
+    let results = run_points(&points)?;
+    Ok(loads
         .iter()
         .enumerate()
         .map(|(i, &load)| {
             let chunk = &results[i * seeds.len()..(i + 1) * seeds.len()];
             (load, SimResult::average(chunk))
         })
-        .collect()
+        .collect())
 }
 
 /// Saturation throughput: accepted load at 100% offered load (the paper's
 /// "maximum throughput" metric of Figs. 6 and 11).
-pub fn saturation_throughput(cfg: &SimConfig, seeds: &[u64]) -> SimResult {
+pub fn saturation_throughput(cfg: &SimConfig, seeds: &[u64]) -> Result<SimResult, RunError> {
     run_averaged(cfg, 1.0, seeds)
 }
 
@@ -120,8 +197,9 @@ pub fn default_threads() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flexvc_core::RoutingMode;
+    use flexvc_core::{Arrangement, RoutingMode, VcPolicy};
     use flexvc_traffic::{Pattern, Workload};
+    use std::sync::atomic::AtomicUsize;
 
     fn tiny_cfg() -> SimConfig {
         let mut cfg = SimConfig::dragonfly_baseline(
@@ -145,8 +223,8 @@ mod tests {
                 seed: i,
             })
             .collect();
-        let seq = run_points_with_threads(&points, 1);
-        let par = run_points_with_threads(&points, 4);
+        let seq = run_points_with_threads(&points, 1).unwrap();
+        let par = run_points_with_threads(&points, 4).unwrap();
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.accepted, b.accepted);
             assert_eq!(a.latency, b.latency);
@@ -156,10 +234,78 @@ mod tests {
     #[test]
     fn load_sweep_orders_results() {
         let cfg = tiny_cfg();
-        let sweep = load_sweep(&cfg, &[0.1, 0.3], &[1, 2]);
+        let sweep = load_sweep(&cfg, &[0.1, 0.3], &[1, 2]).unwrap();
         assert_eq!(sweep.len(), 2);
         assert!(sweep[0].0 < sweep[1].0);
         assert!(sweep[0].1.accepted > 0.0);
         assert!(sweep[1].1.accepted > sweep[0].1.accepted);
+    }
+
+    #[test]
+    fn invalid_point_reports_index_instead_of_panicking() {
+        let good = tiny_cfg();
+        let mut bad = tiny_cfg();
+        // FlexVC VAL on 2/1: unsupported — must surface as a typed error.
+        bad.policy = VcPolicy::FlexVc;
+        bad.routing = RoutingMode::Valiant;
+        bad.arrangement = Arrangement::dragonfly_min();
+        let points = [
+            Point {
+                cfg: good,
+                load: 0.2,
+                seed: 1,
+            },
+            Point {
+                cfg: bad,
+                load: 0.2,
+                seed: 1,
+            },
+        ];
+        let err = run_points_with_threads(&points, 2).unwrap_err();
+        match err {
+            RunError::InvalidPoint { index, source } => {
+                assert_eq!(index, 1);
+                assert!(matches!(source, ConfigError::UnsupportedRouting { .. }));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_seed_batches_are_errors() {
+        let cfg = tiny_cfg();
+        assert_eq!(
+            run_averaged(&cfg, 0.2, &[]).unwrap_err(),
+            RunError::EmptyBatch
+        );
+        assert_eq!(
+            load_sweep(&cfg, &[0.1], &[]).unwrap_err(),
+            RunError::EmptyBatch
+        );
+    }
+
+    #[test]
+    fn progress_reports_every_point() {
+        let cfg = tiny_cfg();
+        let points: Vec<Point> = (0..3)
+            .map(|i| Point {
+                cfg: cfg.clone(),
+                load: 0.2,
+                seed: i,
+            })
+            .collect();
+        let seen = AtomicUsize::new(0);
+        let max_completed = AtomicUsize::new(0);
+        let results = run_points_with_progress(&points, 2, |p| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            max_completed.fetch_max(p.completed, Ordering::Relaxed);
+            assert_eq!(p.total, 3);
+            assert!(p.index < 3);
+            assert!(p.result.accepted >= 0.0);
+        })
+        .unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(seen.load(Ordering::Relaxed), 3);
+        assert_eq!(max_completed.load(Ordering::Relaxed), 3);
     }
 }

@@ -108,10 +108,7 @@ mod tests {
             vec![false, false, false, false]
         );
         // Balanced load: nothing saturated even when high.
-        assert_eq!(
-            saturated_flags(&[100, 100, 100, 100], 24),
-            vec![false; 4]
-        );
+        assert_eq!(saturated_flags(&[100, 100, 100, 100], 24), vec![false; 4]);
     }
 
     #[test]

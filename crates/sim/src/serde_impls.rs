@@ -1,0 +1,429 @@
+//! `flexvc_serde` conversions for simulator configuration and results.
+//!
+//! These impls let a whole experiment — [`SimConfig`] in, [`SimResult`]
+//! out — round-trip through TOML and JSON. Field names mirror the struct
+//! fields; tagged maps use a `kind` discriminator. Deserialization fills
+//! Table V defaults for omitted scalar fields, so hand-written scenario
+//! files only need to spell out what differs from the baseline.
+
+use crate::config::{
+    BufferConfig, BufferOrg, BufferSizing, SensingConfig, SensingMode, SimConfig, TopologySpec,
+};
+use crate::metrics::SimResult;
+use flexvc_serde::{Deserialize, Error, Map, Serialize, Value};
+use flexvc_topology::GlobalArrangement;
+
+impl Serialize for TopologySpec {
+    fn to_value(&self) -> Value {
+        match *self {
+            TopologySpec::DragonflyBalanced { h, arrangement } => Value::Map(
+                Map::new()
+                    .with("kind", Value::from("dragonfly_balanced"))
+                    .with("h", h.to_value())
+                    .with("global_arrangement", arrangement.to_value()),
+            ),
+            TopologySpec::Dragonfly {
+                p,
+                a,
+                h,
+                g,
+                arrangement,
+            } => Value::Map(
+                Map::new()
+                    .with("kind", Value::from("dragonfly"))
+                    .with("p", p.to_value())
+                    .with("a", a.to_value())
+                    .with("h", h.to_value())
+                    .with("g", g.to_value())
+                    .with("global_arrangement", arrangement.to_value()),
+            ),
+            TopologySpec::FlatButterfly { k, p } => Value::Map(
+                Map::new()
+                    .with("kind", Value::from("flat_butterfly"))
+                    .with("k", k.to_value())
+                    .with("p", p.to_value()),
+            ),
+        }
+    }
+}
+
+impl Deserialize for TopologySpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map()?;
+        match m.field::<String>("kind")?.to_ascii_lowercase().as_str() {
+            "dragonfly_balanced" => Ok(TopologySpec::DragonflyBalanced {
+                h: m.field("h")?,
+                arrangement: m.field_or("global_arrangement", GlobalArrangement::default())?,
+            }),
+            "dragonfly" => Ok(TopologySpec::Dragonfly {
+                p: m.field("p")?,
+                a: m.field("a")?,
+                h: m.field("h")?,
+                g: m.field("g")?,
+                arrangement: m.field_or("global_arrangement", GlobalArrangement::default())?,
+            }),
+            "flat_butterfly" => Ok(TopologySpec::FlatButterfly {
+                k: m.field("k")?,
+                p: m.field("p")?,
+            }),
+            other => Err(Error::new(format!(
+                "unknown topology kind `{other}` \
+                 (expected dragonfly_balanced, dragonfly or flat_butterfly)"
+            ))),
+        }
+    }
+}
+
+impl Serialize for BufferSizing {
+    fn to_value(&self) -> Value {
+        let (kind, local, global) = match *self {
+            BufferSizing::PerVc { local, global } => ("per_vc", local, global),
+            BufferSizing::PerPort { local, global } => ("per_port", local, global),
+        };
+        Value::Map(
+            Map::new()
+                .with("kind", Value::from(kind))
+                .with("local", local.to_value())
+                .with("global", global.to_value()),
+        )
+    }
+}
+
+impl Deserialize for BufferSizing {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map()?;
+        let local = m.field("local")?;
+        let global = m.field("global")?;
+        match m.field::<String>("kind")?.to_ascii_lowercase().as_str() {
+            "per_vc" => Ok(BufferSizing::PerVc { local, global }),
+            "per_port" => Ok(BufferSizing::PerPort { local, global }),
+            other => Err(Error::new(format!(
+                "unknown buffer sizing `{other}` (expected per_vc or per_port)"
+            ))),
+        }
+    }
+}
+
+impl Serialize for BufferOrg {
+    fn to_value(&self) -> Value {
+        match *self {
+            BufferOrg::Static => Value::Str("static".to_string()),
+            BufferOrg::Damq { private_fraction } => Value::Map(
+                Map::new()
+                    .with("kind", Value::from("damq"))
+                    .with("private_fraction", private_fraction.to_value()),
+            ),
+        }
+    }
+}
+
+impl Deserialize for BufferOrg {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => match s.to_ascii_lowercase().as_str() {
+                "static" => Ok(BufferOrg::Static),
+                "damq" => Ok(BufferOrg::Damq {
+                    private_fraction: 0.75,
+                }),
+                other => Err(Error::new(format!(
+                    "unknown buffer organization `{other}` (expected static or damq)"
+                ))),
+            },
+            Value::Map(m) => match m.field::<String>("kind")?.to_ascii_lowercase().as_str() {
+                "static" => Ok(BufferOrg::Static),
+                "damq" => Ok(BufferOrg::Damq {
+                    private_fraction: m.field_or("private_fraction", 0.75)?,
+                }),
+                other => Err(Error::new(format!(
+                    "unknown buffer organization `{other}` (expected static or damq)"
+                ))),
+            },
+            other => Err(Error::new(format!(
+                "expected string or map for buffer organization, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for BufferConfig {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            Map::new()
+                .with("sizing", self.sizing.to_value())
+                .with("organization", self.organization.to_value())
+                .with("injection", self.injection.to_value())
+                .with("output", self.output.to_value()),
+        )
+    }
+}
+
+impl Deserialize for BufferConfig {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map()?;
+        let defaults = BufferConfig::default();
+        Ok(BufferConfig {
+            sizing: m.field_or("sizing", defaults.sizing)?,
+            organization: m.field_or("organization", defaults.organization)?,
+            injection: m.field_or("injection", defaults.injection)?,
+            output: m.field_or("output", defaults.output)?,
+        })
+    }
+}
+
+impl Serialize for SensingMode {
+    fn to_value(&self) -> Value {
+        Value::Str(
+            match self {
+                SensingMode::PerPort => "per_port",
+                SensingMode::PerVc => "per_vc",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for SensingMode {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_str()?.to_ascii_lowercase().as_str() {
+            "per_port" => Ok(SensingMode::PerPort),
+            "per_vc" => Ok(SensingMode::PerVc),
+            other => Err(Error::new(format!(
+                "unknown sensing mode `{other}` (expected per_port or per_vc)"
+            ))),
+        }
+    }
+}
+
+impl Serialize for SensingConfig {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            Map::new()
+                .with("mode", self.mode.to_value())
+                .with("min_cred", self.min_cred.to_value())
+                .with("threshold", self.threshold.to_value()),
+        )
+    }
+}
+
+impl Deserialize for SensingConfig {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map()?;
+        let defaults = SensingConfig::default();
+        Ok(SensingConfig {
+            mode: m.field_or("mode", defaults.mode)?,
+            min_cred: m.field_or("min_cred", defaults.min_cred)?,
+            threshold: m.field_or("threshold", defaults.threshold)?,
+        })
+    }
+}
+
+impl Serialize for SimConfig {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            Map::new()
+                .with("topology", self.topology.to_value())
+                .with("routing", self.routing.to_value())
+                .with("policy", self.policy.to_value())
+                .with("arrangement", self.arrangement.to_value())
+                .with("selection", self.selection.to_value())
+                .with("workload", self.workload.to_value())
+                .with("packet_size", self.packet_size.to_value())
+                .with("local_latency", self.local_latency.to_value())
+                .with("global_latency", self.global_latency.to_value())
+                .with("pipeline_latency", self.pipeline_latency.to_value())
+                .with("speedup", self.speedup.to_value())
+                .with("buffers", self.buffers.to_value())
+                .with("injection_vcs", self.injection_vcs.to_value())
+                .with("sensing", self.sensing.to_value())
+                .with("warmup", self.warmup.to_value())
+                .with("measure", self.measure.to_value())
+                .with("watchdog", self.watchdog.to_value())
+                .with("revert_patience", self.revert_patience.to_value())
+                .with("reply_queue_packets", self.reply_queue_packets.to_value()),
+        )
+    }
+}
+
+impl Deserialize for SimConfig {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map()?;
+        // Table V defaults at the reduced scale, so scenario files only
+        // spell out what differs from the baseline. The arrangement
+        // defaults to the minimum safe one for the routing/workload.
+        let topology = m.field_or(
+            "topology",
+            TopologySpec::DragonflyBalanced {
+                h: 2,
+                arrangement: GlobalArrangement::default(),
+            },
+        )?;
+        let routing = m.field_or("routing", flexvc_core::RoutingMode::Min)?;
+        let workload: flexvc_traffic::Workload = m.field_or(
+            "workload",
+            flexvc_traffic::Workload::oblivious(flexvc_traffic::Pattern::Uniform),
+        )?;
+        let arrangement = match m.opt("arrangement")? {
+            Some(arr) => arr,
+            None => {
+                crate::builder::default_arrangement(topology.family(), routing, workload.reactive)
+            }
+        };
+        Ok(SimConfig {
+            topology,
+            routing,
+            policy: m.field_or("policy", flexvc_core::VcPolicy::Baseline)?,
+            arrangement,
+            selection: m.field_or("selection", flexvc_core::VcSelection::Jsq)?,
+            workload,
+            packet_size: m.field_or("packet_size", 8)?,
+            local_latency: m.field_or("local_latency", 10)?,
+            global_latency: m.field_or("global_latency", 100)?,
+            pipeline_latency: m.field_or("pipeline_latency", 5)?,
+            speedup: m.field_or("speedup", 2)?,
+            buffers: m.field_or("buffers", BufferConfig::default())?,
+            injection_vcs: m.field_or("injection_vcs", 3)?,
+            sensing: m.field_or("sensing", SensingConfig::default())?,
+            warmup: m.field_or("warmup", 10_000)?,
+            measure: m.field_or("measure", 20_000)?,
+            watchdog: m.field_or("watchdog", 20_000)?,
+            revert_patience: m.field_or("revert_patience", 16)?,
+            reply_queue_packets: m.field_or("reply_queue_packets", 4)?,
+        })
+    }
+}
+
+impl Serialize for SimResult {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            Map::new()
+                .with("offered", self.offered.to_value())
+                .with("accepted", self.accepted.to_value())
+                .with("latency", self.latency.to_value())
+                .with("latency_req", self.latency_req.to_value())
+                .with("latency_rep", self.latency_rep.to_value())
+                .with("misroute_fraction", self.misroute_fraction.to_value())
+                .with("avg_hops", self.avg_hops.to_value())
+                .with("reverts_per_packet", self.reverts_per_packet.to_value())
+                .with("drop_fraction", self.drop_fraction.to_value())
+                .with("deadlocked", self.deadlocked.to_value())
+                .with("latency_p99", self.latency_p99.to_value())
+                .with("local_vc_occupancy", self.local_vc_occupancy.to_value())
+                .with("global_vc_occupancy", self.global_vc_occupancy.to_value()),
+        )
+    }
+}
+
+impl Deserialize for SimResult {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map()?;
+        Ok(SimResult {
+            offered: m.field_or("offered", 0.0)?,
+            accepted: m.field_or("accepted", 0.0)?,
+            latency: m.field_or("latency", 0.0)?,
+            latency_req: m.field_or("latency_req", 0.0)?,
+            latency_rep: m.field_or("latency_rep", 0.0)?,
+            misroute_fraction: m.field_or("misroute_fraction", 0.0)?,
+            avg_hops: m.field_or("avg_hops", 0.0)?,
+            reverts_per_packet: m.field_or("reverts_per_packet", 0.0)?,
+            drop_fraction: m.field_or("drop_fraction", 0.0)?,
+            deadlocked: m.field_or("deadlocked", false)?,
+            latency_p99: m.field_or("latency_p99", 0.0)?,
+            local_vc_occupancy: m.field_or("local_vc_occupancy", Vec::new())?,
+            global_vc_occupancy: m.field_or("global_vc_occupancy", Vec::new())?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use flexvc_core::{Arrangement, RoutingMode};
+    use flexvc_serde::{from_json, from_toml, to_json, to_json_pretty, to_toml};
+    use flexvc_traffic::{Pattern, Workload};
+
+    fn sample_cfg() -> SimConfig {
+        let mut cfg = SimConfig::dragonfly_baseline(
+            2,
+            RoutingMode::Valiant,
+            Workload::reactive(Pattern::adv1()),
+        )
+        .with_flexvc(Arrangement::dragonfly_rr((4, 2), (2, 1)))
+        .with_damq75();
+        cfg.buffers.sizing = BufferSizing::PerPort {
+            local: 128,
+            global: 512,
+        };
+        cfg.sensing.min_cred = true;
+        cfg
+    }
+
+    #[test]
+    fn config_round_trips_json_and_toml() {
+        let cfg = sample_cfg();
+        let json = to_json_pretty(&cfg);
+        let back: SimConfig = from_json(&json).unwrap();
+        assert_eq!(to_json(&back), to_json(&cfg), "JSON:\n{json}");
+
+        let toml = to_toml(&cfg).unwrap();
+        let back: SimConfig = from_toml(&toml).unwrap();
+        assert_eq!(to_json(&back), to_json(&cfg), "TOML:\n{toml}");
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn sparse_toml_fills_defaults() {
+        let cfg: SimConfig = from_toml(
+            r#"
+routing = "valiant"
+policy = "flexvc"
+arrangement = "L G L G L"
+
+[workload]
+pattern = "adv+1"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.routing, RoutingMode::Valiant);
+        assert_eq!(cfg.packet_size, 8);
+        assert_eq!(cfg.speedup, 2);
+        assert_eq!(cfg.arrangement, Arrangement::zigzag(2));
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn omitted_arrangement_derives_from_routing_and_workload() {
+        let cfg: SimConfig = from_toml("routing = \"par\"\n").unwrap();
+        assert_eq!(cfg.arrangement, Arrangement::dragonfly_par());
+        cfg.validate().unwrap();
+
+        let rr: SimConfig =
+            from_toml("[workload]\npattern = \"uniform\"\nreactive = true\n").unwrap();
+        assert!(rr.arrangement.has_reply_part());
+        rr.validate().unwrap();
+    }
+
+    #[test]
+    fn result_round_trips() {
+        let r = SimResult {
+            offered: 0.5,
+            accepted: 0.42,
+            latency: 321.5,
+            latency_p99: 2048.0,
+            local_vc_occupancy: vec![1.5, 0.25],
+            deadlocked: true,
+            ..Default::default()
+        };
+        let back: SimResult = from_json(&to_json(&r)).unwrap();
+        assert_eq!(to_json(&back), to_json(&r));
+    }
+
+    #[test]
+    fn bad_documents_are_path_contextual_errors() {
+        let err = from_toml::<SimConfig>("routing = \"warp\"\n").unwrap_err();
+        assert!(err.to_string().contains("routing"), "{err}");
+        let err = from_toml::<SimConfig>("[topology]\nkind = \"torus\"\n").unwrap_err();
+        assert!(err.to_string().contains("torus"), "{err}");
+    }
+}

@@ -54,8 +54,7 @@ fn results_are_deterministic_per_seed() {
 
 #[test]
 fn flexvc_min_2_1_works() {
-    let cfg = base(RoutingMode::Min, Pattern::Uniform)
-        .with_flexvc(Arrangement::dragonfly_min());
+    let cfg = base(RoutingMode::Min, Pattern::Uniform).with_flexvc(Arrangement::dragonfly_min());
     let r = run_one(&cfg, 0.2, 1).unwrap();
     assert!(!r.deadlocked);
     assert!((r.accepted - 0.2).abs() < 0.03, "accepted {}", r.accepted);
@@ -63,8 +62,7 @@ fn flexvc_min_2_1_works() {
 
 #[test]
 fn flexvc_min_exploits_4_2() {
-    let cfg = base(RoutingMode::Min, Pattern::Uniform)
-        .with_flexvc(Arrangement::dragonfly(4, 2));
+    let cfg = base(RoutingMode::Min, Pattern::Uniform).with_flexvc(Arrangement::dragonfly(4, 2));
     let r = run_one(&cfg, 0.3, 1).unwrap();
     assert!(!r.deadlocked);
     assert!((r.accepted - 0.3).abs() < 0.03, "accepted {}", r.accepted);
@@ -97,17 +95,18 @@ fn valiant_handles_adversarial() {
 fn valiant_paths_are_longer() {
     let val = base(RoutingMode::Valiant, Pattern::Uniform);
     let r = run_one(&val, 0.2, 3).unwrap();
-    assert!(r.avg_hops > 3.0, "VAL avg hops {} should exceed MIN", r.avg_hops);
+    assert!(
+        r.avg_hops > 3.0,
+        "VAL avg hops {} should exceed MIN",
+        r.avg_hops
+    );
     assert!(r.avg_hops <= 6.0 + 1e-9);
 }
 
 #[test]
 fn reactive_traffic_round_trips() {
-    let mut cfg = SimConfig::dragonfly_baseline(
-        2,
-        RoutingMode::Min,
-        Workload::reactive(Pattern::Uniform),
-    );
+    let mut cfg =
+        SimConfig::dragonfly_baseline(2, RoutingMode::Min, Workload::reactive(Pattern::Uniform));
     cfg.warmup = 2_000;
     cfg.measure = 3_000;
     cfg.watchdog = 8_000;
@@ -121,12 +120,9 @@ fn reactive_traffic_round_trips() {
 #[test]
 fn flexvc_reactive_5_3_runs() {
     // The 50%-reduction configuration: 3/2 + 2/1 VCs (paper §III-C).
-    let mut cfg = SimConfig::dragonfly_baseline(
-        2,
-        RoutingMode::Min,
-        Workload::reactive(Pattern::Uniform),
-    )
-    .with_flexvc(Arrangement::dragonfly_rr((3, 2), (2, 1)));
+    let mut cfg =
+        SimConfig::dragonfly_baseline(2, RoutingMode::Min, Workload::reactive(Pattern::Uniform))
+            .with_flexvc(Arrangement::dragonfly_rr((3, 2), (2, 1)));
     cfg.warmup = 2_000;
     cfg.measure = 3_000;
     cfg.watchdog = 8_000;
@@ -173,7 +169,11 @@ fn static_buffers_never_deadlock_at_saturation() {
         cfg.measure = 4_000;
         let r = run_one(&cfg, 1.0, 5).unwrap();
         assert!(!r.deadlocked, "flex={policy_flex} deadlocked");
-        assert!(r.accepted > 0.3, "flex={policy_flex} accepted {}", r.accepted);
+        assert!(
+            r.accepted > 0.3,
+            "flex={policy_flex} accepted {}",
+            r.accepted
+        );
     }
 }
 
@@ -221,24 +221,25 @@ fn par_runs_on_5_2() {
 #[test]
 fn selection_functions_all_run() {
     for sel in VcSelection::all() {
-        let mut cfg = base(RoutingMode::Min, Pattern::Uniform)
-            .with_flexvc(Arrangement::dragonfly(4, 2));
+        let mut cfg =
+            base(RoutingMode::Min, Pattern::Uniform).with_flexvc(Arrangement::dragonfly(4, 2));
         cfg.selection = sel;
         cfg.warmup = 1_000;
         cfg.measure = 2_000;
         let r = run_one(&cfg, 0.4, 1).unwrap();
         assert!(!r.deadlocked, "{sel}");
-        assert!((r.accepted - 0.4).abs() < 0.06, "{sel}: accepted {}", r.accepted);
+        assert!(
+            (r.accepted - 0.4).abs() < 0.06,
+            "{sel}: accepted {}",
+            r.accepted
+        );
     }
 }
 
 #[test]
 fn flatbutterfly_generic_network_runs() {
-    let mut cfg = SimConfig::dragonfly_baseline(
-        2,
-        RoutingMode::Min,
-        Workload::oblivious(Pattern::Uniform),
-    );
+    let mut cfg =
+        SimConfig::dragonfly_baseline(2, RoutingMode::Min, Workload::oblivious(Pattern::Uniform));
     cfg.topology = TopologySpec::FlatButterfly { k: 4, p: 2 };
     cfg.arrangement = Arrangement::generic(2);
     cfg.warmup = 1_000;
@@ -274,8 +275,8 @@ fn flatbutterfly_generic_network_runs() {
 fn flexvc_opportunistic_3_2_reverts_under_pressure() {
     // VAL on 3/2 VCs is opportunistic: at saturation some packets must
     // revert to their minimal escape (truncated detours).
-    let mut cfg = base(RoutingMode::Valiant, Pattern::Uniform)
-        .with_flexvc(Arrangement::dragonfly(3, 2));
+    let mut cfg =
+        base(RoutingMode::Valiant, Pattern::Uniform).with_flexvc(Arrangement::dragonfly(3, 2));
     cfg.measure = 3_000;
     let r = run_one(&cfg, 0.9, 1).unwrap();
     assert!(!r.deadlocked);

@@ -13,8 +13,11 @@ enum Op {
 fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(
         prop_oneof![
-            (0usize..4, 1u32..16, any::<bool>())
-                .prop_map(|(vc, phits, min)| Op::Add { vc, phits, min }),
+            (0usize..4, 1u32..16, any::<bool>()).prop_map(|(vc, phits, min)| Op::Add {
+                vc,
+                phits,
+                min
+            }),
             (0usize..4).prop_map(|vc| Op::Remove { vc }),
         ],
         0..64,
@@ -54,6 +57,7 @@ fn replay(mut occ: Occupancy, ops: &[Op]) -> (Occupancy, Vec<Vec<(u32, CreditCla
 proptest! {
     /// Static banks: occupancy equals the ledger, per-VC caps are never
     /// exceeded, and free space is exact.
+    #[allow(clippy::needless_range_loop)] // vc indexes occupancy and ledger in parallel
     #[test]
     fn static_occupancy_invariants(ops in arb_ops()) {
         let (occ, ledger) = replay(Occupancy::new_static(4, 32), &ops);
@@ -77,6 +81,7 @@ proptest! {
     /// DAMQ banks: the shared pool is never oversubscribed, every VC always
     /// retains its private reservation, and can_accept is exact (accepting
     /// what it promised, rejecting what would overflow).
+    #[allow(clippy::needless_range_loop)] // vc indexes occupancy and ledger in parallel
     #[test]
     fn damq_occupancy_invariants(ops in arb_ops(), private in 0u32..=16) {
         let total_cap = 64;

@@ -310,6 +310,7 @@ mod tests {
         }
     }
 
+    #[allow(clippy::needless_range_loop)] // g1/g2 index the count matrix
     #[test]
     fn every_group_pair_has_exactly_one_global_link() {
         let d = small();
@@ -368,6 +369,7 @@ mod tests {
     /// Hierarchical l-g-l routing is minimal *within the hierarchy*; the
     /// underlying graph can contain shorter g-g shortcuts through third
     /// groups, which Dragonfly routing deliberately ignores.
+    #[allow(clippy::needless_range_loop)] // `to` indexes the BFS distance table
     #[test]
     fn min_route_bounds_bfs_distance() {
         let d = small();

@@ -183,6 +183,7 @@ mod tests {
         assert_eq!(max, 2);
     }
 
+    #[allow(clippy::needless_range_loop)] // `to` indexes the BFS distance table
     #[test]
     fn min_route_reaches_destination_with_bfs_length() {
         let t = fb();

@@ -23,6 +23,7 @@
 pub mod dragonfly;
 pub mod flatbf;
 pub mod route;
+pub mod serde_impls;
 pub mod validate;
 
 pub use dragonfly::{Dragonfly, GlobalArrangement};

@@ -1,0 +1,42 @@
+//! `flexvc_serde` conversions for topology types.
+
+use crate::GlobalArrangement;
+use flexvc_serde::{Deserialize, Error, Serialize, Value};
+
+impl Serialize for GlobalArrangement {
+    fn to_value(&self) -> Value {
+        Value::Str(
+            match self {
+                GlobalArrangement::Consecutive => "consecutive",
+                GlobalArrangement::Palmtree => "palmtree",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for GlobalArrangement {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_str()?.to_ascii_lowercase().as_str() {
+            "consecutive" => Ok(GlobalArrangement::Consecutive),
+            "palmtree" => Ok(GlobalArrangement::Palmtree),
+            other => Err(Error::new(format!(
+                "unknown global arrangement `{other}` (expected consecutive or palmtree)"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexvc_serde::{from_json, to_json};
+
+    #[test]
+    fn global_arrangement_round_trips() {
+        for ga in [GlobalArrangement::Consecutive, GlobalArrangement::Palmtree] {
+            assert_eq!(from_json::<GlobalArrangement>(&to_json(&ga)).unwrap(), ga);
+        }
+        assert!(from_json::<GlobalArrangement>("\"spiral\"").is_err());
+    }
+}

@@ -209,7 +209,7 @@ mod tests {
     #[test]
     fn uniform_covers_all_destinations() {
         let mut g = NodeGenerator::new(Pattern::Uniform, 0, space(), 1.0, 8, 2);
-        let mut seen = vec![false; 72];
+        let mut seen = [false; 72];
         for (_, d) in run(&mut g, 50_000) {
             seen[d] = true;
         }

@@ -24,6 +24,7 @@
 
 pub mod generator;
 pub mod pattern;
+pub mod serde_impls;
 
 pub use generator::NodeGenerator;
 pub use pattern::{Pattern, Workload};

@@ -1,0 +1,107 @@
+//! `flexvc_serde` conversions for traffic types.
+//!
+//! [`Pattern`] serializes to the shorthand string `"uniform"` for the
+//! parameterless variant and to `{ kind = ..., ... }` maps for the
+//! parameterized ones; parsing additionally accepts the paper's labels
+//! (`"adv+1"`, `"bursty"`) as shorthands for the default parameters.
+
+use crate::{Pattern, Workload};
+use flexvc_serde::{Deserialize, Error, Map, Serialize, Value};
+
+impl Serialize for Pattern {
+    fn to_value(&self) -> Value {
+        match *self {
+            Pattern::Uniform => Value::Str("uniform".to_string()),
+            Pattern::Adversarial { offset } => Value::Map(
+                Map::new()
+                    .with("kind", Value::from("adversarial"))
+                    .with("offset", offset.to_value()),
+            ),
+            Pattern::BurstyUniform { mean_burst } => Value::Map(
+                Map::new()
+                    .with("kind", Value::from("bursty_uniform"))
+                    .with("mean_burst", mean_burst.to_value()),
+            ),
+        }
+    }
+}
+
+impl Deserialize for Pattern {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => match s.to_ascii_lowercase().as_str() {
+                "uniform" | "un" => Ok(Pattern::Uniform),
+                "adversarial" | "adv" | "adv+1" => Ok(Pattern::adv1()),
+                "bursty_uniform" | "bursty" | "bursty-un" => Ok(Pattern::bursty()),
+                other => Err(Error::new(format!("unknown traffic pattern `{other}`"))),
+            },
+            Value::Map(m) => match m.field::<String>("kind")?.to_ascii_lowercase().as_str() {
+                "uniform" => Ok(Pattern::Uniform),
+                "adversarial" => Ok(Pattern::Adversarial {
+                    offset: m.field_or("offset", 1usize)?,
+                }),
+                "bursty_uniform" => Ok(Pattern::BurstyUniform {
+                    mean_burst: m.field_or("mean_burst", 5.0)?,
+                }),
+                other => Err(Error::new(format!("unknown traffic pattern `{other}`"))),
+            },
+            other => Err(Error::new(format!(
+                "expected string or map for pattern, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for Workload {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            Map::new()
+                .with("pattern", self.pattern.to_value())
+                .with("reactive", self.reactive.to_value()),
+        )
+    }
+}
+
+impl Deserialize for Workload {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map()?;
+        Ok(Workload {
+            pattern: m.field("pattern")?,
+            reactive: m.field_or("reactive", false)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexvc_serde::{from_json, from_toml, to_json};
+
+    #[test]
+    fn patterns_round_trip() {
+        for p in [Pattern::Uniform, Pattern::adv1(), Pattern::bursty()] {
+            assert_eq!(from_json::<Pattern>(&to_json(&p)).unwrap(), p);
+        }
+        let custom = Pattern::Adversarial { offset: 3 };
+        assert_eq!(from_json::<Pattern>(&to_json(&custom)).unwrap(), custom);
+    }
+
+    #[test]
+    fn shorthand_strings_accepted() {
+        assert_eq!(from_json::<Pattern>("\"ADV+1\"").unwrap(), Pattern::adv1());
+        assert_eq!(
+            from_json::<Pattern>("\"bursty\"").unwrap(),
+            Pattern::bursty()
+        );
+    }
+
+    #[test]
+    fn workload_round_trips_and_defaults() {
+        let wl = Workload::reactive(Pattern::adv1());
+        assert_eq!(from_json::<Workload>(&to_json(&wl)).unwrap(), wl);
+        // `reactive` defaults to false when omitted.
+        let parsed: Workload = from_toml("pattern = \"uniform\"\n").unwrap();
+        assert_eq!(parsed, Workload::oblivious(Pattern::Uniform));
+    }
+}

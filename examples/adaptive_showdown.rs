@@ -10,12 +10,16 @@
 use flexvc::core::{Arrangement, RoutingMode};
 use flexvc::sim::prelude::*;
 use flexvc::traffic::{Pattern, Workload};
+use std::error::Error;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let wl = Workload::reactive(Pattern::adv1());
-    let mut pb = SimConfig::dragonfly_baseline(2, RoutingMode::Piggyback, wl);
-    pb.warmup = 5_000;
-    pb.measure = 10_000;
+    let pb = SimConfig::builder()
+        .dragonfly(2)
+        .routing(RoutingMode::Piggyback)
+        .workload(wl)
+        .windows(5_000, 10_000)
+        .build()?;
 
     let flex = pb
         .clone()
@@ -32,12 +36,30 @@ fn main() {
     };
 
     let series = [
-        ("PB baseline per-VC (8/4 VCs)", variant(&pb, SensingMode::PerVc, false)),
-        ("PB baseline per-port", variant(&pb, SensingMode::PerPort, false)),
-        ("PB FlexVC per-VC (6/3 VCs)", variant(&flex, SensingMode::PerVc, false)),
-        ("PB FlexVC per-port", variant(&flex, SensingMode::PerPort, false)),
-        ("PB FlexVC-minCred per-VC", variant(&flex, SensingMode::PerVc, true)),
-        ("PB FlexVC-minCred per-port", variant(&flex, SensingMode::PerPort, true)),
+        (
+            "PB baseline per-VC (8/4 VCs)",
+            variant(&pb, SensingMode::PerVc, false),
+        ),
+        (
+            "PB baseline per-port",
+            variant(&pb, SensingMode::PerPort, false),
+        ),
+        (
+            "PB FlexVC per-VC (6/3 VCs)",
+            variant(&flex, SensingMode::PerVc, false),
+        ),
+        (
+            "PB FlexVC per-port",
+            variant(&flex, SensingMode::PerPort, false),
+        ),
+        (
+            "PB FlexVC-minCred per-VC",
+            variant(&flex, SensingMode::PerVc, true),
+        ),
+        (
+            "PB FlexVC-minCred per-port",
+            variant(&flex, SensingMode::PerPort, true),
+        ),
     ];
 
     println!("ADV+1 request-reply traffic at offered load 0.5\n");
@@ -46,7 +68,7 @@ fn main() {
         "variant", "accepted", "latency", "misroute%"
     );
     for (name, cfg) in &series {
-        let r = run_averaged(cfg, 0.5, &[1, 2]);
+        let r = run_averaged(cfg, 0.5, &[1, 2])?;
         println!(
             "{:<30} {:>9.3} {:>9.0} {:>9.0}%",
             name,
@@ -57,4 +79,5 @@ fn main() {
     }
     println!("\nminCred identifies the adversarial pattern (high misroute%)");
     println!("and restores throughput with a 25% smaller VC set.");
+    Ok(())
 }

@@ -9,15 +9,15 @@
 use flexvc::core::{Arrangement, RoutingMode};
 use flexvc::sim::prelude::*;
 use flexvc::traffic::{Pattern, Workload};
+use std::error::Error;
 
-fn main() {
-    let mut base = SimConfig::dragonfly_baseline(
-        2,
-        RoutingMode::Min,
-        Workload::oblivious(Pattern::bursty()),
-    );
-    base.warmup = 5_000;
-    base.measure = 10_000;
+fn main() -> Result<(), Box<dyn Error>> {
+    let base = SimConfig::builder()
+        .dragonfly(2)
+        .routing(RoutingMode::Min)
+        .workload(Workload::oblivious(Pattern::bursty()))
+        .windows(5_000, 10_000)
+        .build()?;
 
     let series = [
         ("baseline 2/1".to_string(), base.clone()),
@@ -42,10 +42,11 @@ fn main() {
         "policy", "latency @0.4", "max throughput"
     );
     for (name, cfg) in &series {
-        let mid = run_averaged(cfg, 0.4, &[1, 2]);
-        let sat = saturation_throughput(cfg, &[1, 2]);
+        let mid = run_averaged(cfg, 0.4, &[1, 2])?;
+        let sat = saturation_throughput(cfg, &[1, 2])?;
         println!("{:<16} {:>16.1} {:>18.3}", name, mid.latency, sat.accepted);
     }
     println!("\nThe paper reports the same ordering: bursts congest isolated");
     println!("VCs, so flexibility in VC use pays off well below saturation.");
+    Ok(())
 }

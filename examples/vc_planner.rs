@@ -20,12 +20,7 @@ fn main() {
     println!("Arrangement {arr}\n");
     println!("Routing support (Dragonfly):");
     for mode in [RoutingMode::Min, RoutingMode::Valiant, RoutingMode::Par] {
-        let support = classify(
-            NetworkFamily::Dragonfly,
-            mode,
-            &arr,
-            MessageClass::Request,
-        );
+        let support = classify(NetworkFamily::Dragonfly, mode, &arr, MessageClass::Request);
         println!("  {mode:8} {support}");
     }
 
@@ -38,11 +33,7 @@ fn main() {
             .expect("minimal routing must be safe");
         println!(
             "  hop {} ({:?}): VCs {}..={} ({:?})",
-            i,
-            min[i],
-            opts.lo,
-            opts.hi,
-            opts.kind
+            i, min[i], opts.lo, opts.hi, opts.kind
         );
         // Follow the highest landing, as the JSQ selection would at low load.
         pos = arr.position(min[i], opts.hi).map(Some).unwrap_or(None);

@@ -11,23 +11,37 @@
 //!   minimal/Valiant route computation.
 //! * [`traffic`] — uniform, adversarial and bursty traffic generators plus
 //!   the request–reply reactive wrapper.
-//! * [`sim`] — the cycle-accurate phit-level network simulator and the
-//!   experiment runner.
+//! * [`sim`] — the cycle-accurate phit-level network simulator, the
+//!   validating [`SimConfigBuilder`](sim::SimConfigBuilder), and the
+//!   non-panicking experiment runner.
+//! * [`bench`] — the scenario-first experiment harness: every paper
+//!   figure/table as serializable data
+//!   ([`bench::scenario::Scenario`]), the
+//!   [`bench::scenario::ScenarioRegistry`] catalogue, and the `flexvc`
+//!   CLI binary that fronts them (`flexvc list|show|run`).
+//! * [`serde`] — the self-contained serialization layer (JSON/TOML value
+//!   model) that moves whole experiments through data files.
 //!
 //! See the `examples/` directory for runnable entry points and `DESIGN.md`
 //! for the architecture and the experiment index.
 
+pub use flexvc_bench as bench;
 pub use flexvc_core as core;
+pub use flexvc_serde as serde;
 pub use flexvc_sim as sim;
 pub use flexvc_topology as topology;
 pub use flexvc_traffic as traffic;
 
 /// Convenience prelude for examples and downstream users.
 pub mod prelude {
-    pub use flexvc_core::{
-        Arrangement, HopKind, LinkClass, MessageClass, RoutingMode, Support, VcPolicy,
-        VcSelection,
+    pub use flexvc_bench::scenario::{
+        run_scenario, PointSpec, Scenario, ScenarioRegistry, ScenarioReport,
     };
+    pub use flexvc_bench::Scale;
+    pub use flexvc_core::{
+        Arrangement, HopKind, LinkClass, MessageClass, RoutingMode, Support, VcPolicy, VcSelection,
+    };
+    pub use flexvc_serde::{from_json, from_toml, to_json, to_json_pretty, to_toml};
     pub use flexvc_sim::prelude::*;
     pub use flexvc_topology::{Dragonfly, Topology};
     pub use flexvc_traffic::TrafficPattern;

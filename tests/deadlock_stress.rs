@@ -13,7 +13,11 @@ use flexvc::traffic::{Pattern, Workload};
 fn stress(cfg: &SimConfig, label: &str) {
     let r = run_one(cfg, 1.0, 99).unwrap();
     assert!(!r.deadlocked, "{label} deadlocked");
-    assert!(r.accepted > 0.05, "{label} made no progress: {}", r.accepted);
+    assert!(
+        r.accepted > 0.05,
+        "{label} made no progress: {}",
+        r.accepted
+    );
 }
 
 fn tiny(routing: RoutingMode, workload: Workload) -> SimConfig {
@@ -89,11 +93,8 @@ fn piggyback_variants_survive_saturation() {
         (SensingMode::PerPort, true),
         (SensingMode::PerVc, true),
     ] {
-        let mut cfg = tiny(
-            RoutingMode::Piggyback,
-            Workload::reactive(Pattern::adv1()),
-        )
-        .with_flexvc(Arrangement::dragonfly_rr((4, 2), (2, 1)));
+        let mut cfg = tiny(RoutingMode::Piggyback, Workload::reactive(Pattern::adv1()))
+            .with_flexvc(Arrangement::dragonfly_rr((4, 2), (2, 1)));
         cfg.sensing = SensingConfig {
             mode,
             min_cred,
