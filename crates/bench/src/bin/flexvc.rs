@@ -27,7 +27,14 @@ USAGE:
     flexvc show <scenario> [options]  print a scenario as editable data
     flexvc run <scenario> [options]   run a built-in scenario
     flexvc run --file <path> [opts]   run a scenario from a TOML/JSON file
+    flexvc bench [--quick] [--out p]  run the engine-performance kernel
+                                      suite and write BENCH_pr2.json
     flexvc help                       this text
+
+BENCH OPTIONS:
+    --quick                shorter windows (the CI profile)
+    --out <path>           report path (default: BENCH_pr2.json)
+    --quiet                suppress per-kernel progress on stderr
 
 SHOW OPTIONS:
     --format toml|json     output format (default: toml)
@@ -54,6 +61,7 @@ struct Options {
     out: Option<String>,
     format: Option<String>,
     quiet: bool,
+    quick: bool,
     scale: Scale,
 }
 
@@ -83,6 +91,10 @@ fn main() -> ExitCode {
             Ok(opts) => run(opts),
             Err(msg) => fail(&msg),
         },
+        "bench" => match parse_options(rest) {
+            Ok(opts) => bench(opts),
+            Err(msg) => fail(&msg),
+        },
         other => fail(&format!("unknown command `{other}`")),
     }
 }
@@ -95,6 +107,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         out: None,
         format: None,
         quiet: false,
+        quick: false,
         scale: Scale::from_env(),
     };
     let mut it = args.iter();
@@ -115,6 +128,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--out" => opts.out = Some(value("--out", &mut it)?),
             "--format" => opts.format = Some(value("--format", &mut it)?),
             "--quiet" => opts.quiet = true,
+            "--quick" => opts.quick = true,
             "--paper" => opts.scale = Scale::paper(),
             "--h" => {
                 opts.scale.h = value("--h", &mut it)?
@@ -224,6 +238,56 @@ fn write_output(report: &ScenarioReport, path: &str, format: &str) -> Result<(),
     };
     std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
     Ok(())
+}
+
+fn bench(opts: Options) -> ExitCode {
+    let out_path = opts.out.as_deref().unwrap_or("BENCH_pr2.json");
+    if !opts.quiet {
+        eprintln!(
+            "[bench] running the fixed kernel suite ({} profile)…",
+            if opts.quick { "quick" } else { "full" }
+        );
+    }
+    let report = match flexvc_bench::perf::run_bench(opts.quick, |k| {
+        if !opts.quiet {
+            eprintln!(
+                "[bench] {:<28} {:>10.0} cycles/sec (accepted {:.3}{})",
+                k.name,
+                k.cycles_per_sec,
+                k.accepted,
+                if k.deadlocked { ", DEADLOCK" } else { "" }
+            );
+        }
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("| group | kernels | cycles/sec | pre-refactor | speedup |");
+    println!("|---|---|---|---|---|");
+    for g in &report.groups {
+        println!(
+            "| {} | {} | {:.0} | {:.0} | {:.2}x |",
+            g.group, g.kernels, g.cycles_per_sec, g.baseline_cycles_per_sec, g.speedup_vs_baseline
+        );
+    }
+    if let Some(k) = report.kernels.iter().find(|k| k.deadlocked) {
+        eprintln!(
+            "error: kernel {} deadlocked — the suite must simulate cleanly",
+            k.name
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(out_path, to_json_pretty(&report)) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !opts.quiet {
+        eprintln!("[bench] report written to {out_path}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn run(opts: Options) -> ExitCode {

@@ -24,7 +24,7 @@
 //! The paper simulates an `h = 8` Dragonfly (2,064 routers) for 5×60k
 //! cycles per point — far beyond a laptop budget. The harness defaults to
 //! a scaled `h = 2` network with shorter windows that preserves every
-//! mechanism and the comparative shape of all results (see `DESIGN.md` §3).
+//! mechanism and the comparative shape of all results (see `DESIGN.md` §4).
 //! Environment variables (overridable by `flexvc` CLI flags) set the
 //! defaults:
 //!
@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
 pub mod scenario;
 
 use flexvc_core::{Arrangement, RoutingMode};

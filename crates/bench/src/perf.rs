@@ -1,0 +1,367 @@
+//! `flexvc bench` — the fixed engine-performance kernel suite.
+//!
+//! Runs a deterministic set of simulation kernels and emits a
+//! machine-readable report (`BENCH_pr2.json`), establishing the repo's
+//! performance trajectory. Three kernel groups:
+//!
+//! * **fig5_h2** — the Fig. 5 oblivious-routing suite at h = 2 (baseline,
+//!   DAMQ 75%, FlexVC 2/1, 4/2 and 8/4 under MIN/UN) over the
+//!   pre-saturation load sweep. This is the reference kernel for the
+//!   engine-speedup criterion.
+//! * **sweep_h4** — baseline + FlexVC 4/2 at h = 4 (264 routers), the
+//!   intermediate scale.
+//! * **smoke_h8** — a short measurement window at the paper's full h = 8
+//!   scale (2,064 routers, 16,512 nodes), proving paper-scale runs are
+//!   tractable on one core.
+//!
+//! Speedups are computed against cycles/sec recorded from the
+//! pre-refactor (full-sweep) engine on the *same kernels and hardware*
+//! immediately before the active-set rewrite landed; on different
+//! hardware the absolute numbers shift but the ratio stays indicative
+//! because both engines are memory-bound on the same structures.
+
+use flexvc_core::{Arrangement, RoutingMode};
+use flexvc_serde::{Map, Serialize, Value};
+use flexvc_sim::prelude::*;
+use flexvc_sim::Network;
+use flexvc_traffic::{Pattern, Workload};
+use std::time::Instant;
+
+/// Cycles/sec of the pre-refactor engine on this suite (recorded on the
+/// development machine, single-core, best of three runs, at the commit
+/// immediately preceding the active-set rewrite). See the module docs for
+/// how to interpret these on other hardware.
+pub mod recorded_baseline {
+    /// Aggregate cycles/sec over the `fig5_h2` kernel group.
+    pub const FIG5_H2: f64 = 39_043.0;
+    /// Aggregate cycles/sec over the `sweep_h4` kernel group.
+    pub const SWEEP_H4: f64 = 1_387.0;
+    /// Aggregate cycles/sec over the `smoke_h8` kernel group.
+    pub const SMOKE_H8: f64 = 63.0;
+}
+
+/// One kernel: a named `(config, load, seed)` point with fixed windows.
+pub struct Kernel {
+    /// Kernel name (`group/series@load`).
+    pub name: String,
+    /// Group the kernel aggregates into.
+    pub group: &'static str,
+    /// Full configuration (windows already set).
+    pub cfg: SimConfig,
+    /// Offered load.
+    pub load: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+/// Result of one kernel run.
+#[derive(Debug, Clone)]
+pub struct KernelResult {
+    /// Kernel name.
+    pub name: String,
+    /// Group name.
+    pub group: String,
+    /// Cycles stepped (warmup + measure).
+    pub cycles: u64,
+    /// Wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Cycles per second.
+    pub cycles_per_sec: f64,
+    /// Accepted load (sanity signal that the kernel simulated traffic).
+    pub accepted: f64,
+    /// Whether the run deadlocked (must be false for every kernel).
+    pub deadlocked: bool,
+}
+
+/// Aggregate over one kernel group.
+#[derive(Debug, Clone)]
+pub struct GroupSummary {
+    /// Group name.
+    pub group: String,
+    /// Kernels in the group.
+    pub kernels: usize,
+    /// Total cycles stepped.
+    pub cycles: u64,
+    /// Total wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Aggregate cycles/sec (total cycles / total wall).
+    pub cycles_per_sec: f64,
+    /// Recorded pre-refactor cycles/sec for the same group.
+    pub baseline_cycles_per_sec: f64,
+    /// `cycles_per_sec / baseline_cycles_per_sec`.
+    pub speedup_vs_baseline: f64,
+}
+
+/// The full bench report (serialized to `BENCH_pr2.json`).
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Report schema tag.
+    pub schema: String,
+    /// Engine identifier.
+    pub engine: String,
+    /// Whether the quick (CI) windows were used.
+    pub quick: bool,
+    /// Per-kernel results.
+    pub kernels: Vec<KernelResult>,
+    /// Per-group aggregates.
+    pub groups: Vec<GroupSummary>,
+}
+
+/// Build the fixed kernel suite. `quick` shrinks windows for CI.
+pub fn kernel_suite(quick: bool) -> Vec<Kernel> {
+    let mut kernels = Vec::new();
+    let windows = |cfg: &mut SimConfig, warmup: u64, measure: u64| {
+        cfg.warmup = warmup;
+        cfg.measure = measure;
+        cfg.watchdog = warmup + measure;
+    };
+
+    // fig5_h2: the Fig. 5 series under MIN/UN over the pre-saturation
+    // sweep (h = 2 saturates UN around ~0.65 accepted; beyond that the
+    // latency curves the figure reports are undefined anyway).
+    let (warm2, meas2) = if quick {
+        (1_000, 2_000)
+    } else {
+        (2_000, 6_000)
+    };
+    let base2 = || {
+        SimConfig::dragonfly_baseline(2, RoutingMode::Min, Workload::oblivious(Pattern::Uniform))
+    };
+    let series2: Vec<(&str, SimConfig)> = vec![
+        ("baseline", base2()),
+        ("damq75", base2().with_damq75()),
+        (
+            "flexvc21",
+            base2().with_flexvc(Arrangement::dragonfly_min()),
+        ),
+        (
+            "flexvc42",
+            base2().with_flexvc(Arrangement::dragonfly(4, 2)),
+        ),
+        (
+            "flexvc84",
+            base2().with_flexvc(Arrangement::dragonfly(8, 4)),
+        ),
+    ];
+    for (label, cfg) in series2 {
+        for &load in &[0.15, 0.3, 0.45, 0.6] {
+            let mut cfg = cfg.clone();
+            windows(&mut cfg, warm2, meas2);
+            kernels.push(Kernel {
+                name: format!("fig5_h2/{label}@{load}"),
+                group: "fig5_h2",
+                cfg,
+                load,
+                seed: 1,
+            });
+        }
+    }
+
+    // sweep_h4: intermediate scale.
+    let (warm4, meas4) = if quick { (500, 1_000) } else { (1_000, 2_500) };
+    let base4 = || {
+        SimConfig::dragonfly_baseline(4, RoutingMode::Min, Workload::oblivious(Pattern::Uniform))
+    };
+    let series4: Vec<(&str, SimConfig)> = vec![
+        ("baseline", base4()),
+        (
+            "flexvc42",
+            base4().with_flexvc(Arrangement::dragonfly(4, 2)),
+        ),
+    ];
+    for (label, cfg) in series4 {
+        for &load in &[0.3, 0.6] {
+            let mut cfg = cfg.clone();
+            windows(&mut cfg, warm4, meas4);
+            kernels.push(Kernel {
+                name: format!("sweep_h4/{label}@{load}"),
+                group: "sweep_h4",
+                cfg,
+                load,
+                seed: 1,
+            });
+        }
+    }
+
+    // smoke_h8: paper scale, short window.
+    let (warm8, meas8) = if quick { (200, 500) } else { (300, 1_200) };
+    let mut cfg8 =
+        SimConfig::dragonfly_baseline(8, RoutingMode::Min, Workload::oblivious(Pattern::Uniform));
+    windows(&mut cfg8, warm8, meas8);
+    kernels.push(Kernel {
+        name: "smoke_h8/baseline@0.25".to_string(),
+        group: "smoke_h8",
+        cfg: cfg8,
+        load: 0.25,
+        seed: 1,
+    });
+
+    kernels
+}
+
+/// Run the suite sequentially (one timing thread) and aggregate.
+pub fn run_bench<F>(quick: bool, mut progress: F) -> Result<BenchReport, RunError>
+where
+    F: FnMut(&KernelResult),
+{
+    let suite = kernel_suite(quick);
+    let mut kernels: Vec<KernelResult> = Vec::with_capacity(suite.len());
+    for k in &suite {
+        let t0 = Instant::now();
+        let mut net = Network::new(k.cfg.clone(), k.load, k.seed).map_err(|source| {
+            RunError::InvalidPoint {
+                index: kernels.len(),
+                source,
+            }
+        })?;
+        let result = net.run();
+        let wall = t0.elapsed().as_secs_f64().max(1e-9);
+        // Cycles *actually stepped* (a deadlocked run stops early; its
+        // truncated cycle count must not inflate cycles/sec).
+        let cycles = net.cycle();
+        let kr = KernelResult {
+            name: k.name.clone(),
+            group: k.group.to_string(),
+            cycles,
+            wall_seconds: wall,
+            cycles_per_sec: cycles as f64 / wall,
+            accepted: result.accepted,
+            deadlocked: result.deadlocked,
+        };
+        progress(&kr);
+        kernels.push(kr);
+    }
+
+    let mut groups = Vec::new();
+    for (group, baseline) in [
+        ("fig5_h2", recorded_baseline::FIG5_H2),
+        ("sweep_h4", recorded_baseline::SWEEP_H4),
+        ("smoke_h8", recorded_baseline::SMOKE_H8),
+    ] {
+        let members: Vec<&KernelResult> = kernels.iter().filter(|k| k.group == group).collect();
+        let cycles: u64 = members.iter().map(|k| k.cycles).sum();
+        let wall: f64 = members.iter().map(|k| k.wall_seconds).sum();
+        let cps = cycles as f64 / wall.max(1e-9);
+        groups.push(GroupSummary {
+            group: group.to_string(),
+            kernels: members.len(),
+            cycles,
+            wall_seconds: wall,
+            cycles_per_sec: cps,
+            baseline_cycles_per_sec: baseline,
+            speedup_vs_baseline: cps / baseline,
+        });
+    }
+
+    Ok(BenchReport {
+        schema: "flexvc-bench-v1".to_string(),
+        engine: "active-set".to_string(),
+        quick,
+        kernels,
+        groups,
+    })
+}
+
+impl Serialize for KernelResult {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            Map::new()
+                .with("name", self.name.to_value())
+                .with("group", self.group.to_value())
+                .with("cycles", self.cycles.to_value())
+                .with("wall_seconds", self.wall_seconds.to_value())
+                .with("cycles_per_sec", self.cycles_per_sec.to_value())
+                .with("accepted", self.accepted.to_value())
+                .with("deadlocked", self.deadlocked.to_value()),
+        )
+    }
+}
+
+impl Serialize for GroupSummary {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            Map::new()
+                .with("group", self.group.to_value())
+                .with("kernels", (self.kernels as u64).to_value())
+                .with("cycles", self.cycles.to_value())
+                .with("wall_seconds", self.wall_seconds.to_value())
+                .with("cycles_per_sec", self.cycles_per_sec.to_value())
+                .with(
+                    "baseline_cycles_per_sec",
+                    self.baseline_cycles_per_sec.to_value(),
+                )
+                .with("speedup_vs_baseline", self.speedup_vs_baseline.to_value()),
+        )
+    }
+}
+
+impl Serialize for BenchReport {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            Map::new()
+                .with("schema", self.schema.to_value())
+                .with("engine", self.engine.to_value())
+                .with("quick", self.quick.to_value())
+                .with("groups", self.groups.to_value())
+                .with("kernels", self.kernels.to_value()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_fixed_and_valid() {
+        for quick in [false, true] {
+            let suite = kernel_suite(quick);
+            assert_eq!(suite.len(), 5 * 4 + 2 * 2 + 1);
+            for k in &suite {
+                k.cfg
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            }
+        }
+        // Quick windows are strictly shorter.
+        let full = kernel_suite(false);
+        let quick = kernel_suite(true);
+        for (f, q) in full.iter().zip(&quick) {
+            assert_eq!(f.name, q.name);
+            assert!(q.cfg.measure < f.cfg.measure, "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn tiny_bench_runs_and_serializes() {
+        // Shrink to a trivial subset by running quick kernels at h=2 only:
+        // run the real API but through a stub suite would complicate the
+        // interface, so just run the smallest kernel directly.
+        let suite = kernel_suite(true);
+        let k = &suite[0];
+        let mut cfg = k.cfg.clone();
+        cfg.warmup = 100;
+        cfg.measure = 200;
+        let r = run_one(&cfg, k.load, k.seed).unwrap();
+        assert!(!r.deadlocked);
+        // Serialization shape of a report built by hand.
+        let report = BenchReport {
+            schema: "flexvc-bench-v1".into(),
+            engine: "active-set".into(),
+            quick: true,
+            kernels: vec![KernelResult {
+                name: "fig5_h2/test".into(),
+                group: "fig5_h2".into(),
+                cycles: 300,
+                wall_seconds: 0.1,
+                cycles_per_sec: 3000.0,
+                accepted: r.accepted,
+                deadlocked: false,
+            }],
+            groups: vec![],
+        };
+        let json = flexvc_serde::to_json_pretty(&report);
+        assert!(json.contains("\"schema\": \"flexvc-bench-v1\""));
+        assert!(json.contains("cycles_per_sec"));
+    }
+}

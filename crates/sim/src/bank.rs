@@ -17,7 +17,6 @@
 
 use crate::packet::Packet;
 use flexvc_core::{CreditClass, SplitOccupancy};
-use std::collections::VecDeque;
 
 /// Pure occupancy accounting for one port's VCs (static or DAMQ).
 #[derive(Debug, Clone)]
@@ -75,6 +74,12 @@ impl Occupancy {
 
     /// Can `size` phits enter VC `vc` right now?
     pub fn can_accept(&self, vc: usize, size: u32) -> bool {
+        // Static banks (no shared pool) keep `occ <= resv` per VC, so the
+        // general shared-overflow scan below reduces to one comparison —
+        // this is the allocator's hottest check.
+        if self.shared_cap == 0 {
+            return self.occ[vc] + size <= self.resv[vc];
+        }
         let new_occ = self.occ[vc] + size;
         let new_over = new_occ.saturating_sub(self.resv[vc]);
         let others: u32 = self
@@ -92,6 +97,9 @@ impl Occupancy {
     /// shared pool) — the JSQ metric.
     pub fn free_for(&self, vc: usize) -> u32 {
         let private_head = self.resv[vc].saturating_sub(self.occ[vc]);
+        if self.shared_cap == 0 {
+            return private_head;
+        }
         let shared_free = self.shared_cap - self.shared_used();
         private_head + shared_free
     }
@@ -135,20 +143,58 @@ impl Occupancy {
     }
 }
 
-/// A physical input bank: occupancy accounting plus per-VC packet queues.
+/// Sentinel for "no slot" in the intrusive FIFO links.
+const NIL: u32 = u32::MAX;
+
+/// A physical input bank: occupancy accounting plus per-VC packet FIFOs.
+///
+/// The FIFOs are flattened into one index-based pool per bank (a packet
+/// slab plus intrusive `next` links and per-VC head/tail cursors) instead
+/// of a `Vec<VecDeque<Packet>>`: pushes and pops are O(1) slot relinks with
+/// no per-VC ring buffers, freed slots are recycled through a free list,
+/// and after warm-up the slab stops allocating entirely — the property the
+/// active-set engine relies on for allocation-free steady-state cycles.
 #[derive(Debug)]
 pub struct BufferBank {
     /// Occupancy view (identical accounting to the upstream mirror).
     pub occ: Occupancy,
-    /// Per-VC FIFO of resident packets.
-    pub queues: Vec<VecDeque<Packet>>,
+    /// Packet slab; `None` marks a free slot.
+    slots: Vec<Option<Packet>>,
+    /// Intrusive FIFO links over `slots`.
+    next: Vec<u32>,
+    /// Recycled slot indices.
+    free: Vec<u32>,
+    /// Per-VC FIFO head slot.
+    head: Vec<u32>,
+    /// Per-VC FIFO tail slot.
+    tail: Vec<u32>,
+    /// Per-VC queue length.
+    len: Vec<u32>,
+    /// Total queued packets (hot-path skip test for the allocator).
+    total: u32,
 }
 
 impl BufferBank {
     /// Build a bank around an occupancy model.
     pub fn new(occ: Occupancy) -> Self {
-        let queues = (0..occ.vcs()).map(|_| VecDeque::new()).collect();
-        BufferBank { occ, queues }
+        Self::with_packet_capacity(occ, 0)
+    }
+
+    /// Build a bank with the slab preallocated for `packets` resident
+    /// packets (the engine passes the port capacity in packets so the
+    /// steady state never reallocates).
+    pub fn with_packet_capacity(occ: Occupancy, packets: usize) -> Self {
+        let vcs = occ.vcs();
+        BufferBank {
+            occ,
+            slots: Vec::with_capacity(packets),
+            next: Vec::with_capacity(packets),
+            free: Vec::new(),
+            head: vec![NIL; vcs],
+            tail: vec![NIL; vcs],
+            len: vec![0; vcs],
+            total: 0,
+        }
     }
 
     /// Enqueue an arriving packet into VC `vc` (space was guaranteed by the
@@ -157,26 +203,64 @@ impl BufferBank {
     /// changes while buffered.
     pub fn push(&mut self, vc: usize, mut pkt: Packet) {
         pkt.buffered_class = pkt.credit_class();
+        // New buffer, new position: any cached lookahead is stale.
+        pkt.flex_opts = None;
         let class = pkt.buffered_class;
         self.occ.add(vc, pkt.size, class);
-        self.queues[vc].push_back(pkt);
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(pkt);
+                self.next[s as usize] = NIL;
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Some(pkt));
+                self.next.push(NIL);
+                s
+            }
+        };
+        if self.tail[vc] == NIL {
+            self.head[vc] = slot;
+        } else {
+            self.next[self.tail[vc] as usize] = slot;
+        }
+        self.tail[vc] = slot;
+        self.len[vc] += 1;
+        self.total += 1;
     }
 
     /// Head packet of VC `vc`.
     pub fn head(&self, vc: usize) -> Option<&Packet> {
-        self.queues[vc].front()
+        match self.head[vc] {
+            NIL => None,
+            s => self.slots[s as usize].as_ref(),
+        }
     }
 
     /// Mutable head packet of VC `vc`.
     pub fn head_mut(&mut self, vc: usize) -> Option<&mut Packet> {
-        self.queues[vc].front_mut()
+        match self.head[vc] {
+            NIL => None,
+            s => self.slots[s as usize].as_mut(),
+        }
     }
 
     /// Dequeue the head of VC `vc`. Occupancy is *not* released here — the
     /// phits drain over the transfer duration; the caller schedules the
     /// release at transfer completion.
     pub fn pop(&mut self, vc: usize) -> Packet {
-        self.queues[vc].pop_front().expect("pop on empty VC")
+        let s = self.head[vc];
+        assert_ne!(s, NIL, "pop on empty VC");
+        let s = s as usize;
+        self.head[vc] = self.next[s];
+        if self.head[vc] == NIL {
+            self.tail[vc] = NIL;
+        }
+        self.len[vc] -= 1;
+        self.total -= 1;
+        self.free.push(s as u32);
+        self.slots[s].take().expect("occupied slot")
     }
 
     /// Release `size` phits of VC `vc` after the transfer completes.
@@ -186,12 +270,22 @@ impl BufferBank {
 
     /// Number of VCs.
     pub fn vcs(&self) -> usize {
-        self.queues.len()
+        self.head.len()
     }
 
-    /// Total queued packets across VCs (diagnostics).
+    /// Queued packets in VC `vc` (the active-set engine's skip test).
+    pub fn vc_len(&self, vc: usize) -> usize {
+        self.len[vc] as usize
+    }
+
+    /// Total queued packets across VCs (O(1); the allocator's port-level
+    /// skip test).
     pub fn queued_packets(&self) -> usize {
-        self.queues.iter().map(|q| q.len()).sum()
+        debug_assert_eq!(
+            self.total as usize,
+            self.len.iter().map(|&l| l as usize).sum::<usize>()
+        );
+        self.total as usize
     }
 }
 
@@ -287,6 +381,7 @@ mod tests {
             buffered_class: CreditClass::MinRouted,
             planned: true,
             par_evaluated: false,
+            flex_opts: None,
             opp_blocked: 0,
             hops: 0,
             reverts: 0,
@@ -308,5 +403,37 @@ mod tests {
         assert_eq!(bank.occ.occupancy(0), 8);
         assert_eq!(bank.head(0).unwrap().id, 2);
         assert_eq!(bank.queued_packets(), 1);
+        assert_eq!(bank.vc_len(0), 1);
+        assert_eq!(bank.vc_len(1), 0);
+    }
+
+    #[test]
+    fn slab_interleaves_vcs_and_recycles_slots() {
+        // Two VCs share one slab; FIFO order per VC must survive arbitrary
+        // interleaving and slot reuse.
+        let mut bank = BufferBank::with_packet_capacity(Occupancy::new_static(2, 64), 8);
+        for round in 0u64..50 {
+            bank.push(0, mk_packet(round * 10 + 1, 8));
+            bank.push(1, mk_packet(round * 10 + 2, 8));
+            bank.push(0, mk_packet(round * 10 + 3, 8));
+            assert_eq!(bank.head(0).unwrap().id, round * 10 + 1);
+            assert_eq!(bank.head(1).unwrap().id, round * 10 + 2);
+            assert_eq!(bank.pop(0).id, round * 10 + 1);
+            assert_eq!(bank.pop(0).id, round * 10 + 3);
+            assert_eq!(bank.pop(1).id, round * 10 + 2);
+            bank.release(0, 16, MinRouted);
+            bank.release(1, 8, MinRouted);
+            assert_eq!(bank.queued_packets(), 0);
+            assert!(bank.head(0).is_none() && bank.head(1).is_none());
+        }
+        // The slab never grew past the peak resident count.
+        assert!(bank.slots.len() <= 3, "slab grew: {}", bank.slots.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "pop on empty VC")]
+    fn pop_empty_vc_panics() {
+        let mut bank = BufferBank::new(Occupancy::new_static(1, 32));
+        let _ = bank.pop(0);
     }
 }

@@ -170,7 +170,7 @@ impl Default for SensingConfig {
 }
 
 /// Full simulation configuration. Defaults follow Table V at a reduced
-/// network scale (see `DESIGN.md` §3 on the scale substitution).
+/// network scale (see `DESIGN.md` §4 on the scale substitution).
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Network topology.

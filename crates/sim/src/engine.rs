@@ -27,6 +27,33 @@
 //! arrived, a hop is only granted when the downstream VC can hold the whole
 //! packet, and transfers respect both crossbar bandwidth
 //! (`speedup` phits/cycle) and the arrival of the packet's own tail.
+//!
+//! # Active-set scheduling
+//!
+//! The phases above define *what* happens each cycle; since the active-set
+//! rewrite they no longer sweep every router × port × VC to find it.
+//! Instead the engine maintains behavior-neutral worklists:
+//!
+//! * **timing wheels** for link events — packet heads and credits are
+//!   scheduled at their arrival cycle when they enter a link, so `deliver`
+//!   touches exactly the links with something due *now*;
+//! * **router worklists** for allocation (`queued > 0`), route planning
+//!   (injection pushes/pops may expose an unplanned head), and scheduled
+//!   releases (`pending` non-empty);
+//! * **port worklists** for output serialization (non-empty output queue)
+//!   and Piggyback sensing (global-port credit state changed since the
+//!   last publish).
+//!
+//! Every worklist is conservative (a listed router may turn out to have no
+//! eligible work — identical to the old sweep visiting it) and complete
+//! (state only becomes eligible through events that mark the list), and
+//! iteration order across routers is independent by construction: routers
+//! only touch their own state, their own links, and credits of upstream
+//! links no other router writes in the same phase. The engine is therefore
+//! *bit-identical* to the full-sweep original — proven by
+//! `tests/engine_equivalence.rs` against recorded pre-refactor snapshots —
+//! while skipping idle state entirely, which is what makes paper-scale
+//! (h = 8, 2,064 routers) Dragonfly runs tractable.
 
 #![allow(clippy::needless_range_loop)] // parallel arrays indexed by port/vc
 #![allow(clippy::type_complexity)]
@@ -36,9 +63,9 @@ use crate::bank::{BufferBank, Occupancy};
 use crate::config::{BufferOrg, SensingMode, SimConfig};
 use crate::link::LinkState;
 use crate::metrics::{Metrics, SimResult};
-use crate::packet::{Packet, PlannedPath};
+use crate::packet::{Packet, PlannedPath, MAX_PLAN};
 use crate::plan::{min_plan, par_divert_plan, par_min_plan, valiant_plan};
-use crate::sensing::{choose_nonminimal, saturated_flags, GroupBoard};
+use crate::sensing::{choose_nonminimal, saturated_flags_into, GroupBoard};
 use flexvc_core::classify::NetworkFamily;
 use flexvc_core::policy::{baseline_vc, flexvc_options_lookahead};
 use flexvc_core::{
@@ -51,6 +78,59 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// A power-of-two timing wheel mapping future cycles to link ids with an
+/// event due. Slots are reused (taken, drained, put back) so the steady
+/// state allocates nothing. Events may be scheduled at most `len` cycles
+/// ahead — the wheel is sized from the worst-case link event horizon
+/// (`max latency + packet size + slack`) at construction.
+#[derive(Debug)]
+struct Wheel<T> {
+    slots: Vec<Vec<T>>,
+    mask: u64,
+}
+
+impl<T> Wheel<T> {
+    fn new(horizon: u64) -> Self {
+        let n = horizon.max(4).next_power_of_two();
+        Wheel {
+            slots: (0..n).map(|_| Vec::new()).collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// Schedule an event for cycle `at` (clamped to `now + 1`: an event
+    /// created during cycle `now` is observable at the next matching phase
+    /// at the earliest, exactly like the original per-cycle sweep).
+    #[inline]
+    fn schedule(&mut self, now: u64, at: u64, ev: T) {
+        let at = at.max(now + 1);
+        debug_assert!(at - now <= self.mask + 1, "event beyond wheel horizon");
+        self.slots[(at & self.mask) as usize].push(ev);
+    }
+
+    /// Take the slot due at `now` (return it with [`Wheel::put_back`]).
+    #[inline]
+    fn take(&mut self, now: u64) -> Vec<T> {
+        std::mem::take(&mut self.slots[(now & self.mask) as usize])
+    }
+
+    /// Return a drained slot buffer, keeping its capacity.
+    #[inline]
+    fn put_back(&mut self, now: u64, mut slot: Vec<T>) {
+        slot.clear();
+        self.slots[(now & self.mask) as usize] = slot;
+    }
+}
+
+/// Append `id` to a worklist unless already a member.
+#[inline]
+fn mark(list: &mut Vec<u32>, in_set: &mut [bool], id: usize) {
+    if !in_set[id] {
+        in_set[id] = true;
+        list.push(id as u32);
+    }
+}
 
 /// A packet queued at an output buffer awaiting link serialization.
 #[derive(Debug)]
@@ -83,25 +163,14 @@ struct Router {
     inputs: Vec<BufferBank>,
     /// Injection banks (one per attached node).
     inj: Vec<BufferBank>,
-    /// Input feed busy-until over the unified input space
-    /// (`0..P` network, `P..P+p` injection).
-    in_busy: Vec<u64>,
     /// Per-input-port VC arbiters.
     in_arb: Vec<RrArbiter>,
     /// Per-output-port arbiters over the unified input space.
     out_arb: Vec<RrArbiter>,
     /// Credit mirrors of the downstream input banks per network output port.
     out_credit: Vec<Occupancy>,
-    /// Output buffer occupancy per network output port.
-    out_occ: Vec<u32>,
     /// Output queues awaiting serialization.
     out_queue: Vec<VecDeque<OutPkt>>,
-    /// Crossbar feed busy-until per output port.
-    out_xbar: Vec<u64>,
-    /// Consumption channel busy-until per (local node × class).
-    eject_busy: Vec<u64>,
-    /// Scheduled releases.
-    pending: Vec<Pending>,
     /// Router-local RNG (Valiant picks, random VC selection).
     rng: SmallRng,
 }
@@ -144,6 +213,78 @@ pub struct Network {
     offered: f64,
     in_flight: i64,
     last_progress: u64,
+    // --- active-set scheduling state (behavior-neutral bookkeeping) ---
+    /// Per-router queued-packet count (network input + injection queues).
+    queued: Vec<u32>,
+    /// Routers with queued packets: the allocation worklist.
+    alloc_list: Vec<u32>,
+    alloc_in: Vec<bool>,
+    /// Routers whose injection banks may hold an unplanned head.
+    plan_list: Vec<u32>,
+    plan_in: Vec<bool>,
+    /// Output ports (flat link ids) with queued output packets.
+    out_list: Vec<u32>,
+    out_in: Vec<bool>,
+    /// Routers whose global-port credit state changed since the last
+    /// Piggyback publish (empty unless PB routing).
+    sense_list: Vec<u32>,
+    sense_in: Vec<bool>,
+    /// Timing wheel of links with a packet head arriving at a cycle.
+    pkt_wheel: Wheel<u32>,
+    /// Timing wheel of links with a credit arriving at a cycle.
+    cred_wheel: Wheel<u32>,
+    /// Timing wheel of scheduled buffer releases `(router, release)` —
+    /// releases are commutative occupancy arithmetic, so wheel order is
+    /// interchangeable with the old per-router scan order.
+    rel_wheel: Wheel<(u32, Pending)>,
+    /// Allocation candidate scratch (one entry per unified input).
+    cand: Vec<Option<(u8, Decision)>>,
+    /// Input indices holding a candidate this round (selective clearing).
+    cand_set: Vec<u16>,
+    /// Output ports with a forwarding candidate this round.
+    ports_scratch: Vec<u16>,
+    /// Per-router bitmask of unified inputs with queued packets (valid when
+    /// `n_in <= 64`; stage 1 then visits only occupied ports).
+    in_mask: Vec<u64>,
+    /// Per-(router, input) bitmask of VCs (< 16) with queued packets —
+    /// the allocator's VC-level skip, flat-indexed `r * n_in + in_idx`.
+    vc_mask: Vec<u16>,
+    /// Input feed busy-until, flat-indexed `r * n_in + in_idx`
+    /// (`0..P` network ports, `P..P+p` injection).
+    in_busy: Vec<u64>,
+    /// Crossbar feed busy-until per output port, flat-indexed by link id.
+    out_xbar: Vec<u64>,
+    /// Output buffer occupancy per output port, flat-indexed by link id.
+    out_occ: Vec<u32>,
+    /// Consumption channel busy-until, flat-indexed `r * pn * 2 + channel`.
+    eject_busy: Vec<u64>,
+    /// VC count per unified input index (uniform across routers).
+    vcs_by_in: Vec<u8>,
+    /// Cycle at which a router was proven allocation-settled: under the
+    /// baseline policy (no per-evaluation packet mutation, no PAR divert),
+    /// a round with zero nominations leaves every input unchanged, so the
+    /// remaining `speedup` rounds of the same cycle are provable no-ops.
+    settled: Vec<u64>,
+    /// Whether the settle shortcut is sound for this configuration.
+    can_settle: bool,
+    /// Set by `evaluate_head` when an evaluation semantically mutated a
+    /// packet this round (opportunistic patience counting, reversion) —
+    /// such a round is not provably repeatable and must not settle.
+    eval_mutated: bool,
+    /// Per-(router, input, VC < 16) evaluation skip deadline: when an
+    /// evaluation fails the crossbar-busy gate, the same `None` outcome is
+    /// guaranteed until the (monotonically advancing) `out_xbar` expiry —
+    /// the gate precedes every policy/mutation path and a blocked head
+    /// cannot be dequeued meanwhile. Disabled for PAR (whose evaluations
+    /// mutate divert state before the gate's outcome matters).
+    vc_skip_until: Vec<u64>,
+    /// Baseline policy lookup: `(class, slot) -> (vc, position)`, pure per
+    /// configuration (empty unless the baseline policy is active).
+    baseline_table: Vec<[(u8, u16); MAX_PLAN]>,
+    /// Sensing occupancy scratch.
+    occ_scratch: Vec<u32>,
+    /// Sensing flag scratch.
+    flag_scratch: Vec<bool>,
 }
 
 impl Network {
@@ -188,17 +329,34 @@ impl Network {
             }
         };
 
+        // Preallocate every pool for its worst-case population so the
+        // steady state never allocates: banks for their capacity in
+        // packets, links for their latency-bounded in-flight window,
+        // output queues for their buffer depth.
+        let size = cfg.packet_size.max(1);
+        let bank_packets =
+            |class: LinkClass, cfg: &SimConfig| (cfg.port_capacity(class) / size) as usize + 1;
+        let inj_packets = (cfg.buffers.injection * cfg.injection_vcs as u32 / size) as usize + 1;
+        let out_packets = (cfg.buffers.output / size) as usize + 2;
+        let max_lat = cfg.local_latency.max(cfg.global_latency) as u64;
+        let link_window = (max_lat / size as u64) as usize + 4;
+
         let routers: Vec<Router> = (0..nr)
             .map(|r| {
                 let inputs: Vec<BufferBank> = (0..pp)
-                    .map(|p| BufferBank::new(make_bank(port_class[p], &cfg)))
+                    .map(|p| {
+                        BufferBank::with_packet_capacity(
+                            make_bank(port_class[p], &cfg),
+                            bank_packets(port_class[p], &cfg),
+                        )
+                    })
                     .collect();
                 let inj: Vec<BufferBank> = (0..pn)
                     .map(|_| {
-                        BufferBank::new(Occupancy::new_static(
-                            cfg.injection_vcs,
-                            cfg.buffers.injection,
-                        ))
+                        BufferBank::with_packet_capacity(
+                            Occupancy::new_static(cfg.injection_vcs, cfg.buffers.injection),
+                            inj_packets,
+                        )
                     })
                     .collect();
                 let out_credit: Vec<Occupancy> =
@@ -207,7 +365,6 @@ impl Network {
                 Router {
                     inputs,
                     inj,
-                    in_busy: vec![0; n_in],
                     in_arb: (0..n_in)
                         .map(|i| {
                             let vcs = if i < pp {
@@ -220,11 +377,9 @@ impl Network {
                         .collect(),
                     out_arb: (0..pp).map(|_| RrArbiter::new(n_in)).collect(),
                     out_credit,
-                    out_occ: vec![0; pp],
-                    out_queue: (0..pp).map(|_| VecDeque::new()).collect(),
-                    out_xbar: vec![0; pp],
-                    eject_busy: vec![0; pn * 2],
-                    pending: Vec::new(),
+                    out_queue: (0..pp)
+                        .map(|_| VecDeque::with_capacity(out_packets))
+                        .collect(),
                     rng: SmallRng::seed_from_u64(
                         seed ^ 0xD1B5_4A32_D192_ED03u64.wrapping_mul(r as u64 + 1),
                     ),
@@ -232,7 +387,60 @@ impl Network {
             })
             .collect();
 
-        let links = (0..nr * pp).map(|_| LinkState::default()).collect();
+        let links = (0..nr * pp)
+            .map(|_| LinkState::with_capacity(link_window))
+            .collect();
+
+        // The timing wheels address links by flat id and resolve packet
+        // destinations through `adj[lid]`, which requires the wiring to be
+        // involutive (it is for all our topologies).
+        #[cfg(debug_assertions)]
+        for r in 0..nr {
+            for port in 0..pp {
+                if let Some((nr2, np)) = adj[r * pp + port] {
+                    debug_assert_eq!(
+                        adj[nr2 as usize * pp + np as usize],
+                        Some((r as u32, port as u16)),
+                        "adjacency must be involutive"
+                    );
+                }
+            }
+        }
+        // Worst-case link event horizon: a credit departs at most
+        // `packet_size` cycles after its grant and arrives one link latency
+        // later; packet heads arrive one latency after transmit.
+        let horizon = max_lat + size as u64 + 2;
+
+        // Precompute the baseline policy's pure (class, slot) -> (vc, pos)
+        // mapping so the allocator's hottest path is a table lookup.
+        let baseline_table: Vec<[(u8, u16); MAX_PLAN]> = if cfg.policy == VcPolicy::Baseline {
+            let reference: Vec<LinkClass> = match family {
+                NetworkFamily::Dragonfly => cfg.routing.dragonfly_reference().to_vec(),
+                NetworkFamily::Diameter2 => {
+                    REF_GENERIC[..cfg.routing.generic_reference(2).len()].to_vec()
+                }
+            };
+            [MessageClass::Request, MessageClass::Reply]
+                .iter()
+                .map(|&class| {
+                    let mut row = [(0u8, 0u16); MAX_PLAN];
+                    // Reply rows exist only for reactive workloads (the
+                    // arrangement has no reply part otherwise, and no
+                    // reply packet can ever query the table).
+                    if class == MessageClass::Reply && !cfg.workload.reactive {
+                        return row;
+                    }
+                    for (slot, entry) in row.iter_mut().enumerate().take(reference.len()) {
+                        let (bclass, bvc) = baseline_vc(&arr, class, &reference, slot);
+                        let pos = arr.position(bclass, bvc).expect("baseline vc") as u16;
+                        *entry = (bvc as u8, pos);
+                    }
+                    row
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         // Reactive workloads split the offered load between requests and the
         // replies they trigger.
@@ -269,6 +477,14 @@ impl Network {
         };
 
         let n_nodes = topo.num_nodes();
+        // PAR evaluations mutate packets unconditionally (the divert mark),
+        // so PAR configurations never settle; FlexVC mutations (patience,
+        // reversion) are tracked per round via `eval_mutated`.
+        let can_settle = cfg.routing != RoutingMode::Par;
+        let cfg_vcs_by_port: Vec<u8> = (0..pp)
+            .map(|p| cfg.vcs_for_class(port_class[p]).clamp(1, 255) as u8)
+            .collect();
+        let injection_vcs_u8 = cfg.injection_vcs.min(255) as u8;
         Ok(Network {
             cfg,
             topo,
@@ -291,6 +507,43 @@ impl Network {
             offered: load,
             in_flight: 0,
             last_progress: 0,
+            queued: vec![0; nr],
+            alloc_list: Vec::new(),
+            alloc_in: vec![false; nr],
+            plan_list: Vec::new(),
+            plan_in: vec![false; nr],
+            out_list: Vec::new(),
+            out_in: vec![false; nr * pp],
+            sense_list: Vec::new(),
+            sense_in: vec![false; nr],
+            pkt_wheel: Wheel::new(horizon),
+            cred_wheel: Wheel::new(horizon),
+            rel_wheel: Wheel::new(horizon),
+            cand: vec![None; pp + pn],
+            cand_set: Vec::with_capacity(pp + pn),
+            ports_scratch: Vec::with_capacity(pp),
+            in_mask: vec![0; nr],
+            vc_mask: vec![0; nr * (pp + pn)],
+            in_busy: vec![0; nr * (pp + pn)],
+            out_xbar: vec![0; nr * pp],
+            out_occ: vec![0; nr * pp],
+            eject_busy: vec![0; nr * pn * 2],
+            vcs_by_in: (0..pp + pn)
+                .map(|i| {
+                    if i < pp {
+                        cfg_vcs_by_port[i]
+                    } else {
+                        injection_vcs_u8
+                    }
+                })
+                .collect(),
+            settled: vec![u64::MAX; nr],
+            can_settle,
+            eval_mutated: false,
+            vc_skip_until: vec![0; nr * (pp + pn) * 16],
+            baseline_table,
+            occ_scratch: Vec::new(),
+            flag_scratch: Vec::new(),
         })
     }
 
@@ -312,6 +565,12 @@ impl Network {
     /// Whether the watchdog flagged a deadlock.
     pub fn deadlocked(&self) -> bool {
         self.metrics.deadlocked
+    }
+
+    /// Last cycle the watchdog observed forward progress (packet motion,
+    /// link serialization, or a credit return). Diagnostics only.
+    pub fn last_progress(&self) -> u64 {
+        self.last_progress
     }
 
     fn in_window(&self, cycle: u64) -> bool {
@@ -387,32 +646,54 @@ impl Network {
 
     fn deliver(&mut self, now: u64) {
         let pp = self.pp;
-        for r in 0..self.routers.len() {
-            // Packet arrivals on each input port (link owned by upstream).
-            for ip in 0..pp {
-                let Some((ur, up)) = self.adj[r * pp + ip] else {
-                    continue;
-                };
-                let lid = ur as usize * pp + up as usize;
-                while let Some(f) = self.links[lid].pop_arrived(now) {
-                    let mut pkt = f.packet;
-                    pkt.head_arrival = f.head_arrival;
-                    pkt.tail_arrival = f.tail_arrival;
-                    self.routers[r].inputs[ip].push(f.vc as usize, pkt);
-                    self.last_progress = now;
+        // Packet arrivals: exactly the links with a head phit due now
+        // (scheduled at transmit time). `adj[lid]` resolves the receiving
+        // router/port thanks to involutive wiring.
+        let due = self.pkt_wheel.take(now);
+        for &lid32 in &due {
+            let lid = lid32 as usize;
+            let (dr, dp) = self.adj[lid].expect("transmitting link is wired");
+            let (r, ip) = (dr as usize, dp as usize);
+            while let Some(f) = self.links[lid].pop_arrived(now) {
+                let mut pkt = f.packet;
+                pkt.head_arrival = f.head_arrival;
+                pkt.tail_arrival = f.tail_arrival;
+                let vc = f.vc as usize;
+                self.routers[r].inputs[ip].push(vc, pkt);
+                self.queued[r] += 1;
+                if ip < 64 {
+                    self.in_mask[r] |= 1 << ip;
                 }
-            }
-            // Credit arrivals for each output port (stored on our own link).
-            for op in 0..pp {
-                if self.adj[r * pp + op].is_none() {
-                    continue;
+                if vc < 16 {
+                    self.vc_mask[r * (self.pp + self.pn) + ip] |= 1 << vc;
                 }
-                let lid = r * pp + op;
-                while let Some(c) = self.links[lid].pop_credit(now) {
-                    self.routers[r].out_credit[op].remove(c.vc as usize, c.phits, c.class);
-                }
+                mark(&mut self.alloc_list, &mut self.alloc_in, r);
+                self.last_progress = now;
             }
         }
+        self.pkt_wheel.put_back(now, due);
+        // Credit arrivals: links with a credit due now (the credit queue
+        // lives on the *upstream* link, owned by the router it returns to).
+        let due = self.cred_wheel.take(now);
+        for &lid32 in &due {
+            let lid = lid32 as usize;
+            let (r, op) = (lid / pp, lid % pp);
+            let mut any = false;
+            while let Some(c) = self.links[lid].pop_credit(now) {
+                self.routers[r].out_credit[op].remove(c.vc as usize, c.phits, c.class);
+                // A returning credit is forward progress: downstream
+                // drained a buffer we were blocked on. Without this, an
+                // extremely congested-but-live network whose grants are
+                // spaced by long credit round trips can be misflagged
+                // as deadlocked.
+                self.last_progress = now;
+                any = true;
+            }
+            if any && !self.boards.is_empty() && self.port_class[op] == LinkClass::Global {
+                mark(&mut self.sense_list, &mut self.sense_in, r);
+            }
+        }
+        self.cred_wheel.put_back(now, due);
     }
 
     // ------------------------------------------------------------------
@@ -421,38 +702,33 @@ impl Network {
 
     fn process_pending(&mut self, now: u64) {
         let pp = self.pp;
-        for router in &mut self.routers {
-            let mut i = 0;
-            while i < router.pending.len() {
-                let due = match router.pending[i] {
-                    Pending::Input { at, .. } => at <= now,
-                    Pending::OutBuf { at, .. } => at <= now,
-                };
-                if !due {
-                    i += 1;
-                    continue;
+        let due = self.rel_wheel.take(now);
+        for &(rid, rel) in &due {
+            let rid = rid as usize;
+            match rel {
+                Pending::Input {
+                    in_idx,
+                    vc,
+                    phits,
+                    class,
+                    at,
+                } => {
+                    debug_assert_eq!(at, now);
+                    let in_idx = in_idx as usize;
+                    let router = &mut self.routers[rid];
+                    if in_idx < pp {
+                        router.inputs[in_idx].release(vc as usize, phits, class);
+                    } else {
+                        router.inj[in_idx - pp].release(vc as usize, phits, class);
+                    }
                 }
-                match router.pending.swap_remove(i) {
-                    Pending::Input {
-                        in_idx,
-                        vc,
-                        phits,
-                        class,
-                        ..
-                    } => {
-                        let in_idx = in_idx as usize;
-                        if in_idx < pp {
-                            router.inputs[in_idx].release(vc as usize, phits, class);
-                        } else {
-                            router.inj[in_idx - pp].release(vc as usize, phits, class);
-                        }
-                    }
-                    Pending::OutBuf { port, phits, .. } => {
-                        router.out_occ[port as usize] -= phits;
-                    }
+                Pending::OutBuf { port, phits, at } => {
+                    debug_assert_eq!(at, now);
+                    self.out_occ[rid * pp + port as usize] -= phits;
                 }
             }
         }
+        self.rel_wheel.put_back(now, due);
     }
 
     // ------------------------------------------------------------------
@@ -482,6 +758,16 @@ impl Network {
                 if self.routers[r].inj[local].occ.can_accept(vc, size) {
                     let pkt = self.new_packet(n as u32, dst as u32, MessageClass::Request, now);
                     self.routers[r].inj[local].push(vc, pkt);
+                    self.queued[r] += 1;
+                    let in_idx = self.pp + local;
+                    if in_idx < 64 {
+                        self.in_mask[r] |= 1 << in_idx;
+                    }
+                    if vc < 16 {
+                        self.vc_mask[r * (self.pp + self.pn) + in_idx] |= 1 << vc;
+                    }
+                    mark(&mut self.alloc_list, &mut self.alloc_in, r);
+                    mark(&mut self.plan_list, &mut self.plan_in, r);
                     self.in_flight += 1;
                     self.last_progress = now;
                 } else if in_window {
@@ -505,6 +791,14 @@ impl Network {
                 }
                 let pkt = self.new_packet(n as u32, dst, MessageClass::Reply, now);
                 self.routers[r].inj[local].push(1, pkt);
+                self.queued[r] += 1;
+                let in_idx = self.pp + local;
+                if in_idx < 64 {
+                    self.in_mask[r] |= 1 << in_idx;
+                }
+                self.vc_mask[r * (self.pp + self.pn) + in_idx] |= 1 << 1;
+                mark(&mut self.alloc_list, &mut self.alloc_in, r);
+                mark(&mut self.plan_list, &mut self.plan_in, r);
                 self.in_flight += 1;
                 self.last_progress = now;
             }
@@ -531,6 +825,7 @@ impl Network {
             buffered_class: CreditClass::MinRouted,
             planned: false,
             par_evaluated: false,
+            flex_opts: None,
             opp_blocked: 0,
             hops: 0,
             reverts: 0,
@@ -542,14 +837,22 @@ impl Network {
     // ------------------------------------------------------------------
 
     fn plan_heads(&mut self, _now: u64) {
-        let pp = self.pp;
-        for r in 0..self.routers.len() {
+        // Only routers with injection-bank activity since the last pass
+        // can hold an unplanned head: packets are planned exactly when
+        // they first become an injection head, which happens on a push
+        // (head of an empty VC) or a pop (successor becomes head). Both
+        // sites mark the worklist, so draining it each cycle plans exactly
+        // the heads the full sweep would have planned.
+        let mut list = std::mem::take(&mut self.plan_list);
+        for &r32 in &list {
+            let r = r32 as usize;
+            self.plan_in[r] = false;
             for local in 0..self.pn {
                 for vc in 0..self.cfg.injection_vcs {
                     // Split borrows: the head lives in `inj`, congestion
                     // state in `out_credit`/`rng`/boards.
                     let router = &mut self.routers[r];
-                    let Some(head) = router.inj[local].queues[vc].front() else {
+                    let Some(head) = router.inj[local].head(vc) else {
                         continue;
                     };
                     if head.planned {
@@ -569,15 +872,17 @@ impl Network {
                         head.dst_router as usize,
                         head.class,
                     );
-                    let head = router.inj[local].queues[vc].front_mut().expect("head");
+                    let head = router.inj[local].head_mut(vc).expect("head");
                     head.plan = plan;
                     head.min_routed = min_routed;
                     head.derouted = !min_routed;
                     head.planned = true;
+                    head.flex_opts = None;
                 }
             }
         }
-        let _ = pp;
+        list.clear();
+        self.plan_list = list;
     }
 
     // ------------------------------------------------------------------
@@ -588,40 +893,135 @@ impl Network {
         let pp = self.pp;
         let pn = self.pn;
         let n_in = pp + pn;
-        let mut cand: Vec<Option<(u8, Decision)>> = vec![None; n_in];
+        let mut cand = std::mem::take(&mut self.cand);
+        let mut cand_set = std::mem::take(&mut self.cand_set);
+        let mut ports_scratch = std::mem::take(&mut self.ports_scratch);
+        debug_assert_eq!(cand.len(), n_in);
 
-        for r in 0..self.routers.len() {
-            cand.iter_mut().for_each(|c| *c = None);
-            // Stage 1: each input port nominates one VC.
-            for in_idx in 0..n_in {
-                if self.routers[r].in_busy[in_idx] > now {
+        // Only routers with queued packets can produce decisions: arbiters
+        // do not advance and RNGs are not drawn on request-free visits, so
+        // skipping idle routers is exactly the full sweep minus no-ops.
+        // Routers are dropped from the worklist lazily once they drain.
+        let mut list = std::mem::take(&mut self.alloc_list);
+        let mut li = 0;
+        while li < list.len() {
+            let r = list[li] as usize;
+            if self.queued[r] == 0 {
+                self.alloc_in[r] = false;
+                list.swap_remove(li);
+                continue;
+            }
+            li += 1;
+            // Settled this cycle: an earlier round proved zero nominations
+            // under a mutation-free policy, so this round is a no-op too.
+            if self.settled[r] == now {
+                continue;
+            }
+            // Candidate scratch is cleared *selectively* (only slots set
+            // this round, tracked in `cand_set`) — per-router memsets of
+            // the whole array dominated the allocator at scale.
+            debug_assert!(cand.iter().all(|c| c.is_none()));
+            cand_set.clear();
+            self.eval_mutated = false;
+            // Stage 1: each input port nominates one VC. Ports without a
+            // queued packet cannot request anything; when the unified input
+            // space fits a 64-bit mask (always, for our topologies) only
+            // occupied ports are visited at all.
+            let use_mask = n_in <= 64;
+            let mut occupied = if use_mask { self.in_mask[r] } else { 0 };
+            // Fallback cursor for (hypothetical) routers wider than 64
+            // unified inputs: visit everything; the per-port queued check
+            // below still skips empty banks.
+            let mut lin_idx = 0usize;
+            loop {
+                let in_idx = if use_mask {
+                    if occupied == 0 {
+                        break;
+                    }
+                    let i = occupied.trailing_zeros() as usize;
+                    occupied &= occupied - 1;
+                    debug_assert!(i < n_in, "stale occupied-port bit");
+                    i
+                } else {
+                    if lin_idx >= n_in {
+                        break;
+                    }
+                    lin_idx += 1;
+                    lin_idx - 1
+                };
+                if self.in_busy[r * n_in + in_idx] > now {
                     continue;
                 }
-                let vcs = if in_idx < pp {
-                    self.routers[r].inputs[in_idx].vcs()
-                } else {
-                    self.cfg.injection_vcs
-                };
+                // Request slots are mask-tracked: stale entries are never
+                // read, so the array needs no per-port re-initialization.
                 let mut reqs: [Option<Decision>; 16] = [None; 16];
-                for vc in 0..vcs.min(16) {
-                    reqs[vc] = self.evaluate_head(r, in_idx, vc, now);
+                let mut req_mask: u32 = 0;
+                // VC-level skip: only VCs with queued packets (tracked in
+                // `vc_mask`, bank untouched) are evaluated; VCs >= 16 were
+                // never evaluated by the original sweep either.
+                let mut vc_bits = self.vc_mask[r * n_in + in_idx];
+                while vc_bits != 0 {
+                    let vc = vc_bits.trailing_zeros() as usize;
+                    vc_bits &= vc_bits - 1;
+                    debug_assert!(vc < self.vcs_by_in[in_idx] as usize);
+                    if self.vc_skip_until[(r * n_in + in_idx) * 16 + vc] > now {
+                        // Proven `None` until the crossbar frees (see
+                        // `vc_skip_until`): skip the evaluation outright.
+                        debug_assert!(self.evaluate_head(r, in_idx, vc, now).is_none());
+                        continue;
+                    }
+                    if let Some(d) = self.evaluate_head(r, in_idx, vc, now) {
+                        reqs[vc] = Some(d);
+                        req_mask |= 1 << vc;
+                    }
+                }
+                if req_mask == 0 {
+                    continue; // a request-free grant would not move the arbiter
                 }
                 let router = &mut self.routers[r];
-                if let Some(vc) = router.in_arb[in_idx].grant(|v| reqs[v].is_some()) {
-                    cand[in_idx] = Some((vc as u8, reqs[vc].expect("granted request")));
+                if let Some(vc) = router.in_arb[in_idx].grant(|v| req_mask & (1 << v) != 0) {
+                    let d = reqs[vc].expect("granted request");
+                    cand[in_idx] = Some((vc as u8, d));
+                    cand_set.push(in_idx as u16);
                 }
             }
-            // Stage 1.5: ejection grants (consumption channels).
-            for in_idx in 0..n_in {
+            if cand_set.is_empty() {
+                // Zero nominations: no arbiter moved, no RNG was drawn,
+                // and — when no evaluation mutated a packet (tracked via
+                // `eval_mutated`; baseline never does, FlexVC only on
+                // patience/reversion) — no packet changed either.
+                // Intra-cycle state is router-local, so every remaining
+                // allocation round of this cycle must reproduce the same
+                // empty outcome: settle the router until the next cycle.
+                if self.can_settle && !self.eval_mutated {
+                    self.settled[r] = now;
+                }
+                continue; // stages 1.5/2 would be no-ops
+            }
+            // Stage 1.5: ejection grants (consumption channels). `cand_set`
+            // is in ascending `in_idx` order (stage 1 iterates ascending).
+            for ci in 0..cand_set.len() {
+                let in_idx = cand_set[ci] as usize;
                 if let Some((vc, Decision::Eject { channel })) = cand[in_idx] {
                     cand[in_idx] = None;
-                    if self.routers[r].eject_busy[channel as usize] <= now {
+                    if self.eject_busy[r * self.pn * 2 + channel as usize] <= now {
                         self.grant_eject(r, in_idx, vc as usize, channel as usize, now);
                     }
                 }
             }
-            // Stage 2: output-port arbitration among forwarding candidates.
-            for port in 0..pp {
+            // Stage 2: output-port arbitration, only over ports with at
+            // least one forwarding candidate (an empty grant would not
+            // move the arbiter), in ascending port order.
+            ports_scratch.clear();
+            for &in_idx16 in cand_set.iter() {
+                if let Some((_, Decision::Forward { port, .. })) = cand[in_idx16 as usize] {
+                    ports_scratch.push(port);
+                }
+            }
+            ports_scratch.sort_unstable();
+            ports_scratch.dedup();
+            for pi in 0..ports_scratch.len() {
+                let port = ports_scratch[pi] as usize;
                 let winner = self.routers[r].out_arb[port].grant(|in_idx| {
                     matches!(cand[in_idx], Some((_, Decision::Forward { port: p, .. })) if p as usize == port)
                 });
@@ -637,7 +1037,15 @@ impl Network {
                     }
                 }
             }
+            // Selective clear for the next router.
+            for &in_idx16 in cand_set.iter() {
+                cand[in_idx16 as usize] = None;
+            }
         }
+        self.alloc_list = list;
+        self.cand = cand;
+        self.cand_set = cand_set;
+        self.ports_scratch = ports_scratch;
     }
 
     /// Evaluate the head of one input VC; may mutate the packet (planning
@@ -688,7 +1096,7 @@ impl Network {
                 }
                 let local = head.dst as usize - r * self.pn;
                 let channel = (local * 2 + head.class.index()) as u16;
-                return if router.eject_busy[channel as usize] <= now {
+                return if self.eject_busy[r * self.pn * 2 + channel as usize] <= now {
                     Some(Decision::Eject { channel })
                 } else {
                     None
@@ -699,61 +1107,116 @@ impl Network {
             let port = hop.port as usize;
             let pclass = self.port_class[port];
             // Output-side structural checks.
-            if router.out_xbar[port] > now || router.out_occ[port] + size > self.cfg.buffers.output
-            {
+            let xbar_until = self.out_xbar[r * pp + port];
+            if xbar_until > now {
+                // The gate's outcome is time-pure: record the deadline so
+                // later rounds skip this head without re-deriving it. Not
+                // sound for PAR (divert evaluation above mutates state on
+                // a schedule tied to evaluation visits) or reverted heads
+                // (the reversion this round must not be skipped later...
+                // the new plan targets a different port anyway, and the
+                // deadline is recomputed from it on the next visit).
+                if self.cfg.routing != RoutingMode::Par && vc < 16 && !reverted {
+                    self.vc_skip_until[(r * (pp + self.pn) + in_idx) * 16 + vc] = xbar_until;
+                }
+                return None;
+            }
+            if self.out_occ[r * pp + port] + size > self.cfg.buffers.output {
                 return None;
             }
             let credit = &router.out_credit[port];
             match self.cfg.policy {
                 VcPolicy::Baseline => {
-                    let reference: &[LinkClass] = match self.family {
-                        NetworkFamily::Dragonfly => self.cfg.routing.dragonfly_reference(),
-                        NetworkFamily::Diameter2 => {
-                            // Generic references are all-Local; slots map 1:1.
-                            &REF_GENERIC[..self.cfg.routing.generic_reference(2).len()]
-                        }
-                    };
-                    let (bclass, bvc) =
-                        baseline_vc(&self.arr, head.class, reference, hop.slot as usize);
-                    debug_assert_eq!(bclass, pclass, "reference class mismatch");
-                    if credit.can_accept(bvc, size) {
-                        let pos = self.arr.position(pclass, bvc).expect("baseline vc") as u16;
+                    // Precomputed pure (class, slot) -> (vc, pos) mapping
+                    // (see `baseline_table` in `Network::new`).
+                    let (bvc, pos) = self.baseline_table[head.class.index()][hop.slot as usize];
+                    #[cfg(debug_assertions)]
+                    {
+                        let reference: &[LinkClass] = match self.family {
+                            NetworkFamily::Dragonfly => self.cfg.routing.dragonfly_reference(),
+                            NetworkFamily::Diameter2 => {
+                                // Generic references are all-Local; slots map 1:1.
+                                &REF_GENERIC[..self.cfg.routing.generic_reference(2).len()]
+                            }
+                        };
+                        let (bclass, fresh_vc) =
+                            baseline_vc(&self.arr, head.class, reference, hop.slot as usize);
+                        debug_assert_eq!(bclass, pclass, "reference class mismatch");
+                        debug_assert_eq!(fresh_vc as u8, bvc, "stale baseline table");
+                        debug_assert_eq!(
+                            self.arr.position(pclass, fresh_vc).expect("baseline vc") as u16,
+                            pos
+                        );
+                    }
+                    if credit.can_accept(bvc as usize, size) {
                         return Some(Decision::Forward {
                             port: port as u16,
-                            vc: bvc as u8,
+                            vc: bvc,
                             pos,
                         });
                     }
                     return None;
                 }
                 VcPolicy::FlexVc => {
-                    let mut planned: [LinkClass; 8] = [LinkClass::Local; 8];
-                    let rem = head.plan.remaining();
-                    let nrem = rem.len();
-                    for (i, h) in rem.iter().enumerate() {
-                        planned[i] = h.class;
-                    }
+                    // The lookahead options are a pure function of the
+                    // arrangement, message class, buffer position, and the
+                    // plan with its cached escapes — all frozen while the
+                    // packet sits in this buffer — so a head blocked over
+                    // many allocation rounds computes them once. The cache
+                    // is cleared on every buffer entry and plan change; in
+                    // debug builds a freshly computed value cross-checks it.
                     // Exact per-hop escapes: the minimal continuation from
                     // every router along the remaining plan (needed by the
-                    // opportunistic landing lookahead).
-                    let mut esc_store: [flexvc_topology::ClassPath; 8] =
-                        [flexvc_topology::ClassPath::new(); 8];
-                    let mut cur_router = r;
-                    for (i, h) in rem.iter().enumerate() {
-                        let next = self.adj[cur_router * pp + h.port as usize]
-                            .expect("routed port wired")
-                            .0 as usize;
-                        esc_store[i] = self.topo.min_classes(next, head.dst_router as usize);
-                        cur_router = next;
-                    }
-                    let escapes: [&[LinkClass]; 8] = std::array::from_fn(|i| &esc_store[i][..]);
-                    let opts = flexvc_options_lookahead(
-                        &self.arr,
-                        head.class,
-                        head.pos(),
-                        &planned[..nrem],
-                        &escapes[..nrem],
-                    );
+                    // opportunistic landing lookahead). Thanks to the
+                    // `flex_opts` cache this runs once per (buffer, plan),
+                    // not once per allocation round.
+                    let fresh_opts = |head: &Packet| {
+                        let mut planned: [LinkClass; 8] = [LinkClass::Local; 8];
+                        let rem = head.plan.remaining();
+                        let nrem = rem.len();
+                        for (i, h) in rem.iter().enumerate() {
+                            planned[i] = h.class;
+                        }
+                        let mut esc_store: [flexvc_topology::ClassPath; 8] =
+                            [flexvc_topology::ClassPath::new(); 8];
+                        let mut cur_router = r;
+                        for (i, h) in rem.iter().enumerate() {
+                            let next = self.adj[cur_router * pp + h.port as usize]
+                                .expect("routed port wired")
+                                .0 as usize;
+                            esc_store[i] = self.topo.min_classes(next, head.dst_router as usize);
+                            cur_router = next;
+                        }
+                        let escapes: [&[LinkClass]; 8] = std::array::from_fn(|i| &esc_store[i][..]);
+                        flexvc_options_lookahead(
+                            &self.arr,
+                            head.class,
+                            head.pos(),
+                            &planned[..nrem],
+                            &escapes[..nrem],
+                        )
+                    };
+                    let opts = match head.flex_opts {
+                        Some(cached) => {
+                            debug_assert_eq!(cached, fresh_opts(head), "stale lookahead cache");
+                            cached
+                        }
+                        None => {
+                            let computed = fresh_opts(head);
+                            let router = &mut self.routers[r];
+                            let head = if is_injection {
+                                router.inj[in_idx - pp].head_mut(vc)?
+                            } else {
+                                router.inputs[in_idx].head_mut(vc)?
+                            };
+                            head.flex_opts = Some(computed);
+                            computed
+                        }
+                    };
+                    // Re-establish the read borrows dropped for the cache
+                    // write above.
+                    let router = &self.routers[r];
+                    let credit = &router.out_credit[port];
                     if let Some(opts) = opts {
                         let mut cands: [(usize, usize); 16] = [(0, 0); 16];
                         let mut nc = 0;
@@ -783,6 +1246,7 @@ impl Network {
                         // Opportunistic hop without downstream space: wait
                         // out the configured patience, then revert.
                         let patience = self.cfg.revert_patience;
+                        self.eval_mutated = true;
                         let router = &mut self.routers[r];
                         let head = if is_injection {
                             router.inj[in_idx - pp].head_mut(vc)?
@@ -801,6 +1265,7 @@ impl Network {
                         return None;
                     }
                     reverted = true;
+                    self.eval_mutated = true;
                     let plan = min_plan(&*self.topo, r, dst_r);
                     let router = &mut self.routers[r];
                     let head = if is_injection {
@@ -811,6 +1276,7 @@ impl Network {
                     head.plan = plan;
                     head.min_routed = true;
                     head.reverts += 1;
+                    head.flex_opts = None;
                     continue;
                 }
             }
@@ -853,6 +1319,7 @@ impl Network {
             head.plan = divert;
             head.min_routed = false;
             head.derouted = true;
+            head.flex_opts = None;
         }
     }
 
@@ -885,17 +1352,24 @@ impl Network {
         } else {
             now + size as u64
         };
-        router.in_busy[in_idx] = t_c;
-        router.out_xbar[port as usize] = t_c;
+        self.in_busy[r * (pp + self.pn) + in_idx] = t_c;
+        self.out_xbar[r * pp + port as usize] = t_c;
         router.out_credit[port as usize].add(out_vc as usize, size, pkt.credit_class());
-        router.out_occ[port as usize] += size;
-        router.pending.push(Pending::Input {
-            at: t_c,
-            in_idx: in_idx as u32,
-            vc: vc_in as u8,
-            phits: size,
-            class: released_class,
-        });
+        self.out_occ[r * pp + port as usize] += size;
+        self.rel_wheel.schedule(
+            now,
+            t_c,
+            (
+                r as u32,
+                Pending::Input {
+                    at: t_c,
+                    in_idx: in_idx as u32,
+                    vc: vc_in as u8,
+                    phits: size,
+                    class: released_class,
+                },
+            ),
+        );
         pkt.position = Some(pos);
         pkt.plan.advance();
         pkt.hops += 1;
@@ -908,14 +1382,35 @@ impl Network {
         if in_idx < pp {
             if let Some((ur, up)) = self.adj[r * pp + in_idx] {
                 let lat = self.latency_of(self.port_class[in_idx]);
-                self.links[ur as usize * pp + up as usize].send_credit(
-                    t_c,
-                    lat,
-                    vc_in as u8,
-                    size,
-                    released_class,
-                );
+                let up_lid = ur as usize * pp + up as usize;
+                self.links[up_lid].send_credit(t_c, lat, vc_in as u8, size, released_class);
+                self.cred_wheel
+                    .schedule(now, t_c + lat as u64, up_lid as u32);
             }
+        }
+        self.queued[r] -= 1;
+        {
+            let router = &self.routers[r];
+            let bank = if in_idx < pp {
+                &router.inputs[in_idx]
+            } else {
+                &router.inj[in_idx - pp]
+            };
+            if vc_in < 16 && bank.vc_len(vc_in) == 0 {
+                self.vc_mask[r * (pp + self.pn) + in_idx] &= !(1 << vc_in);
+            }
+            if bank.queued_packets() == 0 && in_idx < 64 {
+                self.in_mask[r] &= !(1 << in_idx);
+            }
+        }
+        if in_idx >= pp {
+            // The next injection-queue packet (if any) becomes an
+            // unplanned head.
+            mark(&mut self.plan_list, &mut self.plan_in, r);
+        }
+        mark(&mut self.out_list, &mut self.out_in, r * pp + port as usize);
+        if !self.boards.is_empty() && self.port_class[port as usize] == LinkClass::Global {
+            mark(&mut self.sense_list, &mut self.sense_in, r);
         }
         self.last_progress = now;
     }
@@ -932,26 +1427,48 @@ impl Network {
         let released_class = pkt.buffered_class;
         let done = now + size as u64; // 1 phit/cycle consumption
         let t_c = done.max(pkt.tail_arrival + 1);
-        router.in_busy[in_idx] = t_c;
-        router.eject_busy[channel] = t_c;
-        router.pending.push(Pending::Input {
-            at: t_c,
-            in_idx: in_idx as u32,
-            vc: vc_in as u8,
-            phits: size,
-            class: released_class,
-        });
+        self.in_busy[r * (pp + self.pn) + in_idx] = t_c;
+        self.eject_busy[r * self.pn * 2 + channel] = t_c;
+        self.rel_wheel.schedule(
+            now,
+            t_c,
+            (
+                r as u32,
+                Pending::Input {
+                    at: t_c,
+                    in_idx: in_idx as u32,
+                    vc: vc_in as u8,
+                    phits: size,
+                    class: released_class,
+                },
+            ),
+        );
         if in_idx < pp {
             if let Some((ur, up)) = self.adj[r * pp + in_idx] {
                 let lat = self.latency_of(self.port_class[in_idx]);
-                self.links[ur as usize * pp + up as usize].send_credit(
-                    t_c,
-                    lat,
-                    vc_in as u8,
-                    size,
-                    released_class,
-                );
+                let up_lid = ur as usize * pp + up as usize;
+                self.links[up_lid].send_credit(t_c, lat, vc_in as u8, size, released_class);
+                self.cred_wheel
+                    .schedule(now, t_c + lat as u64, up_lid as u32);
             }
+        }
+        self.queued[r] -= 1;
+        {
+            let router = &self.routers[r];
+            let bank = if in_idx < pp {
+                &router.inputs[in_idx]
+            } else {
+                &router.inj[in_idx - pp]
+            };
+            if vc_in < 16 && bank.vc_len(vc_in) == 0 {
+                self.vc_mask[r * (pp + self.pn) + in_idx] &= !(1 << vc_in);
+            }
+            if bank.queued_packets() == 0 && in_idx < 64 {
+                self.in_mask[r] &= !(1 << in_idx);
+            }
+        }
+        if in_idx >= pp {
+            mark(&mut self.plan_list, &mut self.plan_in, r);
         }
         self.in_flight -= 1;
         self.last_progress = now;
@@ -978,30 +1495,48 @@ impl Network {
 
     fn serialize_outputs(&mut self, now: u64) {
         let pp = self.pp;
-        for r in 0..self.routers.len() {
-            for port in 0..pp {
-                let lid = r * pp + port;
-                if !self.links[lid].is_free(now) {
-                    continue;
-                }
-                let lat = self.latency_of(self.port_class[port]);
-                let router = &mut self.routers[r];
-                let Some(front) = router.out_queue[port].front() else {
-                    continue;
-                };
-                if front.ready_at > now {
-                    continue;
-                }
-                let out = router.out_queue[port].pop_front().expect("front exists");
-                let size = out.pkt.size;
-                self.links[lid].transmit(now, lat, out.vc, out.pkt);
-                router.pending.push(Pending::OutBuf {
-                    at: now + size as u64,
-                    port: port as u16,
-                    phits: size,
-                });
+        // Only output ports with queued packets can start a serialization;
+        // drained ports are dropped from the worklist lazily.
+        let mut list = std::mem::take(&mut self.out_list);
+        let mut li = 0;
+        while li < list.len() {
+            let lid = list[li] as usize;
+            let (r, port) = (lid / pp, lid % pp);
+            if self.routers[r].out_queue[port].is_empty() {
+                self.out_in[lid] = false;
+                list.swap_remove(li);
+                continue;
             }
+            li += 1;
+            if !self.links[lid].is_free(now) {
+                continue;
+            }
+            let lat = self.latency_of(self.port_class[port]);
+            let router = &mut self.routers[r];
+            let front = router.out_queue[port].front().expect("non-empty checked");
+            if front.ready_at > now {
+                continue;
+            }
+            let out = router.out_queue[port].pop_front().expect("front exists");
+            let size = out.pkt.size;
+            self.links[lid].transmit(now, lat, out.vc, out.pkt);
+            self.pkt_wheel.schedule(now, now + lat as u64, lid as u32);
+            self.rel_wheel.schedule(
+                now,
+                now + size as u64,
+                (
+                    r as u32,
+                    Pending::OutBuf {
+                        at: now + size as u64,
+                        port: port as u16,
+                        phits: size,
+                    },
+                ),
+            );
+            // Phits starting to move on a link count as progress.
+            self.last_progress = now;
         }
+        self.out_list = list;
     }
 
     // ------------------------------------------------------------------
@@ -1017,45 +1552,54 @@ impl Network {
         } else {
             &[MessageClass::Request]
         };
-        for r in 0..self.routers.len() {
+        // Saturation flags are a pure function of global-port credit state:
+        // only routers whose state changed since their last publish can
+        // produce different flags, and republishing unchanged flags is a
+        // no-op on the double-buffered board. The worklist is marked on
+        // every global-port credit add/remove.
+        let mut list = std::mem::take(&mut self.sense_list);
+        let mut occs = std::mem::take(&mut self.occ_scratch);
+        let mut flags = std::mem::take(&mut self.flag_scratch);
+        for &r32 in &list {
+            let r = r32 as usize;
+            self.sense_in[r] = false;
             let group = self.topo.group_of_router(r);
             let local = r - group * rpg;
             for &class in classes {
-                let occs: Vec<u32> = self
-                    .global_ports
-                    .iter()
-                    .map(|&gp| {
-                        let credit = &self.routers[r].out_credit[gp];
-                        match self.cfg.sensing.mode {
-                            SensingMode::PerPort => {
-                                if min_cred {
-                                    credit.split_total().min_occupancy()
-                                } else {
-                                    credit.total()
-                                }
-                            }
-                            SensingMode::PerVc => {
-                                let vc = match class {
-                                    MessageClass::Request => 0,
-                                    MessageClass::Reply => {
-                                        self.arr.vc_count_request(LinkClass::Global)
-                                    }
-                                };
-                                if min_cred {
-                                    credit.split(vc).min_occupancy()
-                                } else {
-                                    credit.occupancy(vc)
-                                }
+                occs.clear();
+                occs.extend(self.global_ports.iter().map(|&gp| {
+                    let credit = &self.routers[r].out_credit[gp];
+                    match self.cfg.sensing.mode {
+                        SensingMode::PerPort => {
+                            if min_cred {
+                                credit.split_total().min_occupancy()
+                            } else {
+                                credit.total()
                             }
                         }
-                    })
-                    .collect();
-                let flags = saturated_flags(&occs, t_phits);
+                        SensingMode::PerVc => {
+                            let vc = match class {
+                                MessageClass::Request => 0,
+                                MessageClass::Reply => self.arr.vc_count_request(LinkClass::Global),
+                            };
+                            if min_cred {
+                                credit.split(vc).min_occupancy()
+                            } else {
+                                credit.occupancy(vc)
+                            }
+                        }
+                    }
+                }));
+                saturated_flags_into(&occs, t_phits, &mut flags);
                 for (i, &sat) in flags.iter().enumerate() {
                     self.boards[group].publish(local, i, class, sat);
                 }
             }
         }
+        list.clear();
+        self.sense_list = list;
+        self.occ_scratch = occs;
+        self.flag_scratch = flags;
         for b in &mut self.boards {
             b.tick(now);
         }

@@ -1,0 +1,157 @@
+//! Fixed engine-equivalence smoke points.
+//!
+//! A small, mechanism-covering set of `(config, load, seed)` points used to
+//! prove that engine refactors are behavior-preserving: the integration
+//! test `tests/engine_equivalence.rs` runs them and asserts bit-identical
+//! [`SimResult`](crate::SimResult)s against metric snapshots recorded from
+//! the pre-refactor (full-sweep) engine. The points deliberately cross
+//! every engine path: baseline and FlexVC policies (safe and opportunistic
+//! hops with reversion), oblivious and reactive workloads, DAMQ buffers
+//! including the Fig. 10 deadlock, Piggyback sensing with minCred, and PAR
+//! in-transit diverts.
+//!
+//! Keep this list stable: changing a point invalidates its recorded
+//! snapshot.
+
+use crate::config::{BufferOrg, SensingMode, SimConfig};
+use flexvc_core::{Arrangement, RoutingMode};
+use flexvc_traffic::{Pattern, Workload};
+
+/// One equivalence point: `(name, config, load, seed)`.
+pub type EquivalencePoint = (String, SimConfig, f64, u64);
+
+fn smoke(mut cfg: SimConfig) -> SimConfig {
+    cfg.warmup = 1_500;
+    cfg.measure = 3_000;
+    cfg.watchdog = 8_000;
+    cfg
+}
+
+/// The fixed point set (h = 2 scale, short windows; deterministic seeds).
+pub fn points() -> Vec<EquivalencePoint> {
+    let oblivious = |routing, pattern| {
+        smoke(SimConfig::dragonfly_baseline(
+            2,
+            routing,
+            Workload::oblivious(pattern),
+        ))
+    };
+    let reactive = |routing, pattern| {
+        smoke(SimConfig::dragonfly_baseline(
+            2,
+            routing,
+            Workload::reactive(pattern),
+        ))
+    };
+
+    let mut points: Vec<EquivalencePoint> = Vec::new();
+    let mut add = |name: &str, cfg: SimConfig, load: f64, seed: u64| {
+        points.push((name.to_string(), cfg, load, seed));
+    };
+
+    // Fig. 5 family: oblivious routing, baseline vs FlexVC.
+    add(
+        "fig5_un_min_baseline",
+        oblivious(RoutingMode::Min, Pattern::Uniform),
+        0.45,
+        11,
+    );
+    add(
+        "fig5_un_min_flexvc42",
+        oblivious(RoutingMode::Min, Pattern::Uniform).with_flexvc(Arrangement::dragonfly(4, 2)),
+        0.65,
+        12,
+    );
+    add(
+        "fig5_adv_val_baseline",
+        oblivious(RoutingMode::Valiant, Pattern::adv1()),
+        0.5,
+        13,
+    );
+    // Opportunistic VAL at saturation: exercises patience + reversion.
+    add(
+        "fig5_un_val_flexvc32_sat",
+        oblivious(RoutingMode::Valiant, Pattern::Uniform).with_flexvc(Arrangement::dragonfly(3, 2)),
+        0.9,
+        3,
+    );
+    add(
+        "fig5_bursty_min_flexvc42",
+        oblivious(RoutingMode::Min, Pattern::bursty()).with_flexvc(Arrangement::dragonfly(4, 2)),
+        0.5,
+        6,
+    );
+
+    // Fig. 7 family: request-reply coupling, split arrangements.
+    add(
+        "fig7_rr_min_baseline",
+        reactive(RoutingMode::Min, Pattern::Uniform),
+        0.35,
+        7,
+    );
+    add(
+        "fig7_rr_min_flexvc_5_3",
+        reactive(RoutingMode::Min, Pattern::Uniform)
+            .with_flexvc(Arrangement::dragonfly_rr((3, 2), (2, 1))),
+        0.5,
+        5,
+    );
+
+    // Fig. 10 family: DAMQ organizations, including the genuine deadlock.
+    let mut damq0 = oblivious(RoutingMode::Min, Pattern::Uniform);
+    damq0.buffers.organization = BufferOrg::Damq {
+        private_fraction: 0.0,
+    };
+    damq0.warmup = 2_000;
+    damq0.measure = 20_000;
+    damq0.watchdog = 4_000;
+    add("fig10_damq0_deadlock", damq0, 1.0, 1);
+    add(
+        "fig10_damq75",
+        oblivious(RoutingMode::Min, Pattern::Uniform).with_damq75(),
+        0.85,
+        2,
+    );
+
+    // Fig. 8 family: Piggyback sensing (per-VC, minCred) on FlexVC.
+    let mut pb = reactive(RoutingMode::Piggyback, Pattern::Uniform)
+        .with_flexvc(Arrangement::dragonfly_rr((4, 2), (2, 1)));
+    pb.sensing.mode = SensingMode::PerVc;
+    pb.sensing.min_cred = true;
+    add("fig8_pb_flexvc_mincred", pb, 0.5, 9);
+
+    // PAR: in-transit divert evaluation.
+    add(
+        "par_adv_baseline",
+        oblivious(RoutingMode::Par, Pattern::adv1()),
+        0.4,
+        4,
+    );
+
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_points_validate() {
+        let pts = points();
+        assert!(pts.len() >= 10);
+        for (name, cfg, load, _) in &pts {
+            cfg.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!((0.0..=1.0).contains(load), "{name}");
+        }
+    }
+
+    #[test]
+    fn point_names_are_unique() {
+        let pts = points();
+        for (i, (a, ..)) in pts.iter().enumerate() {
+            for (b, ..) in &pts[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

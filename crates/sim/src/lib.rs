@@ -35,6 +35,7 @@ pub mod builder;
 pub mod cdg;
 pub mod config;
 pub mod engine;
+pub mod equivalence;
 pub mod error;
 pub mod link;
 pub mod metrics;

@@ -47,6 +47,16 @@ pub struct LinkState {
 }
 
 impl LinkState {
+    /// A link with both rings preallocated for the expected in-flight
+    /// population (≈ latency / packet serialization time), so steady-state
+    /// traffic never grows them.
+    pub fn with_capacity(in_flight: usize) -> Self {
+        LinkState {
+            packets: VecDeque::with_capacity(in_flight),
+            credits: VecDeque::with_capacity(in_flight),
+            busy_until: 0,
+        }
+    }
     /// Begin transmitting `packet` at cycle `now` toward input VC `vc`
     /// downstream. Returns the tail-arrival cycle.
     pub fn transmit(&mut self, now: u64, latency: u32, vc: u8, packet: Packet) -> u64 {
@@ -89,15 +99,17 @@ impl LinkState {
             phits,
             class,
         };
-        // Departures are scheduled in non-decreasing order except for
-        // simultaneous grants in one allocation round; keep the queue sorted
-        // by arrival with a cheap insertion from the back.
-        let at = self
-            .credits
-            .iter()
-            .rposition(|c| c.arrival <= msg.arrival)
-            .map_or(0, |i| i + 1);
-        self.credits.insert(at, msg);
+        // Credit departures on one link are strictly monotonic: they all
+        // originate from the single downstream input port feeding this
+        // link, whose `in_busy` serialization guarantees each transfer
+        // completes (and thus departs its credit) after the previous one.
+        // A plain back-push therefore keeps the queue arrival-sorted — no
+        // O(n) sorted insert needed.
+        debug_assert!(
+            self.credits.back().is_none_or(|c| c.arrival <= msg.arrival),
+            "credit departures must be monotonic per link"
+        );
+        self.credits.push_back(msg);
     }
 
     /// Pop the next credit arrived by `now`.
@@ -139,6 +151,7 @@ mod tests {
             buffered_class: CreditClass::MinRouted,
             planned: true,
             par_evaluated: false,
+            flex_opts: None,
             opp_blocked: 0,
             hops: 0,
             reverts: 0,
@@ -172,13 +185,30 @@ mod tests {
     }
 
     #[test]
-    fn credits_sorted_by_arrival() {
+    fn credits_pop_in_arrival_order() {
         let mut link = LinkState::default();
-        link.send_credit(20, 10, 1, 8, CreditClass::MinRouted);
         link.send_credit(5, 10, 0, 8, CreditClass::NonMinRouted);
+        link.send_credit(20, 10, 1, 8, CreditClass::MinRouted);
+        assert!(link.pop_credit(14).is_none());
         assert_eq!(link.pop_credit(15).unwrap().vc, 0);
         assert!(link.pop_credit(29).is_none());
         assert_eq!(link.pop_credit(30).unwrap().vc, 1);
         assert!(link.pop_credit(100).is_none());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "monotonic")]
+    fn out_of_order_credit_departure_is_a_bug() {
+        let mut link = LinkState::default();
+        link.send_credit(20, 10, 1, 8, CreditClass::MinRouted);
+        link.send_credit(5, 10, 0, 8, CreditClass::NonMinRouted);
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let link = LinkState::with_capacity(16);
+        assert!(link.packets.capacity() >= 16);
+        assert!(link.credits.capacity() >= 16);
     }
 }

@@ -23,20 +23,35 @@ impl LatencyHistogram {
         self.count
     }
 
-    /// Approximate quantile (upper bound of the bucket containing it).
+    /// Raw bucket counts (bucket `i` covers `[2^i, 2^(i+1))`; bucket 0 also
+    /// absorbs latency 0).
+    pub fn buckets(&self) -> &[u64; 21] {
+        &self.buckets
+    }
+
+    /// Rebuild from serialized bucket counts.
+    pub fn from_buckets(buckets: [u64; 21]) -> Self {
+        let count = buckets.iter().sum();
+        LatencyHistogram { buckets, count }
+    }
+
+    /// Approximate quantile: the *lower* bound of the bucket containing the
+    /// `q`-th sample. The target rank is clamped to `[1, count]` so `q = 0`
+    /// resolves to the first non-empty bucket (not an arbitrary constant)
+    /// and `q = 1` to the last.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return 1u64 << (i + 1);
+                return 1u64 << i;
             }
         }
-        1u64 << 21
+        1u64 << 20
     }
 
     /// Merge another histogram.
@@ -167,6 +182,10 @@ pub struct SimResult {
     pub local_vc_occupancy: Vec<f64>,
     /// Mean per-VC occupancy of global input ports (phits).
     pub global_vc_occupancy: Vec<f64>,
+    /// Latency histogram of the run. Kept on the result so multi-seed
+    /// averages can merge distributions and re-derive quantiles (means of
+    /// per-seed quantiles are not quantiles).
+    pub latency_hist: LatencyHistogram,
 }
 
 impl SimResult {
@@ -217,25 +236,41 @@ impl SimResult {
             latency_p99: m.latency_hist.quantile(0.99) as f64,
             local_vc_occupancy: m.vc_profile.means(flexvc_core::LinkClass::Local),
             global_vc_occupancy: m.vc_profile.means(flexvc_core::LinkClass::Global),
+            latency_hist: m.latency_hist.clone(),
         }
     }
 
     /// Average several runs (different seeds) into one result.
+    ///
+    /// Occupancy vectors are reconciled by index: seeds whose vector is
+    /// shorter (e.g. a run that deadlocked before the first occupancy
+    /// sample) simply don't contribute to the missing indices instead of
+    /// panicking. The p99 is re-derived from the merged latency histograms;
+    /// only when no run carries histogram data (results deserialized from
+    /// an old file) does it fall back to the arithmetic mean of per-seed
+    /// quantiles.
     pub fn average(results: &[SimResult]) -> SimResult {
         assert!(!results.is_empty());
         let n = results.len() as f64;
         let mut out = SimResult::default();
         let vec_avg = |get: fn(&SimResult) -> &Vec<f64>| -> Vec<f64> {
-            let len = get(&results[0]).len();
+            let len = results.iter().map(|r| get(r).len()).max().unwrap_or(0);
             (0..len)
-                .map(|i| results.iter().map(|r| get(r)[i]).sum::<f64>() / n)
+                .map(|i| {
+                    let present: Vec<f64> = results
+                        .iter()
+                        .filter_map(|r| get(r).get(i).copied())
+                        .collect();
+                    present.iter().sum::<f64>() / present.len().max(1) as f64
+                })
                 .collect()
         };
         out.local_vc_occupancy = vec_avg(|r| &r.local_vc_occupancy);
         out.global_vc_occupancy = vec_avg(|r| &r.global_vc_occupancy);
+        let mut p99_mean = 0.0;
         for r in results {
             out.offered += r.offered / n;
-            out.latency_p99 += r.latency_p99 / n;
+            p99_mean += r.latency_p99 / n;
             out.accepted += r.accepted / n;
             out.latency += r.latency / n;
             out.latency_req += r.latency_req / n;
@@ -245,7 +280,13 @@ impl SimResult {
             out.reverts_per_packet += r.reverts_per_packet / n;
             out.drop_fraction += r.drop_fraction / n;
             out.deadlocked |= r.deadlocked;
+            out.latency_hist.merge(&r.latency_hist);
         }
+        out.latency_p99 = if out.latency_hist.count() > 0 {
+            out.latency_hist.quantile(0.99) as f64
+        } else {
+            p99_mean
+        };
         out
     }
 }
@@ -307,20 +348,148 @@ mod tests {
     }
 
     #[test]
+    fn averaging_reconciles_unequal_occupancy_vectors() {
+        // Regression: vec_avg used to take the length from results[0] and
+        // index the rest, panicking when a seed produced a shorter vector
+        // (e.g. a deadlock before the first occupancy sample).
+        let a = SimResult {
+            local_vc_occupancy: vec![2.0, 4.0],
+            ..Default::default()
+        };
+        let b = SimResult {
+            local_vc_occupancy: vec![],
+            deadlocked: true,
+            ..Default::default()
+        };
+        let c = SimResult {
+            local_vc_occupancy: vec![4.0, 8.0, 6.0],
+            ..Default::default()
+        };
+        let avg = SimResult::average(&[a, b, c]);
+        assert_eq!(avg.local_vc_occupancy, vec![3.0, 6.0, 6.0]);
+        // Order must not matter either (results[0] being the short one was
+        // the original panic).
+        let b2 = SimResult {
+            local_vc_occupancy: vec![],
+            deadlocked: true,
+            ..Default::default()
+        };
+        let a2 = SimResult {
+            local_vc_occupancy: vec![2.0, 4.0],
+            ..Default::default()
+        };
+        let avg2 = SimResult::average(&[b2, a2]);
+        assert_eq!(avg2.local_vc_occupancy, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn averaging_merges_histograms_for_p99() {
+        // Two seeds with very different tails: the averaged p99 must come
+        // from the merged distribution, not the mean of the per-seed p99s.
+        let mut m1 = Metrics::default();
+        for _ in 0..99 {
+            m1.consume(MessageClass::Request, 8, 100, 3, true, 0);
+        }
+        let mut m2 = Metrics::default();
+        for _ in 0..99 {
+            m2.consume(MessageClass::Request, 8, 100, 3, true, 0);
+        }
+        m2.consume(MessageClass::Request, 8, 100_000, 3, true, 0);
+        let r1 = SimResult::from_metrics(&m1, 0.5, 16);
+        let r2 = SimResult::from_metrics(&m2, 0.5, 16);
+        let avg = SimResult::average(&[r1.clone(), r2.clone()]);
+        // Merged: 199 samples, rank ceil(0.99*199)=198 is still in the
+        // [64,128) bucket -> 64. The mean of per-seed p99s would be
+        // (64 + 65536) / 2 = 32800, wildly wrong.
+        assert_eq!(avg.latency_p99, 64.0);
+        assert_eq!(avg.latency_hist.count(), 199);
+        // Results without histogram data (old serialized files) fall back
+        // to the arithmetic mean.
+        let bare1 = SimResult {
+            latency_p99: 100.0,
+            ..Default::default()
+        };
+        let bare2 = SimResult {
+            latency_p99: 300.0,
+            ..Default::default()
+        };
+        let bare_avg = SimResult::average(&[bare1, bare2]);
+        assert!((bare_avg.latency_p99 - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn histogram_quantiles() {
         let mut h = LatencyHistogram::default();
         for lat in [100u64, 110, 120, 130, 2000] {
             h.record(lat);
         }
         assert_eq!(h.count(), 5);
-        // 3/5 of samples are in [64,128); p50 upper bound = 128.
-        assert_eq!(h.quantile(0.5), 128);
-        assert!(h.quantile(0.99) >= 2048);
+        // 3/5 of samples are in [64,128); p50 bucket lower bound = 64.
+        assert_eq!(h.quantile(0.5), 64);
+        // 2000 lands in [1024,2048).
+        assert_eq!(h.quantile(0.99), 1024);
         let mut h2 = LatencyHistogram::default();
         h2.record(100);
         h2.merge(&h);
         assert_eq!(h2.count(), 6);
         assert_eq!(LatencyHistogram::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_extremes_do_not_degenerate() {
+        // Regression: q=0 used to produce target rank 0, which the first
+        // (possibly empty) bucket trivially satisfied, returning the
+        // constant 2 regardless of data.
+        let mut h = LatencyHistogram::default();
+        for lat in [100u64, 110, 120, 130, 2000] {
+            h.record(lat);
+        }
+        assert_eq!(h.quantile(0.0), 64, "q=0 is the first non-empty bucket");
+        assert_eq!(h.quantile(1.0), 1024, "q=1 is the last non-empty bucket");
+        // Out-of-range q is clamped, not wrapped.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_single_sample() {
+        let mut h = LatencyHistogram::default();
+        h.record(150); // bucket [128, 256)
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 128, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_all_same_latency() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..1000 {
+            h.record(300); // bucket [256, 512)
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 256, "q={q}");
+        }
+        // The estimate must never exceed the true latency by more than the
+        // bucket width (the old upper-bound convention biased p99 2x high).
+        assert!(h.quantile(0.99) <= 300);
+    }
+
+    #[test]
+    fn quantile_zero_latency_sample() {
+        let mut h = LatencyHistogram::default();
+        h.record(0); // clamped into bucket 0 = [1, 2)
+        assert_eq!(h.quantile(0.5), 1);
+    }
+
+    #[test]
+    fn histogram_bucket_roundtrip() {
+        let mut h = LatencyHistogram::default();
+        for lat in [1u64, 5, 1000, u64::MAX] {
+            h.record(lat);
+        }
+        let back = LatencyHistogram::from_buckets(*h.buckets());
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.buckets(), h.buckets());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Packets and planned paths.
 
-use flexvc_core::{CreditClass, MessageClass};
+use flexvc_core::{CreditClass, HopVcs, MessageClass};
 use flexvc_topology::{Route, RouteHop};
 
 /// Maximum hops of any plan (the PAR reference path has 7).
@@ -122,6 +122,14 @@ pub struct Packet {
     pub planned: bool,
     /// PAR: the in-transit divert decision was already evaluated.
     pub par_evaluated: bool,
+    /// Cached FlexVC lookahead options for the packet's current
+    /// (buffer, plan) state. The options are a pure function of the
+    /// arrangement, message class, buffer position, and the (fixed) plan
+    /// with its escapes, so a head blocked across many allocation rounds
+    /// reuses them instead of re-running the lookahead embedding. `None`
+    /// means "not computed"; the cache is cleared whenever the packet
+    /// enters a new buffer or its plan is replaced.
+    pub flex_opts: Option<Option<HopVcs>>,
     /// Consecutive allocation evaluations this head has been blocked on an
     /// opportunistic hop (reversion triggers past the configured patience).
     pub opp_blocked: u32,
@@ -217,6 +225,7 @@ mod tests {
             buffered_class: CreditClass::MinRouted,
             planned: true,
             par_evaluated: false,
+            flex_opts: None,
             opp_blocked: 0,
             hops: 0,
             reverts: 0,

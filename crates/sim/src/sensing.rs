@@ -73,13 +73,23 @@ impl GroupBoard {
 /// Saturation rule: occupancy exceeds the average of the router's global
 /// ports by 50% *and* at least `floor_phits` (the `T`-packet floor).
 pub fn saturated_flags(occ: &[u32], floor_phits: u32) -> Vec<bool> {
+    let mut out = Vec::new();
+    saturated_flags_into(occ, floor_phits, &mut out);
+    out
+}
+
+/// [`saturated_flags`] writing into a caller-provided buffer (cleared
+/// first), so the per-cycle sensing hot path allocates nothing.
+pub fn saturated_flags_into(occ: &[u32], floor_phits: u32, out: &mut Vec<bool>) {
+    out.clear();
     if occ.is_empty() {
-        return Vec::new();
+        return;
     }
     let avg = occ.iter().map(|&o| o as f64).sum::<f64>() / occ.len() as f64;
-    occ.iter()
-        .map(|&o| (o as f64) > 1.5 * avg && o >= floor_phits.max(1))
-        .collect()
+    out.extend(
+        occ.iter()
+            .map(|&o| (o as f64) > 1.5 * avg && o >= floor_phits.max(1)),
+    );
 }
 
 /// UGAL/PB injection decision: take the Valiant path?

@@ -9,7 +9,7 @@
 use crate::config::{
     BufferConfig, BufferOrg, BufferSizing, SensingConfig, SensingMode, SimConfig, TopologySpec,
 };
-use crate::metrics::SimResult;
+use crate::metrics::{LatencyHistogram, SimResult};
 use flexvc_serde::{Deserialize, Error, Map, Serialize, Value};
 use flexvc_topology::GlobalArrangement;
 
@@ -309,7 +309,11 @@ impl Serialize for SimResult {
                 .with("deadlocked", self.deadlocked.to_value())
                 .with("latency_p99", self.latency_p99.to_value())
                 .with("local_vc_occupancy", self.local_vc_occupancy.to_value())
-                .with("global_vc_occupancy", self.global_vc_occupancy.to_value()),
+                .with("global_vc_occupancy", self.global_vc_occupancy.to_value())
+                .with(
+                    "latency_buckets",
+                    self.latency_hist.buckets().to_vec().to_value(),
+                ),
         )
     }
 }
@@ -331,6 +335,14 @@ impl Deserialize for SimResult {
             latency_p99: m.field_or("latency_p99", 0.0)?,
             local_vc_occupancy: m.field_or("local_vc_occupancy", Vec::new())?,
             global_vc_occupancy: m.field_or("global_vc_occupancy", Vec::new())?,
+            latency_hist: {
+                let buckets: Vec<u64> = m.field_or("latency_buckets", Vec::new())?;
+                let mut fixed = [0u64; 21];
+                for (slot, b) in fixed.iter_mut().zip(&buckets) {
+                    *slot = *b;
+                }
+                LatencyHistogram::from_buckets(fixed)
+            },
         })
     }
 }
@@ -406,6 +418,9 @@ pattern = "adv+1"
 
     #[test]
     fn result_round_trips() {
+        let mut hist = LatencyHistogram::default();
+        hist.record(100);
+        hist.record(3000);
         let r = SimResult {
             offered: 0.5,
             accepted: 0.42,
@@ -413,10 +428,13 @@ pattern = "adv+1"
             latency_p99: 2048.0,
             local_vc_occupancy: vec![1.5, 0.25],
             deadlocked: true,
+            latency_hist: hist,
             ..Default::default()
         };
         let back: SimResult = from_json(&to_json(&r)).unwrap();
         assert_eq!(to_json(&back), to_json(&r));
+        assert_eq!(back.latency_hist.count(), 2);
+        assert_eq!(back.latency_hist.buckets(), r.latency_hist.buckets());
     }
 
     #[test]

@@ -178,6 +178,59 @@ fn static_buffers_never_deadlock_at_saturation() {
 }
 
 #[test]
+fn watchdog_tolerates_saturated_but_draining_network() {
+    // Regression guard for the watchdog false-positive fix: a saturated
+    // ADV+1 network under MIN is extremely congested (every group funnels
+    // into one global link) but alive — grants can be spaced by long
+    // credit round trips (~2 x (100 + 10) cycles). Since credit returns
+    // and link serialization now count as forward progress, a watchdog of
+    // a few credit RTTs must not flag this as a deadlock.
+    let mut cfg = base(RoutingMode::Min, Pattern::adv1());
+    cfg.warmup = 2_000;
+    cfg.measure = 6_000;
+    cfg.watchdog = 500;
+    let r = run_one(&cfg, 1.0, 1).unwrap();
+    assert!(
+        !r.deadlocked,
+        "saturated-but-draining network misflagged as deadlocked"
+    );
+    assert!(
+        r.accepted > 0.05,
+        "network must keep draining, accepted {}",
+        r.accepted
+    );
+    // The genuine-deadlock counterpart lives in
+    // `damq_without_reservation_deadlocks_at_saturation`: when nothing
+    // moves at all (no grants, no credits), the watchdog must still fire.
+}
+
+#[test]
+fn credit_returns_count_as_progress() {
+    // Direct probe of the fix: while packets are in flight, returning
+    // credits alone must refresh `last_progress` even on cycles without
+    // any grant or consumption.
+    let mut cfg = base(RoutingMode::Min, Pattern::Uniform);
+    cfg.warmup = 0;
+    cfg.measure = u64::MAX / 2;
+    cfg.watchdog = u64::MAX / 2;
+    let mut net = Network::new(cfg, 0.4, 3).unwrap();
+    for _ in 0..2_000 {
+        net.step();
+    }
+    // In a warmed 0.4-load network some progress source fires essentially
+    // every cycle; the gap must stay far below one credit round trip.
+    let mut max_gap = 0;
+    for _ in 0..2_000 {
+        net.step();
+        max_gap = max_gap.max(net.cycle().saturating_sub(net.last_progress()));
+    }
+    assert!(
+        max_gap < 110,
+        "progress gaps of {max_gap} cycles in a busy network suggest a progress source went missing"
+    );
+}
+
+#[test]
 fn bursty_traffic_flows() {
     let cfg = base(RoutingMode::Min, Pattern::bursty());
     let r = run_one(&cfg, 0.3, 1).unwrap();

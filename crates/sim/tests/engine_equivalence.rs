@@ -1,0 +1,306 @@
+//! Engine-equivalence harness: the active-set engine must be *bit-identical*
+//! to the original full-sweep engine.
+//!
+//! The snapshots below were recorded by running the fixed point set of
+//! [`flexvc_sim::equivalence`] on the pre-refactor engine (per-cycle full
+//! sweeps over every router x port x VC) immediately before the active-set
+//! rewrite, with the latency-statistics fixes already applied. Every field
+//! of every [`SimResult`] is asserted with exact `f64` equality: the
+//! refactor may only change *how* work is found, never *what* happens, so
+//! any drift in arbitration order, RNG draws, or credit timing shows up
+//! here as a failure.
+//!
+//! If a point legitimately changes (e.g. a new feature alters semantics on
+//! purpose), re-record by printing the fields of `run_one` on the old
+//! engine - never by copying the new engine's output untested.
+
+use flexvc_sim::equivalence::points;
+use flexvc_sim::runner::run_one;
+
+struct Golden {
+    name: &'static str,
+    accepted: f64,
+    latency: f64,
+    latency_req: f64,
+    latency_rep: f64,
+    misroute_fraction: f64,
+    avg_hops: f64,
+    reverts_per_packet: f64,
+    drop_fraction: f64,
+    deadlocked: bool,
+    latency_p99: f64,
+    hist_count: u64,
+    local_vc_occupancy: &'static [f64],
+    global_vc_occupancy: &'static [f64],
+}
+
+const GOLDENS: &[Golden] = &[
+    Golden {
+        name: "fig5_un_min_baseline",
+        accepted: 0.4461851851851852,
+        latency: 138.5055200464846,
+        latency_req: 138.5055200464846,
+        latency_rep: 0.0,
+        misroute_fraction: 0.0,
+        avg_hops: 2.3352701917489833,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.0,
+        deadlocked: false,
+        latency_p99: 128.0,
+        hist_count: 12047,
+        local_vc_occupancy: &[2.0771604938271606, 2.2222222222222223],
+        global_vc_occupancy: &[4.3842592592592595],
+    },
+    Golden {
+        name: "fig5_un_min_flexvc42",
+        accepted: 0.6437407407407407,
+        latency: 160.31494160289972,
+        latency_req: 160.31494160289972,
+        latency_rep: 0.0,
+        misroute_fraction: 0.0,
+        avg_hops: 2.3399689315919683,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.0,
+        deadlocked: false,
+        latency_p99: 256.0,
+        hist_count: 17381,
+        local_vc_occupancy: &[
+            1.287037037037037,
+            1.6944444444444444,
+            2.4814814814814814,
+            2.234567901234568,
+        ],
+        global_vc_occupancy: &[5.523148148148148, 5.050925925925926],
+    },
+    Golden {
+        name: "fig5_adv_val_baseline",
+        accepted: 0.4579259259259259,
+        latency: 557.6700097055968,
+        latency_req: 557.6700097055968,
+        latency_rep: 0.0,
+        misroute_fraction: 1.0,
+        avg_hops: 4.606357165965707,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.0015579790785666592,
+        deadlocked: false,
+        latency_p99: 1024.0,
+        hist_count: 12364,
+        local_vc_occupancy: &[
+            6.734567901234568,
+            5.598765432098766,
+            4.114197530864198,
+            2.3333333333333335,
+        ],
+        global_vc_occupancy: &[52.64351851851852, 20.88888888888889],
+    },
+    Golden {
+        name: "fig5_un_val_flexvc32_sat",
+        accepted: 0.6823703703703704,
+        latency: 891.4257490230135,
+        latency_req: 891.4257490230135,
+        latency_rep: 0.0,
+        misroute_fraction: 0.9873534520191055,
+        avg_hops: 3.159248805905341,
+        reverts_per_packet: 0.4355731654363873,
+        drop_fraction: 0.08739703459637561,
+        deadlocked: false,
+        latency_p99: 1024.0,
+        hist_count: 18424,
+        local_vc_occupancy: &[9.382716049382717, 9.407407407407407, 4.425925925925926],
+        global_vc_occupancy: &[47.745370370370374, 31.02314814814815],
+    },
+    Golden {
+        name: "fig5_bursty_min_flexvc42",
+        accepted: 0.48348148148148146,
+        latency: 252.78374444614678,
+        latency_req: 252.78374444614678,
+        latency_rep: 0.0,
+        misroute_fraction: 0.0,
+        avg_hops: 2.366094683621878,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.0,
+        deadlocked: false,
+        latency_p99: 512.0,
+        hist_count: 13054,
+        local_vc_occupancy: &[
+            2.2808641975308643,
+            2.814814814814815,
+            3.447530864197531,
+            2.404320987654321,
+        ],
+        global_vc_occupancy: &[13.652777777777779, 16.078703703703702],
+    },
+    Golden {
+        name: "fig7_rr_min_baseline",
+        accepted: 0.34203703703703703,
+        latency: 130.95993502977802,
+        latency_req: 131.4828856152513,
+        latency_rep: 130.4373240961247,
+        misroute_fraction: 0.0,
+        avg_hops: 2.342934488359502,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.0,
+        deadlocked: false,
+        latency_p99: 128.0,
+        hist_count: 9235,
+        local_vc_occupancy: &[
+            0.7283950617283951,
+            0.7067901234567902,
+            0.6851851851851852,
+            0.7037037037037037,
+        ],
+        global_vc_occupancy: &[1.2222222222222223, 1.4675925925925926],
+    },
+    Golden {
+        name: "fig7_rr_min_flexvc_5_3",
+        accepted: 0.49274074074074076,
+        latency: 137.3321557426338,
+        latency_req: 137.8655550548295,
+        latency_rep: 136.79795396419436,
+        misroute_fraction: 0.0,
+        avg_hops: 2.339822609741431,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.0,
+        deadlocked: false,
+        latency_p99: 128.0,
+        hist_count: 13304,
+        local_vc_occupancy: &[
+            0.6234567901234568,
+            1.1790123456790123,
+            0.8950617283950617,
+            0.8425925925925926,
+            0.7345679012345679,
+        ],
+        global_vc_occupancy: &[1.3518518518518519, 1.5416666666666667, 1.3333333333333333],
+    },
+    Golden {
+        name: "fig10_damq0_deadlock",
+        accepted: 0.00970501275193536,
+        latency: 1375.3232558139534,
+        latency_req: 1375.3232558139534,
+        latency_rep: 0.0,
+        misroute_fraction: 0.0,
+        avg_hops: 2.4093023255813955,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.9860281254969671,
+        deadlocked: true,
+        latency_p99: 1024.0,
+        hist_count: 430,
+        local_vc_occupancy: &[30.533713200379868, 0.030389363722697058],
+        global_vc_occupancy: &[143.64102564102564],
+    },
+    Golden {
+        name: "fig10_damq75",
+        accepted: 0.6961851851851852,
+        latency: 631.1867319253072,
+        latency_req: 631.1867319253072,
+        latency_rep: 0.0,
+        misroute_fraction: 0.0,
+        avg_hops: 2.338671064531574,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.04873362445414847,
+        deadlocked: false,
+        latency_p99: 1024.0,
+        hist_count: 18797,
+        local_vc_occupancy: &[10.95679012345679, 5.583333333333333],
+        global_vc_occupancy: &[51.65277777777778],
+    },
+    Golden {
+        name: "fig8_pb_flexvc_mincred",
+        accepted: 0.4997037037037037,
+        latency: 166.17943966795139,
+        latency_req: 167.34009776329432,
+        latency_rep: 165.01705978341494,
+        misroute_fraction: 0.16854432256151794,
+        avg_hops: 2.844129854728728,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.0,
+        deadlocked: false,
+        latency_p99: 256.0,
+        hist_count: 13492,
+        local_vc_occupancy: &[
+            0.6018518518518519,
+            0.8641975308641975,
+            1.287037037037037,
+            1.1358024691358024,
+            0.9598765432098766,
+            0.7839506172839507,
+        ],
+        global_vc_occupancy: &[1.9166666666666667, 1.9212962962962963, 1.6064814814814814],
+    },
+    Golden {
+        name: "par_adv_baseline",
+        accepted: 0.2713703703703704,
+        latency: 1045.6649379009145,
+        latency_req: 1045.6649379009145,
+        latency_rep: 0.0,
+        misroute_fraction: 0.6050225194486147,
+        avg_hops: 4.418861744233657,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.026967122275581824,
+        deadlocked: false,
+        latency_p99: 2048.0,
+        hist_count: 7327,
+        local_vc_occupancy: &[
+            3.5709876543209877,
+            0.8888888888888888,
+            1.3364197530864197,
+            1.4845679012345678,
+            0.8395061728395061,
+        ],
+        global_vc_occupancy: &[4.1342592592592595, 1.5555555555555556],
+    },
+];
+
+#[test]
+fn engine_reproduces_pre_refactor_snapshots() {
+    let pts = points();
+    assert_eq!(
+        pts.len(),
+        GOLDENS.len(),
+        "point set and snapshot list out of sync"
+    );
+    for ((name, cfg, load, seed), g) in pts.iter().zip(GOLDENS) {
+        assert_eq!(name, g.name, "point order changed");
+        let r = run_one(cfg, *load, *seed).unwrap();
+        let ctx = |field: &str| format!("{name}: {field} drifted from the pre-refactor engine");
+        assert_eq!(r.accepted, g.accepted, "{}", ctx("accepted"));
+        assert_eq!(r.latency, g.latency, "{}", ctx("latency"));
+        assert_eq!(r.latency_req, g.latency_req, "{}", ctx("latency_req"));
+        assert_eq!(r.latency_rep, g.latency_rep, "{}", ctx("latency_rep"));
+        assert_eq!(
+            r.misroute_fraction,
+            g.misroute_fraction,
+            "{}",
+            ctx("misroute_fraction")
+        );
+        assert_eq!(r.avg_hops, g.avg_hops, "{}", ctx("avg_hops"));
+        assert_eq!(
+            r.reverts_per_packet,
+            g.reverts_per_packet,
+            "{}",
+            ctx("reverts_per_packet")
+        );
+        assert_eq!(r.drop_fraction, g.drop_fraction, "{}", ctx("drop_fraction"));
+        assert_eq!(r.deadlocked, g.deadlocked, "{}", ctx("deadlocked"));
+        assert_eq!(r.latency_p99, g.latency_p99, "{}", ctx("latency_p99"));
+        assert_eq!(
+            r.latency_hist.count(),
+            g.hist_count,
+            "{}",
+            ctx("hist_count")
+        );
+        assert_eq!(
+            r.local_vc_occupancy.as_slice(),
+            g.local_vc_occupancy,
+            "{}",
+            ctx("local_vc_occupancy")
+        );
+        assert_eq!(
+            r.global_vc_occupancy.as_slice(),
+            g.global_vc_occupancy,
+            "{}",
+            ctx("global_vc_occupancy")
+        );
+    }
+}
