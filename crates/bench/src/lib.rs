@@ -5,8 +5,9 @@
 //! plus analytic classification tables, serializes to TOML/JSON through
 //! `flexvc_serde`, and runs on the parallel scenario executor with
 //! streaming progress. The [`scenario::ScenarioRegistry`] holds the nine
-//! paper reproductions (`fig5` … `fig11`, `tables`, `ablations`) plus a
-//! tiny `smoke` scenario; the single `flexvc` CLI binary fronts them:
+//! paper reproductions (`fig5` … `fig11`, `tables`, `ablations`), the
+//! `hyperx-{un,adv}-{2d,3d}` HyperX family, and a tiny `smoke` scenario;
+//! the single `flexvc` CLI binary fronts them:
 //!
 //! ```text
 //! flexvc list                         # what can run
@@ -180,6 +181,47 @@ pub fn reactive_series(scale: &Scale, pattern: Pattern) -> Vec<Series> {
             Series::new("FlexVC 10/6VCs(6/4+4/2)", flex((6, 4), (4, 2))),
         ]
     }
+}
+
+/// Shape of the registry's HyperX scenarios for a dimension count:
+/// `(s, p)` — routers per dimension and terminals per router. Chosen so
+/// both networks stay laptop-quick (2-D: 16 routers / 32 nodes,
+/// 3-D: 27 routers / 54 nodes) while exercising genuinely different
+/// diameters and reference sequences.
+pub fn hyperx_shape(n_dims: usize) -> (usize, usize) {
+    match n_dims {
+        2 => (4, 2),
+        _ => (3, 2),
+    }
+}
+
+/// HyperX series for one `(dimension count, pattern)` cell: baseline
+/// distance-based policy, FlexVC at the *same* VC budget (pure policy
+/// benefit), FlexVC with two extra VCs, and — for non-minimal routings —
+/// the cheap opportunistic configuration (`d + 1` VCs, below the safe
+/// minimum of `2d`).
+pub fn hyperx_series(scale: &Scale, n_dims: usize, pattern: Pattern) -> Vec<Series> {
+    let routing = paper_routing_for(pattern);
+    let (s, p) = hyperx_shape(n_dims);
+    let mut base = SimConfig::hyperx_baseline(n_dims, s, p, routing, Workload::oblivious(pattern));
+    base.warmup = scale.warmup;
+    base.measure = scale.measure;
+    base.watchdog = (scale.warmup + scale.measure) / 2;
+    let min_vcs = routing.min_hyperx_vcs(n_dims);
+    let flex = |vcs: usize| base.clone().with_flexvc(Arrangement::generic(vcs));
+    let mut out = vec![Series::new("Baseline", base.clone())];
+    if routing.is_nonminimal() {
+        out.push(Series::new(
+            format!("FlexVC {}VCs (opport.)", n_dims + 1),
+            flex(n_dims + 1),
+        ));
+    }
+    out.push(Series::new(format!("FlexVC {min_vcs}VCs"), flex(min_vcs)));
+    out.push(Series::new(
+        format!("FlexVC {}VCs", min_vcs + 2),
+        flex(min_vcs + 2),
+    ));
+    out
 }
 
 /// Piggyback adaptive series of Fig. 8: reference MIN/VAL, PB per-VC and

@@ -2,7 +2,7 @@
 //!
 //! Runs a deterministic set of simulation kernels and emits a
 //! machine-readable report (`BENCH_pr2.json`), establishing the repo's
-//! performance trajectory. Three kernel groups:
+//! performance trajectory. Four kernel groups:
 //!
 //! * **fig5_h2** — the Fig. 5 oblivious-routing suite at h = 2 (baseline,
 //!   DAMQ 75%, FlexVC 2/1, 4/2 and 8/4 under MIN/UN) over the
@@ -10,6 +10,8 @@
 //!   engine-speedup criterion.
 //! * **sweep_h4** — baseline + FlexVC 4/2 at h = 4 (264 routers), the
 //!   intermediate scale.
+//! * **hyperx** — the generic-diameter engine path on 2-D/3-D HyperX
+//!   networks (DOR plans, per-dimension escapes, opportunistic VAL).
 //! * **smoke_h8** — a short measurement window at the paper's full h = 8
 //!   scale (2,064 routers, 16,512 nodes), proving paper-scale runs are
 //!   tractable on one core.
@@ -38,6 +40,13 @@ pub mod recorded_baseline {
     pub const SWEEP_H4: f64 = 1_387.0;
     /// Aggregate cycles/sec over the `smoke_h8` kernel group.
     pub const SMOKE_H8: f64 = 63.0;
+    /// Aggregate cycles/sec over the `hyperx` kernel group, recorded at
+    /// the commit that *introduced* the HyperX topology (same machine and
+    /// methodology as the other groups, full profile, best of three). A
+    /// ~1.0x speedup is the expected reading until a later optimization
+    /// moves it; the entry anchors the trajectory for the generic-diameter
+    /// engine path.
+    pub const HYPERX: f64 = 150_485.0;
 }
 
 /// One kernel: a named `(config, load, seed)` point with fixed windows.
@@ -183,6 +192,51 @@ pub fn kernel_suite(quick: bool) -> Vec<Kernel> {
         }
     }
 
+    // hyperx: the generic-diameter engine path (DOR plans, per-dimension
+    // escapes, all-port sensing) on the registry's 2-D/3-D shapes.
+    let (warm_hx, meas_hx) = if quick { (800, 1_600) } else { (1_500, 4_000) };
+    let hx3 = || {
+        SimConfig::hyperx_baseline(
+            3,
+            3,
+            2,
+            RoutingMode::Min,
+            Workload::oblivious(Pattern::Uniform),
+        )
+    };
+    let series_hx: Vec<(&str, SimConfig, f64)> = vec![
+        ("un3d_baseline", hx3(), 0.3),
+        ("un3d_baseline", hx3(), 0.6),
+        (
+            "un3d_flexvc5",
+            hx3().with_flexvc(Arrangement::generic(5)),
+            0.6,
+        ),
+        (
+            "adv2d_val_flexvc3",
+            SimConfig::hyperx_baseline(
+                2,
+                4,
+                2,
+                RoutingMode::Valiant,
+                Workload::oblivious(Pattern::adv1()),
+            )
+            .with_flexvc(Arrangement::generic(3)),
+            0.5,
+        ),
+    ];
+    for (label, cfg, load) in series_hx {
+        let mut cfg = cfg;
+        windows(&mut cfg, warm_hx, meas_hx);
+        kernels.push(Kernel {
+            name: format!("hyperx/{label}@{load}"),
+            group: "hyperx",
+            cfg,
+            load,
+            seed: 1,
+        });
+    }
+
     // smoke_h8: paper scale, short window.
     let (warm8, meas8) = if quick { (200, 500) } else { (300, 1_200) };
     let mut cfg8 =
@@ -236,6 +290,7 @@ where
     for (group, baseline) in [
         ("fig5_h2", recorded_baseline::FIG5_H2),
         ("sweep_h4", recorded_baseline::SWEEP_H4),
+        ("hyperx", recorded_baseline::HYPERX),
         ("smoke_h8", recorded_baseline::SMOKE_H8),
     ] {
         let members: Vec<&KernelResult> = kernels.iter().filter(|k| k.group == group).collect();
@@ -316,7 +371,7 @@ mod tests {
     fn suite_is_fixed_and_valid() {
         for quick in [false, true] {
             let suite = kernel_suite(quick);
-            assert_eq!(suite.len(), 5 * 4 + 2 * 2 + 1);
+            assert_eq!(suite.len(), 5 * 4 + 2 * 2 + 4 + 1);
             for k in &suite {
                 k.cfg
                     .validate()

@@ -1,6 +1,7 @@
 //! Built-in scenario definitions: the nine paper reproductions that used
-//! to be one binary each (`fig5` … `fig11`, `tables`, `ablations`), plus a
-//! tiny `smoke` scenario for CI and quick installs.
+//! to be one binary each (`fig5` … `fig11`, `tables`, `ablations`), the
+//! `hyperx-{un,adv}-{2d,3d}` HyperX family, and a tiny `smoke` scenario
+//! for CI and quick installs.
 //!
 //! Each builder expands a [`Scale`] into pure data — every knob the old
 //! `main` hard-coded is now a field on a [`PointSpec`], so `flexvc show
@@ -8,7 +9,9 @@
 //! it without touching Rust.
 
 use super::{ClassificationSpec, ClassifyKind, PointSpec, Scenario};
-use crate::{adaptive_series, default_loads, oblivious_series, reactive_series, Scale, Series};
+use crate::{
+    adaptive_series, default_loads, hyperx_series, oblivious_series, reactive_series, Scale, Series,
+};
 use flexvc_core::classify::NetworkFamily;
 use flexvc_core::{Arrangement, RoutingMode, VcSelection};
 use flexvc_sim::{BufferOrg, BufferSizing, SensingConfig, SensingMode, SimConfig};
@@ -426,6 +429,55 @@ pub(super) fn ablations(scale: &Scale) -> Scenario {
         points,
         classifications: Vec::new(),
     }
+}
+
+/// The `hyperx` scenario family: UN and ADV load sweeps on 2-D and 3-D
+/// HyperX networks, baseline policy vs FlexVC at equal and enlarged VC
+/// budgets — the paper's framework on a topology the seed never modeled
+/// (cf. "Analysing Mechanisms for Virtual Channel Management in
+/// Low-Diameter networks", arXiv 2306.13042).
+fn hyperx(scale: &Scale, n_dims: usize, pattern: Pattern) -> Scenario {
+    let loads = default_loads();
+    let series = hyperx_series(scale, n_dims, pattern);
+    let points = sweep_points(pattern, &series, &loads);
+    let (s, p) = crate::hyperx_shape(n_dims);
+    let name = format!("hyperx-{}-{n_dims}d", pattern.label().to_ascii_lowercase());
+    let routing = flexvc_sim::paper_routing_for(pattern);
+    Scenario {
+        name: name.clone(),
+        title: format!(
+            "HyperX {n_dims}-D ({s}^{n_dims} routers x {p} terminals): {} under {routing}",
+            pattern.label()
+        ),
+        description: format!(
+            "Latency and throughput vs offered load on a {n_dims}-dimensional HyperX \
+             (diameter {n_dims}, single link class, dimension-ordered minimal routes) \
+             under {} traffic with {routing} routing: baseline distance-based policy \
+             vs FlexVC at the same and at enlarged VC budgets (references T^{n_dims} \
+             for MIN, T^{} for VAL).",
+            pattern.label(),
+            2 * n_dims,
+        ),
+        seeds: scale.seeds.clone(),
+        points,
+        classifications: Vec::new(),
+    }
+}
+
+pub(super) fn hyperx_un_2d(scale: &Scale) -> Scenario {
+    hyperx(scale, 2, Pattern::Uniform)
+}
+
+pub(super) fn hyperx_un_3d(scale: &Scale) -> Scenario {
+    hyperx(scale, 3, Pattern::Uniform)
+}
+
+pub(super) fn hyperx_adv_2d(scale: &Scale) -> Scenario {
+    hyperx(scale, 2, Pattern::adv1())
+}
+
+pub(super) fn hyperx_adv_3d(scale: &Scale) -> Scenario {
+    hyperx(scale, 3, Pattern::adv1())
 }
 
 pub(super) fn smoke(_scale: &Scale) -> Scenario {

@@ -31,7 +31,7 @@ impl std::fmt::Debug for ScenarioEntry {
 }
 
 /// The scenario catalogue; [`ScenarioRegistry::builtin`] holds the nine
-/// paper reproductions plus `smoke`.
+/// paper reproductions, the `hyperx-*` family, and `smoke`.
 #[derive(Debug, Clone, Default)]
 pub struct ScenarioRegistry {
     entries: Vec<ScenarioEntry>,
@@ -92,6 +92,26 @@ impl ScenarioRegistry {
             build: defs::ablations,
         });
         reg.register(ScenarioEntry {
+            name: "hyperx-un-2d",
+            summary: "HyperX 2-D: UN load sweep, baseline vs FlexVC (MIN)",
+            build: defs::hyperx_un_2d,
+        });
+        reg.register(ScenarioEntry {
+            name: "hyperx-un-3d",
+            summary: "HyperX 3-D: UN load sweep, baseline vs FlexVC (MIN)",
+            build: defs::hyperx_un_3d,
+        });
+        reg.register(ScenarioEntry {
+            name: "hyperx-adv-2d",
+            summary: "HyperX 2-D: ADV+1 load sweep, baseline vs FlexVC (VAL)",
+            build: defs::hyperx_adv_2d,
+        });
+        reg.register(ScenarioEntry {
+            name: "hyperx-adv-3d",
+            summary: "HyperX 3-D: ADV+1 load sweep, baseline vs FlexVC (VAL)",
+            build: defs::hyperx_adv_3d,
+        });
+        reg.register(ScenarioEntry {
             name: "smoke",
             summary: "30-second sanity run (tiny windows, ignores scale)",
             build: defs::smoke,
@@ -143,11 +163,15 @@ mod tests {
             "fig10",
             "fig11",
             "ablations",
+            "hyperx-un-2d",
+            "hyperx-un-3d",
+            "hyperx-adv-2d",
+            "hyperx-adv-3d",
             "smoke",
         ] {
             assert!(reg.get(name).is_some(), "missing scenario {name}");
         }
-        assert_eq!(reg.entries().len(), 10);
+        assert_eq!(reg.entries().len(), 14);
     }
 
     #[test]

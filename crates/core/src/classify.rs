@@ -34,6 +34,40 @@ pub enum NetworkFamily {
     Diameter2,
     /// Diameter-3 Dragonfly with local/global link classes (Tables III, IV).
     Dragonfly,
+    /// Generic single-class network of an arbitrary diameter `d` (an `n`-D
+    /// HyperX has `d = n`). Construct through [`NetworkFamily::generic`]
+    /// only (enforced outside this crate by `#[non_exhaustive]`): diameter
+    /// 2 canonicalizes to [`NetworkFamily::Diameter2`], keeping one
+    /// representation per family so derived equality and hashing agree
+    /// with serde round-trips.
+    #[non_exhaustive]
+    Generic {
+        /// Network diameter in hops (minimal reference length).
+        diameter: usize,
+    },
+}
+
+impl NetworkFamily {
+    /// Canonical generic family of diameter `d` (`d = 2` yields
+    /// [`NetworkFamily::Diameter2`]).
+    pub fn generic(diameter: usize) -> Self {
+        assert!(diameter >= 1, "degenerate diameter");
+        if diameter == 2 {
+            NetworkFamily::Diameter2
+        } else {
+            NetworkFamily::Generic { diameter }
+        }
+    }
+
+    /// Diameter of a generic (single-class) family; `None` for families with
+    /// link-class restrictions (Dragonfly).
+    pub fn generic_diameter(self) -> Option<usize> {
+        match self {
+            NetworkFamily::Diameter2 => Some(2),
+            NetworkFamily::Generic { diameter } => Some(diameter),
+            NetworkFamily::Dragonfly => None,
+        }
+    }
 }
 
 /// Classification outcome, ordered `Unsupported < Opportunistic < Safe`.
@@ -75,9 +109,9 @@ struct HopSpec {
 
 fn worst_min(family: NetworkFamily) -> Vec<LinkClass> {
     use LinkClass::*;
-    match family {
-        NetworkFamily::Diameter2 => vec![Local, Local],
-        NetworkFamily::Dragonfly => vec![Local, Global, Local],
+    match family.generic_diameter() {
+        Some(d) => vec![Local; d],
+        None => vec![Local, Global, Local],
     }
 }
 
@@ -85,11 +119,13 @@ fn worst_min(family: NetworkFamily) -> Vec<LinkClass> {
 /// point, then a worst-case minimal continuation.
 fn valiant_specs(family: NetworkFamily) -> Vec<HopSpec> {
     use LinkClass::*;
-    let (first, second): (Vec<LinkClass>, Vec<LinkClass>) = match family {
-        NetworkFamily::Diameter2 => (vec![Local, Local], vec![Local, Local]),
+    let (first, second): (Vec<LinkClass>, Vec<LinkClass>) = match family.generic_diameter() {
+        // Generic diameter-d network: worst-case minimal path to the detour
+        // router, then a worst-case minimal continuation.
+        Some(d) => (vec![Local; d], vec![Local; d]),
         // Dragonfly: local to a neighbour + its global link reaches an
         // arbitrary intermediate group; continuation is worst-case minimal.
-        NetworkFamily::Dragonfly => (vec![Local, Global], vec![Local, Global, Local]),
+        None => (vec![Local, Global], vec![Local, Global, Local]),
     };
     let f_len = first.len();
     let hops: Vec<LinkClass> = first.iter().chain(second.iter()).copied().collect();
@@ -164,9 +200,9 @@ pub fn classify(
     arr: &Arrangement,
     msg: MessageClass,
 ) -> Support {
-    let worst: Vec<LinkClass> = match family {
-        NetworkFamily::Diameter2 => routing.generic_reference(2),
-        NetworkFamily::Dragonfly => routing.dragonfly_reference().to_vec(),
+    let worst: Vec<LinkClass> = match family.generic_diameter() {
+        Some(d) => routing.generic_reference(d),
+        None => routing.dragonfly_reference().to_vec(),
     };
     if arr.embeds(&worst, None, arr.safe_region(msg)) {
         return Support::Safe;
@@ -332,6 +368,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Generic diameter-3 networks (3-D HyperX): the Table-I pattern shifts
+    /// with the diameter — MIN safe at `d` VCs, VAL opportunistic from
+    /// `d + 1` and safe at `2d`, PAR safe at `2d + 1`.
+    #[test]
+    fn generic_diameter3_follows_table_i_pattern() {
+        let fam = NetworkFamily::generic(3);
+        assert_eq!(fam, NetworkFamily::Generic { diameter: 3 });
+        let expected: [(usize, [Support; 3]); 5] = [
+            (3, [Safe, Unsupported, Unsupported]),
+            (4, [Safe, Opportunistic, Opportunistic]),
+            (5, [Safe, Opportunistic, Opportunistic]),
+            (6, [Safe, Safe, Opportunistic]),
+            (7, [Safe, Safe, Safe]),
+        ];
+        for (vcs, row) in expected {
+            let arr = d2(vcs);
+            for (mode, want) in [Min, Valiant, Par].into_iter().zip(row) {
+                assert_eq!(
+                    classify(fam, mode, &arr, MessageClass::Request),
+                    want,
+                    "{mode} with {vcs} VCs at diameter 3"
+                );
+            }
+        }
+    }
+
+    /// `generic(2)` canonicalizes to `Diameter2`, so both spellings classify
+    /// identically by construction.
+    #[test]
+    fn generic_two_is_diameter2() {
+        assert_eq!(NetworkFamily::generic(2), Diameter2);
+        assert_eq!(NetworkFamily::Diameter2.generic_diameter(), Some(2));
+        assert_eq!(NetworkFamily::generic(3).generic_diameter(), Some(3));
+        assert_eq!(NetworkFamily::Dragonfly.generic_diameter(), None);
     }
 
     /// Piggyback classifies exactly like Valiant (same VC requirements).

@@ -67,6 +67,14 @@ impl RoutingMode {
         }
     }
 
+    /// Minimum safe VC count for the baseline policy in a generic
+    /// single-class diameter-`dims` network — the HyperX analogue of
+    /// Table V, where an `n`-dimensional HyperX has diameter `n`: MIN
+    /// needs `n` VCs, VAL/PB `2n`, PAR `2n + 1`.
+    pub fn min_hyperx_vcs(self, dims: usize) -> usize {
+        self.generic_reference(dims).len()
+    }
+
     /// Whether the mode may send packets over non-minimal paths.
     pub fn is_nonminimal(self) -> bool {
         !matches!(self, RoutingMode::Min)
@@ -122,6 +130,17 @@ mod tests {
         assert_eq!(RoutingMode::Valiant.min_dragonfly_vcs(), (4, 2));
         assert_eq!(RoutingMode::Piggyback.min_dragonfly_vcs(), (4, 2));
         assert_eq!(RoutingMode::Par.min_dragonfly_vcs(), (5, 2));
+    }
+
+    #[test]
+    fn min_hyperx_vcs_follow_generic_references() {
+        // The HyperX analogue of Table V: diameter n needs n / 2n / 2n+1.
+        for dims in 1..=3 {
+            assert_eq!(RoutingMode::Min.min_hyperx_vcs(dims), dims);
+            assert_eq!(RoutingMode::Valiant.min_hyperx_vcs(dims), 2 * dims);
+            assert_eq!(RoutingMode::Piggyback.min_hyperx_vcs(dims), 2 * dims);
+            assert_eq!(RoutingMode::Par.min_hyperx_vcs(dims), 2 * dims + 1);
+        }
     }
 
     #[test]

@@ -114,26 +114,28 @@ impl Deserialize for VcSelection {
 
 impl Serialize for NetworkFamily {
     fn to_value(&self) -> Value {
-        Value::Str(
-            match self {
-                NetworkFamily::Diameter2 => "diameter2",
-                NetworkFamily::Dragonfly => "dragonfly",
-            }
-            .to_string(),
-        )
+        Value::Str(match self {
+            NetworkFamily::Diameter2 => "diameter2".to_string(),
+            NetworkFamily::Dragonfly => "dragonfly".to_string(),
+            NetworkFamily::Generic { diameter } => format!("diameter{diameter}"),
+        })
     }
 }
 
 impl Deserialize for NetworkFamily {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        keyword(
-            v,
-            "network family",
-            &[
-                ("diameter2", NetworkFamily::Diameter2),
-                ("dragonfly", NetworkFamily::Dragonfly),
-            ],
-        )
+        let s = v.as_str()?.to_ascii_lowercase();
+        if s == "dragonfly" {
+            return Ok(NetworkFamily::Dragonfly);
+        }
+        if let Some(d) = s.strip_prefix("diameter").and_then(|d| d.parse().ok()) {
+            if d >= 1 {
+                return Ok(NetworkFamily::generic(d));
+            }
+        }
+        Err(Error::new(format!(
+            "unknown network family `{s}` (expected dragonfly or diameter<N>)"
+        )))
     }
 }
 
@@ -211,6 +213,29 @@ mod tests {
             RoutingMode::Valiant
         );
         assert!(from_json::<RoutingMode>("\"warp\"").is_err());
+    }
+
+    #[test]
+    fn network_family_round_trips() {
+        use crate::classify::NetworkFamily;
+        for fam in [
+            NetworkFamily::Dragonfly,
+            NetworkFamily::Diameter2,
+            NetworkFamily::generic(3),
+        ] {
+            assert_eq!(from_json::<NetworkFamily>(&to_json(&fam)).unwrap(), fam);
+        }
+        // `diameter2` canonicalizes to the dedicated variant.
+        assert_eq!(
+            from_json::<NetworkFamily>("\"diameter2\"").unwrap(),
+            NetworkFamily::Diameter2
+        );
+        assert_eq!(
+            from_json::<NetworkFamily>("\"diameter3\"").unwrap(),
+            NetworkFamily::Generic { diameter: 3 }
+        );
+        assert!(from_json::<NetworkFamily>("\"diameter0\"").is_err());
+        assert!(from_json::<NetworkFamily>("\"torus\"").is_err());
     }
 
     #[test]

@@ -152,24 +152,88 @@ proptest! {
         }
     }
 
-    /// Support is monotone in VC count for generic networks: adding a VC
-    /// never reduces what the network can route (Table I reads top-down).
+    /// Support is monotone in VC count for generic networks of *any*
+    /// supported diameter (1-D..3-D HyperX): adding a VC never reduces what
+    /// the network can route (Table I reads top-down at every diameter).
     #[test]
-    fn support_monotone_in_vcs(n in 2usize..8) {
+    fn support_monotone_in_vcs(n in 2usize..8, d in 1usize..4) {
+        let family = NetworkFamily::generic(d);
         for mode in [RoutingMode::Min, RoutingMode::Valiant, RoutingMode::Par] {
             let small = classify(
-                NetworkFamily::Diameter2,
+                family,
                 mode,
                 &Arrangement::generic(n),
                 MessageClass::Request,
             );
             let large = classify(
-                NetworkFamily::Diameter2,
+                family,
                 mode,
                 &Arrangement::generic(n + 1),
                 MessageClass::Request,
             );
-            prop_assert!(large >= small, "{mode}: {small:?} -> {large:?}");
+            prop_assert!(large >= small, "{mode} d={d}: {small:?} -> {large:?}");
+        }
+    }
+
+    /// The HyperX Table-V analogue is exact: `min_hyperx_vcs` is the
+    /// *smallest* generic arrangement on which the mode is Safe — it
+    /// classifies Safe, and one VC fewer does not.
+    #[test]
+    fn min_hyperx_vcs_is_tight(d in 1usize..4) {
+        let family = NetworkFamily::generic(d);
+        for mode in [
+            RoutingMode::Min,
+            RoutingMode::Valiant,
+            RoutingMode::Par,
+            RoutingMode::Piggyback,
+        ] {
+            let n = mode.min_hyperx_vcs(d);
+            prop_assert_eq!(
+                classify(family, mode, &Arrangement::generic(n), MessageClass::Request),
+                Support::Safe,
+                "{} at diameter {} with {} VCs",
+                mode, d, n
+            );
+            if n > 1 {
+                prop_assert!(
+                    classify(
+                        family,
+                        mode,
+                        &Arrangement::generic(n - 1),
+                        MessageClass::Request
+                    ) < Support::Safe,
+                    "{} at diameter {} safe with only {} VCs?",
+                    mode, d, n - 1
+                );
+            }
+        }
+    }
+
+    /// Any route a diameter-`d` HyperX can generate — MIN (at most `d`
+    /// single-class hops) or VAL (two minimal subpaths of at most `d` hops
+    /// each) — embeds in its mode's reference arrangement from position 0:
+    /// generated routes are always safe.
+    #[test]
+    fn hyperx_route_shapes_embed_in_references(
+        d in 1usize..4,
+        min_hops in 0usize..4,
+        val_split in (0usize..4, 0usize..4),
+    ) {
+        let min_hops = min_hops.min(d);
+        let min_arr = Arrangement::generic(RoutingMode::Min.min_hyperx_vcs(d));
+        let path = vec![LinkClass::Local; min_hops];
+        prop_assert!(min_arr.embeds(&path, None, (0, min_arr.len())));
+
+        let (a, b) = (val_split.0.min(d), val_split.1.min(d));
+        let val_arr = Arrangement::generic(RoutingMode::Valiant.min_hyperx_vcs(d));
+        let detour = vec![LinkClass::Local; a + b];
+        prop_assert!(val_arr.embeds(&detour, None, (0, val_arr.len())));
+        // The escape from any prefix position also embeds (Definition 2's
+        // substrate): after i hops the minimal continuation has at most d
+        // hops and must fit above position i - 1.
+        let worst_escape = vec![LinkClass::Local; d];
+        for i in 1..=a {
+            prop_assert!(val_arr.embeds(&worst_escape, Some(i - 1), (0, val_arr.len())));
         }
     }
 

@@ -1,0 +1,36 @@
+//! Print the `Golden` struct literals for the engine-equivalence point set
+//! (`tests/engine_equivalence.rs`).
+//!
+//! Usage: `cargo run --release -p flexvc-sim --example record_goldens [name…]`
+//! — with names, only the matching points are printed. Re-record a snapshot
+//! only when a point's behavior changes *on purpose*; paste the printed
+//! literal into the `GOLDENS` table.
+
+use flexvc_sim::equivalence::points;
+use flexvc_sim::runner::run_one;
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    for (name, cfg, load, seed) in points() {
+        if !filter.is_empty() && !filter.contains(&name) {
+            continue;
+        }
+        let r = run_one(&cfg, load, seed).unwrap();
+        println!("    Golden {{");
+        println!("        name: \"{name}\",");
+        println!("        accepted: {:?},", r.accepted);
+        println!("        latency: {:?},", r.latency);
+        println!("        latency_req: {:?},", r.latency_req);
+        println!("        latency_rep: {:?},", r.latency_rep);
+        println!("        misroute_fraction: {:?},", r.misroute_fraction);
+        println!("        avg_hops: {:?},", r.avg_hops);
+        println!("        reverts_per_packet: {:?},", r.reverts_per_packet);
+        println!("        drop_fraction: {:?},", r.drop_fraction);
+        println!("        deadlocked: {:?},", r.deadlocked);
+        println!("        latency_p99: {:?},", r.latency_p99);
+        println!("        hist_count: {},", r.latency_hist.count());
+        println!("        local_vc_occupancy: &{:?},", r.local_vc_occupancy);
+        println!("        global_vc_occupancy: &{:?},", r.global_vc_occupancy);
+        println!("    }},");
+    }
+}

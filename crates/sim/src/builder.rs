@@ -93,8 +93,8 @@ pub fn default_arrangement(
     routing: RoutingMode,
     reactive: bool,
 ) -> Arrangement {
-    match family {
-        NetworkFamily::Dragonfly => {
+    match family.generic_diameter() {
+        None => {
             let (l, g) = routing.min_dragonfly_vcs();
             if reactive {
                 Arrangement::dragonfly_rr((l, g), (l, g))
@@ -102,8 +102,8 @@ pub fn default_arrangement(
                 Arrangement::dragonfly(l, g)
             }
         }
-        NetworkFamily::Diameter2 => {
-            let n = routing.generic_reference(2).len();
+        Some(d) => {
+            let n = routing.generic_reference(d).len();
             if reactive {
                 Arrangement::generic_rr(n, n)
             } else {
@@ -131,6 +131,17 @@ impl SimConfigBuilder {
             h,
             arrangement: GlobalArrangement::default(),
         };
+        self
+    }
+
+    /// Regular HyperX shortcut: `n` dimensions × `s` routers (unit link
+    /// multiplicity), `p` terminals per router, uniform link latency.
+    pub fn hyperx(mut self, n: usize, s: usize, p: usize) -> Self {
+        self.topology = TopologySpec::HyperX {
+            dims: vec![(s, 1); n],
+            p,
+        };
+        self.global_latency = self.local_latency;
         self
     }
 
@@ -345,6 +356,15 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(generic.arrangement.total_vcs(), 4);
+
+        // A 3-D HyperX derives diameter-3 references: VAL needs 6 VCs.
+        let hx = SimConfigBuilder::new()
+            .hyperx(3, 3, 2)
+            .routing(RoutingMode::Valiant)
+            .build()
+            .unwrap();
+        assert_eq!(hx.arrangement.total_vcs(), 6);
+        assert_eq!(hx.global_latency, hx.local_latency);
     }
 
     #[test]
@@ -360,13 +380,15 @@ mod tests {
             "{err}"
         );
 
-        // Piggyback needs a Dragonfly.
+        // Degenerate topology shapes are typed errors, not panics.
         let err = SimConfigBuilder::new()
-            .topology(TopologySpec::FlatButterfly { k: 4, p: 2 })
-            .routing(RoutingMode::Piggyback)
+            .topology(TopologySpec::HyperX {
+                dims: vec![(2, 1); 4],
+                p: 1,
+            })
             .build()
             .unwrap_err();
-        assert_eq!(err, ConfigError::PiggybackNeedsDragonfly);
+        assert!(matches!(err, ConfigError::InvalidTopology { .. }), "{err}");
 
         // Zero packet size.
         let err = SimConfigBuilder::new().packet_size(0).build().unwrap_err();

@@ -18,7 +18,6 @@
 //! and the per-grant invariants are property-tested in `flexvc-core` and
 //! debug-asserted in the engine.
 
-use flexvc_core::classify::NetworkFamily;
 use flexvc_core::policy::baseline_vc;
 use flexvc_core::{Arrangement, MessageClass, RoutingMode};
 use flexvc_topology::Topology;
@@ -60,9 +59,9 @@ pub fn check_baseline_routes(
     seed: u64,
 ) -> Result<(), String> {
     let family = topo.family();
-    let reference: Vec<flexvc_core::LinkClass> = match family {
-        NetworkFamily::Dragonfly => routing.dragonfly_reference().to_vec(),
-        NetworkFamily::Diameter2 => routing.generic_reference(2),
+    let reference: Vec<flexvc_core::LinkClass> = match family.generic_diameter() {
+        None => routing.dragonfly_reference().to_vec(),
+        Some(d) => routing.generic_reference(d),
     };
     let n = topo.num_routers();
     // Exhaustive minimal pairs (the escape substrate of every mode).
@@ -135,9 +134,9 @@ pub fn build_min_cdg(
     arr: &Arrangement,
     msg: MessageClass,
 ) -> Vec<(BufferId, BufferId)> {
-    let reference: Vec<flexvc_core::LinkClass> = match topo.family() {
-        NetworkFamily::Dragonfly => RoutingMode::Min.dragonfly_reference().to_vec(),
-        NetworkFamily::Diameter2 => RoutingMode::Min.generic_reference(2),
+    let reference: Vec<flexvc_core::LinkClass> = match topo.family().generic_diameter() {
+        None => RoutingMode::Min.dragonfly_reference().to_vec(),
+        Some(d) => RoutingMode::Min.generic_reference(d),
     };
     let mut edges = std::collections::HashSet::new();
     let n = topo.num_routers();
@@ -255,6 +254,48 @@ mod tests {
             4,
         )
         .unwrap();
+    }
+
+    #[test]
+    fn hyperx_valiant_routes_strictly_increase() {
+        use flexvc_topology::HyperX;
+        let topo = HyperX::regular(3, 3, 1);
+        let arr = Arrangement::generic(6);
+        check_baseline_routes(
+            &topo,
+            RoutingMode::Valiant,
+            &arr,
+            MessageClass::Request,
+            5_000,
+            6,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn hyperx_par_routes_strictly_increase() {
+        use flexvc_topology::HyperX;
+        let topo = HyperX::regular(3, 3, 1);
+        let arr = Arrangement::generic(7);
+        check_baseline_routes(
+            &topo,
+            RoutingMode::Par,
+            &arr,
+            MessageClass::Request,
+            5_000,
+            7,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn min_cdg_acyclic_on_hyperx() {
+        use flexvc_topology::HyperX;
+        let topo = HyperX::regular(3, 2, 1);
+        let arr = Arrangement::generic(3);
+        let edges = build_min_cdg(&topo, &arr, MessageClass::Request);
+        assert!(!edges.is_empty());
+        assert!(is_acyclic(&edges));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::error::ConfigError;
 use flexvc_core::classify::{classify, NetworkFamily, Support};
 use flexvc_core::policy::supports_baseline;
 use flexvc_core::{Arrangement, MessageClass, RoutingMode, VcPolicy, VcSelection};
-use flexvc_topology::{Dragonfly, FlatButterfly2D, GlobalArrangement, Topology};
+use flexvc_topology::{Dragonfly, FlatButterfly2D, GlobalArrangement, HyperX, Topology};
 use flexvc_traffic::{Pattern, Workload};
 use std::sync::Arc;
 
@@ -46,23 +46,34 @@ pub enum TopologySpec {
         /// Terminals per router.
         p: usize,
     },
+    /// `n`-dimensional HyperX with per-dimension `(s, k)` shapes (`s`
+    /// routers along the dimension, `k` parallel links per peer pair) and
+    /// `p` terminals per router; a generic diameter-`n` network. The 2-D
+    /// unit-multiplicity instance coincides with [`FlatButterfly2D`].
+    HyperX {
+        /// Per-dimension `(s, k)` pairs, dimension 0 first.
+        dims: Vec<(usize, usize)>,
+        /// Terminals per router.
+        p: usize,
+    },
 }
 
 impl TopologySpec {
     /// Instantiate the topology.
     pub fn build(&self) -> Arc<dyn Topology> {
-        match *self {
-            TopologySpec::DragonflyBalanced { h, arrangement } => {
+        match self {
+            &TopologySpec::DragonflyBalanced { h, arrangement } => {
                 Arc::new(Dragonfly::balanced_with(h, arrangement))
             }
-            TopologySpec::Dragonfly {
+            &TopologySpec::Dragonfly {
                 p,
                 a,
                 h,
                 g,
                 arrangement,
             } => Arc::new(Dragonfly::new(p, a, h, g, arrangement)),
-            TopologySpec::FlatButterfly { k, p } => Arc::new(FlatButterfly2D::new(k, p)),
+            &TopologySpec::FlatButterfly { k, p } => Arc::new(FlatButterfly2D::new(k, p)),
+            TopologySpec::HyperX { dims, p } => Arc::new(HyperX::new(dims.clone(), *p)),
         }
     }
 
@@ -70,8 +81,50 @@ impl TopologySpec {
     pub fn family(&self) -> NetworkFamily {
         match self {
             TopologySpec::FlatButterfly { .. } => NetworkFamily::Diameter2,
+            TopologySpec::HyperX { dims, .. } => NetworkFamily::generic(dims.len().max(1)),
             _ => NetworkFamily::Dragonfly,
         }
+    }
+
+    /// Shape validation with typed errors (so serde-loaded configurations
+    /// fail [`SimConfig::validate`] instead of panicking in `build`).
+    pub fn check_shape(&self) -> Result<(), ConfigError> {
+        let fail = |why| Err(ConfigError::InvalidTopology { why });
+        match self {
+            TopologySpec::DragonflyBalanced { h, .. } => {
+                if *h == 0 {
+                    return fail("balanced Dragonfly needs h >= 1");
+                }
+            }
+            TopologySpec::Dragonfly { p, a, h, g, .. } => {
+                if *p < 1 || *a < 2 || *h < 1 {
+                    return fail("Dragonfly needs p >= 1, a >= 2, h >= 1");
+                }
+                if *g < 2 || *g > a * h + 1 {
+                    return fail("Dragonfly group count must be in 2..=a*h+1");
+                }
+            }
+            TopologySpec::FlatButterfly { k, p } => {
+                if *k < 2 || *p < 1 {
+                    return fail("flattened butterfly needs k >= 2, p >= 1");
+                }
+            }
+            TopologySpec::HyperX { dims, p } => {
+                if dims.is_empty() || dims.len() > flexvc_topology::hyperx::MAX_DIMS {
+                    return fail("HyperX supports 1..=3 dimensions");
+                }
+                if dims.iter().any(|&(s, _)| s < 2) {
+                    return fail("every HyperX dimension needs at least 2 routers");
+                }
+                if dims.iter().any(|&(_, k)| k < 1) {
+                    return fail("HyperX link multiplicity must be at least 1");
+                }
+                if *p < 1 {
+                    return fail("HyperX needs at least one terminal per router");
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -272,6 +325,36 @@ impl SimConfig {
         }
     }
 
+    /// Baseline configuration on a regular `n`-dimensional HyperX of `s`
+    /// routers per dimension (unit link multiplicity) with `p` terminals,
+    /// using the minimum generic arrangement for the routing mode
+    /// ([`RoutingMode::min_hyperx_vcs`]; doubled when reactive). Link
+    /// latencies are uniform (all links share one class), so the global
+    /// latency is set equal to the local one.
+    pub fn hyperx_baseline(
+        n: usize,
+        s: usize,
+        p: usize,
+        routing: RoutingMode,
+        workload: Workload,
+    ) -> Self {
+        let vcs = routing.min_hyperx_vcs(n);
+        let arrangement = if workload.reactive {
+            Arrangement::generic_rr(vcs, vcs)
+        } else {
+            Arrangement::generic(vcs)
+        };
+        let mut cfg = Self::dragonfly_baseline(2, routing, workload);
+        cfg.topology = TopologySpec::HyperX {
+            dims: vec![(s, 1); n],
+            p,
+        };
+        cfg.arrangement = arrangement;
+        // Single-class network: one uniform link latency.
+        cfg.global_latency = cfg.local_latency;
+        cfg
+    }
+
     /// Switch to FlexVC with the given arrangement.
     pub fn with_flexvc(mut self, arrangement: Arrangement) -> Self {
         self.policy = VcPolicy::FlexVc;
@@ -334,6 +417,7 @@ impl SimConfig {
     /// policy cannot operate deadlock-free on the arrangement (or the
     /// configuration cannot be simulated at all).
     pub fn validate(&self) -> Result<(), ConfigError> {
+        self.topology.check_shape()?;
         let family = self.topology.family();
         if self.packet_size == 0 {
             return Err(ConfigError::NonPositive {
@@ -342,9 +426,6 @@ impl SimConfig {
         }
         if self.speedup == 0 {
             return Err(ConfigError::NonPositive { what: "speedup" });
-        }
-        if self.routing == RoutingMode::Piggyback && family != NetworkFamily::Dragonfly {
-            return Err(ConfigError::PiggybackNeedsDragonfly);
         }
         let classes: &[MessageClass] = if self.workload.reactive {
             &[MessageClass::Request, MessageClass::Reply]
@@ -360,9 +441,9 @@ impl SimConfig {
         for &msg in classes {
             match self.policy {
                 VcPolicy::Baseline => {
-                    let reference: Vec<_> = match family {
-                        NetworkFamily::Dragonfly => self.routing.dragonfly_reference().to_vec(),
-                        NetworkFamily::Diameter2 => self.routing.generic_reference(2),
+                    let reference: Vec<_> = match family.generic_diameter() {
+                        None => self.routing.dragonfly_reference().to_vec(),
+                        Some(d) => self.routing.generic_reference(d),
                     };
                     if !supports_baseline(&self.arrangement, msg, &reference) {
                         return Err(ConfigError::BaselineArrangement {

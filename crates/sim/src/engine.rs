@@ -196,8 +196,13 @@ pub struct Network {
     adj: Vec<Option<(u32, u16)>>,
     /// Class per port index (uniform across routers for our topologies).
     port_class: Vec<LinkClass>,
-    /// Port indices of global ports.
-    global_ports: Vec<usize>,
+    /// Ports whose occupancy Piggyback sensing publishes: the global ports
+    /// of a Dragonfly, or *every* network port on single-class topologies
+    /// (flattened butterfly, HyperX — there is no global/local split to
+    /// narrow the signal to).
+    sense_ports: Vec<usize>,
+    /// `true` when every port is a sense port (single-class topology).
+    sense_all: bool,
     routers: Vec<Router>,
     links: Vec<LinkState>,
     gens: Vec<NodeGenerator>,
@@ -213,6 +218,10 @@ pub struct Network {
     offered: f64,
     in_flight: i64,
     last_progress: u64,
+    /// `true` while [`Network::drain`] runs: pattern generators stop
+    /// producing new requests (staged replies still flush, so reactive
+    /// traffic conservation closes too).
+    draining: bool,
     // --- active-set scheduling state (behavior-neutral bookkeeping) ---
     /// Per-router queued-packet count (network input + injection queues).
     queued: Vec<u32>,
@@ -316,6 +325,15 @@ impl Network {
         let global_ports: Vec<usize> = (0..pp)
             .filter(|&p| port_class[p] == LinkClass::Global)
             .collect();
+        // Dragonflies sense their global ports; single-class topologies
+        // sense every network port (PB's UGAL comparison and saturation
+        // flags then cover the first minimal hop of any path).
+        let sense_all = global_ports.is_empty();
+        let sense_ports: Vec<usize> = if sense_all {
+            (0..pp).collect()
+        } else {
+            global_ports
+        };
 
         let make_bank = |class: LinkClass, cfg: &SimConfig| -> Occupancy {
             let vcs = cfg.vcs_for_class(class).max(1);
@@ -414,11 +432,9 @@ impl Network {
         // Precompute the baseline policy's pure (class, slot) -> (vc, pos)
         // mapping so the allocator's hottest path is a table lookup.
         let baseline_table: Vec<[(u8, u16); MAX_PLAN]> = if cfg.policy == VcPolicy::Baseline {
-            let reference: Vec<LinkClass> = match family {
-                NetworkFamily::Dragonfly => cfg.routing.dragonfly_reference().to_vec(),
-                NetworkFamily::Diameter2 => {
-                    REF_GENERIC[..cfg.routing.generic_reference(2).len()].to_vec()
-                }
+            let reference: Vec<LinkClass> = match family.generic_diameter() {
+                None => cfg.routing.dragonfly_reference().to_vec(),
+                Some(d) => REF_GENERIC[..cfg.routing.generic_reference(d).len()].to_vec(),
             };
             [MessageClass::Request, MessageClass::Reply]
                 .iter()
@@ -470,7 +486,7 @@ impl Network {
         let boards = if cfg.routing == RoutingMode::Piggyback {
             let rpg = topo.routers_per_group();
             (0..topo.num_groups())
-                .map(|_| GroupBoard::new(rpg, global_ports.len(), cfg.local_latency as u64))
+                .map(|_| GroupBoard::new(rpg, sense_ports.len(), cfg.local_latency as u64))
                 .collect()
         } else {
             Vec::new()
@@ -494,7 +510,8 @@ impl Network {
             pn,
             adj,
             port_class,
-            global_ports,
+            sense_ports,
+            sense_all,
             routers,
             links,
             gens,
@@ -507,6 +524,7 @@ impl Network {
             offered: load,
             in_flight: 0,
             last_progress: 0,
+            draining: false,
             queued: vec![0; nr],
             alloc_list: Vec::new(),
             alloc_in: vec![false; nr],
@@ -581,6 +599,32 @@ impl Network {
         match class {
             LinkClass::Local => self.cfg.local_latency,
             LinkClass::Global => self.cfg.global_latency,
+        }
+    }
+
+    /// Mute the traffic generators and step until every in-flight packet
+    /// has been consumed — including replies still staged at their NIC,
+    /// which are not in `in_flight` until injected — or `max_cycles`
+    /// elapse, or the watchdog fires. Returns the packets still pending
+    /// (in flight + staged): 0 proves the conservation property
+    /// "injected = consumed at drain": nothing the network accepted is
+    /// stranded in a buffer, queue, link or reply-staging slot.
+    pub fn drain(&mut self, max_cycles: u64) -> i64 {
+        self.draining = true;
+        let end = self.cycle.saturating_add(max_cycles);
+        loop {
+            // Staging queues only matter once the network itself is empty,
+            // so the O(nodes) scan runs rarely.
+            let staged = if self.in_flight > 0 {
+                0
+            } else {
+                self.staging.iter().map(|q| q.len()).sum::<usize>() as i64
+            };
+            let pending = self.in_flight + staged;
+            if pending == 0 || self.cycle >= end || self.metrics.deadlocked {
+                return pending;
+            }
+            self.step();
         }
     }
 
@@ -689,7 +733,10 @@ impl Network {
                 self.last_progress = now;
                 any = true;
             }
-            if any && !self.boards.is_empty() && self.port_class[op] == LinkClass::Global {
+            if any
+                && !self.boards.is_empty()
+                && (self.sense_all || self.port_class[op] == LinkClass::Global)
+            {
                 mark(&mut self.sense_list, &mut self.sense_in, r);
             }
         }
@@ -740,8 +787,12 @@ impl Network {
         let reactive = self.cfg.workload.reactive;
         let in_window = self.in_window(now);
         for n in 0..self.gens.len() {
-            // New requests from the pattern generator.
-            if let Some(dst) = self.gens[n].next_packet(now) {
+            // New requests from the pattern generator (muted while
+            // draining; staged replies below still flush).
+            if let Some(dst) = (!self.draining)
+                .then(|| self.gens[n].next_packet(now))
+                .flatten()
+            {
                 if in_window {
                     self.metrics.generated_packets += 1;
                     self.metrics.generated_phits += size as u64;
@@ -864,7 +915,8 @@ impl Network {
                         self.family,
                         &self.adj,
                         &self.port_class,
-                        &self.global_ports,
+                        &self.sense_ports,
+                        self.sense_all,
                         &self.boards,
                         &router.out_credit,
                         &mut router.rng,
@@ -1132,12 +1184,10 @@ impl Network {
                     let (bvc, pos) = self.baseline_table[head.class.index()][hop.slot as usize];
                     #[cfg(debug_assertions)]
                     {
-                        let reference: &[LinkClass] = match self.family {
-                            NetworkFamily::Dragonfly => self.cfg.routing.dragonfly_reference(),
-                            NetworkFamily::Diameter2 => {
-                                // Generic references are all-Local; slots map 1:1.
-                                &REF_GENERIC[..self.cfg.routing.generic_reference(2).len()]
-                            }
+                        let reference: &[LinkClass] = match self.family.generic_diameter() {
+                            None => self.cfg.routing.dragonfly_reference(),
+                            // Generic references are all-Local; slots map 1:1.
+                            Some(d) => &REF_GENERIC[..self.cfg.routing.generic_reference(d).len()],
                         };
                         let (bclass, fresh_vc) =
                             baseline_vc(&self.arr, head.class, reference, hop.slot as usize);
@@ -1409,7 +1459,9 @@ impl Network {
             mark(&mut self.plan_list, &mut self.plan_in, r);
         }
         mark(&mut self.out_list, &mut self.out_in, r * pp + port as usize);
-        if !self.boards.is_empty() && self.port_class[port as usize] == LinkClass::Global {
+        if !self.boards.is_empty()
+            && (self.sense_all || self.port_class[port as usize] == LinkClass::Global)
+        {
             mark(&mut self.sense_list, &mut self.sense_in, r);
         }
         self.last_progress = now;
@@ -1552,11 +1604,12 @@ impl Network {
         } else {
             &[MessageClass::Request]
         };
-        // Saturation flags are a pure function of global-port credit state:
-        // only routers whose state changed since their last publish can
-        // produce different flags, and republishing unchanged flags is a
-        // no-op on the double-buffered board. The worklist is marked on
-        // every global-port credit add/remove.
+        // Saturation flags are a pure function of sense-port credit state
+        // (global ports in a Dragonfly, every port on single-class
+        // topologies): only routers whose state changed since their last
+        // publish can produce different flags, and republishing unchanged
+        // flags is a no-op on the double-buffered board. The worklist is
+        // marked on every sense-port credit add/remove.
         let mut list = std::mem::take(&mut self.sense_list);
         let mut occs = std::mem::take(&mut self.occ_scratch);
         let mut flags = std::mem::take(&mut self.flag_scratch);
@@ -1567,7 +1620,7 @@ impl Network {
             let local = r - group * rpg;
             for &class in classes {
                 occs.clear();
-                occs.extend(self.global_ports.iter().map(|&gp| {
+                occs.extend(self.sense_ports.iter().map(|&gp| {
                     let credit = &self.routers[r].out_credit[gp];
                     match self.cfg.sensing.mode {
                         SensingMode::PerPort => {
@@ -1578,9 +1631,14 @@ impl Network {
                             }
                         }
                         SensingMode::PerVc => {
+                            // First VC of each subpath: 0 for requests, the
+                            // first reply VC of the sensed port's class for
+                            // replies.
                             let vc = match class {
                                 MessageClass::Request => 0,
-                                MessageClass::Reply => self.arr.vc_count_request(LinkClass::Global),
+                                MessageClass::Reply => {
+                                    self.arr.vc_count_request(self.port_class[gp])
+                                }
                             };
                             if min_cred {
                                 credit.split(vc).min_occupancy()
@@ -1616,8 +1674,9 @@ impl Network {
     }
 }
 
-/// All-Local slot reference for generic networks (max PAR length 5).
-static REF_GENERIC: [LinkClass; 5] = [LinkClass::Local; 5];
+/// All-Local slot reference for generic networks (max PAR length 2·3+1 = 7
+/// at the supported 3-dimension HyperX ceiling).
+static REF_GENERIC: [LinkClass; 7] = [LinkClass::Local; 7];
 
 /// Route planning at injection (free function for borrow hygiene).
 #[allow(clippy::too_many_arguments)]
@@ -1627,7 +1686,8 @@ fn plan_route(
     family: NetworkFamily,
     adj: &[Option<(u32, u16)>],
     port_class: &[LinkClass],
-    global_ports: &[usize],
+    sense_ports: &[usize],
+    sense_all: bool,
     boards: &[GroupBoard],
     out_credit: &[Occupancy],
     rng: &mut SmallRng,
@@ -1660,19 +1720,26 @@ fn plan_route(
                     occ.total()
                 }
             };
-            // Walk the minimal route to the first global channel and read
-            // its (piggybacked) saturation flag.
+            // Walk the minimal route to the first sensed channel (the
+            // first global hop in a Dragonfly; the very first hop on
+            // single-class topologies) and read its piggybacked flag.
             let mut sat = false;
             let mut cur = r;
             for hop in &min_route {
-                if port_class[hop.port as usize] == LinkClass::Global {
+                if sense_all || port_class[hop.port as usize] == LinkClass::Global {
                     let rpg = topo.routers_per_group();
                     let group = topo.group_of_router(cur);
                     let local = cur - group * rpg;
-                    let gp_off = global_ports
-                        .iter()
-                        .position(|&g| g == hop.port as usize)
-                        .expect("global port");
+                    // With all ports sensed the offset is the port itself;
+                    // only Dragonfly global ports need the lookup.
+                    let gp_off = if sense_all {
+                        hop.port as usize
+                    } else {
+                        sense_ports
+                            .iter()
+                            .position(|&g| g == hop.port as usize)
+                            .expect("sense port")
+                    };
                     sat = boards[group].read(local, gp_off, class);
                     break;
                 }

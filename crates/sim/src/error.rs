@@ -56,9 +56,12 @@ pub enum ConfigError {
     },
     /// Output or injection buffers cannot hold one packet.
     PortBuffersBelowPacket,
-    /// Piggyback sensing reads Dragonfly group boards; other topologies
-    /// cannot run PB routing.
-    PiggybackNeedsDragonfly,
+    /// The topology parameters describe a shape the simulator cannot build
+    /// (e.g. a HyperX with more than 3 dimensions or a degenerate axis).
+    InvalidTopology {
+        /// What is wrong with the shape.
+        why: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -99,8 +102,8 @@ impl fmt::Display for ConfigError {
             ConfigError::PortBuffersBelowPacket => {
                 write!(f, "output/injection buffers below one packet")
             }
-            ConfigError::PiggybackNeedsDragonfly => {
-                write!(f, "Piggyback sensing requires a Dragonfly topology")
+            ConfigError::InvalidTopology { why } => {
+                write!(f, "invalid topology: {why}")
             }
         }
     }

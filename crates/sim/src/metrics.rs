@@ -3,19 +3,27 @@
 use flexvc_core::MessageClass;
 
 /// Power-of-two bucketed latency histogram (cycles). Bucket `i` counts
-/// latencies in `[2^i, 2^(i+1))`; enough buckets for ~1M-cycle latencies.
+/// latencies in `[2^i, 2^(i+1))`; the last bucket (20) is an *overflow*
+/// bucket absorbing everything at `2^20` cycles and above, so the recorded
+/// maximum is kept alongside the buckets to bound its contents.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyHistogram {
     buckets: [u64; 21],
     count: u64,
+    /// Largest recorded sample (0 when empty).
+    max: u64,
 }
+
+/// Index of the overflow bucket (`[2^20, ∞)`).
+const OVERFLOW_BUCKET: usize = 20;
 
 impl LatencyHistogram {
     /// Record one latency sample.
     pub fn record(&mut self, latency: u64) {
-        let b = (64 - latency.max(1).leading_zeros() as usize - 1).min(20);
+        let b = (64 - latency.max(1).leading_zeros() as usize - 1).min(OVERFLOW_BUCKET);
         self.buckets[b] += 1;
         self.count += 1;
+        self.max = self.max.max(latency);
     }
 
     /// Total samples.
@@ -23,22 +31,49 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// Largest recorded sample (0 when empty). After deserialization from
+    /// bucket counts alone this is the lower bound of the highest non-empty
+    /// bucket — the best information the buckets carry.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
     /// Raw bucket counts (bucket `i` covers `[2^i, 2^(i+1))`; bucket 0 also
-    /// absorbs latency 0).
+    /// absorbs latency 0; bucket 20 absorbs everything >= 2^20).
     pub fn buckets(&self) -> &[u64; 21] {
         &self.buckets
     }
 
-    /// Rebuild from serialized bucket counts.
+    /// Rebuild from serialized bucket counts. The maximum is estimated as
+    /// the lower bound of the highest non-empty bucket; callers holding the
+    /// true recorded maximum should follow up with
+    /// [`LatencyHistogram::observe_max`].
     pub fn from_buckets(buckets: [u64; 21]) -> Self {
         let count = buckets.iter().sum();
-        LatencyHistogram { buckets, count }
+        let max = buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| 1u64 << i);
+        LatencyHistogram {
+            buckets,
+            count,
+            max,
+        }
+    }
+
+    /// Raise the recorded maximum (used when deserializing a histogram whose
+    /// true maximum was stored alongside the buckets). Never lowers it.
+    pub fn observe_max(&mut self, max: u64) {
+        self.max = self.max.max(max);
     }
 
     /// Approximate quantile: the *lower* bound of the bucket containing the
     /// `q`-th sample. The target rank is clamped to `[1, count]` so `q = 0`
     /// resolves to the first non-empty bucket (not an arbitrary constant)
-    /// and `q = 1` to the last.
+    /// and `q = 1` to the last. A quantile resolving to the *overflow*
+    /// bucket reports the recorded maximum instead of the bucket's lower
+    /// bound — the bucket is unbounded above, so `2^20` could understate a
+    /// tail latency by orders of magnitude.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -48,10 +83,14 @@ impl LatencyHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return 1u64 << i;
+                return if i == OVERFLOW_BUCKET {
+                    self.max.max(1u64 << OVERFLOW_BUCKET)
+                } else {
+                    1u64 << i
+                };
             }
         }
-        1u64 << 20
+        self.max.max(1u64 << OVERFLOW_BUCKET)
     }
 
     /// Merge another histogram.
@@ -60,6 +99,7 @@ impl LatencyHistogram {
             *a += b;
         }
         self.count += other.count;
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -449,6 +489,41 @@ mod tests {
         // Out-of-range q is clamped, not wrapped.
         assert_eq!(h.quantile(-3.0), h.quantile(0.0));
         assert_eq!(h.quantile(7.0), h.quantile(1.0));
+    }
+
+    /// Regression: a quantile resolving to the overflow bucket used to
+    /// report the bucket's lower bound (2^20 = 1,048,576), understating a
+    /// multi-million-cycle tail by an unbounded factor. It must report the
+    /// recorded maximum instead.
+    #[test]
+    fn quantile_overflow_bucket_reports_recorded_max() {
+        let mut h = LatencyHistogram::default();
+        h.record(100); // bucket [64, 128)
+        h.record(5_000_000); // overflow bucket [2^20, inf)
+        assert_eq!(h.max(), 5_000_000);
+        assert_eq!(h.quantile(1.0), 5_000_000, "q=1 lands in overflow");
+        assert_eq!(h.quantile(0.0), 64, "q=0 unaffected");
+        // All samples in overflow: every quantile reports the max.
+        let mut h = LatencyHistogram::default();
+        for lat in [2_000_000u64, 3_000_000, 9_999_999] {
+            h.record(lat);
+        }
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 9_999_999, "q={q}");
+        }
+        // Merging propagates the maximum.
+        let mut h2 = LatencyHistogram::default();
+        h2.record(50);
+        h2.merge(&h);
+        assert_eq!(h2.max(), 9_999_999);
+        assert_eq!(h2.quantile(1.0), 9_999_999);
+        // A deserialized histogram without the recorded max falls back to
+        // the overflow bucket's lower bound — never less.
+        let bare = LatencyHistogram::from_buckets(*h.buckets());
+        assert_eq!(bare.quantile(1.0), 1 << 20);
+        let mut restored = LatencyHistogram::from_buckets(*h.buckets());
+        restored.observe_max(9_999_999);
+        assert_eq!(restored.quantile(1.0), 9_999_999);
     }
 
     #[test]

@@ -73,19 +73,21 @@ pub fn par_divert_plan(
 }
 
 /// Offset of the second Valiant subpath in the reference sequence: the
-/// length of the minimal reference (3 for Dragonfly, 2 for diameter-2).
+/// length of the minimal reference (3 for Dragonfly, the diameter `d` for
+/// generic networks).
 fn second_subpath_offset(family: NetworkFamily) -> u8 {
-    match family {
-        NetworkFamily::Dragonfly => 3,
-        NetworkFamily::Diameter2 => 2,
+    match family.generic_diameter() {
+        None => 3,
+        Some(d) => d as u8,
     }
 }
 
-/// Remap MIN slots into the PAR reference (`l0 l1 g2 l3 l4 g5 l6`): the
-/// first hop keeps slot 0; later hops shift past the divert-local slot.
+/// Remap MIN slots into the PAR reference (`l0 l1 g2 l3 l4 g5 l6` in a
+/// Dragonfly, `t0 t2 t3 … td` in a generic `T^(2d+1)` reference): the first
+/// hop keeps slot 0; later hops shift past the divert slot.
 fn remap_par_min_slots(route: &mut Route, family: NetworkFamily) {
-    match family {
-        NetworkFamily::Dragonfly => {
+    match family.generic_diameter() {
+        None => {
             for hop in route.iter_mut() {
                 hop.slot = match (hop.class, hop.slot) {
                     (LinkClass::Local, 0) => 0,
@@ -95,11 +97,12 @@ fn remap_par_min_slots(route: &mut Route, family: NetworkFamily) {
                 };
             }
         }
-        NetworkFamily::Diameter2 => {
-            // T^5 reference: keep slot 0, shift the second hop to slot 2.
+        Some(_) => {
+            // T^(2d+1) reference: keep slot 0, shift every later hop past
+            // the divert slot 1.
             for hop in route.iter_mut() {
-                if hop.slot == 1 {
-                    hop.slot = 2;
+                if hop.slot >= 1 {
+                    hop.slot += 1;
                 }
             }
         }
@@ -168,6 +171,38 @@ mod tests {
         assert!(slots.windows(2).all(|w| w[0] < w[1]), "slots {slots:?}");
         // All diverted slots live past the first minimal hop (slot >= 1)
         // and within the 7-slot PAR reference.
+        assert!(
+            slots.iter().all(|&s| (1..7).contains(&s)),
+            "slots {slots:?}"
+        );
+    }
+
+    #[test]
+    fn diameter3_hyperx_plans() {
+        use flexvc_topology::HyperX;
+        let t = HyperX::regular(3, 3, 1);
+        let fam = NetworkFamily::generic(3);
+        // Valiant slots strictly increase with the second subpath >= d = 3.
+        let plan = valiant_plan(&t, fam, 0, 13, 26);
+        assert!(plan.remaining_len() <= 6);
+        let n_first = t.min_route(0, 13).len();
+        let slots: Vec<u8> = plan.remaining().iter().map(|h| h.slot).collect();
+        assert!(slots.windows(2).all(|w| w[0] < w[1]), "slots {slots:?}");
+        for (i, h) in plan.remaining().iter().enumerate() {
+            if i >= n_first {
+                assert!(h.slot >= 3, "second subpath slot {}", h.slot);
+            } else {
+                assert!(h.slot < 3);
+            }
+        }
+        // PAR MIN slots leave room at slot 1 for the divert.
+        let pm = par_min_plan(&t, fam, 0, 26);
+        let slots: Vec<u8> = pm.remaining().iter().map(|h| h.slot).collect();
+        assert_eq!(slots, vec![0, 2, 3]);
+        // PAR divert slots stay inside the T^7 reference and increase.
+        let pd = par_divert_plan(&t, fam, 1, 13, 26);
+        let slots: Vec<u8> = pd.remaining().iter().map(|h| h.slot).collect();
+        assert!(slots.windows(2).all(|w| w[0] < w[1]), "slots {slots:?}");
         assert!(
             slots.iter().all(|&s| (1..7).contains(&s)),
             "slots {slots:?}"

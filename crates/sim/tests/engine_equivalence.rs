@@ -14,8 +14,9 @@
 //! purpose), re-record by printing the fields of `run_one` on the old
 //! engine - never by copying the new engine's output untested.
 
-use flexvc_sim::equivalence::points;
+use flexvc_sim::equivalence::{hyperx_flatbf_differential_points, points};
 use flexvc_sim::runner::run_one;
+use flexvc_sim::TopologySpec;
 
 struct Golden {
     name: &'static str,
@@ -250,7 +251,63 @@ const GOLDENS: &[Golden] = &[
         ],
         global_vc_occupancy: &[4.1342592592592595, 1.5555555555555556],
     },
+    // Recorded from the engine at the commit introducing the HyperX
+    // topology (`cargo run --release -p flexvc-sim --example record_goldens
+    // hyperx3d_adv_val_flexvc4`): guards the generic-diameter-3 path —
+    // DOR plans, per-dimension escapes, opportunistic VAL with reversion —
+    // against behavioral drift.
+    Golden {
+        name: "hyperx3d_adv_val_flexvc4",
+        accepted: 0.5965925925925926,
+        latency: 152.12714179289793,
+        latency_req: 152.12714179289793,
+        latency_rep: 0.0,
+        misroute_fraction: 1.0,
+        avg_hops: 3.9679662279612615,
+        reverts_per_packet: 0.015644400297988578,
+        drop_fraction: 0.0,
+        deadlocked: false,
+        latency_p99: 256.0,
+        hist_count: 12081,
+        local_vc_occupancy: &[
+            4.5699588477366255,
+            3.51440329218107,
+            2.683127572016461,
+            1.7613168724279835,
+        ],
+        global_vc_occupancy: &[],
+    },
 ];
+
+/// Differential check: a 2-D unit-multiplicity HyperX is the same machine
+/// as the flattened butterfly it generalizes — identical wiring, port
+/// numbering, routes, slots, groups and classification family — so the
+/// same `(config, load, seed)` must produce *bit-identical* results on
+/// both `TopologySpec`s, across policies and routings.
+#[test]
+fn hyperx_2d_is_bit_identical_to_flat_butterfly() {
+    for (name, cfg, load, seed) in hyperx_flatbf_differential_points() {
+        let (k, p) = match cfg.topology {
+            TopologySpec::FlatButterfly { k, p } => (k, p),
+            ref other => panic!("{name}: differential point must start from FB, got {other:?}"),
+        };
+        let fb = run_one(&cfg, load, seed).unwrap();
+        let mut hx_cfg = cfg.clone();
+        hx_cfg.topology = TopologySpec::HyperX {
+            dims: vec![(k, 1); 2],
+            p,
+        };
+        let hx = run_one(&hx_cfg, load, seed).unwrap();
+        // Serialized form covers every result field including the latency
+        // histogram; exact string equality = exact f64/u64 equality.
+        assert_eq!(
+            flexvc_serde::to_json(&fb),
+            flexvc_serde::to_json(&hx),
+            "{name}: HyperX(2, {k}, {p}) diverged from FlatButterfly2D({k}, {p})"
+        );
+        assert!(fb.accepted > 0.0, "{name}: degenerate run");
+    }
+}
 
 #[test]
 fn engine_reproduces_pre_refactor_snapshots() {

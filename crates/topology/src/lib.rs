@@ -11,6 +11,11 @@
 //! * [`FlatButterfly2D`] — a 2-D flattened butterfly treated as a *generic
 //!   diameter-2 network* (single link class, no traversal-order
 //!   restriction), the setting of the paper's Figures 1/3 and Tables I/II.
+//! * [`HyperX`] — the `n`-dimensional generalization of the flattened
+//!   butterfly (all-to-all wiring per dimension, per-dimension link
+//!   multiplicity, dimension-ordered minimal routes): a generic
+//!   diameter-`n` network whose 2-D unit-multiplicity instance coincides
+//!   with [`FlatButterfly2D`] bit for bit.
 //!
 //! All topologies implement the [`Topology`] trait consumed by the
 //! simulator: port-level adjacency, link classes, minimal route
@@ -22,12 +27,14 @@
 
 pub mod dragonfly;
 pub mod flatbf;
+pub mod hyperx;
 pub mod route;
 pub mod serde_impls;
 pub mod validate;
 
 pub use dragonfly::{Dragonfly, GlobalArrangement};
 pub use flatbf::FlatButterfly2D;
+pub use hyperx::HyperX;
 pub use route::{offset_slots, ClassPath, Route, RouteHop};
 
 use flexvc_core::classify::NetworkFamily;

@@ -1,0 +1,229 @@
+//! Route-safety property tests across random topology shapes.
+//!
+//! For random HyperX / Dragonfly / flattened-butterfly shapes and random
+//! `src → dst` (and Valiant `via`) pairs, every generated MIN and VAL route
+//! must be
+//!
+//! (a) **correct** — walking the ports reaches the destination with
+//!     port-class-consistent hops over involutive wiring;
+//! (b) **bounded** — within the per-dimension hop budget: MIN takes at most
+//!     one hop per dimension (per link class in a Dragonfly), VAL at most
+//!     one per dimension per subpath, never exceeding the mode's reference
+//!     length;
+//! (c) **safe** — its class path embeds as strictly-increasing positions in
+//!     the routing mode's *reference arrangement* from position 0, which is
+//!     exactly the precondition for the baseline policy (and FlexVC's
+//!     escape invariant) to be deadlock-free on the route.
+
+use flexvc_core::{Arrangement, LinkClass, RoutingMode};
+use flexvc_topology::validate::{bfs_distances, check_wiring};
+use flexvc_topology::{Dragonfly, FlatButterfly2D, HyperX, Topology};
+use proptest::prelude::*;
+
+/// A randomly shaped topology, kept small enough for per-case BFS.
+#[derive(Debug, Clone)]
+enum Shape {
+    HyperX { dims: Vec<(usize, usize)>, p: usize },
+    Dragonfly { h: usize },
+    FlatBf { k: usize, p: usize },
+}
+
+impl Shape {
+    fn build(&self) -> Box<dyn Topology> {
+        match self {
+            Shape::HyperX { dims, p } => Box::new(HyperX::new(dims.clone(), *p)),
+            Shape::Dragonfly { h } => Box::new(Dragonfly::balanced(*h)),
+            Shape::FlatBf { k, p } => Box::new(FlatButterfly2D::new(*k, *p)),
+        }
+    }
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (1usize..=3, 2usize..=4, 1usize..=2, 1usize..=2).prop_map(|(n, s, k, p)| {
+            Shape::HyperX {
+                dims: vec![(s, k); n],
+                p,
+            }
+        }),
+        // Mixed-shape HyperX (different sizes per dimension).
+        (2usize..=4, 2usize..=4, 1usize..=2).prop_map(|(s0, s1, p)| Shape::HyperX {
+            dims: vec![(s0, 1), (s1, 1)],
+            p,
+        }),
+        (1usize..=2).prop_map(|h| Shape::Dragonfly { h }),
+        (2usize..=5, 1usize..=2).prop_map(|(k, p)| Shape::FlatBf { k, p }),
+    ]
+}
+
+/// The routing mode's reference arrangement for the topology family: the
+/// master sequence the baseline policy assigns one VC per hop of.
+fn reference_arrangement(topo: &dyn Topology, mode: RoutingMode) -> Arrangement {
+    match topo.family().generic_diameter() {
+        Some(d) => Arrangement::new(mode.generic_reference(d)),
+        None => Arrangement::new(mode.dragonfly_reference().to_vec()),
+    }
+}
+
+/// Walk `route` from `from`, asserting port-level consistency; returns the
+/// sequence of routers visited (excluding `from`).
+fn walk(topo: &dyn Topology, from: usize, route: &flexvc_topology::Route) -> Vec<usize> {
+    let mut cur = from;
+    let mut visited = Vec::with_capacity(route.len());
+    for hop in route {
+        assert_eq!(
+            topo.port_class(cur, hop.port as usize),
+            hop.class,
+            "hop class disagrees with the port class"
+        );
+        let (next, back) = topo
+            .neighbor(cur, hop.port as usize)
+            .expect("route uses a wired port");
+        let (rr, rp) = topo.neighbor(next, back).expect("wiring involutive");
+        assert_eq!((rr, rp), (cur, hop.port as usize));
+        cur = next;
+        visited.push(cur);
+    }
+    visited
+}
+
+/// Per-dimension hop budget of a minimal route: at most one hop per
+/// dimension on a HyperX (coordinates change exactly once, in dimension
+/// order), at most `diameter` hops anywhere, and exact BFS minimality on
+/// generic families.
+fn check_min_bounds(shape: &Shape, topo: &dyn Topology, from: usize, to: usize) {
+    let route = topo.min_route(from, to);
+    assert!(route.len() <= topo.diameter(), "minimal route too long");
+    let visited = walk(topo, from, &route);
+    assert_eq!(visited.last().copied().unwrap_or(from), to);
+    if let Shape::HyperX { dims, .. } = shape {
+        let hx = HyperX::new(dims.clone(), 1);
+        // Exactly the differing dimensions are fixed, one hop each,
+        // ascending (DOR).
+        let mut fixed = Vec::new();
+        let mut cur = from;
+        for next in &visited {
+            let changed: Vec<usize> = (0..hx.num_dims())
+                .filter(|&d| hx.coord(cur, d) != hx.coord(*next, d))
+                .collect();
+            assert_eq!(changed.len(), 1, "one dimension per hop");
+            fixed.push(changed[0]);
+            cur = *next;
+        }
+        let mut sorted = fixed.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, fixed, "dimension-ordered, one hop per dimension");
+    }
+    if topo.family().generic_diameter().is_some() {
+        // Generic families route truly minimally (Dragonfly's hierarchical
+        // l-g-l may exceed BFS through third-group shortcuts), with
+        // consecutive slots keeping baseline positions aligned with hop
+        // indices.
+        assert_eq!(route.len(), bfs_distances(topo, from)[to]);
+        for (i, hop) in route.iter().enumerate() {
+            assert_eq!(hop.slot as usize, i);
+        }
+    }
+}
+
+/// (c): the class path embeds in the mode's reference arrangement from
+/// position 0 — the route is *safe*.
+fn check_safe(topo: &dyn Topology, mode: RoutingMode, classes: &[LinkClass]) {
+    let arr = reference_arrangement(topo, mode);
+    assert!(
+        classes.len() <= arr.len(),
+        "route longer than the {mode} reference"
+    );
+    assert!(
+        arr.embeds(classes, None, (0, arr.len())),
+        "classes {classes:?} do not embed in the {mode} reference {}",
+        arr.notation()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// MIN routes reach, respect hop bounds, and are safe under the MIN
+    /// reference (hence under every larger reference too).
+    #[test]
+    fn min_routes_are_correct_bounded_and_safe(
+        shape in arb_shape(),
+        pair in (0usize..10_000, 0usize..10_000),
+    ) {
+        let topo = shape.build();
+        check_wiring(&*topo).unwrap();
+        let n = topo.num_routers();
+        let (from, to) = (pair.0 % n, pair.1 % n);
+        check_min_bounds(&shape, &*topo, from, to);
+        let classes: Vec<LinkClass> =
+            topo.min_route(from, to).iter().map(|h| h.class).collect();
+        prop_assert_eq!(topo.min_classes(from, to).as_slice(), &classes[..]);
+        check_safe(&*topo, RoutingMode::Min, &classes);
+    }
+
+    /// VAL routes (minimal to `via`, then minimal to `dst`) reach, stay
+    /// within one-hop-per-dimension per subpath, and are safe under the VAL
+    /// reference from position 0.
+    #[test]
+    fn valiant_routes_are_correct_bounded_and_safe(
+        shape in arb_shape(),
+        triple in (0usize..10_000, 0usize..10_000, 0usize..10_000),
+    ) {
+        let topo = shape.build();
+        let n = topo.num_routers();
+        let (from, via, to) = (triple.0 % n, triple.1 % n, triple.2 % n);
+        let first = topo.min_route(from, via);
+        let second = topo.min_route(via, to);
+        // (a) the concatenation reaches dst through via.
+        let v1 = walk(&*topo, from, &first);
+        prop_assert_eq!(v1.last().copied().unwrap_or(from), via);
+        let v2 = walk(&*topo, via, &second);
+        prop_assert_eq!(v2.last().copied().unwrap_or(via), to);
+        // (b) per-subpath hop bounds: each subpath is a minimal route
+        // (checked exhaustively above); the whole detour fits the 2d / 6-hop
+        // VAL budget.
+        prop_assert!(first.len() + second.len() <= 2 * topo.diameter());
+        // (c) the concatenated class path embeds in the VAL reference.
+        let classes: Vec<LinkClass> = first
+            .iter()
+            .chain(second.iter())
+            .map(|h| h.class)
+            .collect();
+        check_safe(&*topo, RoutingMode::Valiant, &classes);
+        // And PB shares VAL's reference, so the same path is PB-safe.
+        check_safe(&*topo, RoutingMode::Piggyback, &classes);
+    }
+
+    /// The minimal continuation from *any* router along a VAL detour embeds
+    /// above the worst landing — the escape-path substrate FlexVC's
+    /// opportunistic hops rely on (Definition 2's "safe escape exists").
+    #[test]
+    fn min_escape_embeds_from_every_detour_router(
+        shape in arb_shape(),
+        triple in (0usize..10_000, 0usize..10_000, 0usize..10_000),
+    ) {
+        let topo = shape.build();
+        let n = topo.num_routers();
+        let (from, via, to) = (triple.0 % n, triple.1 % n, triple.2 % n);
+        let arr = reference_arrangement(&*topo, RoutingMode::Valiant);
+        let mut cur = from;
+        let mut hops_taken = 0usize;
+        let route = topo.min_route(from, via);
+        for hop in route.iter() {
+            cur = topo.neighbor(cur, hop.port as usize).unwrap().0;
+            hops_taken += 1;
+            // After `hops_taken` hops the escape (minimal continuation)
+            // embeds after position `hops_taken - 1` — the packet can
+            // always fall back to a strictly-increasing minimal path.
+            let esc: Vec<LinkClass> =
+                topo.min_classes(cur, to).iter().copied().collect();
+            prop_assert!(
+                arr.embeds(&esc, Some(hops_taken - 1), (0, arr.len())),
+                "escape {esc:?} after {hops_taken} hops in {}",
+                arr.notation()
+            );
+        }
+    }
+}

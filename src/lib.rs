@@ -7,8 +7,8 @@
 //!
 //! * [`core`] — the FlexVC VC-management model (arrangements, safe and
 //!   opportunistic hop rules, path classification, selection functions).
-//! * [`topology`] — Dragonfly and flattened-butterfly topologies with
-//!   minimal/Valiant route computation.
+//! * [`topology`] — Dragonfly, flattened-butterfly and `n`-dimensional
+//!   HyperX topologies with minimal/Valiant route computation.
 //! * [`traffic`] — uniform, adversarial and bursty traffic generators plus
 //!   the request–reply reactive wrapper.
 //! * [`sim`] — the cycle-accurate phit-level network simulator, the
@@ -43,6 +43,6 @@ pub mod prelude {
     };
     pub use flexvc_serde::{from_json, from_toml, to_json, to_json_pretty, to_toml};
     pub use flexvc_sim::prelude::*;
-    pub use flexvc_topology::{Dragonfly, Topology};
+    pub use flexvc_topology::{Dragonfly, FlatButterfly2D, HyperX, Topology};
     pub use flexvc_traffic::TrafficPattern;
 }

@@ -114,6 +114,90 @@ fn selection_functions_survive_saturation() {
     }
 }
 
+/// 3-D HyperX at 100% offered load under FlexVC *opportunistic* reuse:
+/// VAL needs 6 VCs for safety, so running it on 4 and 5 forces
+/// opportunistic hops (with reversion) on nearly every detour. The
+/// watchdog must never fire, and at drain (generators muted) every packet
+/// the network accepted must reach its consumption port — injected =
+/// consumed, nothing stranded in any buffer, queue or link.
+#[test]
+fn hyperx_3d_survives_saturation_and_drains() {
+    for (routing, vcs, pattern) in [
+        (RoutingMode::Min, 3, Pattern::Uniform),
+        (RoutingMode::Valiant, 4, Pattern::adv1()), // opportunistic-only VAL
+        (RoutingMode::Valiant, 5, Pattern::adv1()),
+        (RoutingMode::Valiant, 6, Pattern::Uniform), // safe VAL at saturation
+        (RoutingMode::Par, 5, Pattern::adv1()),      // opportunistic PAR
+    ] {
+        let mut cfg = SimConfig::hyperx_baseline(3, 3, 2, routing, Workload::oblivious(pattern))
+            .with_flexvc(Arrangement::generic(vcs));
+        cfg.warmup = 1_000;
+        cfg.measure = 3_000;
+        cfg.watchdog = 6_000;
+        let label = format!("hyperx3d {routing} {vcs}VCs {pattern}");
+        let mut net = Network::new(cfg, 1.0, 99).unwrap();
+        let r = net.run();
+        assert!(!r.deadlocked, "{label} deadlocked");
+        assert!(
+            r.accepted > 0.05,
+            "{label} made no progress: {}",
+            r.accepted
+        );
+        let stranded = net.drain(100_000);
+        assert!(!net.deadlocked(), "{label} deadlocked while draining");
+        assert_eq!(stranded, 0, "{label}: packets stranded at drain");
+    }
+    // Request–reply coupling: conservation must close over staged replies
+    // too (a consumed request stages a reply outside `in_flight` until the
+    // NIC injects it).
+    let mut cfg = SimConfig::hyperx_baseline(
+        3,
+        3,
+        2,
+        RoutingMode::Min,
+        Workload::reactive(Pattern::Uniform),
+    )
+    .with_flexvc(Arrangement::generic_rr(4, 3));
+    cfg.warmup = 1_000;
+    cfg.measure = 3_000;
+    cfg.watchdog = 6_000;
+    let mut net = Network::new(cfg, 1.0, 99).unwrap();
+    let r = net.run();
+    assert!(!r.deadlocked, "hyperx3d rr deadlocked");
+    assert!(r.accepted > 0.05, "hyperx3d rr: {}", r.accepted);
+    assert_eq!(net.drain(100_000), 0, "hyperx3d rr: stranded at drain");
+}
+
+/// The same conservation property holds for Piggyback routing on a HyperX,
+/// where sensing falls back to all-port boards (no global link class).
+#[test]
+fn hyperx_piggyback_senses_and_drains() {
+    for (mode, min_cred) in [(SensingMode::PerPort, false), (SensingMode::PerVc, true)] {
+        let mut cfg = SimConfig::hyperx_baseline(
+            2,
+            4,
+            2,
+            RoutingMode::Piggyback,
+            Workload::oblivious(Pattern::adv1()),
+        )
+        .with_flexvc(Arrangement::generic(3));
+        cfg.sensing = SensingConfig {
+            mode,
+            min_cred,
+            threshold: 3,
+        };
+        cfg.warmup = 1_000;
+        cfg.measure = 3_000;
+        cfg.watchdog = 6_000;
+        let label = format!("hyperx pb {mode:?} mincred={min_cred}");
+        let mut net = Network::new(cfg, 1.0, 99).unwrap();
+        let r = net.run();
+        assert!(!r.deadlocked, "{label} deadlocked");
+        assert!(r.accepted > 0.05, "{label}: {}", r.accepted);
+        assert_eq!(net.drain(100_000), 0, "{label}: stranded at drain");
+    }
+}
+
 #[test]
 fn flat_butterfly_survives_saturation() {
     for (policy_arr, routing) in [

@@ -37,6 +37,11 @@ fn arb_topology() -> impl Strategy<Value = TopologySpec> {
             arrangement,
         }),
         ((2usize..6), (1usize..4)).prop_map(|(k, p)| TopologySpec::FlatButterfly { k, p }),
+        (
+            proptest::collection::vec((2usize..5, 1usize..3), 1..=3),
+            1usize..4,
+        )
+            .prop_map(|(dims, p)| TopologySpec::HyperX { dims, p }),
     ]
 }
 
@@ -235,6 +240,28 @@ fn corner_configs_round_trip() {
     fb.policy = VcPolicy::FlexVc;
     fb.arrangement = Arrangement::generic(4);
     cfgs.push(fb);
+    let mut hx = SimConfig::hyperx_baseline(
+        3,
+        3,
+        2,
+        RoutingMode::Valiant,
+        Workload::oblivious(Pattern::Uniform),
+    );
+    hx.policy = VcPolicy::FlexVc;
+    hx.arrangement = Arrangement::generic(4);
+    cfgs.push(hx);
+    let mut hx_k = SimConfig::hyperx_baseline(
+        2,
+        4,
+        1,
+        RoutingMode::Min,
+        Workload::oblivious(Pattern::Uniform),
+    );
+    hx_k.topology = TopologySpec::HyperX {
+        dims: vec![(4, 2), (3, 1)],
+        p: 1,
+    };
+    cfgs.push(hx_k);
     for cfg in &cfgs {
         assert_round_trip(cfg);
     }
