@@ -33,7 +33,11 @@ USAGE:
 
 BENCH OPTIONS:
     --quick                shorter windows (the CI profile)
-    --out <path>           report path (default: BENCH_pr2.json)
+    --out <path>           report path (default: BENCH_pr4.json)
+    --baseline <path>      compare against a recorded report: fail (exit 1)
+                           on a >15% cycles/sec regression in any kernel
+                           group present in both reports (cycles/sec are
+                           machine-dependent; compare on like hardware)
     --quiet                suppress per-kernel progress on stderr
 
 SHOW OPTIONS:
@@ -60,6 +64,7 @@ struct Options {
     threads: usize,
     out: Option<String>,
     format: Option<String>,
+    baseline: Option<String>,
     quiet: bool,
     quick: bool,
     scale: Scale,
@@ -106,6 +111,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         threads: default_threads(),
         out: None,
         format: None,
+        baseline: None,
         quiet: false,
         quick: false,
         scale: Scale::from_env(),
@@ -127,6 +133,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--out" => opts.out = Some(value("--out", &mut it)?),
             "--format" => opts.format = Some(value("--format", &mut it)?),
+            "--baseline" => opts.baseline = Some(value("--baseline", &mut it)?),
             "--quiet" => opts.quiet = true,
             "--quick" => opts.quick = true,
             "--paper" => opts.scale = Scale::paper(),
@@ -241,7 +248,28 @@ fn write_output(report: &ScenarioReport, path: &str, format: &str) -> Result<(),
 }
 
 fn bench(opts: Options) -> ExitCode {
-    let out_path = opts.out.as_deref().unwrap_or("BENCH_pr2.json");
+    let out_path = opts.out.as_deref().unwrap_or("BENCH_pr4.json");
+    // Read (and validate) the baseline before the suite runs, so a typo'd
+    // path cannot waste the run.
+    let baseline = match &opts.baseline {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read baseline {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match from_json::<flexvc_bench::perf::BenchReport>(&text) {
+                Ok(b) => Some((path.clone(), b)),
+                Err(e) => {
+                    eprintln!("error: cannot parse baseline {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
     if !opts.quiet {
         eprintln!(
             "[bench] running the fixed kernel suite ({} profile)…",
@@ -286,6 +314,26 @@ fn bench(opts: Options) -> ExitCode {
     }
     if !opts.quiet {
         eprintln!("[bench] report written to {out_path}");
+    }
+    if let Some((path, baseline)) = baseline {
+        let (rows, pass) = flexvc_bench::perf::compare_reports(&report, &baseline, 0.15);
+        println!("\nbaseline compare vs {path} (gate: >=0.85x on recorded groups):");
+        println!("| group | cycles/sec | recorded | ratio | gate |");
+        println!("|---|---|---|---|---|");
+        for r in &rows {
+            println!(
+                "| {} | {:.0} | {:.0} | {:.2}x | {} |",
+                r.group,
+                r.current,
+                r.baseline,
+                r.ratio,
+                if r.pass { "ok" } else { "FAIL" }
+            );
+        }
+        if !pass {
+            eprintln!("error: >15% cycles/sec regression vs {path}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

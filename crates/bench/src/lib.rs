@@ -6,7 +6,8 @@
 //! `flexvc_serde`, and runs on the parallel scenario executor with
 //! streaming progress. The [`scenario::ScenarioRegistry`] holds the nine
 //! paper reproductions (`fig5` … `fig11`, `tables`, `ablations`), the
-//! `hyperx-{un,adv}-{2d,3d}` HyperX family, and a tiny `smoke` scenario;
+//! `hyperx-{un,adv}-{2d,3d}` + `hyperx-k2` HyperX family, and a tiny
+//! `smoke` scenario;
 //! the single `flexvc` CLI binary fronts them:
 //!
 //! ```text
@@ -25,7 +26,7 @@
 //! The paper simulates an `h = 8` Dragonfly (2,064 routers) for 5×60k
 //! cycles per point — far beyond a laptop budget. The harness defaults to
 //! a scaled `h = 2` network with shorter windows that preserves every
-//! mechanism and the comparative shape of all results (see `DESIGN.md` §4).
+//! mechanism and the comparative shape of all results (see `DESIGN.md` §5).
 //! Environment variables (overridable by `flexvc` CLI flags) set the
 //! defaults:
 //!
@@ -199,7 +200,10 @@ pub fn hyperx_shape(n_dims: usize) -> (usize, usize) {
 /// distance-based policy, FlexVC at the *same* VC budget (pure policy
 /// benefit), FlexVC with two extra VCs, and — for non-minimal routings —
 /// the cheap opportunistic configuration (`d + 1` VCs, below the safe
-/// minimum of `2d`).
+/// minimum of `2d`) plus the adaptive cross-section at the safe budget:
+/// MIN (the misroute-free floor), UGAL-L/G (source-adaptive MIN-vs-VAL)
+/// and DAL (per-dimension in-transit misrouting), all under FlexVC so the
+/// routing mechanism is the only variable.
 pub fn hyperx_series(scale: &Scale, n_dims: usize, pattern: Pattern) -> Vec<Series> {
     let routing = paper_routing_for(pattern);
     let (s, p) = hyperx_shape(n_dims);
@@ -221,7 +225,56 @@ pub fn hyperx_series(scale: &Scale, n_dims: usize, pattern: Pattern) -> Vec<Seri
         format!("FlexVC {}VCs", min_vcs + 2),
         flex(min_vcs + 2),
     ));
+    if routing.is_nonminimal() {
+        // The adaptive cross-section at the safe VC budget: every series
+        // shares the arrangement, only the routing mechanism differs.
+        let with_routing = |mode: RoutingMode| {
+            let mut cfg = flex(min_vcs);
+            cfg.routing = mode;
+            cfg
+        };
+        out.push(Series::new(
+            format!("MIN {min_vcs}VCs"),
+            with_routing(RoutingMode::Min),
+        ));
+        out.push(Series::new(
+            format!("UGAL-L {min_vcs}VCs"),
+            with_routing(RoutingMode::UgalL),
+        ));
+        out.push(Series::new(
+            format!("UGAL-G {min_vcs}VCs"),
+            with_routing(RoutingMode::UgalG),
+        ));
+        out.push(Series::new(
+            format!("DAL {min_vcs}VCs"),
+            with_routing(RoutingMode::Dal),
+        ));
+    }
     out
+}
+
+/// The `hyperx-k2` series: a 2-D HyperX with `k = 2` parallel links per
+/// peer pair under MIN routing, hash-spread copies vs adaptive (sensed)
+/// copy selection. The endpoint hash pins every router pair's traffic to
+/// one fixed copy, so adversarial traffic wastes half the bisection; the
+/// adaptive JSQ uses both copies.
+pub fn hyperx_k2_series(scale: &Scale, pattern: Pattern) -> Vec<Series> {
+    let (s, p) = hyperx_shape(2);
+    let mut base =
+        SimConfig::hyperx_baseline(2, s, p, RoutingMode::Min, Workload::oblivious(pattern));
+    base.topology = flexvc_sim::TopologySpec::HyperX {
+        dims: vec![(s, 2); 2],
+        p,
+    };
+    base.warmup = scale.warmup;
+    base.measure = scale.measure;
+    base.watchdog = (scale.warmup + scale.measure) / 2;
+    let mut adaptive = base.clone();
+    adaptive.adaptive_copies = true;
+    vec![
+        Series::new("hash copies", base),
+        Series::new("adaptive copies", adaptive),
+    ]
 }
 
 /// Piggyback adaptive series of Fig. 8: reference MIN/VAL, PB per-VC and
@@ -337,6 +390,37 @@ mod tests {
         assert_eq!(reactive_series(&scale, Pattern::Uniform).len(), 8);
         assert_eq!(reactive_series(&scale, Pattern::adv1()).len(), 5);
         assert_eq!(adaptive_series(&scale, Pattern::Uniform).len(), 7);
+    }
+
+    /// The ADV HyperX cells carry the adaptive cross-section at the safe
+    /// VC budget (MIN / UGAL-L / UGAL-G / DAL alongside Baseline and
+    /// FlexVC VAL); the UN cells stay minimal-only. Every config validates.
+    #[test]
+    fn hyperx_series_cover_the_adaptive_cross_section() {
+        let scale = test_scale();
+        for n_dims in [2, 3] {
+            let adv = hyperx_series(&scale, n_dims, Pattern::adv1());
+            for needle in ["Baseline", "MIN", "UGAL-L", "UGAL-G", "DAL"] {
+                assert!(
+                    adv.iter().any(|s| s.label.contains(needle)),
+                    "missing {needle} in {n_dims}-D ADV series"
+                );
+            }
+            for s in &adv {
+                s.cfg
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{}: {e}", s.label));
+            }
+            let un = hyperx_series(&scale, n_dims, Pattern::Uniform);
+            assert!(un.iter().all(|s| !s.label.contains("UGAL")));
+        }
+        for pattern in [Pattern::Uniform, Pattern::adv1()] {
+            for s in hyperx_k2_series(&scale, pattern) {
+                s.cfg
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{}: {e}", s.label));
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! `flexvc bench` — the fixed engine-performance kernel suite.
 //!
 //! Runs a deterministic set of simulation kernels and emits a
-//! machine-readable report (`BENCH_pr2.json`), establishing the repo's
-//! performance trajectory. Four kernel groups:
+//! machine-readable report (`BENCH_pr4.json`), establishing the repo's
+//! performance trajectory. Five kernel groups:
 //!
 //! * **fig5_h2** — the Fig. 5 oblivious-routing suite at h = 2 (baseline,
 //!   DAMQ 75%, FlexVC 2/1, 4/2 and 8/4 under MIN/UN) over the
@@ -12,6 +12,9 @@
 //!   intermediate scale.
 //! * **hyperx** — the generic-diameter engine path on 2-D/3-D HyperX
 //!   networks (DOR plans, per-dimension escapes, opportunistic VAL).
+//! * **adaptive** — the RoutePolicy decision layer under adversarial
+//!   load: UGAL-L/G source adaptivity, DAL per-dimension misrouting and
+//!   adaptive `k = 2` copy selection.
 //! * **smoke_h8** — a short measurement window at the paper's full h = 8
 //!   scale (2,064 routers, 16,512 nodes), proving paper-scale runs are
 //!   tractable on one core.
@@ -23,7 +26,7 @@
 //! because both engines are memory-bound on the same structures.
 
 use flexvc_core::{Arrangement, RoutingMode};
-use flexvc_serde::{Map, Serialize, Value};
+use flexvc_serde::{Deserialize, Error as DeError, Map, Serialize, Value};
 use flexvc_sim::prelude::*;
 use flexvc_sim::Network;
 use flexvc_traffic::{Pattern, Workload};
@@ -47,6 +50,12 @@ pub mod recorded_baseline {
     /// moves it; the entry anchors the trajectory for the generic-diameter
     /// engine path.
     pub const HYPERX: f64 = 150_485.0;
+    /// Aggregate cycles/sec over the `adaptive` kernel group (UGAL-L/G,
+    /// DAL and adaptive `k = 2` copy selection), recorded at the commit
+    /// that introduced the RoutePolicy decision layer — the anchor for the
+    /// adaptive-routing engine path, expected to read ~1.0x until a later
+    /// optimization moves it.
+    pub const ADAPTIVE: f64 = 68_879.0;
 }
 
 /// One kernel: a named `(config, load, seed)` point with fixed windows.
@@ -101,7 +110,9 @@ pub struct GroupSummary {
     pub speedup_vs_baseline: f64,
 }
 
-/// The full bench report (serialized to `BENCH_pr2.json`).
+/// The full bench report (serialized to `BENCH_pr4.json`; older
+/// recordings such as `BENCH_pr2.json` deserialize through the same
+/// schema for `--baseline` comparisons).
 #[derive(Debug, Clone)]
 pub struct BenchReport {
     /// Report schema tag.
@@ -237,6 +248,80 @@ pub fn kernel_suite(quick: bool) -> Vec<Kernel> {
         });
     }
 
+    // adaptive: the RoutePolicy decision layer — UGAL-L/G source
+    // adaptivity, DAL per-dimension misrouting, and adaptive k = 2 copy
+    // selection — under adversarial load, where the decisions actually
+    // fire.
+    let (warm_ad, meas_ad) = if quick { (800, 1_600) } else { (1_500, 4_000) };
+    let series_ad: Vec<(&str, SimConfig, f64)> = vec![
+        (
+            "ugal_l_adv3d",
+            SimConfig::hyperx_baseline(
+                3,
+                3,
+                2,
+                RoutingMode::UgalL,
+                Workload::oblivious(Pattern::adv1()),
+            )
+            .with_flexvc(Arrangement::generic(6)),
+            0.6,
+        ),
+        (
+            "ugal_g_adv3d",
+            SimConfig::hyperx_baseline(
+                3,
+                3,
+                2,
+                RoutingMode::UgalG,
+                Workload::oblivious(Pattern::adv1()),
+            )
+            .with_flexvc(Arrangement::generic(6)),
+            0.6,
+        ),
+        (
+            "dal_adv2d",
+            SimConfig::hyperx_baseline(
+                2,
+                4,
+                2,
+                RoutingMode::Dal,
+                Workload::oblivious(Pattern::adv1()),
+            )
+            .with_flexvc(Arrangement::generic(4)),
+            0.7,
+        ),
+        (
+            "k2_adaptive_adv",
+            {
+                let mut cfg = SimConfig::hyperx_baseline(
+                    2,
+                    4,
+                    2,
+                    RoutingMode::Min,
+                    Workload::oblivious(Pattern::adv1()),
+                );
+                cfg.topology = flexvc_sim::TopologySpec::HyperX {
+                    dims: vec![(4, 2); 2],
+                    p: 2,
+                };
+                cfg.adaptive_copies = true;
+                cfg
+            },
+            0.8,
+        ),
+    ];
+    for (label, cfg, load) in series_ad {
+        let mut cfg = cfg;
+        windows(&mut cfg, warm_ad, meas_ad);
+        kernels.push(Kernel {
+            name: format!("adaptive/{label}@{load}"),
+            group: "adaptive",
+            cfg,
+            load,
+            seed: 1,
+        });
+    }
+
     // smoke_h8: paper scale, short window.
     let (warm8, meas8) = if quick { (200, 500) } else { (300, 1_200) };
     let mut cfg8 =
@@ -291,6 +376,7 @@ where
         ("fig5_h2", recorded_baseline::FIG5_H2),
         ("sweep_h4", recorded_baseline::SWEEP_H4),
         ("hyperx", recorded_baseline::HYPERX),
+        ("adaptive", recorded_baseline::ADAPTIVE),
         ("smoke_h8", recorded_baseline::SMOKE_H8),
     ] {
         let members: Vec<&KernelResult> = kernels.iter().filter(|k| k.group == group).collect();
@@ -315,6 +401,64 @@ where
         kernels,
         groups,
     })
+}
+
+/// One group's comparison against a recorded baseline report.
+#[derive(Debug, Clone)]
+pub struct GroupComparison {
+    /// Group name.
+    pub group: String,
+    /// Cycles/sec of the current run.
+    pub current: f64,
+    /// Cycles/sec recorded in the baseline report.
+    pub baseline: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// Whether this group passes the regression gate.
+    pub pass: bool,
+}
+
+/// Compare a fresh report against a recorded baseline file: every kernel
+/// group present in *both* reports is gated — the run fails when any
+/// group's cycles/sec drops below `1 - tolerance` of the recorded value
+/// (the CI gate uses `tolerance = 0.15`). Groups new since the recording
+/// are reported but not gated. Returns the per-group comparisons and the
+/// overall verdict.
+///
+/// Cycles/sec are machine-dependent: a recorded baseline is only
+/// meaningful on hardware comparable to where it was recorded (the repo's
+/// `BENCH_*.json` files and CI runners; see `DESIGN.md`).
+pub fn compare_reports(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    tolerance: f64,
+) -> (Vec<GroupComparison>, bool) {
+    let mut rows = Vec::new();
+    let mut pass = true;
+    // Iterate the *baseline* groups so a recorded group that disappears
+    // from the suite (renamed, deleted) fails loudly instead of silently
+    // dropping its gate coverage.
+    for b in &baseline.groups {
+        if b.cycles_per_sec <= 0.0 {
+            continue;
+        }
+        let (current_cps, ratio, ok) = match current.groups.iter().find(|g| g.group == b.group) {
+            Some(g) => {
+                let ratio = g.cycles_per_sec / b.cycles_per_sec;
+                (g.cycles_per_sec, ratio, ratio >= 1.0 - tolerance)
+            }
+            None => (0.0, 0.0, false),
+        };
+        pass &= ok;
+        rows.push(GroupComparison {
+            group: b.group.clone(),
+            current: current_cps,
+            baseline: b.cycles_per_sec,
+            ratio,
+            pass: ok,
+        });
+    }
+    (rows, pass)
 }
 
 impl Serialize for KernelResult {
@@ -363,6 +507,49 @@ impl Serialize for BenchReport {
     }
 }
 
+impl Deserialize for KernelResult {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v.as_map()?;
+        Ok(KernelResult {
+            name: m.field("name")?,
+            group: m.field_or("group", String::new())?,
+            cycles: m.field_or("cycles", 0u64)?,
+            wall_seconds: m.field_or("wall_seconds", 0.0)?,
+            cycles_per_sec: m.field_or("cycles_per_sec", 0.0)?,
+            accepted: m.field_or("accepted", 0.0)?,
+            deadlocked: m.field_or("deadlocked", false)?,
+        })
+    }
+}
+
+impl Deserialize for GroupSummary {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v.as_map()?;
+        Ok(GroupSummary {
+            group: m.field("group")?,
+            kernels: m.field_or::<u64>("kernels", 0)? as usize,
+            cycles: m.field_or("cycles", 0u64)?,
+            wall_seconds: m.field_or("wall_seconds", 0.0)?,
+            cycles_per_sec: m.field("cycles_per_sec")?,
+            baseline_cycles_per_sec: m.field_or("baseline_cycles_per_sec", 0.0)?,
+            speedup_vs_baseline: m.field_or("speedup_vs_baseline", 0.0)?,
+        })
+    }
+}
+
+impl Deserialize for BenchReport {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v.as_map()?;
+        Ok(BenchReport {
+            schema: m.field_or("schema", "flexvc-bench-v1".to_string())?,
+            engine: m.field_or("engine", String::new())?,
+            quick: m.field_or("quick", false)?,
+            kernels: m.field_or("kernels", Vec::new())?,
+            groups: m.field_or("groups", Vec::new())?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,7 +558,7 @@ mod tests {
     fn suite_is_fixed_and_valid() {
         for quick in [false, true] {
             let suite = kernel_suite(quick);
-            assert_eq!(suite.len(), 5 * 4 + 2 * 2 + 4 + 1);
+            assert_eq!(suite.len(), 5 * 4 + 2 * 2 + 4 + 4 + 1);
             for k in &suite {
                 k.cfg
                     .validate()
@@ -418,5 +605,66 @@ mod tests {
         let json = flexvc_serde::to_json_pretty(&report);
         assert!(json.contains("\"schema\": \"flexvc-bench-v1\""));
         assert!(json.contains("cycles_per_sec"));
+        // Reports round-trip, so `--baseline` can read recorded files.
+        let back: BenchReport = flexvc_serde::from_json(&json).unwrap();
+        assert_eq!(back.kernels.len(), 1);
+        assert_eq!(back.kernels[0].cycles, 300);
+    }
+
+    fn group(name: &str, cps: f64) -> GroupSummary {
+        GroupSummary {
+            group: name.to_string(),
+            kernels: 1,
+            cycles: 1000,
+            wall_seconds: 1.0,
+            cycles_per_sec: cps,
+            baseline_cycles_per_sec: 0.0,
+            speedup_vs_baseline: 0.0,
+        }
+    }
+
+    fn report(groups: Vec<GroupSummary>) -> BenchReport {
+        BenchReport {
+            schema: "flexvc-bench-v1".into(),
+            engine: "active-set".into(),
+            quick: true,
+            kernels: Vec::new(),
+            groups,
+        }
+    }
+
+    #[test]
+    fn baseline_compare_gates_recorded_groups_only() {
+        let baseline = report(vec![group("fig5_h2", 100_000.0), group("hyperx", 50_000.0)]);
+        // Within tolerance: 15% down on one group passes at exactly 0.85.
+        let current = report(vec![
+            group("fig5_h2", 85_000.0),
+            group("hyperx", 60_000.0),
+            group("adaptive", 1.0), // not in the baseline: reported, ungated
+        ]);
+        let (rows, pass) = compare_reports(&current, &baseline, 0.15);
+        assert!(pass, "{rows:?}");
+        assert_eq!(rows.len(), 2, "new groups are not gated");
+        // A >15% regression fails the gate.
+        let bad = report(vec![group("fig5_h2", 80_000.0), group("hyperx", 60_000.0)]);
+        let (rows, pass) = compare_reports(&bad, &baseline, 0.15);
+        assert!(!pass);
+        let fig5 = rows.iter().find(|r| r.group == "fig5_h2").unwrap();
+        assert!(!fig5.pass);
+        assert!(rows.iter().find(|r| r.group == "hyperx").unwrap().pass);
+    }
+
+    /// A recorded group that disappears from the suite (renamed or
+    /// deleted) must fail the gate loudly, not silently lose coverage.
+    #[test]
+    fn baseline_compare_fails_on_missing_recorded_group() {
+        let baseline = report(vec![group("fig5_h2", 100_000.0), group("hyperx", 50_000.0)]);
+        let renamed = report(vec![group("fig5", 200_000.0), group("hyperx", 60_000.0)]);
+        let (rows, pass) = compare_reports(&renamed, &baseline, 0.15);
+        assert!(!pass);
+        let missing = rows.iter().find(|r| r.group == "fig5_h2").unwrap();
+        assert!(!missing.pass);
+        assert_eq!(missing.current, 0.0);
+        assert!(rows.iter().find(|r| r.group == "hyperx").unwrap().pass);
     }
 }

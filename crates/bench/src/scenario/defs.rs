@@ -10,7 +10,8 @@
 
 use super::{ClassificationSpec, ClassifyKind, PointSpec, Scenario};
 use crate::{
-    adaptive_series, default_loads, hyperx_series, oblivious_series, reactive_series, Scale, Series,
+    adaptive_series, default_loads, hyperx_k2_series, hyperx_series, oblivious_series,
+    reactive_series, Scale, Series,
 };
 use flexvc_core::classify::NetworkFamily;
 use flexvc_core::{Arrangement, RoutingMode, VcSelection};
@@ -478,6 +479,34 @@ pub(super) fn hyperx_adv_2d(scale: &Scale) -> Scenario {
 
 pub(super) fn hyperx_adv_3d(scale: &Scale) -> Scenario {
     hyperx(scale, 3, Pattern::adv1())
+}
+
+/// `hyperx-k2`: the `k > 1` link-multiplicity regression — hash-spread vs
+/// adaptive (sensed per-copy occupancy) parallel-copy selection on a 2-D
+/// HyperX with doubled links, under UN and ADV+1. The acceptance shape:
+/// adaptive is no worse than hash under UN and strictly better under ADV
+/// (the endpoint hash pins each router pair to one copy, so the
+/// adversarial funnel wastes half the doubled bisection).
+pub(super) fn hyperx_k2(scale: &Scale) -> Scenario {
+    let loads = default_loads();
+    let points = [Pattern::Uniform, Pattern::adv1()]
+        .iter()
+        .flat_map(|&p| sweep_points(p, &hyperx_k2_series(scale, p), &loads))
+        .collect();
+    let (s, _) = crate::hyperx_shape(2);
+    Scenario {
+        name: "hyperx-k2".into(),
+        title: format!("HyperX 2-D k=2 ({s}x{s} routers, doubled links): copy selection"),
+        description: "Adaptive parallel-copy selection vs the static endpoint hash on a \
+                      2-D HyperX with k = 2 link multiplicity, MIN routing, UN and ADV+1 \
+                      traffic. The hash routes every (src router, dst router) pair over \
+                      one fixed copy; the adaptive policy picks the least-occupied copy \
+                      per hop from local credit state."
+            .into(),
+        seeds: scale.seeds.clone(),
+        points,
+        classifications: Vec::new(),
+    }
 }
 
 pub(super) fn smoke(_scale: &Scale) -> Scenario {

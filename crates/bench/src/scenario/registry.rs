@@ -112,6 +112,11 @@ impl ScenarioRegistry {
             build: defs::hyperx_adv_3d,
         });
         reg.register(ScenarioEntry {
+            name: "hyperx-k2",
+            summary: "HyperX 2-D k=2: adaptive vs hash parallel-copy selection (MIN)",
+            build: defs::hyperx_k2,
+        });
+        reg.register(ScenarioEntry {
             name: "smoke",
             summary: "30-second sanity run (tiny windows, ignores scale)",
             build: defs::smoke,
@@ -167,11 +172,12 @@ mod tests {
             "hyperx-un-3d",
             "hyperx-adv-2d",
             "hyperx-adv-3d",
+            "hyperx-k2",
             "smoke",
         ] {
             assert!(reg.get(name).is_some(), "missing scenario {name}");
         }
-        assert_eq!(reg.entries().len(), 14);
+        assert_eq!(reg.entries().len(), 15);
     }
 
     #[test]

@@ -36,10 +36,193 @@ fn list_names_all_scenarios() {
         "hyperx-un-3d",
         "hyperx-adv-2d",
         "hyperx-adv-3d",
+        "hyperx-k2",
         "smoke",
     ] {
         assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
     }
+}
+
+/// Run a scenario at reduced windows and return every series' accepted
+/// load at column `x` from the CSV output, keyed by series label.
+fn accepted_at(scenario: &str, x: &str, warmup: &str, measure: &str) -> Vec<(String, f64)> {
+    let csv_path =
+        std::env::temp_dir().join(format!("flexvc-{scenario}-{x}-{}.csv", std::process::id()));
+    let (_, _) = run_ok(
+        flexvc()
+            .args([
+                "run",
+                scenario,
+                "--quiet",
+                "--seeds",
+                "1",
+                "--warmup",
+                warmup,
+                "--measure",
+                measure,
+                "--format",
+                "csv",
+                "--out",
+            ])
+            .arg(&csv_path),
+    );
+    let csv = std::fs::read_to_string(&csv_path).expect("csv output");
+    std::fs::remove_file(&csv_path).ok();
+    let header = csv.lines().next().expect("csv header");
+    let col = |name: &str| {
+        header
+            .split(',')
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("no {name} column in header: {header}"))
+    };
+    let (series_col, x_col, accepted_col) = (col("series"), col("x"), col("accepted"));
+    let mut out = Vec::new();
+    for line in csv.lines().skip(1) {
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols[x_col].trim_matches('"') != x {
+            continue;
+        }
+        let accepted: f64 = cols[accepted_col]
+            .parse()
+            .unwrap_or_else(|_| panic!("bad row: {line}"));
+        out.push((cols[series_col].trim_matches('"').to_string(), accepted));
+    }
+    assert!(!out.is_empty(), "no rows at x = {x} in:\n{csv}");
+    out
+}
+
+fn series_accepted(rows: &[(String, f64)], needle: &str) -> f64 {
+    rows.iter()
+        .find(|(s, _)| s.contains(needle))
+        .unwrap_or_else(|| panic!("no series containing `{needle}` in {rows:?}"))
+        .1
+}
+
+/// Acceptance: UGAL beats MIN accepted load at saturation under ADV+1 on
+/// the 3-D HyperX — the source-adaptive credit comparison must divert
+/// enough traffic off the funneled last-dimension links to outperform pure
+/// minimal routing, with the board-fed UGAL-G ahead of UGAL-L.
+#[test]
+fn run_hyperx_adv_3d_ugal_beats_min_at_saturation() {
+    let rows = accepted_at("hyperx-adv-3d", "1.00", "2000", "4000");
+    let min = series_accepted(&rows, "MIN 6VCs");
+    let ugal_l = series_accepted(&rows, "UGAL-L 6VCs");
+    let ugal_g = series_accepted(&rows, "UGAL-G 6VCs");
+    assert!(
+        ugal_l > min,
+        "UGAL-L {ugal_l:.4} must beat MIN {min:.4} at ADV saturation"
+    );
+    assert!(
+        ugal_g > min * 1.02,
+        "UGAL-G {ugal_g:.4} must clearly beat MIN {min:.4} at ADV saturation"
+    );
+}
+
+/// Acceptance: DAL matches or beats whole-path Valiant at saturation under
+/// ADV+1 on the 2-D HyperX at the same VC budget — per-dimension misroutes
+/// recover Valiant's load balancing with shorter average detours.
+#[test]
+fn run_hyperx_adv_2d_dal_matches_or_beats_valiant() {
+    let rows = accepted_at("hyperx-adv-2d", "1.00", "2000", "4000");
+    let val = series_accepted(&rows, "FlexVC 4VCs");
+    let dal = series_accepted(&rows, "DAL 4VCs");
+    assert!(
+        dal >= val * 0.98,
+        "DAL {dal:.4} must match or beat whole-path Valiant {val:.4} at ADV saturation"
+    );
+}
+
+/// Satellite: adaptive `k = 2` copy selection is no worse than the
+/// endpoint hash under UN and strictly better under ADV+1 (the hash pins
+/// each router pair's traffic to one copy, wasting half the doubled
+/// bisection exactly when it is needed).
+#[test]
+fn run_hyperx_k2_adaptive_copies_beat_hash_under_adv() {
+    let rows = accepted_at("hyperx-k2", "1.00", "2000", "4000");
+    let un_hash = series_accepted(&rows, "UN/hash copies");
+    let un_adaptive = series_accepted(&rows, "UN/adaptive copies");
+    let adv_hash = series_accepted(&rows, "ADV/hash copies");
+    let adv_adaptive = series_accepted(&rows, "ADV/adaptive copies");
+    assert!(
+        un_adaptive >= un_hash * 0.98,
+        "adaptive {un_adaptive:.4} must not lose to hash {un_hash:.4} under UN"
+    );
+    assert!(
+        adv_adaptive > adv_hash * 1.02,
+        "adaptive {adv_adaptive:.4} must clearly beat hash {adv_hash:.4} under ADV"
+    );
+}
+
+/// Acceptance: UGAL-G tracks Piggyback within noise on the Dragonfly
+/// fig5 ADV point — both choose MIN-vs-VAL at injection from the same
+/// boards and credits; the weighted comparison must not change the
+/// outcome materially.
+#[test]
+fn ugal_g_tracks_piggyback_on_dragonfly_adv() {
+    let scenario = r#"
+name = "ugal-vs-pb"
+title = "Dragonfly ADV: UGAL-G vs PB"
+description = "acceptance"
+seeds = [1]
+
+[[points]]
+series = "PB"
+x = "0.5"
+load = 0.5
+
+[points.cfg]
+routing = "piggyback"
+warmup = 2000
+measure = 4000
+watchdog = 6000
+
+[points.cfg.workload]
+pattern = "adv+1"
+
+[[points]]
+series = "UGAL-G"
+x = "0.5"
+load = 0.5
+
+[points.cfg]
+routing = "ugal_g"
+warmup = 2000
+measure = 4000
+watchdog = 6000
+
+[points.cfg.workload]
+pattern = "adv+1"
+"#;
+    let dir = std::env::temp_dir();
+    let toml_path = dir.join(format!("flexvc-ugalpb-{}.toml", std::process::id()));
+    let csv_path = dir.join(format!("flexvc-ugalpb-{}.csv", std::process::id()));
+    std::fs::write(&toml_path, scenario).expect("write scenario");
+    run_ok(
+        flexvc()
+            .args(["run", "--quiet", "--file"])
+            .arg(&toml_path)
+            .arg("--out")
+            .arg(&csv_path),
+    );
+    let csv = std::fs::read_to_string(&csv_path).expect("csv output");
+    std::fs::remove_file(&toml_path).ok();
+    std::fs::remove_file(&csv_path).ok();
+    let accepted = |needle: &str| -> f64 {
+        csv.lines()
+            .find(|l| l.contains(needle))
+            .unwrap_or_else(|| panic!("no {needle} row in:\n{csv}"))
+            .split(',')
+            .nth(5)
+            .expect("accepted column")
+            .parse()
+            .expect("accepted value")
+    };
+    let pb = accepted("PB");
+    let ugal = accepted("UGAL-G");
+    assert!(
+        (0.9..=1.1).contains(&(ugal / pb)),
+        "UGAL-G {ugal:.4} must be within 10% of PB {pb:.4} on the Dragonfly ADV point"
+    );
 }
 
 /// The headline acceptance check for the HyperX family: `flexvc run

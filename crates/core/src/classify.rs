@@ -146,6 +146,30 @@ fn valiant_specs(family: NetworkFamily) -> Vec<HopSpec> {
         .collect()
 }
 
+/// Canonical DAL realization on a generic diameter-`d` network: every
+/// dimension misrouted once — `2d` hops in misroute/correction pairs. The
+/// escape after a misroute hop of dimension `i` still has to fix dimensions
+/// `i..d` (the misroute lands on a wrong coordinate of `i`), after the
+/// correction only `i+1..d`. Dragonfly families fall back to the Valiant
+/// realization (DAL is rejected there by configuration validation; the
+/// fallback keeps classification total).
+fn dal_specs(family: NetworkFamily) -> Vec<HopSpec> {
+    use LinkClass::*;
+    let Some(d) = family.generic_diameter() else {
+        return valiant_specs(family);
+    };
+    (0..2 * d)
+        .map(|j| {
+            let dim = j / 2;
+            let esc_len = if j % 2 == 0 { d - dim } else { d - dim - 1 };
+            HopSpec {
+                planned: vec![Local; 2 * d - j],
+                escape: vec![Local; esc_len],
+            }
+        })
+        .collect()
+}
+
 /// Canonical PAR realization: one minimal hop, then the Valiant realization
 /// from the divert router.
 fn par_specs(family: NetworkFamily) -> Vec<HopSpec> {
@@ -200,16 +224,19 @@ pub fn classify(
     arr: &Arrangement,
     msg: MessageClass,
 ) -> Support {
-    let worst: Vec<LinkClass> = match family.generic_diameter() {
+    let worst: &[LinkClass] = match family.generic_diameter() {
         Some(d) => routing.generic_reference(d),
-        None => routing.dragonfly_reference().to_vec(),
+        None => routing.dragonfly_reference(),
     };
-    if arr.embeds(&worst, None, arr.safe_region(msg)) {
+    if arr.embeds(worst, None, arr.safe_region(msg)) {
         return Support::Safe;
     }
     let specs = match routing {
         RoutingMode::Min => return Support::Unsupported,
-        RoutingMode::Valiant | RoutingMode::Piggyback => valiant_specs(family),
+        RoutingMode::Valiant | RoutingMode::Piggyback | RoutingMode::UgalL | RoutingMode::UgalG => {
+            valiant_specs(family)
+        }
+        RoutingMode::Dal => dal_specs(family),
         RoutingMode::Par => par_specs(family),
     };
     if traverse(arr, msg, &specs) {
@@ -404,6 +431,67 @@ mod tests {
         assert_eq!(NetworkFamily::Diameter2.generic_diameter(), Some(2));
         assert_eq!(NetworkFamily::generic(3).generic_diameter(), Some(3));
         assert_eq!(NetworkFamily::Dragonfly.generic_diameter(), None);
+    }
+
+    /// Table-V analogue rows for the new adaptive modes: UGAL-L/G classify
+    /// exactly like Valiant (their non-minimal paths *are* Valiant paths),
+    /// on both Dragonfly and generic families.
+    #[test]
+    fn ugal_matches_valiant_everywhere() {
+        for (l, g) in [(2, 1), (3, 2), (4, 2), (5, 2)] {
+            let arr = Arrangement::dragonfly(l, g);
+            for ugal in [UgalL, UgalG] {
+                assert_eq!(
+                    classify(Dragonfly, ugal, &arr, MessageClass::Request),
+                    classify(Dragonfly, Valiant, &arr, MessageClass::Request),
+                    "{ugal} {l}/{g}"
+                );
+            }
+        }
+        for fam in [Diameter2, NetworkFamily::generic(3)] {
+            for vcs in 2..=7 {
+                let arr = d2(vcs);
+                for ugal in [UgalL, UgalG] {
+                    assert_eq!(
+                        classify(fam, ugal, &arr, MessageClass::Request),
+                        classify(fam, Valiant, &arr, MessageClass::Request),
+                        "{ugal} {vcs} VCs on {fam:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Table-I/V analogue for DAL on generic diameter-`d` networks: safe at
+    /// `2d` VCs (every dimension misrouted once), opportunistic from
+    /// `d + 1` (the per-dimension realization traverses with minimal
+    /// escapes), unsupported at `d` (no room for any misroute).
+    #[test]
+    fn dal_table_analogue() {
+        for d in 2..=3 {
+            let fam = NetworkFamily::generic(d);
+            assert_eq!(
+                classify(fam, Dal, &d2(d), MessageClass::Request),
+                Unsupported,
+                "DAL with {d} VCs at diameter {d}"
+            );
+            for vcs in (d + 1)..(2 * d) {
+                assert_eq!(
+                    classify(fam, Dal, &d2(vcs), MessageClass::Request),
+                    Opportunistic,
+                    "DAL with {vcs} VCs at diameter {d}"
+                );
+            }
+            assert_eq!(
+                classify(fam, Dal, &d2(2 * d), MessageClass::Request),
+                Safe,
+                "DAL with {} VCs at diameter {d}",
+                2 * d
+            );
+        }
+        // Split request/reply arrangements classify through the same specs.
+        let arr = Arrangement::generic_rr(3, 2);
+        assert!(classify_combined(Diameter2, Dal, &arr) >= Opportunistic);
     }
 
     /// Piggyback classifies exactly like Valiant (same VC requirements).

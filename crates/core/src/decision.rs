@@ -1,0 +1,163 @@
+//! Per-hop routing-decision rules: the pure half of the `RoutePolicy`
+//! pipeline.
+//!
+//! Every adaptive mechanism in the repo — PB's injection choice, PAR's
+//! in-transit divert, UGAL-L/G's weighted comparison and DAL's
+//! per-dimension misroute — reduces to the same shape: *compare the sensed
+//! cost of staying minimal against the sensed cost of the best non-minimal
+//! candidate, with an optional remote-saturation veto*. This module holds
+//! those comparisons as pure functions over sensed quantities, so they are
+//! unit-testable without a network and shared verbatim between the
+//! simulator's planning pipeline (`flexvc-sim::plan::RoutePolicy`) and any
+//! analytic tooling.
+//!
+//! The simulator-side pipeline gathers the quantities through the
+//! [`SensedState`] view (local credit occupancies, piggyback boards,
+//! per-copy occupancies) and feeds them here; the functions never see
+//! ports, topologies or RNGs, which is what keeps the existing MIN / VAL /
+//! PAR / PB paths bit-identical under the refactor: same numbers in, same
+//! decisions out.
+
+use crate::link::MessageClass;
+
+/// Read-only congestion view at a decision point. Implemented by the
+/// simulator over its credit mirrors and per-group boards; the decision
+/// layer (and any future analytic model) consumes congestion exclusively
+/// through this interface.
+pub trait SensedState {
+    /// Sensed occupancy (phits, after the configured credit metric) of the
+    /// deciding router's output `port`.
+    fn port_occupancy(&self, port: u16) -> u32;
+
+    /// Delayed remote saturation flag of a sensed channel: `channel` of
+    /// router `router_local` within `group`, for message class `class`.
+    /// `false` when the mode publishes no boards.
+    fn remote_saturated(
+        &self,
+        group: usize,
+        router_local: usize,
+        channel: usize,
+        class: MessageClass,
+    ) -> bool;
+}
+
+/// Outcome of an injection-time path selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathChoice {
+    /// Follow the minimal path.
+    Minimal,
+    /// Take the non-minimal (Valiant / misroute) candidate.
+    NonMinimal,
+}
+
+/// PB/PAR-style injection decision (paper §II): take the non-minimal path
+/// when the minimal channel is remotely saturated or the local credit
+/// comparison `q_min > 2·q_alt + T` prefers the alternative. This is the
+/// exact rule the pre-refactor engine used; PAR calls it with
+/// `min_sat = false`.
+pub fn choose_nonminimal(min_sat: bool, q_min: u32, q_alt: u32, threshold_phits: u32) -> bool {
+    min_sat || q_min > 2 * q_alt + threshold_phits
+}
+
+/// Classic UGAL comparison with hop-count weighting: prefer the
+/// non-minimal candidate when the *latency estimate* of the minimal path
+/// (`q_min · h_min`) exceeds the candidate's (`q_alt · h_alt`) by more
+/// than the threshold. `min_sat` is UGAL-G's piggybacked veto (always
+/// `false` for UGAL-L).
+pub fn ugal_choice(
+    min_sat: bool,
+    q_min: u32,
+    h_min: usize,
+    q_alt: u32,
+    h_alt: usize,
+    threshold_phits: u32,
+) -> PathChoice {
+    let est_min = q_min as u64 * h_min as u64;
+    let est_alt = q_alt as u64 * h_alt as u64;
+    if min_sat || est_min > est_alt + threshold_phits as u64 {
+        PathChoice::NonMinimal
+    } else {
+        PathChoice::Minimal
+    }
+}
+
+/// DAL's per-dimension divert decision: misroute through an intermediate
+/// coordinate when the direct hop's occupancy exceeds twice the best
+/// divert candidate's plus the threshold — the same local comparison shape
+/// as PAR's divert, applied one dimension at a time. The misroute costs an
+/// extra hop, which the `2·q_div` weighting already penalizes.
+pub fn dal_divert_choice(q_min: u32, q_divert: u32, threshold_phits: u32) -> bool {
+    choose_nonminimal(false, q_min, q_divert, threshold_phits)
+}
+
+/// Best (lowest-occupancy) candidate among sensed ports, ties broken by
+/// first appearance — the deterministic JSQ used for DAL divert candidates
+/// and adaptive parallel-copy (`k > 1`) selection.
+pub fn least_occupied<S: SensedState + ?Sized>(sensed: &S, ports: &[u16]) -> Option<(u16, u32)> {
+    let mut best: Option<(u16, u32)> = None;
+    for &p in ports {
+        let occ = sensed.port_occupancy(p);
+        let better = match best {
+            None => true,
+            Some((_, b)) => occ < b,
+        };
+        if better {
+            best = Some((p, occ));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Flat(&'static [u32]);
+    impl SensedState for Flat {
+        fn port_occupancy(&self, port: u16) -> u32 {
+            self.0[port as usize]
+        }
+        fn remote_saturated(&self, _: usize, _: usize, _: usize, _: MessageClass) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn pb_rule_matches_pre_refactor_engine() {
+        assert!(choose_nonminimal(true, 0, 100, 24));
+        assert!(!choose_nonminimal(false, 10, 0, 24));
+        assert!(choose_nonminimal(false, 25, 0, 24));
+        assert!(!choose_nonminimal(false, 48, 12, 24)); // 48 <= 24+24
+        assert!(choose_nonminimal(false, 49, 12, 24));
+    }
+
+    #[test]
+    fn ugal_weighs_hop_counts() {
+        // Equal occupancy: the minimal path's shorter hop count wins.
+        assert_eq!(ugal_choice(false, 10, 3, 10, 6, 0), PathChoice::Minimal);
+        // Minimal congested enough that 3 hops cost more than 6: divert.
+        assert_eq!(ugal_choice(false, 30, 3, 10, 6, 0), PathChoice::NonMinimal);
+        // Threshold biases toward minimal (hysteresis at idle).
+        assert_eq!(ugal_choice(false, 30, 3, 10, 6, 64), PathChoice::Minimal);
+        // The UGAL-G saturation veto overrides the comparison.
+        assert_eq!(ugal_choice(true, 0, 3, 100, 6, 64), PathChoice::NonMinimal);
+    }
+
+    #[test]
+    fn dal_divert_is_parlike() {
+        assert!(!dal_divert_choice(10, 10, 24));
+        assert!(dal_divert_choice(100, 10, 24));
+        assert!(dal_divert_choice(49, 12, 24));
+        assert!(!dal_divert_choice(48, 12, 24));
+    }
+
+    #[test]
+    fn least_occupied_is_deterministic_jsq() {
+        let s = Flat(&[5, 3, 3, 9]);
+        assert_eq!(least_occupied(&s, &[0, 1, 2, 3]), Some((1, 3)));
+        // Ties break by first appearance, so a reordered candidate list
+        // changes the winner deterministically.
+        assert_eq!(least_occupied(&s, &[2, 1]), Some((2, 3)));
+        assert_eq!(least_occupied(&s, &[]), None);
+    }
+}

@@ -40,6 +40,7 @@
 pub mod arrangement;
 pub mod classify;
 pub mod credit;
+pub mod decision;
 pub mod link;
 pub mod policy;
 pub mod routing;
@@ -49,6 +50,7 @@ pub mod serde_impls;
 pub use arrangement::Arrangement;
 pub use classify::{classify, NetworkFamily, Support};
 pub use credit::{CreditClass, SplitOccupancy};
+pub use decision::{choose_nonminimal, dal_divert_choice, ugal_choice, PathChoice, SensedState};
 pub use link::{LinkClass, MessageClass};
 pub use policy::{baseline_vc, flexvc_options, HopKind, HopVcs, VcPolicy};
 pub use routing::RoutingMode;

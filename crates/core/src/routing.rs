@@ -12,11 +12,43 @@
 //!   injection from piggybacked remote-congestion state plus a local credit
 //!   comparison. Its VC requirement equals VAL's.
 //!
+//! On top of the paper's four, the repo models three adaptive mechanisms
+//! from the surrounding literature (cf. the VC-management analysis of
+//! arXiv:2306.13042 and the HyperX paper's native scheme):
+//!
+//! * **UGAL-L** — Universal Globally-Adaptive Load-balanced routing with
+//!   *local* information only: at injection, compare the hop-weighted
+//!   credit occupancy of the minimal path against a candidate Valiant path
+//!   (`q_min·H_min > q_val·H_val + T` takes the detour). No sensing boards.
+//! * **UGAL-G** — UGAL fed by *global* (piggybacked) state: the local
+//!   comparison of UGAL-L plus the remote saturation veto of PB. Shares
+//!   PB's board machinery and VC requirement.
+//! * **DAL** — Dimensionally-Adaptive, Load-balanced routing (the HyperX
+//!   paper's adaptive scheme): per-dimension, in-transit misrouting — at
+//!   each router the packet may detour through one intermediate coordinate
+//!   of the *current* DOR dimension before correcting it, at most one
+//!   misroute per dimension. Worst-case path length `2d`, same as VAL.
+//!   Only meaningful on per-dimension topologies (HyperX).
+//!
 //! Each mode has a *reference sequence*: the class sequence of its longest
 //! allowed path, which determines the minimum VC arrangement for the
 //! baseline policy.
 
 use crate::link::LinkClass;
+
+/// Maximum generic-network diameter the plan/reference machinery supports
+/// (an `n`-dimensional HyperX has diameter `n`).
+pub const MAX_GENERIC_DIAMETER: usize = 3;
+
+/// Longest generic reference sequence: PAR's `T^(2d+1)` at the diameter
+/// ceiling. This is the single source of truth for the widened all-Local
+/// reference shared by the planner and the engine (formerly duplicated).
+pub const MAX_GENERIC_REF: usize = 2 * MAX_GENERIC_DIAMETER + 1;
+
+/// All-Local reference backing store for generic (single-class) networks;
+/// mode references are prefixes of it (see
+/// [`RoutingMode::generic_reference`]).
+pub static REF_GENERIC: [LinkClass; MAX_GENERIC_REF] = [LinkClass::Local; MAX_GENERIC_REF];
 
 /// Routing mechanism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -29,32 +61,56 @@ pub enum RoutingMode {
     Par,
     /// Piggyback source-adaptive routing (MIN or VAL chosen at injection).
     Piggyback,
+    /// UGAL with local information: hop-weighted credit comparison at
+    /// injection, no sensing boards.
+    UgalL,
+    /// UGAL with global information: the UGAL-L comparison plus the
+    /// piggybacked remote-saturation veto.
+    UgalG,
+    /// Dimensionally-Adaptive, Load-balanced routing: per-dimension
+    /// in-transit misrouting on HyperX-style topologies.
+    Dal,
 }
 
 impl RoutingMode {
     /// Reference sequence in a Dragonfly (paper §II):
     /// MIN `l0 g1 l2`, VAL `l0 g1 l2 l3 g4 l5`, PAR `l0 l1 g2 l3 l4 g5 l6`.
-    /// PB needs the same resources as VAL.
+    /// PB and both UGAL variants need the same resources as VAL. DAL is
+    /// HyperX-only; its entry (VAL's sequence, the same worst-case length)
+    /// exists so the function stays total, but `SimConfig::validate`
+    /// rejects DAL on Dragonfly topologies.
     pub fn dragonfly_reference(self) -> &'static [LinkClass] {
         use LinkClass::*;
         match self {
             RoutingMode::Min => &[Local, Global, Local],
-            RoutingMode::Valiant | RoutingMode::Piggyback => {
-                &[Local, Global, Local, Local, Global, Local]
-            }
+            RoutingMode::Valiant
+            | RoutingMode::Piggyback
+            | RoutingMode::UgalL
+            | RoutingMode::UgalG
+            | RoutingMode::Dal => &[Local, Global, Local, Local, Global, Local],
             RoutingMode::Par => &[Local, Local, Global, Local, Local, Global, Local],
         }
     }
 
     /// Reference sequence in a generic diameter-`d` network: MIN has `d`
-    /// hops, VAL `2d`, PAR `2d + 1`.
-    pub fn generic_reference(self, diameter: usize) -> Vec<LinkClass> {
+    /// hops, VAL/PB/UGAL `2d`, DAL `2d` (every dimension misrouted once),
+    /// PAR `2d + 1`. Returned as a borrowed prefix of [`REF_GENERIC`], the
+    /// shared all-Local backing store.
+    pub fn generic_reference(self, diameter: usize) -> &'static [LinkClass] {
         let hops = match self {
             RoutingMode::Min => diameter,
-            RoutingMode::Valiant | RoutingMode::Piggyback => 2 * diameter,
+            RoutingMode::Valiant
+            | RoutingMode::Piggyback
+            | RoutingMode::UgalL
+            | RoutingMode::UgalG
+            | RoutingMode::Dal => 2 * diameter,
             RoutingMode::Par => 2 * diameter + 1,
         };
-        vec![LinkClass::Local; hops]
+        assert!(
+            hops <= MAX_GENERIC_REF,
+            "diameter {diameter} exceeds the supported generic reference"
+        );
+        &REF_GENERIC[..hops]
     }
 
     /// Minimum safe Dragonfly `(local, global)` VC counts for the baseline
@@ -62,7 +118,11 @@ impl RoutingMode {
     pub fn min_dragonfly_vcs(self) -> (usize, usize) {
         match self {
             RoutingMode::Min => (2, 1),
-            RoutingMode::Valiant | RoutingMode::Piggyback => (4, 2),
+            RoutingMode::Valiant
+            | RoutingMode::Piggyback
+            | RoutingMode::UgalL
+            | RoutingMode::UgalG
+            | RoutingMode::Dal => (4, 2),
             RoutingMode::Par => (5, 2),
         }
     }
@@ -70,7 +130,7 @@ impl RoutingMode {
     /// Minimum safe VC count for the baseline policy in a generic
     /// single-class diameter-`dims` network — the HyperX analogue of
     /// Table V, where an `n`-dimensional HyperX has diameter `n`: MIN
-    /// needs `n` VCs, VAL/PB `2n`, PAR `2n + 1`.
+    /// needs `n` VCs, VAL/PB/UGAL/DAL `2n`, PAR `2n + 1`.
     pub fn min_hyperx_vcs(self, dims: usize) -> usize {
         self.generic_reference(dims).len()
     }
@@ -80,6 +140,24 @@ impl RoutingMode {
         !matches!(self, RoutingMode::Min)
     }
 
+    /// Whether the mode reads the piggybacked per-group saturation boards
+    /// (and therefore needs the sensing phase to publish them).
+    pub fn uses_boards(self) -> bool {
+        matches!(self, RoutingMode::Piggyback | RoutingMode::UgalG)
+    }
+
+    /// Whether the mode makes routing decisions *in transit* (after
+    /// injection): PAR's one-shot divert and DAL's per-dimension misroutes.
+    pub fn decides_in_transit(self) -> bool {
+        matches!(self, RoutingMode::Par | RoutingMode::Dal)
+    }
+
+    /// Whether the mode requires per-dimension topology structure
+    /// (HyperX-style divert candidates).
+    pub fn needs_dimensions(self) -> bool {
+        matches!(self, RoutingMode::Dal)
+    }
+
     /// Short label used in experiment output.
     pub fn label(self) -> &'static str {
         match self {
@@ -87,6 +165,9 @@ impl RoutingMode {
             RoutingMode::Valiant => "VAL",
             RoutingMode::Par => "PAR",
             RoutingMode::Piggyback => "PB",
+            RoutingMode::UgalL => "UGAL-L",
+            RoutingMode::UgalG => "UGAL-G",
+            RoutingMode::Dal => "DAL",
         }
     }
 }
@@ -114,6 +195,13 @@ mod tests {
             RoutingMode::Piggyback.dragonfly_reference(),
             RoutingMode::Valiant.dragonfly_reference()
         );
+        // UGAL shares VAL's resource requirement (source-adaptive MIN/VAL).
+        for ugal in [RoutingMode::UgalL, RoutingMode::UgalG] {
+            assert_eq!(
+                ugal.dragonfly_reference(),
+                RoutingMode::Valiant.dragonfly_reference()
+            );
+        }
     }
 
     #[test]
@@ -122,6 +210,33 @@ mod tests {
         assert_eq!(RoutingMode::Valiant.generic_reference(2).len(), 4);
         assert_eq!(RoutingMode::Par.generic_reference(2).len(), 5);
         assert_eq!(RoutingMode::Valiant.generic_reference(3).len(), 6);
+        // DAL's worst case misroutes every dimension once: 2 hops per
+        // dimension, the same length as whole-path Valiant.
+        assert_eq!(RoutingMode::Dal.generic_reference(3).len(), 6);
+        assert_eq!(RoutingMode::UgalL.generic_reference(3).len(), 6);
+        assert_eq!(RoutingMode::UgalG.generic_reference(2).len(), 4);
+    }
+
+    #[test]
+    fn generic_references_are_prefixes_of_the_shared_store() {
+        // The dedupe invariant: every generic reference borrows from
+        // REF_GENERIC, so the planner and engine can never drift apart.
+        for mode in [
+            RoutingMode::Min,
+            RoutingMode::Valiant,
+            RoutingMode::Par,
+            RoutingMode::Piggyback,
+            RoutingMode::UgalL,
+            RoutingMode::UgalG,
+            RoutingMode::Dal,
+        ] {
+            for d in 1..=MAX_GENERIC_DIAMETER {
+                let r = mode.generic_reference(d);
+                assert!(std::ptr::eq(r.as_ptr(), REF_GENERIC.as_ptr()));
+                assert!(r.iter().all(|&c| c == LinkClass::Local));
+            }
+        }
+        assert_eq!(MAX_GENERIC_REF, 7);
     }
 
     #[test]
@@ -130,6 +245,8 @@ mod tests {
         assert_eq!(RoutingMode::Valiant.min_dragonfly_vcs(), (4, 2));
         assert_eq!(RoutingMode::Piggyback.min_dragonfly_vcs(), (4, 2));
         assert_eq!(RoutingMode::Par.min_dragonfly_vcs(), (5, 2));
+        assert_eq!(RoutingMode::UgalL.min_dragonfly_vcs(), (4, 2));
+        assert_eq!(RoutingMode::UgalG.min_dragonfly_vcs(), (4, 2));
     }
 
     #[test]
@@ -140,14 +257,34 @@ mod tests {
             assert_eq!(RoutingMode::Valiant.min_hyperx_vcs(dims), 2 * dims);
             assert_eq!(RoutingMode::Piggyback.min_hyperx_vcs(dims), 2 * dims);
             assert_eq!(RoutingMode::Par.min_hyperx_vcs(dims), 2 * dims + 1);
+            assert_eq!(RoutingMode::UgalL.min_hyperx_vcs(dims), 2 * dims);
+            assert_eq!(RoutingMode::UgalG.min_hyperx_vcs(dims), 2 * dims);
+            assert_eq!(RoutingMode::Dal.min_hyperx_vcs(dims), 2 * dims);
         }
+    }
+
+    #[test]
+    fn mode_capabilities() {
+        assert!(RoutingMode::Piggyback.uses_boards());
+        assert!(RoutingMode::UgalG.uses_boards());
+        assert!(!RoutingMode::UgalL.uses_boards());
+        assert!(!RoutingMode::Valiant.uses_boards());
+        assert!(RoutingMode::Par.decides_in_transit());
+        assert!(RoutingMode::Dal.decides_in_transit());
+        assert!(!RoutingMode::Piggyback.decides_in_transit());
+        assert!(RoutingMode::Dal.needs_dimensions());
+        assert!(!RoutingMode::Par.needs_dimensions());
     }
 
     #[test]
     fn labels() {
         assert_eq!(RoutingMode::Min.to_string(), "MIN");
         assert_eq!(RoutingMode::Piggyback.to_string(), "PB");
+        assert_eq!(RoutingMode::UgalL.to_string(), "UGAL-L");
+        assert_eq!(RoutingMode::UgalG.to_string(), "UGAL-G");
+        assert_eq!(RoutingMode::Dal.to_string(), "DAL");
         assert!(RoutingMode::Valiant.is_nonminimal());
+        assert!(RoutingMode::Dal.is_nonminimal());
         assert!(!RoutingMode::Min.is_nonminimal());
     }
 }

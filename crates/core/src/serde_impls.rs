@@ -35,6 +35,9 @@ impl Serialize for RoutingMode {
                 RoutingMode::Valiant => "valiant",
                 RoutingMode::Par => "par",
                 RoutingMode::Piggyback => "piggyback",
+                RoutingMode::UgalL => "ugal_l",
+                RoutingMode::UgalG => "ugal_g",
+                RoutingMode::Dal => "dal",
             }
             .to_string(),
         )
@@ -53,6 +56,12 @@ impl Deserialize for RoutingMode {
                 ("par", RoutingMode::Par),
                 ("piggyback", RoutingMode::Piggyback),
                 ("pb", RoutingMode::Piggyback),
+                ("ugal_l", RoutingMode::UgalL),
+                ("ugal-l", RoutingMode::UgalL),
+                ("ugal", RoutingMode::UgalL),
+                ("ugal_g", RoutingMode::UgalG),
+                ("ugal-g", RoutingMode::UgalG),
+                ("dal", RoutingMode::Dal),
             ],
         )
     }
@@ -202,9 +211,20 @@ mod tests {
             RoutingMode::Valiant,
             RoutingMode::Par,
             RoutingMode::Piggyback,
+            RoutingMode::UgalL,
+            RoutingMode::UgalG,
+            RoutingMode::Dal,
         ] {
             assert_eq!(from_json::<RoutingMode>(&to_json(&mode)).unwrap(), mode);
         }
+        assert_eq!(
+            from_json::<RoutingMode>("\"UGAL-G\"").unwrap(),
+            RoutingMode::UgalG
+        );
+        assert_eq!(
+            from_json::<RoutingMode>("\"ugal\"").unwrap(),
+            RoutingMode::UgalL
+        );
         for sel in VcSelection::all() {
             assert_eq!(from_json::<VcSelection>(&to_json(&sel)).unwrap(), sel);
         }

@@ -203,8 +203,10 @@ impl BufferBank {
     /// changes while buffered.
     pub fn push(&mut self, vc: usize, mut pkt: Packet) {
         pkt.buffered_class = pkt.credit_class();
-        // New buffer, new position: any cached lookahead is stale.
+        // New buffer, new position: any cached lookahead is stale, and the
+        // per-router transit decision (DAL / adaptive copies) re-arms.
         pkt.flex_opts = None;
+        pkt.hop_decided = false;
         let class = pkt.buffered_class;
         self.occ.add(vc, pkt.size, class);
         let slot = match self.free.pop() {
@@ -381,6 +383,7 @@ mod tests {
             buffered_class: CreditClass::MinRouted,
             planned: true,
             par_evaluated: false,
+            hop_decided: false,
             flex_opts: None,
             opp_blocked: 0,
             hops: 0,

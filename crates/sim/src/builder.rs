@@ -53,6 +53,7 @@ pub struct SimConfigBuilder {
     watchdog: u64,
     revert_patience: u32,
     reply_queue_packets: usize,
+    adaptive_copies: bool,
 }
 
 impl Default for SimConfigBuilder {
@@ -80,6 +81,7 @@ impl Default for SimConfigBuilder {
             watchdog: 20_000,
             revert_patience: 16,
             reply_queue_packets: 4,
+            adaptive_copies: false,
         }
     }
 }
@@ -283,6 +285,14 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Adaptive parallel-copy selection for `k > 1` link multiplicity:
+    /// route each hop over the least-occupied copy instead of the static
+    /// endpoint hash.
+    pub fn adaptive_copies(mut self, adaptive: bool) -> Self {
+        self.adaptive_copies = adaptive;
+        self
+    }
+
     /// Assemble and validate the configuration.
     pub fn build(self) -> Result<SimConfig, ConfigError> {
         let family = self.topology.family();
@@ -309,6 +319,7 @@ impl SimConfigBuilder {
             watchdog: self.watchdog,
             revert_patience: self.revert_patience,
             reply_queue_packets: self.reply_queue_packets,
+            adaptive_copies: self.adaptive_copies,
         };
         cfg.validate()?;
         Ok(cfg)
@@ -375,10 +386,9 @@ mod tests {
             .flexvc(Arrangement::dragonfly_min())
             .build()
             .unwrap_err();
-        assert!(
-            matches!(err, ConfigError::UnsupportedRouting { .. }),
-            "{err}"
-        );
+        assert!(matches!(err, ConfigError::InsufficientVcs { .. }), "{err}");
+        // The rendered rejection names the classifier's safe minimum.
+        assert!(err.to_string().contains("4/2 local/global VCs"), "{err}");
 
         // Degenerate topology shapes are typed errors, not panics.
         let err = SimConfigBuilder::new()

@@ -61,7 +61,7 @@ pub fn check_baseline_routes(
     let family = topo.family();
     let reference: Vec<flexvc_core::LinkClass> = match family.generic_diameter() {
         None => routing.dragonfly_reference().to_vec(),
-        Some(d) => routing.generic_reference(d),
+        Some(d) => routing.generic_reference(d).to_vec(),
     };
     let n = topo.num_routers();
     // Exhaustive minimal pairs (the escape substrate of every mode).
@@ -83,8 +83,43 @@ pub fn check_baseline_routes(
         let d = rng.gen_range(0..n);
         let via = rng.gen_range(0..n);
         let plan = match routing {
-            RoutingMode::Valiant | RoutingMode::Piggyback => {
-                crate::plan::valiant_plan(topo, family, s, via, d)
+            RoutingMode::Valiant
+            | RoutingMode::Piggyback
+            | RoutingMode::UgalL
+            | RoutingMode::UgalG => crate::plan::valiant_plan(topo, family, s, via, d),
+            RoutingMode::Dal => {
+                // Random per-dimension misroute pattern: walk the DAL plan
+                // from `s`, diverting each eligible correction pair with
+                // probability 1/2 through a random candidate — exactly the
+                // replanning the engine performs in transit.
+                let mut cur = s;
+                let mut plan = crate::plan::dal_plan(topo, s, d);
+                let mut route: flexvc_topology::Route = Vec::new();
+                let mut cands = Vec::new();
+                while let Some(next) = plan.next_hop().copied() {
+                    if next.slot % 2 == 0
+                        && rng.gen_range(0..2u32) == 0
+                        && topo.dim_diverts(cur, d, &mut cands)
+                        && !cands.is_empty()
+                    {
+                        let (via2, port) = cands[rng.gen_range(0..cands.len())];
+                        plan = crate::plan::dal_divert_plan(
+                            topo, port, via2, d, next.slot, next.class,
+                        );
+                    }
+                    let hop = *plan.next_hop().expect("non-empty");
+                    route.push(hop);
+                    cur = topo.neighbor(cur, hop.port as usize).expect("wired").0;
+                    plan.advance();
+                }
+                let pos = route_positions(arr, msg, &reference, &route);
+                if !strictly_increasing(&pos) {
+                    return Err(format!("DAL {s}->{d}: positions {pos:?}"));
+                }
+                if cur != d {
+                    return Err(format!("DAL {s}->{d}: route ends at {cur}"));
+                }
+                continue;
             }
             RoutingMode::Par => {
                 // A divert happens after the first minimal *local* hop (the
@@ -136,7 +171,7 @@ pub fn build_min_cdg(
 ) -> Vec<(BufferId, BufferId)> {
     let reference: Vec<flexvc_core::LinkClass> = match topo.family().generic_diameter() {
         None => RoutingMode::Min.dragonfly_reference().to_vec(),
-        Some(d) => RoutingMode::Min.generic_reference(d),
+        Some(d) => RoutingMode::Min.generic_reference(d).to_vec(),
     };
     let mut edges = std::collections::HashSet::new();
     let n = topo.num_routers();
@@ -284,6 +319,60 @@ mod tests {
             MessageClass::Request,
             5_000,
             7,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn ugal_routes_strictly_increase() {
+        // UGAL's paths are MIN or VAL paths under the VAL reference — the
+        // sampled realizations must occupy strictly increasing positions
+        // on both topology families.
+        let topo = Dragonfly::balanced(2);
+        let arr = Arrangement::dragonfly_val();
+        for mode in [RoutingMode::UgalL, RoutingMode::UgalG] {
+            check_baseline_routes(&topo, mode, &arr, MessageClass::Request, 2_000, 5).unwrap();
+        }
+        use flexvc_topology::HyperX;
+        let hx = HyperX::regular(3, 3, 1);
+        let arr = Arrangement::generic(6);
+        check_baseline_routes(
+            &hx,
+            RoutingMode::UgalG,
+            &arr,
+            MessageClass::Request,
+            2_000,
+            6,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn dal_divert_routes_strictly_increase() {
+        use flexvc_topology::HyperX;
+        // Random misroute patterns on 3-D and mixed-shape HyperX: every
+        // realization's baseline positions strictly increase inside the
+        // T^6 (resp. T^4) reference.
+        let topo = HyperX::regular(3, 3, 1);
+        let arr = Arrangement::generic(6);
+        check_baseline_routes(
+            &topo,
+            RoutingMode::Dal,
+            &arr,
+            MessageClass::Request,
+            5_000,
+            7,
+        )
+        .unwrap();
+        let mixed = HyperX::new(vec![(4, 2), (3, 1)], 1);
+        let arr = Arrangement::generic(4);
+        check_baseline_routes(
+            &mixed,
+            RoutingMode::Dal,
+            &arr,
+            MessageClass::Request,
+            5_000,
+            8,
         )
         .unwrap();
     }

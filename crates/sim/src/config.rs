@@ -223,7 +223,7 @@ impl Default for SensingConfig {
 }
 
 /// Full simulation configuration. Defaults follow Table V at a reduced
-/// network scale (see `DESIGN.md` §4 on the scale substitution).
+/// network scale (see `DESIGN.md` §5 on the scale substitution).
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Network topology.
@@ -280,6 +280,12 @@ pub struct SimConfig {
     /// back up behind the stalled consumption ports. Reply consumption
     /// never stalls, so the dependency chain stays acyclic.
     pub reply_queue_packets: usize,
+    /// Adaptive parallel-copy selection for `k > 1` link multiplicity:
+    /// route each hop over the least-occupied copy of its link (sensed at
+    /// the deciding router) instead of the static endpoint hash. Off by
+    /// default — the hash keeps routes a pure function of the endpoints,
+    /// which the equivalence snapshots rely on.
+    pub adaptive_copies: bool,
 }
 
 impl SimConfig {
@@ -322,6 +328,7 @@ impl SimConfig {
             watchdog: 20_000,
             revert_patience: 16,
             reply_queue_packets: 4,
+            adaptive_copies: false,
         }
     }
 
@@ -419,6 +426,12 @@ impl SimConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.topology.check_shape()?;
         let family = self.topology.family();
+        if self.routing.needs_dimensions() && !matches!(self.topology, TopologySpec::HyperX { .. })
+        {
+            return Err(ConfigError::InvalidTopology {
+                why: "DAL routing needs the per-dimension divert structure of a HyperX topology",
+            });
+        }
         if self.packet_size == 0 {
             return Err(ConfigError::NonPositive {
                 what: "packet size",
@@ -441,11 +454,11 @@ impl SimConfig {
         for &msg in classes {
             match self.policy {
                 VcPolicy::Baseline => {
-                    let reference: Vec<_> = match family.generic_diameter() {
-                        None => self.routing.dragonfly_reference().to_vec(),
+                    let reference: &[_] = match family.generic_diameter() {
+                        None => self.routing.dragonfly_reference(),
                         Some(d) => self.routing.generic_reference(d),
                     };
-                    if !supports_baseline(&self.arrangement, msg, &reference) {
+                    if !supports_baseline(&self.arrangement, msg, reference) {
                         return Err(ConfigError::BaselineArrangement {
                             routing: self.routing,
                             msg,
@@ -465,10 +478,22 @@ impl SimConfig {
                     if classify(family, self.routing, &self.arrangement, msg)
                         == Support::Unsupported
                     {
-                        return Err(ConfigError::UnsupportedRouting {
+                        // Name the classifier's safe minimum so the error
+                        // tells the user which arrangement would work.
+                        let minimum = match family.generic_diameter() {
+                            Some(d) => {
+                                format!("{} single-class VCs", self.routing.min_hyperx_vcs(d))
+                            }
+                            None => {
+                                let (l, g) = self.routing.min_dragonfly_vcs();
+                                format!("{l}/{g} local/global VCs")
+                            }
+                        };
+                        return Err(ConfigError::InsufficientVcs {
                             routing: self.routing,
                             msg,
                             arrangement: self.arrangement.to_string(),
+                            minimum,
                         });
                     }
                 }

@@ -64,18 +64,16 @@ use crate::config::{BufferOrg, SensingMode, SimConfig};
 use crate::link::LinkState;
 use crate::metrics::{Metrics, SimResult};
 use crate::packet::{Packet, PlannedPath, MAX_PLAN};
-use crate::plan::{min_plan, par_divert_plan, par_min_plan, valiant_plan};
-use crate::sensing::{choose_nonminimal, saturated_flags_into, GroupBoard};
+use crate::plan::{min_plan, RoutePolicy, SenseView};
+use crate::sensing::{saturated_flags_into, GroupBoard};
 use flexvc_core::classify::NetworkFamily;
 use flexvc_core::policy::{baseline_vc, flexvc_options_lookahead};
-use flexvc_core::{
-    Arrangement, CreditClass, HopKind, LinkClass, MessageClass, RoutingMode, VcPolicy,
-};
+use flexvc_core::{Arrangement, CreditClass, HopKind, LinkClass, MessageClass, VcPolicy};
 use flexvc_topology::Topology;
 use flexvc_traffic::generator::NodeSpace;
 use flexvc_traffic::NodeGenerator;
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -186,8 +184,19 @@ enum Decision {
 pub struct Network {
     cfg: SimConfig,
     topo: Arc<dyn Topology>,
+    /// Classification family (read by the debug-build baseline-table
+    /// cross-check; release builds use the precomputed table alone).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
     family: NetworkFamily,
     arr: Arrangement,
+    /// The per-hop routing-decision pipeline: injection planning and
+    /// in-transit decisions (PAR / DAL / adaptive copies) all route
+    /// through this one object — the engine has no mode special cases.
+    policy: RoutePolicy,
+    /// Cached [`RoutePolicy::decides_in_transit`] for the allocator's hot
+    /// path (also disables the evaluation-skip memo, whose soundness
+    /// argument assumes evaluations do not mutate state).
+    transit_decisions: bool,
     /// Network ports per router.
     pp: usize,
     /// Nodes per router.
@@ -432,9 +441,9 @@ impl Network {
         // Precompute the baseline policy's pure (class, slot) -> (vc, pos)
         // mapping so the allocator's hottest path is a table lookup.
         let baseline_table: Vec<[(u8, u16); MAX_PLAN]> = if cfg.policy == VcPolicy::Baseline {
-            let reference: Vec<LinkClass> = match family.generic_diameter() {
-                None => cfg.routing.dragonfly_reference().to_vec(),
-                Some(d) => REF_GENERIC[..cfg.routing.generic_reference(d).len()].to_vec(),
+            let reference: &[LinkClass] = match family.generic_diameter() {
+                None => cfg.routing.dragonfly_reference(),
+                Some(d) => cfg.routing.generic_reference(d),
             };
             [MessageClass::Request, MessageClass::Reply]
                 .iter()
@@ -447,7 +456,7 @@ impl Network {
                         return row;
                     }
                     for (slot, entry) in row.iter_mut().enumerate().take(reference.len()) {
-                        let (bclass, bvc) = baseline_vc(&arr, class, &reference, slot);
+                        let (bclass, bvc) = baseline_vc(&arr, class, reference, slot);
                         let pos = arr.position(bclass, bvc).expect("baseline vc") as u16;
                         *entry = (bvc as u8, pos);
                     }
@@ -483,7 +492,7 @@ impl Network {
             })
             .collect();
 
-        let boards = if cfg.routing == RoutingMode::Piggyback {
+        let boards = if cfg.routing.uses_boards() {
             let rpg = topo.routers_per_group();
             (0..topo.num_groups())
                 .map(|_| GroupBoard::new(rpg, sense_ports.len(), cfg.local_latency as u64))
@@ -493,10 +502,14 @@ impl Network {
         };
 
         let n_nodes = topo.num_nodes();
-        // PAR evaluations mutate packets unconditionally (the divert mark),
-        // so PAR configurations never settle; FlexVC mutations (patience,
-        // reversion) are tracked per round via `eval_mutated`.
-        let can_settle = cfg.routing != RoutingMode::Par;
+        let policy = RoutePolicy::new(&cfg);
+        // In-transit decisions (PAR's divert mark, DAL's per-dimension
+        // evaluation, adaptive copy re-selection) mutate packets during
+        // evaluation, so such configurations never settle; FlexVC
+        // mutations (patience, reversion) are tracked per round via
+        // `eval_mutated`.
+        let transit_decisions = policy.decides_in_transit();
+        let can_settle = !transit_decisions;
         let cfg_vcs_by_port: Vec<u8> = (0..pp)
             .map(|p| cfg.vcs_for_class(port_class[p]).clamp(1, 255) as u8)
             .collect();
@@ -506,6 +519,8 @@ impl Network {
             topo,
             family,
             arr,
+            policy,
+            transit_decisions,
             pp,
             pn,
             adj,
@@ -652,7 +667,7 @@ impl Network {
             self.allocate(now);
         }
         self.serialize_outputs(now);
-        if self.cfg.routing == RoutingMode::Piggyback {
+        if self.cfg.routing.uses_boards() {
             self.update_sensing(now);
         }
         if now.is_multiple_of(128) && self.in_window(now) {
@@ -876,6 +891,7 @@ impl Network {
             buffered_class: CreditClass::MinRouted,
             planned: false,
             par_evaluated: false,
+            hop_decided: false,
             flex_opts: None,
             opp_blocked: 0,
             hops: 0,
@@ -909,20 +925,23 @@ impl Network {
                     if head.planned {
                         continue;
                     }
-                    let (plan, min_routed) = plan_route(
-                        &self.cfg,
+                    let (dst_r, class) = (head.dst_router as usize, head.class);
+                    let sense = SenseView {
+                        out_credit: &router.out_credit,
+                        boards: &self.boards,
+                        sense_ports: &self.sense_ports,
+                        sense_all: self.sense_all,
+                        min_cred: self.cfg.sensing.min_cred,
+                        adj: &self.adj,
+                        port_class: &self.port_class,
+                    };
+                    let (plan, min_routed) = self.policy.plan_injection(
                         &*self.topo,
-                        self.family,
-                        &self.adj,
-                        &self.port_class,
-                        &self.sense_ports,
-                        self.sense_all,
-                        &self.boards,
-                        &router.out_credit,
+                        &sense,
                         &mut router.rng,
                         r,
-                        head.dst_router as usize,
-                        head.class,
+                        dst_r,
+                        class,
                     );
                     let head = router.inj[local].head_mut(vc).expect("head");
                     head.plan = plan;
@@ -1120,9 +1139,10 @@ impl Network {
             }
         }
 
-        // PAR in-transit divert evaluation (may replace the plan).
-        if self.cfg.routing == RoutingMode::Par && !is_injection {
-            self.maybe_par_divert(r, in_idx, vc, now);
+        // In-transit routing decisions (PAR divert, DAL per-dimension
+        // misroute, adaptive copy re-selection) may replace the plan.
+        if self.transit_decisions {
+            self.transit_decide(r, in_idx, vc, now);
         }
 
         // Forwarding evaluation with at most one reversion.
@@ -1163,12 +1183,13 @@ impl Network {
             if xbar_until > now {
                 // The gate's outcome is time-pure: record the deadline so
                 // later rounds skip this head without re-deriving it. Not
-                // sound for PAR (divert evaluation above mutates state on
-                // a schedule tied to evaluation visits) or reverted heads
-                // (the reversion this round must not be skipped later...
-                // the new plan targets a different port anyway, and the
-                // deadline is recomputed from it on the next visit).
-                if self.cfg.routing != RoutingMode::Par && vc < 16 && !reverted {
+                // sound for in-transit deciders — PAR/DAL/adaptive-copy
+                // evaluations above mutate state on a schedule tied to
+                // evaluation visits — or reverted heads (the reversion
+                // this round must not be skipped later... the new plan
+                // targets a different port anyway, and the deadline is
+                // recomputed from it on the next visit).
+                if !self.transit_decisions && vc < 16 && !reverted {
                     self.vc_skip_until[(r * (pp + self.pn) + in_idx) * 16 + vc] = xbar_until;
                 }
                 return None;
@@ -1187,7 +1208,7 @@ impl Network {
                         let reference: &[LinkClass] = match self.family.generic_diameter() {
                             None => self.cfg.routing.dragonfly_reference(),
                             // Generic references are all-Local; slots map 1:1.
-                            Some(d) => &REF_GENERIC[..self.cfg.routing.generic_reference(d).len()],
+                            Some(d) => self.cfg.routing.generic_reference(d),
                         };
                         let (bclass, fresh_vc) =
                             baseline_vc(&self.arr, head.class, reference, hop.slot as usize);
@@ -1333,44 +1354,45 @@ impl Network {
         }
     }
 
-    /// PAR: after the first minimal hop, decide whether to divert to a
-    /// Valiant path based on local congestion toward the next minimal hop.
-    fn maybe_par_divert(&mut self, r: usize, in_idx: usize, vc: usize, _now: u64) {
+    /// In-transit decision point: hand the head to the routing policy
+    /// (PAR divert, DAL per-dimension misroute, adaptive copy
+    /// re-selection) with the router-local sensed state.
+    fn transit_decide(&mut self, r: usize, in_idx: usize, vc: usize, _now: u64) {
+        let pp = self.pp;
+        let is_injection = in_idx >= pp;
+        let in_class = if is_injection {
+            LinkClass::Local
+        } else {
+            self.port_class[in_idx]
+        };
         let topo = Arc::clone(&self.topo);
         let router = &mut self.routers[r];
-        let Some(head) = router.inputs[in_idx].head_mut(vc) else {
+        let head = if is_injection {
+            router.inj[in_idx - pp].head_mut(vc)
+        } else {
+            router.inputs[in_idx].head_mut(vc)
+        };
+        let Some(head) = head else {
             return;
         };
-        // PAR diverts exactly at the classic decision point: after one
-        // minimal *local* hop in the source group, before committing to the
-        // global hop (the divert slots l1.. lie between l0 and g2 in the
-        // reference; diverting after a global hop would descend positions).
-        if head.par_evaluated
-            || !head.min_routed
-            || head.hops != 1
-            || head.plan.is_done()
-            || self.port_class[in_idx] != LinkClass::Local
-            || head.plan.next_hop().map(|h| h.class) != Some(LinkClass::Global)
-        {
-            return;
-        }
-        head.par_evaluated = true;
-        let dst_r = head.dst_router as usize;
-        let next = *head.plan.next_hop().expect("plan not done");
-        let q_min = router.out_credit[next.port as usize].total();
-        let via = router.rng.gen_range(0..topo.num_routers());
-        let divert = par_divert_plan(&*topo, self.family, r, via, dst_r);
-        let Some(first) = divert.next_hop() else {
-            return;
+        let sense = SenseView {
+            out_credit: &router.out_credit,
+            boards: &self.boards,
+            sense_ports: &self.sense_ports,
+            sense_all: self.sense_all,
+            min_cred: self.cfg.sensing.min_cred,
+            adj: &self.adj,
+            port_class: &self.port_class,
         };
-        let q_val = router.out_credit[first.port as usize].total();
-        let t_phits = self.cfg.sensing.threshold * self.cfg.packet_size;
-        if choose_nonminimal(false, q_min, q_val, t_phits) {
-            head.plan = divert;
-            head.min_routed = false;
-            head.derouted = true;
-            head.flex_opts = None;
-        }
+        self.policy.transit_update(
+            &*topo,
+            &sense,
+            &mut router.rng,
+            r,
+            head,
+            is_injection,
+            in_class,
+        );
     }
 
     #[allow(clippy::too_many_arguments)] // a grant is naturally 7-tuple-shaped
@@ -1670,94 +1692,6 @@ impl Network {
     fn watchdog(&mut self, now: u64) {
         if self.in_flight > 0 && now.saturating_sub(self.last_progress) > self.cfg.watchdog {
             self.metrics.deadlocked = true;
-        }
-    }
-}
-
-/// All-Local slot reference for generic networks (max PAR length 2·3+1 = 7
-/// at the supported 3-dimension HyperX ceiling).
-static REF_GENERIC: [LinkClass; 7] = [LinkClass::Local; 7];
-
-/// Route planning at injection (free function for borrow hygiene).
-#[allow(clippy::too_many_arguments)]
-fn plan_route(
-    cfg: &SimConfig,
-    topo: &dyn Topology,
-    family: NetworkFamily,
-    adj: &[Option<(u32, u16)>],
-    port_class: &[LinkClass],
-    sense_ports: &[usize],
-    sense_all: bool,
-    boards: &[GroupBoard],
-    out_credit: &[Occupancy],
-    rng: &mut SmallRng,
-    r: usize,
-    dst_r: usize,
-    class: MessageClass,
-) -> (PlannedPath, bool) {
-    if dst_r == r {
-        return (PlannedPath::empty(), true);
-    }
-    match cfg.routing {
-        RoutingMode::Min => (min_plan(topo, r, dst_r), true),
-        RoutingMode::Valiant => {
-            let via = rng.gen_range(0..topo.num_routers());
-            (valiant_plan(topo, family, r, via, dst_r), false)
-        }
-        RoutingMode::Par => (par_min_plan(topo, family, r, dst_r), true),
-        RoutingMode::Piggyback => {
-            let min_route = topo.min_route(r, dst_r);
-            // Same-group destinations route minimally.
-            if topo.group_of_router(r) == topo.group_of_router(dst_r) {
-                return (PlannedPath::from_route(&min_route), true);
-            }
-            let pp = topo.num_ports();
-            let min_cred = cfg.sensing.min_cred;
-            let metric = |occ: &Occupancy| -> u32 {
-                if min_cred {
-                    occ.split_total().min_occupancy()
-                } else {
-                    occ.total()
-                }
-            };
-            // Walk the minimal route to the first sensed channel (the
-            // first global hop in a Dragonfly; the very first hop on
-            // single-class topologies) and read its piggybacked flag.
-            let mut sat = false;
-            let mut cur = r;
-            for hop in &min_route {
-                if sense_all || port_class[hop.port as usize] == LinkClass::Global {
-                    let rpg = topo.routers_per_group();
-                    let group = topo.group_of_router(cur);
-                    let local = cur - group * rpg;
-                    // With all ports sensed the offset is the port itself;
-                    // only Dragonfly global ports need the lookup.
-                    let gp_off = if sense_all {
-                        hop.port as usize
-                    } else {
-                        sense_ports
-                            .iter()
-                            .position(|&g| g == hop.port as usize)
-                            .expect("sense port")
-                    };
-                    sat = boards[group].read(local, gp_off, class);
-                    break;
-                }
-                cur = adj[cur * pp + hop.port as usize].expect("wired").0 as usize;
-            }
-            let q_min = metric(&out_credit[min_route[0].port as usize]);
-            let via = rng.gen_range(0..topo.num_routers());
-            let val = valiant_plan(topo, family, r, via, dst_r);
-            let q_val = val
-                .next_hop()
-                .map(|h| metric(&out_credit[h.port as usize]))
-                .unwrap_or(u32::MAX);
-            let t_phits = cfg.sensing.threshold * cfg.packet_size;
-            if choose_nonminimal(sat, q_min, q_val, t_phits) && val.next_hop().is_some() {
-                (val, false)
-            } else {
-                (PlannedPath::from_route(&min_route), true)
-            }
         }
     }
 }

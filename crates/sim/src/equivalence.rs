@@ -196,6 +196,43 @@ pub fn points() -> Vec<EquivalencePoint> {
         14,
     );
 
+    // UGAL-L on the 3-D HyperX ADV point: the RoutePolicy injection
+    // pipeline's hop-weighted credit comparison (recorded when the
+    // decision layer landed; guards the UGAL path against drift).
+    add(
+        "hyperx3d_adv_ugal_l_flexvc6",
+        smoke(
+            SimConfig::hyperx_baseline(
+                3,
+                3,
+                2,
+                RoutingMode::UgalL,
+                Workload::oblivious(Pattern::adv1()),
+            )
+            .with_flexvc(Arrangement::generic(6)),
+        ),
+        0.7,
+        15,
+    );
+
+    // DAL on the 2-D HyperX ADV point: per-dimension in-transit misroutes
+    // with correction-pair slots (recorded when the decision layer landed).
+    add(
+        "hyperx2d_adv_dal_flexvc4",
+        smoke(
+            SimConfig::hyperx_baseline(
+                2,
+                4,
+                2,
+                RoutingMode::Dal,
+                Workload::oblivious(Pattern::adv1()),
+            )
+            .with_flexvc(Arrangement::generic(4)),
+        ),
+        0.7,
+        16,
+    );
+
     points
 }
 

@@ -40,14 +40,22 @@ pub enum ConfigError {
         arrangement: String,
     },
     /// The configured routing is unsupported (not even opportunistic) on
-    /// the arrangement.
-    UnsupportedRouting {
+    /// the arrangement: it has too few VCs for the mode's reference
+    /// sequence. Carries the classifier's minimum
+    /// ([`RoutingMode::min_dragonfly_vcs`] /
+    /// [`RoutingMode::min_hyperx_vcs`]) so the message tells the user what
+    /// would work.
+    InsufficientVcs {
         /// Configured routing mode.
         routing: RoutingMode,
         /// Message class without support.
         msg: MessageClass,
         /// Display rendering of the configured arrangement.
         arrangement: String,
+        /// Human rendering of the classifier's safe minimum for the mode
+        /// on this topology family (e.g. `4/2 local/global VCs` or
+        /// `6 VCs`).
+        minimum: String,
     },
     /// A per-VC input buffer cannot hold one packet.
     VcCapacityBelowPacket {
@@ -91,11 +99,17 @@ impl fmt::Display for ConfigError {
                     "minimal routing must be safe for {msg:?} on {arrangement}"
                 )
             }
-            ConfigError::UnsupportedRouting {
+            ConfigError::InsufficientVcs {
                 routing,
                 msg,
                 arrangement,
-            } => write!(f, "{routing} is unsupported for {msg:?} on {arrangement}"),
+                minimum,
+            } => write!(
+                f,
+                "{routing} is unsupported for {msg:?} on {arrangement}: too few VCs \
+                 (the safe minimum for {routing} is {minimum}; FlexVC can run \
+                 opportunistically on fewer, but not this few)"
+            ),
             ConfigError::VcCapacityBelowPacket { class } => {
                 write!(f, "{class:?} VC capacity below one packet")
             }
@@ -178,5 +192,32 @@ mod tests {
     fn from_config_error() {
         let r: RunError = ConfigError::PortBuffersBelowPacket.into();
         assert!(matches!(r, RunError::InvalidPoint { index: 0, .. }));
+    }
+
+    /// The too-few-VCs rejection must name the classifier's minimum so the
+    /// user knows which arrangement would work.
+    #[test]
+    fn insufficient_vcs_names_the_classifier_minimum() {
+        let e = ConfigError::InsufficientVcs {
+            routing: RoutingMode::Valiant,
+            msg: MessageClass::Request,
+            arrangement: "L G L".to_string(),
+            minimum: "4/2 local/global VCs".to_string(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "VAL is unsupported for Request on L G L: too few VCs (the safe minimum \
+             for VAL is 4/2 local/global VCs; FlexVC can run opportunistically on \
+             fewer, but not this few)"
+        );
+        let hx = ConfigError::InsufficientVcs {
+            routing: RoutingMode::Dal,
+            msg: MessageClass::Request,
+            arrangement: "T T T".to_string(),
+            minimum: "6 single-class VCs".to_string(),
+        };
+        let rendered = hx.to_string();
+        assert!(rendered.contains("DAL"), "{rendered}");
+        assert!(rendered.contains("6 single-class VCs"), "{rendered}");
     }
 }

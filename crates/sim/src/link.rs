@@ -151,6 +151,7 @@ mod tests {
             buffered_class: CreditClass::MinRouted,
             planned: true,
             par_evaluated: false,
+            hop_decided: false,
             flex_opts: None,
             opp_blocked: 0,
             hops: 0,

@@ -70,6 +70,14 @@ impl PlannedPath {
         *self = Self::from_route(route);
     }
 
+    /// Redirect the next hop over a parallel copy of its link (adaptive
+    /// `k > 1` copy selection): same neighbor, same class and slot, a
+    /// different physical port.
+    pub fn set_next_port(&mut self, port: u16) {
+        debug_assert!(self.idx < self.len, "no next hop to redirect");
+        self.hops[self.idx as usize].port = port;
+    }
+
     /// Hops consumed so far.
     pub fn hops_taken(&self) -> usize {
         self.idx as usize
@@ -122,6 +130,10 @@ pub struct Packet {
     pub planned: bool,
     /// PAR: the in-transit divert decision was already evaluated.
     pub par_evaluated: bool,
+    /// The per-router transit decision (DAL misroute, adaptive copy
+    /// re-selection) already ran for the packet's current buffer; cleared
+    /// on every buffer entry alongside the lookahead cache.
+    pub hop_decided: bool,
     /// Cached FlexVC lookahead options for the packet's current
     /// (buffer, plan) state. The options are a pure function of the
     /// arrangement, message class, buffer position, and the (fixed) plan
@@ -225,6 +237,7 @@ mod tests {
             buffered_class: CreditClass::MinRouted,
             planned: true,
             par_evaluated: false,
+            hop_decided: false,
             flex_opts: None,
             opp_blocked: 0,
             hops: 0,

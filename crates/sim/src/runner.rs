@@ -265,7 +265,7 @@ mod tests {
         match err {
             RunError::InvalidPoint { index, source } => {
                 assert_eq!(index, 1);
-                assert!(matches!(source, ConfigError::UnsupportedRouting { .. }));
+                assert!(matches!(source, ConfigError::InsufficientVcs { .. }));
             }
             other => panic!("unexpected error: {other}"),
         }

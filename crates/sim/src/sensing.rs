@@ -96,10 +96,10 @@ pub fn saturated_flags_into(occ: &[u32], floor_phits: u32, out: &mut Vec<bool>) 
 ///
 /// `q_min`/`q_val` are local occupancies (phits) toward the minimal and
 /// Valiant next hops; the minimal path is additionally vetoed by its global
-/// channel's saturation flag.
-pub fn choose_nonminimal(min_sat: bool, q_min: u32, q_val: u32, threshold_phits: u32) -> bool {
-    min_sat || q_min > 2 * q_val + threshold_phits
-}
+/// channel's saturation flag. The rule itself lives with the other pure
+/// decision functions in [`flexvc_core::decision`]; this re-export keeps
+/// the historical path alive.
+pub use flexvc_core::decision::choose_nonminimal;
 
 #[cfg(test)]
 mod tests {

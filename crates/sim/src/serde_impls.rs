@@ -267,7 +267,8 @@ impl Serialize for SimConfig {
                 .with("measure", self.measure.to_value())
                 .with("watchdog", self.watchdog.to_value())
                 .with("revert_patience", self.revert_patience.to_value())
-                .with("reply_queue_packets", self.reply_queue_packets.to_value()),
+                .with("reply_queue_packets", self.reply_queue_packets.to_value())
+                .with("adaptive_copies", self.adaptive_copies.to_value()),
         )
     }
 }
@@ -316,6 +317,7 @@ impl Deserialize for SimConfig {
             watchdog: m.field_or("watchdog", 20_000)?,
             revert_patience: m.field_or("revert_patience", 16)?,
             reply_queue_packets: m.field_or("reply_queue_packets", 4)?,
+            adaptive_copies: m.field_or("adaptive_copies", false)?,
         })
     }
 }

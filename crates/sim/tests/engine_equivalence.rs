@@ -277,6 +277,55 @@ const GOLDENS: &[Golden] = &[
         ],
         global_vc_occupancy: &[],
     },
+    // Recorded at the commit introducing the RoutePolicy decision layer
+    // (`cargo run --release -p flexvc-sim --example record_goldens
+    // hyperx3d_adv_ugal_l_flexvc6 hyperx2d_adv_dal_flexvc4`): guard the
+    // UGAL-L weighted-comparison injection path and DAL's per-dimension
+    // misroute pipeline against behavioral drift.
+    Golden {
+        name: "hyperx3d_adv_ugal_l_flexvc6",
+        accepted: 0.526074074074074,
+        latency: 731.9320379235896,
+        latency_req: 731.9320379235896,
+        latency_rep: 0.0,
+        misroute_fraction: 0.12897775274570544,
+        avg_hops: 2.475828405144091,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.037183376843293585,
+        deadlocked: false,
+        latency_p99: 2048.0,
+        hist_count: 10653,
+        local_vc_occupancy: &[
+            14.843621399176955,
+            16.39917695473251,
+            17.438271604938272,
+            18.25925925925926,
+            11.199588477366255,
+            0.8868312757201646,
+        ],
+        global_vc_occupancy: &[],
+    },
+    Golden {
+        name: "hyperx2d_adv_dal_flexvc4",
+        accepted: 0.7044166666666667,
+        latency: 90.28013722938601,
+        latency_req: 90.28013722938601,
+        latency_rep: 0.0,
+        misroute_fraction: 0.3789187270791435,
+        avg_hops: 2.1347450609251153,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.0,
+        deadlocked: false,
+        latency_p99: 256.0,
+        hist_count: 8453,
+        local_vc_occupancy: &[
+            1.6805555555555556,
+            2.4340277777777777,
+            3.15625,
+            2.1041666666666665,
+        ],
+        global_vc_occupancy: &[],
+    },
 ];
 
 /// Differential check: a 2-D unit-multiplicity HyperX is the same machine

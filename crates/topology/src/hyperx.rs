@@ -33,8 +33,9 @@ use flexvc_core::classify::NetworkFamily;
 use flexvc_core::LinkClass;
 
 /// Maximum supported dimensionality: the PAR reference path `T^(2n+1)` must
-/// fit the 8-slot [`ClassPath`]/plan capacity, so `n ≤ 3`.
-pub const MAX_DIMS: usize = 3;
+/// fit the 8-slot [`ClassPath`]/plan capacity, so `n ≤ 3`. Re-exported from
+/// the reference-sequence source of truth in `flexvc_core::routing`.
+pub const MAX_DIMS: usize = flexvc_core::routing::MAX_GENERIC_DIAMETER;
 
 /// An `n`-dimensional HyperX with per-dimension shape `(s, k)` —
 /// `s` routers along the dimension, `k` parallel links per peer pair —
@@ -228,6 +229,47 @@ impl Topology for HyperX {
     fn group_of_router(&self, router: usize) -> usize {
         router / self.strides[self.num_dims() - 1]
     }
+
+    /// Direct enumeration of the `k` parallel copies of a port's link: same
+    /// dimension, same peer offset `j`, every copy index.
+    fn parallel_ports(&self, _router: usize, port: usize, out: &mut Vec<u16>) {
+        out.clear();
+        if port >= self.ports {
+            return;
+        }
+        let Some(dim) = self.port_base.iter().rposition(|&b| b <= port) else {
+            return;
+        };
+        let (s, k) = self.dims[dim];
+        let j = (port - self.port_base[dim]) % (s - 1);
+        for copy in 0..k {
+            out.push((self.port_base[dim] + copy * (s - 1) + j) as u16);
+        }
+    }
+
+    /// DAL divert candidates: intermediate coordinates of the first
+    /// differing dimension (DOR order), each one misroute hop away with a
+    /// single correction hop remaining in that dimension.
+    fn dim_diverts(&self, from: usize, to: usize, out: &mut Vec<(usize, u16)>) -> bool {
+        out.clear();
+        let Some(dim) = (0..self.num_dims()).find(|&d| self.coord(from, d) != self.coord(to, d))
+        else {
+            return false;
+        };
+        let (s, _) = self.dims[dim];
+        let (from_c, to_c) = (self.coord(from, dim), self.coord(to, dim));
+        for via_c in 0..s {
+            if via_c == from_c || via_c == to_c {
+                continue;
+            }
+            let via = (from as isize
+                + (via_c as isize - from_c as isize) * self.strides[dim] as isize)
+                as usize;
+            let copy = self.route_copy(dim, from, via);
+            out.push((via, self.peer_port(dim, from_c, via_c, copy) as u16));
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -387,6 +429,93 @@ mod tests {
                 assert_eq!(t.group_of_router(to), 1);
             }
         }
+    }
+
+    /// The override must agree with the trait's default scan on every
+    /// (router, port): same copies, same order.
+    #[test]
+    fn parallel_ports_match_default_scan() {
+        for t in [
+            HyperX::new(vec![(3, 2)], 1),
+            HyperX::new(vec![(4, 2), (3, 1)], 1),
+            HyperX::new(vec![(2, 1), (3, 3), (2, 2)], 1),
+        ] {
+            let mut fast = Vec::new();
+            let mut slow = Vec::new();
+            for r in 0..t.num_routers() {
+                for port in 0..t.num_ports() {
+                    t.parallel_ports(r, port, &mut fast);
+                    // The trait-provided scan, invoked through a shim that
+                    // has no override.
+                    struct Shim<'a>(&'a HyperX);
+                    impl Topology for Shim<'_> {
+                        fn num_routers(&self) -> usize {
+                            self.0.num_routers()
+                        }
+                        fn nodes_per_router(&self) -> usize {
+                            self.0.nodes_per_router()
+                        }
+                        fn num_ports(&self) -> usize {
+                            self.0.num_ports()
+                        }
+                        fn neighbor(&self, r: usize, p: usize) -> Option<(usize, usize)> {
+                            self.0.neighbor(r, p)
+                        }
+                        fn port_class(&self, r: usize, p: usize) -> LinkClass {
+                            self.0.port_class(r, p)
+                        }
+                        fn min_route(&self, a: usize, b: usize) -> Route {
+                            self.0.min_route(a, b)
+                        }
+                        fn min_classes(&self, a: usize, b: usize) -> ClassPath {
+                            self.0.min_classes(a, b)
+                        }
+                        fn diameter(&self) -> usize {
+                            self.0.diameter()
+                        }
+                        fn family(&self) -> NetworkFamily {
+                            self.0.family()
+                        }
+                        fn num_groups(&self) -> usize {
+                            self.0.num_groups()
+                        }
+                        fn group_of_router(&self, r: usize) -> usize {
+                            self.0.group_of_router(r)
+                        }
+                    }
+                    Shim(&t).parallel_ports(r, port, &mut slow);
+                    assert_eq!(fast, slow, "router {r} port {port} dims {:?}", t.dims());
+                    assert!(fast.contains(&(port as u16)), "own port always a copy");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dim_diverts_enumerate_intermediate_coords() {
+        let t = HyperX::new(vec![(4, 1), (3, 1)], 1);
+        let mut out = Vec::new();
+        // from (0,0) to (2,1): first differing dimension is 0 with s = 4,
+        // so the candidates are coordinates {1, 3}.
+        let from = t.router_at(&[0, 0]);
+        let to = t.router_at(&[2, 1]);
+        assert!(t.dim_diverts(from, to, &mut out));
+        let vias: Vec<usize> = out.iter().map(|&(v, _)| v).collect();
+        assert_eq!(vias, vec![t.router_at(&[1, 0]), t.router_at(&[3, 0])]);
+        for &(via, port) in &out {
+            // The port leads to the via router, and one hop fixes the rest
+            // of the dimension.
+            assert_eq!(t.neighbor(from, port as usize).unwrap().0, via);
+            assert_ne!(t.coord(via, 0), t.coord(to, 0));
+            assert_eq!(t.min_route(via, to).len(), 2); // fix dim 0, then dim 1
+        }
+        // Same coordinates in every dimension: no candidates.
+        assert!(!t.dim_diverts(from, from, &mut out));
+        assert!(out.is_empty());
+        // A dimension of size 2 has no intermediate coordinate.
+        let t2 = HyperX::regular(1, 2, 1);
+        assert!(t2.dim_diverts(0, 1, &mut out));
+        assert!(out.is_empty());
     }
 
     #[test]

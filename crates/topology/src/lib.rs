@@ -112,4 +112,37 @@ pub trait Topology: Send + Sync {
     fn min_distance(&self, from: usize, to: usize) -> usize {
         self.min_classes(from, to).len()
     }
+
+    /// Parallel-copy ports: every port of `router` wired to the same
+    /// neighbor as `port` (including `port` itself), in ascending port
+    /// order, written into `out` (cleared first). This is the `k > 1` link
+    /// multiplicity enumeration adaptive copy selection chooses over. The
+    /// default scans all ports; topologies with structured port blocks
+    /// (HyperX) override with a direct computation.
+    fn parallel_ports(&self, router: usize, port: usize, out: &mut Vec<u16>) {
+        out.clear();
+        let Some((peer, _)) = self.neighbor(router, port) else {
+            return;
+        };
+        for p in 0..self.num_ports() {
+            if self.neighbor(router, p).map(|(r, _)| r) == Some(peer) {
+                out.push(p as u16);
+            }
+        }
+    }
+
+    /// Per-dimension divert candidates for dimensionally-adaptive (DAL)
+    /// routing: for the *first dimension* in which `from` and `to` differ,
+    /// push one `(via_router, port_to_via)` per intermediate coordinate of
+    /// that dimension (skipping `from`'s and `to`'s own coordinates) into
+    /// `out` (cleared first) and return `true`. A misroute to any candidate
+    /// still fixes the dimension with one further hop (`via → to`'s
+    /// coordinate), so a DAL detour costs exactly one extra hop per
+    /// diverted dimension. Returns `false` when the topology has no
+    /// per-dimension structure (the default) or `from == to`.
+    fn dim_diverts(&self, from: usize, to: usize, out: &mut Vec<(usize, u16)>) -> bool {
+        let _ = (from, to);
+        out.clear();
+        false
+    }
 }

@@ -196,6 +196,89 @@ proptest! {
         check_safe(&*topo, RoutingMode::Piggyback, &classes);
     }
 
+    /// UGAL routes are MIN or VAL paths under the VAL-sized reference: both
+    /// candidate paths of the injection decision embed safely from
+    /// position 0 in the UGAL reference arrangement, on every shape.
+    #[test]
+    fn ugal_candidates_are_safe_under_the_ugal_reference(
+        shape in arb_shape(),
+        triple in (0usize..10_000, 0usize..10_000, 0usize..10_000),
+    ) {
+        let topo = shape.build();
+        let n = topo.num_routers();
+        let (from, via, to) = (triple.0 % n, triple.1 % n, triple.2 % n);
+        let min: Vec<LinkClass> =
+            topo.min_route(from, to).iter().map(|h| h.class).collect();
+        let val: Vec<LinkClass> = topo
+            .min_route(from, via)
+            .iter()
+            .chain(topo.min_route(via, to).iter())
+            .map(|h| h.class)
+            .collect();
+        for mode in [RoutingMode::UgalL, RoutingMode::UgalG] {
+            check_safe(&*topo, mode, &min);
+            check_safe(&*topo, mode, &val);
+        }
+    }
+
+    /// DAL detours on random HyperX shapes: every misroute pattern (forced
+    /// divert at every eligible dimension through a random candidate)
+    /// (a) reaches the destination, (b) spends at most 2 hops per
+    /// dimension — one misroute plus one correction — and (c) embeds in
+    /// the DAL `T^2d` reference from position 0.
+    #[test]
+    fn dal_detours_are_correct_bounded_and_safe(
+        shape in arb_shape(),
+        pair in (0usize..10_000, 0usize..10_000),
+        picks in proptest::collection::vec(0usize..16, 8..=8),
+    ) {
+        let Shape::HyperX { dims, p } = &shape else {
+            return; // per-dimension structure only
+        };
+        let topo = HyperX::new(dims.clone(), *p);
+        let n = topo.num_routers();
+        let (from, to) = (pair.0 % n, pair.1 % n);
+        let mut cur = from;
+        let mut cands = Vec::new();
+        let mut classes = Vec::new();
+        let mut per_dim_hops = vec![0usize; topo.num_dims()];
+        let mut step = 0usize;
+        // Follow DOR, forcing a misroute whenever a candidate exists; the
+        // `picks` vector randomizes the intermediate coordinate choice.
+        while cur != to {
+            let dim = (0..topo.num_dims())
+                .find(|&d| topo.coord(cur, d) != topo.coord(to, d))
+                .expect("cur != to");
+            let can_divert = per_dim_hops[dim] == 0 && topo.dim_diverts(cur, to, &mut cands);
+            if can_divert && !cands.is_empty() {
+                let (via, port) = cands[picks[step.min(7)] % cands.len()];
+                prop_assert_eq!(topo.neighbor(cur, port as usize).unwrap().0, via);
+                // The misroute stays inside the dimension.
+                for d2 in 0..topo.num_dims() {
+                    if d2 != dim {
+                        prop_assert_eq!(topo.coord(via, d2), topo.coord(cur, d2));
+                    }
+                }
+                prop_assert!(topo.coord(via, dim) != topo.coord(to, dim));
+                cur = via;
+                per_dim_hops[dim] += 1;
+                classes.push(LinkClass::Local);
+            } else {
+                // Direct (or correction) hop to the destination coordinate.
+                let route = topo.min_route(cur, to);
+                let hop = route.first().expect("cur != to");
+                cur = topo.neighbor(cur, hop.port as usize).unwrap().0;
+                per_dim_hops[dim] += 1;
+                prop_assert!(per_dim_hops[dim] <= 2, "dimension {dim} exceeded its pair");
+                classes.push(LinkClass::Local);
+            }
+            step += 1;
+            prop_assert!(step <= 2 * topo.num_dims(), "detour exceeded T^2d");
+        }
+        prop_assert_eq!(cur, to);
+        check_safe(&topo, RoutingMode::Dal, &classes);
+    }
+
     /// The minimal continuation from *any* router along a VAL detour embeds
     /// above the worst landing — the escape-path substrate FlexVC's
     /// opportunistic hops rely on (Definition 2's "safe escape exists").

@@ -85,6 +85,107 @@ fn reactive_matrix_survives_saturation() {
     }
 }
 
+/// UGAL-L/G at 100% load: source-adaptive MIN-vs-VAL selection across
+/// Dragonfly and HyperX, baseline and FlexVC policies, including the
+/// opportunistic reuse region. UGAL-G additionally exercises the board
+/// machinery outside Piggyback mode.
+#[test]
+fn ugal_variants_survive_saturation() {
+    for routing in [RoutingMode::UgalL, RoutingMode::UgalG] {
+        for pattern in [Pattern::Uniform, Pattern::adv1()] {
+            let base = tiny(routing, Workload::oblivious(pattern));
+            stress(&base, &format!("{routing} baseline {pattern}"));
+            stress(
+                &base.clone().with_flexvc(Arrangement::dragonfly(4, 2)),
+                &format!("{routing} flexvc 4/2 {pattern}"),
+            );
+            // Opportunistic reuse below the safe minimum.
+            stress(
+                &base.clone().with_flexvc(Arrangement::dragonfly(3, 2)),
+                &format!("{routing} flexvc 3/2 {pattern}"),
+            );
+        }
+        // Reactive split arrangements.
+        let rr = tiny(routing, Workload::reactive(Pattern::adv1()))
+            .with_flexvc(Arrangement::dragonfly_rr((4, 2), (2, 1)));
+        stress(&rr, &format!("{routing} rr 6/3"));
+    }
+}
+
+/// 3-D HyperX at 100% load under UGAL and DAL with the
+/// injected-equals-consumed drain check: per-dimension misroutes and
+/// source-adaptive Valiant adoption must leave nothing stranded in any
+/// buffer, queue or link once the generators mute.
+#[test]
+fn hyperx_3d_ugal_dal_survive_saturation_and_drain() {
+    for (routing, vcs, pattern) in [
+        (RoutingMode::UgalL, 6, Pattern::adv1()),
+        (RoutingMode::UgalG, 6, Pattern::adv1()),
+        (RoutingMode::UgalG, 4, Pattern::adv1()), // opportunistic UGAL
+        (RoutingMode::Dal, 6, Pattern::adv1()),
+        (RoutingMode::Dal, 4, Pattern::adv1()), // opportunistic DAL
+        (RoutingMode::Dal, 6, Pattern::Uniform),
+    ] {
+        let mut cfg = SimConfig::hyperx_baseline(3, 3, 2, routing, Workload::oblivious(pattern))
+            .with_flexvc(Arrangement::generic(vcs));
+        cfg.warmup = 1_000;
+        cfg.measure = 3_000;
+        cfg.watchdog = 6_000;
+        let label = format!("hyperx3d {routing} {vcs}VCs {pattern}");
+        let mut net = Network::new(cfg, 1.0, 99).unwrap();
+        let r = net.run();
+        assert!(!r.deadlocked, "{label} deadlocked");
+        assert!(
+            r.accepted > 0.05,
+            "{label} made no progress: {}",
+            r.accepted
+        );
+        let stranded = net.drain(100_000);
+        assert!(!net.deadlocked(), "{label} deadlocked while draining");
+        assert_eq!(stranded, 0, "{label}: packets stranded at drain");
+    }
+    // DAL under the *baseline* policy: correction-pair slots alone must be
+    // deadlock-free at the T^2d reference (drain check included).
+    let mut cfg = SimConfig::hyperx_baseline(
+        3,
+        3,
+        2,
+        RoutingMode::Dal,
+        Workload::oblivious(Pattern::adv1()),
+    );
+    cfg.warmup = 1_000;
+    cfg.measure = 3_000;
+    cfg.watchdog = 6_000;
+    let mut net = Network::new(cfg, 1.0, 99).unwrap();
+    let r = net.run();
+    assert!(!r.deadlocked, "dal baseline deadlocked");
+    assert_eq!(net.drain(100_000), 0, "dal baseline: stranded at drain");
+}
+
+/// Adaptive `k = 2` copy selection at 100% load with the drain check: the
+/// per-hop copy re-pick must not break conservation or liveness.
+#[test]
+fn hyperx_k2_adaptive_copies_survive_saturation_and_drain() {
+    for pattern in [Pattern::Uniform, Pattern::adv1()] {
+        let mut cfg =
+            SimConfig::hyperx_baseline(2, 4, 2, RoutingMode::Min, Workload::oblivious(pattern));
+        cfg.topology = TopologySpec::HyperX {
+            dims: vec![(4, 2); 2],
+            p: 2,
+        };
+        cfg.adaptive_copies = true;
+        cfg.warmup = 1_000;
+        cfg.measure = 3_000;
+        cfg.watchdog = 6_000;
+        let label = format!("hyperx k2 adaptive {pattern}");
+        let mut net = Network::new(cfg, 1.0, 99).unwrap();
+        let r = net.run();
+        assert!(!r.deadlocked, "{label} deadlocked");
+        assert!(r.accepted > 0.05, "{label}: {}", r.accepted);
+        assert_eq!(net.drain(100_000), 0, "{label}: stranded at drain");
+    }
+}
+
 #[test]
 fn piggyback_variants_survive_saturation() {
     for (mode, min_cred) in [
