@@ -28,12 +28,13 @@ USAGE:
     flexvc run <scenario> [options]   run a built-in scenario
     flexvc run --file <path> [opts]   run a scenario from a TOML/JSON file
     flexvc bench [--quick] [--out p]  run the engine-performance kernel
-                                      suite and write BENCH_pr2.json
+                                      suite and write a report
     flexvc help                       this text
 
 BENCH OPTIONS:
     --quick                shorter windows (the CI profile)
-    --out <path>           report path (default: BENCH_pr4.json)
+    --out <path>           report path (default: BENCH_current.json; pass
+                           an explicit path when recording a new baseline)
     --baseline <path>      compare against a recorded report: fail (exit 1)
                            on a >15% cycles/sec regression in any kernel
                            group present in both reports (cycles/sec are
@@ -248,7 +249,10 @@ fn write_output(report: &ScenarioReport, path: &str, format: &str) -> Result<(),
 }
 
 fn bench(opts: Options) -> ExitCode {
-    let out_path = opts.out.as_deref().unwrap_or("BENCH_pr4.json");
+    // Never default onto the recorded gate baseline (BENCH_pr5.json): a
+    // single local run is ±20% noisy and must not silently replace the
+    // best-of-three recording the CI gate compares against.
+    let out_path = opts.out.as_deref().unwrap_or("BENCH_current.json");
     // Read (and validate) the baseline before the suite runs, so a typo'd
     // path cannot waste the run.
     let baseline = match &opts.baseline {

@@ -6,8 +6,8 @@
 //! `flexvc_serde`, and runs on the parallel scenario executor with
 //! streaming progress. The [`scenario::ScenarioRegistry`] holds the nine
 //! paper reproductions (`fig5` … `fig11`, `tables`, `ablations`), the
-//! `hyperx-{un,adv}-{2d,3d}` + `hyperx-k2` HyperX family, and a tiny
-//! `smoke` scenario;
+//! `hyperx-{un,adv}-{2d,3d}` + `hyperx-k2` HyperX family, the
+//! `dfplus-{un,adv}` Dragonfly+ family, and a tiny `smoke` scenario;
 //! the single `flexvc` CLI binary fronts them:
 //!
 //! ```text
@@ -253,6 +253,74 @@ pub fn hyperx_series(scale: &Scale, n_dims: usize, pattern: Pattern) -> Vec<Seri
     out
 }
 
+/// Shape of the registry's Dragonfly+ scenarios:
+/// `(leaves, spines, hosts_per_leaf, groups)` — 9 groups of 4+4 routers
+/// with 2 hosts per leaf (72 routers, 72 nodes, 2 global ports per spine),
+/// the same node count as the default `h = 2` Dragonfly so the two
+/// families' curves are directly comparable.
+pub fn dfplus_shape() -> (usize, usize, usize, usize) {
+    (4, 4, 2, 9)
+}
+
+/// Dragonfly+ series for one traffic pattern: baseline distance-based
+/// policy, FlexVC at the *same* VC budget (pure policy benefit — the MIN
+/// minimum 2/1 also hosts FlexVC MIN on this family), FlexVC at enlarged
+/// budgets, and — for non-minimal routing — the adaptive cross-section at
+/// the safe 4/2 budget: MIN (misroute-free floor), UGAL-L/G
+/// (source-adaptive MIN-vs-VAL) and PB (board-vetoed credit choice over
+/// the spines' global ports), all under FlexVC so the routing mechanism is
+/// the only variable. Note there is no opportunistic-below-minimum VAL
+/// series: on Dragonfly+ the spine escape `L L G L` makes 4/2 both the
+/// safe *and* the support minimum (see the classifier rows).
+pub fn dfplus_series(scale: &Scale, pattern: Pattern) -> Vec<Series> {
+    let routing = paper_routing_for(pattern);
+    let (leaves, spines, hosts, groups) = dfplus_shape();
+    let mut base = SimConfig::dfplus_baseline(
+        leaves,
+        spines,
+        hosts,
+        groups,
+        routing,
+        Workload::oblivious(pattern),
+    );
+    base.warmup = scale.warmup;
+    base.measure = scale.measure;
+    base.watchdog = (scale.warmup + scale.measure) / 2;
+    let flex = |l: usize, g: usize| base.clone().with_flexvc(Arrangement::dragonfly(l, g));
+    let (ml, mg) = routing.min_dfplus_vcs();
+    let mut out = vec![
+        Series::new("Baseline", base.clone()),
+        Series::new(format!("FlexVC {ml}/{mg}VCs"), flex(ml, mg)),
+    ];
+    if routing == RoutingMode::Min {
+        out.push(Series::new("FlexVC 4/2VCs", flex(4, 2)));
+    }
+    out.push(Series::new("FlexVC 8/4VCs", flex(8, 4)));
+    if routing.is_nonminimal() {
+        // The adaptive cross-section at the safe VC budget: every series
+        // shares the 4/2 arrangement, only the routing mechanism differs.
+        let with_routing = |mode: RoutingMode| {
+            let mut cfg = flex(4, 2);
+            cfg.routing = mode;
+            cfg
+        };
+        out.push(Series::new("MIN 4/2VCs", with_routing(RoutingMode::Min)));
+        out.push(Series::new(
+            "UGAL-L 4/2VCs",
+            with_routing(RoutingMode::UgalL),
+        ));
+        out.push(Series::new(
+            "UGAL-G 4/2VCs",
+            with_routing(RoutingMode::UgalG),
+        ));
+        out.push(Series::new(
+            "PB 4/2VCs",
+            with_routing(RoutingMode::Piggyback),
+        ));
+    }
+    out
+}
+
 /// The `hyperx-k2` series: a 2-D HyperX with `k = 2` parallel links per
 /// peer pair under MIN routing, hash-spread copies vs adaptive (sensed)
 /// copy selection. The endpoint hash pins every router pair's traffic to
@@ -390,6 +458,35 @@ mod tests {
         assert_eq!(reactive_series(&scale, Pattern::Uniform).len(), 8);
         assert_eq!(reactive_series(&scale, Pattern::adv1()).len(), 5);
         assert_eq!(adaptive_series(&scale, Pattern::Uniform).len(), 7);
+    }
+
+    /// The Dragonfly+ ADV cell carries the adaptive cross-section
+    /// (MIN / UGAL-L / UGAL-G / PB at the safe 4/2 budget) alongside
+    /// Baseline and FlexVC VAL; the UN cell is minimal-only with an
+    /// equal-budget FlexVC series. Every config validates.
+    #[test]
+    fn dfplus_series_cover_the_adaptive_cross_section() {
+        let scale = test_scale();
+        let adv = dfplus_series(&scale, Pattern::adv1());
+        for needle in ["Baseline", "FlexVC 4/2", "MIN", "UGAL-L", "UGAL-G", "PB"] {
+            assert!(
+                adv.iter().any(|s| s.label.contains(needle)),
+                "missing {needle} in Dragonfly+ ADV series"
+            );
+        }
+        for s in &adv {
+            s.cfg
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.label));
+        }
+        let un = dfplus_series(&scale, Pattern::Uniform);
+        assert!(un.iter().any(|s| s.label.contains("FlexVC 2/1")));
+        assert!(un.iter().all(|s| !s.label.contains("UGAL")));
+        for s in &un {
+            s.cfg
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.label));
+        }
     }
 
     /// The ADV HyperX cells carry the adaptive cross-section at the safe

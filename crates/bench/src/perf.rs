@@ -1,8 +1,8 @@
 //! `flexvc bench` — the fixed engine-performance kernel suite.
 //!
 //! Runs a deterministic set of simulation kernels and emits a
-//! machine-readable report (`BENCH_pr4.json`), establishing the repo's
-//! performance trajectory. Five kernel groups:
+//! machine-readable report (`BENCH_pr5.json`), establishing the repo's
+//! performance trajectory. Six kernel groups:
 //!
 //! * **fig5_h2** — the Fig. 5 oblivious-routing suite at h = 2 (baseline,
 //!   DAMQ 75%, FlexVC 2/1, 4/2 and 8/4 under MIN/UN) over the
@@ -15,6 +15,9 @@
 //! * **adaptive** — the RoutePolicy decision layer under adversarial
 //!   load: UGAL-L/G source adaptivity, DAL per-dimension misrouting and
 //!   adaptive `k = 2` copy selection.
+//! * **dfplus** — the Dragonfly+ fat-tree engine path (two-level groups,
+//!   spine global links with boards, leaf-restricted Valiant) under UN
+//!   and adversarial load.
 //! * **smoke_h8** — a short measurement window at the paper's full h = 8
 //!   scale (2,064 routers, 16,512 nodes), proving paper-scale runs are
 //!   tractable on one core.
@@ -56,6 +59,12 @@ pub mod recorded_baseline {
     /// adaptive-routing engine path, expected to read ~1.0x until a later
     /// optimization moves it.
     pub const ADAPTIVE: f64 = 68_879.0;
+    /// Aggregate cycles/sec over the `dfplus` kernel group (Dragonfly+
+    /// fat-tree groups: MIN/UN, FlexVC, VAL and UGAL-G under ADV),
+    /// recorded at the commit that introduced the Dragonfly+ topology —
+    /// the anchor for the fat-tree engine path, expected to read ~1.0x
+    /// until a later optimization moves it.
+    pub const DFPLUS: f64 = 58_996.0;
 }
 
 /// One kernel: a named `(config, load, seed)` point with fixed windows.
@@ -110,9 +119,9 @@ pub struct GroupSummary {
     pub speedup_vs_baseline: f64,
 }
 
-/// The full bench report (serialized to `BENCH_pr4.json`; older
-/// recordings such as `BENCH_pr2.json` deserialize through the same
-/// schema for `--baseline` comparisons).
+/// The full bench report (serialized to `BENCH_pr5.json`; older
+/// recordings such as `BENCH_pr2.json`/`BENCH_pr4.json` deserialize
+/// through the same schema for `--baseline` comparisons).
 #[derive(Debug, Clone)]
 pub struct BenchReport {
     /// Report schema tag.
@@ -322,6 +331,43 @@ pub fn kernel_suite(quick: bool) -> Vec<Kernel> {
         });
     }
 
+    // dfplus: the Dragonfly+ fat-tree engine path — hierarchical two-hop
+    // intra-group routes, spine-owned global links with boards, and the
+    // leaf-restricted Valiant draw — under UN and adversarial load.
+    let (warm_dp, meas_dp) = if quick { (800, 1_600) } else { (1_500, 4_000) };
+    let dp = |routing: RoutingMode, pattern: Pattern| {
+        SimConfig::dfplus_baseline(4, 4, 2, 9, routing, Workload::oblivious(pattern))
+    };
+    let series_dp: Vec<(&str, SimConfig, f64)> = vec![
+        ("un_baseline", dp(RoutingMode::Min, Pattern::Uniform), 0.5),
+        (
+            "un_flexvc21",
+            dp(RoutingMode::Min, Pattern::Uniform).with_flexvc(Arrangement::dragonfly_min()),
+            0.5,
+        ),
+        (
+            "adv_val_flexvc42",
+            dp(RoutingMode::Valiant, Pattern::adv1()).with_flexvc(Arrangement::dragonfly(4, 2)),
+            0.5,
+        ),
+        (
+            "adv_ugal_g_flexvc42",
+            dp(RoutingMode::UgalG, Pattern::adv1()).with_flexvc(Arrangement::dragonfly(4, 2)),
+            0.5,
+        ),
+    ];
+    for (label, cfg, load) in series_dp {
+        let mut cfg = cfg;
+        windows(&mut cfg, warm_dp, meas_dp);
+        kernels.push(Kernel {
+            name: format!("dfplus/{label}@{load}"),
+            group: "dfplus",
+            cfg,
+            load,
+            seed: 1,
+        });
+    }
+
     // smoke_h8: paper scale, short window.
     let (warm8, meas8) = if quick { (200, 500) } else { (300, 1_200) };
     let mut cfg8 =
@@ -377,6 +423,7 @@ where
         ("sweep_h4", recorded_baseline::SWEEP_H4),
         ("hyperx", recorded_baseline::HYPERX),
         ("adaptive", recorded_baseline::ADAPTIVE),
+        ("dfplus", recorded_baseline::DFPLUS),
         ("smoke_h8", recorded_baseline::SMOKE_H8),
     ] {
         let members: Vec<&KernelResult> = kernels.iter().filter(|k| k.group == group).collect();
@@ -558,7 +605,7 @@ mod tests {
     fn suite_is_fixed_and_valid() {
         for quick in [false, true] {
             let suite = kernel_suite(quick);
-            assert_eq!(suite.len(), 5 * 4 + 2 * 2 + 4 + 4 + 1);
+            assert_eq!(suite.len(), 5 * 4 + 2 * 2 + 4 + 4 + 4 + 1);
             for k in &suite {
                 k.cfg
                     .validate()

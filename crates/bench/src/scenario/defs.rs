@@ -10,8 +10,8 @@
 
 use super::{ClassificationSpec, ClassifyKind, PointSpec, Scenario};
 use crate::{
-    adaptive_series, default_loads, hyperx_k2_series, hyperx_series, oblivious_series,
-    reactive_series, Scale, Series,
+    adaptive_series, default_loads, dfplus_series, hyperx_k2_series, hyperx_series,
+    oblivious_series, reactive_series, Scale, Series,
 };
 use flexvc_core::classify::NetworkFamily;
 use flexvc_core::{Arrangement, RoutingMode, VcSelection};
@@ -507,6 +507,56 @@ pub(super) fn hyperx_k2(scale: &Scale) -> Scenario {
         points,
         classifications: Vec::new(),
     }
+}
+
+/// The `dfplus` scenario family: UN and ADV load sweeps on a Dragonfly+
+/// (Megafly) network — the third low-diameter family of the evaluation
+/// line (cf. arXiv 2306.13042, which evaluates Dragonfly+ alongside
+/// HyperX and Dragonfly). Groups are two-level fat trees; ADV+1 funnels
+/// each group's minimal traffic onto a single inter-group link, which the
+/// adaptive cross-section (UGAL-L/G, PB) spreads.
+fn dfplus(scale: &Scale, pattern: Pattern) -> Scenario {
+    let loads = default_loads();
+    let series = dfplus_series(scale, pattern);
+    let points = sweep_points(pattern, &series, &loads);
+    let (leaves, spines, hosts, groups) = crate::dfplus_shape();
+    let name = format!("dfplus-{}", pattern.label().to_ascii_lowercase());
+    let routing = flexvc_sim::paper_routing_for(pattern);
+    Scenario {
+        name: name.clone(),
+        title: format!(
+            "Dragonfly+ ({groups} groups x {leaves}+{spines} routers, {hosts} hosts/leaf): \
+             {} under {routing}",
+            pattern.label()
+        ),
+        description: format!(
+            "Latency and throughput vs offered load on a Dragonfly+ / Megafly network \
+             (two-level fat-tree groups: leaf routers hold the hosts, spine routers the \
+             global links; minimal routes are leaf-spine-global-spine-leaf) under {} \
+             traffic with {routing} routing: baseline distance-based policy vs FlexVC \
+             at the same and at enlarged VC budgets{}. References follow the Dragonfly \
+             L G L texture; the classifier charges detours the spine escape L L G L, \
+             so 4/2 is both the safe and the support minimum for VAL.",
+            pattern.label(),
+            if routing.is_nonminimal() {
+                ", plus the adaptive cross-section (MIN, UGAL-L, UGAL-G, PB) at the \
+                 safe 4/2 budget"
+            } else {
+                ""
+            },
+        ),
+        seeds: scale.seeds.clone(),
+        points,
+        classifications: Vec::new(),
+    }
+}
+
+pub(super) fn dfplus_un(scale: &Scale) -> Scenario {
+    dfplus(scale, Pattern::Uniform)
+}
+
+pub(super) fn dfplus_adv(scale: &Scale) -> Scenario {
+    dfplus(scale, Pattern::adv1())
 }
 
 pub(super) fn smoke(_scale: &Scale) -> Scenario {

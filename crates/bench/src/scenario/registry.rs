@@ -31,7 +31,8 @@ impl std::fmt::Debug for ScenarioEntry {
 }
 
 /// The scenario catalogue; [`ScenarioRegistry::builtin`] holds the nine
-/// paper reproductions, the `hyperx-*` family, and `smoke`.
+/// paper reproductions, the `hyperx-*` and `dfplus-*` families, and
+/// `smoke`.
 #[derive(Debug, Clone, Default)]
 pub struct ScenarioRegistry {
     entries: Vec<ScenarioEntry>,
@@ -117,6 +118,16 @@ impl ScenarioRegistry {
             build: defs::hyperx_k2,
         });
         reg.register(ScenarioEntry {
+            name: "dfplus-un",
+            summary: "Dragonfly+: UN load sweep, baseline vs FlexVC (MIN)",
+            build: defs::dfplus_un,
+        });
+        reg.register(ScenarioEntry {
+            name: "dfplus-adv",
+            summary: "Dragonfly+: ADV+1 load sweep, VAL + UGAL/PB cross-section",
+            build: defs::dfplus_adv,
+        });
+        reg.register(ScenarioEntry {
             name: "smoke",
             summary: "30-second sanity run (tiny windows, ignores scale)",
             build: defs::smoke,
@@ -173,11 +184,13 @@ mod tests {
             "hyperx-adv-2d",
             "hyperx-adv-3d",
             "hyperx-k2",
+            "dfplus-un",
+            "dfplus-adv",
             "smoke",
         ] {
             assert!(reg.get(name).is_some(), "missing scenario {name}");
         }
-        assert_eq!(reg.entries().len(), 15);
+        assert_eq!(reg.entries().len(), 17);
     }
 
     #[test]

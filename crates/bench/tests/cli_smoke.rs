@@ -37,6 +37,8 @@ fn list_names_all_scenarios() {
         "hyperx-adv-2d",
         "hyperx-adv-3d",
         "hyperx-k2",
+        "dfplus-un",
+        "dfplus-adv",
         "smoke",
     ] {
         assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
@@ -150,6 +152,50 @@ fn run_hyperx_k2_adaptive_copies_beat_hash_under_adv() {
     assert!(
         adv_adaptive > adv_hash * 1.02,
         "adaptive {adv_adaptive:.4} must clearly beat hash {adv_hash:.4} under ADV"
+    );
+}
+
+/// Acceptance (Dragonfly+ tentpole): `flexvc run dfplus-un` completes
+/// end-to-end and at saturation every FlexVC series matches or beats the
+/// baseline policy's accepted load — including the equal-budget 2/1
+/// series, the pure policy benefit on the new family.
+#[test]
+fn run_dfplus_un_flexvc_matches_or_beats_baseline() {
+    let rows = accepted_at("dfplus-un", "1.00", "2000", "4000");
+    let baseline = series_accepted(&rows, "Baseline");
+    // A saturated network cannot accept its full offered load; a value at
+    // 1.0 would mean we read the wrong column.
+    assert!(
+        (0.05..0.999).contains(&baseline),
+        "implausible baseline accepted load {baseline}"
+    );
+    let flexvc: Vec<&(String, f64)> = rows.iter().filter(|(s, _)| s.contains("FlexVC")).collect();
+    assert!(!flexvc.is_empty(), "no FlexVC series in {rows:?}");
+    for (series, accepted) in flexvc {
+        assert!(
+            *accepted >= baseline * 0.98,
+            "{series} accepted {accepted:.4} at saturation, below baseline {baseline:.4}"
+        );
+    }
+}
+
+/// Acceptance: UGAL beats MIN accepted load at saturation under ADV+1 on
+/// the Dragonfly+ — the source-adaptive comparison must divert enough
+/// traffic off the single funneled inter-group link, with the board-fed
+/// UGAL-G clearly ahead of pure minimal routing.
+#[test]
+fn run_dfplus_adv_ugal_beats_min_at_saturation() {
+    let rows = accepted_at("dfplus-adv", "1.00", "2000", "4000");
+    let min = series_accepted(&rows, "MIN 4/2VCs");
+    let ugal_l = series_accepted(&rows, "UGAL-L 4/2VCs");
+    let ugal_g = series_accepted(&rows, "UGAL-G 4/2VCs");
+    assert!(
+        ugal_l > min,
+        "UGAL-L {ugal_l:.4} must beat MIN {min:.4} at ADV saturation"
+    );
+    assert!(
+        ugal_g > min * 1.02,
+        "UGAL-G {ugal_g:.4} must clearly beat MIN {min:.4} at ADV saturation"
     );
 }
 

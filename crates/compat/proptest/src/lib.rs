@@ -208,7 +208,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Inclusive size bounds accepted by [`vec`].
+    /// Inclusive size bounds accepted by [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

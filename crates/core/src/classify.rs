@@ -34,6 +34,16 @@ pub enum NetworkFamily {
     Diameter2,
     /// Diameter-3 Dragonfly with local/global link classes (Tables III, IV).
     Dragonfly,
+    /// Dragonfly+ / Megafly: groups are two-level fat trees (leaf routers
+    /// hold the hosts, spine routers hold the global links), so minimal
+    /// leaf-to-leaf paths follow `local-up — global — local-down` and map
+    /// onto the Dragonfly's `L G L` class texture. The family is distinct
+    /// because its *worst-case minimal escape* is longer: a detoured packet
+    /// parked on a spine without a direct global link to the destination
+    /// group must descend, re-ascend, cross and descend — `L L G L` — which
+    /// shifts where the opportunistic/unsupported boundaries fall (see
+    /// `worst_min` and `valiant_specs`).
+    DragonflyPlus,
     /// Generic single-class network of an arbitrary diameter `d` (an `n`-D
     /// HyperX has `d = n`). Construct through [`NetworkFamily::generic`]
     /// only (enforced outside this crate by `#[non_exhaustive]`): diameter
@@ -65,7 +75,7 @@ impl NetworkFamily {
         match self {
             NetworkFamily::Diameter2 => Some(2),
             NetworkFamily::Generic { diameter } => Some(diameter),
-            NetworkFamily::Dragonfly => None,
+            NetworkFamily::Dragonfly | NetworkFamily::DragonflyPlus => None,
         }
     }
 }
@@ -107,11 +117,20 @@ struct HopSpec {
     escape: Vec<LinkClass>,
 }
 
+/// Worst-case minimal *continuation* from any router a realization can park
+/// a packet on — the escape path FlexVC's reversion may demand. Dragonfly:
+/// `l g l` from anywhere. Dragonfly+: a spine without a direct global link
+/// to the destination group must go down, up, across and down — `L L G L`
+/// (leaf-origin minimal paths are only `L G L`, but detours land on
+/// spines). Generic diameter-`d`: `T^d`.
 fn worst_min(family: NetworkFamily) -> Vec<LinkClass> {
     use LinkClass::*;
     match family.generic_diameter() {
         Some(d) => vec![Local; d],
-        None => vec![Local, Global, Local],
+        None => match family {
+            NetworkFamily::DragonflyPlus => vec![Local, Local, Global, Local],
+            _ => vec![Local, Global, Local],
+        },
     }
 }
 
@@ -123,6 +142,13 @@ fn valiant_specs(family: NetworkFamily) -> Vec<HopSpec> {
         // Generic diameter-d network: worst-case minimal path to the detour
         // router, then a worst-case minimal continuation.
         Some(d) => (vec![Local; d], vec![Local; d]),
+        // Dragonfly+: the detour point is a *leaf* of an arbitrary
+        // intermediate group (up — global — down), and the continuation
+        // from a leaf is again up — global — down. Mid-detour escapes use
+        // the longer spine-origin `worst_min` below.
+        None if family == NetworkFamily::DragonflyPlus => {
+            (vec![Local, Global, Local], vec![Local, Global, Local])
+        }
         // Dragonfly: local to a neighbour + its global link reaches an
         // arbitrary intermediate group; continuation is worst-case minimal.
         None => (vec![Local, Global], vec![Local, Global, Local]),
@@ -492,6 +518,62 @@ mod tests {
         // Split request/reply arrangements classify through the same specs.
         let arr = Arrangement::generic_rr(3, 2);
         assert!(classify_combined(Diameter2, Dal, &arr) >= Opportunistic);
+    }
+
+    /// Dragonfly+ classifier rows. MIN classifies like the Dragonfly
+    /// (leaf-origin minimal paths are `L G L`, and MIN never detours), so
+    /// FlexVC MIN works from 2/1. Non-minimal modes are *stricter* than on
+    /// the Dragonfly: their realizations park packets on spines whose
+    /// worst minimal escape is `L L G L`, which eats the opportunistic
+    /// slack — 3/2 (opportunistic VAL on a Dragonfly) is unsupported, and
+    /// support starts only at the safe 4/2.
+    #[test]
+    fn dragonfly_plus_rows() {
+        use NetworkFamily::DragonflyPlus as Dfp;
+        let expected: [((usize, usize), [Support; 2]); 5] = [
+            ((2, 1), [Safe, Unsupported]),
+            ((3, 1), [Safe, Unsupported]),
+            ((3, 2), [Safe, Unsupported]), // opport. on Dragonfly, X here
+            ((4, 2), [Safe, Safe]),
+            ((8, 4), [Safe, Safe]),
+        ];
+        for ((l, g), row) in expected {
+            let arr = Arrangement::dragonfly(l, g);
+            for (mode, want) in [Min, Valiant].into_iter().zip(row) {
+                assert_eq!(
+                    classify(Dfp, mode, &arr, MessageClass::Request),
+                    want,
+                    "{mode} with {l}/{g} VCs on Dragonfly+ ({})",
+                    arr.notation()
+                );
+            }
+        }
+        // The same 3/2 arrangement IS opportunistic on a plain Dragonfly —
+        // the spine escape is what kills it on Dragonfly+.
+        assert_eq!(
+            classify(
+                Dragonfly,
+                Valiant,
+                &Arrangement::dragonfly(3, 2),
+                MessageClass::Request
+            ),
+            Opportunistic
+        );
+        // PB and UGAL share VAL's realization on Dragonfly+ too.
+        for (l, g) in [(2, 1), (3, 2), (4, 2), (5, 2)] {
+            let arr = Arrangement::dragonfly(l, g);
+            for mode in [Piggyback, UgalL, UgalG] {
+                assert_eq!(
+                    classify(Dfp, mode, &arr, MessageClass::Request),
+                    classify(Dfp, Valiant, &arr, MessageClass::Request),
+                    "{mode} {l}/{g}"
+                );
+            }
+        }
+        // Request+reply splits classify through the same machinery.
+        let rr = Arrangement::dragonfly_rr((4, 2), (4, 2));
+        assert_eq!(classify_combined(Dfp, Valiant, &rr), Safe);
+        assert_eq!(Dfp.generic_diameter(), None);
     }
 
     /// Piggyback classifies exactly like Valiant (same VC requirements).

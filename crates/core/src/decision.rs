@@ -17,6 +17,28 @@
 //! ports, topologies or RNGs, which is what keeps the existing MIN / VAL /
 //! PAR / PB paths bit-identical under the refactor: same numbers in, same
 //! decisions out.
+//!
+//! ## The `SensedState` contract
+//!
+//! An implementation promises exactly two things, both *read-only* and
+//! *router-local in cost*:
+//!
+//! * [`SensedState::port_occupancy`] returns the deciding router's own
+//!   view of an output port's downstream occupancy in phits, **after**
+//!   the configured credit metric — under FlexVC-minCred that is the
+//!   minimally-routed share only, otherwise the raw total. It reflects
+//!   credits already accounted at the router this cycle; it never blocks
+//!   and never mutates.
+//! * [`SensedState::remote_saturated`] returns the *delayed* piggybacked
+//!   saturation flag of a sensed channel (between 0 and 2 board-swap
+//!   periods stale), and `false` whenever the routing mode publishes no
+//!   boards — so board-free modes (MIN, VAL, PAR, UGAL-L) can share code
+//!   paths with board-fed ones (PB, UGAL-G) without special cases.
+//!
+//! Decision functions may call either any number of times within one
+//! decision; implementations must be stable within a decision point
+//! (same arguments, same answer) so a decision is a pure function of the
+//! sensed snapshot.
 
 use crate::link::MessageClass;
 

@@ -126,6 +126,7 @@ impl Serialize for NetworkFamily {
         Value::Str(match self {
             NetworkFamily::Diameter2 => "diameter2".to_string(),
             NetworkFamily::Dragonfly => "dragonfly".to_string(),
+            NetworkFamily::DragonflyPlus => "dragonfly_plus".to_string(),
             NetworkFamily::Generic { diameter } => format!("diameter{diameter}"),
         })
     }
@@ -137,13 +138,16 @@ impl Deserialize for NetworkFamily {
         if s == "dragonfly" {
             return Ok(NetworkFamily::Dragonfly);
         }
+        if s == "dragonfly_plus" || s == "dragonflyplus" || s == "megafly" {
+            return Ok(NetworkFamily::DragonflyPlus);
+        }
         if let Some(d) = s.strip_prefix("diameter").and_then(|d| d.parse().ok()) {
             if d >= 1 {
                 return Ok(NetworkFamily::generic(d));
             }
         }
         Err(Error::new(format!(
-            "unknown network family `{s}` (expected dragonfly or diameter<N>)"
+            "unknown network family `{s}` (expected dragonfly, dragonfly_plus or diameter<N>)"
         )))
     }
 }
@@ -240,11 +244,17 @@ mod tests {
         use crate::classify::NetworkFamily;
         for fam in [
             NetworkFamily::Dragonfly,
+            NetworkFamily::DragonflyPlus,
             NetworkFamily::Diameter2,
             NetworkFamily::generic(3),
         ] {
             assert_eq!(from_json::<NetworkFamily>(&to_json(&fam)).unwrap(), fam);
         }
+        // The Megafly alias parses to the same family.
+        assert_eq!(
+            from_json::<NetworkFamily>("\"megafly\"").unwrap(),
+            NetworkFamily::DragonflyPlus
+        );
         // `diameter2` canonicalizes to the dedicated variant.
         assert_eq!(
             from_json::<NetworkFamily>("\"diameter2\"").unwrap(),

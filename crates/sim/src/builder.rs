@@ -97,7 +97,15 @@ pub fn default_arrangement(
 ) -> Arrangement {
     match family.generic_diameter() {
         None => {
-            let (l, g) = routing.min_dragonfly_vcs();
+            // Dragonfly and Dragonfly+ share the `L G L` reference texture
+            // and baseline minima (min_dfplus_vcs == min_dragonfly_vcs);
+            // only the FlexVC classifier boundaries differ, and those are
+            // enforced by `SimConfig::validate`, not by this default.
+            let (l, g) = if family == NetworkFamily::DragonflyPlus {
+                routing.min_dfplus_vcs()
+            } else {
+                routing.min_dragonfly_vcs()
+            };
             if reactive {
                 Arrangement::dragonfly_rr((l, g), (l, g))
             } else {
@@ -144,6 +152,26 @@ impl SimConfigBuilder {
             p,
         };
         self.global_latency = self.local_latency;
+        self
+    }
+
+    /// Dragonfly+ shortcut: `leaves`/`spines` routers and `hosts_per_leaf`
+    /// terminals per group, `groups` groups, one global link per group
+    /// pair.
+    pub fn dragonfly_plus(
+        mut self,
+        leaves: usize,
+        spines: usize,
+        hosts_per_leaf: usize,
+        groups: usize,
+    ) -> Self {
+        self.topology = TopologySpec::DragonflyPlus {
+            leaves,
+            spines,
+            hosts_per_leaf,
+            global_mult: 1,
+            groups,
+        };
         self
     }
 
@@ -376,6 +404,15 @@ mod tests {
             .unwrap();
         assert_eq!(hx.arrangement.total_vcs(), 6);
         assert_eq!(hx.global_latency, hx.local_latency);
+
+        // Dragonfly+ derives the Dragonfly-shaped minima (4/2 for VAL).
+        let dfp = SimConfigBuilder::new()
+            .dragonfly_plus(2, 2, 2, 5)
+            .routing(RoutingMode::Valiant)
+            .build()
+            .unwrap();
+        assert_eq!(dfp.arrangement.vc_count(LinkClass::Local), 4);
+        assert_eq!(dfp.arrangement.vc_count(LinkClass::Global), 2);
     }
 
     #[test]

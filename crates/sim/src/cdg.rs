@@ -63,11 +63,16 @@ pub fn check_baseline_routes(
         None => routing.dragonfly_reference().to_vec(),
         Some(d) => routing.generic_reference(d).to_vec(),
     };
-    let n = topo.num_routers();
+    // The baseline only ever routes between traffic endpoints (and
+    // through the topology's own Valiant candidates) — on Dragonfly+
+    // those are the leaves; on uniformly-populated topologies the list is
+    // simply every router, so draws match the historical 0..n ones.
+    let endpoints = endpoint_routers(topo);
+    let n = endpoints.len();
     // Exhaustive minimal pairs (the escape substrate of every mode).
     if routing == RoutingMode::Min {
-        for s in 0..n {
-            for d in 0..n {
+        for &s in &endpoints {
+            for &d in &endpoints {
                 let route = topo.min_route(s, d);
                 let pos = route_positions(arr, msg, &reference, &route);
                 if !strictly_increasing(&pos) {
@@ -79,9 +84,9 @@ pub fn check_baseline_routes(
     }
     let mut rng = SmallRng::seed_from_u64(seed);
     for _ in 0..samples {
-        let s = rng.gen_range(0..n);
-        let d = rng.gen_range(0..n);
-        let via = rng.gen_range(0..n);
+        let s = endpoints[rng.gen_range(0..n)];
+        let d = endpoints[rng.gen_range(0..n)];
+        let via = topo.valiant_via(rng.gen_range(0..topo.valiant_via_count()));
         let plan = match routing {
             RoutingMode::Valiant
             | RoutingMode::Piggyback
@@ -158,6 +163,18 @@ pub fn check_baseline_routes(
     Ok(())
 }
 
+/// Routers that carry traffic endpoints (have attached nodes), in
+/// ascending order: every router on uniformly-populated topologies, the
+/// leaves on Dragonfly+. Node ids attach in contiguous blocks, so the
+/// per-node router list is already sorted and deduplicates in place.
+fn endpoint_routers(topo: &dyn Topology) -> Vec<usize> {
+    let mut endpoints: Vec<usize> = (0..topo.num_nodes())
+        .map(|node| topo.router_of_node(node))
+        .collect();
+    endpoints.dedup();
+    endpoints
+}
+
 /// Buffer identifier: `(router, input port, vc)`.
 pub type BufferId = (usize, usize, usize);
 
@@ -174,9 +191,9 @@ pub fn build_min_cdg(
         Some(d) => RoutingMode::Min.generic_reference(d).to_vec(),
     };
     let mut edges = std::collections::HashSet::new();
-    let n = topo.num_routers();
-    for s in 0..n {
-        for d in 0..n {
+    let endpoints = endpoint_routers(topo);
+    for &s in &endpoints {
+        for &d in &endpoints {
             let route = topo.min_route(s, d);
             let mut bufs: Vec<BufferId> = Vec::with_capacity(route.len());
             let mut cur = s;
@@ -375,6 +392,35 @@ mod tests {
             8,
         )
         .unwrap();
+    }
+
+    /// Dragonfly+ baseline safety: leaf-to-leaf minimal routes occupy
+    /// strictly increasing positions in the `2/1` reference, leaf-via
+    /// Valiant/UGAL realizations in the `4/2` one, and the minimal CDG
+    /// over the leaf endpoints is acyclic.
+    #[test]
+    fn dfplus_routes_strictly_increase_and_min_cdg_acyclic() {
+        use flexvc_topology::DragonflyPlus;
+        let topo = DragonflyPlus::new(2, 2, 1, 1, 5);
+        let arr = Arrangement::dragonfly_min();
+        check_baseline_routes(&topo, RoutingMode::Min, &arr, MessageClass::Request, 0, 1).unwrap();
+        let val = Arrangement::dragonfly_val();
+        for mode in [
+            RoutingMode::Valiant,
+            RoutingMode::Piggyback,
+            RoutingMode::UgalL,
+            RoutingMode::UgalG,
+        ] {
+            check_baseline_routes(&topo, mode, &val, MessageClass::Request, 2_000, 9).unwrap();
+        }
+        let edges = build_min_cdg(&topo, &arr, MessageClass::Request);
+        assert!(!edges.is_empty());
+        assert!(is_acyclic(&edges), "Dragonfly+ baseline MIN CDG cyclic");
+        // Request+reply: both halves stay increasing within their parts.
+        let rr = Arrangement::dragonfly_rr((2, 1), (2, 1));
+        for msg in [MessageClass::Request, MessageClass::Reply] {
+            check_baseline_routes(&topo, RoutingMode::Min, &rr, msg, 0, 1).unwrap();
+        }
     }
 
     #[test]

@@ -10,7 +10,9 @@ use crate::error::ConfigError;
 use flexvc_core::classify::{classify, NetworkFamily, Support};
 use flexvc_core::policy::supports_baseline;
 use flexvc_core::{Arrangement, MessageClass, RoutingMode, VcPolicy, VcSelection};
-use flexvc_topology::{Dragonfly, FlatButterfly2D, GlobalArrangement, HyperX, Topology};
+use flexvc_topology::{
+    Dragonfly, DragonflyPlus, FlatButterfly2D, GlobalArrangement, HyperX, Topology,
+};
 use flexvc_traffic::{Pattern, Workload};
 use std::sync::Arc;
 
@@ -56,6 +58,26 @@ pub enum TopologySpec {
         /// Terminals per router.
         p: usize,
     },
+    /// Dragonfly+ (Megafly): groups are two-level fat trees — `leaves`
+    /// leaf routers with `hosts_per_leaf` terminals each, `spines` spine
+    /// routers holding the global links, every group pair joined by
+    /// `global_mult` global links. Minimal routes are
+    /// `leaf → spine → global → spine → leaf`; supported routing modes are
+    /// MIN, VAL, PB and UGAL-L/G (PAR's and DAL's in-transit diverts are
+    /// not defined on the fat-tree hierarchy — see
+    /// [`SimConfig::validate`]).
+    DragonflyPlus {
+        /// Leaf routers per group (hosts attach here).
+        leaves: usize,
+        /// Spine routers per group (global links attach here).
+        spines: usize,
+        /// Terminals per leaf router.
+        hosts_per_leaf: usize,
+        /// Global links per group pair.
+        global_mult: usize,
+        /// Number of groups.
+        groups: usize,
+    },
 }
 
 impl TopologySpec {
@@ -74,6 +96,19 @@ impl TopologySpec {
             } => Arc::new(Dragonfly::new(p, a, h, g, arrangement)),
             &TopologySpec::FlatButterfly { k, p } => Arc::new(FlatButterfly2D::new(k, p)),
             TopologySpec::HyperX { dims, p } => Arc::new(HyperX::new(dims.clone(), *p)),
+            &TopologySpec::DragonflyPlus {
+                leaves,
+                spines,
+                hosts_per_leaf,
+                global_mult,
+                groups,
+            } => Arc::new(DragonflyPlus::new(
+                leaves,
+                spines,
+                hosts_per_leaf,
+                global_mult,
+                groups,
+            )),
         }
     }
 
@@ -82,6 +117,7 @@ impl TopologySpec {
         match self {
             TopologySpec::FlatButterfly { .. } => NetworkFamily::Diameter2,
             TopologySpec::HyperX { dims, .. } => NetworkFamily::generic(dims.len().max(1)),
+            TopologySpec::DragonflyPlus { .. } => NetworkFamily::DragonflyPlus,
             _ => NetworkFamily::Dragonfly,
         }
     }
@@ -121,6 +157,45 @@ impl TopologySpec {
                 }
                 if *p < 1 {
                     return fail("HyperX needs at least one terminal per router");
+                }
+            }
+            TopologySpec::DragonflyPlus {
+                leaves,
+                spines,
+                hosts_per_leaf,
+                global_mult,
+                groups,
+            } => {
+                if *leaves < 1 {
+                    return fail(
+                        "Dragonfly+ `leaves` must be >= 1 (each group's fat tree \
+                         needs leaf routers to attach its hosts to)",
+                    );
+                }
+                if *spines < 1 {
+                    return fail(
+                        "Dragonfly+ `spines` must be >= 1 (spine routers hold the \
+                         group's global links)",
+                    );
+                }
+                if *hosts_per_leaf < 1 {
+                    return fail("Dragonfly+ `hosts_per_leaf` must be >= 1");
+                }
+                if *global_mult < 1 {
+                    return fail(
+                        "Dragonfly+ `global_mult` must be >= 1 (global links per \
+                         group pair)",
+                    );
+                }
+                if *groups < 2 {
+                    return fail("Dragonfly+ `groups` must be >= 2");
+                }
+                if !(global_mult * (groups - 1)).is_multiple_of(*spines) {
+                    return fail(
+                        "Dragonfly+ shape must satisfy `global_mult * (groups - 1) \
+                         % spines == 0` (every spine gets an equal share of its \
+                         group's global links)",
+                    );
                 }
             }
         }
@@ -362,6 +437,40 @@ impl SimConfig {
         cfg
     }
 
+    /// Baseline configuration on a Dragonfly+ with `leaves`/`spines`
+    /// routers and `hosts_per_leaf` terminals per group, `groups` groups
+    /// and one global link per group pair, using the minimum VC
+    /// arrangement for the routing mode
+    /// ([`RoutingMode::min_dfplus_vcs`] — the Dragonfly counts, since
+    /// Dragonfly+ shares the `L G L` reference texture; doubled when
+    /// reactive). Local (fat-tree) links keep the Dragonfly local
+    /// latency, global links the global one.
+    pub fn dfplus_baseline(
+        leaves: usize,
+        spines: usize,
+        hosts_per_leaf: usize,
+        groups: usize,
+        routing: RoutingMode,
+        workload: Workload,
+    ) -> Self {
+        let (l, g) = routing.min_dfplus_vcs();
+        let arrangement = if workload.reactive {
+            Arrangement::dragonfly_rr((l, g), (l, g))
+        } else {
+            Arrangement::dragonfly(l, g)
+        };
+        let mut cfg = Self::dragonfly_baseline(2, routing, workload);
+        cfg.topology = TopologySpec::DragonflyPlus {
+            leaves,
+            spines,
+            hosts_per_leaf,
+            global_mult: 1,
+            groups,
+        };
+        cfg.arrangement = arrangement;
+        cfg
+    }
+
     /// Switch to FlexVC with the given arrangement.
     pub fn with_flexvc(mut self, arrangement: Arrangement) -> Self {
         self.policy = VcPolicy::FlexVc;
@@ -432,6 +541,20 @@ impl SimConfig {
                 why: "DAL routing needs the per-dimension divert structure of a HyperX topology",
             });
         }
+        if self.routing.decides_in_transit()
+            && matches!(self.topology, TopologySpec::DragonflyPlus { .. })
+        {
+            // PAR's classic divert point is "after one minimal local hop,
+            // before the global" — on Dragonfly+ that router is a spine,
+            // where a divert would need spine-level Valiant paths that
+            // exceed the `L G L | L G L` reference. DAL additionally needs
+            // per-dimension structure (caught above).
+            return Err(ConfigError::InvalidTopology {
+                why: "PAR/DAL in-transit diverts are not defined on Dragonfly+ \
+                      (the first minimal hop lands on a spine); use VAL, PB or \
+                      UGAL for non-minimal routing",
+            });
+        }
         if self.packet_size == 0 {
             return Err(ConfigError::NonPositive {
                 what: "packet size",
@@ -483,6 +606,10 @@ impl SimConfig {
                         let minimum = match family.generic_diameter() {
                             Some(d) => {
                                 format!("{} single-class VCs", self.routing.min_hyperx_vcs(d))
+                            }
+                            None if family == NetworkFamily::DragonflyPlus => {
+                                let (l, g) = self.routing.min_dfplus_vcs();
+                                format!("{l}/{g} local/global VCs")
                             }
                             None => {
                                 let (l, g) = self.routing.min_dragonfly_vcs();
@@ -612,6 +739,138 @@ mod tests {
         assert_eq!(cfg.vc_capacity(Global), 256); // 512 / 2
         assert_eq!(cfg.port_capacity(Local), 128);
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn dfplus_baseline_validates_across_modes() {
+        for routing in [
+            RoutingMode::Min,
+            RoutingMode::Valiant,
+            RoutingMode::Piggyback,
+            RoutingMode::UgalL,
+            RoutingMode::UgalG,
+        ] {
+            let pattern = if routing == RoutingMode::Min {
+                Pattern::Uniform
+            } else {
+                Pattern::adv1()
+            };
+            let cfg = SimConfig::dfplus_baseline(2, 2, 2, 5, routing, Workload::oblivious(pattern));
+            cfg.validate().unwrap_or_else(|e| panic!("{routing}: {e}"));
+            let reactive =
+                SimConfig::dfplus_baseline(2, 2, 2, 5, routing, Workload::reactive(pattern));
+            reactive
+                .validate()
+                .unwrap_or_else(|e| panic!("{routing} rr: {e}"));
+        }
+    }
+
+    /// Satellite: Dragonfly+ shape rejections name the offending parameter
+    /// and its constraint, mirroring the HyperX `check_shape` wording.
+    #[test]
+    fn dfplus_shape_errors_name_the_parameter() {
+        type Shape = (usize, usize, usize, usize, usize);
+        let cases: [(Shape, &str); 6] = [
+            ((0, 2, 1, 1, 5), "`leaves` must be >= 1"),
+            ((2, 0, 1, 1, 5), "`spines` must be >= 1"),
+            ((2, 2, 0, 1, 5), "`hosts_per_leaf` must be >= 1"),
+            ((2, 2, 1, 0, 5), "`global_mult` must be >= 1"),
+            ((2, 2, 1, 1, 1), "`groups` must be >= 2"),
+            (
+                (2, 3, 1, 1, 5),
+                "`global_mult * (groups - 1) % spines == 0`",
+            ),
+        ];
+        for ((leaves, spines, hosts_per_leaf, global_mult, groups), needle) in cases {
+            let spec = TopologySpec::DragonflyPlus {
+                leaves,
+                spines,
+                hosts_per_leaf,
+                global_mult,
+                groups,
+            };
+            let err = spec.check_shape().expect_err("degenerate shape accepted");
+            let rendered = err.to_string();
+            assert!(
+                rendered.starts_with("invalid topology: Dragonfly+"),
+                "{rendered}"
+            );
+            assert!(rendered.contains(needle), "{rendered}");
+        }
+        // A valid shape passes.
+        TopologySpec::DragonflyPlus {
+            leaves: 4,
+            spines: 4,
+            hosts_per_leaf: 2,
+            global_mult: 1,
+            groups: 9,
+        }
+        .check_shape()
+        .unwrap();
+    }
+
+    #[test]
+    fn dfplus_rejects_in_transit_modes() {
+        for routing in [RoutingMode::Par, RoutingMode::Dal] {
+            let mut cfg = SimConfig::dfplus_baseline(
+                2,
+                2,
+                2,
+                5,
+                RoutingMode::Valiant,
+                Workload::oblivious(Pattern::adv1()),
+            );
+            cfg.routing = routing;
+            cfg.arrangement = Arrangement::dragonfly(5, 2);
+            let err = cfg.validate().unwrap_err();
+            assert!(
+                matches!(err, ConfigError::InvalidTopology { .. }),
+                "{routing}: {err}"
+            );
+        }
+    }
+
+    /// FlexVC boundaries on Dragonfly+: MIN works from 2/1 (minimal paths
+    /// never leave the leaf hierarchy), but VAL on 3/2 — opportunistic on
+    /// a Dragonfly — is rejected (the spine escape `L L G L` eats the
+    /// slack), with the error naming the 4/2 minimum.
+    #[test]
+    fn dfplus_flexvc_boundaries() {
+        let min = SimConfig::dfplus_baseline(
+            2,
+            2,
+            2,
+            5,
+            RoutingMode::Min,
+            Workload::oblivious(Pattern::Uniform),
+        )
+        .with_flexvc(Arrangement::dragonfly_min());
+        min.validate().unwrap();
+
+        let val = SimConfig::dfplus_baseline(
+            2,
+            2,
+            2,
+            5,
+            RoutingMode::Valiant,
+            Workload::oblivious(Pattern::adv1()),
+        )
+        .with_flexvc(Arrangement::dragonfly(3, 2));
+        let err = val.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::InsufficientVcs { .. }), "{err}");
+        assert!(err.to_string().contains("4/2 local/global VCs"), "{err}");
+
+        // The safe 4/2 validates under FlexVC.
+        let ok = SimConfig::dfplus_baseline(
+            2,
+            2,
+            2,
+            5,
+            RoutingMode::Valiant,
+            Workload::oblivious(Pattern::adv1()),
+        )
+        .with_flexvc(Arrangement::dragonfly(4, 2));
+        ok.validate().unwrap();
     }
 
     #[test]

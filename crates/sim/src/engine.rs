@@ -203,6 +203,10 @@ pub struct Network {
     pn: usize,
     /// Flat adjacency: `r*pp + port -> (router, port)`.
     adj: Vec<Option<(u32, u16)>>,
+    /// First node id of each router ([`Topology::node_base`], flattened):
+    /// `r * pn` on uniformly-populated topologies; Dragonfly+ spines carry
+    /// no nodes and leaves are numbered group-major.
+    node_base: Vec<u32>,
     /// Class per port index (uniform across routers for our topologies).
     port_class: Vec<LinkClass>,
     /// Ports whose occupancy Piggyback sensing publishes: the global ports
@@ -307,7 +311,8 @@ pub struct Network {
 
 impl Network {
     /// Build a network for `cfg` at offered load `load` (phits/node/cycle)
-    /// with deterministic `seed`. Fails with a typed [`ConfigError`] when
+    /// with deterministic `seed`. Fails with a typed
+    /// [`ConfigError`](crate::error::ConfigError) when
     /// the configuration does not pass [`SimConfig::validate`].
     pub fn new(cfg: SimConfig, load: f64, seed: u64) -> Result<Self, crate::error::ConfigError> {
         cfg.validate()?;
@@ -319,6 +324,7 @@ impl Network {
         let arr = cfg.arrangement.clone();
 
         let mut adj = vec![None; nr * pp];
+        let node_base: Vec<u32> = (0..nr).map(|r| topo.node_base(r) as u32).collect();
         let mut port_class = vec![LinkClass::Local; pp];
         for port in 0..pp {
             port_class[port] = topo.port_class(0, port);
@@ -524,6 +530,7 @@ impl Network {
             pp,
             pn,
             adj,
+            node_base,
             port_class,
             sense_ports,
             sense_all,
@@ -820,7 +827,7 @@ impl Network {
                     v
                 } as usize;
                 let r = self.topo.router_of_node(n);
-                let local = n - r * self.pn;
+                let local = n - self.node_base[r] as usize;
                 if self.routers[r].inj[local].occ.can_accept(vc, size) {
                     let pkt = self.new_packet(n as u32, dst as u32, MessageClass::Request, now);
                     self.routers[r].inj[local].push(vc, pkt);
@@ -846,7 +853,7 @@ impl Network {
                     break;
                 }
                 let r = self.topo.router_of_node(n);
-                let local = n - r * self.pn;
+                let local = n - self.node_base[r] as usize;
                 if !self.routers[r].inj[local].occ.can_accept(1, size) {
                     break;
                 }
@@ -1166,7 +1173,7 @@ impl Network {
                 {
                     return None;
                 }
-                let local = head.dst as usize - r * self.pn;
+                let local = head.dst as usize - self.node_base[r] as usize;
                 let channel = (local * 2 + head.class.index()) as u16;
                 return if self.eject_busy[r * self.pn * 2 + channel as usize] <= now {
                     Some(Decision::Eject { channel })

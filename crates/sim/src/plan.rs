@@ -15,11 +15,17 @@
 //!   misroutes at every router, and adaptive parallel-copy (`k > 1`)
 //!   re-selection.
 //!
-//! The engine calls exactly these two entry points; it no longer contains
-//! routing-mode special cases. Congestion reaches the policy only through
-//! [`SenseView`], the simulator's implementation of
+//! The engine calls exactly these two entry points — `plan_injection`
+//! from the route-planning phase, `transit_update` from head evaluation
+//! (only when [`RoutePolicy::decides_in_transit`]) — and nothing else; it
+//! no longer contains routing-mode special cases. Congestion reaches the
+//! policy only through [`SenseView`], the simulator's implementation of
 //! [`flexvc_core::decision::SensedState`] over credit mirrors and
-//! piggyback boards.
+//! piggyback boards (see that module's docs for the exact contract the
+//! view upholds). Valiant intermediates are drawn through
+//! [`Topology::valiant_via`], which restricts the candidate set on
+//! topologies whose references only cover endpoint detours (Dragonfly+
+//! leaves) and is the identity elsewhere.
 //!
 //! Plans carry the *reference-path slots* used by the baseline
 //! distance-based policy. FlexVC ignores slots entirely; it derives allowed
@@ -27,10 +33,14 @@
 //!
 //! Slot layout per routing mode:
 //!
-//! * MIN: `l0 g1 l2` (Dragonfly) / `t0 t1` (diameter-2).
+//! * MIN: `l0 g1 l2` (Dragonfly) / `t0 t1` (diameter-2). Dragonfly+
+//!   shares the Dragonfly layout with `up = l0`, `global = g1`,
+//!   `down = l2` (intra-group routes take `l0`/`l2` of the same
+//!   reference).
 //! * VAL `l0 g1 l2 | l3 g4 l5`: first subpath uses MIN slots, second is
 //!   offset by the diameter-dependent reference length (3 / 2). PB and
-//!   UGAL-L/G plan whole MIN or VAL paths and share this layout.
+//!   UGAL-L/G plan whole MIN or VAL paths and share this layout;
+//!   Dragonfly+ detours (leaf vias only) land on it verbatim.
 //! * PAR `l0 | l1 g2 l3 l4 g5 l6`: first minimal hop at slot 0; a
 //!   non-diverted continuation maps its global to slot 2 and final local to
 //!   slot 3; a diverted path offsets the Valiant subpaths by +1 and +4
@@ -56,6 +66,15 @@ use rand::Rng;
 /// Minimal plan with plain MIN slots.
 pub fn min_plan(topo: &dyn Topology, from: usize, to: usize) -> PlannedPath {
     PlannedPath::from_route(&topo.min_route(from, to))
+}
+
+/// Draw a Valiant intermediate router: uniform over the topology's
+/// candidate set ([`Topology::valiant_via`] — every router for
+/// Dragonfly/flattened-butterfly/HyperX, leaves only on Dragonfly+ so the
+/// detour reference stays `L G L | L G L`). One `gen_range` call either
+/// way, preserving the pre-refactor draw order on existing topologies.
+fn draw_via(topo: &dyn Topology, rng: &mut SmallRng) -> usize {
+    topo.valiant_via(rng.gen_range(0..topo.valiant_via_count()))
 }
 
 /// Valiant plan `from → via → to`; degenerate `via` choices (on the minimal
@@ -375,7 +394,7 @@ impl RoutePolicy {
         let (mut plan, min_routed) = match self.mode {
             RoutingMode::Min => (min_plan(topo, r, dst_r), true),
             RoutingMode::Valiant => {
-                let via = rng.gen_range(0..topo.num_routers());
+                let via = draw_via(topo, rng);
                 (valiant_plan(topo, self.family, r, via, dst_r), false)
             }
             RoutingMode::Par => (par_min_plan(topo, self.family, r, dst_r), true),
@@ -387,7 +406,7 @@ impl RoutePolicy {
                 }
                 let sat = sense.min_path_saturated(topo, r, &min_route, class);
                 let q_min = sense.port_occupancy(min_route[0].port);
-                let via = rng.gen_range(0..topo.num_routers());
+                let via = draw_via(topo, rng);
                 let val = valiant_plan(topo, self.family, r, via, dst_r);
                 let q_val = val
                     .next_hop()
@@ -410,7 +429,7 @@ impl RoutePolicy {
                 let sat = self.mode == RoutingMode::UgalG
                     && sense.min_path_saturated_any(topo, r, &min_route, class);
                 let q_min = sense.port_occupancy(min_route[0].port);
-                let via = rng.gen_range(0..topo.num_routers());
+                let via = draw_via(topo, rng);
                 let val = valiant_plan(topo, self.family, r, via, dst_r);
                 let q_val = val
                     .next_hop()
@@ -515,7 +534,7 @@ impl RoutePolicy {
         let dst_r = head.dst_router as usize;
         let next = *head.plan.next_hop().expect("plan not done");
         let q_min = sense.port_total(next.port);
-        let via = rng.gen_range(0..topo.num_routers());
+        let via = draw_via(topo, rng);
         let divert = par_divert_plan(topo, self.family, r, via, dst_r);
         let Some(first) = divert.next_hop() else {
             return;

@@ -55,6 +55,25 @@ impl Serialize for TopologySpec {
                 }
                 Value::Map(m.with("p", p.to_value()))
             }
+            TopologySpec::DragonflyPlus {
+                leaves,
+                spines,
+                hosts_per_leaf,
+                global_mult,
+                groups,
+            } => {
+                let mut m = Map::new()
+                    .with("kind", Value::from("dragonfly_plus"))
+                    .with("leaves", leaves.to_value())
+                    .with("spines", spines.to_value())
+                    .with("hosts_per_leaf", hosts_per_leaf.to_value());
+                // `global_mult` is noise at the default single link per
+                // group pair.
+                if global_mult != 1 {
+                    m.insert("global_mult", global_mult.to_value());
+                }
+                Value::Map(m.with("groups", groups.to_value()))
+            }
         }
     }
 }
@@ -93,9 +112,17 @@ impl Deserialize for TopologySpec {
                     p: m.field("p")?,
                 })
             }
+            "dragonfly_plus" | "dragonflyplus" | "megafly" => Ok(TopologySpec::DragonflyPlus {
+                leaves: m.field("leaves")?,
+                spines: m.field("spines")?,
+                hosts_per_leaf: m.field("hosts_per_leaf")?,
+                global_mult: m.field_or("global_mult", 1)?,
+                groups: m.field("groups")?,
+            }),
             other => Err(Error::new(format!(
                 "unknown topology kind `{other}` \
-                 (expected dragonfly_balanced, dragonfly, flat_butterfly or hyperx)"
+                 (expected dragonfly_balanced, dragonfly, flat_butterfly, hyperx \
+                 or dragonfly_plus)"
             ))),
         }
     }
@@ -452,6 +479,70 @@ mod tests {
             "[topology]\nkind = \"hyperx\"\ns = [3, 3]\nk = [1]\np = 1\n"
         )
         .is_err());
+    }
+
+    #[test]
+    fn dfplus_topology_round_trips() {
+        let mut cfg = SimConfig::dfplus_baseline(
+            4,
+            4,
+            2,
+            9,
+            RoutingMode::Valiant,
+            Workload::oblivious(Pattern::adv1()),
+        );
+        let json = to_json(&cfg);
+        // Unit multiplicity omits `global_mult`.
+        assert!(!json.contains("global_mult"), "{json}");
+        let back: SimConfig = from_json(&json).unwrap();
+        assert_eq!(to_json(&back), json);
+        let toml = to_toml(&cfg).unwrap();
+        let back: SimConfig = from_toml(&toml).unwrap();
+        assert_eq!(to_json(&back), json, "TOML:\n{toml}");
+        back.validate().unwrap();
+
+        // Non-unit multiplicity carries the field and round-trips too.
+        cfg.topology = TopologySpec::DragonflyPlus {
+            leaves: 3,
+            spines: 2,
+            hosts_per_leaf: 1,
+            global_mult: 2,
+            groups: 5,
+        };
+        let json = to_json(&cfg);
+        assert!(json.contains("global_mult"), "{json}");
+        let back: SimConfig = from_json(&json).unwrap();
+        assert_eq!(to_json(&back), json);
+    }
+
+    #[test]
+    fn sparse_dfplus_toml_derives_dragonfly_shaped_arrangement() {
+        let cfg: SimConfig = from_toml(
+            r#"
+routing = "valiant"
+
+[topology]
+kind = "dragonfly_plus"
+leaves = 2
+spines = 2
+hosts_per_leaf = 2
+groups = 5
+"#,
+        )
+        .unwrap();
+        // Omitted arrangement derives the Dragonfly-shaped VAL minimum.
+        assert_eq!(cfg.arrangement, Arrangement::dragonfly(4, 2));
+        cfg.validate().unwrap();
+        // The Megafly alias parses to the same spec.
+        let alias: SimConfig = from_toml(
+            "[topology]\nkind = \"megafly\"\nleaves = 2\nspines = 2\n\
+             hosts_per_leaf = 2\ngroups = 5\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            alias.topology,
+            TopologySpec::DragonflyPlus { leaves: 2, .. }
+        ));
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //!   multiplicity, dimension-ordered minimal routes): a generic
 //!   diameter-`n` network whose 2-D unit-multiplicity instance coincides
 //!   with [`FlatButterfly2D`] bit for bit.
+//! * [`DragonflyPlus`] — Dragonfly+ / Megafly: groups are two-level fat
+//!   trees (leaf routers with the hosts, spine routers with the global
+//!   links), minimal routes are `leaf → spine → global → spine → leaf`,
+//!   and Valiant detours go through a random leaf of an intermediate
+//!   group. Completes the paper-line trio of low-diameter families
+//!   (cf. arXiv:2306.13042).
 //!
 //! All topologies implement the [`Topology`] trait consumed by the
 //! simulator: port-level adjacency, link classes, minimal route
@@ -26,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod dragonfly;
+pub mod dragonflyplus;
 pub mod flatbf;
 pub mod hyperx;
 pub mod route;
@@ -33,6 +40,7 @@ pub mod serde_impls;
 pub mod validate;
 
 pub use dragonfly::{Dragonfly, GlobalArrangement};
+pub use dragonflyplus::DragonflyPlus;
 pub use flatbf::FlatButterfly2D;
 pub use hyperx::HyperX;
 pub use route::{offset_slots, ClassPath, Route, RouteHop};
@@ -88,7 +96,11 @@ pub trait Topology: Send + Sync {
     // Provided methods
     // ------------------------------------------------------------------
 
-    /// Total number of terminals.
+    /// Total number of terminals. The default assumes every router carries
+    /// [`Topology::nodes_per_router`] terminals; topologies whose hosts
+    /// attach to a subset of routers (Dragonfly+ leaves) override this
+    /// together with [`Topology::router_of_node`] and
+    /// [`Topology::node_base`].
     fn num_nodes(&self) -> usize {
         self.num_routers() * self.nodes_per_router()
     }
@@ -96,6 +108,16 @@ pub trait Topology: Send + Sync {
     /// Router a node attaches to.
     fn router_of_node(&self, node: usize) -> usize {
         node / self.nodes_per_router()
+    }
+
+    /// First node id attached to `router`. Nodes attach in contiguous
+    /// blocks, so a router's terminals are
+    /// `node_base(r) .. node_base(r) + nodes_per_router()` (hostless
+    /// routers — Dragonfly+ spines — return the boundary where their block
+    /// would sit; the simulator never enumerates nodes for them because no
+    /// node maps back to such a router).
+    fn node_base(&self, router: usize) -> usize {
+        router * self.nodes_per_router()
     }
 
     /// Group of a node.
@@ -129,6 +151,23 @@ pub trait Topology: Send + Sync {
                 out.push(p as u16);
             }
         }
+    }
+
+    /// Number of candidate intermediate routers for Valiant-style detours.
+    /// The default admits every router; topologies whose reference
+    /// sequences only cover detours through traffic endpoints (Dragonfly+
+    /// restricts intermediates to *leaf* routers so the detour stays
+    /// `up-global-down | up-global-down`) override this together with
+    /// [`Topology::valiant_via`].
+    fn valiant_via_count(&self) -> usize {
+        self.num_routers()
+    }
+
+    /// Map a uniform draw in `0..valiant_via_count()` to the detour router
+    /// it denotes. The identity by default; overriding topologies keep the
+    /// mapping uniform over their candidate set so Valiant stays unbiased.
+    fn valiant_via(&self, draw: usize) -> usize {
+        draw
     }
 
     /// Per-dimension divert candidates for dimensionally-adaptive (DAL)

@@ -17,7 +17,7 @@
 
 use flexvc_core::{Arrangement, LinkClass, RoutingMode};
 use flexvc_topology::validate::{bfs_distances, check_wiring};
-use flexvc_topology::{Dragonfly, FlatButterfly2D, HyperX, Topology};
+use flexvc_topology::{Dragonfly, DragonflyPlus, FlatButterfly2D, HyperX, Topology};
 use proptest::prelude::*;
 
 /// A randomly shaped topology, kept small enough for per-case BFS.
@@ -53,6 +53,24 @@ fn arb_shape() -> impl Strategy<Value = Shape> {
         }),
         (1usize..=2).prop_map(|h| Shape::Dragonfly { h }),
         (2usize..=5, 1usize..=2).prop_map(|(k, p)| Shape::FlatBf { k, p }),
+    ]
+}
+
+/// Random Dragonfly+ shapes with an integral per-spine global share:
+/// `global_mult · (groups − 1)` is kept divisible by `spines` by
+/// construction (`groups = spines·k + 1` at unit multiplicity,
+/// `groups = spines + 1` at multiplicity 2).
+fn arb_dfplus() -> impl Strategy<Value = DragonflyPlus> {
+    prop_oneof![
+        (1usize..=3, 1usize..=3, 1usize..=2, 1usize..=2)
+            .prop_map(|(l, s, h, k)| DragonflyPlus::new(l, s, h, 1, s * k + 1)),
+        (2usize..=4, 2usize..=3, 1usize..=2).prop_map(|(l, s, h)| DragonflyPlus::new(
+            l,
+            s,
+            h,
+            2,
+            s + 1
+        )),
     ]
 }
 
@@ -277,6 +295,126 @@ proptest! {
         }
         prop_assert_eq!(cur, to);
         check_safe(&topo, RoutingMode::Dal, &classes);
+    }
+
+    /// Dragonfly+ MIN routes over random shapes: leaf-to-leaf minimal
+    /// routes reach, stay within the 3-hop hierarchy, and their classes
+    /// embed in the MIN reference `L G L` from position 0 with canonical
+    /// slots (`up = 0`, `global = 1`, `down = 2`).
+    #[test]
+    fn dfplus_min_routes_are_correct_bounded_and_safe(
+        shape in arb_dfplus(),
+        pair in (0usize..10_000, 0usize..10_000),
+    ) {
+        let topo = shape.clone();
+        check_wiring(&topo).unwrap();
+        let n_leaves = topo.valiant_via_count(); // leaves are the endpoints
+        let (from, to) = (
+            topo.valiant_via(pair.0 % n_leaves),
+            topo.valiant_via(pair.1 % n_leaves),
+        );
+        let route = topo.min_route(from, to);
+        prop_assert!(route.len() <= topo.diameter());
+        let visited = walk(&topo, from, &route);
+        prop_assert_eq!(visited.last().copied().unwrap_or(from), to);
+        let classes: Vec<LinkClass> = route.iter().map(|h| h.class).collect();
+        prop_assert_eq!(topo.min_classes(from, to).as_slice(), &classes[..]);
+        // Canonical baseline slots: positions equal slots in `L G L`.
+        let arr = Arrangement::dragonfly_min();
+        for hop in &route {
+            prop_assert_eq!(arr.class_at(hop.slot as usize), hop.class);
+        }
+        let slots: Vec<u8> = route.iter().map(|h| h.slot).collect();
+        prop_assert!(slots.windows(2).all(|w| w[0] < w[1]), "slots {:?}", slots);
+        check_safe(&topo, RoutingMode::Min, &classes);
+    }
+
+    /// Dragonfly+ VAL routes (minimal to a random *leaf* via, then minimal
+    /// to the destination leaf) reach and embed in the VAL reference
+    /// `L G L L G L` from position 0 — and from every router along the
+    /// detour, the minimal escape (which can be the spine-origin
+    /// `L L G L`) embeds above the landing position, the invariant
+    /// FlexVC's opportunistic hops and reversion rely on.
+    #[test]
+    fn dfplus_valiant_routes_and_spine_escapes_embed(
+        shape in arb_dfplus(),
+        triple in (0usize..10_000, 0usize..10_000, 0usize..10_000),
+    ) {
+        let topo = shape.clone();
+        let n_leaves = topo.valiant_via_count();
+        let (from, via, to) = (
+            topo.valiant_via(triple.0 % n_leaves),
+            topo.valiant_via(triple.1 % n_leaves),
+            topo.valiant_via(triple.2 % n_leaves),
+        );
+        let first = topo.min_route(from, via);
+        let second = topo.min_route(via, to);
+        let v1 = walk(&topo, from, &first);
+        prop_assert_eq!(v1.last().copied().unwrap_or(from), via);
+        let v2 = walk(&topo, via, &second);
+        prop_assert_eq!(v2.last().copied().unwrap_or(via), to);
+        prop_assert!(first.len() + second.len() <= 6);
+        let classes: Vec<LinkClass> = first
+            .iter()
+            .chain(second.iter())
+            .map(|h| h.class)
+            .collect();
+        check_safe(&topo, RoutingMode::Valiant, &classes);
+        check_safe(&topo, RoutingMode::Piggyback, &classes);
+        check_safe(&topo, RoutingMode::UgalG, &classes);
+        // Escape embedding from every detour router, including the spines
+        // the subpaths pass through: after `hops_taken` hops the packet
+        // sits at position >= hops_taken - 1, and its minimal continuation
+        // must embed strictly above that.
+        let arr = reference_arrangement(&topo, RoutingMode::Valiant);
+        let mut cur = from;
+        let mut hops_taken = 0usize;
+        for hop in first.iter().chain(second.iter()) {
+            cur = topo.neighbor(cur, hop.port as usize).unwrap().0;
+            hops_taken += 1;
+            let esc: Vec<LinkClass> =
+                topo.min_classes(cur, to).iter().copied().collect();
+            prop_assert!(
+                arr.embeds(&esc, Some(hops_taken - 1), (0, arr.len())),
+                "escape {:?} after {} hops in {}",
+                esc,
+                hops_taken,
+                arr.notation()
+            );
+        }
+    }
+
+    /// Every Dragonfly+ spine-origin minimal continuation toward a leaf is
+    /// a subsequence of the worst-case escape `L L G L` — the classifier's
+    /// `worst_min` for the family is genuinely worst-case.
+    #[test]
+    fn dfplus_spine_escapes_stay_within_the_worst_case(
+        shape in arb_dfplus(),
+        pair in (0usize..10_000, 0usize..10_000),
+    ) {
+        let topo = shape.clone();
+        let n = topo.num_routers();
+        let from = pair.0 % n;
+        let n_leaves = topo.valiant_via_count();
+        let to = topo.valiant_via(pair.1 % n_leaves);
+        let classes: Vec<LinkClass> =
+            topo.min_classes(from, to).iter().copied().collect();
+        let visited = walk(&topo, from, &topo.min_route(from, to));
+        prop_assert_eq!(visited.last().copied().unwrap_or(from), to);
+        let worst = [
+            LinkClass::Local,
+            LinkClass::Local,
+            LinkClass::Global,
+            LinkClass::Local,
+        ];
+        let mut it = worst.iter();
+        prop_assert!(
+            classes.iter().all(|c| it.by_ref().any(|w| w == c)),
+            "continuation {:?} exceeds the L L G L worst case ({} -> {})",
+            classes,
+            from,
+            to
+        );
     }
 
     /// The minimal continuation from *any* router along a VAL detour embeds

@@ -5,25 +5,27 @@
 //!
 //! This crate re-exports the workspace's public APIs:
 //!
-//! * [`core`] — the FlexVC VC-management model (arrangements, safe and
+//! * [`mod@core`] — the FlexVC VC-management model (arrangements, safe and
 //!   opportunistic hop rules, path classification, selection functions).
-//! * [`topology`] — Dragonfly, flattened-butterfly and `n`-dimensional
-//!   HyperX topologies with minimal/Valiant route computation.
-//! * [`traffic`] — uniform, adversarial and bursty traffic generators plus
-//!   the request–reply reactive wrapper.
-//! * [`sim`] — the cycle-accurate phit-level network simulator, the
+//! * [`mod@topology`] — Dragonfly, flattened-butterfly, `n`-dimensional
+//!   HyperX and Dragonfly+ (Megafly) topologies with minimal/Valiant
+//!   route computation.
+//! * [`mod@traffic`] — uniform, adversarial and bursty traffic generators
+//!   plus the request–reply reactive wrapper.
+//! * [`mod@sim`] — the cycle-accurate phit-level network simulator, the
 //!   validating [`SimConfigBuilder`](sim::SimConfigBuilder), and the
 //!   non-panicking experiment runner.
-//! * [`bench`] — the scenario-first experiment harness: every paper
+//! * [`mod@bench`] — the scenario-first experiment harness: every paper
 //!   figure/table as serializable data
 //!   ([`bench::scenario::Scenario`]), the
 //!   [`bench::scenario::ScenarioRegistry`] catalogue, and the `flexvc`
-//!   CLI binary that fronts them (`flexvc list|show|run`).
-//! * [`serde`] — the self-contained serialization layer (JSON/TOML value
-//!   model) that moves whole experiments through data files.
+//!   CLI binary that fronts them (`flexvc list|show|run|bench`).
+//! * [`mod@serde`] — the self-contained serialization layer (JSON/TOML
+//!   value model) that moves whole experiments through data files.
 //!
-//! See the `examples/` directory for runnable entry points and `DESIGN.md`
-//! for the architecture and the experiment index.
+//! See `src/README.md` for the user guide (quickstart, topology matrix,
+//! scenario authoring), the `examples/` directory for runnable entry
+//! points, and `DESIGN.md` for the architecture and the experiment index.
 
 pub use flexvc_bench as bench;
 pub use flexvc_core as core;
@@ -43,6 +45,6 @@ pub mod prelude {
     };
     pub use flexvc_serde::{from_json, from_toml, to_json, to_json_pretty, to_toml};
     pub use flexvc_sim::prelude::*;
-    pub use flexvc_topology::{Dragonfly, FlatButterfly2D, HyperX, Topology};
+    pub use flexvc_topology::{Dragonfly, DragonflyPlus, FlatButterfly2D, HyperX, Topology};
     pub use flexvc_traffic::TrafficPattern;
 }

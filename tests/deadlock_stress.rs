@@ -299,6 +299,83 @@ fn hyperx_piggyback_senses_and_drains() {
     }
 }
 
+/// Dragonfly+ at 100% offered load with the injected-equals-consumed drain
+/// check, across the supported mode matrix: baseline MIN (2/1 slots),
+/// FlexVC MIN at the same 2/1 budget, baseline and FlexVC VAL at 4/2,
+/// UGAL-L/G and PB (spine boards) — plus request–reply conservation. The
+/// spine-escape invariant (`L L G L` embeds above every detour landing)
+/// must keep the fat-tree hierarchy live with nothing stranded on a spine.
+#[test]
+fn dragonfly_plus_survives_saturation_and_drains() {
+    let base = |routing: RoutingMode, pattern: Pattern| {
+        let mut cfg = SimConfig::dfplus_baseline(2, 2, 2, 5, routing, Workload::oblivious(pattern));
+        cfg.warmup = 1_000;
+        cfg.measure = 3_000;
+        cfg.watchdog = 6_000;
+        cfg
+    };
+    let cases: Vec<(String, SimConfig)> = vec![
+        (
+            "dfplus baseline MIN UN".into(),
+            base(RoutingMode::Min, Pattern::Uniform),
+        ),
+        (
+            "dfplus flexvc MIN 2/1 UN".into(),
+            base(RoutingMode::Min, Pattern::Uniform).with_flexvc(Arrangement::dragonfly_min()),
+        ),
+        (
+            "dfplus baseline VAL ADV".into(),
+            base(RoutingMode::Valiant, Pattern::adv1()),
+        ),
+        (
+            "dfplus flexvc VAL 4/2 ADV".into(),
+            base(RoutingMode::Valiant, Pattern::adv1()).with_flexvc(Arrangement::dragonfly(4, 2)),
+        ),
+        (
+            "dfplus flexvc UGAL-L 4/2 ADV".into(),
+            base(RoutingMode::UgalL, Pattern::adv1()).with_flexvc(Arrangement::dragonfly(4, 2)),
+        ),
+        (
+            "dfplus flexvc UGAL-G 4/2 ADV".into(),
+            base(RoutingMode::UgalG, Pattern::adv1()).with_flexvc(Arrangement::dragonfly(4, 2)),
+        ),
+        (
+            "dfplus flexvc PB 4/2 ADV".into(),
+            base(RoutingMode::Piggyback, Pattern::adv1()).with_flexvc(Arrangement::dragonfly(4, 2)),
+        ),
+    ];
+    for (label, cfg) in cases {
+        let mut net = Network::new(cfg, 1.0, 99).unwrap();
+        let r = net.run();
+        assert!(!r.deadlocked, "{label} deadlocked");
+        assert!(
+            r.accepted > 0.05,
+            "{label} made no progress: {}",
+            r.accepted
+        );
+        let stranded = net.drain(100_000);
+        assert!(!net.deadlocked(), "{label} deadlocked while draining");
+        assert_eq!(stranded, 0, "{label}: packets stranded at drain");
+    }
+    // Request–reply conservation closes over staged replies too.
+    let mut cfg = SimConfig::dfplus_baseline(
+        2,
+        2,
+        2,
+        5,
+        RoutingMode::Min,
+        Workload::reactive(Pattern::Uniform),
+    );
+    cfg.warmup = 1_000;
+    cfg.measure = 3_000;
+    cfg.watchdog = 6_000;
+    let mut net = Network::new(cfg, 1.0, 99).unwrap();
+    let r = net.run();
+    assert!(!r.deadlocked, "dfplus rr deadlocked");
+    assert!(r.accepted > 0.05, "dfplus rr: {}", r.accepted);
+    assert_eq!(net.drain(100_000), 0, "dfplus rr: stranded at drain");
+}
+
 #[test]
 fn flat_butterfly_survives_saturation() {
     for (policy_arr, routing) in [
