@@ -33,6 +33,9 @@ USAGE:
 
 BENCH OPTIONS:
     --quick                shorter windows (the CI profile)
+    --shards <n>           engine shards per kernel (0 = auto-detect from
+                           the host's cores; default: each kernel's own
+                           setting — results are shard-count-invariant)
     --out <path>           report path (default: BENCH_current.json; pass
                            an explicit path when recording a new baseline)
     --baseline <path>      compare against a recorded report: fail (exit 1)
@@ -46,7 +49,12 @@ SHOW OPTIONS:
 
 RUN OPTIONS:
     --file <path>          load the scenario from a file instead of the registry
-    --threads <n>          worker threads (default: all cores)
+    --threads <n>          worker threads, one simulation each (default: all cores)
+    --shards <n>           engine shards per simulation (0 = auto-detect;
+                           default: the scenario's `shards` field, usually 1).
+                           Results are bit-identical for every shard count;
+                           prefer --threads for sweeps with many points and
+                           --shards for a few huge-topology points
     --out <path>           write structured results to a file
     --format json|csv      format for --out (default: by extension, else json)
     --quiet                suppress per-point progress on stderr
@@ -63,6 +71,7 @@ struct Options {
     names: Vec<String>,
     file: Option<String>,
     threads: usize,
+    shards: Option<usize>,
     out: Option<String>,
     format: Option<String>,
     baseline: Option<String>,
@@ -110,6 +119,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         names: Vec::new(),
         file: None,
         threads: default_threads(),
+        shards: None,
         out: None,
         format: None,
         baseline: None,
@@ -131,6 +141,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse::<usize>()
                     .map_err(|_| "--threads needs an integer".to_string())?
                     .max(1)
+            }
+            "--shards" => {
+                opts.shards = Some(
+                    value("--shards", &mut it)?
+                        .parse::<usize>()
+                        .map_err(|_| "--shards needs an integer (0 = auto)".to_string())?,
+                )
             }
             "--out" => opts.out = Some(value("--out", &mut it)?),
             "--format" => opts.format = Some(value("--format", &mut it)?),
@@ -170,7 +187,7 @@ fn list() -> ExitCode {
     let registry = ScenarioRegistry::builtin();
     println!("built-in scenarios:");
     for entry in registry.entries() {
-        println!("  {:<10} {}", entry.name, entry.summary);
+        println!("  {:<16} {}", entry.name, entry.summary);
     }
     println!("\nrun one with `flexvc run <name>`; export with `flexvc show <name>`.");
     ExitCode::SUCCESS
@@ -249,7 +266,7 @@ fn write_output(report: &ScenarioReport, path: &str, format: &str) -> Result<(),
 }
 
 fn bench(opts: Options) -> ExitCode {
-    // Never default onto the recorded gate baseline (BENCH_pr5.json): a
+    // Never default onto the recorded gate baseline (BENCH_pr6.json): a
     // single local run is ±20% noisy and must not silently replace the
     // best-of-three recording the CI gate compares against.
     let out_path = opts.out.as_deref().unwrap_or("BENCH_current.json");
@@ -280,7 +297,7 @@ fn bench(opts: Options) -> ExitCode {
             if opts.quick { "quick" } else { "full" }
         );
     }
-    let report = match flexvc_bench::perf::run_bench(opts.quick, |k| {
+    let report = match flexvc_bench::perf::run_bench(opts.quick, opts.shards, |k| {
         if !opts.quiet {
             eprintln!(
                 "[bench] {:<28} {:>10.0} cycles/sec (accepted {:.3}{})",
@@ -343,10 +360,19 @@ fn bench(opts: Options) -> ExitCode {
 }
 
 fn run(opts: Options) -> ExitCode {
-    let scenarios = match resolve(&opts) {
+    let mut scenarios = match resolve(&opts) {
         Ok(s) => s,
         Err(msg) => return fail(&msg),
     };
+    // `--shards` overrides every point's engine shard count; results are
+    // bit-identical for any value, so this is purely a speed knob.
+    if let Some(n) = opts.shards {
+        for sc in &mut scenarios {
+            for p in &mut sc.points {
+                p.cfg.shards = n;
+            }
+        }
+    }
     if opts.out.is_some() && scenarios.len() > 1 {
         return fail("--out supports a single scenario per invocation");
     }

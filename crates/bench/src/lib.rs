@@ -26,7 +26,7 @@
 //! The paper simulates an `h = 8` Dragonfly (2,064 routers) for 5×60k
 //! cycles per point — far beyond a laptop budget. The harness defaults to
 //! a scaled `h = 2` network with shorter windows that preserves every
-//! mechanism and the comparative shape of all results (see `DESIGN.md` §5).
+//! mechanism and the comparative shape of all results (see `DESIGN.md` §6).
 //! Environment variables (overridable by `flexvc` CLI flags) set the
 //! defaults:
 //!

@@ -1,8 +1,8 @@
 //! `flexvc bench` — the fixed engine-performance kernel suite.
 //!
 //! Runs a deterministic set of simulation kernels and emits a
-//! machine-readable report (`BENCH_pr5.json`), establishing the repo's
-//! performance trajectory. Six kernel groups:
+//! machine-readable report (`BENCH_pr6.json`), establishing the repo's
+//! performance trajectory. Seven kernel groups:
 //!
 //! * **fig5_h2** — the Fig. 5 oblivious-routing suite at h = 2 (baseline,
 //!   DAMQ 75%, FlexVC 2/1, 4/2 and 8/4 under MIN/UN) over the
@@ -21,6 +21,13 @@
 //! * **smoke_h8** — a short measurement window at the paper's full h = 8
 //!   scale (2,064 routers, 16,512 nodes), proving paper-scale runs are
 //!   tractable on one core.
+//! * **paper** — the paper-scale topologies of the `*-paper` scenarios
+//!   (h = 8 Dragonfly, 16³ HyperX, megafly Dragonfly+) run through the
+//!   sharded engine, pairing a `shards = 1` kernel with a `shards = 2`
+//!   twin on the same configuration so the report records the multi-shard
+//!   speedup directly (`_s1` vs `_s2` kernel names). The ratio only
+//!   reads above 1 on multi-core hosts; on a single core the barrier
+//!   overhead makes it ≤ 1 by construction.
 //!
 //! Speedups are computed against cycles/sec recorded from the
 //! pre-refactor (full-sweep) engine on the *same kernels and hardware*
@@ -65,6 +72,13 @@ pub mod recorded_baseline {
     /// the anchor for the fat-tree engine path, expected to read ~1.0x
     /// until a later optimization moves it.
     pub const DFPLUS: f64 = 58_996.0;
+    /// Aggregate cycles/sec over the `paper` kernel group (paper-scale
+    /// topologies through the sharded engine, `shards = 1` and
+    /// `shards = 2` twins), recorded at the commit that introduced engine
+    /// sharding — on the single-core recording machine the two twins run
+    /// at essentially the same rate, so this anchors the *overhead* of the
+    /// boundary exchange, not a parallel speedup.
+    pub const PAPER: f64 = 153.0;
 }
 
 /// One kernel: a named `(config, load, seed)` point with fixed windows.
@@ -119,7 +133,7 @@ pub struct GroupSummary {
     pub speedup_vs_baseline: f64,
 }
 
-/// The full bench report (serialized to `BENCH_pr5.json`; older
+/// The full bench report (serialized to `BENCH_pr6.json`; older
 /// recordings such as `BENCH_pr2.json`/`BENCH_pr4.json` deserialize
 /// through the same schema for `--baseline` comparisons).
 #[derive(Debug, Clone)]
@@ -381,29 +395,114 @@ pub fn kernel_suite(quick: bool) -> Vec<Kernel> {
         seed: 1,
     });
 
+    // paper: the `*-paper` scenario topologies through the sharded engine.
+    // Each shape is pinned to an explicit shard count so the recorded
+    // report carries the `shards = 1` vs `shards = 2` ratio for the same
+    // configuration (the dragonfly twins); results are bit-identical
+    // across the twins, only wall-clock differs.
+    let (warm_p, meas_p) = if quick { (100, 250) } else { (200, 600) };
+    let paper_shapes: Vec<(&str, SimConfig, usize)> = vec![
+        (
+            "dragonfly_h8_s1",
+            SimConfig::dragonfly_baseline(
+                8,
+                RoutingMode::Min,
+                Workload::oblivious(Pattern::Uniform),
+            ),
+            1,
+        ),
+        (
+            "dragonfly_h8_s2",
+            SimConfig::dragonfly_baseline(
+                8,
+                RoutingMode::Min,
+                Workload::oblivious(Pattern::Uniform),
+            ),
+            2,
+        ),
+        (
+            "hyperx16_s2",
+            SimConfig::hyperx_baseline(
+                3,
+                16,
+                4,
+                RoutingMode::Min,
+                Workload::oblivious(Pattern::Uniform),
+            ),
+            2,
+        ),
+        (
+            "dfplus_megafly_s2",
+            SimConfig::dfplus_baseline(
+                16,
+                16,
+                8,
+                33,
+                RoutingMode::Min,
+                Workload::oblivious(Pattern::Uniform),
+            ),
+            2,
+        ),
+    ];
+    for (label, cfg, shards) in paper_shapes {
+        let mut cfg = cfg;
+        cfg.shards = shards;
+        windows(&mut cfg, warm_p, meas_p);
+        kernels.push(Kernel {
+            name: format!("paper/{label}@0.25"),
+            group: "paper",
+            cfg,
+            load: 0.25,
+            seed: 1,
+        });
+    }
+
     kernels
 }
 
 /// Run the suite sequentially (one timing thread) and aggregate.
-pub fn run_bench<F>(quick: bool, mut progress: F) -> Result<BenchReport, RunError>
+///
+/// `shards` overrides every kernel's engine shard count when `Some`
+/// (`flexvc bench --shards N`; `0` = auto-detect). Kernel *results* are
+/// shard-count-invariant, so the override only moves wall-clock numbers —
+/// CI uses `--shards 2` to keep the sharded engine's exchange path on the
+/// bench gate.
+pub fn run_bench<F>(
+    quick: bool,
+    shards: Option<usize>,
+    mut progress: F,
+) -> Result<BenchReport, RunError>
 where
     F: FnMut(&KernelResult),
 {
     let suite = kernel_suite(quick);
     let mut kernels: Vec<KernelResult> = Vec::with_capacity(suite.len());
     for k in &suite {
-        let t0 = Instant::now();
-        let mut net = Network::new(k.cfg.clone(), k.load, k.seed).map_err(|source| {
-            RunError::InvalidPoint {
-                index: kernels.len(),
-                source,
-            }
-        })?;
-        let result = net.run();
-        let wall = t0.elapsed().as_secs_f64().max(1e-9);
-        // Cycles *actually stepped* (a deadlocked run stops early; its
-        // truncated cycle count must not inflate cycles/sec).
-        let cycles = net.cycle();
+        let mut cfg = k.cfg.clone();
+        if let Some(n) = shards {
+            cfg.shards = n;
+        }
+        let invalid = |source| RunError::InvalidPoint {
+            index: kernels.len(),
+            source,
+        };
+        // Construct outside the timed region: cycles/sec measures the
+        // *stepping* rate, and construction cost (seconds at the paper
+        // scales, noisy) would otherwise drown the short windows.
+        // Cycles are those *actually stepped* (a deadlocked run stops
+        // early; its truncated cycle count must not inflate cycles/sec).
+        let (cycles, wall, result) =
+            if flexvc_sim::shard::resolve_shards(cfg.shards, cfg.topology.num_routers()) > 1 {
+                let mut net = ShardedNetwork::new(cfg, k.load, k.seed).map_err(invalid)?;
+                let t0 = Instant::now();
+                let result = net.run();
+                (net.cycle(), t0.elapsed().as_secs_f64().max(1e-9), result)
+            } else {
+                let mut net = Network::new(cfg, k.load, k.seed).map_err(invalid)?;
+                let t0 = Instant::now();
+                let result = net.run();
+                (net.cycle(), t0.elapsed().as_secs_f64().max(1e-9), result)
+            };
         let kr = KernelResult {
             name: k.name.clone(),
             group: k.group.to_string(),
@@ -425,6 +524,7 @@ where
         ("adaptive", recorded_baseline::ADAPTIVE),
         ("dfplus", recorded_baseline::DFPLUS),
         ("smoke_h8", recorded_baseline::SMOKE_H8),
+        ("paper", recorded_baseline::PAPER),
     ] {
         let members: Vec<&KernelResult> = kernels.iter().filter(|k| k.group == group).collect();
         let cycles: u64 = members.iter().map(|k| k.cycles).sum();
@@ -605,7 +705,7 @@ mod tests {
     fn suite_is_fixed_and_valid() {
         for quick in [false, true] {
             let suite = kernel_suite(quick);
-            assert_eq!(suite.len(), 5 * 4 + 2 * 2 + 4 + 4 + 4 + 1);
+            assert_eq!(suite.len(), 5 * 4 + 2 * 2 + 4 + 4 + 4 + 1 + 4);
             for k in &suite {
                 k.cfg
                     .validate()

@@ -559,6 +559,117 @@ pub(super) fn dfplus_adv(scale: &Scale) -> Scenario {
     dfplus(scale, Pattern::adv1())
 }
 
+/// Shared shape of the `*-paper` scenarios: a reduced load set (ramp to
+/// saturation in four steps) over Baseline vs FlexVC series — the point of
+/// these scenarios is the *network size*, not legend coverage.
+const PAPER_LOADS: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+
+fn paper_points(pattern: Pattern, series: &[Series]) -> Vec<PointSpec> {
+    sweep_points(pattern, series, &PAPER_LOADS)
+}
+
+/// `dragonfly-paper`: the full Table V `h = 8` balanced Dragonfly (2,064
+/// routers, 16,512 nodes) — the scale the paper actually simulates, parked
+/// on the roadmap until the sharded engine landed. Windows and seeds follow
+/// the ambient [`Scale`] (use `FLEXVC_PAPER=1` for the 5×60k-cycle paper
+/// methodology); run with `--shards 0` to spread each point's event loop
+/// over the host's cores.
+pub(super) fn dragonfly_paper(scale: &Scale) -> Scenario {
+    let wl = Workload::oblivious(Pattern::Uniform);
+    let mut base = SimConfig::dragonfly_baseline(8, RoutingMode::Min, wl);
+    base.warmup = scale.warmup;
+    base.measure = scale.measure;
+    base.watchdog = (scale.warmup + scale.measure) / 2;
+    let series = [
+        Series::new("Baseline", base.clone()),
+        Series::new(
+            "FlexVC 4/2VCs",
+            base.with_flexvc(Arrangement::dragonfly(4, 2)),
+        ),
+    ];
+    Scenario {
+        name: "dragonfly-paper".into(),
+        title: "Dragonfly h=8 (2,064 routers, Table V scale): UN under MIN".into(),
+        description: "The paper's full-size balanced Dragonfly (p=8, a=16, g=129): UN \
+                      load ramp, baseline policy vs FlexVC 4/2. Sized for the sharded \
+                      engine — pass --shards 0 (auto) or --shards N to parallelize each \
+                      point; results are bit-identical for every shard count."
+            .into(),
+        seeds: scale.seeds.clone(),
+        points: paper_points(Pattern::Uniform, &series),
+        classifications: Vec::new(),
+    }
+}
+
+/// `hyperx-paper`: a 16³ HyperX (4,096 routers, diameter 3) — the largest
+/// topology of the follow-up VC-management analysis (arXiv 2306.13042),
+/// far beyond the single-core sweep budget.
+pub(super) fn hyperx_paper(scale: &Scale) -> Scenario {
+    let mut base = SimConfig::hyperx_baseline(
+        3,
+        16,
+        4,
+        RoutingMode::Min,
+        Workload::oblivious(Pattern::Uniform),
+    );
+    base.warmup = scale.warmup;
+    base.measure = scale.measure;
+    base.watchdog = (scale.warmup + scale.measure) / 2;
+    let series = [
+        Series::new("Baseline", base.clone()),
+        Series::new("FlexVC 5VCs", base.with_flexvc(Arrangement::generic(5))),
+    ];
+    Scenario {
+        name: "hyperx-paper".into(),
+        title: "HyperX 16^3 (4,096 routers x 4 terminals): UN under MIN".into(),
+        description: "Paper-scale 3-D HyperX (16 routers per dimension, diameter 3, \
+                      single link class): UN load ramp, baseline policy vs FlexVC at \
+                      an enlarged budget. Sized for the sharded engine — pass \
+                      --shards 0/N to parallelize each point."
+            .into(),
+        seeds: scale.seeds.clone(),
+        points: paper_points(Pattern::Uniform, &series),
+        classifications: Vec::new(),
+    }
+}
+
+/// `dfplus-paper`: a megafly-sized Dragonfly+ — 33 groups of 16+16
+/// routers (1,056 routers, 4,224 nodes), every spine holding two global
+/// links, matching the megafly configurations of the Dragonfly+ litera-
+/// ture rather than the registry's laptop-sized 9-group instance.
+pub(super) fn dfplus_paper(scale: &Scale) -> Scenario {
+    let mut base = SimConfig::dfplus_baseline(
+        16,
+        16,
+        8,
+        33,
+        RoutingMode::Min,
+        Workload::oblivious(Pattern::Uniform),
+    );
+    base.warmup = scale.warmup;
+    base.measure = scale.measure;
+    base.watchdog = (scale.warmup + scale.measure) / 2;
+    let series = [
+        Series::new("Baseline", base.clone()),
+        Series::new(
+            "FlexVC 4/2VCs",
+            base.with_flexvc(Arrangement::dragonfly(4, 2)),
+        ),
+    ];
+    Scenario {
+        name: "dfplus-paper".into(),
+        title: "Dragonfly+ megafly (33 groups x 16+16 routers, 4,224 nodes): UN under MIN".into(),
+        description: "Megafly-sized Dragonfly+ (two-level fat-tree groups, 16 leaves + \
+                      16 spines each, 8 hosts per leaf, 33 groups): UN load ramp, \
+                      baseline policy vs FlexVC 4/2. Sized for the sharded engine — \
+                      pass --shards 0/N to parallelize each point."
+            .into(),
+        seeds: scale.seeds.clone(),
+        points: paper_points(Pattern::Uniform, &series),
+        classifications: Vec::new(),
+    }
+}
+
 pub(super) fn smoke(_scale: &Scale) -> Scenario {
     // Deliberately ignores the ambient scale: always tiny, for CI and a
     // first `flexvc run smoke` after checkout.

@@ -31,8 +31,8 @@ impl std::fmt::Debug for ScenarioEntry {
 }
 
 /// The scenario catalogue; [`ScenarioRegistry::builtin`] holds the nine
-/// paper reproductions, the `hyperx-*` and `dfplus-*` families, and
-/// `smoke`.
+/// paper reproductions, the `hyperx-*` and `dfplus-*` families, the
+/// paper-scale `*-paper` trio (sized for `--shards`), and `smoke`.
 #[derive(Debug, Clone, Default)]
 pub struct ScenarioRegistry {
     entries: Vec<ScenarioEntry>,
@@ -128,6 +128,21 @@ impl ScenarioRegistry {
             build: defs::dfplus_adv,
         });
         reg.register(ScenarioEntry {
+            name: "dragonfly-paper",
+            summary: "Table V scale: h=8 Dragonfly (2,064 routers), UN, MIN — use --shards",
+            build: defs::dragonfly_paper,
+        });
+        reg.register(ScenarioEntry {
+            name: "hyperx-paper",
+            summary: "Paper scale: 16^3 HyperX (4,096 routers), UN, MIN — use --shards",
+            build: defs::hyperx_paper,
+        });
+        reg.register(ScenarioEntry {
+            name: "dfplus-paper",
+            summary: "Megafly scale: 33x(16+16) Dragonfly+ (1,056 routers), UN, MIN — use --shards",
+            build: defs::dfplus_paper,
+        });
+        reg.register(ScenarioEntry {
             name: "smoke",
             summary: "30-second sanity run (tiny windows, ignores scale)",
             build: defs::smoke,
@@ -186,11 +201,14 @@ mod tests {
             "hyperx-k2",
             "dfplus-un",
             "dfplus-adv",
+            "dragonfly-paper",
+            "hyperx-paper",
+            "dfplus-paper",
             "smoke",
         ] {
             assert!(reg.get(name).is_some(), "missing scenario {name}");
         }
-        assert_eq!(reg.entries().len(), 17);
+        assert_eq!(reg.entries().len(), 20);
     }
 
     #[test]

@@ -39,10 +39,52 @@ fn list_names_all_scenarios() {
         "hyperx-k2",
         "dfplus-un",
         "dfplus-adv",
+        "dragonfly-paper",
+        "hyperx-paper",
+        "dfplus-paper",
         "smoke",
     ] {
         assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
     }
+}
+
+/// `--shards` is purely a speed knob: the structured results of a sharded
+/// run are byte-identical to the single-engine run.
+#[test]
+fn run_with_shards_flag_is_bit_identical() {
+    let dir = std::env::temp_dir();
+    let mut outputs = Vec::new();
+    for shards in ["1", "2"] {
+        let path = dir.join(format!("flexvc-shards{shards}-{}.json", std::process::id()));
+        run_ok(
+            flexvc()
+                .args(["run", "smoke", "--quiet", "--shards", shards, "--out"])
+                .arg(&path),
+        );
+        let json = std::fs::read_to_string(&path).expect("results file");
+        std::fs::remove_file(&path).ok();
+        outputs.push(json);
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "sharded results must be bit-identical to the single engine"
+    );
+}
+
+/// More shards than routers is a configuration error (every shard must own
+/// at least one router) and must fail with the typed message, not panic.
+#[test]
+fn shards_exceeding_router_count_fail_loudly() {
+    let out = flexvc()
+        .args(["run", "smoke", "--quiet", "--shards", "999"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("exceed the topology's"),
+        "expected the ShardsExceedRouters message, got:\n{stderr}"
+    );
 }
 
 /// Run a scenario at reduced windows and return every series' accepted

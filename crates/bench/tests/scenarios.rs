@@ -98,3 +98,24 @@ fn scenario_structures_match_paper_legends() {
     // The scale's seeds propagate into simulation scenarios.
     assert_eq!(fig5.seeds, scale.seeds);
 }
+
+/// The `*-paper` trio pins the paper-scale topology shapes regardless of
+/// the ambient `Scale` (only windows/seeds follow it): Table V's h = 8
+/// Dragonfly, the 16^3 HyperX and the megafly Dragonfly+.
+#[test]
+fn paper_scenarios_pin_paper_scale_topologies() {
+    let registry = ScenarioRegistry::builtin();
+    for (name, routers) in [
+        ("dragonfly-paper", 2_064),
+        ("hyperx-paper", 4_096),
+        ("dfplus-paper", 1_056),
+    ] {
+        let sc = registry.build(name, &test_scale()).unwrap();
+        assert_eq!(sc.points.len(), 2 * 4, "{name}: 2 series x 4 loads");
+        for p in &sc.points {
+            assert_eq!(p.cfg.topology.num_routers(), routers, "{name}/{}", p.series);
+            // The windows do follow the scale, so a laptop run is bounded.
+            assert_eq!(p.cfg.warmup, test_scale().warmup, "{name}");
+        }
+    }
+}

@@ -54,6 +54,7 @@ pub struct SimConfigBuilder {
     revert_patience: u32,
     reply_queue_packets: usize,
     adaptive_copies: bool,
+    shards: usize,
 }
 
 impl Default for SimConfigBuilder {
@@ -82,6 +83,7 @@ impl Default for SimConfigBuilder {
             revert_patience: 16,
             reply_queue_packets: 4,
             adaptive_copies: false,
+            shards: 1,
         }
     }
 }
@@ -321,6 +323,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Engine shard count (`1` = plain single engine, `0` = auto-detect
+    /// from the host; see `sim::shard`). Results never depend on it.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Assemble and validate the configuration.
     pub fn build(self) -> Result<SimConfig, ConfigError> {
         let family = self.topology.family();
@@ -348,6 +357,7 @@ impl SimConfigBuilder {
             revert_patience: self.revert_patience,
             reply_queue_packets: self.reply_queue_packets,
             adaptive_copies: self.adaptive_copies,
+            shards: self.shards,
         };
         cfg.validate()?;
         Ok(cfg)

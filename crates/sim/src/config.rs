@@ -17,7 +17,12 @@ use flexvc_traffic::{Pattern, Workload};
 use std::sync::Arc;
 
 /// Topology selector.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the *specification* (shape parameters), which is
+/// what the runner's topology cache keys on: equal specs build identical
+/// topologies, so one built instance can back every sweep point sharing
+/// the spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TopologySpec {
     /// Balanced Dragonfly with global-link count `h` per router
     /// (`p = h`, `a = 2h`, `g = 2h² + 1`). Table V is `h = 8`.
@@ -109,6 +114,24 @@ impl TopologySpec {
                 global_mult,
                 groups,
             )),
+        }
+    }
+
+    /// Router count of the topology, computed from the shape parameters
+    /// alone (no instantiation) — the bound the shard count is validated
+    /// against, since every shard must own at least one router.
+    pub fn num_routers(&self) -> usize {
+        match self {
+            TopologySpec::DragonflyBalanced { h, .. } => 2 * h * (2 * h * h + 1),
+            TopologySpec::Dragonfly { a, g, .. } => a * g,
+            TopologySpec::FlatButterfly { k, .. } => k * k,
+            TopologySpec::HyperX { dims, .. } => dims.iter().map(|&(s, _)| s).product(),
+            TopologySpec::DragonflyPlus {
+                leaves,
+                spines,
+                groups,
+                ..
+            } => (leaves + spines) * groups,
         }
     }
 
@@ -298,7 +321,7 @@ impl Default for SensingConfig {
 }
 
 /// Full simulation configuration. Defaults follow Table V at a reduced
-/// network scale (see `DESIGN.md` §5 on the scale substitution).
+/// network scale (see `DESIGN.md` §6 on the scale substitution).
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Network topology.
@@ -361,6 +384,14 @@ pub struct SimConfig {
     /// default — the hash keeps routes a pure function of the endpoints,
     /// which the equivalence snapshots rely on.
     pub adaptive_copies: bool,
+    /// Engine shards: partition the routers across this many worker
+    /// threads with a deterministic per-cycle boundary exchange (see
+    /// `sim::shard`). Results are bit-identical for every shard count;
+    /// only wall-clock time changes. `1` runs the plain single-engine
+    /// path; `0` auto-detects from the host's available parallelism
+    /// (the one setting whose *throughput* — never results — depends on
+    /// the machine).
+    pub shards: usize,
 }
 
 impl SimConfig {
@@ -404,6 +435,7 @@ impl SimConfig {
             revert_patience: 16,
             reply_queue_packets: 4,
             adaptive_copies: false,
+            shards: 1,
         }
     }
 
@@ -534,6 +566,13 @@ impl SimConfig {
     /// configuration cannot be simulated at all).
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.topology.check_shape()?;
+        let routers = self.topology.num_routers();
+        if self.shards > routers {
+            return Err(ConfigError::ShardsExceedRouters {
+                shards: self.shards,
+                routers,
+            });
+        }
         let family = self.topology.family();
         if self.routing.needs_dimensions() && !matches!(self.topology, TopologySpec::HyperX { .. })
         {

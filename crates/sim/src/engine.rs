@@ -66,6 +66,7 @@ use crate::metrics::{Metrics, SimResult};
 use crate::packet::{Packet, PlannedPath, MAX_PLAN};
 use crate::plan::{min_plan, RoutePolicy, SenseView};
 use crate::sensing::{saturated_flags_into, GroupBoard};
+use crate::shard::{BoundaryEvent, BoundaryPayload};
 use flexvc_core::classify::NetworkFamily;
 use flexvc_core::policy::{baseline_vc, flexvc_options_lookahead};
 use flexvc_core::{Arrangement, CreditClass, HopKind, LinkClass, MessageClass, VcPolicy};
@@ -235,6 +236,21 @@ pub struct Network {
     /// producing new requests (staged replies still flush, so reactive
     /// traffic conservation closes too).
     draining: bool,
+    /// Routers this engine instance steps (the full range unless it is one
+    /// shard of a [`crate::shard::ShardedNetwork`]). Non-owned routers keep
+    /// their slots in every flat pool so link ids and adjacency stay global,
+    /// but their buffers are never touched and carry no preallocation.
+    owned_r: std::ops::Range<u32>,
+    /// Nodes attached to owned routers (contiguous because node numbering
+    /// is router-major; see `node_base`).
+    owned_n: std::ops::Range<u32>,
+    /// `true` when this instance is a shard: effects that cross the
+    /// ownership boundary (packet transmits, credit returns, PB board
+    /// publishes) are emitted into `outbox` instead of applied locally.
+    sharded: bool,
+    /// Boundary events emitted this cycle, in emission order (drained and
+    /// routed to their owning shard by the shard driver each cycle).
+    outbox: Vec<BoundaryEvent>,
     // --- active-set scheduling state (behavior-neutral bookkeeping) ---
     /// Per-router queued-packet count (network input + injection queues).
     queued: Vec<u32>,
@@ -317,11 +333,56 @@ impl Network {
     pub fn new(cfg: SimConfig, load: f64, seed: u64) -> Result<Self, crate::error::ConfigError> {
         cfg.validate()?;
         let topo = cfg.topology.build();
+        Ok(Self::build(cfg, load, seed, topo, None))
+    }
+
+    /// Like [`Network::new`] but reusing a pre-built topology instance,
+    /// which must match `cfg.topology` — the sweep runner and the bench
+    /// harness build each distinct topology once and share the `Arc` across
+    /// all points that use it instead of rebuilding per point.
+    pub fn with_topology(
+        cfg: SimConfig,
+        load: f64,
+        seed: u64,
+        topo: Arc<dyn Topology>,
+    ) -> Result<Self, crate::error::ConfigError> {
+        cfg.validate()?;
+        debug_assert_eq!(
+            topo.num_routers(),
+            cfg.topology.num_routers(),
+            "shared topology does not match cfg.topology"
+        );
+        Ok(Self::build(cfg, load, seed, topo, None))
+    }
+
+    /// Build one shard owning the contiguous router range `owned` (crate
+    /// API for [`crate::shard::ShardedNetwork`]; `cfg` is pre-validated).
+    pub(crate) fn new_shard(
+        cfg: SimConfig,
+        load: f64,
+        seed: u64,
+        topo: Arc<dyn Topology>,
+        owned: std::ops::Range<u32>,
+    ) -> Self {
+        Self::build(cfg, load, seed, topo, Some(owned))
+    }
+
+    fn build(
+        cfg: SimConfig,
+        load: f64,
+        seed: u64,
+        topo: Arc<dyn Topology>,
+        owned: Option<std::ops::Range<u32>>,
+    ) -> Self {
         let family = cfg.topology.family();
         let pp = topo.num_ports();
         let pn = topo.nodes_per_router();
         let nr = topo.num_routers();
         let arr = cfg.arrangement.clone();
+        let sharded = owned.is_some();
+        let owned_r = owned.unwrap_or(0..nr as u32);
+        debug_assert!(owned_r.start < owned_r.end && owned_r.end <= nr as u32);
+        let owns = |r: usize| owned_r.contains(&(r as u32));
 
         let mut adj = vec![None; nr * pp];
         let node_base: Vec<u32> = (0..nr).map(|r| topo.node_base(r) as u32).collect();
@@ -376,11 +437,19 @@ impl Network {
 
         let routers: Vec<Router> = (0..nr)
             .map(|r| {
+                // Foreign routers (sharded mode) keep their slots so flat
+                // indexing stays global, but are never stepped: skip their
+                // queue preallocation entirely.
+                let mine = owns(r);
                 let inputs: Vec<BufferBank> = (0..pp)
                     .map(|p| {
                         BufferBank::with_packet_capacity(
                             make_bank(port_class[p], &cfg),
-                            bank_packets(port_class[p], &cfg),
+                            if mine {
+                                bank_packets(port_class[p], &cfg)
+                            } else {
+                                0
+                            },
                         )
                     })
                     .collect();
@@ -388,7 +457,7 @@ impl Network {
                     .map(|_| {
                         BufferBank::with_packet_capacity(
                             Occupancy::new_static(cfg.injection_vcs, cfg.buffers.injection),
-                            inj_packets,
+                            if mine { inj_packets } else { 0 },
                         )
                     })
                     .collect();
@@ -411,7 +480,7 @@ impl Network {
                     out_arb: (0..pp).map(|_| RrArbiter::new(n_in)).collect(),
                     out_credit,
                     out_queue: (0..pp)
-                        .map(|_| VecDeque::with_capacity(out_packets))
+                        .map(|_| VecDeque::with_capacity(if mine { out_packets } else { 0 }))
                         .collect(),
                     rng: SmallRng::seed_from_u64(
                         seed ^ 0xD1B5_4A32_D192_ED03u64.wrapping_mul(r as u64 + 1),
@@ -420,8 +489,15 @@ impl Network {
             })
             .collect();
 
+        // A link replica matters to a shard when it transmits on it (owns
+        // the sending router) or receives from it (owns the downstream
+        // router); foreign-foreign links are never touched.
         let links = (0..nr * pp)
-            .map(|_| LinkState::with_capacity(link_window))
+            .map(|lid| {
+                let tx_owned = owns(lid / pp);
+                let rx_owned = adj[lid].is_some_and(|(dr, _)| owns(dr as usize));
+                LinkState::with_capacity(if tx_owned || rx_owned { link_window } else { 0 })
+            })
             .collect();
 
         // The timing wheels address links by flat id and resolve packet
@@ -508,6 +584,17 @@ impl Network {
         };
 
         let n_nodes = topo.num_nodes();
+        // Node numbering is router-major (`node_base` is monotone), so the
+        // nodes of a contiguous router range are themselves contiguous.
+        let owned_n = {
+            let start = node_base[owned_r.start as usize];
+            let end = if owned_r.end as usize == nr {
+                n_nodes as u32
+            } else {
+                node_base[owned_r.end as usize]
+            };
+            start..end
+        };
         let policy = RoutePolicy::new(&cfg);
         // In-transit decisions (PAR's divert mark, DAL's per-dimension
         // evaluation, adaptive copy re-selection) mutate packets during
@@ -520,7 +607,7 @@ impl Network {
             .map(|p| cfg.vcs_for_class(port_class[p]).clamp(1, 255) as u8)
             .collect();
         let injection_vcs_u8 = cfg.injection_vcs.min(255) as u8;
-        Ok(Network {
+        Network {
             cfg,
             topo,
             family,
@@ -547,6 +634,10 @@ impl Network {
             in_flight: 0,
             last_progress: 0,
             draining: false,
+            owned_r,
+            owned_n,
+            sharded,
+            outbox: Vec::new(),
             queued: vec![0; nr],
             alloc_list: Vec::new(),
             alloc_in: vec![false; nr],
@@ -584,7 +675,13 @@ impl Network {
             baseline_table,
             occ_scratch: Vec::new(),
             flag_scratch: Vec::new(),
-        })
+        }
+    }
+
+    /// Whether this instance owns (steps) router `r`.
+    #[inline]
+    fn owns(&self, r: u32) -> bool {
+        self.owned_r.contains(&r)
     }
 
     /// Offered load this network was built with.
@@ -666,6 +763,21 @@ impl Network {
     /// Advance one cycle.
     pub fn step(&mut self) {
         let now = self.cycle;
+        self.step_phases(now);
+        for b in &mut self.boards {
+            b.tick(now);
+        }
+        self.watchdog(now);
+        self.cycle += 1;
+    }
+
+    /// Phases 1–7 of one cycle (everything router-local). The board tick,
+    /// the watchdog and the cycle advance live in [`Network::step`] /
+    /// [`Network::finish_cycle_shard`] because a shard must first absorb
+    /// the cycle's foreign boundary events (which carry board publishes and
+    /// feed the watchdog's global reductions).
+    fn step_phases(&mut self, now: u64) {
+        debug_assert_eq!(now, self.cycle);
         self.deliver(now);
         self.process_pending(now);
         self.generate(now);
@@ -680,8 +792,102 @@ impl Network {
         if now.is_multiple_of(128) && self.in_window(now) {
             self.sample_occupancy();
         }
-        self.watchdog(now);
+    }
+
+    // ------------------------------------------------------------------
+    // Shard-execution hooks (driven by `crate::shard::ShardedNetwork`)
+    // ------------------------------------------------------------------
+
+    /// Run phases 1–7 of cycle `now` on the owned router subset, emitting
+    /// cross-shard effects into the outbox. The cycle is completed by
+    /// [`Network::finish_cycle_shard`] after the boundary exchange.
+    pub(crate) fn step_shard(&mut self, now: u64) {
+        debug_assert!(self.sharded);
+        self.step_phases(now);
+    }
+
+    /// Drain this cycle's boundary events (in emission order).
+    pub(crate) fn take_outbox(&mut self) -> Vec<BoundaryEvent> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Return the (drained) outbox buffer so its capacity is reused.
+    pub(crate) fn put_outbox(&mut self, buf: Vec<BoundaryEvent>) {
+        debug_assert!(buf.is_empty() && self.outbox.is_empty());
+        self.outbox = buf;
+    }
+
+    /// Absorb one foreign boundary event during the end-of-cycle exchange
+    /// of cycle `now`. Every event's effect cycle is strictly in the future
+    /// (packet heads arrive one link latency after transmit, credits one
+    /// latency after their departure, board publishes land in the boards'
+    /// write buffer until the tick), so applying them here — after this
+    /// shard's own phases — is indistinguishable from the single-engine
+    /// schedule, where the same effects were queued during the phases.
+    pub(crate) fn apply_boundary(&mut self, now: u64, ev: BoundaryEvent) {
+        match ev.payload {
+            BoundaryPayload::Packet(flight) => {
+                debug_assert!(self.owns(self.adj[ev.lid as usize].expect("wired").0));
+                self.pkt_wheel.schedule(now, ev.at, ev.lid);
+                self.links[ev.lid as usize].receive_flight(flight);
+            }
+            BoundaryPayload::Credit { vc, phits, class } => {
+                debug_assert!(self.owns(ev.lid / self.pp as u32));
+                self.links[ev.lid as usize].receive_credit(ev.at, vc, phits, class);
+                self.cred_wheel.schedule(now, ev.at, ev.lid);
+            }
+            BoundaryPayload::Board {
+                group,
+                local,
+                port,
+                class,
+                sat,
+            } => {
+                self.boards[group as usize].publish(local as usize, port as usize, class, sat);
+            }
+        }
+    }
+
+    /// Complete cycle `now` after the boundary exchange: tick the (now
+    /// fully published) boards, run the watchdog against the *global*
+    /// reductions — total packets in flight and the latest progress cycle
+    /// across all shards — and advance the cycle counter. Every shard
+    /// receives identical globals, so the deadlock flag flips on all shards
+    /// in the same cycle and the drivers' stop predicates stay in lockstep.
+    pub(crate) fn finish_cycle_shard(&mut self, now: u64, in_flight: i64, progress: u64) {
+        debug_assert!(progress >= self.last_progress);
+        self.last_progress = progress;
+        for b in &mut self.boards {
+            b.tick(now);
+        }
+        if in_flight > 0 && now.saturating_sub(self.last_progress) > self.cfg.watchdog {
+            self.metrics.deadlocked = true;
+        }
         self.cycle += 1;
+    }
+
+    /// This shard's measurement counters (merged exactly by the driver).
+    pub(crate) fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The configuration (driver access for windows and shard resolution).
+    pub(crate) fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Replies staged at owned nodes but not yet injected (the drain
+    /// conservation check counts them as pending).
+    pub(crate) fn staged_pending(&self) -> i64 {
+        self.staging[self.owned_n.start as usize..self.owned_n.end as usize]
+            .iter()
+            .map(|q| q.len())
+            .sum::<usize>() as i64
+    }
+
+    /// Mute the owned traffic generators (sharded drain).
+    pub(crate) fn begin_drain(&mut self) {
+        self.draining = true;
     }
 
     /// Periodic per-VC occupancy sampling (the §III-D sensing signal).
@@ -696,7 +902,10 @@ impl Network {
             }
         }
         prof.samples += 1;
-        for router in &self.routers {
+        // Owned routers only (the full network when not sharded); `ports`
+        // above still counts the whole network, so per-shard profiles sum
+        // exactly to the single-engine profile.
+        for router in &self.routers[self.owned_r.start as usize..self.owned_r.end as usize] {
             for (port, bank) in router.inputs.iter().enumerate() {
                 let sums = &mut prof.sums[self.port_class[port].index()];
                 for vc in 0..bank.vcs() {
@@ -808,7 +1017,7 @@ impl Network {
         let size = self.cfg.packet_size;
         let reactive = self.cfg.workload.reactive;
         let in_window = self.in_window(now);
-        for n in 0..self.gens.len() {
+        for n in self.owned_n.start as usize..self.owned_n.end as usize {
             // New requests from the pattern generator (muted while
             // draining; staged replies below still flush).
             if let Some(dst) = (!self.draining)
@@ -1402,6 +1611,49 @@ impl Network {
         );
     }
 
+    /// Return the credit for an input buffer a grant just vacated: queue it
+    /// on the upstream link (owned by the router it returns to). When that
+    /// router lives on another shard, the credit becomes a boundary event —
+    /// the arrival cycle `t_c + lat` is strictly beyond the current cycle,
+    /// so applying it at the exchange is exact.
+    #[allow(clippy::too_many_arguments)]
+    fn return_credit(
+        &mut self,
+        r: usize,
+        in_idx: usize,
+        vc_in: usize,
+        phits: u32,
+        class: CreditClass,
+        t_c: u64,
+        now: u64,
+    ) {
+        let pp = self.pp;
+        if in_idx >= pp {
+            return; // injection queues are node-local: no upstream link
+        }
+        let Some((ur, up)) = self.adj[r * pp + in_idx] else {
+            return;
+        };
+        let lat = self.latency_of(self.port_class[in_idx]);
+        let up_lid = ur as usize * pp + up as usize;
+        if self.sharded && !self.owns(ur) {
+            self.outbox.push(BoundaryEvent {
+                at: t_c + lat as u64,
+                lid: up_lid as u32,
+                dst: ur,
+                payload: BoundaryPayload::Credit {
+                    vc: vc_in as u8,
+                    phits,
+                    class,
+                },
+            });
+        } else {
+            self.links[up_lid].send_credit(t_c, lat, vc_in as u8, phits, class);
+            self.cred_wheel
+                .schedule(now, t_c + lat as u64, up_lid as u32);
+        }
+    }
+
     #[allow(clippy::too_many_arguments)] // a grant is naturally 7-tuple-shaped
     fn grant_forward(
         &mut self,
@@ -1458,15 +1710,7 @@ impl Network {
             vc: out_vc,
         });
         // Return the credit for the buffer we just vacated.
-        if in_idx < pp {
-            if let Some((ur, up)) = self.adj[r * pp + in_idx] {
-                let lat = self.latency_of(self.port_class[in_idx]);
-                let up_lid = ur as usize * pp + up as usize;
-                self.links[up_lid].send_credit(t_c, lat, vc_in as u8, size, released_class);
-                self.cred_wheel
-                    .schedule(now, t_c + lat as u64, up_lid as u32);
-            }
-        }
+        self.return_credit(r, in_idx, vc_in, size, released_class, t_c, now);
         self.queued[r] -= 1;
         {
             let router = &self.routers[r];
@@ -1524,15 +1768,7 @@ impl Network {
                 },
             ),
         );
-        if in_idx < pp {
-            if let Some((ur, up)) = self.adj[r * pp + in_idx] {
-                let lat = self.latency_of(self.port_class[in_idx]);
-                let up_lid = ur as usize * pp + up as usize;
-                self.links[up_lid].send_credit(t_c, lat, vc_in as u8, size, released_class);
-                self.cred_wheel
-                    .schedule(now, t_c + lat as u64, up_lid as u32);
-            }
-        }
+        self.return_credit(r, in_idx, vc_in, size, released_class, t_c, now);
         self.queued[r] -= 1;
         {
             let router = &self.routers[r];
@@ -1600,8 +1836,25 @@ impl Network {
             }
             let out = router.out_queue[port].pop_front().expect("front exists");
             let size = out.pkt.size;
-            self.links[lid].transmit(now, lat, out.vc, out.pkt);
-            self.pkt_wheel.schedule(now, now + lat as u64, lid as u32);
+            let foreign_rx =
+                self.sharded && !self.owns(self.adj[lid].expect("transmitting link is wired").0);
+            if foreign_rx {
+                // The receiving router lives on another shard: keep the
+                // serialization state (`busy_until`) here, ship the
+                // in-flight record to the receiver's link replica. Its head
+                // arrives at `now + lat`, beyond this cycle, so delivery
+                // timing is identical to the local path.
+                let flight = self.links[lid].transmit_boundary(now, lat, out.vc, out.pkt);
+                self.outbox.push(BoundaryEvent {
+                    at: flight.head_arrival,
+                    lid: lid as u32,
+                    dst: self.adj[lid].expect("wired").0,
+                    payload: BoundaryPayload::Packet(flight),
+                });
+            } else {
+                self.links[lid].transmit(now, lat, out.vc, out.pkt);
+                self.pkt_wheel.schedule(now, now + lat as u64, lid as u32);
+            }
             self.rel_wheel.schedule(
                 now,
                 now + size as u64,
@@ -1680,6 +1933,27 @@ impl Network {
                 saturated_flags_into(&occs, t_phits, &mut flags);
                 for (i, &sat) in flags.iter().enumerate() {
                     self.boards[group].publish(local, i, class, sat);
+                    // Groups may straddle a shard cut, and remote groups'
+                    // boards are consulted by UGAL-G: replicate every
+                    // publish to the other shards' board copies. Publishes
+                    // land in the write buffer and become visible at the
+                    // tick, which all shards run after the exchange — so
+                    // the replicas stay bit-identical to the single-engine
+                    // board.
+                    if self.sharded {
+                        self.outbox.push(BoundaryEvent {
+                            at: now,
+                            lid: 0,
+                            dst: u32::MAX,
+                            payload: BoundaryPayload::Board {
+                                group: group as u32,
+                                local: local as u32,
+                                port: i as u32,
+                                class,
+                                sat,
+                            },
+                        });
+                    }
                 }
             }
         }
@@ -1687,9 +1961,6 @@ impl Network {
         self.sense_list = list;
         self.occ_scratch = occs;
         self.flag_scratch = flags;
-        for b in &mut self.boards {
-            b.tick(now);
-        }
     }
 
     // ------------------------------------------------------------------

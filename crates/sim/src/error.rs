@@ -70,6 +70,15 @@ pub enum ConfigError {
         /// What is wrong with the shape.
         why: &'static str,
     },
+    /// More engine shards requested than the topology has routers — every
+    /// shard must own at least one router (`shards = 0` auto-detects and
+    /// never triggers this).
+    ShardsExceedRouters {
+        /// Requested shard count.
+        shards: usize,
+        /// Router count of the configured topology.
+        routers: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -118,6 +127,13 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidTopology { why } => {
                 write!(f, "invalid topology: {why}")
+            }
+            ConfigError::ShardsExceedRouters { shards, routers } => {
+                write!(
+                    f,
+                    "{shards} engine shards exceed the topology's {routers} routers \
+                     (every shard must own at least one router; use 0 to auto-detect)"
+                )
             }
         }
     }
@@ -186,6 +202,18 @@ mod tests {
             "experiment point #3 is invalid: packet size must be positive"
         );
         assert!(r.source().is_some());
+    }
+
+    #[test]
+    fn shards_error_names_both_counts() {
+        let e = ConfigError::ShardsExceedRouters {
+            shards: 9,
+            routers: 4,
+        };
+        let rendered = e.to_string();
+        assert!(rendered.contains('9'), "{rendered}");
+        assert!(rendered.contains('4'), "{rendered}");
+        assert!(rendered.contains("auto-detect"), "{rendered}");
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod plan;
 pub mod runner;
 pub mod sensing;
 pub mod serde_impls;
+pub mod shard;
 
 pub use builder::SimConfigBuilder;
 pub use config::{
@@ -57,6 +58,7 @@ pub use runner::{
     load_sweep, run_averaged, run_one, run_points, run_points_with_progress,
     run_points_with_threads, saturation_throughput, Point, PointProgress,
 };
+pub use shard::ShardedNetwork;
 
 /// Common imports for examples and experiment binaries.
 pub mod prelude {
@@ -72,4 +74,5 @@ pub mod prelude {
         load_sweep, run_averaged, run_one, run_points, run_points_with_progress,
         run_points_with_threads, saturation_throughput, Point, PointProgress,
     };
+    pub use crate::shard::ShardedNetwork;
 }

@@ -74,6 +74,64 @@ impl LinkState {
         tail_arrival
     }
 
+    /// Begin transmitting `packet` at cycle `now` across a shard boundary.
+    ///
+    /// Identical to [`LinkState::transmit`] except the [`InFlight`] record is
+    /// *returned* instead of queued locally: the transmitting shard keeps only
+    /// the serialization state (`busy_until`), and the record travels to the
+    /// receiving shard's replica of this link as a boundary event, where
+    /// [`LinkState::receive_flight`] enqueues it.
+    pub fn transmit_boundary(
+        &mut self,
+        now: u64,
+        latency: u32,
+        vc: u8,
+        packet: Packet,
+    ) -> InFlight {
+        debug_assert!(self.busy_until <= now, "link already serializing");
+        let size = packet.size as u64;
+        self.busy_until = now + size;
+        let head_arrival = now + latency as u64;
+        let tail_arrival = head_arrival + size - 1;
+        InFlight {
+            packet,
+            vc,
+            head_arrival,
+            tail_arrival,
+        }
+    }
+
+    /// Enqueue an in-flight record produced by [`LinkState::transmit_boundary`]
+    /// on the transmitting shard. Each link has a single transmitter, and
+    /// boundary events are applied in emission order, so a back-push keeps the
+    /// queue arrival-sorted exactly as local `transmit` calls would.
+    pub fn receive_flight(&mut self, flight: InFlight) {
+        debug_assert!(
+            self.packets
+                .back()
+                .is_none_or(|f| f.head_arrival <= flight.head_arrival),
+            "boundary packets must arrive in order per link"
+        );
+        self.packets.push_back(flight);
+    }
+
+    /// Enqueue a credit that was emitted by a foreign shard's router on the
+    /// downstream end of this link. Mirrors [`LinkState::send_credit`] with a
+    /// pre-computed arrival cycle; the same single-source monotonicity
+    /// argument applies because boundary events are applied in emission order.
+    pub fn receive_credit(&mut self, arrival: u64, vc: u8, phits: u32, class: CreditClass) {
+        debug_assert!(
+            self.credits.back().is_none_or(|c| c.arrival <= arrival),
+            "credit departures must be monotonic per link"
+        );
+        self.credits.push_back(CreditMsg {
+            arrival,
+            vc,
+            phits,
+            class,
+        });
+    }
+
     /// Pop the next packet whose head has arrived by `now`.
     pub fn pop_arrived(&mut self, now: u64) -> Option<InFlight> {
         if self.packets.front().is_some_and(|f| f.head_arrival <= now) {

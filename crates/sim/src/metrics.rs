@@ -191,6 +191,47 @@ impl Metrics {
             self.misrouted_packets += 1;
         }
     }
+
+    /// Fold another shard's counters into this one. Every field is either a
+    /// plain sum, a logical OR (`deadlocked`), or a histogram merge, so
+    /// absorbing the per-shard metrics of a sharded run reproduces the
+    /// single-engine counters *exactly* — no floating-point involved.
+    ///
+    /// `cycles` is left untouched (it is a property of the run, not a
+    /// per-shard counter) and the occupancy profile's `samples`/`ports` are
+    /// replicated per shard (every shard samples at the same cycles and
+    /// records the full-network port count), so they are validated equal and
+    /// kept rather than summed.
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.generated_packets += other.generated_packets;
+        self.generated_phits += other.generated_phits;
+        self.dropped_packets += other.dropped_packets;
+        for i in 0..2 {
+            self.consumed_packets[i] += other.consumed_packets[i];
+            self.consumed_phits[i] += other.consumed_phits[i];
+            self.latency_sum[i] += other.latency_sum[i];
+        }
+        self.misrouted_packets += other.misrouted_packets;
+        self.reverts += other.reverts;
+        self.hop_sum += other.hop_sum;
+        self.deadlocked |= other.deadlocked;
+        self.latency_hist.merge(&other.latency_hist);
+        let prof = &mut self.vc_profile;
+        debug_assert_eq!(prof.samples, other.vc_profile.samples);
+        for i in 0..2 {
+            debug_assert!(
+                prof.samples == 0 || prof.ports[i] == other.vc_profile.ports[i],
+                "shards must record the full-network port count"
+            );
+            let theirs = &other.vc_profile.sums[i];
+            if prof.sums[i].len() < theirs.len() {
+                prof.sums[i].resize(theirs.len(), 0);
+            }
+            for (a, b) in prof.sums[i].iter_mut().zip(theirs) {
+                *a += b;
+            }
+        }
+    }
 }
 
 /// Aggregated result of one simulation run.

@@ -15,8 +15,10 @@ use crate::config::SimConfig;
 use crate::engine::Network;
 use crate::error::{ConfigError, RunError};
 use crate::metrics::SimResult;
+use crate::shard::{resolve_shards, ShardedNetwork};
+use flexvc_topology::Topology;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// One simulation point.
 #[derive(Debug, Clone)]
@@ -43,10 +45,27 @@ pub struct PointProgress<'a> {
     pub result: &'a SimResult,
 }
 
-/// Run one simulation to completion.
+/// Run one simulation to completion. Dispatches to the sharded engine when
+/// the configuration's resolved shard count exceeds 1 (see `sim::shard`;
+/// results are bit-identical either way).
 pub fn run_one(cfg: &SimConfig, load: f64, seed: u64) -> Result<SimResult, ConfigError> {
-    let mut net = Network::new(cfg.clone(), load, seed)?;
-    Ok(net.run())
+    cfg.validate()?;
+    run_prebuilt(cfg, load, seed, cfg.topology.build())
+}
+
+/// [`run_one`] against a pre-built (shared) topology instance. The config
+/// must already be validated.
+fn run_prebuilt(
+    cfg: &SimConfig,
+    load: f64,
+    seed: u64,
+    topo: Arc<dyn Topology>,
+) -> Result<SimResult, ConfigError> {
+    if resolve_shards(cfg.shards, topo.num_routers()) > 1 {
+        Ok(ShardedNetwork::with_topology(cfg.clone(), load, seed, topo)?.run())
+    } else {
+        Ok(Network::with_topology(cfg.clone(), load, seed, topo)?.run())
+    }
 }
 
 /// Run a batch of points in parallel; results are in input order. Invalid
@@ -80,6 +99,26 @@ where
             .validate()
             .map_err(|source| RunError::InvalidPoint { index, source })?;
     }
+    // Build each distinct topology once and share it across every point
+    // with an equal spec: sweep batches are typically hundreds of
+    // (load, seed) points over a handful of topologies, and the adjacency
+    // construction is pure — rebuilding it per point was measurable
+    // rebuild overhead at paper scale. Pre-resolved before the workers
+    // spawn so the cache needs no locking.
+    let mut built: Vec<(&crate::config::TopologySpec, Arc<dyn Topology>)> = Vec::new();
+    let topos: Vec<Arc<dyn Topology>> = points
+        .iter()
+        .map(
+            |p| match built.iter().find(|(spec, _)| **spec == p.cfg.topology) {
+                Some((_, topo)) => Arc::clone(topo),
+                None => {
+                    let topo = p.cfg.topology.build();
+                    built.push((&p.cfg.topology, Arc::clone(&topo)));
+                    topo
+                }
+            },
+        )
+        .collect();
     let n = points.len();
     let total = n;
     let completed = AtomicUsize::new(0);
@@ -93,7 +132,8 @@ where
         });
     };
     let run_checked = |index: usize, p: &Point| -> Result<SimResult, RunError> {
-        run_one(&p.cfg, p.load, p.seed).map_err(|source| RunError::InvalidPoint { index, source })
+        run_prebuilt(&p.cfg, p.load, p.seed, Arc::clone(&topos[index]))
+            .map_err(|source| RunError::InvalidPoint { index, source })
     };
 
     if threads <= 1 || n <= 1 {
@@ -228,6 +268,51 @@ mod tests {
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.accepted, b.accepted);
             assert_eq!(a.latency, b.latency);
+        }
+    }
+
+    /// The shard count must be invisible in batch results: the same points
+    /// through the sharded engine (`shards = 2`) and the plain engine
+    /// (`shards = 1`) produce identical numbers, sequential or parallel.
+    #[test]
+    fn sharded_points_agree_with_single_engine() {
+        let single: Vec<Point> = (0..2)
+            .map(|i| Point {
+                cfg: tiny_cfg(),
+                load: 0.3,
+                seed: i,
+            })
+            .collect();
+        let mut sharded = single.clone();
+        for p in &mut sharded {
+            p.cfg.shards = 2;
+        }
+        let a = run_points_with_threads(&single, 1).unwrap();
+        let b = run_points_with_threads(&sharded, 2).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.accepted, y.accepted);
+            assert_eq!(x.latency, y.latency);
+            assert_eq!(x.latency_hist.count(), y.latency_hist.count());
+        }
+    }
+
+    /// Shared topologies (the per-batch cache) must not change results
+    /// relative to per-point construction via `run_one`.
+    #[test]
+    fn topology_reuse_is_behavior_neutral() {
+        let cfg = tiny_cfg();
+        let points: Vec<Point> = (0..3)
+            .map(|i| Point {
+                cfg: cfg.clone(),
+                load: 0.25,
+                seed: i,
+            })
+            .collect();
+        let batch = run_points_with_threads(&points, 1).unwrap();
+        for (p, r) in points.iter().zip(&batch) {
+            let fresh = run_one(&p.cfg, p.load, p.seed).unwrap();
+            assert_eq!(fresh.accepted, r.accepted);
+            assert_eq!(fresh.latency, r.latency);
         }
     }
 

@@ -295,7 +295,8 @@ impl Serialize for SimConfig {
                 .with("watchdog", self.watchdog.to_value())
                 .with("revert_patience", self.revert_patience.to_value())
                 .with("reply_queue_packets", self.reply_queue_packets.to_value())
-                .with("adaptive_copies", self.adaptive_copies.to_value()),
+                .with("adaptive_copies", self.adaptive_copies.to_value())
+                .with("shards", self.shards.to_value()),
         )
     }
 }
@@ -345,6 +346,7 @@ impl Deserialize for SimConfig {
             revert_patience: m.field_or("revert_patience", 16)?,
             reply_queue_packets: m.field_or("reply_queue_packets", 4)?,
             adaptive_copies: m.field_or("adaptive_copies", false)?,
+            shards: m.field_or("shards", 1)?,
         })
     }
 }

@@ -1,0 +1,480 @@
+//! Deterministic sharded execution: engine-level parallelism.
+//!
+//! A [`ShardedNetwork`] partitions the routers of one simulation across N
+//! worker shards — distinct from the [`crate::runner`]'s *per-point*
+//! threading, which parallelizes independent simulations. Each shard is a
+//! full [`Network`] instance that owns a contiguous router range: its
+//! routers' timing wheels, worklists, buffer banks and credit mirrors live
+//! only there, while the flat pools keep global indexing (foreign slots
+//! exist but are empty and never touched).
+//!
+//! # The per-cycle boundary exchange
+//!
+//! Within a cycle every phase is router-local (see the engine's module
+//! docs: iteration order across routers is independent by construction).
+//! The only effects that cross a shard cut are:
+//!
+//! * **packet transmits** whose receiving router is foreign — the
+//!   [`InFlight`] record ships to the receiver's link replica, arriving at
+//!   `now + latency`;
+//! * **credit returns** whose upstream router is foreign — the credit
+//!   arrives at `t_c + latency`, strictly beyond the current cycle;
+//! * **Piggyback board publishes** — replicated to every shard's board
+//!   copy, becoming visible only at the next board tick.
+//!
+//! All three take effect strictly *after* the cycle that emits them, so
+//! shards can run a whole cycle without communicating, then exchange. Each
+//! cycle runs in three steps:
+//!
+//! ```text
+//!   shard 0:  [phases 1..7]──outbox──┐          ┌─sort──apply──finish┐
+//!   shard 1:  [phases 1..7]──outbox──┼─barrier──┼─sort──apply──finish┼─barrier─▶ next cycle
+//!   shard 2:  [phases 1..7]──outbox──┘          └─sort──apply──finish┘
+//! ```
+//!
+//! 1. every shard steps phases 1–7 of cycle `t` on its own routers and
+//!    routes its boundary events to per-destination inboxes;
+//! 2. barrier — then every shard sorts its inbox by the canonical
+//!    **(cycle, link-id, source-shard, sequence)** key and applies it;
+//! 3. every shard computes the same global reductions (total packets in
+//!    flight, latest progress cycle), completes the cycle (board tick,
+//!    watchdog, `t += 1`), and a second barrier releases cycle `t + 1`.
+//!
+//! # Why results are bit-identical to `shards = 1`
+//!
+//! The sort key makes the exchange deterministic, and the *application
+//! order* of boundary events is behavior-neutral on top of that:
+//!
+//! * each directed link has exactly one transmitting router and one
+//!   receiving router, so all `Packet` events for a link come from one
+//!   shard and are applied in emission order — the order the receiving
+//!   link queue would have seen locally;
+//! * all `Credit` events for a link originate from the single downstream
+//!   input port feeding it, whose serialization makes departure cycles
+//!   strictly monotonic — same argument;
+//! * `Board` publishes within a cycle target distinct cells (one router
+//!   publishes each cell) and overwrite, so they commute.
+//!
+//! Since every cross-shard effect lands at a future cycle and intra-cycle
+//! state never crosses the cut, the sharded schedule is a reordering of
+//! *commuting* operations of the single-engine schedule: counters, RNG
+//! draw sequences and arbiter states evolve identically for any shard
+//! count, including 1. `tests/engine_equivalence.rs` asserts this exactly
+//! (`SimResult` JSON equality) over every recorded golden.
+
+use crate::config::SimConfig;
+use crate::engine::Network;
+use crate::error::ConfigError;
+use crate::link::InFlight;
+use crate::metrics::{Metrics, SimResult};
+use flexvc_core::{CreditClass, MessageClass};
+use flexvc_topology::Topology;
+use std::ops::Range;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::{Barrier, Mutex};
+
+/// An effect crossing a shard boundary, exchanged at end of cycle.
+#[derive(Debug)]
+pub(crate) struct BoundaryEvent {
+    /// Effect cycle (head/credit arrival; publish cycle for boards).
+    pub at: u64,
+    /// Flat link id the effect applies to (0 for board publishes).
+    pub lid: u32,
+    /// Receiving router (owner = destination shard); `u32::MAX` broadcasts
+    /// to every other shard (board publishes).
+    pub dst: u32,
+    /// The effect itself.
+    pub payload: BoundaryPayload,
+}
+
+/// Payload of a [`BoundaryEvent`].
+#[derive(Debug)]
+pub(crate) enum BoundaryPayload {
+    /// A packet in flight toward a foreign router's input port.
+    Packet(InFlight),
+    /// A credit returning to a foreign router's credit mirror.
+    Credit {
+        /// VC whose space is released.
+        vc: u8,
+        /// Phits released.
+        phits: u32,
+        /// Routing type of the released packet.
+        class: CreditClass,
+    },
+    /// A Piggyback saturation-flag publish, replicated to all shards.
+    Board {
+        /// Group whose board is written.
+        group: u32,
+        /// Publishing router's index within the group.
+        local: u32,
+        /// Sense-port index of the flag.
+        port: u32,
+        /// Message class of the flag.
+        class: MessageClass,
+        /// The saturation flag.
+        sat: bool,
+    },
+}
+
+/// Resolve a configured shard count: `0` auto-detects from the host's
+/// available parallelism; any request is clamped to the router count
+/// (a shard must own at least one router).
+pub fn resolve_shards(requested: usize, routers: usize) -> usize {
+    let n = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    n.clamp(1, routers.max(1))
+}
+
+/// Partition `routers` into `shards` contiguous, near-equal ranges (the
+/// first `routers % shards` ranges get one extra router). Deterministic in
+/// its inputs — the partition is part of the reproducibility contract.
+pub fn partition(routers: usize, shards: usize) -> Vec<Range<u32>> {
+    debug_assert!(shards >= 1 && shards <= routers);
+    let base = routers / shards;
+    let rem = routers % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0u32;
+    for s in 0..shards {
+        let len = (base + usize::from(s < rem)) as u32;
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start as usize, routers);
+    ranges
+}
+
+/// Per-cycle exchange state shared by the shard workers. All slot accesses
+/// are ordered by the barrier (a store before a `wait` happens-before every
+/// load after it), so `Relaxed` atomics suffice.
+struct Exchange {
+    /// Per-destination inboxes: `(source shard, sequence, event)`.
+    inboxes: Vec<Mutex<Vec<(u32, u32, BoundaryEvent)>>>,
+    /// Per-shard packets-in-flight contribution (signed: a shard ejecting
+    /// packets injected elsewhere counts negative).
+    in_flight: Vec<AtomicI64>,
+    /// Per-shard latest-progress cycle.
+    progress: Vec<AtomicU64>,
+    /// Per-shard staged-reply count (drain mode only).
+    staged: Vec<AtomicI64>,
+    /// Two waits per cycle: after dispatch, after completion.
+    barrier: Barrier,
+    /// Drain verdict (written by shard 0; all shards compute the same).
+    pending: AtomicI64,
+}
+
+impl Exchange {
+    fn new(shards: usize) -> Self {
+        Exchange {
+            inboxes: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            in_flight: (0..shards).map(|_| AtomicI64::new(0)).collect(),
+            progress: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            staged: (0..shards).map(|_| AtomicI64::new(0)).collect(),
+            barrier: Barrier::new(shards),
+            pending: AtomicI64::new(0),
+        }
+    }
+
+    fn global_in_flight(&self) -> i64 {
+        self.in_flight
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn global_progress(&self) -> u64 {
+        self.progress
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A simulation partitioned across shard workers, bit-identical to the
+/// single-engine [`Network`] for any shard count (see the module docs).
+pub struct ShardedNetwork {
+    shards: Vec<Network>,
+    /// Router -> owning shard.
+    owner: Vec<u32>,
+    offered: f64,
+    nodes: usize,
+}
+
+impl ShardedNetwork {
+    /// Build a sharded simulation for `cfg` (shard count from
+    /// [`SimConfig::shards`](crate::SimConfig), `0` = auto-detect) at
+    /// offered load `load` with deterministic `seed`. Results do not depend
+    /// on the shard count; wall-clock time does.
+    pub fn new(cfg: SimConfig, load: f64, seed: u64) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let topo = cfg.topology.build();
+        Ok(Self::build(cfg, load, seed, topo))
+    }
+
+    /// Like [`ShardedNetwork::new`] with a pre-built topology (shared, not
+    /// rebuilt per shard or per sweep point).
+    pub fn with_topology(
+        cfg: SimConfig,
+        load: f64,
+        seed: u64,
+        topo: Arc<dyn Topology>,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(Self::build(cfg, load, seed, topo))
+    }
+
+    fn build(cfg: SimConfig, load: f64, seed: u64, topo: Arc<dyn Topology>) -> Self {
+        let nr = topo.num_routers();
+        let n = resolve_shards(cfg.shards, nr);
+        let ranges = partition(nr, n);
+        let mut owner = vec![0u32; nr];
+        for (s, range) in ranges.iter().enumerate() {
+            for r in range.clone() {
+                owner[r as usize] = s as u32;
+            }
+        }
+        let nodes = topo.num_nodes();
+        let shards = ranges
+            .into_iter()
+            .map(|range| Network::new_shard(cfg.clone(), load, seed, Arc::clone(&topo), range))
+            .collect();
+        ShardedNetwork {
+            shards,
+            owner,
+            offered: load,
+            nodes,
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current cycle (all shards advance in lockstep).
+    pub fn cycle(&self) -> u64 {
+        self.shards[0].cycle()
+    }
+
+    /// Whether the watchdog flagged a deadlock (identically on all shards).
+    pub fn deadlocked(&self) -> bool {
+        self.shards[0].deadlocked()
+    }
+
+    /// Packets currently in queues, buffers or links, network-wide.
+    pub fn packets_in_flight(&self) -> i64 {
+        self.shards.iter().map(|s| s.packets_in_flight()).sum()
+    }
+
+    /// Run to completion and aggregate the result (exact counter merge —
+    /// bit-identical to the single-engine run).
+    pub fn run(&mut self) -> SimResult {
+        let cfg = self.shards[0].config();
+        let (warmup, measure) = (cfg.warmup, cfg.measure);
+        self.advance(warmup + measure, false);
+        let cycles = self.cycle().saturating_sub(warmup).min(measure);
+        let mut merged = self.merged_metrics();
+        merged.cycles = cycles;
+        SimResult::from_metrics(&merged, self.offered, self.nodes)
+    }
+
+    /// Mute the traffic generators and step until every in-flight packet
+    /// (including staged replies) is consumed, `max_cycles` elapse, or the
+    /// watchdog fires. Returns the packets still pending — the sharded
+    /// counterpart of [`Network::drain`]'s conservation check.
+    pub fn drain(&mut self, max_cycles: u64) -> i64 {
+        for shard in &mut self.shards {
+            shard.begin_drain();
+        }
+        let end = self.cycle().saturating_add(max_cycles);
+        self.advance(end, true)
+    }
+
+    fn merged_metrics(&self) -> Metrics {
+        let mut merged = self.shards[0].metrics().clone();
+        for shard in &self.shards[1..] {
+            merged.absorb(shard.metrics());
+        }
+        merged
+    }
+
+    /// Drive all shards to cycle `end` (or drain completion / deadlock),
+    /// one worker thread per shard, two barriers per cycle. Returns the
+    /// drain verdict (pending packets) in drain mode, 0 otherwise.
+    fn advance(&mut self, end: u64, draining: bool) -> i64 {
+        let shards = self.shards.len();
+        let ex = Exchange::new(shards);
+        let owner = &self.owner;
+        std::thread::scope(|scope| {
+            for (s, net) in self.shards.iter_mut().enumerate() {
+                let ex = &ex;
+                scope.spawn(move || {
+                    if draining {
+                        let pending = drain_worker(net, s, owner, ex, end);
+                        if s == 0 {
+                            ex.pending.store(pending, Ordering::Relaxed);
+                        }
+                    } else {
+                        run_worker(net, s, owner, ex, end);
+                    }
+                });
+            }
+        });
+        ex.pending.load(Ordering::Relaxed)
+    }
+}
+
+/// Route one cycle's outbox into the per-destination inboxes. Events are
+/// tagged `(source shard, emission sequence)` so receivers can sort into
+/// the canonical order; board publishes broadcast to every other shard.
+fn dispatch(
+    net: &mut Network,
+    s: usize,
+    owner: &[u32],
+    ex: &Exchange,
+    batches: &mut [Vec<(u32, u32, BoundaryEvent)>],
+) {
+    let mut out = net.take_outbox();
+    for (seq, ev) in out.drain(..).enumerate() {
+        let seq = seq as u32;
+        if ev.dst == u32::MAX {
+            let BoundaryPayload::Board {
+                group,
+                local,
+                port,
+                class,
+                sat,
+            } = ev.payload
+            else {
+                unreachable!("only board publishes broadcast");
+            };
+            for (d, batch) in batches.iter_mut().enumerate() {
+                if d != s {
+                    batch.push((
+                        s as u32,
+                        seq,
+                        BoundaryEvent {
+                            at: ev.at,
+                            lid: ev.lid,
+                            dst: u32::MAX,
+                            payload: BoundaryPayload::Board {
+                                group,
+                                local,
+                                port,
+                                class,
+                                sat,
+                            },
+                        },
+                    ));
+                }
+            }
+        } else {
+            let d = owner[ev.dst as usize] as usize;
+            debug_assert_ne!(d, s, "boundary event addressed to its own shard");
+            batches[d].push((s as u32, seq, ev));
+        }
+    }
+    net.put_outbox(out);
+    for (d, batch) in batches.iter_mut().enumerate() {
+        if !batch.is_empty() {
+            ex.inboxes[d].lock().expect("inbox poisoned").append(batch);
+        }
+    }
+}
+
+/// Sort this shard's inbox into the canonical (cycle, link, source, seq)
+/// order and apply it, then complete the cycle with the global reductions.
+fn absorb_and_finish(net: &mut Network, s: usize, ex: &Exchange, now: u64) -> i64 {
+    let mut inbox = std::mem::take(&mut *ex.inboxes[s].lock().expect("inbox poisoned"));
+    inbox.sort_by_key(|&(src, seq, ref ev)| (ev.at, ev.lid, src, seq));
+    for (_, _, ev) in inbox.drain(..) {
+        net.apply_boundary(now, ev);
+    }
+    // Give the buffer back for reuse; only this shard touches its inbox
+    // between the two barriers.
+    *ex.inboxes[s].lock().expect("inbox poisoned") = inbox;
+    let g_if = ex.global_in_flight();
+    let g_prog = ex.global_progress();
+    net.finish_cycle_shard(now, g_if, g_prog);
+    g_if
+}
+
+fn run_worker(net: &mut Network, s: usize, owner: &[u32], ex: &Exchange, end: u64) {
+    let mut batches: Vec<Vec<(u32, u32, BoundaryEvent)>> =
+        (0..ex.inboxes.len()).map(|_| Vec::new()).collect();
+    loop {
+        let now = net.cycle();
+        // All shards see identical `cycle` and `deadlocked`, so every
+        // worker takes the same branch and barrier participation stays
+        // consistent.
+        if now >= end || net.deadlocked() {
+            return;
+        }
+        net.step_shard(now);
+        dispatch(net, s, owner, ex, &mut batches);
+        ex.in_flight[s].store(net.packets_in_flight(), Ordering::Relaxed);
+        ex.progress[s].store(net.last_progress(), Ordering::Relaxed);
+        ex.barrier.wait();
+        absorb_and_finish(net, s, ex, now);
+        ex.barrier.wait();
+    }
+}
+
+/// Drain loop: identical cycle structure plus the conservation check.
+/// Mirrors [`Network::drain`]: staged replies are only counted once the
+/// network itself is empty, using the *global* in-flight total from the
+/// previous cycle's reduction so every shard evaluates the same predicate.
+fn drain_worker(net: &mut Network, s: usize, owner: &[u32], ex: &Exchange, end: u64) -> i64 {
+    let mut batches: Vec<Vec<(u32, u32, BoundaryEvent)>> =
+        (0..ex.inboxes.len()).map(|_| Vec::new()).collect();
+    ex.in_flight[s].store(net.packets_in_flight(), Ordering::Relaxed);
+    ex.barrier.wait();
+    let mut g_if = ex.global_in_flight();
+    loop {
+        let now = net.cycle();
+        let staged = if g_if > 0 { 0 } else { net.staged_pending() };
+        ex.staged[s].store(staged, Ordering::Relaxed);
+        ex.barrier.wait();
+        let staged_total: i64 = ex.staged.iter().map(|a| a.load(Ordering::Relaxed)).sum();
+        let pending = g_if + staged_total;
+        if pending == 0 || now >= end || net.deadlocked() {
+            return pending;
+        }
+        net.step_shard(now);
+        dispatch(net, s, owner, ex, &mut batches);
+        ex.in_flight[s].store(net.packets_in_flight(), Ordering::Relaxed);
+        ex.progress[s].store(net.last_progress(), Ordering::Relaxed);
+        ex.barrier.wait();
+        g_if = absorb_and_finish(net, s, ex, now);
+        ex.barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_contiguous_and_balanced() {
+        let ranges = partition(10, 3);
+        assert_eq!(ranges, vec![0..4, 4..7, 7..10]);
+        let ranges = partition(4, 4);
+        assert_eq!(ranges, vec![0..1, 1..2, 2..3, 3..4]);
+        let ranges = partition(7, 1);
+        assert_eq!(ranges, vec![0..7]);
+    }
+
+    #[test]
+    fn resolve_clamps_to_router_count() {
+        assert_eq!(resolve_shards(8, 3), 3);
+        assert_eq!(resolve_shards(2, 100), 2);
+        assert_eq!(resolve_shards(1, 1), 1);
+        assert!(resolve_shards(0, 1_000_000) >= 1);
+    }
+}

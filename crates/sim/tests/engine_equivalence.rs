@@ -16,7 +16,7 @@
 
 use flexvc_sim::equivalence::{hyperx_flatbf_differential_points, points};
 use flexvc_sim::runner::run_one;
-use flexvc_sim::TopologySpec;
+use flexvc_sim::{ShardedNetwork, TopologySpec};
 
 struct Golden {
     name: &'static str,
@@ -355,6 +355,32 @@ fn hyperx_2d_is_bit_identical_to_flat_butterfly() {
             "{name}: HyperX(2, {k}, {p}) diverged from FlatButterfly2D({k}, {p})"
         );
         assert!(fb.accepted > 0.0, "{name}: degenerate run");
+    }
+}
+
+/// Sharded-engine matrix: partitioning the routers across worker shards
+/// must be invisible in the results. Every golden point runs through
+/// `ShardedNetwork` with shards ∈ {1, 2, 4} and is compared bit-for-bit
+/// (serialized form, covering every field including the histogram) against
+/// the plain single-engine run — PB sensing, adaptive routing, DAMQ
+/// deadlock and reactive points included, so every cross-shard effect
+/// class (link packets, credits, board publishes) is exercised.
+#[test]
+fn sharded_engine_is_bit_identical_to_single() {
+    for (name, cfg, load, seed) in points() {
+        let single = flexvc_serde::to_json(&run_one(&cfg, load, seed).unwrap());
+        for shards in [1, 2, 4] {
+            let mut sharded_cfg = cfg.clone();
+            sharded_cfg.shards = shards;
+            let r = ShardedNetwork::new(sharded_cfg, load, seed)
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+                .run();
+            assert_eq!(
+                single,
+                flexvc_serde::to_json(&r),
+                "{name}: shards={shards} diverged from the single engine"
+            );
+        }
     }
 }
 

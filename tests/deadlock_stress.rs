@@ -376,6 +376,64 @@ fn dragonfly_plus_survives_saturation_and_drains() {
     assert_eq!(net.drain(100_000), 0, "dfplus rr: stranded at drain");
 }
 
+/// The sharded engine at 100% offered load: liveness and conservation must
+/// survive the partitioned event loop. Each case runs `ShardedNetwork`
+/// across shard counts, asserts no watchdog fire, and drains to zero —
+/// every packet the partitioned network accepted reaches consumption even
+/// when its route crosses shard cuts on every hop. Board-driven routing
+/// (UGAL-G) and reactive staging are included so all three boundary event
+/// classes (packets, credits, board publishes) are load-tested.
+#[test]
+fn sharded_engine_survives_saturation_and_drains() {
+    let cases: Vec<(String, SimConfig)> = vec![
+        (
+            "sharded flexvc VAL 4/2 ADV".into(),
+            tiny(RoutingMode::Valiant, Workload::oblivious(Pattern::adv1()))
+                .with_flexvc(Arrangement::dragonfly(4, 2)),
+        ),
+        ("sharded rr MIN UN".into(), {
+            tiny(RoutingMode::Min, Workload::reactive(Pattern::Uniform))
+        }),
+        ("sharded UGAL-G boards ADV".into(), {
+            let mut cfg = SimConfig::hyperx_baseline(
+                3,
+                3,
+                2,
+                RoutingMode::UgalG,
+                Workload::oblivious(Pattern::adv1()),
+            )
+            .with_flexvc(Arrangement::generic(6));
+            cfg.warmup = 1_000;
+            cfg.measure = 3_000;
+            cfg.watchdog = 6_000;
+            cfg
+        }),
+    ];
+    for (label, cfg) in cases {
+        for shards in [2, 4] {
+            let mut sharded_cfg = cfg.clone();
+            sharded_cfg.shards = shards;
+            let mut net = ShardedNetwork::new(sharded_cfg, 1.0, 99).unwrap();
+            let r = net.run();
+            assert!(!r.deadlocked, "{label} (shards={shards}) deadlocked");
+            assert!(
+                r.accepted > 0.05,
+                "{label} (shards={shards}) made no progress: {}",
+                r.accepted
+            );
+            let stranded = net.drain(100_000);
+            assert!(
+                !net.deadlocked(),
+                "{label} (shards={shards}) deadlocked while draining"
+            );
+            assert_eq!(
+                stranded, 0,
+                "{label} (shards={shards}): packets stranded at drain"
+            );
+        }
+    }
+}
+
 #[test]
 fn flat_butterfly_survives_saturation() {
     for (policy_arr, routing) in [
