@@ -321,6 +321,34 @@ pub fn dfplus_series(scale: &Scale, pattern: Pattern) -> Vec<Series> {
     out
 }
 
+/// Flow-workload series: FlexVC vs the baseline distance-based policy at
+/// the *equal* (reference-minimum) VC budget under MIN routing, on both
+/// the ambient-scale Dragonfly and the registry's 2-D HyperX — so any FCT
+/// difference is pure VC-management benefit, not extra buffering. Series
+/// labels carry the topology prefix (`DF`/`HX`).
+pub fn flow_series(scale: &Scale, spec: flexvc_traffic::FlowSpec) -> Vec<Series> {
+    let wl = Workload::flows(spec);
+    let df_base = scale.config(RoutingMode::Min, wl);
+    let (s, p) = hyperx_shape(2);
+    let mut hx_base = SimConfig::hyperx_baseline(2, s, p, RoutingMode::Min, wl);
+    hx_base.warmup = scale.warmup;
+    hx_base.measure = scale.measure;
+    hx_base.watchdog = (scale.warmup + scale.measure) / 2;
+    let hx_vcs = RoutingMode::Min.min_hyperx_vcs(2);
+    vec![
+        Series::new("DF Baseline", df_base.clone()),
+        Series::new(
+            "DF FlexVC 2/1VCs",
+            df_base.with_flexvc(Arrangement::dragonfly_min()),
+        ),
+        Series::new("HX Baseline", hx_base.clone()),
+        Series::new(
+            format!("HX FlexVC {hx_vcs}VCs"),
+            hx_base.with_flexvc(Arrangement::generic(hx_vcs)),
+        ),
+    ]
+}
+
 /// The `hyperx-k2` series: a 2-D HyperX with `k = 2` parallel links per
 /// peer pair under MIN routing, hash-spread copies vs adaptive (sensed)
 /// copy selection. The endpoint hash pins every router pair's traffic to

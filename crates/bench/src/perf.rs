@@ -1,8 +1,8 @@
 //! `flexvc bench` — the fixed engine-performance kernel suite.
 //!
 //! Runs a deterministic set of simulation kernels and emits a
-//! machine-readable report (`BENCH_pr6.json`), establishing the repo's
-//! performance trajectory. Seven kernel groups:
+//! machine-readable report (`BENCH_pr7.json`), establishing the repo's
+//! performance trajectory. Eight kernel groups:
 //!
 //! * **fig5_h2** — the Fig. 5 oblivious-routing suite at h = 2 (baseline,
 //!   DAMQ 75%, FlexVC 2/1, 4/2 and 8/4 under MIN/UN) over the
@@ -18,6 +18,12 @@
 //! * **dfplus** — the Dragonfly+ fat-tree engine path (two-level groups,
 //!   spine global links with boards, leaf-restricted Valiant) under UN
 //!   and adversarial load.
+//! * **flows** — the flow/message workload layer (open-loop flow
+//!   arrivals, per-flow packet trains, FCT accounting): uniform
+//!   mice/elephants on the h = 2 Dragonfly (baseline and FlexVC 2/1),
+//!   heavy-tail permutation flows on a 2-D HyperX, and a 4-to-1 incast.
+//!   Exercises the per-node flow state and the FCT histogram path on
+//!   top of the usual stepping cost.
 //! * **smoke_h8** — a short measurement window at the paper's full h = 8
 //!   scale (2,064 routers, 16,512 nodes), proving paper-scale runs are
 //!   tractable on one core.
@@ -39,7 +45,7 @@ use flexvc_core::{Arrangement, RoutingMode};
 use flexvc_serde::{Deserialize, Error as DeError, Map, Serialize, Value};
 use flexvc_sim::prelude::*;
 use flexvc_sim::Network;
-use flexvc_traffic::{Pattern, Workload};
+use flexvc_traffic::{FlowSpec, Pattern, SizeDist, Workload};
 use std::time::Instant;
 
 /// Cycles/sec of the pre-refactor engine on this suite (recorded on the
@@ -72,6 +78,12 @@ pub mod recorded_baseline {
     /// the anchor for the fat-tree engine path, expected to read ~1.0x
     /// until a later optimization moves it.
     pub const DFPLUS: f64 = 58_996.0;
+    /// Aggregate cycles/sec over the `flows` kernel group (flow-workload
+    /// generation + FCT accounting on h = 2 Dragonfly and 2-D HyperX),
+    /// recorded at the commit that introduced the flow layer — the anchor
+    /// for the flow-workload engine path, expected to read ~1.0x until a
+    /// later optimization moves it.
+    pub const FLOWS: f64 = 162_842.0;
     /// Aggregate cycles/sec over the `paper` kernel group (paper-scale
     /// topologies through the sharded engine, `shards = 1` and
     /// `shards = 2` twins), recorded at the commit that introduced engine
@@ -133,8 +145,8 @@ pub struct GroupSummary {
     pub speedup_vs_baseline: f64,
 }
 
-/// The full bench report (serialized to `BENCH_pr6.json`; older
-/// recordings such as `BENCH_pr2.json`/`BENCH_pr4.json` deserialize
+/// The full bench report (serialized to `BENCH_pr7.json`; older
+/// recordings such as `BENCH_pr2.json`/`BENCH_pr6.json` deserialize
 /// through the same schema for `--baseline` comparisons).
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -382,6 +394,53 @@ pub fn kernel_suite(quick: bool) -> Vec<Kernel> {
         });
     }
 
+    // flows: the flow-workload layer — open-loop flow arrivals, per-flow
+    // packet trains and FCT accounting — on small shapes where the flow
+    // bookkeeping is a visible fraction of the stepping cost.
+    let (warm_fl, meas_fl) = if quick { (800, 1_600) } else { (1_500, 4_000) };
+    let df_flows =
+        |spec: FlowSpec| SimConfig::dragonfly_baseline(2, RoutingMode::Min, Workload::flows(spec));
+    let series_fl: Vec<(&str, SimConfig, f64)> = vec![
+        (
+            "un_bimodal_baseline",
+            df_flows(FlowSpec::uniform(SizeDist::mice_elephants())),
+            0.4,
+        ),
+        (
+            "un_bimodal_flexvc21",
+            df_flows(FlowSpec::uniform(SizeDist::mice_elephants()))
+                .with_flexvc(Arrangement::dragonfly_min()),
+            0.4,
+        ),
+        (
+            "perm_pareto_hyperx2d",
+            SimConfig::hyperx_baseline(
+                2,
+                4,
+                2,
+                RoutingMode::Min,
+                Workload::flows(FlowSpec::permutation(SizeDist::heavy_tail())),
+            ),
+            0.4,
+        ),
+        (
+            "incast4_baseline",
+            df_flows(FlowSpec::incast(4, SizeDist::Fixed { packets: 4 })),
+            0.3,
+        ),
+    ];
+    for (label, cfg, load) in series_fl {
+        let mut cfg = cfg;
+        windows(&mut cfg, warm_fl, meas_fl);
+        kernels.push(Kernel {
+            name: format!("flows/{label}@{load}"),
+            group: "flows",
+            cfg,
+            load,
+            seed: 1,
+        });
+    }
+
     // smoke_h8: paper scale, short window.
     let (warm8, meas8) = if quick { (200, 500) } else { (300, 1_200) };
     let mut cfg8 =
@@ -523,6 +582,7 @@ where
         ("hyperx", recorded_baseline::HYPERX),
         ("adaptive", recorded_baseline::ADAPTIVE),
         ("dfplus", recorded_baseline::DFPLUS),
+        ("flows", recorded_baseline::FLOWS),
         ("smoke_h8", recorded_baseline::SMOKE_H8),
         ("paper", recorded_baseline::PAPER),
     ] {
@@ -705,7 +765,7 @@ mod tests {
     fn suite_is_fixed_and_valid() {
         for quick in [false, true] {
             let suite = kernel_suite(quick);
-            assert_eq!(suite.len(), 5 * 4 + 2 * 2 + 4 + 4 + 4 + 1 + 4);
+            assert_eq!(suite.len(), 5 * 4 + 2 * 2 + 4 + 4 + 4 + 4 + 1 + 4);
             for k in &suite {
                 k.cfg
                     .validate()

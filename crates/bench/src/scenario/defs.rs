@@ -10,13 +10,13 @@
 
 use super::{ClassificationSpec, ClassifyKind, PointSpec, Scenario};
 use crate::{
-    adaptive_series, default_loads, dfplus_series, hyperx_k2_series, hyperx_series,
+    adaptive_series, default_loads, dfplus_series, flow_series, hyperx_k2_series, hyperx_series,
     oblivious_series, reactive_series, Scale, Series,
 };
 use flexvc_core::classify::NetworkFamily;
 use flexvc_core::{Arrangement, RoutingMode, VcSelection};
 use flexvc_sim::{BufferOrg, BufferSizing, SensingConfig, SensingMode, SimConfig};
-use flexvc_traffic::{Pattern, Workload};
+use flexvc_traffic::{FlowSpec, Pattern, SizeDist, Workload};
 
 const PATTERNS: [Pattern; 3] = [
     Pattern::Uniform,
@@ -668,6 +668,77 @@ pub(super) fn dfplus_paper(scale: &Scale) -> Scenario {
         points: paper_points(Pattern::Uniform, &series),
         classifications: Vec::new(),
     }
+}
+
+/// Shared shape of the `flows-*` scenarios: a flow workload swept over the
+/// default loads on Dragonfly + 2-D HyperX, FlexVC vs baseline at the
+/// equal (reference-minimum) VC budget. Series labels are prefixed with
+/// the workload label (`FLOWS-UN/DF Baseline`, `PERM/BIMODAL/HX FlexVC
+/// 2VCs`, …) so FCT curves group by pattern exactly like the packet-level
+/// sweeps group by [`Pattern`].
+fn flows(scale: &Scale, spec: FlowSpec, name: &str, headline: &str, detail: &str) -> Scenario {
+    let loads = default_loads();
+    let label = Workload::flows(spec).label();
+    let points = flow_series(scale, spec)
+        .iter()
+        .flat_map(|s| {
+            let series = format!("{label}/{}", s.label);
+            loads.iter().map(move |&load| PointSpec {
+                series: series.clone(),
+                x: format!("{load:.2}"),
+                load,
+                cfg: s.cfg.clone(),
+            })
+        })
+        .collect();
+    Scenario {
+        name: name.into(),
+        title: format!("Flows: {headline} (h = {}, HyperX 4x4)", scale.h),
+        description: format!(
+            "{detail} Open-loop flow arrivals emit per-flow packet trains at line \
+             rate; reports add flow completion time (p50/p99) and slowdown \
+             (FCT / ideal serialization time) per point. FlexVC vs baseline at \
+             the equal reference-minimum VC budget under MIN, on the Dragonfly \
+             and a 2-D HyperX."
+        ),
+        seeds: scale.seeds.clone(),
+        points,
+        classifications: Vec::new(),
+    }
+}
+
+pub(super) fn flows_un(scale: &Scale) -> Scenario {
+    flows(
+        scale,
+        FlowSpec::uniform(SizeDist::mice_elephants()),
+        "flows-un",
+        "uniform mice/elephants",
+        "Uniform destinations with the bimodal mice/elephants size mix \
+         (90% 1-packet mice, 10% 16-packet elephants).",
+    )
+}
+
+pub(super) fn flows_permutation(scale: &Scale) -> Scenario {
+    flows(
+        scale,
+        FlowSpec::permutation(SizeDist::heavy_tail()),
+        "flows-permutation",
+        "random permutation, heavy-tail sizes",
+        "A seed-fixed random permutation (each node sends every flow to one \
+         partner) with bounded-Pareto flow sizes (1..=64 packets, alpha 1.5).",
+    )
+}
+
+pub(super) fn flows_incast(scale: &Scale) -> Scenario {
+    flows(
+        scale,
+        FlowSpec::incast(4, SizeDist::Fixed { packets: 4 }),
+        "flows-incast",
+        "4-to-1 incast phases",
+        "Rotating collective phases: blocks of 5 nodes, 4 senders target the \
+         block's receiver for 2,000 cycles before the role rotates; 4-packet \
+         fixed-size flows.",
+    )
 }
 
 pub(super) fn smoke(_scale: &Scale) -> Scenario {

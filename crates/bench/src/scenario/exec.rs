@@ -302,6 +302,28 @@ pub fn render_markdown(report: &ScenarioReport) -> String {
         &xs,
         &grid(&|r| format!("{:.0}", r.latency)),
     );
+    // Flow workloads additionally report flow-completion-time percentiles
+    // and mean slowdown (FCT ÷ ideal serialization time).
+    if report.points.iter().any(|p| p.result.flows_completed > 0.0) {
+        markdown_grid(
+            &mut out,
+            "Flow completion time p50 (cycles)",
+            &xs,
+            &grid(&|r| format!("{:.0}", r.fct_p50)),
+        );
+        markdown_grid(
+            &mut out,
+            "Flow completion time p99 (cycles)",
+            &xs,
+            &grid(&|r| format!("{:.0}", r.fct_p99)),
+        );
+        markdown_grid(
+            &mut out,
+            "Mean flow slowdown (FCT / ideal)",
+            &xs,
+            &grid(&|r| format!("{:.2}", r.slowdown_mean)),
+        );
+    }
     // Saturation studies (every point at 100% offered load, as in Figs.
     // 6/9/11) additionally get the paper's headline derived metric:
     // throughput relative to each group's first (baseline) series. Series
@@ -378,12 +400,13 @@ fn csv_quote(s: &str) -> String {
 pub fn render_csv(report: &ScenarioReport) -> String {
     let mut out = String::from(
         "scenario,series,x,load,offered,accepted,latency,latency_req,latency_rep,\
-         latency_p99,misroute_fraction,avg_hops,reverts_per_packet,drop_fraction,deadlocked\n",
+         latency_p99,misroute_fraction,avg_hops,reverts_per_packet,drop_fraction,deadlocked,\
+         flows_completed,fct_mean,fct_p50,fct_p99,slowdown_mean\n",
     );
     for p in &report.points {
         let r = &p.result;
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             csv_quote(&report.name),
             csv_quote(&p.series),
             csv_quote(&p.x),
@@ -398,7 +421,12 @@ pub fn render_csv(report: &ScenarioReport) -> String {
             r.avg_hops,
             r.reverts_per_packet,
             r.drop_fraction,
-            r.deadlocked
+            r.deadlocked,
+            r.flows_completed,
+            r.fct_mean,
+            r.fct_p50,
+            r.fct_p99,
+            r.slowdown_mean
         ));
     }
     out

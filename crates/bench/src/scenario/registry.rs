@@ -32,7 +32,8 @@ impl std::fmt::Debug for ScenarioEntry {
 
 /// The scenario catalogue; [`ScenarioRegistry::builtin`] holds the nine
 /// paper reproductions, the `hyperx-*` and `dfplus-*` families, the
-/// paper-scale `*-paper` trio (sized for `--shards`), and `smoke`.
+/// paper-scale `*-paper` trio (sized for `--shards`), the `flows-*`
+/// flow-workload trio (FCT/slowdown reporting), and `smoke`.
 #[derive(Debug, Clone, Default)]
 pub struct ScenarioRegistry {
     entries: Vec<ScenarioEntry>,
@@ -143,6 +144,21 @@ impl ScenarioRegistry {
             build: defs::dfplus_paper,
         });
         reg.register(ScenarioEntry {
+            name: "flows-un",
+            summary: "Flow workloads: uniform mice/elephants, FCT + slowdown (MIN)",
+            build: defs::flows_un,
+        });
+        reg.register(ScenarioEntry {
+            name: "flows-permutation",
+            summary: "Flow workloads: random permutation, heavy-tail sizes, FCT (MIN)",
+            build: defs::flows_permutation,
+        });
+        reg.register(ScenarioEntry {
+            name: "flows-incast",
+            summary: "Flow workloads: rotating 4-to-1 incast phases, FCT (MIN)",
+            build: defs::flows_incast,
+        });
+        reg.register(ScenarioEntry {
             name: "smoke",
             summary: "30-second sanity run (tiny windows, ignores scale)",
             build: defs::smoke,
@@ -204,11 +220,14 @@ mod tests {
             "dragonfly-paper",
             "hyperx-paper",
             "dfplus-paper",
+            "flows-un",
+            "flows-permutation",
+            "flows-incast",
             "smoke",
         ] {
             assert!(reg.get(name).is_some(), "missing scenario {name}");
         }
-        assert_eq!(reg.entries().len(), 20);
+        assert_eq!(reg.entries().len(), 23);
     }
 
     #[test]

@@ -42,6 +42,9 @@ fn list_names_all_scenarios() {
         "dragonfly-paper",
         "hyperx-paper",
         "dfplus-paper",
+        "flows-un",
+        "flows-permutation",
+        "flows-incast",
         "smoke",
     ] {
         assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
@@ -87,11 +90,19 @@ fn shards_exceeding_router_count_fail_loudly() {
     );
 }
 
-/// Run a scenario at reduced windows and return every series' accepted
-/// load at column `x` from the CSV output, keyed by series label.
-fn accepted_at(scenario: &str, x: &str, warmup: &str, measure: &str) -> Vec<(String, f64)> {
-    let csv_path =
-        std::env::temp_dir().join(format!("flexvc-{scenario}-{x}-{}.csv", std::process::id()));
+/// Run a scenario at reduced windows and return every series' value in
+/// the named CSV column at sweep column `x`, keyed by series label.
+fn column_at(
+    scenario: &str,
+    x: &str,
+    warmup: &str,
+    measure: &str,
+    column: &str,
+) -> Vec<(String, f64)> {
+    let csv_path = std::env::temp_dir().join(format!(
+        "flexvc-{scenario}-{x}-{column}-{}.csv",
+        std::process::id()
+    ));
     let (_, _) = run_ok(
         flexvc()
             .args([
@@ -119,20 +130,26 @@ fn accepted_at(scenario: &str, x: &str, warmup: &str, measure: &str) -> Vec<(Str
             .position(|c| c == name)
             .unwrap_or_else(|| panic!("no {name} column in header: {header}"))
     };
-    let (series_col, x_col, accepted_col) = (col("series"), col("x"), col("accepted"));
+    let (series_col, x_col, value_col) = (col("series"), col("x"), col(column));
     let mut out = Vec::new();
     for line in csv.lines().skip(1) {
         let cols: Vec<&str> = line.split(',').collect();
         if cols[x_col].trim_matches('"') != x {
             continue;
         }
-        let accepted: f64 = cols[accepted_col]
+        let value: f64 = cols[value_col]
             .parse()
             .unwrap_or_else(|_| panic!("bad row: {line}"));
-        out.push((cols[series_col].trim_matches('"').to_string(), accepted));
+        out.push((cols[series_col].trim_matches('"').to_string(), value));
     }
     assert!(!out.is_empty(), "no rows at x = {x} in:\n{csv}");
     out
+}
+
+/// Run a scenario at reduced windows and return every series' accepted
+/// load at column `x` from the CSV output, keyed by series label.
+fn accepted_at(scenario: &str, x: &str, warmup: &str, measure: &str) -> Vec<(String, f64)> {
+    column_at(scenario, x, warmup, measure, "accepted")
 }
 
 fn series_accepted(rows: &[(String, f64)], needle: &str) -> f64 {
@@ -238,6 +255,36 @@ fn run_dfplus_adv_ugal_beats_min_at_saturation() {
     assert!(
         ugal_g > min * 1.02,
         "UGAL-G {ugal_g:.4} must clearly beat MIN {min:.4} at ADV saturation"
+    );
+}
+
+/// Acceptance (flow-workload tentpole): `flexvc run flows-un` completes
+/// end-to-end reporting per-flow completion times, and past the knee of
+/// the latency curve (offered load 0.70) the equal-VC-budget FlexVC
+/// series matches or beats the baseline policy's p99 FCT on both
+/// families — strictly better on the HyperX, where the shared pool
+/// relieves the head-of-line blocking that elephant trains create in a
+/// fixed VC assignment. Deterministic at fixed seed and windows.
+#[test]
+fn run_flows_un_flexvc_matches_or_beats_baseline_p99_fct() {
+    let rows = column_at("flows-un", "0.70", "2000", "4000", "fct_p99");
+    let df_base = series_accepted(&rows, "DF Baseline");
+    let df_flex = series_accepted(&rows, "DF FlexVC 2/1VCs");
+    let hx_base = series_accepted(&rows, "HX Baseline");
+    let hx_flex = series_accepted(&rows, "HX FlexVC 2VCs");
+    // A plausible p99 is a positive histogram bucket, not zero (zero would
+    // mean no flows completed in the window — the wrong column or a
+    // broken flow layer).
+    for (label, v) in &rows {
+        assert!(*v > 0.0, "{label}: implausible p99 FCT {v}");
+    }
+    assert!(
+        df_flex <= df_base,
+        "DF FlexVC p99 FCT {df_flex} must not exceed baseline {df_base} at equal VC budget"
+    );
+    assert!(
+        hx_flex < hx_base,
+        "HX FlexVC p99 FCT {hx_flex} must beat baseline {hx_base} at equal VC budget"
     );
 }
 

@@ -31,6 +31,10 @@ fn main() {
         println!("        hist_count: {},", r.latency_hist.count());
         println!("        local_vc_occupancy: &{:?},", r.local_vc_occupancy);
         println!("        global_vc_occupancy: &{:?},", r.global_vc_occupancy);
+        println!("        flows_completed: {:?},", r.flows_completed);
+        println!("        fct_p50: {:?},", r.fct_p50);
+        println!("        fct_p99: {:?},", r.fct_p99);
+        println!("        slowdown_mean: {:?},", r.slowdown_mean);
         println!("    }},");
     }
 }

@@ -388,6 +388,7 @@ mod tests {
             opp_blocked: 0,
             hops: 0,
             reverts: 0,
+            flow: None,
         }
     }
 

@@ -333,9 +333,9 @@ impl SimConfigBuilder {
     /// Assemble and validate the configuration.
     pub fn build(self) -> Result<SimConfig, ConfigError> {
         let family = self.topology.family();
-        let arrangement = self
-            .arrangement
-            .unwrap_or_else(|| default_arrangement(family, self.routing, self.workload.reactive));
+        let arrangement = self.arrangement.unwrap_or_else(|| {
+            default_arrangement(family, self.routing, self.workload.is_reactive())
+        });
         let cfg = SimConfig {
             topology: self.topology,
             routing: self.routing,

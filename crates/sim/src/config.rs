@@ -135,6 +135,25 @@ impl TopologySpec {
         }
     }
 
+    /// Terminal-node count of the topology, computed from the shape
+    /// parameters alone. Traffic generation needs at least two nodes
+    /// (destinations exclude the source), which [`SimConfig::validate`]
+    /// enforces.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            TopologySpec::DragonflyBalanced { h, .. } => h * 2 * h * (2 * h * h + 1),
+            TopologySpec::Dragonfly { p, a, g, .. } => p * a * g,
+            TopologySpec::FlatButterfly { k, p } => k * k * p,
+            TopologySpec::HyperX { dims, p } => dims.iter().map(|&(s, _)| s).product::<usize>() * p,
+            TopologySpec::DragonflyPlus {
+                leaves,
+                hosts_per_leaf,
+                groups,
+                ..
+            } => leaves * hosts_per_leaf * groups,
+        }
+    }
+
     /// Classification family of the topology.
     pub fn family(&self) -> NetworkFamily {
         match self {
@@ -406,7 +425,7 @@ impl SimConfig {
     /// (2/1 for MIN, 4/2 for VAL/PB, 5/2 for PAR; doubled when reactive).
     pub fn dragonfly_baseline(h: usize, routing: RoutingMode, workload: Workload) -> Self {
         let (l, g) = routing.min_dragonfly_vcs();
-        let arrangement = if workload.reactive {
+        let arrangement = if workload.is_reactive() {
             Arrangement::dragonfly_rr((l, g), (l, g))
         } else {
             Arrangement::dragonfly(l, g)
@@ -453,7 +472,7 @@ impl SimConfig {
         workload: Workload,
     ) -> Self {
         let vcs = routing.min_hyperx_vcs(n);
-        let arrangement = if workload.reactive {
+        let arrangement = if workload.is_reactive() {
             Arrangement::generic_rr(vcs, vcs)
         } else {
             Arrangement::generic(vcs)
@@ -486,7 +505,7 @@ impl SimConfig {
         workload: Workload,
     ) -> Self {
         let (l, g) = routing.min_dfplus_vcs();
-        let arrangement = if workload.reactive {
+        let arrangement = if workload.is_reactive() {
             Arrangement::dragonfly_rr((l, g), (l, g))
         } else {
             Arrangement::dragonfly(l, g)
@@ -565,6 +584,13 @@ impl SimConfig {
     /// policy cannot operate deadlock-free on the arrangement (or the
     /// configuration cannot be simulated at all).
     pub fn validate(&self) -> Result<(), ConfigError> {
+        // Checked before the shape: a single-node topology would pass the
+        // per-parameter minimums of some families, then panic inside the
+        // generators' `gen_range(0..num_nodes - 1)` destination draw.
+        let nodes = self.topology.num_nodes();
+        if nodes == 1 {
+            return Err(ConfigError::SingleNodeTopology);
+        }
         self.topology.check_shape()?;
         let routers = self.topology.num_routers();
         if self.shards > routers {
@@ -602,16 +628,19 @@ impl SimConfig {
         if self.speedup == 0 {
             return Err(ConfigError::NonPositive { what: "speedup" });
         }
-        let classes: &[MessageClass] = if self.workload.reactive {
+        let classes: &[MessageClass] = if self.workload.is_reactive() {
             &[MessageClass::Request, MessageClass::Reply]
         } else {
             &[MessageClass::Request]
         };
-        if self.workload.reactive && !self.arrangement.has_reply_part() {
+        if self.workload.is_reactive() && !self.arrangement.has_reply_part() {
             return Err(ConfigError::MissingReplyArrangement);
         }
-        if !self.workload.reactive && self.arrangement.has_reply_part() {
+        if !self.workload.is_reactive() && self.arrangement.has_reply_part() {
             return Err(ConfigError::UnexpectedReplyArrangement);
+        }
+        if let Some(spec) = self.workload.flow_spec() {
+            self.check_flow_spec(spec, nodes)?;
         }
         for &msg in classes {
             match self.policy {
@@ -676,6 +705,68 @@ impl SimConfig {
         }
         if self.buffers.output < self.packet_size || self.buffers.injection < self.packet_size {
             return Err(ConfigError::PortBuffersBelowPacket);
+        }
+        Ok(())
+    }
+
+    /// Flow-workload sanity checks (part of [`SimConfig::validate`]).
+    fn check_flow_spec(
+        &self,
+        spec: flexvc_traffic::FlowSpec,
+        nodes: usize,
+    ) -> Result<(), ConfigError> {
+        use flexvc_traffic::{FlowPattern, SizeDist};
+        let fail = |why| Err(ConfigError::InvalidWorkload { why });
+        match spec.sizes {
+            SizeDist::Fixed { packets: 0 } => {
+                return fail("flow size must be at least one packet");
+            }
+            SizeDist::Bimodal {
+                mice,
+                elephants,
+                elephant_frac,
+            } => {
+                if mice == 0 || elephants == 0 {
+                    return fail("bimodal flow sizes must be at least one packet");
+                }
+                if !(0.0..=1.0).contains(&elephant_frac) {
+                    return fail("elephant fraction must be in [0, 1]");
+                }
+            }
+            SizeDist::Pareto { min, max, alpha } => {
+                if min == 0 {
+                    return fail("Pareto minimum flow size must be at least one packet");
+                }
+                if max < min {
+                    return fail("Pareto maximum flow size must be >= the minimum");
+                }
+                if alpha <= 0.0 {
+                    return fail("Pareto tail index alpha must be positive");
+                }
+            }
+            _ => {}
+        }
+        match spec.pattern {
+            FlowPattern::Hotspot { hotspots, fraction } => {
+                if hotspots == 0 || hotspots > nodes {
+                    return fail("hotspot count must be in 1..=num_nodes");
+                }
+                if !(0.0..=1.0).contains(&fraction) {
+                    return fail("hotspot fraction must be in [0, 1]");
+                }
+            }
+            FlowPattern::Incast {
+                fanin,
+                phase_cycles,
+            } => {
+                if fanin == 0 {
+                    return fail("incast fan-in must be at least 1");
+                }
+                if phase_cycles == 0 {
+                    return fail("incast phase length must be at least one cycle");
+                }
+            }
+            _ => {}
         }
         Ok(())
     }
@@ -910,6 +1001,133 @@ mod tests {
         )
         .with_flexvc(Arrangement::dragonfly(4, 2));
         ok.validate().unwrap();
+    }
+
+    #[test]
+    fn node_counts_match_shapes() {
+        assert_eq!(
+            TopologySpec::DragonflyBalanced {
+                h: 2,
+                arrangement: GlobalArrangement::default(),
+            }
+            .num_nodes(),
+            72
+        );
+        assert_eq!(
+            TopologySpec::Dragonfly {
+                p: 2,
+                a: 4,
+                h: 2,
+                g: 9,
+                arrangement: GlobalArrangement::default(),
+            }
+            .num_nodes(),
+            72
+        );
+        assert_eq!(TopologySpec::FlatButterfly { k: 4, p: 2 }.num_nodes(), 32);
+        assert_eq!(
+            TopologySpec::HyperX {
+                dims: vec![(4, 1), (3, 2)],
+                p: 2,
+            }
+            .num_nodes(),
+            24
+        );
+        assert_eq!(
+            TopologySpec::DragonflyPlus {
+                leaves: 4,
+                spines: 4,
+                hosts_per_leaf: 2,
+                global_mult: 1,
+                groups: 9,
+            }
+            .num_nodes(),
+            72
+        );
+    }
+
+    /// Satellite: a single-node topology used to slip past the per-family
+    /// shape minimums and panic inside `NodeGenerator::uniform_dest`'s
+    /// `gen_range(0..0)`; `validate` now rejects it with a typed error.
+    #[test]
+    fn single_node_topology_rejected_at_validation() {
+        let mut cfg = SimConfig::dragonfly_baseline(
+            2,
+            RoutingMode::Min,
+            Workload::oblivious(Pattern::Uniform),
+        );
+        cfg.topology = TopologySpec::Dragonfly {
+            p: 1,
+            a: 1,
+            h: 1,
+            g: 1,
+            arrangement: GlobalArrangement::default(),
+        };
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(err, ConfigError::SingleNodeTopology);
+    }
+
+    #[test]
+    fn flow_workloads_validate() {
+        use flexvc_traffic::{FlowPattern, FlowSpec, SizeDist};
+        let with_spec = |spec| {
+            let mut cfg = SimConfig::dragonfly_baseline(
+                2,
+                RoutingMode::Min,
+                Workload::oblivious(Pattern::Uniform),
+            );
+            cfg.workload = Workload::flows(spec);
+            cfg
+        };
+        with_spec(FlowSpec::uniform(SizeDist::Fixed { packets: 4 }))
+            .validate()
+            .unwrap();
+        with_spec(FlowSpec::permutation(SizeDist::mice_elephants()))
+            .validate()
+            .unwrap();
+        with_spec(FlowSpec::incast(4, SizeDist::heavy_tail()))
+            .validate()
+            .unwrap();
+
+        let bad = [
+            FlowSpec::uniform(SizeDist::Fixed { packets: 0 }),
+            FlowSpec::uniform(SizeDist::Bimodal {
+                mice: 1,
+                elephants: 16,
+                elephant_frac: 1.5,
+            }),
+            FlowSpec::uniform(SizeDist::Pareto {
+                min: 8,
+                max: 4,
+                alpha: 1.5,
+            }),
+            FlowSpec::uniform(SizeDist::Pareto {
+                min: 1,
+                max: 64,
+                alpha: -1.0,
+            }),
+            FlowSpec {
+                pattern: FlowPattern::Hotspot {
+                    hotspots: 0,
+                    fraction: 0.2,
+                },
+                sizes: SizeDist::Fixed { packets: 1 },
+            },
+            FlowSpec {
+                pattern: FlowPattern::Incast {
+                    fanin: 0,
+                    phase_cycles: 100,
+                },
+                sizes: SizeDist::Fixed { packets: 1 },
+            },
+        ];
+        for spec in bad {
+            let err = with_spec(spec).validate().unwrap_err();
+            assert!(
+                matches!(err, ConfigError::InvalidWorkload { .. }),
+                "{spec:?}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -71,8 +71,9 @@ use flexvc_core::classify::NetworkFamily;
 use flexvc_core::policy::{baseline_vc, flexvc_options_lookahead};
 use flexvc_core::{Arrangement, CreditClass, HopKind, LinkClass, MessageClass, VcPolicy};
 use flexvc_topology::Topology;
+use flexvc_traffic::flow::{random_permutation, FlowPattern};
 use flexvc_traffic::generator::NodeSpace;
-use flexvc_traffic::NodeGenerator;
+use flexvc_traffic::NodeTraffic;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -219,7 +220,7 @@ pub struct Network {
     sense_all: bool,
     routers: Vec<Router>,
     links: Vec<LinkState>,
-    gens: Vec<NodeGenerator>,
+    gens: Vec<NodeTraffic>,
     /// Per-node staged replies: `(destination, ready_at)`.
     staging: Vec<VecDeque<(u32, u64)>>,
     /// Per-node injection VC round-robin (non-reactive traffic).
@@ -534,7 +535,7 @@ impl Network {
                     // Reply rows exist only for reactive workloads (the
                     // arrangement has no reply part otherwise, and no
                     // reply packet can ever query the table).
-                    if class == MessageClass::Reply && !cfg.workload.reactive {
+                    if class == MessageClass::Reply && !cfg.workload.is_reactive() {
                         return row;
                     }
                     for (slot, entry) in row.iter_mut().enumerate().take(reference.len()) {
@@ -551,7 +552,7 @@ impl Network {
 
         // Reactive workloads split the offered load between requests and the
         // replies they trigger.
-        let gen_load = if cfg.workload.reactive {
+        let gen_load = if cfg.workload.is_reactive() {
             load / 2.0
         } else {
             load
@@ -561,15 +562,25 @@ impl Network {
             nodes_per_group: topo.num_nodes() / topo.num_groups(),
             num_groups: topo.num_groups(),
         };
-        let gens: Vec<NodeGenerator> = (0..topo.num_nodes())
+        // A permutation flow workload fixes each node's destination from a
+        // seed-only random derangement; every shard derives the identical
+        // table, keeping sharded runs bit-identical.
+        let perm: Option<Vec<u32>> = match cfg.workload.flow_spec() {
+            Some(spec) if matches!(spec.pattern, FlowPattern::Permutation) => {
+                Some(random_permutation(topo.num_nodes(), seed))
+            }
+            _ => None,
+        };
+        let gens: Vec<NodeTraffic> = (0..topo.num_nodes())
             .map(|n| {
-                NodeGenerator::new(
-                    cfg.workload.pattern,
+                NodeTraffic::new(
+                    cfg.workload,
                     n,
                     space,
                     gen_load,
                     cfg.packet_size,
                     seed,
+                    perm.as_ref().map(|p| p[n]),
                 )
             })
             .collect();
@@ -1015,15 +1026,12 @@ impl Network {
 
     fn generate(&mut self, now: u64) {
         let size = self.cfg.packet_size;
-        let reactive = self.cfg.workload.reactive;
+        let reactive = self.cfg.workload.is_reactive();
         let in_window = self.in_window(now);
         for n in self.owned_n.start as usize..self.owned_n.end as usize {
             // New requests from the pattern generator (muted while
             // draining; staged replies below still flush).
-            if let Some(dst) = (!self.draining)
-                .then(|| self.gens[n].next_packet(now))
-                .flatten()
-            {
+            if let Some(em) = (!self.draining).then(|| self.gens[n].next(now)).flatten() {
                 if in_window {
                     self.metrics.generated_packets += 1;
                     self.metrics.generated_phits += size as u64;
@@ -1038,7 +1046,9 @@ impl Network {
                 let r = self.topo.router_of_node(n);
                 let local = n - self.node_base[r] as usize;
                 if self.routers[r].inj[local].occ.can_accept(vc, size) {
-                    let pkt = self.new_packet(n as u32, dst as u32, MessageClass::Request, now);
+                    let mut pkt =
+                        self.new_packet(n as u32, em.dest as u32, MessageClass::Request, now);
+                    pkt.flow = em.flow;
                     self.routers[r].inj[local].push(vc, pkt);
                     self.queued[r] += 1;
                     let in_idx = self.pp + local;
@@ -1112,6 +1122,7 @@ impl Network {
             opp_blocked: 0,
             hops: 0,
             reverts: 0,
+            flow: None,
         }
     }
 
@@ -1376,7 +1387,7 @@ impl Network {
                 debug_assert_eq!(head.dst_router as usize, r, "done plan away from dst");
                 // Protocol coupling: a node whose reply-generation queue is
                 // full cannot consume further requests until replies drain.
-                if self.cfg.workload.reactive
+                if self.cfg.workload.is_reactive()
                     && head.class == MessageClass::Request
                     && self.staging[head.dst as usize].len() >= self.cfg.reply_queue_packets
                 {
@@ -1799,9 +1810,18 @@ impl Network {
                 pkt.reverts,
             );
         }
+        // Flow accounting is windowed on the flow's *start* cycle so a
+        // flow either has every packet tracked or none: completion order
+        // may differ from emission order under adaptive routing, but the
+        // first-packet emission cycle is shared by the whole train.
+        if let Some(tag) = pkt.flow {
+            if self.in_window(tag.start) {
+                self.metrics.track_flow(&tag, done, size);
+            }
+        }
         // Reactive: the destination answers with a reply once the request
         // has fully arrived.
-        if self.cfg.workload.reactive && pkt.class == MessageClass::Request {
+        if self.cfg.workload.is_reactive() && pkt.class == MessageClass::Request {
             self.staging[pkt.dst as usize].push_back((pkt.src, done));
         }
     }
@@ -1881,7 +1901,7 @@ impl Network {
         let rpg = self.topo.routers_per_group();
         let t_phits = self.cfg.sensing.threshold * self.cfg.packet_size;
         let min_cred = self.cfg.sensing.min_cred;
-        let classes: &[MessageClass] = if self.cfg.workload.reactive {
+        let classes: &[MessageClass] = if self.cfg.workload.is_reactive() {
             &[MessageClass::Request, MessageClass::Reply]
         } else {
             &[MessageClass::Request]

@@ -15,7 +15,7 @@
 
 use crate::config::{BufferOrg, SensingMode, SimConfig};
 use flexvc_core::{Arrangement, RoutingMode};
-use flexvc_traffic::{Pattern, Workload};
+use flexvc_traffic::{FlowSpec, Pattern, SizeDist, Workload};
 
 /// Shapes on which a 2-D unit-multiplicity [`HyperX`] must be
 /// *bit-identical* to the [`FlatButterfly2D`] it generalizes: the
@@ -231,6 +231,49 @@ pub fn points() -> Vec<EquivalencePoint> {
         ),
         0.7,
         16,
+    );
+
+    // Flow workloads: FCT accounting plus per-node flow state must shard
+    // bit-identically (recorded when the flow layer landed). One point per
+    // pattern family, crossing size distributions and both topologies.
+    add(
+        "flows_un_bimodal_min_flexvc42",
+        smoke(SimConfig::dragonfly_baseline(
+            2,
+            RoutingMode::Min,
+            Workload::flows(FlowSpec::uniform(SizeDist::mice_elephants())),
+        ))
+        .with_flexvc(Arrangement::dragonfly(4, 2)),
+        0.5,
+        17,
+    );
+    // Permutation exercises the seed-only derangement table every shard
+    // must derive identically.
+    add(
+        "flows_perm_pareto_hyperx2d_min_flexvc4",
+        smoke(
+            SimConfig::hyperx_baseline(
+                2,
+                4,
+                2,
+                RoutingMode::Min,
+                Workload::flows(FlowSpec::permutation(SizeDist::heavy_tail())),
+            )
+            .with_flexvc(Arrangement::generic(4)),
+        ),
+        0.4,
+        18,
+    );
+    // Incast phases rotate the receiver mid-window; baseline policy.
+    add(
+        "flows_incast4_min_baseline",
+        smoke(SimConfig::dragonfly_baseline(
+            2,
+            RoutingMode::Min,
+            Workload::flows(FlowSpec::incast(4, SizeDist::Fixed { packets: 4 })),
+        )),
+        0.3,
+        19,
     );
 
     points

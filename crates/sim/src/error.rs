@@ -70,6 +70,17 @@ pub enum ConfigError {
         /// What is wrong with the shape.
         why: &'static str,
     },
+    /// The topology has exactly one terminal node. Traffic generation
+    /// draws destinations different from the source (`gen_range(0..n-1)`),
+    /// which is undefined with a single node — rejected at validation time
+    /// instead of panicking inside the generator.
+    SingleNodeTopology,
+    /// A flow workload parameter is out of range (zero-packet flows, a
+    /// fraction outside `[0, 1]`, a degenerate Pareto bound, …).
+    InvalidWorkload {
+        /// What is wrong with the flow specification.
+        why: &'static str,
+    },
     /// More engine shards requested than the topology has routers — every
     /// shard must own at least one router (`shards = 0` auto-detects and
     /// never triggers this).
@@ -127,6 +138,16 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidTopology { why } => {
                 write!(f, "invalid topology: {why}")
+            }
+            ConfigError::SingleNodeTopology => {
+                write!(
+                    f,
+                    "topology has a single terminal node; traffic generation needs \
+                     at least two (destinations exclude the source)"
+                )
+            }
+            ConfigError::InvalidWorkload { why } => {
+                write!(f, "invalid workload: {why}")
             }
             ConfigError::ShardsExceedRouters { shards, routers } => {
                 write!(
@@ -214,6 +235,25 @@ mod tests {
         assert!(rendered.contains('9'), "{rendered}");
         assert!(rendered.contains('4'), "{rendered}");
         assert!(rendered.contains("auto-detect"), "{rendered}");
+    }
+
+    /// Satellite: the single-node rejection renders an actionable message
+    /// (the old behavior was a `gen_range(0..0)` panic at runtime).
+    #[test]
+    fn single_node_error_renders_the_reason() {
+        let rendered = ConfigError::SingleNodeTopology.to_string();
+        assert_eq!(
+            rendered,
+            "topology has a single terminal node; traffic generation needs \
+             at least two (destinations exclude the source)"
+        );
+        let wl = ConfigError::InvalidWorkload {
+            why: "incast fan-in must be at least 1",
+        };
+        assert_eq!(
+            wl.to_string(),
+            "invalid workload: incast fan-in must be at least 1"
+        );
     }
 
     #[test]

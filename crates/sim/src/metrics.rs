@@ -1,6 +1,8 @@
 //! Measurement-window statistics and simulation results.
 
 use flexvc_core::MessageClass;
+use flexvc_traffic::FlowTag;
+use std::collections::HashMap;
 
 /// Power-of-two bucketed latency histogram (cycles). Bucket `i` counts
 /// latencies in `[2^i, 2^(i+1))`; the last bucket (20) is an *overflow*
@@ -138,6 +140,29 @@ impl VcOccupancyProfile {
     }
 }
 
+/// Flow-completion-time accounting under flow workloads.
+///
+/// A flow completes when its last packet is consumed; all of a flow's
+/// packets are consumed at its (single, latched) destination node, so in a
+/// sharded run every flow's accounting lives on exactly one shard and
+/// [`Metrics::absorb`] merges the integer accumulators exactly.
+#[derive(Debug, Clone, Default)]
+pub struct FlowStats {
+    /// Remaining packet count per in-flight measured flow.
+    live: HashMap<u64, u32>,
+    /// Flows whose last packet was consumed inside the window.
+    pub completed: u64,
+    /// Sum of flow completion times (cycles).
+    pub fct_sum: u64,
+    /// Sum of ideal serialization times (cycles).
+    pub ideal_sum: u64,
+    /// Sum of per-flow slowdowns (FCT ÷ ideal serialization time) in
+    /// integer units of 1/1000, so shard merging stays exact.
+    pub slowdown_milli_sum: u64,
+    /// FCT histogram over completed flows.
+    pub fct_hist: LatencyHistogram,
+}
+
 /// Raw counters accumulated inside the measurement window.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -167,6 +192,8 @@ pub struct Metrics {
     pub latency_hist: LatencyHistogram,
     /// Sampled per-VC occupancy profile.
     pub vc_profile: VcOccupancyProfile,
+    /// Flow-completion-time accounting (flow workloads only).
+    pub flows: FlowStats,
 }
 
 impl Metrics {
@@ -190,6 +217,29 @@ impl Metrics {
         if !min_routed {
             self.misrouted_packets += 1;
         }
+    }
+
+    /// Account one consumed packet of a measured flow. `done` is the cycle
+    /// the packet's tail was consumed. When the packet is the flow's last
+    /// outstanding one, the flow completes: its FCT (`done − start`) and
+    /// slowdown (FCT ÷ `len · packet_size`) are accumulated. The caller
+    /// gates on the flow's *start* cycle (flow-level windowing), so a flow
+    /// either has all of its packets tracked here or none.
+    pub fn track_flow(&mut self, tag: &FlowTag, done: u64, packet_size: u32) {
+        let rem = self.flows.live.entry(tag.id).or_insert(tag.len);
+        debug_assert!(*rem > 0);
+        *rem -= 1;
+        if *rem > 0 {
+            return;
+        }
+        self.flows.live.remove(&tag.id);
+        let fct = done.saturating_sub(tag.start);
+        let ideal = (tag.len as u64 * packet_size as u64).max(1);
+        self.flows.completed += 1;
+        self.flows.fct_sum += fct;
+        self.flows.ideal_sum += ideal;
+        self.flows.slowdown_milli_sum += fct * 1000 / ideal;
+        self.flows.fct_hist.record(fct);
     }
 
     /// Fold another shard's counters into this one. Every field is either a
@@ -216,6 +266,17 @@ impl Metrics {
         self.hop_sum += other.hop_sum;
         self.deadlocked |= other.deadlocked;
         self.latency_hist.merge(&other.latency_hist);
+        // A flow's packets all eject on the shard owning its destination
+        // node, so the live maps are key-disjoint and the accumulators sum.
+        self.flows.completed += other.flows.completed;
+        self.flows.fct_sum += other.flows.fct_sum;
+        self.flows.ideal_sum += other.flows.ideal_sum;
+        self.flows.slowdown_milli_sum += other.flows.slowdown_milli_sum;
+        self.flows.fct_hist.merge(&other.flows.fct_hist);
+        for (id, rem) in &other.flows.live {
+            let prev = self.flows.live.insert(*id, *rem);
+            debug_assert!(prev.is_none(), "flow {id} tracked on two shards");
+        }
         let prof = &mut self.vc_profile;
         debug_assert_eq!(prof.samples, other.vc_profile.samples);
         for i in 0..2 {
@@ -267,6 +328,20 @@ pub struct SimResult {
     /// averages can merge distributions and re-derive quantiles (means of
     /// per-seed quantiles are not quantiles).
     pub latency_hist: LatencyHistogram,
+    /// Flows completed in the measurement window (0 for synthetic
+    /// workloads).
+    pub flows_completed: f64,
+    /// Mean flow completion time in cycles (0 without completed flows).
+    pub fct_mean: f64,
+    /// Median flow completion time (cycles).
+    pub fct_p50: f64,
+    /// 99th-percentile flow completion time (cycles).
+    pub fct_p99: f64,
+    /// Mean slowdown: FCT ÷ ideal serialization time (`len · packet_size`).
+    pub slowdown_mean: f64,
+    /// FCT histogram of the run (merged for multi-seed quantiles, like
+    /// `latency_hist`).
+    pub fct_hist: LatencyHistogram,
 }
 
 impl SimResult {
@@ -318,6 +393,20 @@ impl SimResult {
             local_vc_occupancy: m.vc_profile.means(flexvc_core::LinkClass::Local),
             global_vc_occupancy: m.vc_profile.means(flexvc_core::LinkClass::Global),
             latency_hist: m.latency_hist.clone(),
+            flows_completed: m.flows.completed as f64,
+            fct_mean: if m.flows.completed == 0 {
+                0.0
+            } else {
+                m.flows.fct_sum as f64 / m.flows.completed as f64
+            },
+            fct_p50: m.flows.fct_hist.quantile(0.5) as f64,
+            fct_p99: m.flows.fct_hist.quantile(0.99) as f64,
+            slowdown_mean: if m.flows.completed == 0 {
+                0.0
+            } else {
+                m.flows.slowdown_milli_sum as f64 / (m.flows.completed as f64 * 1000.0)
+            },
+            fct_hist: m.flows.fct_hist.clone(),
         }
     }
 
@@ -349,6 +438,8 @@ impl SimResult {
         out.local_vc_occupancy = vec_avg(|r| &r.local_vc_occupancy);
         out.global_vc_occupancy = vec_avg(|r| &r.global_vc_occupancy);
         let mut p99_mean = 0.0;
+        let mut fct_p50_mean = 0.0;
+        let mut fct_p99_mean = 0.0;
         for r in results {
             out.offered += r.offered / n;
             p99_mean += r.latency_p99 / n;
@@ -362,11 +453,25 @@ impl SimResult {
             out.drop_fraction += r.drop_fraction / n;
             out.deadlocked |= r.deadlocked;
             out.latency_hist.merge(&r.latency_hist);
+            out.flows_completed += r.flows_completed / n;
+            out.fct_mean += r.fct_mean / n;
+            out.slowdown_mean += r.slowdown_mean / n;
+            fct_p50_mean += r.fct_p50 / n;
+            fct_p99_mean += r.fct_p99 / n;
+            out.fct_hist.merge(&r.fct_hist);
         }
         out.latency_p99 = if out.latency_hist.count() > 0 {
             out.latency_hist.quantile(0.99) as f64
         } else {
             p99_mean
+        };
+        (out.fct_p50, out.fct_p99) = if out.fct_hist.count() > 0 {
+            (
+                out.fct_hist.quantile(0.5) as f64,
+                out.fct_hist.quantile(0.99) as f64,
+            )
+        } else {
+            (fct_p50_mean, fct_p99_mean)
         };
         out
     }
@@ -606,6 +711,112 @@ mod tests {
         let back = LatencyHistogram::from_buckets(*h.buckets());
         assert_eq!(back.count(), h.count());
         assert_eq!(back.buckets(), h.buckets());
+    }
+
+    #[test]
+    fn flow_tracking_completes_on_last_packet() {
+        let mut m = Metrics::default();
+        let tag = |index| FlowTag {
+            id: 7,
+            len: 3,
+            index,
+            start: 100,
+        };
+        // Packets may arrive out of order under adaptive routing; only the
+        // count matters.
+        m.track_flow(&tag(0), 150, 8);
+        m.track_flow(&tag(2), 180, 8);
+        assert_eq!(m.flows.completed, 0);
+        m.track_flow(&tag(1), 196, 8);
+        assert_eq!(m.flows.completed, 1);
+        // FCT = 196 - 100 = 96; ideal = 3 * 8 = 24; slowdown = 4.0.
+        assert_eq!(m.flows.fct_sum, 96);
+        assert_eq!(m.flows.ideal_sum, 24);
+        assert_eq!(m.flows.slowdown_milli_sum, 4_000);
+        assert_eq!(m.flows.fct_hist.count(), 1);
+        let r = SimResult::from_metrics(&m, 0.5, 16);
+        assert_eq!(r.flows_completed, 1.0);
+        assert_eq!(r.fct_mean, 96.0);
+        assert!((r.slowdown_mean - 4.0).abs() < 1e-12);
+        assert_eq!(r.fct_p50, 64.0, "bucket lower bound of 96");
+    }
+
+    #[test]
+    fn flow_stats_absorb_is_exact() {
+        let tag = |id, len, index| FlowTag {
+            id,
+            len,
+            index,
+            start: 0,
+        };
+        // All packets of each flow on one "shard", like real sharded runs.
+        let mut a = Metrics::default();
+        a.track_flow(&tag(1, 1, 0), 40, 8);
+        a.track_flow(&tag(2, 2, 0), 50, 8);
+        let mut b = Metrics::default();
+        b.track_flow(&tag(3, 2, 0), 60, 8);
+        b.track_flow(&tag(3, 2, 1), 70, 8);
+        let mut whole = Metrics::default();
+        for (t, done) in [
+            (tag(1, 1, 0), 40),
+            (tag(2, 2, 0), 50),
+            (tag(3, 2, 0), 60),
+            (tag(3, 2, 1), 70),
+        ] {
+            whole.track_flow(&t, done, 8);
+        }
+        a.absorb(&b);
+        assert_eq!(a.flows.completed, whole.flows.completed);
+        assert_eq!(a.flows.fct_sum, whole.flows.fct_sum);
+        assert_eq!(a.flows.ideal_sum, whole.flows.ideal_sum);
+        assert_eq!(a.flows.slowdown_milli_sum, whole.flows.slowdown_milli_sum);
+        assert_eq!(a.flows.fct_hist.count(), whole.flows.fct_hist.count());
+        assert_eq!(a.flows.live.len(), whole.flows.live.len());
+    }
+
+    #[test]
+    fn averaging_merges_fct_histograms() {
+        let mut m1 = Metrics::default();
+        for id in 0..99 {
+            m1.track_flow(
+                &FlowTag {
+                    id,
+                    len: 1,
+                    index: 0,
+                    start: 0,
+                },
+                100,
+                8,
+            );
+        }
+        let mut m2 = m1.clone();
+        m2.track_flow(
+            &FlowTag {
+                id: 1_000,
+                len: 1,
+                index: 0,
+                start: 0,
+            },
+            100_000,
+            8,
+        );
+        let r1 = SimResult::from_metrics(&m1, 0.5, 16);
+        let r2 = SimResult::from_metrics(&m2, 0.5, 16);
+        let avg = SimResult::average(&[r1, r2]);
+        // Merged: 199 samples, rank 198 still in [64,128) -> 64, not the
+        // mean of per-seed p99s.
+        assert_eq!(avg.fct_p99, 64.0);
+        assert!((avg.flows_completed - 99.5).abs() < 1e-12);
+        // Without histogram data the quantiles fall back to the mean.
+        let bare = SimResult {
+            fct_p99: 100.0,
+            ..Default::default()
+        };
+        let bare2 = SimResult {
+            fct_p99: 300.0,
+            ..Default::default()
+        };
+        assert!((SimResult::average(&[bare, bare2]).fct_p99 - 200.0).abs() < 1e-12);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use flexvc_core::{CreditClass, HopVcs, MessageClass};
 use flexvc_topology::{Route, RouteHop};
+use flexvc_traffic::FlowTag;
 
 /// Maximum hops of any plan (the PAR reference path has 7).
 pub const MAX_PLAN: usize = 8;
@@ -149,6 +150,9 @@ pub struct Packet {
     pub hops: u16,
     /// Times the packet reverted from an opportunistic plan (statistics).
     pub reverts: u16,
+    /// Flow identity under flow workloads (`None` for synthetic traffic
+    /// and replies); consumption uses it to account flow completion times.
+    pub flow: Option<FlowTag>,
 }
 
 impl Packet {
@@ -242,6 +246,7 @@ mod tests {
             opp_blocked: 0,
             hops: 0,
             reverts: 0,
+            flow: None,
         };
         assert_eq!(pkt.credit_class(), CreditClass::MinRouted);
         pkt.min_routed = false;

@@ -321,9 +321,11 @@ impl Deserialize for SimConfig {
         )?;
         let arrangement = match m.opt("arrangement")? {
             Some(arr) => arr,
-            None => {
-                crate::builder::default_arrangement(topology.family(), routing, workload.reactive)
-            }
+            None => crate::builder::default_arrangement(
+                topology.family(),
+                routing,
+                workload.is_reactive(),
+            ),
         };
         Ok(SimConfig {
             topology,
@@ -372,7 +374,14 @@ impl Serialize for SimResult {
                     "latency_buckets",
                     self.latency_hist.buckets().to_vec().to_value(),
                 )
-                .with("latency_max", self.latency_hist.max().to_value()),
+                .with("latency_max", self.latency_hist.max().to_value())
+                .with("flows_completed", self.flows_completed.to_value())
+                .with("fct_mean", self.fct_mean.to_value())
+                .with("fct_p50", self.fct_p50.to_value())
+                .with("fct_p99", self.fct_p99.to_value())
+                .with("slowdown_mean", self.slowdown_mean.to_value())
+                .with("fct_buckets", self.fct_hist.buckets().to_vec().to_value())
+                .with("fct_max", self.fct_hist.max().to_value()),
         )
     }
 }
@@ -404,6 +413,23 @@ impl Deserialize for SimResult {
                 // Files written before the overflow-bucket fix carry no
                 // recorded max; the bucket estimate stands in.
                 hist.observe_max(m.field_or("latency_max", 0u64)?);
+                hist
+            },
+            // Flow metrics are absent in files written before the flow
+            // layer; they default to "no flows observed".
+            flows_completed: m.field_or("flows_completed", 0.0)?,
+            fct_mean: m.field_or("fct_mean", 0.0)?,
+            fct_p50: m.field_or("fct_p50", 0.0)?,
+            fct_p99: m.field_or("fct_p99", 0.0)?,
+            slowdown_mean: m.field_or("slowdown_mean", 0.0)?,
+            fct_hist: {
+                let buckets: Vec<u64> = m.field_or("fct_buckets", Vec::new())?;
+                let mut fixed = [0u64; 21];
+                for (slot, b) in fixed.iter_mut().zip(&buckets) {
+                    *slot = *b;
+                }
+                let mut hist = LatencyHistogram::from_buckets(fixed);
+                hist.observe_max(m.field_or("fct_max", 0u64)?);
                 hist
             },
         })

@@ -33,6 +33,10 @@ struct Golden {
     hist_count: u64,
     local_vc_occupancy: &'static [f64],
     global_vc_occupancy: &'static [f64],
+    flows_completed: f64,
+    fct_p50: f64,
+    fct_p99: f64,
+    slowdown_mean: f64,
 }
 
 const GOLDENS: &[Golden] = &[
@@ -51,6 +55,10 @@ const GOLDENS: &[Golden] = &[
         hist_count: 12047,
         local_vc_occupancy: &[2.0771604938271606, 2.2222222222222223],
         global_vc_occupancy: &[4.3842592592592595],
+        flows_completed: 0.0,
+        fct_p50: 0.0,
+        fct_p99: 0.0,
+        slowdown_mean: 0.0,
     },
     Golden {
         name: "fig5_un_min_flexvc42",
@@ -72,6 +80,10 @@ const GOLDENS: &[Golden] = &[
             2.234567901234568,
         ],
         global_vc_occupancy: &[5.523148148148148, 5.050925925925926],
+        flows_completed: 0.0,
+        fct_p50: 0.0,
+        fct_p99: 0.0,
+        slowdown_mean: 0.0,
     },
     Golden {
         name: "fig5_adv_val_baseline",
@@ -93,6 +105,10 @@ const GOLDENS: &[Golden] = &[
             2.3333333333333335,
         ],
         global_vc_occupancy: &[52.64351851851852, 20.88888888888889],
+        flows_completed: 0.0,
+        fct_p50: 0.0,
+        fct_p99: 0.0,
+        slowdown_mean: 0.0,
     },
     Golden {
         name: "fig5_un_val_flexvc32_sat",
@@ -109,6 +125,10 @@ const GOLDENS: &[Golden] = &[
         hist_count: 18424,
         local_vc_occupancy: &[9.382716049382717, 9.407407407407407, 4.425925925925926],
         global_vc_occupancy: &[47.745370370370374, 31.02314814814815],
+        flows_completed: 0.0,
+        fct_p50: 0.0,
+        fct_p99: 0.0,
+        slowdown_mean: 0.0,
     },
     Golden {
         name: "fig5_bursty_min_flexvc42",
@@ -130,6 +150,10 @@ const GOLDENS: &[Golden] = &[
             2.404320987654321,
         ],
         global_vc_occupancy: &[13.652777777777779, 16.078703703703702],
+        flows_completed: 0.0,
+        fct_p50: 0.0,
+        fct_p99: 0.0,
+        slowdown_mean: 0.0,
     },
     Golden {
         name: "fig7_rr_min_baseline",
@@ -151,6 +175,10 @@ const GOLDENS: &[Golden] = &[
             0.7037037037037037,
         ],
         global_vc_occupancy: &[1.2222222222222223, 1.4675925925925926],
+        flows_completed: 0.0,
+        fct_p50: 0.0,
+        fct_p99: 0.0,
+        slowdown_mean: 0.0,
     },
     Golden {
         name: "fig7_rr_min_flexvc_5_3",
@@ -173,6 +201,10 @@ const GOLDENS: &[Golden] = &[
             0.7345679012345679,
         ],
         global_vc_occupancy: &[1.3518518518518519, 1.5416666666666667, 1.3333333333333333],
+        flows_completed: 0.0,
+        fct_p50: 0.0,
+        fct_p99: 0.0,
+        slowdown_mean: 0.0,
     },
     Golden {
         name: "fig10_damq0_deadlock",
@@ -189,6 +221,10 @@ const GOLDENS: &[Golden] = &[
         hist_count: 430,
         local_vc_occupancy: &[30.533713200379868, 0.030389363722697058],
         global_vc_occupancy: &[143.64102564102564],
+        flows_completed: 0.0,
+        fct_p50: 0.0,
+        fct_p99: 0.0,
+        slowdown_mean: 0.0,
     },
     Golden {
         name: "fig10_damq75",
@@ -205,6 +241,10 @@ const GOLDENS: &[Golden] = &[
         hist_count: 18797,
         local_vc_occupancy: &[10.95679012345679, 5.583333333333333],
         global_vc_occupancy: &[51.65277777777778],
+        flows_completed: 0.0,
+        fct_p50: 0.0,
+        fct_p99: 0.0,
+        slowdown_mean: 0.0,
     },
     Golden {
         name: "fig8_pb_flexvc_mincred",
@@ -228,6 +268,10 @@ const GOLDENS: &[Golden] = &[
             0.7839506172839507,
         ],
         global_vc_occupancy: &[1.9166666666666667, 1.9212962962962963, 1.6064814814814814],
+        flows_completed: 0.0,
+        fct_p50: 0.0,
+        fct_p99: 0.0,
+        slowdown_mean: 0.0,
     },
     Golden {
         name: "par_adv_baseline",
@@ -250,6 +294,10 @@ const GOLDENS: &[Golden] = &[
             0.8395061728395061,
         ],
         global_vc_occupancy: &[4.1342592592592595, 1.5555555555555556],
+        flows_completed: 0.0,
+        fct_p50: 0.0,
+        fct_p99: 0.0,
+        slowdown_mean: 0.0,
     },
     // Recorded from the engine at the commit introducing the HyperX
     // topology (`cargo run --release -p flexvc-sim --example record_goldens
@@ -276,6 +324,10 @@ const GOLDENS: &[Golden] = &[
             1.7613168724279835,
         ],
         global_vc_occupancy: &[],
+        flows_completed: 0.0,
+        fct_p50: 0.0,
+        fct_p99: 0.0,
+        slowdown_mean: 0.0,
     },
     // Recorded at the commit introducing the RoutePolicy decision layer
     // (`cargo run --release -p flexvc-sim --example record_goldens
@@ -304,6 +356,10 @@ const GOLDENS: &[Golden] = &[
             0.8868312757201646,
         ],
         global_vc_occupancy: &[],
+        flows_completed: 0.0,
+        fct_p50: 0.0,
+        fct_p99: 0.0,
+        slowdown_mean: 0.0,
     },
     Golden {
         name: "hyperx2d_adv_dal_flexvc4",
@@ -325,6 +381,86 @@ const GOLDENS: &[Golden] = &[
             2.1041666666666665,
         ],
         global_vc_occupancy: &[],
+        flows_completed: 0.0,
+        fct_p50: 0.0,
+        fct_p99: 0.0,
+        slowdown_mean: 0.0,
+    },
+    // Recorded at the commit introducing the flow workload layer
+    // (`cargo run --release -p flexvc-sim --example record_goldens
+    // flows_un_bimodal_min_flexvc42 flows_perm_pareto_hyperx2d_min_flexvc4
+    // flows_incast4_min_baseline`): guard flow arrivals, packet trains,
+    // the seed-only permutation table, incast phase rotation, and FCT
+    // accounting against behavioral drift.
+    Golden {
+        name: "flows_un_bimodal_min_flexvc42",
+        accepted: 0.49274074074074076,
+        latency: 339.04863199037885,
+        latency_req: 339.04863199037885,
+        latency_rep: 0.0,
+        misroute_fraction: 0.0,
+        avg_hops: 2.3574113048707157,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.0,
+        deadlocked: false,
+        latency_p99: 1024.0,
+        hist_count: 13304,
+        local_vc_occupancy: &[
+            2.7191358024691357,
+            3.3487654320987654,
+            3.7839506172839505,
+            2.54320987654321,
+        ],
+        global_vc_occupancy: &[18.083333333333332, 19.324074074074073],
+        flows_completed: 4869.0,
+        fct_p50: 128.0,
+        fct_p99: 1024.0,
+        slowdown_mean: 32.798235571986034,
+    },
+    Golden {
+        name: "flows_perm_pareto_hyperx2d_min_flexvc4",
+        accepted: 0.384,
+        latency: 69.35373263888889,
+        latency_req: 69.35373263888889,
+        latency_rep: 0.0,
+        misroute_fraction: 0.0,
+        avg_hops: 1.5345052083333333,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.0,
+        deadlocked: false,
+        latency_p99: 512.0,
+        hist_count: 4608,
+        local_vc_occupancy: &[
+            0.3541666666666667,
+            0.4236111111111111,
+            0.5798611111111112,
+            0.34375,
+        ],
+        global_vc_occupancy: &[],
+        flows_completed: 1828.0,
+        fct_p50: 32.0,
+        fct_p99: 512.0,
+        slowdown_mean: 5.497909190371991,
+    },
+    Golden {
+        name: "flows_incast4_min_baseline",
+        accepted: 0.24225925925925926,
+        latency: 333.2144931967589,
+        latency_req: 333.2144931967589,
+        latency_rep: 0.0,
+        misroute_fraction: 0.0,
+        avg_hops: 0.8399327319981654,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.0,
+        deadlocked: false,
+        latency_p99: 1024.0,
+        hist_count: 6541,
+        local_vc_occupancy: &[2.074074074074074, 0.08641975308641975],
+        global_vc_occupancy: &[3.0462962962962963],
+        flows_completed: 1439.0,
+        fct_p50: 128.0,
+        fct_p99: 1024.0,
+        slowdown_mean: 10.683394718554553,
     },
 ];
 
@@ -434,5 +570,14 @@ fn engine_reproduces_pre_refactor_snapshots() {
             "{}",
             ctx("global_vc_occupancy")
         );
+        assert_eq!(
+            r.flows_completed,
+            g.flows_completed,
+            "{}",
+            ctx("flows_completed")
+        );
+        assert_eq!(r.fct_p50, g.fct_p50, "{}", ctx("fct_p50"));
+        assert_eq!(r.fct_p99, g.fct_p99, "{}", ctx("fct_p99"));
+        assert_eq!(r.slowdown_mean, g.slowdown_mean, "{}", ctx("slowdown_mean"));
     }
 }

@@ -19,13 +19,21 @@
 //! consumption); this crate only generates the forward pattern and flags
 //! the workload as reactive.
 
+//!
+//! Flow-level workloads (open-loop flow arrivals, size distributions,
+//! per-flow packet trains, skewed patterns) live in [`flow`]; the
+//! [`Workload`] enum selects between the synthetic and flow layers and
+//! [`NodeTraffic`] unifies their per-node state machines.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flow;
 pub mod generator;
 pub mod pattern;
 pub mod serde_impls;
 
+pub use flow::{Emission, FlowGenerator, FlowPattern, FlowSpec, FlowTag, SizeDist};
 pub use generator::NodeGenerator;
 pub use pattern::{Pattern, Workload};
 
@@ -40,5 +48,61 @@ pub trait TrafficPattern: Send {
 impl TrafficPattern for NodeGenerator {
     fn generate(&mut self, cycle: u64) -> Option<usize> {
         self.next_packet(cycle)
+    }
+}
+
+/// Unified per-node traffic source: the per-packet synthetic generator or
+/// the flow generator, stepped once per node per cycle either way.
+#[derive(Debug)]
+pub enum NodeTraffic {
+    /// Synthetic per-packet pattern (UN / ADV / BURSTY-UN).
+    Synthetic(NodeGenerator),
+    /// Flow-level workload (packet trains with [`FlowTag`]s).
+    Flows(FlowGenerator),
+}
+
+impl NodeTraffic {
+    /// Build the traffic source for `node` under `workload`. `perm_dest`
+    /// must be `Some` exactly when the workload uses
+    /// [`FlowPattern::Permutation`] (see [`flow::random_permutation`]).
+    pub fn new(
+        workload: Workload,
+        node: usize,
+        space: generator::NodeSpace,
+        load: f64,
+        packet_size: u32,
+        seed: u64,
+        perm_dest: Option<u32>,
+    ) -> Self {
+        match workload {
+            Workload::Synthetic { pattern, .. } => NodeTraffic::Synthetic(NodeGenerator::new(
+                pattern,
+                node,
+                space,
+                load,
+                packet_size,
+                seed,
+            )),
+            Workload::Flows(spec) => NodeTraffic::Flows(FlowGenerator::new(
+                spec,
+                node,
+                space,
+                load,
+                packet_size,
+                seed,
+                perm_dest,
+            )),
+        }
+    }
+
+    /// Step one cycle; returns the emitted packet, if any.
+    #[inline]
+    pub fn next(&mut self, cycle: u64) -> Option<Emission> {
+        match self {
+            NodeTraffic::Synthetic(g) => g
+                .next_packet(cycle)
+                .map(|dest| Emission { dest, flow: None }),
+            NodeTraffic::Flows(g) => g.next_packet(cycle),
+        }
     }
 }

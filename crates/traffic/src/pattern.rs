@@ -45,39 +45,71 @@ impl std::fmt::Display for Pattern {
     }
 }
 
-/// A workload: a pattern plus the request–reply flag.
+/// A workload: either a synthetic per-packet pattern (optionally
+/// request–reply) or a flow-level workload with size distributions.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Workload {
-    /// Forward-traffic pattern (requests, or all packets when not reactive).
-    pub pattern: Pattern,
-    /// When `true`, destinations answer every consumed request with a reply
-    /// to the source (protocol-deadlock scenario, paper §V-B).
-    pub reactive: bool,
+pub enum Workload {
+    /// Synthetic per-packet traffic (paper §IV-B).
+    Synthetic {
+        /// Forward-traffic pattern (requests, or all packets when not
+        /// reactive).
+        pattern: Pattern,
+        /// When `true`, destinations answer every consumed request with a
+        /// reply to the source (protocol-deadlock scenario, paper §V-B).
+        reactive: bool,
+    },
+    /// Open-loop flow arrivals emitting per-flow packet trains
+    /// (FatPaths-style datacenter evaluation).
+    Flows(crate::flow::FlowSpec),
 }
 
 impl Workload {
-    /// Single-class workload.
+    /// Single-class synthetic workload.
     pub fn oblivious(pattern: Pattern) -> Self {
-        Workload {
+        Workload::Synthetic {
             pattern,
             reactive: false,
         }
     }
 
-    /// Request–reply workload.
+    /// Request–reply synthetic workload.
     pub fn reactive(pattern: Pattern) -> Self {
-        Workload {
+        Workload::Synthetic {
             pattern,
             reactive: true,
         }
     }
 
-    /// Label such as `UN` or `UN-RR`.
+    /// Flow-level workload.
+    pub fn flows(spec: crate::flow::FlowSpec) -> Self {
+        Workload::Flows(spec)
+    }
+
+    /// Whether destinations answer requests with replies (flow workloads
+    /// are single-class).
+    pub fn is_reactive(&self) -> bool {
+        matches!(self, Workload::Synthetic { reactive: true, .. })
+    }
+
+    /// The flow specification, when this is a flow workload.
+    pub fn flow_spec(&self) -> Option<crate::flow::FlowSpec> {
+        match self {
+            Workload::Flows(spec) => Some(*spec),
+            Workload::Synthetic { .. } => None,
+        }
+    }
+
+    /// Label such as `UN`, `UN-RR`, `FLOWS-UN` or `INCAST/BIMODAL`.
     pub fn label(&self) -> String {
-        if self.reactive {
-            format!("{}-RR", self.pattern.label())
-        } else {
-            self.pattern.label().to_string()
+        match self {
+            Workload::Synthetic { pattern, reactive } => {
+                if *reactive {
+                    format!("{}-RR", pattern.label())
+                } else {
+                    pattern.label().to_string()
+                }
+            }
+            Workload::Flows(spec) => spec.label(),
         }
     }
 }
@@ -93,6 +125,37 @@ mod tests {
         assert_eq!(Pattern::bursty().label(), "BURSTY-UN");
         assert_eq!(Workload::reactive(Pattern::Uniform).label(), "UN-RR");
         assert_eq!(Workload::oblivious(Pattern::bursty()).label(), "BURSTY-UN");
+    }
+
+    #[test]
+    fn flow_labels_are_stable() {
+        use crate::flow::{FlowPattern, FlowSpec, SizeDist};
+        let fixed = SizeDist::Fixed { packets: 4 };
+        assert_eq!(
+            Workload::flows(FlowSpec::uniform(fixed)).label(),
+            "FLOWS-UN"
+        );
+        assert_eq!(
+            Workload::flows(FlowSpec::permutation(SizeDist::mice_elephants())).label(),
+            "PERM/BIMODAL"
+        );
+        assert_eq!(
+            Workload::flows(FlowSpec::incast(4, SizeDist::heavy_tail())).label(),
+            "INCAST/PARETO"
+        );
+        assert_eq!(
+            Workload::flows(FlowSpec {
+                pattern: FlowPattern::Hotspot {
+                    hotspots: 4,
+                    fraction: 0.2
+                },
+                sizes: fixed,
+            })
+            .label(),
+            "HOTSPOT"
+        );
+        assert!(!Workload::flows(FlowSpec::uniform(fixed)).is_reactive());
+        assert!(Workload::reactive(Pattern::Uniform).is_reactive());
     }
 
     #[test]

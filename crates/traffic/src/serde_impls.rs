@@ -5,6 +5,7 @@
 //! parameterized ones; parsing additionally accepts the paper's labels
 //! (`"adv+1"`, `"bursty"`) as shorthands for the default parameters.
 
+use crate::flow::{FlowPattern, FlowSpec, SizeDist};
 use crate::{Pattern, Workload};
 use flexvc_serde::{Deserialize, Error, Map, Serialize, Value};
 
@@ -53,23 +54,184 @@ impl Deserialize for Pattern {
     }
 }
 
-impl Serialize for Workload {
+impl Serialize for SizeDist {
+    fn to_value(&self) -> Value {
+        match *self {
+            SizeDist::Fixed { packets } => Value::Map(
+                Map::new()
+                    .with("kind", Value::from("fixed"))
+                    .with("packets", packets.to_value()),
+            ),
+            SizeDist::Bimodal {
+                mice,
+                elephants,
+                elephant_frac,
+            } => Value::Map(
+                Map::new()
+                    .with("kind", Value::from("bimodal"))
+                    .with("mice", mice.to_value())
+                    .with("elephants", elephants.to_value())
+                    .with("elephant_frac", elephant_frac.to_value()),
+            ),
+            SizeDist::Pareto { min, max, alpha } => Value::Map(
+                Map::new()
+                    .with("kind", Value::from("pareto"))
+                    .with("min", min.to_value())
+                    .with("max", max.to_value())
+                    .with("alpha", alpha.to_value()),
+            ),
+        }
+    }
+}
+
+impl Deserialize for SizeDist {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => match s.to_ascii_lowercase().as_str() {
+                "bimodal" | "mice_elephants" => Ok(SizeDist::mice_elephants()),
+                "pareto" | "heavy_tail" => Ok(SizeDist::heavy_tail()),
+                other => Err(Error::new(format!("unknown size distribution `{other}`"))),
+            },
+            Value::Map(m) => match m.field::<String>("kind")?.to_ascii_lowercase().as_str() {
+                "fixed" => Ok(SizeDist::Fixed {
+                    packets: m.field_or("packets", 1u32)?,
+                }),
+                "bimodal" => Ok(SizeDist::Bimodal {
+                    mice: m.field_or("mice", 1u32)?,
+                    elephants: m.field_or("elephants", 16u32)?,
+                    elephant_frac: m.field_or("elephant_frac", 0.1)?,
+                }),
+                "pareto" => Ok(SizeDist::Pareto {
+                    min: m.field_or("min", 1u32)?,
+                    max: m.field_or("max", 64u32)?,
+                    alpha: m.field_or("alpha", 1.5)?,
+                }),
+                other => Err(Error::new(format!("unknown size distribution `{other}`"))),
+            },
+            other => Err(Error::new(format!(
+                "expected string or map for size distribution, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for FlowPattern {
+    fn to_value(&self) -> Value {
+        match *self {
+            FlowPattern::Uniform => Value::Str("uniform".to_string()),
+            FlowPattern::Permutation => Value::Str("permutation".to_string()),
+            FlowPattern::Hotspot { hotspots, fraction } => Value::Map(
+                Map::new()
+                    .with("kind", Value::from("hotspot"))
+                    .with("hotspots", hotspots.to_value())
+                    .with("fraction", fraction.to_value()),
+            ),
+            FlowPattern::Incast {
+                fanin,
+                phase_cycles,
+            } => Value::Map(
+                Map::new()
+                    .with("kind", Value::from("incast"))
+                    .with("fanin", fanin.to_value())
+                    .with("phase_cycles", phase_cycles.to_value()),
+            ),
+        }
+    }
+}
+
+impl Deserialize for FlowPattern {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => match s.to_ascii_lowercase().as_str() {
+                "uniform" | "un" | "flows-un" => Ok(FlowPattern::Uniform),
+                "permutation" | "perm" => Ok(FlowPattern::Permutation),
+                "hotspot" => Ok(FlowPattern::Hotspot {
+                    hotspots: 4,
+                    fraction: 0.2,
+                }),
+                "incast" => Ok(FlowPattern::incast(4)),
+                other => Err(Error::new(format!("unknown flow pattern `{other}`"))),
+            },
+            Value::Map(m) => match m.field::<String>("kind")?.to_ascii_lowercase().as_str() {
+                "uniform" => Ok(FlowPattern::Uniform),
+                "permutation" => Ok(FlowPattern::Permutation),
+                "hotspot" => Ok(FlowPattern::Hotspot {
+                    hotspots: m.field_or("hotspots", 4usize)?,
+                    fraction: m.field_or("fraction", 0.2)?,
+                }),
+                "incast" => Ok(FlowPattern::Incast {
+                    fanin: m.field_or("fanin", 4usize)?,
+                    phase_cycles: m.field_or("phase_cycles", 2_000u64)?,
+                }),
+                other => Err(Error::new(format!("unknown flow pattern `{other}`"))),
+            },
+            other => Err(Error::new(format!(
+                "expected string or map for flow pattern, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for FlowSpec {
     fn to_value(&self) -> Value {
         Value::Map(
             Map::new()
                 .with("pattern", self.pattern.to_value())
-                .with("reactive", self.reactive.to_value()),
+                .with("sizes", self.sizes.to_value()),
         )
+    }
+}
+
+impl Deserialize for FlowSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map()?;
+        Ok(FlowSpec {
+            pattern: m.field("pattern")?,
+            sizes: m.field_or("sizes", SizeDist::Fixed { packets: 1 })?,
+        })
+    }
+}
+
+impl Serialize for Workload {
+    fn to_value(&self) -> Value {
+        match self {
+            // The synthetic wire form predates flow workloads and stays
+            // unchanged (`kind` omitted) so old documents keep parsing.
+            Workload::Synthetic { pattern, reactive } => Value::Map(
+                Map::new()
+                    .with("pattern", pattern.to_value())
+                    .with("reactive", reactive.to_value()),
+            ),
+            Workload::Flows(spec) => Value::Map(
+                Map::new()
+                    .with("kind", Value::from("flows"))
+                    .with("pattern", spec.pattern.to_value())
+                    .with("sizes", spec.sizes.to_value()),
+            ),
+        }
     }
 }
 
 impl Deserialize for Workload {
     fn from_value(v: &Value) -> Result<Self, Error> {
         let m = v.as_map()?;
-        Ok(Workload {
-            pattern: m.field("pattern")?,
-            reactive: m.field_or("reactive", false)?,
-        })
+        match m
+            .field_or("kind", "synthetic".to_string())?
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "synthetic" => Ok(Workload::Synthetic {
+                pattern: m.field("pattern")?,
+                reactive: m.field_or("reactive", false)?,
+            }),
+            "flows" => Ok(Workload::Flows(FlowSpec {
+                pattern: m.field("pattern")?,
+                sizes: m.field_or("sizes", SizeDist::Fixed { packets: 1 })?,
+            })),
+            other => Err(Error::new(format!("unknown workload kind `{other}`"))),
+        }
     }
 }
 
@@ -103,5 +265,46 @@ mod tests {
         // `reactive` defaults to false when omitted.
         let parsed: Workload = from_toml("pattern = \"uniform\"\n").unwrap();
         assert_eq!(parsed, Workload::oblivious(Pattern::Uniform));
+    }
+
+    #[test]
+    fn flow_workloads_round_trip() {
+        let specs = [
+            FlowSpec::uniform(SizeDist::Fixed { packets: 4 }),
+            FlowSpec::permutation(SizeDist::mice_elephants()),
+            FlowSpec::incast(6, SizeDist::heavy_tail()),
+            FlowSpec {
+                pattern: FlowPattern::Hotspot {
+                    hotspots: 3,
+                    fraction: 0.4,
+                },
+                sizes: SizeDist::Pareto {
+                    min: 2,
+                    max: 32,
+                    alpha: 1.2,
+                },
+            },
+        ];
+        for spec in specs {
+            let wl = Workload::flows(spec);
+            assert_eq!(from_json::<Workload>(&to_json(&wl)).unwrap(), wl);
+            assert_eq!(from_json::<FlowSpec>(&to_json(&spec)).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn flow_shorthand_strings_accepted() {
+        let wl: Workload =
+            from_toml("kind = \"flows\"\npattern = \"incast\"\nsizes = \"bimodal\"\n").unwrap();
+        assert_eq!(
+            wl,
+            Workload::flows(FlowSpec::incast(4, SizeDist::mice_elephants()))
+        );
+        // `sizes` defaults to single-packet flows when omitted.
+        let wl: Workload = from_toml("kind = \"flows\"\npattern = \"permutation\"\n").unwrap();
+        assert_eq!(
+            wl,
+            Workload::flows(FlowSpec::permutation(SizeDist::Fixed { packets: 1 }))
+        );
     }
 }

@@ -8,7 +8,7 @@
 
 use flexvc::core::{Arrangement, RoutingMode, VcSelection};
 use flexvc::sim::prelude::*;
-use flexvc::traffic::{Pattern, Workload};
+use flexvc::traffic::{FlowSpec, Pattern, SizeDist, Workload};
 
 fn stress(cfg: &SimConfig, label: &str) {
     let r = run_one(cfg, 1.0, 99).unwrap();
@@ -431,6 +431,56 @@ fn sharded_engine_survives_saturation_and_drains() {
                 "{label} (shards={shards}): packets stranded at drain"
             );
         }
+    }
+}
+
+/// Flow workloads at 100% offered load: the flow layer's pending-queue
+/// and packet-train bookkeeping must not break liveness. The incast case
+/// additionally runs the injected-equals-consumed drain check — a
+/// rotating 4-to-1 incast concentrates whole packet trains on one sink,
+/// the worst case for ejection-side backpressure, and once the
+/// generators mute every accepted packet must still reach consumption.
+#[test]
+fn flow_workloads_survive_saturation_and_incast_drains() {
+    for (label, spec) in [
+        (
+            "flows un bimodal",
+            FlowSpec::uniform(SizeDist::mice_elephants()),
+        ),
+        (
+            "flows perm pareto",
+            FlowSpec::permutation(SizeDist::heavy_tail()),
+        ),
+    ] {
+        let cfg = tiny(RoutingMode::Min, Workload::flows(spec));
+        stress(&cfg, label);
+        stress(
+            &cfg.clone().with_flexvc(Arrangement::dragonfly(4, 2)),
+            &format!("{label} flexvc 4/2"),
+        );
+    }
+    let incast = tiny(
+        RoutingMode::Min,
+        Workload::flows(FlowSpec::incast(4, SizeDist::Fixed { packets: 4 })),
+    );
+    for (label, cfg) in [
+        ("flows incast4 baseline", incast.clone()),
+        (
+            "flows incast4 flexvc 4/2",
+            incast.with_flexvc(Arrangement::dragonfly(4, 2)),
+        ),
+    ] {
+        let mut net = Network::new(cfg, 1.0, 99).unwrap();
+        let r = net.run();
+        assert!(!r.deadlocked, "{label} deadlocked");
+        assert!(
+            r.accepted > 0.05,
+            "{label} made no progress: {}",
+            r.accepted
+        );
+        let stranded = net.drain(100_000);
+        assert!(!net.deadlocked(), "{label} deadlocked while draining");
+        assert_eq!(stranded, 0, "{label}: packets stranded at drain");
     }
 }
 

@@ -7,7 +7,7 @@ use flexvc::bench::scenario::{PointSpec, Scenario};
 use flexvc::core::{Arrangement, RoutingMode, VcPolicy, VcSelection};
 use flexvc::sim::{BufferOrg, BufferSizing, SensingMode, SimConfig, TopologySpec};
 use flexvc::topology::GlobalArrangement;
-use flexvc::traffic::{Pattern, Workload};
+use flexvc::traffic::{FlowPattern, FlowSpec, Pattern, SizeDist, Workload};
 use flexvc_serde::{from_json, from_toml, to_json, to_json_pretty, to_toml, Serialize};
 use proptest::prelude::*;
 
@@ -18,6 +18,46 @@ fn arb_pattern() -> impl Strategy<Value = Pattern> {
         (2u32..12).prop_map(|m| Pattern::BurstyUniform {
             mean_burst: m as f64 / 2.0
         }),
+    ]
+}
+
+fn arb_size_dist() -> impl Strategy<Value = SizeDist> {
+    prop_oneof![
+        (1u32..32).prop_map(|packets| SizeDist::Fixed { packets }),
+        Just(SizeDist::mice_elephants()),
+        Just(SizeDist::heavy_tail()),
+        ((1u32..4), (8u32..64)).prop_map(|(min, spread)| SizeDist::Pareto {
+            min,
+            max: min + spread,
+            alpha: 1.5,
+        }),
+    ]
+}
+
+fn arb_flow_pattern() -> impl Strategy<Value = FlowPattern> {
+    prop_oneof![
+        Just(FlowPattern::Uniform),
+        Just(FlowPattern::Permutation),
+        ((1usize..8), (0u32..=4)).prop_map(|(hotspots, q)| FlowPattern::Hotspot {
+            hotspots,
+            fraction: q as f64 / 4.0,
+        }),
+        ((1usize..8), (100u64..5000)).prop_map(|(fanin, phase_cycles)| FlowPattern::Incast {
+            fanin,
+            phase_cycles,
+        }),
+    ]
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    prop_oneof![
+        (arb_pattern(), any::<bool>()).prop_map(|(pattern, reactive)| if reactive {
+            Workload::reactive(pattern)
+        } else {
+            Workload::oblivious(pattern)
+        }),
+        (arb_flow_pattern(), arb_size_dist())
+            .prop_map(|(pattern, sizes)| Workload::flows(FlowSpec { pattern, sizes })),
     ]
 }
 
@@ -84,7 +124,7 @@ fn arb_config() -> impl Strategy<Value = SimConfig> {
     let sensing_mode = prop_oneof![Just(SensingMode::PerPort), Just(SensingMode::PerVc)];
     (
         (arb_topology(), routing, policy, arrangement, selection),
-        (arb_pattern(), any::<bool>()),
+        arb_workload(),
         (sizing, organization, 8u32..512, 8u32..64),
         (sensing_mode, any::<bool>(), 1u32..8),
         (1u32..16, 1usize..4, 0u32..64, 1usize..16),
@@ -92,7 +132,7 @@ fn arb_config() -> impl Strategy<Value = SimConfig> {
         .prop_map(
             |(
                 (topology, routing, policy, arrangement, selection),
-                (pattern, reactive),
+                workload,
                 (sizing, organization, injection, output),
                 (mode, min_cred, threshold),
                 (packet_size, injection_vcs, revert_patience, reply_queue_packets),
@@ -107,7 +147,7 @@ fn arb_config() -> impl Strategy<Value = SimConfig> {
                 cfg.policy = policy;
                 cfg.arrangement = arrangement;
                 cfg.selection = selection;
-                cfg.workload = Workload { pattern, reactive };
+                cfg.workload = workload;
                 cfg.buffers.sizing = sizing;
                 cfg.buffers.organization = organization;
                 cfg.buffers.injection = injection;
@@ -213,9 +253,10 @@ fn corner_configs_round_trip() {
         RoutingMode::Piggyback,
     ] {
         for reactive in [false, true] {
-            let wl = Workload {
-                pattern: Pattern::adv1(),
-                reactive,
+            let wl = if reactive {
+                Workload::reactive(Pattern::adv1())
+            } else {
+                Workload::oblivious(Pattern::adv1())
             };
             cfgs.push(SimConfig::dragonfly_baseline(2, routing, wl));
         }
@@ -262,8 +303,49 @@ fn corner_configs_round_trip() {
         p: 1,
     };
     cfgs.push(hx_k);
+    // Flow workloads: one corner per pattern, exercising every size
+    // distribution at least once.
+    for spec in [
+        FlowSpec::uniform(SizeDist::Fixed { packets: 1 }),
+        FlowSpec::permutation(SizeDist::mice_elephants()),
+        FlowSpec::incast(4, SizeDist::heavy_tail()),
+        FlowSpec {
+            pattern: FlowPattern::Hotspot {
+                hotspots: 2,
+                fraction: 0.25,
+            },
+            sizes: SizeDist::Fixed { packets: 8 },
+        },
+    ] {
+        cfgs.push(SimConfig::dragonfly_baseline(
+            2,
+            RoutingMode::Min,
+            Workload::flows(spec),
+        ));
+    }
     for cfg in &cfgs {
         assert_round_trip(cfg);
+    }
+}
+
+/// Workload labels are a stable public identifier (scenario series names
+/// and CSV rows key on them): the label survives a serde round trip of the
+/// workload that produced it.
+#[test]
+fn workload_labels_survive_round_trips() {
+    let workloads = [
+        Workload::oblivious(Pattern::Uniform),
+        Workload::reactive(Pattern::Uniform),
+        Workload::flows(FlowSpec::uniform(SizeDist::Fixed { packets: 1 })),
+        Workload::flows(FlowSpec::permutation(SizeDist::mice_elephants())),
+        Workload::flows(FlowSpec::incast(8, SizeDist::heavy_tail())),
+    ];
+    let labels = ["UN", "UN-RR", "FLOWS-UN", "PERM/BIMODAL", "INCAST/PARETO"];
+    for (wl, expect) in workloads.iter().zip(labels) {
+        assert_eq!(wl.label(), expect);
+        let back: Workload = from_json(&to_json(wl)).expect("workload JSON parses");
+        assert_eq!(back.label(), expect, "label changed across round trip");
+        assert_eq!(back, *wl);
     }
 }
 
