@@ -33,15 +33,19 @@ USAGE:
 
 BENCH OPTIONS:
     --quick                shorter windows (the CI profile)
+    --group <name>         run a single kernel group (e.g. fig5_h2); see
+                           the group list in the crate docs
     --shards <n>           engine shards per kernel (0 = auto-detect from
                            the host's cores; default: each kernel's own
                            setting — results are shard-count-invariant)
     --out <path>           report path (default: BENCH_current.json; pass
                            an explicit path when recording a new baseline)
     --baseline <path>      compare against a recorded report: fail (exit 1)
-                           on a >15% cycles/sec regression in any kernel
-                           group present in both reports (cycles/sec are
-                           machine-dependent; compare on like hardware)
+                           when any kernel group present in both reports
+                           regresses its geomean cycles/sec by >15%
+                           (>10% on the ratcheted fig5_h2/smoke_h8
+                           groups); cycles/sec are machine-dependent, so
+                           compare on like hardware
     --quiet                suppress per-kernel progress on stderr
 
 SHOW OPTIONS:
@@ -75,6 +79,7 @@ struct Options {
     out: Option<String>,
     format: Option<String>,
     baseline: Option<String>,
+    group: Option<String>,
     quiet: bool,
     quick: bool,
     scale: Scale,
@@ -123,6 +128,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         out: None,
         format: None,
         baseline: None,
+        group: None,
         quiet: false,
         quick: false,
         scale: Scale::from_env(),
@@ -152,6 +158,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--out" => opts.out = Some(value("--out", &mut it)?),
             "--format" => opts.format = Some(value("--format", &mut it)?),
             "--baseline" => opts.baseline = Some(value("--baseline", &mut it)?),
+            "--group" => opts.group = Some(value("--group", &mut it)?),
             "--quiet" => opts.quiet = true,
             "--quick" => opts.quick = true,
             "--paper" => opts.scale = Scale::paper(),
@@ -291,35 +298,52 @@ fn bench(opts: Options) -> ExitCode {
         }
         None => None,
     };
+    if let Some(g) = &opts.group {
+        if !flexvc_bench::perf::group_names().contains(&g.as_str()) {
+            eprintln!(
+                "error: unknown kernel group `{g}` (available: {})",
+                flexvc_bench::perf::group_names().join(", ")
+            );
+            return ExitCode::from(2);
+        }
+    }
     if !opts.quiet {
         eprintln!(
-            "[bench] running the fixed kernel suite ({} profile)…",
+            "[bench] running the {} kernel suite ({} profile)…",
+            opts.group.as_deref().unwrap_or("fixed"),
             if opts.quick { "quick" } else { "full" }
         );
     }
-    let report = match flexvc_bench::perf::run_bench(opts.quick, opts.shards, |k| {
-        if !opts.quiet {
-            eprintln!(
-                "[bench] {:<28} {:>10.0} cycles/sec (accepted {:.3}{})",
-                k.name,
-                k.cycles_per_sec,
-                k.accepted,
-                if k.deadlocked { ", DEADLOCK" } else { "" }
-            );
-        }
-    }) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: bench: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    println!("| group | kernels | cycles/sec | pre-refactor | speedup |");
-    println!("|---|---|---|---|---|");
+    let report =
+        match flexvc_bench::perf::run_bench(opts.quick, opts.shards, opts.group.as_deref(), |k| {
+            if !opts.quiet {
+                eprintln!(
+                    "[bench] {:<28} {:>10.0} cycles/sec (x{}, accepted {:.3}{})",
+                    k.name,
+                    k.cycles_per_sec,
+                    k.repeats,
+                    k.accepted,
+                    if k.deadlocked { ", DEADLOCK" } else { "" }
+                );
+            }
+        }) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    println!("| group | kernels | cycles/sec | geomean | pre-refactor | speedup |");
+    println!("|---|---|---|---|---|---|");
     for g in &report.groups {
         println!(
-            "| {} | {} | {:.0} | {:.0} | {:.2}x |",
-            g.group, g.kernels, g.cycles_per_sec, g.baseline_cycles_per_sec, g.speedup_vs_baseline
+            "| {} | {} | {:.0} | {:.0} | {:.0} | {:.2}x |",
+            g.group,
+            g.kernels,
+            g.cycles_per_sec,
+            g.geomean_cycles_per_sec,
+            g.baseline_cycles_per_sec,
+            g.speedup_vs_baseline
         );
     }
     if let Some(k) = report.kernels.iter().find(|k| k.deadlocked) {
@@ -336,10 +360,20 @@ fn bench(opts: Options) -> ExitCode {
     if !opts.quiet {
         eprintln!("[bench] report written to {out_path}");
     }
-    if let Some((path, baseline)) = baseline {
-        let (rows, pass) = flexvc_bench::perf::compare_reports(&report, &baseline, 0.15);
-        println!("\nbaseline compare vs {path} (gate: >=0.85x on recorded groups):");
-        println!("| group | cycles/sec | recorded | ratio | gate |");
+    if let Some((path, mut baseline)) = baseline {
+        // Under `--group` only the selected group ran; gating the
+        // baseline's other groups would fail them all as missing.
+        if let Some(g) = &opts.group {
+            baseline.groups.retain(|b| b.group == *g);
+        }
+        let (rows, pass) = flexvc_bench::perf::compare_reports_with(
+            &report,
+            &baseline,
+            0.15,
+            &[("fig5_h2", 0.10), ("smoke_h8", 0.10)],
+        );
+        println!("\nbaseline compare vs {path} (geomean gate per recorded group):");
+        println!("| group | geomean c/s | recorded | ratio | gate |");
         println!("|---|---|---|---|---|");
         for r in &rows {
             println!(
@@ -352,7 +386,7 @@ fn bench(opts: Options) -> ExitCode {
             );
         }
         if !pass {
-            eprintln!("error: >15% cycles/sec regression vs {path}");
+            eprintln!("error: geomean cycles/sec regression beyond tolerance vs {path}");
             return ExitCode::FAILURE;
         }
     }

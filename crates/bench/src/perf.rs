@@ -1,8 +1,12 @@
 //! `flexvc bench` — the fixed engine-performance kernel suite.
 //!
 //! Runs a deterministic set of simulation kernels and emits a
-//! machine-readable report (`BENCH_pr7.json`), establishing the repo's
-//! performance trajectory. Eight kernel groups:
+//! machine-readable report (`BENCH_pr8.json`), establishing the repo's
+//! performance trajectory. Each kernel gets untimed warmup iterations and
+//! then repeats its timed run until a measured-cycles floor, so short
+//! kernels don't turn timer jitter into phantom regressions; the gate
+//! compares per-group *geomeans*, weighing every kernel equally. Eight
+//! kernel groups:
 //!
 //! * **fig5_h2** — the Fig. 5 oblivious-routing suite at h = 2 (baseline,
 //!   DAMQ 75%, FlexVC 2/1, 4/2 and 8/4 under MIN/UN) over the
@@ -114,12 +118,14 @@ pub struct KernelResult {
     pub name: String,
     /// Group name.
     pub group: String,
-    /// Cycles stepped (warmup + measure).
+    /// Cycles stepped (warmup + measure), summed over the timed repeats.
     pub cycles: u64,
-    /// Wall-clock seconds.
+    /// Wall-clock seconds, summed over the timed repeats.
     pub wall_seconds: f64,
     /// Cycles per second.
     pub cycles_per_sec: f64,
+    /// Timed repeats that contributed to `cycles`/`wall_seconds`.
+    pub repeats: usize,
     /// Accepted load (sanity signal that the kernel simulated traffic).
     pub accepted: f64,
     /// Whether the run deadlocked (must be false for every kernel).
@@ -139,15 +145,21 @@ pub struct GroupSummary {
     pub wall_seconds: f64,
     /// Aggregate cycles/sec (total cycles / total wall).
     pub cycles_per_sec: f64,
+    /// Geometric mean of the member kernels' cycles/sec. Unlike the
+    /// aggregate, every kernel weighs equally regardless of how many
+    /// cycles it stepped, so one long kernel can't mask a regression in
+    /// a short one — the regression gate compares this.
+    pub geomean_cycles_per_sec: f64,
     /// Recorded pre-refactor cycles/sec for the same group.
     pub baseline_cycles_per_sec: f64,
     /// `cycles_per_sec / baseline_cycles_per_sec`.
     pub speedup_vs_baseline: f64,
 }
 
-/// The full bench report (serialized to `BENCH_pr7.json`; older
-/// recordings such as `BENCH_pr2.json`/`BENCH_pr6.json` deserialize
-/// through the same schema for `--baseline` comparisons).
+/// The full bench report (serialized to `BENCH_pr8.json`; older
+/// recordings such as `BENCH_pr2.json`/`BENCH_pr7.json` deserialize
+/// through the same schema for `--baseline` comparisons — fields added
+/// since, like the per-group geomean, degrade gracefully).
 #[derive(Debug, Clone)]
 pub struct BenchReport {
     /// Report schema tag.
@@ -160,6 +172,14 @@ pub struct BenchReport {
     pub kernels: Vec<KernelResult>,
     /// Per-group aggregates.
     pub groups: Vec<GroupSummary>,
+}
+
+/// The fixed kernel-group names, in suite order (`flexvc bench --group`
+/// accepts exactly these).
+pub fn group_names() -> &'static [&'static str] {
+    &[
+        "fig5_h2", "sweep_h4", "hyperx", "adaptive", "dfplus", "flows", "smoke_h8", "paper",
+    ]
 }
 
 /// Build the fixed kernel suite. `quick` shrinks windows for CI.
@@ -519,6 +539,35 @@ pub fn kernel_suite(quick: bool) -> Vec<Kernel> {
     kernels
 }
 
+/// Per-kernel warmup iterations: untimed runs (shrunk windows) that fault
+/// in the allocator arenas, page the simulation structures and train the
+/// branch predictors before the timed repeats. One iteration suffices —
+/// the dominant first-run effect is cold memory, not icache.
+pub const WARMUP_ITERS: usize = 1;
+/// Minimum cycles a kernel's *timed* region must accumulate: short
+/// kernels repeat (fresh engine, same seed — bit-identical work) until
+/// they cross this floor, so a sub-100 ms wall time never turns timer
+/// jitter into a phantom regression.
+pub const MIN_MEASURED_CYCLES: u64 = 20_000;
+/// Early-out for the repeat loop: a kernel whose timed region already
+/// spans this much wall-clock is variance-free regardless of its cycle
+/// count (the paper-scale kernels step slowly but run for seconds).
+pub const MIN_MEASURED_WALL: f64 = 1.0;
+/// Hard cap on timed repeats per kernel.
+pub const MAX_REPEATS: usize = 8;
+
+/// Geometric mean of the member kernels' cycles/sec (`None` when empty).
+fn geomean(members: &[&KernelResult]) -> Option<f64> {
+    if members.is_empty() {
+        return None;
+    }
+    let log_sum: f64 = members
+        .iter()
+        .map(|k| k.cycles_per_sec.max(1e-9).ln())
+        .sum();
+    Some((log_sum / members.len() as f64).exp())
+}
+
 /// Run the suite sequentially (one timing thread) and aggregate.
 ///
 /// `shards` overrides every kernel's engine shard count when `Some`
@@ -526,15 +575,32 @@ pub fn kernel_suite(quick: bool) -> Vec<Kernel> {
 /// shard-count-invariant, so the override only moves wall-clock numbers —
 /// CI uses `--shards 2` to keep the sharded engine's exchange path on the
 /// bench gate.
+///
+/// `group` restricts the run to one kernel group (`flexvc bench --group
+/// fig5_h2`); unknown names fail before anything runs.
+///
+/// Each kernel gets [`WARMUP_ITERS`] untimed warmup iterations, then
+/// repeats its timed run until [`MIN_MEASURED_CYCLES`] accumulate (or
+/// [`MIN_MEASURED_WALL`]/[`MAX_REPEATS`] hit first); the reported
+/// cycles/sec is total cycles over total wall across the repeats.
 pub fn run_bench<F>(
     quick: bool,
     shards: Option<usize>,
+    group: Option<&str>,
     mut progress: F,
 ) -> Result<BenchReport, RunError>
 where
     F: FnMut(&KernelResult),
 {
-    let suite = kernel_suite(quick);
+    let mut suite = kernel_suite(quick);
+    if let Some(g) = group {
+        suite.retain(|k| k.group == g);
+        if suite.is_empty() {
+            // The CLI validates against `group_names()` first; this is
+            // the defensive path for library callers.
+            return Err(RunError::EmptyBatch);
+        }
+    }
     let mut kernels: Vec<KernelResult> = Vec::with_capacity(suite.len());
     for k in &suite {
         let mut cfg = k.cfg.clone();
@@ -545,29 +611,63 @@ where
             index: kernels.len(),
             source,
         };
-        // Construct outside the timed region: cycles/sec measures the
-        // *stepping* rate, and construction cost (seconds at the paper
-        // scales, noisy) would otherwise drown the short windows.
-        // Cycles are those *actually stepped* (a deadlocked run stops
-        // early; its truncated cycle count must not inflate cycles/sec).
-        let (cycles, wall, result) =
+        // One run of `cfg`, constructed outside the timed region:
+        // cycles/sec measures the *stepping* rate, and construction cost
+        // (seconds at the paper scales, noisy) would otherwise drown the
+        // short windows. Cycles are those *actually stepped* (a
+        // deadlocked run stops early; its truncated cycle count must not
+        // inflate cycles/sec).
+        let run_once = |cfg: SimConfig, timed: bool| -> Result<(u64, f64, SimResult), RunError> {
             if flexvc_sim::shard::resolve_shards(cfg.shards, cfg.topology.num_routers()) > 1 {
                 let mut net = ShardedNetwork::new(cfg, k.load, k.seed).map_err(invalid)?;
-                let t0 = Instant::now();
+                let t0 = timed.then(Instant::now);
                 let result = net.run();
-                (net.cycle(), t0.elapsed().as_secs_f64().max(1e-9), result)
+                let wall = t0.map_or(0.0, |t| t.elapsed().as_secs_f64().max(1e-9));
+                Ok((net.cycle(), wall, result))
             } else {
                 let mut net = Network::new(cfg, k.load, k.seed).map_err(invalid)?;
-                let t0 = Instant::now();
+                let t0 = timed.then(Instant::now);
                 let result = net.run();
-                (net.cycle(), t0.elapsed().as_secs_f64().max(1e-9), result)
-            };
+                let wall = t0.map_or(0.0, |t| t.elapsed().as_secs_f64().max(1e-9));
+                Ok((net.cycle(), wall, result))
+            }
+        };
+        // Warmup iterations: quarter windows reach the same steady-state
+        // structures (buffers, wheels, boards) at a fraction of the cost.
+        for _ in 0..WARMUP_ITERS {
+            let mut wcfg = cfg.clone();
+            wcfg.warmup = (wcfg.warmup / 4).max(50);
+            wcfg.measure = (wcfg.measure / 4).max(100);
+            wcfg.watchdog = wcfg.warmup + wcfg.measure;
+            let _ = run_once(wcfg, false)?;
+        }
+        // Timed repeats up to the measured-cycles floor. Each repeat is a
+        // fresh engine on the same (config, load, seed), so the work is
+        // bit-identical and the accumulated rate stays meaningful.
+        let (mut cycles, mut wall) = (0u64, 0.0f64);
+        let mut repeats = 0;
+        let mut result;
+        loop {
+            let (c, w, r) = run_once(cfg.clone(), true)?;
+            cycles += c;
+            wall += w;
+            repeats += 1;
+            result = r;
+            if cycles >= MIN_MEASURED_CYCLES
+                || wall >= MIN_MEASURED_WALL
+                || repeats >= MAX_REPEATS
+                || result.deadlocked
+            {
+                break;
+            }
+        }
         let kr = KernelResult {
             name: k.name.clone(),
             group: k.group.to_string(),
             cycles,
             wall_seconds: wall,
-            cycles_per_sec: cycles as f64 / wall,
+            cycles_per_sec: cycles as f64 / wall.max(1e-9),
+            repeats,
             accepted: result.accepted,
             deadlocked: result.deadlocked,
         };
@@ -576,7 +676,7 @@ where
     }
 
     let mut groups = Vec::new();
-    for (group, baseline) in [
+    for (group_name, baseline) in [
         ("fig5_h2", recorded_baseline::FIG5_H2),
         ("sweep_h4", recorded_baseline::SWEEP_H4),
         ("hyperx", recorded_baseline::HYPERX),
@@ -586,16 +686,21 @@ where
         ("smoke_h8", recorded_baseline::SMOKE_H8),
         ("paper", recorded_baseline::PAPER),
     ] {
-        let members: Vec<&KernelResult> = kernels.iter().filter(|k| k.group == group).collect();
+        let members: Vec<&KernelResult> =
+            kernels.iter().filter(|k| k.group == group_name).collect();
+        let Some(gm) = geomean(&members) else {
+            continue; // group filtered out by `--group`
+        };
         let cycles: u64 = members.iter().map(|k| k.cycles).sum();
         let wall: f64 = members.iter().map(|k| k.wall_seconds).sum();
         let cps = cycles as f64 / wall.max(1e-9);
         groups.push(GroupSummary {
-            group: group.to_string(),
+            group: group_name.to_string(),
             kernels: members.len(),
             cycles,
             wall_seconds: wall,
             cycles_per_sec: cps,
+            geomean_cycles_per_sec: gm,
             baseline_cycles_per_sec: baseline,
             speedup_vs_baseline: cps / baseline,
         });
@@ -615,30 +720,54 @@ where
 pub struct GroupComparison {
     /// Group name.
     pub group: String,
-    /// Cycles/sec of the current run.
+    /// Gated cycles/sec of the current run (geomean when both reports
+    /// carry per-kernel results, aggregate otherwise).
     pub current: f64,
-    /// Cycles/sec recorded in the baseline report.
+    /// Gated cycles/sec recorded in the baseline report.
     pub baseline: f64,
     /// `current / baseline`.
     pub ratio: f64,
+    /// The tolerance this group was gated at.
+    pub tolerance: f64,
     /// Whether this group passes the regression gate.
     pub pass: bool,
 }
 
+/// The gated per-group rate: the stored geomean when present, recomputed
+/// from the per-kernel results for reports recorded before the field
+/// existed, and the aggregate cycles/sec as the last resort (a baseline
+/// file stripped to group summaries).
+fn gated_rate(report: &BenchReport, group: &str) -> Option<f64> {
+    let g = report.groups.iter().find(|g| g.group == group)?;
+    if g.geomean_cycles_per_sec > 0.0 {
+        return Some(g.geomean_cycles_per_sec);
+    }
+    let members: Vec<&KernelResult> = report
+        .kernels
+        .iter()
+        .filter(|k| k.group == group && k.cycles_per_sec > 0.0)
+        .collect();
+    geomean(&members).or(Some(g.cycles_per_sec))
+}
+
 /// Compare a fresh report against a recorded baseline file: every kernel
-/// group present in *both* reports is gated — the run fails when any
-/// group's cycles/sec drops below `1 - tolerance` of the recorded value
-/// (the CI gate uses `tolerance = 0.15`). Groups new since the recording
-/// are reported but not gated. Returns the per-group comparisons and the
+/// group present in *both* reports is gated on its **geomean** cycles/sec
+/// — equal weight per kernel, so a long kernel can't mask a short one's
+/// regression — failing when it drops below `1 - tolerance` of the
+/// recorded value. `overrides` tightens (or loosens) individual groups:
+/// the CI gate uses a default of 0.15 with 0.10 on the recovered
+/// `fig5_h2`/`smoke_h8` groups. Groups new since the recording are
+/// reported but not gated. Returns the per-group comparisons and the
 /// overall verdict.
 ///
 /// Cycles/sec are machine-dependent: a recorded baseline is only
 /// meaningful on hardware comparable to where it was recorded (the repo's
 /// `BENCH_*.json` files and CI runners; see `DESIGN.md`).
-pub fn compare_reports(
+pub fn compare_reports_with(
     current: &BenchReport,
     baseline: &BenchReport,
     tolerance: f64,
+    overrides: &[(&str, f64)],
 ) -> (Vec<GroupComparison>, bool) {
     let mut rows = Vec::new();
     let mut pass = true;
@@ -646,26 +775,40 @@ pub fn compare_reports(
     // from the suite (renamed, deleted) fails loudly instead of silently
     // dropping its gate coverage.
     for b in &baseline.groups {
-        if b.cycles_per_sec <= 0.0 {
+        let Some(base_rate) = gated_rate(baseline, &b.group).filter(|r| *r > 0.0) else {
             continue;
-        }
-        let (current_cps, ratio, ok) = match current.groups.iter().find(|g| g.group == b.group) {
-            Some(g) => {
-                let ratio = g.cycles_per_sec / b.cycles_per_sec;
-                (g.cycles_per_sec, ratio, ratio >= 1.0 - tolerance)
+        };
+        let tol = overrides
+            .iter()
+            .find(|(g, _)| *g == b.group)
+            .map_or(tolerance, |(_, t)| *t);
+        let (current_rate, ratio, ok) = match gated_rate(current, &b.group) {
+            Some(rate) => {
+                let ratio = rate / base_rate;
+                (rate, ratio, ratio >= 1.0 - tol)
             }
             None => (0.0, 0.0, false),
         };
         pass &= ok;
         rows.push(GroupComparison {
             group: b.group.clone(),
-            current: current_cps,
-            baseline: b.cycles_per_sec,
+            current: current_rate,
+            baseline: base_rate,
             ratio,
+            tolerance: tol,
             pass: ok,
         });
     }
     (rows, pass)
+}
+
+/// [`compare_reports_with`] at a single uniform tolerance.
+pub fn compare_reports(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    tolerance: f64,
+) -> (Vec<GroupComparison>, bool) {
+    compare_reports_with(current, baseline, tolerance, &[])
 }
 
 impl Serialize for KernelResult {
@@ -677,6 +820,7 @@ impl Serialize for KernelResult {
                 .with("cycles", self.cycles.to_value())
                 .with("wall_seconds", self.wall_seconds.to_value())
                 .with("cycles_per_sec", self.cycles_per_sec.to_value())
+                .with("repeats", (self.repeats as u64).to_value())
                 .with("accepted", self.accepted.to_value())
                 .with("deadlocked", self.deadlocked.to_value()),
         )
@@ -692,6 +836,10 @@ impl Serialize for GroupSummary {
                 .with("cycles", self.cycles.to_value())
                 .with("wall_seconds", self.wall_seconds.to_value())
                 .with("cycles_per_sec", self.cycles_per_sec.to_value())
+                .with(
+                    "geomean_cycles_per_sec",
+                    self.geomean_cycles_per_sec.to_value(),
+                )
                 .with(
                     "baseline_cycles_per_sec",
                     self.baseline_cycles_per_sec.to_value(),
@@ -723,6 +871,7 @@ impl Deserialize for KernelResult {
             cycles: m.field_or("cycles", 0u64)?,
             wall_seconds: m.field_or("wall_seconds", 0.0)?,
             cycles_per_sec: m.field_or("cycles_per_sec", 0.0)?,
+            repeats: m.field_or::<u64>("repeats", 1)? as usize,
             accepted: m.field_or("accepted", 0.0)?,
             deadlocked: m.field_or("deadlocked", false)?,
         })
@@ -738,6 +887,7 @@ impl Deserialize for GroupSummary {
             cycles: m.field_or("cycles", 0u64)?,
             wall_seconds: m.field_or("wall_seconds", 0.0)?,
             cycles_per_sec: m.field("cycles_per_sec")?,
+            geomean_cycles_per_sec: m.field_or("geomean_cycles_per_sec", 0.0)?,
             baseline_cycles_per_sec: m.field_or("baseline_cycles_per_sec", 0.0)?,
             speedup_vs_baseline: m.field_or("speedup_vs_baseline", 0.0)?,
         })
@@ -804,6 +954,7 @@ mod tests {
                 cycles: 300,
                 wall_seconds: 0.1,
                 cycles_per_sec: 3000.0,
+                repeats: 1,
                 accepted: r.accepted,
                 deadlocked: false,
             }],
@@ -825,6 +976,7 @@ mod tests {
             cycles: 1000,
             wall_seconds: 1.0,
             cycles_per_sec: cps,
+            geomean_cycles_per_sec: cps,
             baseline_cycles_per_sec: 0.0,
             speedup_vs_baseline: 0.0,
         }
@@ -873,5 +1025,91 @@ mod tests {
         assert!(!missing.pass);
         assert_eq!(missing.current, 0.0);
         assert!(rows.iter().find(|r| r.group == "hyperx").unwrap().pass);
+    }
+
+    /// Per-group tolerance overrides: the ratcheted groups gate tighter
+    /// than the default without moving everyone else.
+    #[test]
+    fn baseline_compare_applies_per_group_tolerance() {
+        let baseline = report(vec![
+            group("fig5_h2", 100_000.0),
+            group("hyperx", 100_000.0),
+        ]);
+        // 12% down on both: passes the 15% default, fails a 10% ratchet.
+        let current = report(vec![group("fig5_h2", 88_000.0), group("hyperx", 88_000.0)]);
+        let (rows, pass) = compare_reports_with(&current, &baseline, 0.15, &[("fig5_h2", 0.10)]);
+        assert!(!pass);
+        let fig5 = rows.iter().find(|r| r.group == "fig5_h2").unwrap();
+        assert!(!fig5.pass);
+        assert_eq!(fig5.tolerance, 0.10);
+        let hx = rows.iter().find(|r| r.group == "hyperx").unwrap();
+        assert!(hx.pass);
+        assert_eq!(hx.tolerance, 0.15);
+    }
+
+    fn kernel(group: &str, name: &str, cps: f64) -> KernelResult {
+        KernelResult {
+            name: name.to_string(),
+            group: group.to_string(),
+            cycles: 1000,
+            wall_seconds: 1.0,
+            cycles_per_sec: cps,
+            repeats: 1,
+            accepted: 0.5,
+            deadlocked: false,
+        }
+    }
+
+    /// The gate compares geomeans: a long kernel's aggregate cannot mask
+    /// a short kernel's collapse. Baselines recorded before the geomean
+    /// field existed fall back to recomputing it from their per-kernel
+    /// results.
+    #[test]
+    fn baseline_compare_gates_on_geomean_not_aggregate() {
+        // Pre-geomean baseline: field absent (0.0), kernels present.
+        let mut baseline = report(vec![GroupSummary {
+            geomean_cycles_per_sec: 0.0,
+            ..group("fig5_h2", 100_000.0)
+        }]);
+        baseline.kernels = vec![
+            kernel("fig5_h2", "fig5_h2/a", 100_000.0),
+            kernel("fig5_h2", "fig5_h2/b", 100_000.0),
+        ];
+        // Current run: kernel `a` collapsed 4x, kernel `b` doubled. The
+        // cycles-over-wall aggregate stays ~flat (masking), but the
+        // geomean drops to sqrt(0.25 * 2) ≈ 0.707 — a gated regression.
+        let mut current = report(vec![GroupSummary {
+            geomean_cycles_per_sec: 0.0,
+            ..group("fig5_h2", 100_000.0)
+        }]);
+        current.kernels = vec![
+            kernel("fig5_h2", "fig5_h2/a", 25_000.0),
+            kernel("fig5_h2", "fig5_h2/b", 200_000.0),
+        ];
+        let (rows, pass) = compare_reports(&current, &baseline, 0.15);
+        assert!(!pass, "{rows:?}");
+        let fig5 = &rows[0];
+        assert!((fig5.baseline - 100_000.0).abs() < 1.0);
+        assert!((fig5.ratio - 0.5f64.sqrt()).abs() < 1e-9);
+    }
+
+    /// `--group` filtering: only the selected group's kernels run, the
+    /// report carries just that group, and unknown names fail up front.
+    #[test]
+    fn run_bench_group_filter() {
+        assert!(group_names().contains(&"smoke_h8"));
+        let mut seen = Vec::new();
+        let report = run_bench(true, Some(1), Some("smoke_h8"), |k| {
+            seen.push(k.name.clone());
+        })
+        .unwrap();
+        assert_eq!(report.groups.len(), 1);
+        assert_eq!(report.groups[0].group, "smoke_h8");
+        assert!(report.groups[0].geomean_cycles_per_sec > 0.0);
+        assert!(seen.iter().all(|n| n.starts_with("smoke_h8/")));
+        assert!(matches!(
+            run_bench(true, Some(1), Some("nope"), |_| {}),
+            Err(RunError::EmptyBatch)
+        ));
     }
 }

@@ -124,6 +124,12 @@ pub fn least_occupied<S: SensedState + ?Sized>(sensed: &S, ports: &[u16]) -> Opt
             Some((_, b)) => occ < b,
         };
         if better {
+            if occ == 0 {
+                // An idle port can't be beaten: any later zero loses the
+                // first-appearance tie-break, so skip the remaining sensed
+                // reads (minCred occupancy sums split counters per read).
+                return Some((p, 0));
+            }
             best = Some((p, occ));
         }
     }

@@ -29,6 +29,12 @@ pub struct Occupancy {
     shared_cap: u32,
     /// Per-routing-type split per VC (minCred).
     split: Vec<SplitOccupancy>,
+    /// Probe size registered via [`Occupancy::register_probe`] (0 when the
+    /// ready mask is not maintained).
+    probe: u32,
+    /// Bit `v` set iff `can_accept(v, probe)` — maintained incrementally by
+    /// `add`/`remove`, valid only while `probe != 0`.
+    ready: u32,
 }
 
 impl Occupancy {
@@ -39,6 +45,8 @@ impl Occupancy {
             resv: vec![per_vc; vcs],
             shared_cap: 0,
             split: vec![SplitOccupancy::new(); vcs],
+            probe: 0,
+            ready: 0,
         }
     }
 
@@ -55,6 +63,8 @@ impl Occupancy {
             resv: vec![private_per_vc; vcs],
             shared_cap: total - reserved,
             split: vec![SplitOccupancy::new(); vcs],
+            probe: 0,
+            ready: 0,
         }
     }
 
@@ -104,11 +114,53 @@ impl Occupancy {
         private_head + shared_free
     }
 
+    /// Maintain a ready-VC bitmask for a fixed probe size: after this call
+    /// (and incrementally across every `add`/`remove`),
+    /// [`Occupancy::ready_mask`] has bit `v` set iff
+    /// `can_accept(v, probe)`. Only meaningful for static banks — DAMQ
+    /// admission depends on the *other* VCs' shared-pool use, so a per-VC
+    /// bit cannot be maintained by that VC's mutations alone — and banks of
+    /// at most 32 VCs; the call is a no-op otherwise and `ready_mask` keeps
+    /// reporting `None`.
+    pub fn register_probe(&mut self, probe: u32) {
+        if self.shared_cap != 0 || self.occ.len() > 32 || probe == 0 {
+            return;
+        }
+        self.probe = probe;
+        self.ready = 0;
+        for vc in 0..self.occ.len() {
+            if self.occ[vc] + probe <= self.resv[vc] {
+                self.ready |= 1 << vc;
+            }
+        }
+    }
+
+    /// The maintained ready-VC bitmask (bit `v` iff the registered probe
+    /// size fits VC `v`), or `None` when no probe is registered.
+    #[inline]
+    pub fn ready_mask(&self) -> Option<u32> {
+        (self.probe != 0).then_some(self.ready)
+    }
+
+    /// Re-derive VC `vc`'s ready bit after an occupancy mutation.
+    #[inline]
+    fn refresh_ready(&mut self, vc: usize) {
+        if self.probe != 0 {
+            let bit = 1u32 << vc;
+            if self.occ[vc] + self.probe <= self.resv[vc] {
+                self.ready |= bit;
+            } else {
+                self.ready &= !bit;
+            }
+        }
+    }
+
     /// Record `size` phits entering VC `vc`.
     pub fn add(&mut self, vc: usize, size: u32, class: CreditClass) {
         debug_assert!(self.can_accept(vc, size), "overflow on VC {vc}");
         self.occ[vc] += size;
         self.split[vc].add(class, size);
+        self.refresh_ready(vc);
     }
 
     /// Record `size` phits leaving VC `vc`.
@@ -116,6 +168,7 @@ impl Occupancy {
         debug_assert!(self.occ[vc] >= size, "underflow on VC {vc}");
         self.occ[vc] -= size;
         self.split[vc].remove(class, size);
+        self.refresh_ready(vc);
     }
 
     /// Phits resident in VC `vc`.
@@ -388,7 +441,6 @@ mod tests {
             opp_blocked: 0,
             hops: 0,
             reverts: 0,
-            flow: None,
         }
     }
 

@@ -182,6 +182,25 @@ enum Decision {
     Eject { channel: u16 },
 }
 
+/// Classification of a head-evaluation rejection by its *first failing
+/// gate* — the only gate whose state change can alter the outcome, since
+/// every gate behind it was never consulted and every gate moves
+/// monotonically against acceptance between events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvalBlock {
+    /// Not classifiable (unexpected empty VC, or a gate with no tracked
+    /// improvement event): never memoized.
+    Never,
+    /// Time-pure gate (crossbar or ejector busy-until, head phit not yet
+    /// arrived, unplanned head awaiting next cycle's planning pass, reply
+    /// queue full until next cycle's generation pass): `None` is
+    /// guaranteed strictly before the deadline.
+    Until(u64),
+    /// Event gate on an output port (credits exhausted or output buffer
+    /// full): `None` is guaranteed while the port's epoch is unchanged.
+    Event(u16),
+}
+
 /// The simulation network.
 pub struct Network {
     cfg: SimConfig,
@@ -199,6 +218,10 @@ pub struct Network {
     /// path (also disables the evaluation-skip memo, whose soundness
     /// argument assumes evaluations do not mutate state).
     transit_decisions: bool,
+    /// Cached [`RoutePolicy::is_static_min`]: injection planning bypasses
+    /// the policy object (no `SenseView` setup, no dispatch) and calls
+    /// [`min_plan`] directly — the monomorphized MIN fast path.
+    fast_min: bool,
     /// Network ports per router.
     pp: usize,
     /// Nodes per router.
@@ -272,6 +295,19 @@ pub struct Network {
     pkt_wheel: Wheel<u32>,
     /// Timing wheel of links with a credit arriving at a cycle.
     cred_wheel: Wheel<u32>,
+    /// Last credit-arrival cycle scheduled per link (flat link id): credit
+    /// returns are batched per link per cycle, so a link already scheduled
+    /// for cycle `at` skips the duplicate wheel push — `deliver` drains
+    /// every credit due at `at` from one wheel entry. Sound because credit
+    /// departures (and hence arrivals) are monotonic per link, and a
+    /// duplicate entry would drain nothing anyway.
+    cred_sched: Vec<u64>,
+    /// Debug-build shadow of `cred_wheel` *without* the per-link batching:
+    /// one entry per credit event. `deliver` cross-checks that the batched
+    /// drain processes exactly the credits the per-event schedule would
+    /// have, cycle by cycle.
+    #[cfg(debug_assertions)]
+    shadow_cred: Wheel<u32>,
     /// Timing wheel of scheduled buffer releases `(router, release)` —
     /// releases are commutative occupancy arithmetic, so wheel order is
     /// interchangeable with the old per-router scan order.
@@ -310,6 +346,28 @@ pub struct Network {
     /// packet this round (opportunistic patience counting, reversion) —
     /// such a round is not provably repeatable and must not settle.
     eval_mutated: bool,
+    /// Like `eval_mutated` but reset before every `evaluate_head` call:
+    /// tells the caller whether *this* evaluation mutated its head
+    /// (`eval_mutated` is sticky across a router visit, so it cannot
+    /// distinguish which call mutated). A mutating rejection must keep
+    /// being re-evaluated — patience advances per visit.
+    eval_mutated_here: bool,
+    /// Why the last `evaluate_head` call rejected (see [`EvalBlock`]):
+    /// classifies the first failing gate so the rejection can be
+    /// memoized until that gate can actually change.
+    eval_block: EvalBlock,
+    /// Per-(router, output-port) event counter, bumped whenever a gate on
+    /// that port can flip from blocking to passing: a credit return
+    /// (`deliver`) or an output-buffer release (`process_pending`). An
+    /// `EvalBlock::Event` rejection is provably `None` while its port's
+    /// counter is unchanged — credits and output occupancy improve through
+    /// these two events and nothing else.
+    port_epoch: Vec<u64>,
+    /// Parallel to `vc_skip_until`: the port whose epoch the memoized
+    /// rejection is keyed on, and the epoch observed when it was recorded
+    /// (`u64::MAX` = no event key, deadline only).
+    vc_skip_port: Vec<u16>,
+    vc_skip_epoch: Vec<u64>,
     /// Per-(router, input, VC < 16) evaluation skip deadline: when an
     /// evaluation fails the crossbar-busy gate, the same `None` outcome is
     /// guaranteed until the (monotonically advancing) `out_xbar` expiry —
@@ -320,6 +378,18 @@ pub struct Network {
     /// Baseline policy lookup: `(class, slot) -> (vc, position)`, pure per
     /// configuration (empty unless the baseline policy is active).
     baseline_table: Vec<[(u8, u16); MAX_PLAN]>,
+    /// Whether the workload emits flows (`flow_tags` stays untouched —
+    /// and flow tagging costs nothing — otherwise).
+    has_flows: bool,
+    /// Flow tags of in-flight packets, keyed by `(src node, packet id)`.
+    /// Kept *outside* [`Packet`] so synthetic workloads don't pay for the
+    /// field on every buffer move; tags cross shard boundaries alongside
+    /// their packet's boundary event. Packet ids alone are only unique per
+    /// engine instance — sharded runs allocate them per shard — but a
+    /// packet is generated by exactly one node and each node belongs to
+    /// one shard, so pairing the id with the source node keys migrated
+    /// tags without collisions.
+    flow_tags: std::collections::HashMap<(u32, u64), flexvc_traffic::FlowTag>,
     /// Sensing occupancy scratch.
     occ_scratch: Vec<u32>,
     /// Sensing flag scratch.
@@ -436,7 +506,7 @@ impl Network {
         let max_lat = cfg.local_latency.max(cfg.global_latency) as u64;
         let link_window = (max_lat / size as u64) as usize + 4;
 
-        let routers: Vec<Router> = (0..nr)
+        let mut routers: Vec<Router> = (0..nr)
             .map(|r| {
                 // Foreign routers (sharded mode) keep their slots so flat
                 // indexing stays global, but are never stepped: skip their
@@ -489,6 +559,16 @@ impl Network {
                 }
             })
             .collect();
+
+        // Uniform packet size: let the credit mirrors maintain a ready-VC
+        // bitmask incrementally, so the allocator's VC-candidate scan is a
+        // word scan instead of a per-VC `can_accept` loop (static buffers
+        // only; DAMQ admission depends on shared headroom and falls back).
+        for router in &mut routers {
+            for credit in &mut router.out_credit {
+                credit.register_probe(size);
+            }
+        }
 
         // A link replica matters to a shard when it transmits on it (owns
         // the sending router) or receives from it (owns the downstream
@@ -607,12 +687,14 @@ impl Network {
             start..end
         };
         let policy = RoutePolicy::new(&cfg);
+        let cfg_has_flows = cfg.workload.flow_spec().is_some();
         // In-transit decisions (PAR's divert mark, DAL's per-dimension
         // evaluation, adaptive copy re-selection) mutate packets during
         // evaluation, so such configurations never settle; FlexVC
         // mutations (patience, reversion) are tracked per round via
         // `eval_mutated`.
         let transit_decisions = policy.decides_in_transit();
+        let fast_min = policy.is_static_min();
         let can_settle = !transit_decisions;
         let cfg_vcs_by_port: Vec<u8> = (0..pp)
             .map(|p| cfg.vcs_for_class(port_class[p]).clamp(1, 255) as u8)
@@ -625,6 +707,7 @@ impl Network {
             arr,
             policy,
             transit_decisions,
+            fast_min,
             pp,
             pn,
             adj,
@@ -660,6 +743,9 @@ impl Network {
             sense_in: vec![false; nr],
             pkt_wheel: Wheel::new(horizon),
             cred_wheel: Wheel::new(horizon),
+            cred_sched: vec![0; nr * pp],
+            #[cfg(debug_assertions)]
+            shadow_cred: Wheel::new(horizon),
             rel_wheel: Wheel::new(horizon),
             cand: vec![None; pp + pn],
             cand_set: Vec::with_capacity(pp + pn),
@@ -682,8 +768,15 @@ impl Network {
             settled: vec![u64::MAX; nr],
             can_settle,
             eval_mutated: false,
+            eval_mutated_here: false,
+            eval_block: EvalBlock::Never,
+            port_epoch: vec![0; nr * pp],
+            vc_skip_port: vec![0; nr * (pp + pn) * 16],
+            vc_skip_epoch: vec![u64::MAX; nr * (pp + pn) * 16],
             vc_skip_until: vec![0; nr * (pp + pn) * 16],
             baseline_table,
+            has_flows: cfg_has_flows,
+            flow_tags: std::collections::HashMap::new(),
             occ_scratch: Vec::new(),
             flag_scratch: Vec::new(),
         }
@@ -730,6 +823,27 @@ impl Network {
             LinkClass::Local => self.cfg.local_latency,
             LinkClass::Global => self.cfg.global_latency,
         }
+    }
+
+    /// A flow's ideal (zero-load) completion time: the train's full
+    /// serialization at the 1 phit/cycle injection rate plus the unloaded
+    /// latency of the minimal path (per-hop link latency plus router
+    /// pipeline) — the standard FCT-slowdown denominator. Derived from the
+    /// topology's minimal hop classes between the flow's endpoints.
+    fn flow_ideal(
+        &self,
+        tag: &flexvc_traffic::FlowTag,
+        src: u32,
+        dst_router: u32,
+        size: u32,
+    ) -> u64 {
+        let src_r = self.topo.router_of_node(src as usize);
+        let path = self.topo.min_classes(src_r, dst_router as usize);
+        let unloaded: u64 = path[..]
+            .iter()
+            .map(|&c| (self.cfg.pipeline_latency + self.latency_of(c)) as u64)
+            .sum();
+        tag.len as u64 * size as u64 + unloaded
     }
 
     /// Mute the traffic generators and step until every in-flight packet
@@ -837,15 +951,19 @@ impl Network {
     /// schedule, where the same effects were queued during the phases.
     pub(crate) fn apply_boundary(&mut self, now: u64, ev: BoundaryEvent) {
         match ev.payload {
-            BoundaryPayload::Packet(flight) => {
+            BoundaryPayload::Packet { flight, flow } => {
                 debug_assert!(self.owns(self.adj[ev.lid as usize].expect("wired").0));
+                if let Some(tag) = flow {
+                    self.flow_tags
+                        .insert((flight.packet.src, flight.packet.id), tag);
+                }
                 self.pkt_wheel.schedule(now, ev.at, ev.lid);
                 self.links[ev.lid as usize].receive_flight(flight);
             }
             BoundaryPayload::Credit { vc, phits, class } => {
                 debug_assert!(self.owns(ev.lid / self.pp as u32));
                 self.links[ev.lid as usize].receive_credit(ev.at, vc, phits, class);
-                self.cred_wheel.schedule(now, ev.at, ev.lid);
+                self.schedule_credit(now, ev.at, ev.lid as usize);
             }
             BoundaryPayload::Board {
                 group,
@@ -960,6 +1078,10 @@ impl Network {
         self.pkt_wheel.put_back(now, due);
         // Credit arrivals: links with a credit due now (the credit queue
         // lives on the *upstream* link, owned by the router it returns to).
+        // One wheel entry per (link, cycle) — `schedule_credit` batches —
+        // and the drain loop applies every credit due on that link at once.
+        #[cfg(debug_assertions)]
+        let mut drained_dbg: Vec<(u32, u32)> = Vec::new();
         let due = self.cred_wheel.take(now);
         for &lid32 in &due {
             let lid = lid32 as usize;
@@ -974,15 +1096,45 @@ impl Network {
                 // as deadlocked.
                 self.last_progress = now;
                 any = true;
+                #[cfg(debug_assertions)]
+                match drained_dbg.last_mut() {
+                    Some((l, n)) if *l == lid32 => *n += 1,
+                    _ => drained_dbg.push((lid32, 1)),
+                }
             }
-            if any
-                && !self.boards.is_empty()
-                && (self.sense_all || self.port_class[op] == LinkClass::Global)
-            {
-                mark(&mut self.sense_list, &mut self.sense_in, r);
+            if any {
+                // Credits restore acceptance on this output port: wake its
+                // memoized rejections (see `port_epoch`).
+                self.port_epoch[lid] += 1;
+                if !self.boards.is_empty()
+                    && (self.sense_all || self.port_class[op] == LinkClass::Global)
+                {
+                    mark(&mut self.sense_list, &mut self.sense_in, r);
+                }
             }
         }
         self.cred_wheel.put_back(now, due);
+        // Cross-check: the batched drain must process exactly the credits
+        // the un-batched per-event schedule (`shadow_cred`) has due this
+        // cycle — same links, same per-link counts.
+        #[cfg(debug_assertions)]
+        {
+            let shadow = self.shadow_cred.take(now);
+            let mut expected: Vec<(u32, u32)> = Vec::new();
+            for &l in &shadow {
+                match expected.iter_mut().find(|(el, _)| *el == l) {
+                    Some((_, n)) => *n += 1,
+                    None => expected.push((l, 1)),
+                }
+            }
+            drained_dbg.sort_unstable();
+            expected.sort_unstable();
+            debug_assert_eq!(
+                drained_dbg, expected,
+                "batched credit drain diverged from the per-event schedule at cycle {now}"
+            );
+            self.shadow_cred.put_back(now, shadow);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1014,6 +1166,9 @@ impl Network {
                 Pending::OutBuf { port, phits, at } => {
                     debug_assert_eq!(at, now);
                     self.out_occ[rid * pp + port as usize] -= phits;
+                    // Output space restored: wake the port's memoized
+                    // rejections (see `port_epoch`).
+                    self.port_epoch[rid * pp + port as usize] += 1;
                 }
             }
         }
@@ -1046,9 +1201,10 @@ impl Network {
                 let r = self.topo.router_of_node(n);
                 let local = n - self.node_base[r] as usize;
                 if self.routers[r].inj[local].occ.can_accept(vc, size) {
-                    let mut pkt =
-                        self.new_packet(n as u32, em.dest as u32, MessageClass::Request, now);
-                    pkt.flow = em.flow;
+                    let pkt = self.new_packet(n as u32, em.dest as u32, MessageClass::Request, now);
+                    if let Some(tag) = em.flow {
+                        self.flow_tags.insert((pkt.src, pkt.id), tag);
+                    }
                     self.routers[r].inj[local].push(vc, pkt);
                     self.queued[r] += 1;
                     let in_idx = self.pp + local;
@@ -1122,7 +1278,6 @@ impl Network {
             opp_blocked: 0,
             hops: 0,
             reverts: 0,
-            flow: None,
         }
     }
 
@@ -1153,23 +1308,35 @@ impl Network {
                         continue;
                     }
                     let (dst_r, class) = (head.dst_router as usize, head.class);
-                    let sense = SenseView {
-                        out_credit: &router.out_credit,
-                        boards: &self.boards,
-                        sense_ports: &self.sense_ports,
-                        sense_all: self.sense_all,
-                        min_cred: self.cfg.sensing.min_cred,
-                        adj: &self.adj,
-                        port_class: &self.port_class,
+                    let (plan, min_routed) = if self.fast_min {
+                        // Monomorphized MIN fast path: `plan_injection` in
+                        // Min mode without adaptive copies reads no sensed
+                        // state and no RNG, so skip the `SenseView` setup
+                        // and the policy dispatch entirely.
+                        if dst_r == r {
+                            (PlannedPath::empty(), true)
+                        } else {
+                            (min_plan(&*self.topo, r, dst_r), true)
+                        }
+                    } else {
+                        let sense = SenseView {
+                            out_credit: &router.out_credit,
+                            boards: &self.boards,
+                            sense_ports: &self.sense_ports,
+                            sense_all: self.sense_all,
+                            min_cred: self.cfg.sensing.min_cred,
+                            adj: &self.adj,
+                            port_class: &self.port_class,
+                        };
+                        self.policy.plan_injection(
+                            &*self.topo,
+                            &sense,
+                            &mut router.rng,
+                            r,
+                            dst_r,
+                            class,
+                        )
                     };
-                    let (plan, min_routed) = self.policy.plan_injection(
-                        &*self.topo,
-                        &sense,
-                        &mut router.rng,
-                        r,
-                        dst_r,
-                        class,
-                    );
                     let head = router.inj[local].head_mut(vc).expect("head");
                     head.plan = plan;
                     head.min_routed = min_routed;
@@ -1202,6 +1369,11 @@ impl Network {
         // Routers are dropped from the worklist lazily once they drain.
         let mut list = std::mem::take(&mut self.alloc_list);
         let mut li = 0;
+        // Request slots are mask-tracked (`req_mask` is rebuilt per port
+        // visit and stale entries are never read), so one initialization
+        // serves the whole sweep — the per-visit 16-slot re-init showed up
+        // at scale.
+        let mut reqs: [Option<Decision>; 16] = [None; 16];
         while li < list.len() {
             let r = list[li] as usize;
             if self.queued[r] == 0 {
@@ -1250,9 +1422,6 @@ impl Network {
                 if self.in_busy[r * n_in + in_idx] > now {
                     continue;
                 }
-                // Request slots are mask-tracked: stale entries are never
-                // read, so the array needs no per-port re-initialization.
-                let mut reqs: [Option<Decision>; 16] = [None; 16];
                 let mut req_mask: u32 = 0;
                 // VC-level skip: only VCs with queued packets (tracked in
                 // `vc_mask`, bank untouched) are evaluated; VCs >= 16 were
@@ -1262,15 +1431,48 @@ impl Network {
                     let vc = vc_bits.trailing_zeros() as usize;
                     vc_bits &= vc_bits - 1;
                     debug_assert!(vc < self.vcs_by_in[in_idx] as usize);
-                    if self.vc_skip_until[(r * n_in + in_idx) * 16 + vc] > now {
-                        // Proven `None` until the crossbar frees (see
-                        // `vc_skip_until`): skip the evaluation outright.
+                    let sl = (r * n_in + in_idx) * 16 + vc;
+                    if self.vc_skip_until[sl] > now
+                        || self.vc_skip_epoch[sl]
+                            == self.port_epoch[r * pp + self.vc_skip_port[sl] as usize]
+                    {
+                        // Memoized rejection: provably still `None` — the
+                        // recorded deadline has not passed, or no event
+                        // fired on the blocking port since it was
+                        // recorded. A stale record can never match: the
+                        // head below it cannot leave without a grant, a
+                        // grant requires an acceptance, and an acceptance
+                        // requires the deadline to expire or the epoch to
+                        // move past the recorded value first.
                         debug_assert!(self.evaluate_head(r, in_idx, vc, now).is_none());
                         continue;
                     }
+                    self.eval_mutated_here = false;
                     if let Some(d) = self.evaluate_head(r, in_idx, vc, now) {
                         reqs[vc] = Some(d);
                         req_mask |= 1 << vc;
+                    } else if !self.transit_decisions && vc < 16 && !self.eval_mutated_here {
+                        // Memoize the rejection by its first failing gate
+                        // (see `EvalBlock`). Heads that mutated (patience
+                        // ticks, reversions) must keep being visited, as
+                        // must in-transit deciders whose visit schedule is
+                        // part of the policy — neither records anything.
+                        match self.eval_block {
+                            EvalBlock::Never => {}
+                            EvalBlock::Until(t) => {
+                                // Deadline only; epoch key disabled.
+                                self.vc_skip_until[sl] = t.max(now + 1);
+                                self.vc_skip_epoch[sl] = u64::MAX;
+                            }
+                            EvalBlock::Event(port) => {
+                                // Holds for the rest of this cycle (no
+                                // events fire during allocation) and
+                                // beyond, until the port sees an event.
+                                self.vc_skip_until[sl] = now + 1;
+                                self.vc_skip_port[sl] = port;
+                                self.vc_skip_epoch[sl] = self.port_epoch[r * pp + port as usize];
+                            }
+                        }
                     }
                 }
                 if req_mask == 0 {
@@ -1352,23 +1554,30 @@ impl Network {
         let pp = self.pp;
         let size = self.cfg.packet_size;
         let is_injection = in_idx >= pp;
-
-        // Pre-read immutable facts about the head.
-        {
-            let router = &self.routers[r];
-            let head = if is_injection {
-                router.inj[in_idx - pp].head(vc)?
-            } else {
-                router.inputs[in_idx].head(vc)?
-            };
-            if head.head_arrival > now || !head.planned {
-                return None;
-            }
-        }
+        self.eval_block = EvalBlock::Never;
 
         // In-transit routing decisions (PAR divert, DAL per-dimension
-        // misroute, adaptive copy re-selection) may replace the plan.
+        // misroute, adaptive copy re-selection) may replace the plan; they
+        // only run for arrived, planned heads, so pre-read those facts.
+        // Without transit decisions the same checks run on the fused head
+        // read inside the loop below instead (one bank lookup, not two).
         if self.transit_decisions {
+            {
+                let router = &self.routers[r];
+                let head = if is_injection {
+                    router.inj[in_idx - pp].head(vc)?
+                } else {
+                    router.inputs[in_idx].head(vc)?
+                };
+                if head.head_arrival > now {
+                    self.eval_block = EvalBlock::Until(head.head_arrival);
+                    return None;
+                }
+                if !head.planned {
+                    self.eval_block = EvalBlock::Until(now + 1);
+                    return None;
+                }
+            }
             self.transit_decide(r, in_idx, vc, now);
         }
 
@@ -1381,6 +1590,20 @@ impl Network {
             } else {
                 router.inputs[in_idx].head(vc)?
             };
+            if !self.transit_decisions && !reverted {
+                if head.head_arrival > now {
+                    // Cut-through eligibility is time-pure.
+                    self.eval_block = EvalBlock::Until(head.head_arrival);
+                    return None;
+                }
+                if !head.planned {
+                    // Planned by next cycle's planning pass (phase 4
+                    // precedes allocation, and the router is already on
+                    // `plan_list`).
+                    self.eval_block = EvalBlock::Until(now + 1);
+                    return None;
+                }
+            }
             // A done plan means ejection (possibly after a reversion of a
             // detour that passed through the destination router).
             if head.plan.is_done() {
@@ -1391,13 +1614,17 @@ impl Network {
                     && head.class == MessageClass::Request
                     && self.staging[head.dst as usize].len() >= self.cfg.reply_queue_packets
                 {
+                    // Staging drains only in next cycle's generation pass.
+                    self.eval_block = EvalBlock::Until(now + 1);
                     return None;
                 }
                 let local = head.dst as usize - self.node_base[r] as usize;
                 let channel = (local * 2 + head.class.index()) as u16;
-                return if self.eject_busy[r * self.pn * 2 + channel as usize] <= now {
+                let busy = self.eject_busy[r * self.pn * 2 + channel as usize];
+                return if busy <= now {
                     Some(Decision::Eject { channel })
                 } else {
+                    self.eval_block = EvalBlock::Until(busy);
                     None
                 };
             }
@@ -1408,20 +1635,15 @@ impl Network {
             // Output-side structural checks.
             let xbar_until = self.out_xbar[r * pp + port];
             if xbar_until > now {
-                // The gate's outcome is time-pure: record the deadline so
-                // later rounds skip this head without re-deriving it. Not
-                // sound for in-transit deciders — PAR/DAL/adaptive-copy
-                // evaluations above mutate state on a schedule tied to
-                // evaluation visits — or reverted heads (the reversion
-                // this round must not be skipped later... the new plan
-                // targets a different port anyway, and the deadline is
-                // recomputed from it on the next visit).
-                if !self.transit_decisions && vc < 16 && !reverted {
-                    self.vc_skip_until[(r * (pp + self.pn) + in_idx) * 16 + vc] = xbar_until;
-                }
+                // Time-pure: the crossbar frees at a known cycle (the
+                // caller memoizes the deadline; reverted heads never
+                // memoize — `eval_mutated_here` is already set).
+                self.eval_block = EvalBlock::Until(xbar_until);
                 return None;
             }
             if self.out_occ[r * pp + port] + size > self.cfg.buffers.output {
+                // Improves only on an output-buffer release event.
+                self.eval_block = EvalBlock::Event(port as u16);
                 return None;
             }
             let credit = &router.out_credit[port];
@@ -1453,6 +1675,8 @@ impl Network {
                             pos,
                         });
                     }
+                    // Improves only on a credit return for this port.
+                    self.eval_block = EvalBlock::Event(port as u16);
                     return None;
                 }
                 VcPolicy::FlexVc => {
@@ -1518,10 +1742,39 @@ impl Network {
                     if let Some(opts) = opts {
                         let mut cands: [(usize, usize); 16] = [(0, 0); 16];
                         let mut nc = 0;
-                        for v in opts.lo..=opts.hi {
-                            if credit.can_accept(v, size) {
-                                cands[nc] = (v, credit.free_for(v) as usize);
-                                nc += 1;
+                        match credit.ready_mask() {
+                            // Word scan over the incrementally-maintained
+                            // ready-VC bitmask: same ascending VC order and
+                            // same acceptance set as the per-VC
+                            // `can_accept` loop below.
+                            Some(ready) => {
+                                let window =
+                                    (u32::MAX >> (31 - opts.hi as u32)) & !((1u32 << opts.lo) - 1);
+                                let mut m = ready & window;
+                                #[cfg(debug_assertions)]
+                                for v in opts.lo..=opts.hi {
+                                    debug_assert_eq!(
+                                        credit.can_accept(v, size),
+                                        m & (1 << v) != 0,
+                                        "ready mask out of sync at vc {v}"
+                                    );
+                                }
+                                while m != 0 {
+                                    let v = m.trailing_zeros() as usize;
+                                    m &= m - 1;
+                                    cands[nc] = (v, credit.free_for(v) as usize);
+                                    nc += 1;
+                                }
+                            }
+                            // DAMQ banks (admission depends on shared
+                            // headroom) keep the linear scan.
+                            None => {
+                                for v in opts.lo..=opts.hi {
+                                    if credit.can_accept(v, size) {
+                                        cands[nc] = (v, credit.free_for(v) as usize);
+                                        nc += 1;
+                                    }
+                                }
                             }
                         }
                         if nc > 0 {
@@ -1539,12 +1792,17 @@ impl Network {
                             });
                         }
                         if opts.kind == HopKind::Safe {
-                            return None; // blocked safe hop: wait.
+                            // Blocked safe hop: every candidate VC is out
+                            // of credit, which only a credit return for
+                            // this port can change.
+                            self.eval_block = EvalBlock::Event(port as u16);
+                            return None;
                         }
                         // Opportunistic hop without downstream space: wait
                         // out the configured patience, then revert.
                         let patience = self.cfg.revert_patience;
                         self.eval_mutated = true;
+                        self.eval_mutated_here = true;
                         let router = &mut self.routers[r];
                         let head = if is_injection {
                             router.inj[in_idx - pp].head_mut(vc)?
@@ -1564,6 +1822,7 @@ impl Network {
                     }
                     reverted = true;
                     self.eval_mutated = true;
+                    self.eval_mutated_here = true;
                     let plan = min_plan(&*self.topo, r, dst_r);
                     let router = &mut self.routers[r];
                     let head = if is_injection {
@@ -1660,8 +1919,23 @@ impl Network {
             });
         } else {
             self.links[up_lid].send_credit(t_c, lat, vc_in as u8, phits, class);
-            self.cred_wheel
-                .schedule(now, t_c + lat as u64, up_lid as u32);
+            self.schedule_credit(now, t_c + lat as u64, up_lid);
+        }
+    }
+
+    /// Schedule the credit-drain wheel for a credit arriving on link `lid`
+    /// at cycle `at`, batching per link per cycle: `deliver` pops *every*
+    /// credit due at `at` from one wheel entry, so a second entry for the
+    /// same (link, cycle) would drain nothing — skip pushing it. Credit
+    /// arrivals are monotonic per link (asserted in `LinkState`), so a
+    /// recorded cycle can only be superseded by a later one.
+    #[inline]
+    fn schedule_credit(&mut self, now: u64, at: u64, lid: usize) {
+        #[cfg(debug_assertions)]
+        self.shadow_cred.schedule(now, at, lid as u32);
+        if self.cred_sched[lid] != at {
+            self.cred_sched[lid] = at;
+            self.cred_wheel.schedule(now, at, lid as u32);
         }
     }
 
@@ -1814,9 +2088,12 @@ impl Network {
         // flow either has every packet tracked or none: completion order
         // may differ from emission order under adaptive routing, but the
         // first-packet emission cycle is shared by the whole train.
-        if let Some(tag) = pkt.flow {
-            if self.in_window(tag.start) {
-                self.metrics.track_flow(&tag, done, size);
+        if self.has_flows {
+            if let Some(tag) = self.flow_tags.remove(&(pkt.src, pkt.id)) {
+                if self.in_window(tag.start) && self.metrics.flow_packet_done(&tag) {
+                    let ideal = self.flow_ideal(&tag, pkt.src, pkt.dst_router, size);
+                    self.metrics.complete_flow(&tag, done, ideal);
+                }
             }
         }
         // Reactive: the destination answers with a reply once the request
@@ -1861,15 +2138,22 @@ impl Network {
             if foreign_rx {
                 // The receiving router lives on another shard: keep the
                 // serialization state (`busy_until`) here, ship the
-                // in-flight record to the receiver's link replica. Its head
+                // in-flight record to the receiver's link replica — with
+                // the packet's flow tag, whose table entry moves to the
+                // receiving shard (the flow ejects there). Its head
                 // arrives at `now + lat`, beyond this cycle, so delivery
                 // timing is identical to the local path.
+                let flow = if self.has_flows {
+                    self.flow_tags.remove(&(out.pkt.src, out.pkt.id))
+                } else {
+                    None
+                };
                 let flight = self.links[lid].transmit_boundary(now, lat, out.vc, out.pkt);
                 self.outbox.push(BoundaryEvent {
                     at: flight.head_arrival,
                     lid: lid as u32,
                     dst: self.adj[lid].expect("wired").0,
-                    payload: BoundaryPayload::Packet(flight),
+                    payload: BoundaryPayload::Packet { flight, flow },
                 });
             } else {
                 self.links[lid].transmit(now, lat, out.vc, out.pkt);

@@ -276,6 +276,35 @@ pub fn points() -> Vec<EquivalencePoint> {
         19,
     );
 
+    // Hot-path pins (recorded when the fast paths landed): static-MIN
+    // routing with the baseline VC policy drives the monomorphized
+    // injection-plan path (no SenseView, no policy dispatch) and — at
+    // high load, where credit stalls dominate — the batched per-link
+    // credit drain. One synthetic point on the HyperX and one flow point
+    // on the Dragonfly so both topologies' fast paths stay pinned.
+    add(
+        "hotpath_un_min_baseline_hyperx2d",
+        smoke(SimConfig::hyperx_baseline(
+            2,
+            4,
+            2,
+            RoutingMode::Min,
+            Workload::oblivious(Pattern::Uniform),
+        )),
+        0.75,
+        26,
+    );
+    add(
+        "hotpath_flows_perm_min_baseline",
+        smoke(SimConfig::dragonfly_baseline(
+            2,
+            RoutingMode::Min,
+            Workload::flows(FlowSpec::permutation(SizeDist::mice_elephants())),
+        )),
+        0.45,
+        27,
+    );
+
     points
 }
 

@@ -214,7 +214,6 @@ mod tests {
             opp_blocked: 0,
             hops: 0,
             reverts: 0,
-            flow: None,
         }
     }
 

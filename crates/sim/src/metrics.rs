@@ -8,9 +8,16 @@ use std::collections::HashMap;
 /// latencies in `[2^i, 2^(i+1))`; the last bucket (20) is an *overflow*
 /// bucket absorbing everything at `2^20` cycles and above, so the recorded
 /// maximum is kept alongside the buckets to bound its contents.
+///
+/// Each bucket also accumulates the *sum* of its samples, so
+/// [`LatencyHistogram::quantile_interp`] can resolve within a bucket (the
+/// in-bucket mean) instead of snapping to the power-of-two lower bound.
+/// The sums are plain integer accumulators, so shard merges stay exact.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyHistogram {
     buckets: [u64; 21],
+    /// Sum of the samples landing in each bucket.
+    sums: [u64; 21],
     count: u64,
     /// Largest recorded sample (0 when empty).
     max: u64,
@@ -24,6 +31,7 @@ impl LatencyHistogram {
     pub fn record(&mut self, latency: u64) {
         let b = (64 - latency.max(1).leading_zeros() as usize - 1).min(OVERFLOW_BUCKET);
         self.buckets[b] += 1;
+        self.sums[b] += latency;
         self.count += 1;
         self.max = self.max.max(latency);
     }
@@ -46,10 +54,16 @@ impl LatencyHistogram {
         &self.buckets
     }
 
+    /// Per-bucket sample sums (aligned with [`LatencyHistogram::buckets`]).
+    pub fn bucket_sums(&self) -> &[u64; 21] {
+        &self.sums
+    }
+
     /// Rebuild from serialized bucket counts. The maximum is estimated as
     /// the lower bound of the highest non-empty bucket; callers holding the
     /// true recorded maximum should follow up with
-    /// [`LatencyHistogram::observe_max`].
+    /// [`LatencyHistogram::observe_max`], and callers holding the per-bucket
+    /// sums with [`LatencyHistogram::restore_bucket_sums`].
     pub fn from_buckets(buckets: [u64; 21]) -> Self {
         let count = buckets.iter().sum();
         let max = buckets
@@ -58,6 +72,7 @@ impl LatencyHistogram {
             .map_or(0, |i| 1u64 << i);
         LatencyHistogram {
             buckets,
+            sums: [0; 21],
             count,
             max,
         }
@@ -67,6 +82,14 @@ impl LatencyHistogram {
     /// true maximum was stored alongside the buckets). Never lowers it.
     pub fn observe_max(&mut self, max: u64) {
         self.max = self.max.max(max);
+    }
+
+    /// Restore per-bucket sums stored alongside serialized bucket counts.
+    /// Old files carry no sums and leave them zero, which
+    /// [`LatencyHistogram::quantile_interp`] treats as "unknown" and falls
+    /// back to the bucket lower bound for.
+    pub fn restore_bucket_sums(&mut self, sums: [u64; 21]) {
+        self.sums = sums;
     }
 
     /// Approximate quantile: the *lower* bound of the bucket containing the
@@ -95,9 +118,41 @@ impl LatencyHistogram {
         self.max.max(1u64 << OVERFLOW_BUCKET)
     }
 
+    /// Interpolated quantile: resolves *within* the bucket containing the
+    /// `q`-th sample by reporting the bucket's sample mean (`sum ÷ count`),
+    /// which is exact whenever the bucket holds a single sample and never
+    /// off by more than the bucket width otherwise. Buckets without sum
+    /// data (histograms deserialized from old files) fall back to the
+    /// power-of-two lower bound, matching [`LatencyHistogram::quantile`];
+    /// the overflow bucket keeps reporting the recorded maximum, since its
+    /// mean can still understate an unbounded tail.
+    pub fn quantile_interp(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == OVERFLOW_BUCKET {
+                    self.max.max(1u64 << OVERFLOW_BUCKET) as f64
+                } else if self.sums[i] > 0 {
+                    self.sums[i] as f64 / c as f64
+                } else {
+                    (1u64 << i) as f64
+                };
+            }
+        }
+        self.max.max(1u64 << OVERFLOW_BUCKET) as f64
+    }
+
     /// Merge another histogram.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        for (a, b) in self.sums.iter_mut().zip(&other.sums) {
             *a += b;
         }
         self.count += other.count;
@@ -154,10 +209,11 @@ pub struct FlowStats {
     pub completed: u64,
     /// Sum of flow completion times (cycles).
     pub fct_sum: u64,
-    /// Sum of ideal serialization times (cycles).
+    /// Sum of ideal (zero-load) FCTs: serialization time plus unloaded
+    /// min-path latency (cycles).
     pub ideal_sum: u64,
-    /// Sum of per-flow slowdowns (FCT ÷ ideal serialization time) in
-    /// integer units of 1/1000, so shard merging stays exact.
+    /// Sum of per-flow slowdowns (FCT ÷ ideal zero-load FCT) in integer
+    /// units of 1/1000, so shard merging stays exact.
     pub slowdown_milli_sum: u64,
     /// FCT histogram over completed flows.
     pub fct_hist: LatencyHistogram,
@@ -219,22 +275,31 @@ impl Metrics {
         }
     }
 
-    /// Account one consumed packet of a measured flow. `done` is the cycle
-    /// the packet's tail was consumed. When the packet is the flow's last
-    /// outstanding one, the flow completes: its FCT (`done − start`) and
-    /// slowdown (FCT ÷ `len · packet_size`) are accumulated. The caller
-    /// gates on the flow's *start* cycle (flow-level windowing), so a flow
-    /// either has all of its packets tracked here or none.
-    pub fn track_flow(&mut self, tag: &FlowTag, done: u64, packet_size: u32) {
+    /// Account one consumed packet of a measured flow and report whether it
+    /// was the flow's *last* outstanding packet. The caller gates on the
+    /// flow's *start* cycle (flow-level windowing), so a flow either has
+    /// all of its packets tracked here or none; on `true` the caller must
+    /// follow up with [`Metrics::complete_flow`] — the ideal FCT depends on
+    /// the topology's unloaded path latency, which metrics cannot see.
+    #[must_use]
+    pub fn flow_packet_done(&mut self, tag: &FlowTag) -> bool {
         let rem = self.flows.live.entry(tag.id).or_insert(tag.len);
         debug_assert!(*rem > 0);
         *rem -= 1;
         if *rem > 0 {
-            return;
+            return false;
         }
         self.flows.live.remove(&tag.id);
+        true
+    }
+
+    /// Complete a measured flow. `done` is the cycle the flow's last packet
+    /// was consumed; `ideal` is its zero-load FCT (serialization time plus
+    /// unloaded min-path latency). The flow's FCT (`done − start`) and
+    /// slowdown (FCT ÷ ideal, in exact integer millis) are accumulated.
+    pub fn complete_flow(&mut self, tag: &FlowTag, done: u64, ideal: u64) {
         let fct = done.saturating_sub(tag.start);
-        let ideal = (tag.len as u64 * packet_size as u64).max(1);
+        let ideal = ideal.max(1);
         self.flows.completed += 1;
         self.flows.fct_sum += fct;
         self.flows.ideal_sum += ideal;
@@ -337,7 +402,8 @@ pub struct SimResult {
     pub fct_p50: f64,
     /// 99th-percentile flow completion time (cycles).
     pub fct_p99: f64,
-    /// Mean slowdown: FCT ÷ ideal serialization time (`len · packet_size`).
+    /// Mean slowdown: FCT ÷ ideal zero-load FCT (serialization time
+    /// `len · packet_size` plus the unloaded min-path latency).
     pub slowdown_mean: f64,
     /// FCT histogram of the run (merged for multi-seed quantiles, like
     /// `latency_hist`).
@@ -399,8 +465,8 @@ impl SimResult {
             } else {
                 m.flows.fct_sum as f64 / m.flows.completed as f64
             },
-            fct_p50: m.flows.fct_hist.quantile(0.5) as f64,
-            fct_p99: m.flows.fct_hist.quantile(0.99) as f64,
+            fct_p50: m.flows.fct_hist.quantile_interp(0.5),
+            fct_p99: m.flows.fct_hist.quantile_interp(0.99),
             slowdown_mean: if m.flows.completed == 0 {
                 0.0
             } else {
@@ -467,8 +533,8 @@ impl SimResult {
         };
         (out.fct_p50, out.fct_p99) = if out.fct_hist.count() > 0 {
             (
-                out.fct_hist.quantile(0.5) as f64,
-                out.fct_hist.quantile(0.99) as f64,
+                out.fct_hist.quantile_interp(0.5),
+                out.fct_hist.quantile_interp(0.99),
             )
         } else {
             (fct_p50_mean, fct_p99_mean)
@@ -713,6 +779,14 @@ mod tests {
         assert_eq!(back.buckets(), h.buckets());
     }
 
+    /// Test helper: the engine-side pairing of `flow_packet_done` and
+    /// `complete_flow` with an explicit ideal.
+    fn track(m: &mut Metrics, tag: &FlowTag, done: u64, ideal: u64) {
+        if m.flow_packet_done(tag) {
+            m.complete_flow(tag, done, ideal);
+        }
+    }
+
     #[test]
     fn flow_tracking_completes_on_last_packet() {
         let mut m = Metrics::default();
@@ -723,22 +797,22 @@ mod tests {
             start: 100,
         };
         // Packets may arrive out of order under adaptive routing; only the
-        // count matters.
-        m.track_flow(&tag(0), 150, 8);
-        m.track_flow(&tag(2), 180, 8);
+        // count matters. Ideal = 3·8 serialization + 8 path latency = 32.
+        track(&mut m, &tag(0), 150, 32);
+        track(&mut m, &tag(2), 180, 32);
         assert_eq!(m.flows.completed, 0);
-        m.track_flow(&tag(1), 196, 8);
+        track(&mut m, &tag(1), 196, 32);
         assert_eq!(m.flows.completed, 1);
-        // FCT = 196 - 100 = 96; ideal = 3 * 8 = 24; slowdown = 4.0.
+        // FCT = 196 - 100 = 96; slowdown = 96 / 32 = 3.0.
         assert_eq!(m.flows.fct_sum, 96);
-        assert_eq!(m.flows.ideal_sum, 24);
-        assert_eq!(m.flows.slowdown_milli_sum, 4_000);
+        assert_eq!(m.flows.ideal_sum, 32);
+        assert_eq!(m.flows.slowdown_milli_sum, 3_000);
         assert_eq!(m.flows.fct_hist.count(), 1);
         let r = SimResult::from_metrics(&m, 0.5, 16);
         assert_eq!(r.flows_completed, 1.0);
         assert_eq!(r.fct_mean, 96.0);
-        assert!((r.slowdown_mean - 4.0).abs() < 1e-12);
-        assert_eq!(r.fct_p50, 64.0, "bucket lower bound of 96");
+        assert!((r.slowdown_mean - 3.0).abs() < 1e-12);
+        assert_eq!(r.fct_p50, 96.0, "single-sample bucket interpolates exactly");
     }
 
     #[test]
@@ -751,19 +825,19 @@ mod tests {
         };
         // All packets of each flow on one "shard", like real sharded runs.
         let mut a = Metrics::default();
-        a.track_flow(&tag(1, 1, 0), 40, 8);
-        a.track_flow(&tag(2, 2, 0), 50, 8);
+        track(&mut a, &tag(1, 1, 0), 40, 8);
+        track(&mut a, &tag(2, 2, 0), 50, 16);
         let mut b = Metrics::default();
-        b.track_flow(&tag(3, 2, 0), 60, 8);
-        b.track_flow(&tag(3, 2, 1), 70, 8);
+        track(&mut b, &tag(3, 2, 0), 60, 16);
+        track(&mut b, &tag(3, 2, 1), 70, 16);
         let mut whole = Metrics::default();
-        for (t, done) in [
-            (tag(1, 1, 0), 40),
-            (tag(2, 2, 0), 50),
-            (tag(3, 2, 0), 60),
-            (tag(3, 2, 1), 70),
+        for (t, done, ideal) in [
+            (tag(1, 1, 0), 40, 8),
+            (tag(2, 2, 0), 50, 16),
+            (tag(3, 2, 0), 60, 16),
+            (tag(3, 2, 1), 70, 16),
         ] {
-            whole.track_flow(&t, done, 8);
+            track(&mut whole, &t, done, ideal);
         }
         a.absorb(&b);
         assert_eq!(a.flows.completed, whole.flows.completed);
@@ -771,6 +845,11 @@ mod tests {
         assert_eq!(a.flows.ideal_sum, whole.flows.ideal_sum);
         assert_eq!(a.flows.slowdown_milli_sum, whole.flows.slowdown_milli_sum);
         assert_eq!(a.flows.fct_hist.count(), whole.flows.fct_hist.count());
+        assert_eq!(
+            a.flows.fct_hist.bucket_sums(),
+            whole.flows.fct_hist.bucket_sums(),
+            "per-bucket sums must merge exactly for sharded interpolation"
+        );
         assert_eq!(a.flows.live.len(), whole.flows.live.len());
     }
 
@@ -778,7 +857,8 @@ mod tests {
     fn averaging_merges_fct_histograms() {
         let mut m1 = Metrics::default();
         for id in 0..99 {
-            m1.track_flow(
+            track(
+                &mut m1,
                 &FlowTag {
                     id,
                     len: 1,
@@ -790,7 +870,8 @@ mod tests {
             );
         }
         let mut m2 = m1.clone();
-        m2.track_flow(
+        track(
+            &mut m2,
             &FlowTag {
                 id: 1_000,
                 len: 1,
@@ -803,9 +884,10 @@ mod tests {
         let r1 = SimResult::from_metrics(&m1, 0.5, 16);
         let r2 = SimResult::from_metrics(&m2, 0.5, 16);
         let avg = SimResult::average(&[r1, r2]);
-        // Merged: 199 samples, rank 198 still in [64,128) -> 64, not the
-        // mean of per-seed p99s.
-        assert_eq!(avg.fct_p99, 64.0);
+        // Merged: 199 samples, rank 198 still in [64,128); every sample
+        // there is exactly 100, so the interpolated p99 is 100 — not the
+        // mean of per-seed p99s and not the bucket's lower bound 64.
+        assert_eq!(avg.fct_p99, 100.0);
         assert!((avg.flows_completed - 99.5).abs() < 1e-12);
         // Without histogram data the quantiles fall back to the mean.
         let bare = SimResult {
@@ -817,6 +899,57 @@ mod tests {
             ..Default::default()
         };
         assert!((SimResult::average(&[bare, bare2]).fct_p99 - 200.0).abs() < 1e-12);
+    }
+
+    /// Regression for the power-of-two FCT quantization bug: quantiles used
+    /// to snap to bucket lower bounds (p50 of [100,110,120,130,2000] read
+    /// 64; the CLI smoke test literally compared 1024 against 2048). With
+    /// per-bucket sums the quantile resolves to the in-bucket mean — exact
+    /// for single-sample buckets.
+    #[test]
+    fn interpolated_quantiles_resolve_within_buckets() {
+        let mut h = LatencyHistogram::default();
+        for lat in [100u64, 110, 120, 130, 2000] {
+            h.record(lat);
+        }
+        // p50 rank 3 lands in [64,128) holding {100,110,120}: mean 110.
+        assert_eq!(h.quantile_interp(0.5), 110.0);
+        // p99 rank 5 lands in [1024,2048) holding only 2000: exact.
+        assert_eq!(h.quantile_interp(0.99), 2000.0);
+        assert_eq!(h.quantile_interp(0.0), 110.0, "rank clamps to 1");
+        // A single sample is reproduced exactly at every quantile.
+        let mut single = LatencyHistogram::default();
+        single.record(1500);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(single.quantile_interp(q), 1500.0, "q={q}");
+        }
+        // Merging keeps interpolation exact (integer sums, no averaging).
+        let mut merged = LatencyHistogram::default();
+        merged.record(90);
+        merged.merge(&h);
+        // [64,128) now holds {90,100,110,120}: mean 105.
+        assert_eq!(merged.quantile_interp(0.5), 105.0);
+        assert_eq!(LatencyHistogram::default().quantile_interp(0.5), 0.0);
+    }
+
+    /// Histograms rebuilt from bucket counts alone (old serialized files)
+    /// carry no sums: interpolation degrades to the lower-bound convention
+    /// of `quantile`, and restoring the sums recovers exactness. The
+    /// overflow bucket keeps the recorded-max convention either way.
+    #[test]
+    fn interpolated_quantiles_degrade_without_sums() {
+        let mut h = LatencyHistogram::default();
+        for lat in [100u64, 110, 120, 130, 5_000_000] {
+            h.record(lat);
+        }
+        let mut bare = LatencyHistogram::from_buckets(*h.buckets());
+        assert_eq!(bare.quantile_interp(0.5), 64.0, "no sums: lower bound");
+        assert_eq!(bare.quantile_interp(1.0), (1u64 << 20) as f64);
+        bare.restore_bucket_sums(*h.bucket_sums());
+        bare.observe_max(h.max());
+        assert_eq!(bare.quantile_interp(0.5), 110.0, "sums restored: mean");
+        assert_eq!(bare.quantile_interp(1.0), 5_000_000.0, "overflow: max");
+        assert_eq!(h.quantile_interp(1.0), 5_000_000.0);
     }
 
     #[test]

@@ -2,7 +2,6 @@
 
 use flexvc_core::{CreditClass, HopVcs, MessageClass};
 use flexvc_topology::{Route, RouteHop};
-use flexvc_traffic::FlowTag;
 
 /// Maximum hops of any plan (the PAR reference path has 7).
 pub const MAX_PLAN: usize = 8;
@@ -85,8 +84,11 @@ impl PlannedPath {
     }
 }
 
-/// A packet in flight. Sized (~100 B) and clone-free on the hot path: the
-/// simulator moves packets between queues by value.
+/// A packet in flight. Compact and clone-free on the hot path: the
+/// simulator moves packets between queues by value, so every field rides
+/// along on each buffer move — flow identity deliberately lives in an
+/// engine-side table keyed by packet id instead of here, keeping synthetic
+/// workloads from paying for flow workloads' tagging.
 #[derive(Debug, Clone)]
 pub struct Packet {
     /// Unique id (monotonic per simulation).
@@ -150,9 +152,6 @@ pub struct Packet {
     pub hops: u16,
     /// Times the packet reverted from an opportunistic plan (statistics).
     pub reverts: u16,
-    /// Flow identity under flow workloads (`None` for synthetic traffic
-    /// and replies); consumption uses it to account flow completion times.
-    pub flow: Option<FlowTag>,
 }
 
 impl Packet {
@@ -246,7 +245,6 @@ mod tests {
             opp_blocked: 0,
             hops: 0,
             reverts: 0,
-            flow: None,
         };
         assert_eq!(pkt.credit_class(), CreditClass::MinRouted);
         pkt.min_routed = false;

@@ -381,6 +381,10 @@ impl Serialize for SimResult {
                 .with("fct_p99", self.fct_p99.to_value())
                 .with("slowdown_mean", self.slowdown_mean.to_value())
                 .with("fct_buckets", self.fct_hist.buckets().to_vec().to_value())
+                .with(
+                    "fct_bucket_sums",
+                    self.fct_hist.bucket_sums().to_vec().to_value(),
+                )
                 .with("fct_max", self.fct_hist.max().to_value()),
         )
     }
@@ -430,6 +434,14 @@ impl Deserialize for SimResult {
                 }
                 let mut hist = LatencyHistogram::from_buckets(fixed);
                 hist.observe_max(m.field_or("fct_max", 0u64)?);
+                // Files written before the FCT-interpolation fix carry no
+                // per-bucket sums; quantiles fall back to bucket bounds.
+                let sums: Vec<u64> = m.field_or("fct_bucket_sums", Vec::new())?;
+                let mut fixed_sums = [0u64; 21];
+                for (slot, s) in fixed_sums.iter_mut().zip(&sums) {
+                    *slot = *s;
+                }
+                hist.restore_bucket_sums(fixed_sums);
                 hist
             },
         })

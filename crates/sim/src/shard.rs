@@ -91,8 +91,15 @@ pub(crate) struct BoundaryEvent {
 /// Payload of a [`BoundaryEvent`].
 #[derive(Debug)]
 pub(crate) enum BoundaryPayload {
-    /// A packet in flight toward a foreign router's input port.
-    Packet(InFlight),
+    /// A packet in flight toward a foreign router's input port, with its
+    /// flow tag (if any): flow identity lives in an engine-side table, so
+    /// the tag migrates to the shard that will eject the packet.
+    Packet {
+        /// The in-flight link record.
+        flight: InFlight,
+        /// The packet's flow tag under flow workloads.
+        flow: Option<flexvc_traffic::FlowTag>,
+    },
     /// A credit returning to a foreign router's credit mirror.
     Credit {
         /// VC whose space is released.

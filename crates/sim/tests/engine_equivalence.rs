@@ -413,9 +413,9 @@ const GOLDENS: &[Golden] = &[
         ],
         global_vc_occupancy: &[18.083333333333332, 19.324074074074073],
         flows_completed: 4869.0,
-        fct_p50: 128.0,
-        fct_p99: 1024.0,
-        slowdown_mean: 32.798235571986034,
+        fct_p50: 172.6522687609075,
+        fct_p99: 1277.75,
+        slowdown_mean: 2.7029928116656396,
     },
     Golden {
         name: "flows_perm_pareto_hyperx2d_min_flexvc4",
@@ -438,9 +438,9 @@ const GOLDENS: &[Golden] = &[
         ],
         global_vc_occupancy: &[],
         flows_completed: 1828.0,
-        fct_p50: 32.0,
-        fct_p99: 512.0,
-        slowdown_mean: 5.497909190371991,
+        fct_p50: 45.21609702315325,
+        fct_p99: 675.9473684210526,
+        slowdown_mean: 1.9602439824945295,
     },
     Golden {
         name: "flows_incast4_min_baseline",
@@ -458,9 +458,52 @@ const GOLDENS: &[Golden] = &[
         local_vc_occupancy: &[2.074074074074074, 0.08641975308641975],
         global_vc_occupancy: &[3.0462962962962963],
         flows_completed: 1439.0,
-        fct_p50: 128.0,
-        fct_p99: 1024.0,
-        slowdown_mean: 10.683394718554553,
+        fct_p50: 190.9585635359116,
+        fct_p99: 1399.8080808080808,
+        slowdown_mean: 7.857785267546908,
+    },
+    // Hot-path pins (recorded when the fast paths landed, PR 8): static-MIN
+    // + baseline VC policy exercises the monomorphized injection-plan path
+    // and the batched per-link credit drain on both topologies.
+    Golden {
+        name: "hotpath_un_min_baseline_hyperx2d",
+        accepted: 0.7271666666666666,
+        latency: 144.4562227824891,
+        latency_req: 144.4562227824891,
+        latency_rep: 0.0,
+        misroute_fraction: 0.0,
+        avg_hops: 1.5399954159981664,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.005496921723834653,
+        deadlocked: false,
+        latency_p99: 1024.0,
+        hist_count: 8726,
+        local_vc_occupancy: &[4.204861111111111, 3.482638888888889],
+        global_vc_occupancy: &[],
+        flows_completed: 0.0,
+        fct_p50: 0.0,
+        fct_p99: 0.0,
+        slowdown_mean: 0.0,
+    },
+    Golden {
+        name: "hotpath_flows_perm_min_baseline",
+        accepted: 0.404,
+        latency: 354.4011734506784,
+        latency_req: 354.4011734506784,
+        latency_rep: 0.0,
+        misroute_fraction: 0.0,
+        avg_hops: 2.218738540520719,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.015026660203587009,
+        deadlocked: false,
+        latency_p99: 1024.0,
+        hist_count: 10908,
+        local_vc_occupancy: &[3.4166666666666665, 1.3271604938271604],
+        global_vc_occupancy: &[17.47685185185185],
+        flows_completed: 3846.0,
+        fct_p50: 161.11389521640092,
+        fct_p99: 1293.6521739130435,
+        slowdown_mean: 2.736770670826833,
     },
 ];
 
