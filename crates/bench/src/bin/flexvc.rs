@@ -317,12 +317,18 @@ fn bench(opts: Options) -> ExitCode {
     let report =
         match flexvc_bench::perf::run_bench(opts.quick, opts.shards, opts.group.as_deref(), |k| {
             if !opts.quiet {
+                let shard_note = if k.shards > 1 {
+                    format!(", {} shards imb {:.2}", k.shards, k.shard_imbalance)
+                } else {
+                    String::new()
+                };
                 eprintln!(
-                    "[bench] {:<28} {:>10.0} cycles/sec (x{}, accepted {:.3}{})",
+                    "[bench] {:<28} {:>10.0} cycles/sec (x{}, accepted {:.3}{}{})",
                     k.name,
                     k.cycles_per_sec,
                     k.repeats,
                     k.accepted,
+                    shard_note,
                     if k.deadlocked { ", DEADLOCK" } else { "" }
                 );
             }
@@ -345,6 +351,38 @@ fn bench(opts: Options) -> ExitCode {
             g.baseline_cycles_per_sec,
             g.speedup_vs_baseline
         );
+    }
+    // The partition and per-shard work-time stats behind every sharded
+    // kernel (last timed repeat): where the router ranges landed, how the
+    // port+terminal weight split, and how uneven the actual work was.
+    let sharded: Vec<_> = report
+        .kernels
+        .iter()
+        .filter(|k| !k.shard_stats.is_empty())
+        .collect();
+    if !sharded.is_empty() {
+        println!("\n| sharded kernel | shards | partition routers@weight | work s | imbalance |");
+        println!("|---|---|---|---|---|");
+        for k in sharded {
+            let parts: Vec<String> = k
+                .shard_stats
+                .iter()
+                .map(|s| format!("{}@{}", s.routers, s.weight))
+                .collect();
+            let work: Vec<String> = k
+                .shard_stats
+                .iter()
+                .map(|s| format!("{:.2}", s.work_seconds))
+                .collect();
+            println!(
+                "| {} | {} | {} | {} | {:.2} |",
+                k.name,
+                k.shards,
+                parts.join(" "),
+                work.join(" "),
+                k.shard_imbalance
+            );
+        }
     }
     if let Some(k) = report.kernels.iter().find(|k| k.deadlocked) {
         eprintln!(

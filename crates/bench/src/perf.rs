@@ -1,7 +1,7 @@
 //! `flexvc bench` — the fixed engine-performance kernel suite.
 //!
 //! Runs a deterministic set of simulation kernels and emits a
-//! machine-readable report (`BENCH_pr8.json`), establishing the repo's
+//! machine-readable report (`BENCH_pr9.json`), establishing the repo's
 //! performance trajectory. Each kernel gets untimed warmup iterations and
 //! then repeats its timed run until a measured-cycles floor, so short
 //! kernels don't turn timer jitter into phantom regressions; the gate
@@ -36,8 +36,10 @@
 //!   sharded engine, pairing a `shards = 1` kernel with a `shards = 2`
 //!   twin on the same configuration so the report records the multi-shard
 //!   speedup directly (`_s1` vs `_s2` kernel names). The ratio only
-//!   reads above 1 on multi-core hosts; on a single core the barrier
-//!   overhead makes it ≤ 1 by construction.
+//!   reads above 1 on multi-core hosts; on a single core it reads the
+//!   residual exchange overhead (≤ 1 by construction), amortized across
+//!   λ-cycle epochs by the batched boundary exchange, with per-shard
+//!   partition/imbalance stats recorded alongside.
 //!
 //! Speedups are computed against cycles/sec recorded from the
 //! pre-refactor (full-sweep) engine on the *same kernels and hardware*
@@ -130,6 +132,26 @@ pub struct KernelResult {
     pub accepted: f64,
     /// Whether the run deadlocked (must be false for every kernel).
     pub deadlocked: bool,
+    /// Engine shards the kernel ran with (1 = plain single engine).
+    pub shards: usize,
+    /// Per-shard partition and work-time stats from the last timed repeat
+    /// (empty for single-engine kernels).
+    pub shard_stats: Vec<KernelShardStat>,
+    /// Shard load imbalance: max over mean of the per-shard work seconds
+    /// (1.0 = perfectly balanced; 0.0 when not sharded).
+    pub shard_imbalance: f64,
+}
+
+/// One shard's partition slice and measured work time within a kernel.
+#[derive(Debug, Clone)]
+pub struct KernelShardStat {
+    /// Routers owned by the shard.
+    pub routers: u64,
+    /// Partition weight of the shard's range (ports + terminals).
+    pub weight: u64,
+    /// Wall-clock seconds the shard's worker spent stepping/exchanging
+    /// (barrier waits excluded) in the last timed repeat.
+    pub work_seconds: f64,
 }
 
 /// Aggregate over one kernel group.
@@ -156,10 +178,11 @@ pub struct GroupSummary {
     pub speedup_vs_baseline: f64,
 }
 
-/// The full bench report (serialized to `BENCH_pr8.json`; older
-/// recordings such as `BENCH_pr2.json`/`BENCH_pr7.json` deserialize
+/// The full bench report (serialized to `BENCH_pr9.json`; older
+/// recordings such as `BENCH_pr2.json`/`BENCH_pr8.json` deserialize
 /// through the same schema for `--baseline` comparisons — fields added
-/// since, like the per-group geomean, degrade gracefully).
+/// since, like the per-group geomean and the per-shard stats, degrade
+/// gracefully).
 #[derive(Debug, Clone)]
 pub struct BenchReport {
     /// Report schema tag.
@@ -232,7 +255,11 @@ pub fn kernel_suite(quick: bool) -> Vec<Kernel> {
         }
     }
 
-    // sweep_h4: intermediate scale.
+    // sweep_h4: intermediate scale. One load point per series — the 0.3
+    // points measured the same stepping machinery at lower occupancy and
+    // doubled the group's wall-clock (h = 4 steps at ~2k cycles/sec, so
+    // every kernel rides the wall floor) without adding regression
+    // coverage the 0.6 points don't have.
     let (warm4, meas4) = if quick { (500, 1_000) } else { (1_000, 2_500) };
     let base4 = || {
         SimConfig::dragonfly_baseline(4, RoutingMode::Min, Workload::oblivious(Pattern::Uniform))
@@ -244,18 +271,16 @@ pub fn kernel_suite(quick: bool) -> Vec<Kernel> {
             base4().with_flexvc(Arrangement::dragonfly(4, 2)),
         ),
     ];
-    for (label, cfg) in series4 {
-        for &load in &[0.3, 0.6] {
-            let mut cfg = cfg.clone();
-            windows(&mut cfg, warm4, meas4);
-            kernels.push(Kernel {
-                name: format!("sweep_h4/{label}@{load}"),
-                group: "sweep_h4",
-                cfg,
-                load,
-                seed: 1,
-            });
-        }
+    for (label, mut cfg) in series4 {
+        let load = 0.6;
+        windows(&mut cfg, warm4, meas4);
+        kernels.push(Kernel {
+            name: format!("sweep_h4/{label}@{load}"),
+            group: "sweep_h4",
+            cfg,
+            load,
+            seed: 1,
+        });
     }
 
     // hyperx: the generic-diameter engine path (DOR plans, per-dimension
@@ -553,6 +578,11 @@ pub const MIN_MEASURED_CYCLES: u64 = 20_000;
 /// spans this much wall-clock is variance-free regardless of its cycle
 /// count (the paper-scale kernels step slowly but run for seconds).
 pub const MIN_MEASURED_WALL: f64 = 1.0;
+/// The wall-clock early-out under `--quick`: CI gates at a loose 15%/10%
+/// tolerance, where half a second of timed region is already well clear
+/// of timer jitter — the slow kernels (sweep_h4, paper twins) would
+/// otherwise spend most of a quick run padding out the full floor.
+pub const MIN_MEASURED_WALL_QUICK: f64 = 0.5;
 /// Hard cap on timed repeats per kernel.
 pub const MAX_REPEATS: usize = 8;
 
@@ -616,20 +646,31 @@ where
         // (seconds at the paper scales, noisy) would otherwise drown the
         // short windows. Cycles are those *actually stepped* (a
         // deadlocked run stops early; its truncated cycle count must not
-        // inflate cycles/sec).
-        let run_once = |cfg: SimConfig, timed: bool| -> Result<(u64, f64, SimResult), RunError> {
+        // inflate cycles/sec). Sharded runs also return the partition and
+        // per-shard work-time stats for the report.
+        type Once = (u64, f64, SimResult, usize, Vec<KernelShardStat>);
+        let run_once = |cfg: SimConfig, timed: bool| -> Result<Once, RunError> {
             if flexvc_sim::shard::resolve_shards(cfg.shards, cfg.topology.num_routers()) > 1 {
                 let mut net = ShardedNetwork::new(cfg, k.load, k.seed).map_err(invalid)?;
                 let t0 = timed.then(Instant::now);
                 let result = net.run();
                 let wall = t0.map_or(0.0, |t| t.elapsed().as_secs_f64().max(1e-9));
-                Ok((net.cycle(), wall, result))
+                let stats = net
+                    .shard_stats()
+                    .iter()
+                    .map(|s| KernelShardStat {
+                        routers: s.routers.len() as u64,
+                        weight: s.weight,
+                        work_seconds: s.work_seconds,
+                    })
+                    .collect();
+                Ok((net.cycle(), wall, result, net.num_shards(), stats))
             } else {
                 let mut net = Network::new(cfg, k.load, k.seed).map_err(invalid)?;
                 let t0 = timed.then(Instant::now);
                 let result = net.run();
                 let wall = t0.map_or(0.0, |t| t.elapsed().as_secs_f64().max(1e-9));
-                Ok((net.cycle(), wall, result))
+                Ok((net.cycle(), wall, result, 1, Vec::new()))
             }
         };
         // Warmup iterations: quarter windows reach the same steady-state
@@ -644,23 +685,46 @@ where
         // Timed repeats up to the measured-cycles floor. Each repeat is a
         // fresh engine on the same (config, load, seed), so the work is
         // bit-identical and the accumulated rate stays meaningful.
+        let min_wall = if quick {
+            MIN_MEASURED_WALL_QUICK
+        } else {
+            MIN_MEASURED_WALL
+        };
         let (mut cycles, mut wall) = (0u64, 0.0f64);
         let mut repeats = 0;
         let mut result;
+        let (mut shard_count, mut shard_stats);
         loop {
-            let (c, w, r) = run_once(cfg.clone(), true)?;
+            let (c, w, r, n, stats) = run_once(cfg.clone(), true)?;
             cycles += c;
             wall += w;
             repeats += 1;
             result = r;
+            shard_count = n;
+            shard_stats = stats;
             if cycles >= MIN_MEASURED_CYCLES
-                || wall >= MIN_MEASURED_WALL
+                || wall >= min_wall
                 || repeats >= MAX_REPEATS
                 || result.deadlocked
             {
                 break;
             }
         }
+        let shard_imbalance = if shard_stats.len() > 1 {
+            let mean =
+                shard_stats.iter().map(|s| s.work_seconds).sum::<f64>() / shard_stats.len() as f64;
+            let max = shard_stats
+                .iter()
+                .map(|s| s.work_seconds)
+                .fold(0.0f64, f64::max);
+            if mean > 0.0 {
+                max / mean
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
         let kr = KernelResult {
             name: k.name.clone(),
             group: k.group.to_string(),
@@ -670,6 +734,9 @@ where
             repeats,
             accepted: result.accepted,
             deadlocked: result.deadlocked,
+            shards: shard_count,
+            shard_stats,
+            shard_imbalance,
         };
         progress(&kr);
         kernels.push(kr);
@@ -813,17 +880,44 @@ pub fn compare_reports(
 
 impl Serialize for KernelResult {
     fn to_value(&self) -> Value {
+        let mut m = Map::new()
+            .with("name", self.name.to_value())
+            .with("group", self.group.to_value())
+            .with("cycles", self.cycles.to_value())
+            .with("wall_seconds", self.wall_seconds.to_value())
+            .with("cycles_per_sec", self.cycles_per_sec.to_value())
+            .with("repeats", (self.repeats as u64).to_value())
+            .with("accepted", self.accepted.to_value())
+            .with("deadlocked", self.deadlocked.to_value())
+            .with("shards", (self.shards as u64).to_value());
+        if !self.shard_stats.is_empty() {
+            m = m
+                .with("shard_stats", self.shard_stats.to_value())
+                .with("shard_imbalance", self.shard_imbalance.to_value());
+        }
+        Value::Map(m)
+    }
+}
+
+impl Serialize for KernelShardStat {
+    fn to_value(&self) -> Value {
         Value::Map(
             Map::new()
-                .with("name", self.name.to_value())
-                .with("group", self.group.to_value())
-                .with("cycles", self.cycles.to_value())
-                .with("wall_seconds", self.wall_seconds.to_value())
-                .with("cycles_per_sec", self.cycles_per_sec.to_value())
-                .with("repeats", (self.repeats as u64).to_value())
-                .with("accepted", self.accepted.to_value())
-                .with("deadlocked", self.deadlocked.to_value()),
+                .with("routers", self.routers.to_value())
+                .with("weight", self.weight.to_value())
+                .with("work_seconds", self.work_seconds.to_value()),
         )
+    }
+}
+
+impl Deserialize for KernelShardStat {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v.as_map()?;
+        Ok(KernelShardStat {
+            routers: m.field_or("routers", 0u64)?,
+            weight: m.field_or("weight", 0u64)?,
+            work_seconds: m.field_or("work_seconds", 0.0)?,
+        })
     }
 }
 
@@ -874,6 +968,9 @@ impl Deserialize for KernelResult {
             repeats: m.field_or::<u64>("repeats", 1)? as usize,
             accepted: m.field_or("accepted", 0.0)?,
             deadlocked: m.field_or("deadlocked", false)?,
+            shards: m.field_or::<u64>("shards", 1)? as usize,
+            shard_stats: m.field_or("shard_stats", Vec::new())?,
+            shard_imbalance: m.field_or("shard_imbalance", 0.0)?,
         })
     }
 }
@@ -915,7 +1012,7 @@ mod tests {
     fn suite_is_fixed_and_valid() {
         for quick in [false, true] {
             let suite = kernel_suite(quick);
-            assert_eq!(suite.len(), 5 * 4 + 2 * 2 + 4 + 4 + 4 + 4 + 1 + 4);
+            assert_eq!(suite.len(), 5 * 4 + 2 + 4 + 4 + 4 + 4 + 1 + 4);
             for k in &suite {
                 k.cfg
                     .validate()
@@ -957,16 +1054,41 @@ mod tests {
                 repeats: 1,
                 accepted: r.accepted,
                 deadlocked: false,
+                shards: 2,
+                shard_stats: vec![
+                    KernelShardStat {
+                        routers: 36,
+                        weight: 500,
+                        work_seconds: 0.04,
+                    },
+                    KernelShardStat {
+                        routers: 36,
+                        weight: 480,
+                        work_seconds: 0.05,
+                    },
+                ],
+                shard_imbalance: 0.05 / 0.045,
             }],
             groups: vec![],
         };
         let json = flexvc_serde::to_json_pretty(&report);
         assert!(json.contains("\"schema\": \"flexvc-bench-v1\""));
         assert!(json.contains("cycles_per_sec"));
+        assert!(json.contains("shard_imbalance"));
         // Reports round-trip, so `--baseline` can read recorded files.
         let back: BenchReport = flexvc_serde::from_json(&json).unwrap();
         assert_eq!(back.kernels.len(), 1);
         assert_eq!(back.kernels[0].cycles, 300);
+        assert_eq!(back.kernels[0].shards, 2);
+        assert_eq!(back.kernels[0].shard_stats.len(), 2);
+        assert_eq!(back.kernels[0].shard_stats[1].weight, 480);
+        // Pre-PR9 reports (no shard fields) still deserialize.
+        let old: BenchReport = flexvc_serde::from_json(
+            r#"{"schema":"flexvc-bench-v1","kernels":[{"name":"a","cycles_per_sec":1.0}],"groups":[]}"#,
+        )
+        .unwrap();
+        assert_eq!(old.kernels[0].shards, 1);
+        assert!(old.kernels[0].shard_stats.is_empty());
     }
 
     fn group(name: &str, cps: f64) -> GroupSummary {
@@ -1057,6 +1179,9 @@ mod tests {
             repeats: 1,
             accepted: 0.5,
             deadlocked: false,
+            shards: 1,
+            shard_stats: Vec::new(),
+            shard_imbalance: 0.0,
         }
     }
 

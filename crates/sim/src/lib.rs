@@ -58,7 +58,7 @@ pub use runner::{
     load_sweep, run_averaged, run_one, run_points, run_points_with_progress,
     run_points_with_threads, saturation_throughput, Point, PointProgress,
 };
-pub use shard::ShardedNetwork;
+pub use shard::{ShardStats, ShardedNetwork};
 
 /// Common imports for examples and experiment binaries.
 pub mod prelude {
@@ -74,5 +74,5 @@ pub mod prelude {
         load_sweep, run_averaged, run_one, run_points, run_points_with_progress,
         run_points_with_threads, saturation_throughput, Point, PointProgress,
     };
-    pub use crate::shard::ShardedNetwork;
+    pub use crate::shard::{ShardStats, ShardedNetwork};
 }

@@ -539,16 +539,19 @@ fn hyperx_2d_is_bit_identical_to_flat_butterfly() {
 
 /// Sharded-engine matrix: partitioning the routers across worker shards
 /// must be invisible in the results. Every golden point runs through
-/// `ShardedNetwork` with shards ∈ {1, 2, 4} and is compared bit-for-bit
+/// `ShardedNetwork` with shards ∈ {1, 2, 3, 4} and is compared bit-for-bit
 /// (serialized form, covering every field including the histogram) against
 /// the plain single-engine run — PB sensing, adaptive routing, DAMQ
 /// deadlock and reactive points included, so every cross-shard effect
-/// class (link packets, credits, board publishes) is exercised.
+/// class (link packets, credits, board publishes) is exercised under the
+/// epoch-batched exchange (and per-cycle exchange for the board users).
+/// The shard counts include a non-power-of-two so group-aligned and
+/// fallback partitions both see uneven splits.
 #[test]
 fn sharded_engine_is_bit_identical_to_single() {
     for (name, cfg, load, seed) in points() {
         let single = flexvc_serde::to_json(&run_one(&cfg, load, seed).unwrap());
-        for shards in [1, 2, 4] {
+        for shards in [1, 2, 3, 4] {
             let mut sharded_cfg = cfg.clone();
             sharded_cfg.shards = shards;
             let r = ShardedNetwork::new(sharded_cfg, load, seed)
@@ -560,6 +563,28 @@ fn sharded_engine_is_bit_identical_to_single() {
                 "{name}: shards={shards} diverged from the single engine"
             );
         }
+    }
+}
+
+/// Five shards force the partitioner off group alignment on the smaller
+/// goldens (fewer groups/planes than shards → count-balanced fallback
+/// with intra-group cuts, the λ = local-latency epoch regime) while the
+/// larger ones keep aligned global-only cuts — both epoch regimes at a
+/// shard count that divides nothing evenly.
+#[test]
+fn sharded_engine_is_bit_identical_at_five_shards() {
+    for (name, cfg, load, seed) in points() {
+        let single = flexvc_serde::to_json(&run_one(&cfg, load, seed).unwrap());
+        let mut sharded_cfg = cfg.clone();
+        sharded_cfg.shards = 5;
+        let r = ShardedNetwork::new(sharded_cfg, load, seed)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .run();
+        assert_eq!(
+            single,
+            flexvc_serde::to_json(&r),
+            "{name}: shards=5 diverged from the single engine"
+        );
     }
 }
 

@@ -1,0 +1,161 @@
+//! Property tests for the topology-aware shard partitioner.
+//!
+//! Over random Dragonfly / Dragonfly+ / HyperX / flattened-butterfly
+//! shapes and shard counts, [`partition_topology`] must produce
+//!
+//! (a) **a cover** — exactly `shards` contiguous, non-empty, gap-free
+//!     ranges covering every router;
+//! (b) **alignment** — whenever the topology offers at least as many
+//!     alignment units (groups / planes / rows) as shards, every shard
+//!     boundary lands on a unit boundary, so no intra-group local link
+//!     crosses a cut;
+//! (c) **balance** — the heaviest shard (by [`Topology::router_weight`])
+//!     matches the exact min-max optimum over unit-aligned contiguous
+//!     splits, computed here by dynamic programming.
+
+use flexvc_sim::shard::{partition, partition_topology};
+use flexvc_topology::{Dragonfly, DragonflyPlus, FlatButterfly2D, HyperX, Topology};
+use proptest::prelude::*;
+
+/// A randomly shaped topology, kept small enough for per-case scans.
+#[derive(Debug, Clone)]
+enum Shape {
+    HyperX { dims: Vec<(usize, usize)>, p: usize },
+    Dragonfly { h: usize },
+    FlatBf { k: usize, p: usize },
+    DfPlus { l: usize, s: usize, h: usize },
+}
+
+impl Shape {
+    fn build(&self) -> Box<dyn Topology> {
+        match self {
+            Shape::HyperX { dims, p } => Box::new(HyperX::new(dims.clone(), *p)),
+            Shape::Dragonfly { h } => Box::new(Dragonfly::balanced(*h)),
+            Shape::FlatBf { k, p } => Box::new(FlatButterfly2D::new(*k, *p)),
+            // Unit global multiplicity with `groups = spines + 1` keeps the
+            // per-spine global share integral for any (l, s, h).
+            Shape::DfPlus { l, s, h } => Box::new(DragonflyPlus::new(*l, *s, *h, 1, s + 1)),
+        }
+    }
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (1usize..=3, 2usize..=4, 1usize..=2, 1usize..=2).prop_map(|(n, s, k, p)| {
+            Shape::HyperX {
+                dims: vec![(s, k); n],
+                p,
+            }
+        }),
+        (2usize..=4, 2usize..=4, 1usize..=2).prop_map(|(s0, s1, p)| Shape::HyperX {
+            dims: vec![(s0, 1), (s1, 1)],
+            p,
+        }),
+        (1usize..=3).prop_map(|h| Shape::Dragonfly { h }),
+        (2usize..=5, 1usize..=2).prop_map(|(k, p)| Shape::FlatBf { k, p }),
+        (1usize..=4, 2usize..=4, 1usize..=3).prop_map(|(l, s, h)| Shape::DfPlus { l, s, h }),
+    ]
+}
+
+/// Exact min-max weight over all splits of `weights` into `k` contiguous
+/// non-empty segments (O(k·n²) DP — fine at property-test scale).
+fn optimal_minmax(weights: &[u64], k: usize) -> u64 {
+    let n = weights.len();
+    let mut prefix = vec![0u64; n + 1];
+    for (i, &w) in weights.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + w;
+    }
+    // best[j][i] = min-max over splitting the first i units into j segments.
+    let mut best = vec![u64::MAX; n + 1];
+    for (i, b) in best.iter_mut().enumerate().skip(1) {
+        *b = prefix[i];
+    }
+    for _ in 2..=k {
+        let mut next = vec![u64::MAX; n + 1];
+        for i in 1..=n {
+            for cut in 1..i {
+                let cand = best[cut].max(prefix[i] - prefix[cut]);
+                if cand < next[i] {
+                    next[i] = cand;
+                }
+            }
+        }
+        best = next;
+    }
+    best[n]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partitioner_covers_aligns_and_balances(shape in arb_shape(), shards in 1usize..=6) {
+        let topo = shape.build();
+        let nr = topo.num_routers();
+        let shards = shards.min(nr);
+        let ranges = partition_topology(topo.as_ref(), shards);
+
+        // (a) Exactly `shards` contiguous, non-empty ranges covering 0..nr.
+        prop_assert_eq!(ranges.len(), shards);
+        prop_assert_eq!(ranges[0].start, 0);
+        prop_assert_eq!(ranges[shards - 1].end as usize, nr);
+        for i in 0..shards {
+            prop_assert!(ranges[i].start < ranges[i].end, "empty shard {i}");
+            if i > 0 {
+                prop_assert_eq!(ranges[i].start, ranges[i - 1].end, "gap before shard {i}");
+            }
+        }
+
+        // (b) Group/plane alignment whenever the topology has enough units.
+        let unit = topo.partition_unit();
+        let aligned = unit > 1 && nr.is_multiple_of(unit) && nr / unit >= shards;
+        if aligned {
+            for r in &ranges {
+                prop_assert_eq!(
+                    r.start as usize % unit, 0,
+                    "shard boundary {} off the {}-router unit grid", r.start, unit
+                );
+            }
+            // Aligned boundaries must never cut an intra-group (local-only
+            // in Dragonfly terms) pair: both endpoints of any intra-group
+            // link share a range.
+            let owner = |r: usize| ranges.iter().position(|rg| rg.contains(&(r as u32))).unwrap();
+            for r in 0..nr {
+                for p in 0..topo.num_ports() {
+                    if let Some((peer, _)) = topo.neighbor(r, p) {
+                        if topo.group_of_router(r) == topo.group_of_router(peer) {
+                            prop_assert_eq!(owner(r), owner(peer), "intra-group link cut");
+                        }
+                    }
+                }
+            }
+        }
+
+        // (c) Exact min-max port+terminal balance over the chosen grid.
+        let grid = if aligned { unit } else { 1 };
+        let units = nr / grid;
+        let weights: Vec<u64> = (0..units)
+            .map(|u| (u * grid..(u + 1) * grid).map(|r| topo.router_weight(r)).sum())
+            .collect();
+        let heaviest = ranges
+            .iter()
+            .map(|rg| {
+                rg.clone()
+                    .map(|r| topo.router_weight(r as usize))
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap();
+        if aligned {
+            prop_assert_eq!(
+                heaviest,
+                optimal_minmax(&weights, shards),
+                "aligned partition missed the min-max optimum"
+            );
+        } else {
+            // Fallback is count-balanced, not weight-balanced; it must at
+            // least match the plain splitter exactly.
+            prop_assert_eq!(ranges, partition(nr, shards));
+        }
+    }
+}

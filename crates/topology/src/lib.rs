@@ -130,6 +130,69 @@ pub trait Topology: Send + Sync {
         self.num_routers() / self.num_groups()
     }
 
+    /// Natural shard-alignment block: the number of consecutive router ids
+    /// forming one topological unit — a Dragonfly/Dragonfly+ group, a
+    /// HyperX last-dimension hyperplane, a FlatButterfly row. Every
+    /// built-in topology numbers routers group-major, so unit `u` covers
+    /// routers `u * partition_unit() .. (u + 1) * partition_unit()` and a
+    /// router partition whose boundaries land on unit boundaries never
+    /// cuts an intra-group (local) link. Returns 1 (no useful alignment)
+    /// when the group structure does not tile the router range.
+    ///
+    /// Contract: when this returns `unit > 1`, `group_of_router(r)` must
+    /// equal `r / unit` for every router — override if group ids are not
+    /// contiguous ranges.
+    fn partition_unit(&self) -> usize {
+        let rpg = self.routers_per_group();
+        if rpg > 0 && rpg * self.num_groups() == self.num_routers() {
+            rpg
+        } else {
+            1
+        }
+    }
+
+    /// Load-balance weight of a router for shard partitioning. Per-cycle
+    /// simulation work scales with a router's port count (link replicas,
+    /// allocation, credit machinery) plus its attached terminals
+    /// (generation and ejection), not with the router count alone:
+    /// Dragonfly+ spines carry full port fan-out but zero hosts, so a
+    /// count-balanced split systematically overloads leaf-heavy shards.
+    fn router_weight(&self, router: usize) -> u64 {
+        let next = if router + 1 == self.num_routers() {
+            self.num_nodes()
+        } else {
+            self.node_base(router + 1)
+        };
+        (self.num_ports() + next.saturating_sub(self.node_base(router))) as u64
+    }
+
+    /// Which link classes cross a router partition (`owner[r]` = shard of
+    /// router `r`): `(any Local link cut, any Global link cut)`. Drives
+    /// the sharded engine's epoch length — the minimum latency over cut
+    /// link classes lower-bounds how far in the future any cross-shard
+    /// effect can land, so shards may free-run that many cycles between
+    /// exchanges.
+    fn cut_link_classes(&self, owner: &[u32]) -> (bool, bool) {
+        let (mut local, mut global) = (false, false);
+        for r in 0..self.num_routers() {
+            for p in 0..self.num_ports() {
+                let Some((peer, _)) = self.neighbor(r, p) else {
+                    continue;
+                };
+                if owner[r] != owner[peer] {
+                    match self.port_class(r, p) {
+                        LinkClass::Local => local = true,
+                        LinkClass::Global => global = true,
+                    }
+                    if local && global {
+                        return (true, true);
+                    }
+                }
+            }
+        }
+        (local, global)
+    }
+
     /// Minimal distance in hops between two routers.
     fn min_distance(&self, from: usize, to: usize) -> usize {
         self.min_classes(from, to).len()
