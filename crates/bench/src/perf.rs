@@ -1,11 +1,11 @@
 //! `flexvc bench` — the fixed engine-performance kernel suite.
 //!
 //! Runs a deterministic set of simulation kernels and emits a
-//! machine-readable report (`BENCH_pr9.json`), establishing the repo's
+//! machine-readable report (`BENCH_pr10.json`), establishing the repo's
 //! performance trajectory. Each kernel gets untimed warmup iterations and
 //! then repeats its timed run until a measured-cycles floor, so short
 //! kernels don't turn timer jitter into phantom regressions; the gate
-//! compares per-group *geomeans*, weighing every kernel equally. Eight
+//! compares per-group *geomeans*, weighing every kernel equally. Nine
 //! kernel groups:
 //!
 //! * **fig5_h2** — the Fig. 5 oblivious-routing suite at h = 2 (baseline,
@@ -28,6 +28,13 @@
 //!   heavy-tail permutation flows on a 2-D HyperX, and a 4-to-1 incast.
 //!   Exercises the per-node flow state and the FCT histogram path on
 //!   top of the usual stepping cost.
+//! * **qos** — the multi-class QoS engine path: strict-priority
+//!   arbitration with the bounded bypass, class-partitioned VC masks,
+//!   shared budgets under priority, and the dynamic per-class buffer
+//!   repartitioner, with a control trickle mixed onto the bulk plane on
+//!   the Dragonfly (MIN and VAL/ADV) and the 2-D HyperX. Exercises the
+//!   class tagging, per-class metrics and the priority grant loop on top
+//!   of the usual stepping cost.
 //! * **smoke_h8** — a short measurement window at the paper's full h = 8
 //!   scale (2,064 routers, 16,512 nodes), proving paper-scale runs are
 //!   tractable on one core.
@@ -90,6 +97,12 @@ pub mod recorded_baseline {
     /// for the flow-workload engine path, expected to read ~1.0x until a
     /// later optimization moves it.
     pub const FLOWS: f64 = 162_842.0;
+    /// Aggregate cycles/sec over the `qos` kernel group (strict-priority
+    /// arbitration, class masks and the buffer repartitioner under a
+    /// mixed-class workload), recorded at the commit that introduced
+    /// multi-class QoS — the anchor for the priority engine path,
+    /// expected to read ~1.0x until a later optimization moves it.
+    pub const QOS: f64 = 53_739.0;
     /// Aggregate cycles/sec over the `paper` kernel group (paper-scale
     /// topologies through the sharded engine, `shards = 1` and
     /// `shards = 2` twins), recorded at the commit that introduced engine
@@ -201,7 +214,7 @@ pub struct BenchReport {
 /// accepts exactly these).
 pub fn group_names() -> &'static [&'static str] {
     &[
-        "fig5_h2", "sweep_h4", "hyperx", "adaptive", "dfplus", "flows", "smoke_h8", "paper",
+        "fig5_h2", "sweep_h4", "hyperx", "adaptive", "dfplus", "flows", "qos", "smoke_h8", "paper",
     ]
 }
 
@@ -486,6 +499,58 @@ pub fn kernel_suite(quick: bool) -> Vec<Kernel> {
         });
     }
 
+    // qos: the multi-class QoS engine path — class tagging, strict
+    // priority with the bounded bypass, partitioned VC masks, shared
+    // budgets under priority and the dynamic buffer repartitioner — with
+    // a 5% control trickle mixed onto the bulk plane, at loads where the
+    // priority grant loop actually arbitrates between the classes.
+    let (warm_q, meas_q) = if quick { (800, 1_600) } else { (1_500, 4_000) };
+    let df_qos = |routing: RoutingMode, pattern: Pattern| {
+        SimConfig::dragonfly_baseline(2, routing, Workload::oblivious(pattern).with_mix(0.05))
+            .with_flexvc(Arrangement::dragonfly(4, 2))
+    };
+    let series_q: Vec<(&str, SimConfig, f64)> = vec![
+        (
+            "min_part21_df42",
+            df_qos(RoutingMode::Min, Pattern::Uniform).with_qos(QosConfig::partitioned(2, 1)),
+            0.6,
+        ),
+        (
+            "min_shared_prio_df42",
+            df_qos(RoutingMode::Min, Pattern::Uniform).with_qos(QosConfig::shared()),
+            0.6,
+        ),
+        (
+            "val_adv_shared_df42",
+            df_qos(RoutingMode::Valiant, Pattern::adv1()).with_qos(QosConfig::shared()),
+            0.5,
+        ),
+        (
+            "min_repart_hyperx2d",
+            SimConfig::hyperx_baseline(
+                2,
+                4,
+                2,
+                RoutingMode::Min,
+                Workload::oblivious(Pattern::Uniform).with_mix(0.05),
+            )
+            .with_flexvc(Arrangement::generic(4))
+            .with_qos(QosConfig::shared().with_repartition()),
+            0.6,
+        ),
+    ];
+    for (label, cfg, load) in series_q {
+        let mut cfg = cfg;
+        windows(&mut cfg, warm_q, meas_q);
+        kernels.push(Kernel {
+            name: format!("qos/{label}@{load}"),
+            group: "qos",
+            cfg,
+            load,
+            seed: 1,
+        });
+    }
+
     // smoke_h8: paper scale, short window.
     let (warm8, meas8) = if quick { (200, 500) } else { (300, 1_200) };
     let mut cfg8 =
@@ -750,6 +815,7 @@ where
         ("adaptive", recorded_baseline::ADAPTIVE),
         ("dfplus", recorded_baseline::DFPLUS),
         ("flows", recorded_baseline::FLOWS),
+        ("qos", recorded_baseline::QOS),
         ("smoke_h8", recorded_baseline::SMOKE_H8),
         ("paper", recorded_baseline::PAPER),
     ] {
@@ -1012,7 +1078,7 @@ mod tests {
     fn suite_is_fixed_and_valid() {
         for quick in [false, true] {
             let suite = kernel_suite(quick);
-            assert_eq!(suite.len(), 5 * 4 + 2 + 4 + 4 + 4 + 4 + 1 + 4);
+            assert_eq!(suite.len(), 5 * 4 + 2 + 4 + 4 + 4 + 4 + 4 + 1 + 4);
             for k in &suite {
                 k.cfg
                     .validate()

@@ -15,7 +15,7 @@ use crate::{
 };
 use flexvc_core::classify::NetworkFamily;
 use flexvc_core::{Arrangement, RoutingMode, VcSelection};
-use flexvc_sim::{BufferOrg, BufferSizing, SensingConfig, SensingMode, SimConfig};
+use flexvc_sim::{BufferOrg, BufferSizing, QosConfig, SensingConfig, SensingMode, SimConfig};
 use flexvc_traffic::{FlowSpec, Pattern, SizeDist, Workload};
 
 const PATTERNS: [Pattern; 3] = [
@@ -739,6 +739,101 @@ pub(super) fn flows_incast(scale: &Scale) -> Scenario {
          block's receiver for 2,000 cycles before the role rotates; 4-packet \
          fixed-size flows.",
     )
+}
+
+/// Control fraction of the `qos-*` mixed-class workloads: a trickle on
+/// top of the bulk plane, as in the starvation stress pass.
+const QOS_CONTROL_FRACTION: f64 = 0.05;
+
+/// `qos-dragonfly`: multi-class QoS on the Dragonfly. A single-class
+/// FlexVC 4/2 reference is compared against the *same total VC budget*
+/// carrying a 5% control trickle, first FIFO (no QoS — control queues
+/// behind bulk wherever the flood sits) and then under strict-priority
+/// arbitration over class-partitioned 2/1+2/1 budgets. The acceptance
+/// shape, asserted in `cli_smoke`: at saturation the QoS control-plane
+/// p99 latency stays under half the single-class p99.
+pub(super) fn qos_dragonfly(scale: &Scale) -> Scenario {
+    let single = scale
+        .config(RoutingMode::Min, Workload::oblivious(Pattern::Uniform))
+        .with_flexvc(Arrangement::dragonfly(4, 2));
+    let mixed = scale
+        .config(
+            RoutingMode::Min,
+            Workload::oblivious(Pattern::Uniform).with_mix(QOS_CONTROL_FRACTION),
+        )
+        .with_flexvc(Arrangement::dragonfly(4, 2));
+    let series = [
+        Series::new("Single 4/2VCs", single),
+        Series::new("FIFO mix 4/2VCs", mixed.clone()),
+        Series::new(
+            "QoS 2/1+2/1VCs",
+            mixed.with_qos(QosConfig::partitioned(2, 1)),
+        ),
+    ];
+    Scenario {
+        name: "qos-dragonfly".into(),
+        title: format!(
+            "QoS Dragonfly: control/bulk classes at an equal 4/2 budget (h = {})",
+            scale.h
+        ),
+        description: "Multi-class traffic on the Dragonfly under MIN: a single-class \
+                      FlexVC 4/2 reference vs the same total VC budget carrying a 5% \
+                      control trickle, FIFO (no QoS) and strict-priority over \
+                      class-partitioned 2/1+2/1 budgets. Per-class accepted load and \
+                      tail latency land in the control_*/bulk_* CSV columns and the \
+                      per-class markdown grids; the single-class series tags every \
+                      packet Bulk."
+            .into(),
+        seeds: scale.seeds.clone(),
+        points: sweep_points(Pattern::Uniform, &series, &PAPER_LOADS),
+        classifications: Vec::new(),
+    }
+}
+
+/// `qos-hyperx`: the dynamic-allocation variant on the 2-D HyperX —
+/// class-partitioned budgets (2+2 of 4 VCs, all local on this family)
+/// against shared budgets with the occupancy-driven buffer repartitioner,
+/// both over the same single-class reference.
+pub(super) fn qos_hyperx(scale: &Scale) -> Scenario {
+    let (s, p) = crate::hyperx_shape(2);
+    let mk = |mix: bool| -> SimConfig {
+        let wl = Workload::oblivious(Pattern::Uniform);
+        let wl = if mix {
+            wl.with_mix(QOS_CONTROL_FRACTION)
+        } else {
+            wl
+        };
+        let mut cfg = SimConfig::hyperx_baseline(2, s, p, RoutingMode::Min, wl);
+        cfg.warmup = scale.warmup;
+        cfg.measure = scale.measure;
+        cfg.watchdog = (scale.warmup + scale.measure) / 2;
+        cfg.with_flexvc(Arrangement::generic(4))
+    };
+    let series = [
+        Series::new("Single 4VCs", mk(false)),
+        Series::new(
+            "QoS 2+2VCs",
+            mk(true).with_qos(QosConfig::partitioned(2, 0)),
+        ),
+        Series::new(
+            "QoS dyn 4VCs",
+            mk(true).with_qos(QosConfig::shared().with_repartition()),
+        ),
+    ];
+    Scenario {
+        name: "qos-hyperx".into(),
+        title: format!("QoS HyperX 2-D ({s}x{s} routers): static vs dynamic VC allocation"),
+        description: "Multi-class traffic on the 2-D HyperX under MIN at a 4-VC budget: \
+                      a single-class FlexVC reference vs a 5% control trickle under \
+                      strict priority with hard-partitioned 2+2 budgets and with shared \
+                      budgets plus the dynamic per-class buffer repartitioner (bulk \
+                      occupancy pressure reclaims idle control credit, floored at one \
+                      packet per class)."
+            .into(),
+        seeds: scale.seeds.clone(),
+        points: sweep_points(Pattern::Uniform, &series, &PAPER_LOADS),
+        classifications: Vec::new(),
+    }
 }
 
 pub(super) fn smoke(_scale: &Scale) -> Scenario {

@@ -324,6 +324,33 @@ pub fn render_markdown(report: &ScenarioReport) -> String {
             &grid(&|r| format!("{:.2}", r.slowdown_mean)),
         );
     }
+    // Multi-class QoS workloads additionally report per-class accepted
+    // load and tail latency, interpolated from the class histograms so
+    // sub-bucket differences resolve.
+    if report
+        .points
+        .iter()
+        .any(|p| p.result.classes[0].accepted > 0.0)
+    {
+        markdown_grid(
+            &mut out,
+            "Control accepted load (phits/node/cycle)",
+            &xs,
+            &grid(&|r| format!("{:.3}", r.classes[0].accepted)),
+        );
+        markdown_grid(
+            &mut out,
+            "Control latency p99 (cycles)",
+            &xs,
+            &grid(&|r| format!("{:.0}", r.classes[0].latency_hist.quantile_interp(0.99))),
+        );
+        markdown_grid(
+            &mut out,
+            "Bulk latency p99 (cycles)",
+            &xs,
+            &grid(&|r| format!("{:.0}", r.classes[1].latency_hist.quantile_interp(0.99))),
+        );
+    }
     // Saturation studies (every point at 100% offered load, as in Figs.
     // 6/9/11) additionally get the paper's headline derived metric:
     // throughput relative to each group's first (baseline) series. Series
@@ -401,12 +428,18 @@ pub fn render_csv(report: &ScenarioReport) -> String {
     let mut out = String::from(
         "scenario,series,x,load,offered,accepted,latency,latency_req,latency_rep,\
          latency_p99,misroute_fraction,avg_hops,reverts_per_packet,drop_fraction,deadlocked,\
-         flows_completed,fct_mean,fct_p50,fct_p99,slowdown_mean\n",
+         flows_completed,fct_mean,fct_p50,fct_p99,slowdown_mean,\
+         control_accepted,control_latency,control_p99,bulk_accepted,bulk_latency,bulk_p99\n",
     );
     for p in &report.points {
         let r = &p.result;
+        // Per-class tails are interpolated from the class histograms so
+        // sub-bucket differences resolve (the coarse `latency_p99` fields
+        // quantize to power-of-two buckets). Single-class runs tag every
+        // packet Bulk, so their control columns read zero.
+        let (ctrl, bulk) = (&r.classes[0], &r.classes[1]);
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             csv_quote(&report.name),
             csv_quote(&p.series),
             csv_quote(&p.x),
@@ -426,7 +459,13 @@ pub fn render_csv(report: &ScenarioReport) -> String {
             r.fct_mean,
             r.fct_p50,
             r.fct_p99,
-            r.slowdown_mean
+            r.slowdown_mean,
+            ctrl.accepted,
+            ctrl.latency,
+            ctrl.latency_hist.quantile_interp(0.99),
+            bulk.accepted,
+            bulk.latency,
+            bulk.latency_hist.quantile_interp(0.99)
         ));
     }
     out

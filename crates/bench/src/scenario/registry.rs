@@ -33,7 +33,8 @@ impl std::fmt::Debug for ScenarioEntry {
 /// The scenario catalogue; [`ScenarioRegistry::builtin`] holds the nine
 /// paper reproductions, the `hyperx-*` and `dfplus-*` families, the
 /// paper-scale `*-paper` trio (sized for `--shards`), the `flows-*`
-/// flow-workload trio (FCT/slowdown reporting), and `smoke`.
+/// flow-workload trio (FCT/slowdown reporting), the `qos-*` multi-class
+/// pair (per-class reporting), and `smoke`.
 #[derive(Debug, Clone, Default)]
 pub struct ScenarioRegistry {
     entries: Vec<ScenarioEntry>,
@@ -159,6 +160,16 @@ impl ScenarioRegistry {
             build: defs::flows_incast,
         });
         reg.register(ScenarioEntry {
+            name: "qos-dragonfly",
+            summary: "QoS classes: control trickle vs single-class at equal 4/2 budget (MIN)",
+            build: defs::qos_dragonfly,
+        });
+        reg.register(ScenarioEntry {
+            name: "qos-hyperx",
+            summary: "QoS on HyperX 2-D: partitioned vs dynamic per-class allocation (MIN)",
+            build: defs::qos_hyperx,
+        });
+        reg.register(ScenarioEntry {
             name: "smoke",
             summary: "30-second sanity run (tiny windows, ignores scale)",
             build: defs::smoke,
@@ -223,11 +234,13 @@ mod tests {
             "flows-un",
             "flows-permutation",
             "flows-incast",
+            "qos-dragonfly",
+            "qos-hyperx",
             "smoke",
         ] {
             assert!(reg.get(name).is_some(), "missing scenario {name}");
         }
-        assert_eq!(reg.entries().len(), 23);
+        assert_eq!(reg.entries().len(), 25);
     }
 
     #[test]

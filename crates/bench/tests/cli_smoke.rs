@@ -45,6 +45,8 @@ fn list_names_all_scenarios() {
         "flows-un",
         "flows-permutation",
         "flows-incast",
+        "qos-dragonfly",
+        "qos-hyperx",
         "smoke",
     ] {
         assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
@@ -90,17 +92,19 @@ fn shards_exceeding_router_count_fail_loudly() {
     );
 }
 
-/// Run a scenario at reduced windows and return every series' value in
-/// the named CSV column at sweep column `x`, keyed by series label.
-fn column_at(
+/// Run a scenario at reduced windows and return every series' values in
+/// the named CSV columns at sweep column `x`, keyed by series label —
+/// one CLI invocation regardless of how many columns are read.
+fn columns_at(
     scenario: &str,
     x: &str,
     warmup: &str,
     measure: &str,
-    column: &str,
-) -> Vec<(String, f64)> {
+    columns: &[&str],
+) -> Vec<(String, Vec<f64>)> {
     let csv_path = std::env::temp_dir().join(format!(
-        "flexvc-{scenario}-{x}-{column}-{}.csv",
+        "flexvc-{scenario}-{x}-{}-{}.csv",
+        columns.join("-"),
         std::process::id()
     ));
     let (_, _) = run_ok(
@@ -130,20 +134,40 @@ fn column_at(
             .position(|c| c == name)
             .unwrap_or_else(|| panic!("no {name} column in header: {header}"))
     };
-    let (series_col, x_col, value_col) = (col("series"), col("x"), col(column));
+    let (series_col, x_col) = (col("series"), col("x"));
+    let value_cols: Vec<usize> = columns.iter().map(|c| col(c)).collect();
     let mut out = Vec::new();
     for line in csv.lines().skip(1) {
         let cols: Vec<&str> = line.split(',').collect();
         if cols[x_col].trim_matches('"') != x {
             continue;
         }
-        let value: f64 = cols[value_col]
-            .parse()
-            .unwrap_or_else(|_| panic!("bad row: {line}"));
-        out.push((cols[series_col].trim_matches('"').to_string(), value));
+        let values: Vec<f64> = value_cols
+            .iter()
+            .map(|&i| {
+                cols[i]
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad row: {line}"))
+            })
+            .collect();
+        out.push((cols[series_col].trim_matches('"').to_string(), values));
     }
     assert!(!out.is_empty(), "no rows at x = {x} in:\n{csv}");
     out
+}
+
+/// Single-column form of [`columns_at`].
+fn column_at(
+    scenario: &str,
+    x: &str,
+    warmup: &str,
+    measure: &str,
+    column: &str,
+) -> Vec<(String, f64)> {
+    columns_at(scenario, x, warmup, measure, &[column])
+        .into_iter()
+        .map(|(s, v)| (s, v[0]))
+        .collect()
 }
 
 /// Run a scenario at reduced windows and return every series' accepted
@@ -439,6 +463,94 @@ fn run_hyperx_un_3d_flexvc_matches_or_beats_baseline() {
         assert!(
             accepted >= baseline * 0.98,
             "{series} accepted {accepted:.4} at saturation, below baseline {baseline:.4}"
+        );
+    }
+}
+
+/// Acceptance (QoS tentpole): `flexvc run qos-dragonfly` completes
+/// end-to-end with per-class CSV columns, and at saturation the
+/// strict-priority control plane's p99 latency stays under half the
+/// single-class p99 at the *equal* total 4/2 VC budget. The single-class
+/// series tags every packet Bulk, so its tail lives in `bulk_p99`; all
+/// tails are interpolated from the class histograms, so the comparison
+/// resolves below the power-of-two buckets.
+#[test]
+fn run_qos_dragonfly_control_tail_beats_single_class() {
+    let rows = columns_at(
+        "qos-dragonfly",
+        "1.00",
+        "2000",
+        "4000",
+        &["control_accepted", "control_p99", "bulk_p99"],
+    );
+    let series = |needle: &str| -> &Vec<f64> {
+        &rows
+            .iter()
+            .find(|(s, _)| s.contains(needle))
+            .unwrap_or_else(|| panic!("no series containing `{needle}` in {rows:?}"))
+            .1
+    };
+    let single = series("Single");
+    let fifo = series("FIFO");
+    let qos = series("QoS");
+    // The single-class reference has no control packets; its whole
+    // distribution is the Bulk class.
+    assert_eq!(single[0], 0.0, "single-class run delivered control traffic");
+    let single_p99 = single[2];
+    assert!(
+        single_p99 > 100.0,
+        "implausible single-class p99 {single_p99} at saturation"
+    );
+    // Both mixed runs deliver control traffic.
+    for (label, row) in [("FIFO", fifo), ("QoS", qos)] {
+        assert!(
+            row[0] > 0.0,
+            "{label}: no control traffic delivered at saturation"
+        );
+    }
+    let (fifo_ctrl, qos_ctrl) = (fifo[1], qos[1]);
+    assert!(
+        qos_ctrl <= 0.5 * single_p99,
+        "QoS control p99 {qos_ctrl:.0} not under half the single-class p99 {single_p99:.0} \
+         at the equal total VC budget"
+    );
+    assert!(
+        qos_ctrl < fifo_ctrl,
+        "QoS control p99 {qos_ctrl:.0} not below the FIFO mixed control p99 {fifo_ctrl:.0}"
+    );
+}
+
+/// Satellite: `flexvc run qos-hyperx` — the dynamic-allocation variant —
+/// completes with both the hard-partitioned and repartitioned series
+/// delivering traffic of both classes (no deadlock, no starvation) and
+/// both control tails at or below their bulk tails at saturation.
+#[test]
+fn run_qos_hyperx_both_allocation_modes_stay_live() {
+    let rows = columns_at(
+        "qos-hyperx",
+        "1.00",
+        "1000",
+        "2000",
+        &[
+            "control_accepted",
+            "bulk_accepted",
+            "control_p99",
+            "bulk_p99",
+        ],
+    );
+    for needle in ["QoS 2+2VCs", "QoS dyn"] {
+        let row = &rows
+            .iter()
+            .find(|(s, _)| s.contains(needle))
+            .unwrap_or_else(|| panic!("no series containing `{needle}` in {rows:?}"))
+            .1;
+        assert!(row[0] > 0.0, "{needle}: no control traffic delivered");
+        assert!(row[1] > 0.0, "{needle}: bulk starved under priority");
+        assert!(
+            row[2] <= row[3],
+            "{needle}: control p99 {:.0} above bulk p99 {:.0} under priority",
+            row[2],
+            row[3]
         );
     }
 }

@@ -51,7 +51,7 @@ pub use arrangement::Arrangement;
 pub use classify::{classify, NetworkFamily, Support};
 pub use credit::{CreditClass, SplitOccupancy};
 pub use decision::{choose_nonminimal, dal_divert_choice, ugal_choice, PathChoice, SensedState};
-pub use link::{LinkClass, MessageClass};
+pub use link::{LinkClass, MessageClass, TrafficClass};
 pub use policy::{baseline_vc, flexvc_options, HopKind, HopVcs, VcPolicy};
 pub use routing::RoutingMode;
 pub use selection::VcSelection;

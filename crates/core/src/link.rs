@@ -93,6 +93,65 @@ impl MessageClass {
     }
 }
 
+/// Quality-of-service traffic class of a packet (orthogonal to
+/// [`MessageClass`], which exists for protocol-deadlock avoidance).
+///
+/// "Millions of users" traffic is not one class: latency-critical control
+/// RPCs share the fabric with throughput-bound bulk transfers. The class is
+/// assigned at the workload layer (mice flows / a configured fraction of a
+/// synthetic stream are control) and threaded through arbitration — strict
+/// priority with a bounded bypass — and per-class metrics. The two-variant
+/// enum is dimensioned by [`TrafficClass::COUNT`] so per-class tables extend
+/// to N classes without structural change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TrafficClass {
+    /// Latency-critical control traffic (prioritized).
+    Control,
+    /// Throughput-bound bulk traffic (the default for unclassified
+    /// single-class workloads).
+    #[default]
+    Bulk,
+}
+
+impl TrafficClass {
+    /// Number of traffic classes handled by the model.
+    pub const COUNT: usize = 2;
+
+    /// Dense index (control = 0, bulk = 1) for per-class tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            TrafficClass::Control => 0,
+            TrafficClass::Bulk => 1,
+        }
+    }
+
+    /// Inverse of [`TrafficClass::index`].
+    #[inline]
+    pub fn from_index(i: usize) -> TrafficClass {
+        match i {
+            0 => TrafficClass::Control,
+            1 => TrafficClass::Bulk,
+            _ => panic!("invalid TrafficClass index {i}"),
+        }
+    }
+
+    /// Short label used in per-class reporting columns.
+    #[inline]
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficClass::Control => "control",
+            TrafficClass::Bulk => "bulk",
+        }
+    }
+}
+
+impl std::fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
 /// Shorthand constructors for class sequences used throughout tests and the
 /// classifier: `seq!(L G L)`.
 #[macro_export]
@@ -126,6 +185,16 @@ mod tests {
     fn seq_macro_builds_sequences() {
         let s = seq!(L G L);
         assert_eq!(s, [LinkClass::Local, LinkClass::Global, LinkClass::Local]);
+    }
+
+    #[test]
+    fn traffic_class_index_roundtrip() {
+        for i in 0..TrafficClass::COUNT {
+            assert_eq!(TrafficClass::from_index(i).index(), i);
+        }
+        assert_eq!(TrafficClass::default(), TrafficClass::Bulk);
+        assert_eq!(TrafficClass::Control.label(), "control");
+        assert_eq!(format!("{}", TrafficClass::Bulk), "bulk");
     }
 
     #[test]

@@ -425,6 +425,7 @@ mod tests {
             dst: 1,
             dst_router: 0,
             class: flexvc_core::MessageClass::Request,
+            tclass: flexvc_core::TrafficClass::Bulk,
             size,
             gen_cycle: 0,
             head_arrival: 0,

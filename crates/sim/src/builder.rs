@@ -24,7 +24,7 @@
 //! ```
 
 use crate::config::{BufferConfig, BufferOrg, BufferSizing, SensingConfig, SensingMode};
-use crate::config::{SimConfig, TopologySpec};
+use crate::config::{QosConfig, SimConfig, TopologySpec};
 use crate::error::ConfigError;
 use flexvc_core::classify::NetworkFamily;
 use flexvc_core::{Arrangement, RoutingMode, VcPolicy, VcSelection};
@@ -55,6 +55,7 @@ pub struct SimConfigBuilder {
     reply_queue_packets: usize,
     adaptive_copies: bool,
     shards: usize,
+    qos: Option<QosConfig>,
 }
 
 impl Default for SimConfigBuilder {
@@ -84,6 +85,7 @@ impl Default for SimConfigBuilder {
             reply_queue_packets: 4,
             adaptive_copies: false,
             shards: 1,
+            qos: None,
         }
     }
 }
@@ -330,6 +332,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Multi-class QoS configuration (strict-priority arbitration with
+    /// bounded bypass; see [`QosConfig`]).
+    pub fn qos(mut self, qos: QosConfig) -> Self {
+        self.qos = Some(qos);
+        self
+    }
+
     /// Assemble and validate the configuration.
     pub fn build(self) -> Result<SimConfig, ConfigError> {
         let family = self.topology.family();
@@ -358,6 +367,7 @@ impl SimConfigBuilder {
             reply_queue_packets: self.reply_queue_packets,
             adaptive_copies: self.adaptive_copies,
             shards: self.shards,
+            qos: self.qos,
         };
         cfg.validate()?;
         Ok(cfg)

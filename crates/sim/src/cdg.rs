@@ -211,6 +211,77 @@ pub fn build_min_cdg(
     edges.into_iter().collect()
 }
 
+/// Escape-network dependency graph of FlexVC minimal routing on an
+/// arrangement — or on a QoS class's sub-arrangement, which is a
+/// subsequence of the master reference and so does not follow the
+/// baseline slot texture [`build_min_cdg`] assumes. Every minimal route
+/// is embedded greedily at strictly increasing positions (the canonical
+/// safe embedding whose existence the classifier's `Safe` verdict
+/// asserts; greedy-lowest succeeds whenever any embedding does), and
+/// consecutive buffers form the edges. Errors if some minimal route does
+/// not embed, i.e. the arrangement is not actually MIN-safe.
+pub fn build_flexvc_min_cdg(
+    topo: &dyn Topology,
+    arr: &Arrangement,
+) -> Result<Vec<(BufferId, BufferId)>, String> {
+    let mut edges = std::collections::HashSet::new();
+    let endpoints = endpoint_routers(topo);
+    for &s in &endpoints {
+        for &d in &endpoints {
+            let route = topo.min_route(s, d);
+            let mut cur = s;
+            let mut prev: Option<usize> = None;
+            let mut bufs: Vec<BufferId> = Vec::with_capacity(route.len());
+            for hop in &route {
+                let start = prev.map_or(0, |p| p + 1);
+                let Some(pos) = (start..arr.len()).find(|&p| arr.class_at(p) == hop.class) else {
+                    return Err(format!(
+                        "min route {s}->{d}: no {:?} position above {prev:?} in {arr}",
+                        hop.class
+                    ));
+                };
+                let (next, next_port) = topo.neighbor(cur, hop.port as usize).expect("wired");
+                bufs.push((next, next_port, arr.vc_index_at(pos)));
+                prev = Some(pos);
+                cur = next;
+            }
+            for w in bufs.windows(2) {
+                edges.insert((w[0], w[1]));
+            }
+        }
+    }
+    Ok(edges.into_iter().collect())
+}
+
+/// Combined buffer-level dependency graph of a class-partitioned QoS
+/// configuration under minimal routing (each class's escape substrate).
+///
+/// Under [`crate::config::ClassVcMap::Partitioned`] the classes own
+/// disjoint VC subsets, and strict-priority arbitration never adds a
+/// buffer-wait edge *between* classes: a head denied by priority keeps
+/// only the buffer it already occupies — in its own partition — and waits
+/// for a grant, not for buffer space in the other class. The full
+/// dependency graph is therefore exactly the disjoint union of the
+/// per-class graphs, encoded here by offsetting bulk's VC ids out of
+/// control's id space. Acyclicity of this union is the graph-level
+/// statement of the priority-composition proof performed algebraically by
+/// `SimConfig::validate`.
+pub fn build_qos_min_cdg(
+    topo: &dyn Topology,
+    control: &Arrangement,
+    bulk: &Arrangement,
+) -> Result<Vec<(BufferId, BufferId)>, String> {
+    // Any offset past the 32-VC ceiling keeps the id spaces disjoint.
+    const BULK_VC_OFFSET: usize = 32;
+    let mut edges = build_flexvc_min_cdg(topo, control)?;
+    edges.extend(build_flexvc_min_cdg(topo, bulk)?.into_iter().map(
+        |((ra, pa, va), (rb, pb, vb))| {
+            ((ra, pa, va + BULK_VC_OFFSET), (rb, pb, vb + BULK_VC_OFFSET))
+        },
+    ));
+    Ok(edges)
+}
+
 /// Kahn's algorithm: is the dependency graph acyclic?
 pub fn is_acyclic(edges: &[(BufferId, BufferId)]) -> bool {
     use std::collections::HashMap;
@@ -448,6 +519,86 @@ mod tests {
         let arr = Arrangement::generic(2);
         let edges = build_min_cdg(&topo, &arr, MessageClass::Request);
         assert!(is_acyclic(&edges));
+    }
+
+    /// Priority preserves CDG acyclicity: over random Dragonfly,
+    /// Dragonfly+ and HyperX shapes with random VC budgets and random
+    /// control partitions, every partition `SimConfig::validate` accepts
+    /// yields per-class sub-arrangements whose combined minimal
+    /// dependency graph (the disjoint union — strict priority adds no
+    /// cross-class buffer edges) is acyclic, and whose per-class minimal
+    /// routes occupy strictly increasing positions.
+    #[test]
+    fn qos_partition_min_cdg_acyclic_on_random_shapes() {
+        use crate::config::{QosConfig, SimConfig};
+        use flexvc_core::TrafficClass;
+        use flexvc_traffic::{Pattern, Workload};
+
+        let mut rng = SmallRng::seed_from_u64(33);
+        let workload = || Workload::oblivious(Pattern::Uniform).with_mix(0.1);
+        let mut accepted = 0;
+        let mut attempts = 0;
+        while accepted < 12 {
+            attempts += 1;
+            assert!(
+                attempts < 2_000,
+                "random shapes almost never validate ({accepted}/12 after {attempts})"
+            );
+            let (base, l, g) = match rng.gen_range(0..3u32) {
+                0 => {
+                    let h = rng.gen_range(2..4usize);
+                    (
+                        SimConfig::dragonfly_baseline(h, RoutingMode::Min, workload()),
+                        rng.gen_range(2..6usize),
+                        rng.gen_range(1..3usize),
+                    )
+                }
+                1 => {
+                    let groups = [3, 5][rng.gen_range(0..2usize)];
+                    (
+                        SimConfig::dfplus_baseline(2, 2, 1, groups, RoutingMode::Min, workload()),
+                        rng.gen_range(2..6usize),
+                        rng.gen_range(1..3usize),
+                    )
+                }
+                _ => {
+                    let n = rng.gen_range(2..4usize);
+                    let s = rng.gen_range(2..4usize);
+                    // All HyperX links are Local-class: the whole budget
+                    // is the local one.
+                    (
+                        SimConfig::hyperx_baseline(n, s, 1, RoutingMode::Min, workload()),
+                        rng.gen_range(2..7usize),
+                        0,
+                    )
+                }
+            };
+            let arr = if g == 0 {
+                Arrangement::generic(l)
+            } else {
+                Arrangement::dragonfly(l, g)
+            };
+            let cl = rng.gen_range(0..l + 1);
+            let cg = rng.gen_range(0..g + 1);
+            let cfg = base
+                .with_flexvc(arr)
+                .with_qos(QosConfig::partitioned(cl, cg));
+            if cfg.validate().is_err() {
+                continue;
+            }
+            accepted += 1;
+            let ctrl = cfg.qos_sub_arrangement(TrafficClass::Control).unwrap();
+            let bulk = cfg.qos_sub_arrangement(TrafficClass::Bulk).unwrap();
+            let topo = cfg.topology.build();
+            let edges = build_qos_min_cdg(&*topo, &ctrl, &bulk)
+                .unwrap_or_else(|e| panic!("{:?}: {e}", cfg.topology));
+            assert!(!edges.is_empty(), "{:?}: degenerate CDG", cfg.topology);
+            assert!(
+                is_acyclic(&edges),
+                "{:?}: partitioned QoS CDG cyclic (control {ctrl}, bulk {bulk})",
+                cfg.topology
+            );
+        }
     }
 
     #[test]

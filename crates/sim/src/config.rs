@@ -9,7 +9,9 @@ use crate::builder::SimConfigBuilder;
 use crate::error::ConfigError;
 use flexvc_core::classify::{classify, NetworkFamily, Support};
 use flexvc_core::policy::supports_baseline;
-use flexvc_core::{Arrangement, MessageClass, RoutingMode, VcPolicy, VcSelection};
+use flexvc_core::{
+    Arrangement, LinkClass, MessageClass, RoutingMode, TrafficClass, VcPolicy, VcSelection,
+};
 use flexvc_topology::{
     Dragonfly, DragonflyPlus, FlatButterfly2D, GlobalArrangement, HyperX, Topology,
 };
@@ -339,6 +341,83 @@ impl Default for SensingConfig {
     }
 }
 
+/// How VC budgets are divided between QoS traffic classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassVcMap {
+    /// Both classes draw from the full VC budget; priority acts only on
+    /// arbitration order. Works under either VC policy — grants are
+    /// reordered among already-legal candidates, so the channel dependency
+    /// graph is unchanged.
+    Shared,
+    /// Control traffic owns the first `control_local`/`control_global` VCs
+    /// of each class; bulk owns the rest. Requires [`VcPolicy::FlexVc`]
+    /// (the baseline's fixed hop-to-VC map cannot confine a class to a
+    /// subset), and each class's sub-arrangement must independently embed
+    /// a safe minimal path — see [`SimConfig::validate`].
+    Partitioned {
+        /// Local-class VCs owned by control traffic.
+        control_local: usize,
+        /// Global-class VCs owned by control traffic.
+        control_global: usize,
+    },
+}
+
+/// Multi-class QoS configuration: strict-priority arbitration for control
+/// traffic with a bounded bypass for bulk liveness, optional per-class VC
+/// partitioning, and an optional dynamic per-class buffer repartitioner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosConfig {
+    /// Per-class VC budget mapping.
+    pub vc_map: ClassVcMap,
+    /// Consecutive priority grants a control head may take while a bulk
+    /// head is waiting at the same arbiter before one bulk grant is forced
+    /// through (anti-starvation escape). Must be at least 1.
+    pub bypass_bound: u32,
+    /// Enable the dynamic per-class buffer repartitioner: per-port quota
+    /// chunks shift between the classes on occupancy pressure (DAMQ-style,
+    /// but class-scoped; quota sums stay constant per port).
+    pub repartition: bool,
+    /// Initial fraction of each port's buffer quota assigned to the
+    /// control class (strictly between 0 and 1).
+    pub control_quota_fraction: f64,
+}
+
+impl Default for QosConfig {
+    fn default() -> Self {
+        QosConfig {
+            vc_map: ClassVcMap::Shared,
+            bypass_bound: 4,
+            repartition: false,
+            control_quota_fraction: 0.5,
+        }
+    }
+}
+
+impl QosConfig {
+    /// Shared-budget priority QoS with the default bypass bound.
+    pub fn shared() -> Self {
+        QosConfig::default()
+    }
+
+    /// Class-partitioned QoS: control owns the first
+    /// `control_local`/`control_global` VCs per class.
+    pub fn partitioned(control_local: usize, control_global: usize) -> Self {
+        QosConfig {
+            vc_map: ClassVcMap::Partitioned {
+                control_local,
+                control_global,
+            },
+            ..QosConfig::default()
+        }
+    }
+
+    /// Enable the dynamic per-class buffer repartitioner.
+    pub fn with_repartition(mut self) -> Self {
+        self.repartition = true;
+        self
+    }
+}
+
 /// Full simulation configuration. Defaults follow Table V at a reduced
 /// network scale (see `DESIGN.md` §6 on the scale substitution).
 #[derive(Debug, Clone)]
@@ -411,6 +490,11 @@ pub struct SimConfig {
     /// (the one setting whose *throughput* — never results — depends on
     /// the machine).
     pub shards: usize,
+    /// Multi-class QoS: strict-priority arbitration with bounded bypass,
+    /// optional class-partitioned VC budgets and dynamic buffer
+    /// repartitioning. `None` runs the single-class engine paths
+    /// bit-identically to configurations predating this field.
+    pub qos: Option<QosConfig>,
 }
 
 impl SimConfig {
@@ -455,6 +539,7 @@ impl SimConfig {
             reply_queue_packets: 4,
             adaptive_copies: false,
             shards: 1,
+            qos: None,
         }
     }
 
@@ -529,6 +614,12 @@ impl SimConfig {
         self
     }
 
+    /// Attach a multi-class QoS configuration.
+    pub fn with_qos(mut self, qos: QosConfig) -> Self {
+        self.qos = Some(qos);
+        self
+    }
+
     /// Switch the buffer organization to DAMQ with the paper's reference
     /// 75% private reservation.
     pub fn with_damq75(mut self) -> Self {
@@ -559,6 +650,73 @@ impl SimConfig {
                 let n = self.vcs_for_class(class).max(1) as u32;
                 (total / n).max(self.packet_size)
             }
+        }
+    }
+
+    /// Bitmask over the per-class VC indices of `link` that packets of
+    /// `tclass` may occupy under the configured QoS VC map. All ones when
+    /// QoS is off or the budget is shared; under
+    /// [`ClassVcMap::Partitioned`] control owns the low indices and bulk
+    /// the rest.
+    pub fn qos_vc_mask(&self, link: LinkClass, tclass: TrafficClass) -> u32 {
+        let n = self.vcs_for_class(link);
+        let full = if n >= 32 { u32::MAX } else { (1u32 << n) - 1 };
+        let Some(qos) = &self.qos else { return full };
+        match qos.vc_map {
+            ClassVcMap::Shared => full,
+            ClassVcMap::Partitioned {
+                control_local,
+                control_global,
+            } => {
+                let c = match link {
+                    LinkClass::Local => control_local,
+                    LinkClass::Global => control_global,
+                }
+                .min(n);
+                let ctrl = if c >= 32 { u32::MAX } else { (1u32 << c) - 1 };
+                match tclass {
+                    TrafficClass::Control => ctrl,
+                    TrafficClass::Bulk => full & !ctrl,
+                }
+            }
+        }
+    }
+
+    /// The sub-arrangement (a subsequence of the master reference
+    /// sequence) a traffic class is confined to under a partitioned QoS
+    /// VC map: control keeps the positions whose per-class VC index falls
+    /// below its budget, bulk keeps the complement. `None` when QoS is
+    /// off, the budget is shared, or the class's subsequence is empty.
+    ///
+    /// This is the object of the priority-composition proof: strict
+    /// priority composes with FlexVC's position-based safety argument iff
+    /// each class's sub-arrangement independently admits a safe minimal
+    /// embedding (validated in [`SimConfig::validate`]).
+    pub fn qos_sub_arrangement(&self, tclass: TrafficClass) -> Option<Arrangement> {
+        let qos = self.qos.as_ref()?;
+        let ClassVcMap::Partitioned {
+            control_local,
+            control_global,
+        } = qos.vc_map
+        else {
+            return None;
+        };
+        let mut seq = Vec::new();
+        for pos in 0..self.arrangement.len() {
+            let class = self.arrangement.class_at(pos);
+            let bound = match class {
+                LinkClass::Local => control_local,
+                LinkClass::Global => control_global,
+            };
+            let in_control = self.arrangement.vc_index_at(pos) < bound;
+            if (tclass == TrafficClass::Control) == in_control {
+                seq.push(class);
+            }
+        }
+        if seq.is_empty() {
+            None
+        } else {
+            Some(Arrangement::new(seq))
         }
     }
 
@@ -694,6 +852,9 @@ impl SimConfig {
                 }
             }
         }
+        if let Some(qos) = &self.qos {
+            self.check_qos(qos, family)?;
+        }
         // Buffers must hold at least one packet per VC.
         for class in [
             flexvc_core::LinkClass::Local,
@@ -705,6 +866,64 @@ impl SimConfig {
         }
         if self.buffers.output < self.packet_size || self.buffers.injection < self.packet_size {
             return Err(ConfigError::PortBuffersBelowPacket);
+        }
+        Ok(())
+    }
+
+    /// QoS sanity and deadlock-safety checks (part of
+    /// [`SimConfig::validate`]). The partitioned branch proves — or
+    /// refutes, via [`ConfigError::QosPartitionUnsafe`] — that strict
+    /// priority composes with FlexVC's position-based safety argument:
+    /// the two classes occupy disjoint VC subsets, so no cross-class
+    /// buffer dependency exists, and each class's sub-arrangement must
+    /// independently embed a safe minimal (escape) path.
+    fn check_qos(&self, qos: &QosConfig, family: NetworkFamily) -> Result<(), ConfigError> {
+        if self.workload.is_reactive() {
+            return Err(ConfigError::QosReactiveUnsupported);
+        }
+        let fail = |why| Err(ConfigError::QosInvalidParam { why });
+        if qos.bypass_bound == 0 {
+            return fail("bypass bound must be at least 1");
+        }
+        if !(qos.control_quota_fraction > 0.0 && qos.control_quota_fraction < 1.0) {
+            return fail("control quota fraction must be strictly between 0 and 1");
+        }
+        if let ClassVcMap::Partitioned {
+            control_local,
+            control_global,
+        } = qos.vc_map
+        {
+            if !matches!(self.policy, VcPolicy::FlexVc) {
+                return Err(ConfigError::QosPartitionRequiresFlexVc);
+            }
+            let nl = self.arrangement.vc_count(LinkClass::Local);
+            let ng = self.arrangement.vc_count(LinkClass::Global);
+            if control_local > nl || control_global > ng {
+                return fail("control partition exceeds the VC budget");
+            }
+            if control_local + control_global == 0 {
+                return fail("control partition must own at least one VC");
+            }
+            if control_local == nl && control_global == ng {
+                return fail("bulk partition must own at least one VC");
+            }
+            for tclass in [TrafficClass::Control, TrafficClass::Bulk] {
+                let sub = self
+                    .qos_sub_arrangement(tclass)
+                    .expect("both partitions are non-empty (checked above)");
+                // MIN must be safe inside the partition (it is the
+                // class's escape), and the configured routing must be at
+                // least opportunistic there.
+                if classify(family, RoutingMode::Min, &sub, MessageClass::Request) != Support::Safe
+                    || classify(family, self.routing, &sub, MessageClass::Request)
+                        == Support::Unsupported
+                {
+                    return Err(ConfigError::QosPartitionUnsafe {
+                        tclass,
+                        arrangement: sub.to_string(),
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -1128,6 +1347,148 @@ mod tests {
                 "{spec:?}: {err}"
             );
         }
+    }
+
+    fn min_flexvc_42() -> SimConfig {
+        SimConfig::dragonfly_baseline(
+            2,
+            RoutingMode::Min,
+            Workload::oblivious(Pattern::Uniform).with_mix(0.1),
+        )
+        .with_flexvc(Arrangement::dragonfly(4, 2))
+    }
+
+    /// Tentpole: the composition proof. On `L G L L G L` (4/2) the
+    /// control partition (2,1) carves `L G L` and leaves bulk `L G L` —
+    /// both safe, so priority composes and the config validates. On
+    /// `L G L G L` (3/2) the same split leaves bulk `G L`, which has no
+    /// safe minimal embedding — refuted with a typed error naming the
+    /// class and its sub-arrangement.
+    #[test]
+    fn qos_partition_safety_proved_or_refuted() {
+        let ok = min_flexvc_42().with_qos(QosConfig::partitioned(2, 1));
+        ok.validate().unwrap();
+        assert_eq!(
+            ok.qos_sub_arrangement(TrafficClass::Control)
+                .unwrap()
+                .to_string(),
+            ok.qos_sub_arrangement(TrafficClass::Bulk)
+                .unwrap()
+                .to_string(),
+            "the (2,1) split of 4/2 halves the arrangement symmetrically"
+        );
+
+        let mut bad = ok.clone();
+        bad.arrangement = Arrangement::dragonfly(3, 2);
+        let err = bad.validate().unwrap_err();
+        match &err {
+            ConfigError::QosPartitionUnsafe {
+                tclass,
+                arrangement,
+            } => {
+                assert_eq!(*tclass, TrafficClass::Bulk, "{err}");
+                assert_eq!(arrangement, "1/1 [G L]", "{err}");
+            }
+            other => panic!("expected QosPartitionUnsafe, got {other}"),
+        }
+    }
+
+    #[test]
+    fn qos_partition_requires_flexvc() {
+        let mut cfg = SimConfig::dragonfly_baseline(
+            2,
+            RoutingMode::Min,
+            Workload::oblivious(Pattern::Uniform),
+        )
+        .with_qos(QosConfig::partitioned(1, 0));
+        // Baseline + Partitioned: the fixed hop-to-VC map cannot confine
+        // a class to a subset.
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            ConfigError::QosPartitionRequiresFlexVc
+        );
+        // Baseline + Shared is fine: priority only reorders grants.
+        cfg.qos = Some(QosConfig::shared());
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn qos_rejects_reactive_and_bad_params() {
+        let reactive = SimConfig::dragonfly_baseline(
+            2,
+            RoutingMode::Min,
+            Workload::reactive(Pattern::Uniform),
+        )
+        .with_qos(QosConfig::shared());
+        assert_eq!(
+            reactive.validate().unwrap_err(),
+            ConfigError::QosReactiveUnsupported
+        );
+
+        let base = min_flexvc_42();
+        let cases: [(QosConfig, &str); 5] = [
+            (
+                QosConfig {
+                    bypass_bound: 0,
+                    ..QosConfig::default()
+                },
+                "bypass bound",
+            ),
+            (
+                QosConfig {
+                    control_quota_fraction: 0.0,
+                    ..QosConfig::default()
+                },
+                "quota fraction",
+            ),
+            (QosConfig::partitioned(5, 1), "exceeds the VC budget"),
+            (QosConfig::partitioned(0, 0), "at least one VC"),
+            (QosConfig::partitioned(4, 2), "bulk partition"),
+        ];
+        for (qos, needle) in cases {
+            let err = base.clone().with_qos(qos).validate().unwrap_err();
+            assert!(
+                matches!(err, ConfigError::QosInvalidParam { .. })
+                    && err.to_string().contains(needle),
+                "{qos:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn qos_vc_masks_partition_the_budget() {
+        let cfg = min_flexvc_42().with_qos(QosConfig::partitioned(2, 1));
+        assert_eq!(
+            cfg.qos_vc_mask(Local, flexvc_core::TrafficClass::Control),
+            0b0011
+        );
+        assert_eq!(
+            cfg.qos_vc_mask(Local, flexvc_core::TrafficClass::Bulk),
+            0b1100
+        );
+        assert_eq!(
+            cfg.qos_vc_mask(Global, flexvc_core::TrafficClass::Control),
+            0b01
+        );
+        assert_eq!(
+            cfg.qos_vc_mask(Global, flexvc_core::TrafficClass::Bulk),
+            0b10
+        );
+        // Shared (and QoS-off) masks are all ones over the budget.
+        let shared = min_flexvc_42().with_qos(QosConfig::shared());
+        let off = min_flexvc_42();
+        for link in [Local, Global] {
+            for t in [
+                flexvc_core::TrafficClass::Control,
+                flexvc_core::TrafficClass::Bulk,
+            ] {
+                assert_eq!(shared.qos_vc_mask(link, t), off.qos_vc_mask(link, t));
+            }
+        }
+        assert_eq!(
+            off.qos_vc_mask(Local, flexvc_core::TrafficClass::Bulk),
+            0b1111
+        );
     }
 
     #[test]

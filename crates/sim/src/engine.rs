@@ -69,7 +69,9 @@ use crate::sensing::{saturated_flags_into, GroupBoard};
 use crate::shard::{BoundaryEvent, BoundaryPayload};
 use flexvc_core::classify::NetworkFamily;
 use flexvc_core::policy::{baseline_vc, flexvc_options_lookahead};
-use flexvc_core::{Arrangement, CreditClass, HopKind, LinkClass, MessageClass, VcPolicy};
+use flexvc_core::{
+    Arrangement, CreditClass, HopKind, LinkClass, MessageClass, TrafficClass, VcPolicy,
+};
 use flexvc_topology::Topology;
 use flexvc_traffic::flow::{random_permutation, FlowPattern};
 use flexvc_traffic::generator::NodeSpace;
@@ -394,6 +396,41 @@ pub struct Network {
     occ_scratch: Vec<u32>,
     /// Sensing flag scratch.
     flag_scratch: Vec<bool>,
+    // --- QoS (multi-class) state; inert when `qos_active` is false ---
+    /// Cached `cfg.qos.is_some()`: every QoS branch on the hot path gates
+    /// on this flag, so single-class configurations take bit-identical
+    /// paths through the allocator.
+    qos_active: bool,
+    /// Strict-priority bypass bound B (0 when QoS is off): an arbiter that
+    /// sees both classes requesting grants control, but after B such
+    /// priority grants in a row it lets one bulk candidate through and
+    /// resets — bounded bypass, the anti-starvation guarantee.
+    bypass_bound: u32,
+    /// Stage-1 bypass counters per (router, unified input),
+    /// flat-indexed `r * n_in + in_idx`.
+    bypass_in: Vec<u32>,
+    /// Stage-2 bypass counters per (router, output port),
+    /// flat-indexed `r * pp + port`.
+    bypass_out: Vec<u32>,
+    /// Allowed output-VC masks per (link class, traffic class) —
+    /// [`SimConfig::qos_vc_mask`] precomputed, indexed
+    /// `[link.index()][tclass.index()]`.
+    qos_masks: [[u32; 2]; 2],
+    /// Dynamic per-class buffer repartitioning enabled.
+    repart: bool,
+    /// Per-(router, output port, class) occupancy of the downstream credit
+    /// mirror, flat-indexed `(r * pp + port) * 2 + tclass` (empty unless
+    /// `repart`). Incremented on a forward grant, decremented when the
+    /// matching credit returns (credits carry the packet's class).
+    cls_occ: Vec<u32>,
+    /// Per-(router, output port, class) phit quotas, same indexing. The two
+    /// quotas of a port sum to its capacity and each stays at least one
+    /// packet; [`Network::repartition`] shifts them under occupancy
+    /// pressure.
+    cls_quota: Vec<u32>,
+    /// Total phit capacity per output port index (uniform across routers;
+    /// the repartitioner's conservation invariant).
+    port_total: Vec<u32>,
 }
 
 impl Network {
@@ -700,6 +737,46 @@ impl Network {
             .map(|p| cfg.vcs_for_class(port_class[p]).clamp(1, 255) as u8)
             .collect();
         let injection_vcs_u8 = cfg.injection_vcs.min(255) as u8;
+        // QoS precomputation: validation already proved the configuration
+        // safe (see `SimConfig::check_qos`), so the engine only caches the
+        // derived masks, bounds and initial quotas here.
+        let qos = cfg.qos;
+        let qos_active = qos.is_some();
+        let bypass_bound = qos.map_or(0, |q| q.bypass_bound);
+        let repart = qos.is_some_and(|q| q.repartition);
+        let qos_masks = [
+            [
+                cfg.qos_vc_mask(LinkClass::Local, TrafficClass::Control),
+                cfg.qos_vc_mask(LinkClass::Local, TrafficClass::Bulk),
+            ],
+            [
+                cfg.qos_vc_mask(LinkClass::Global, TrafficClass::Control),
+                cfg.qos_vc_mask(LinkClass::Global, TrafficClass::Bulk),
+            ],
+        ];
+        let port_total: Vec<u32> = (0..pp).map(|p| cfg.port_capacity(port_class[p])).collect();
+        let mut cls_quota = vec![0u32; if repart { nr * pp * 2 } else { 0 }];
+        if repart {
+            let frac = qos.expect("repart implies qos").control_quota_fraction;
+            for p in 0..pp {
+                let total = port_total[p];
+                // Initial split: control gets `frac` of the port, rounded
+                // down to whole packets and clamped so both classes hold at
+                // least one packet. Ports too small to split stay
+                // unpartitioned (both quotas = capacity, the gate is inert
+                // and the repartitioner skips them).
+                let (cq, bq) = if total >= 2 * size {
+                    let c = ((total as f64 * frac) as u32 / size * size).clamp(size, total - size);
+                    (c, total - c)
+                } else {
+                    (total, total)
+                };
+                for r in 0..nr {
+                    cls_quota[(r * pp + p) * 2] = cq;
+                    cls_quota[(r * pp + p) * 2 + 1] = bq;
+                }
+            }
+        }
         Network {
             cfg,
             topo,
@@ -779,6 +856,15 @@ impl Network {
             flow_tags: std::collections::HashMap::new(),
             occ_scratch: Vec::new(),
             flag_scratch: Vec::new(),
+            qos_active,
+            bypass_bound,
+            bypass_in: vec![0; if qos_active { nr * (pp + pn) } else { 0 }],
+            bypass_out: vec![0; if qos_active { nr * pp } else { 0 }],
+            qos_masks,
+            repart,
+            cls_occ: vec![0; if repart { nr * pp * 2 } else { 0 }],
+            cls_quota,
+            port_total,
         }
     }
 
@@ -905,6 +991,9 @@ impl Network {
         debug_assert_eq!(now, self.cycle);
         self.deliver(now);
         self.process_pending(now);
+        if self.repart {
+            self.repartition();
+        }
         self.generate(now);
         self.plan_heads(now);
         for _ in 0..self.cfg.speedup {
@@ -986,10 +1075,15 @@ impl Network {
                 self.pkt_wheel.schedule(now, ev.at, ev.lid);
                 self.links[ev.lid as usize].receive_flight(flight);
             }
-            BoundaryPayload::Credit { vc, phits, class } => {
+            BoundaryPayload::Credit {
+                vc,
+                phits,
+                class,
+                tclass,
+            } => {
                 debug_assert!(ev.at > now);
                 debug_assert!(self.owns(ev.lid / self.pp as u32));
-                self.links[ev.lid as usize].receive_credit(ev.at, vc, phits, class);
+                self.links[ev.lid as usize].receive_credit(ev.at, vc, phits, class, tclass);
                 self.schedule_credit(now, ev.at, ev.lid as usize);
             }
             BoundaryPayload::Board {
@@ -1071,6 +1165,45 @@ impl Network {
         }
     }
 
+    /// Dynamic per-class buffer repartitioning: once per cycle, each owned
+    /// router shifts one packet's worth of quota between the two classes
+    /// of an output port when one class is under pressure (above 3/4 of
+    /// its own quota) while the other leaves slack (below 1/2 of its own).
+    /// Shifts preserve the per-port invariants — the quotas sum to the
+    /// port capacity and each class keeps at least one packet — and never
+    /// take a quota below the donor's current occupancy, so credits
+    /// already granted stay honored. The decision reads only router-local
+    /// state and runs in the same phase slot on every shard, so sharded
+    /// runs stay bit-identical.
+    fn repartition(&mut self) {
+        let pp = self.pp;
+        let size = self.cfg.packet_size;
+        for r in self.owned_r.start as usize..self.owned_r.end as usize {
+            for p in 0..pp {
+                let base = (r * pp + p) * 2;
+                let (cq, bq) = (self.cls_quota[base], self.cls_quota[base + 1]);
+                if cq + bq != self.port_total[p] {
+                    continue; // port too small to split (inert quotas)
+                }
+                let (co, bo) = (self.cls_occ[base], self.cls_occ[base + 1]);
+                let ctrl_pressed = co * 4 > cq * 3 && bo * 2 < bq;
+                let bulk_pressed = bo * 4 > bq * 3 && co * 2 < cq;
+                let (donor, taker) = if ctrl_pressed && !bulk_pressed {
+                    (base + 1, base)
+                } else if bulk_pressed && !ctrl_pressed {
+                    (base, base + 1)
+                } else {
+                    continue;
+                };
+                let floor = self.cls_occ[donor].max(size);
+                if self.cls_quota[donor] >= floor + size {
+                    self.cls_quota[donor] -= size;
+                    self.cls_quota[taker] += size;
+                }
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Phase 1: arrivals
     // ------------------------------------------------------------------
@@ -1116,6 +1249,11 @@ impl Network {
             let mut any = false;
             while let Some(c) = self.links[lid].pop_credit(now) {
                 self.routers[r].out_credit[op].remove(c.vc as usize, c.phits, c.class);
+                if self.repart {
+                    // The downstream buffer drained a packet of this class:
+                    // release its share of the class quota.
+                    self.cls_occ[(r * pp + op) * 2 + c.tclass.index()] -= c.phits;
+                }
                 // A returning credit is forward progress: downstream
                 // drained a buffer we were blocked on. Without this, an
                 // extremely congested-but-live network whose grants are
@@ -1218,8 +1356,23 @@ impl Network {
                     self.metrics.generated_packets += 1;
                     self.metrics.generated_phits += size as u64;
                 }
+                let tclass = em.tclass;
                 let vc = if reactive {
                     0
+                } else if self.qos_active && self.cfg.injection_vcs > 1 {
+                    // Injection-lane dedication: control owns injection
+                    // VC 0 and bulk round-robins over the remaining lanes,
+                    // so a saturated bulk queue cannot head-block control
+                    // at the NIC.
+                    match tclass {
+                        TrafficClass::Control => 0,
+                        TrafficClass::Bulk => {
+                            let lanes = self.cfg.injection_vcs as u8 - 1;
+                            let v = self.inj_rr[n] % lanes;
+                            self.inj_rr[n] = (v + 1) % lanes;
+                            v + 1
+                        }
+                    }
                 } else {
                     let v = self.inj_rr[n];
                     self.inj_rr[n] = (v + 1) % self.cfg.injection_vcs as u8;
@@ -1228,7 +1381,13 @@ impl Network {
                 let r = self.topo.router_of_node(n);
                 let local = n - self.node_base[r] as usize;
                 if self.routers[r].inj[local].occ.can_accept(vc, size) {
-                    let pkt = self.new_packet(n as u32, em.dest as u32, MessageClass::Request, now);
+                    let pkt = self.new_packet(
+                        n as u32,
+                        em.dest as u32,
+                        MessageClass::Request,
+                        tclass,
+                        now,
+                    );
                     if let Some(tag) = em.flow {
                         self.flow_tags.insert((pkt.src, pkt.id), tag);
                     }
@@ -1264,7 +1423,10 @@ impl Network {
                     self.metrics.generated_packets += 1;
                     self.metrics.generated_phits += size as u64;
                 }
-                let pkt = self.new_packet(n as u32, dst, MessageClass::Reply, now);
+                // Replies exist only on reactive workloads, which QoS
+                // validation rejects: they are always bulk.
+                let pkt =
+                    self.new_packet(n as u32, dst, MessageClass::Reply, TrafficClass::Bulk, now);
                 self.routers[r].inj[local].push(1, pkt);
                 self.queued[r] += 1;
                 let in_idx = self.pp + local;
@@ -1280,7 +1442,14 @@ impl Network {
         }
     }
 
-    fn new_packet(&mut self, src: u32, dst: u32, class: MessageClass, now: u64) -> Packet {
+    fn new_packet(
+        &mut self,
+        src: u32,
+        dst: u32,
+        class: MessageClass,
+        tclass: TrafficClass,
+        now: u64,
+    ) -> Packet {
         let id = self.next_id;
         self.next_id += 1;
         Packet {
@@ -1289,6 +1458,7 @@ impl Network {
             dst,
             dst_router: self.topo.router_of_node(dst as usize) as u32,
             class,
+            tclass,
             size: self.cfg.packet_size,
             gen_cycle: now,
             head_arrival: now,
@@ -1450,6 +1620,9 @@ impl Network {
                     continue;
                 }
                 let mut req_mask: u32 = 0;
+                // Requesting VCs whose head is control-class (QoS stage-1
+                // priority; stays 0 when QoS is off).
+                let mut ctrl_mask: u32 = 0;
                 // VC-level skip: only VCs with queued packets (tracked in
                 // `vc_mask`, bank untouched) are evaluated; VCs >= 16 were
                 // never evaluated by the original sweep either.
@@ -1478,7 +1651,16 @@ impl Network {
                     if let Some(d) = self.evaluate_head(r, in_idx, vc, now) {
                         reqs[vc] = Some(d);
                         req_mask |= 1 << vc;
-                    } else if !self.transit_decisions && vc < 16 && !self.eval_mutated_here {
+                        if self.qos_active
+                            && self.head_tclass(r, in_idx, vc) == TrafficClass::Control
+                        {
+                            ctrl_mask |= 1 << vc;
+                        }
+                    } else if !self.transit_decisions
+                        && vc < 16
+                        && !self.eval_mutated_here
+                        && !self.qos_active
+                    {
                         // Memoize the rejection by its first failing gate
                         // (see `EvalBlock`). Heads that mutated (patience
                         // ticks, reversions) must keep being visited, as
@@ -1505,8 +1687,25 @@ impl Network {
                 if req_mask == 0 {
                     continue; // a request-free grant would not move the arbiter
                 }
+                // QoS stage-1 strict priority with bounded bypass: when
+                // both classes request, control wins — but after
+                // `bypass_bound` consecutive mixed rounds won by control,
+                // one bulk nomination goes through and the counter resets,
+                // so bulk always makes progress.
+                let grant_mask = if self.qos_active && ctrl_mask != 0 && ctrl_mask != req_mask {
+                    let slot = r * n_in + in_idx;
+                    if self.bypass_in[slot] >= self.bypass_bound {
+                        self.bypass_in[slot] = 0;
+                        req_mask & !ctrl_mask
+                    } else {
+                        self.bypass_in[slot] += 1;
+                        ctrl_mask
+                    }
+                } else {
+                    req_mask
+                };
                 let router = &mut self.routers[r];
-                if let Some(vc) = router.in_arb[in_idx].grant(|v| req_mask & (1 << v) != 0) {
+                if let Some(vc) = router.in_arb[in_idx].grant(|v| grant_mask & (1 << v) != 0) {
                     let d = reqs[vc].expect("granted request");
                     cand[in_idx] = Some((vc as u8, d));
                     cand_set.push(in_idx as u16);
@@ -1547,10 +1746,55 @@ impl Network {
             }
             ports_scratch.sort_unstable();
             ports_scratch.dedup();
+            // QoS stage-2: bitmask over unified inputs whose surviving
+            // forwarding candidate carries a control-class head (inputs are
+            // <= 64 on all our topologies; wider inputs read as bulk).
+            let mut ctrl_in: u64 = 0;
+            if self.qos_active {
+                for &in_idx16 in cand_set.iter() {
+                    let ii = in_idx16 as usize;
+                    if ii < 64 {
+                        if let Some((vc, Decision::Forward { .. })) = cand[ii] {
+                            if self.head_tclass(r, ii, vc as usize) == TrafficClass::Control {
+                                ctrl_in |= 1 << ii;
+                            }
+                        }
+                    }
+                }
+            }
             for pi in 0..ports_scratch.len() {
                 let port = ports_scratch[pi] as usize;
+                // Same strict-priority-with-bounded-bypass rule as stage 1,
+                // now among the inputs competing for this output port.
+                let mut want_ctrl: Option<bool> = None;
+                if self.qos_active {
+                    let (mut has_ctrl, mut has_bulk) = (false, false);
+                    for &in_idx16 in cand_set.iter() {
+                        let ii = in_idx16 as usize;
+                        if matches!(cand[ii], Some((_, Decision::Forward { port: p, .. })) if p as usize == port)
+                        {
+                            if ii < 64 && (ctrl_in >> ii) & 1 == 1 {
+                                has_ctrl = true;
+                            } else {
+                                has_bulk = true;
+                            }
+                        }
+                    }
+                    if has_ctrl && has_bulk {
+                        let slot = r * pp + port;
+                        if self.bypass_out[slot] >= self.bypass_bound {
+                            self.bypass_out[slot] = 0;
+                            want_ctrl = Some(false);
+                        } else {
+                            self.bypass_out[slot] += 1;
+                            want_ctrl = Some(true);
+                        }
+                    }
+                }
                 let winner = self.routers[r].out_arb[port].grant(|in_idx| {
                     matches!(cand[in_idx], Some((_, Decision::Forward { port: p, .. })) if p as usize == port)
+                        && want_ctrl
+                            .is_none_or(|w| (in_idx < 64 && (ctrl_in >> in_idx) & 1 == 1) == w)
                 });
                 if let Some(in_idx) = winner {
                     let (vc, d) = cand[in_idx].take().expect("winner has candidate");
@@ -1573,6 +1817,19 @@ impl Network {
         self.cand = cand;
         self.cand_set = cand_set;
         self.ports_scratch = ports_scratch;
+    }
+
+    /// Traffic class of the head of `(r, in_idx, vc)` (QoS arbitration;
+    /// empty VCs read as bulk, but are never consulted).
+    #[inline]
+    fn head_tclass(&self, r: usize, in_idx: usize, vc: usize) -> TrafficClass {
+        let router = &self.routers[r];
+        let head = if in_idx < self.pp {
+            router.inputs[in_idx].head(vc)
+        } else {
+            router.inj[in_idx - self.pp].head(vc)
+        };
+        head.map_or(TrafficClass::Bulk, |h| h.tclass)
     }
 
     /// Evaluate the head of one input VC; may mutate the packet (planning
@@ -1673,6 +1930,17 @@ impl Network {
                 self.eval_block = EvalBlock::Event(port as u16);
                 return None;
             }
+            if self.repart {
+                // Dynamic-repartition admission gate: the head's class must
+                // fit inside its phit quota of the downstream buffer.
+                // Improves on a same-port credit return or a repartition in
+                // this class's favor (memoization is disabled under QoS).
+                let qslot = (r * pp + port) * 2 + head.tclass.index();
+                if self.cls_occ[qslot] + size > self.cls_quota[qslot] {
+                    self.eval_block = EvalBlock::Event(port as u16);
+                    return None;
+                }
+            }
             let credit = &router.out_credit[port];
             match self.cfg.policy {
                 VcPolicy::Baseline => {
@@ -1762,6 +2030,16 @@ impl Network {
                             computed
                         }
                     };
+                    // Allowed-VC mask for the head's traffic class on this
+                    // link class: full when QoS is off or shared, a strict
+                    // subset under class-partitioned VC budgets (whose
+                    // per-class deadlock safety `check_qos` proved).
+                    let qmask = if self.qos_active {
+                        let t = self.head_tclass(r, in_idx, vc);
+                        self.qos_masks[pclass.index()][t.index()]
+                    } else {
+                        u32::MAX
+                    };
                     // Re-establish the read borrows dropped for the cache
                     // write above.
                     let router = &self.routers[r];
@@ -1777,11 +2055,11 @@ impl Network {
                             Some(ready) => {
                                 let window =
                                     (u32::MAX >> (31 - opts.hi as u32)) & !((1u32 << opts.lo) - 1);
-                                let mut m = ready & window;
+                                let mut m = ready & window & qmask;
                                 #[cfg(debug_assertions)]
                                 for v in opts.lo..=opts.hi {
                                     debug_assert_eq!(
-                                        credit.can_accept(v, size),
+                                        credit.can_accept(v, size) && qmask & (1 << v) != 0,
                                         m & (1 << v) != 0,
                                         "ready mask out of sync at vc {v}"
                                     );
@@ -1797,7 +2075,7 @@ impl Network {
                             // headroom) keep the linear scan.
                             None => {
                                 for v in opts.lo..=opts.hi {
-                                    if credit.can_accept(v, size) {
+                                    if qmask & (1 << v) != 0 && credit.can_accept(v, size) {
                                         cands[nc] = (v, credit.free_for(v) as usize);
                                         nc += 1;
                                     }
@@ -1921,6 +2199,7 @@ impl Network {
         vc_in: usize,
         phits: u32,
         class: CreditClass,
+        tclass: TrafficClass,
         t_c: u64,
         now: u64,
     ) {
@@ -1942,10 +2221,11 @@ impl Network {
                     vc: vc_in as u8,
                     phits,
                     class,
+                    tclass,
                 },
             });
         } else {
-            self.links[up_lid].send_credit(t_c, lat, vc_in as u8, phits, class);
+            self.links[up_lid].send_credit(t_c, lat, vc_in as u8, phits, class, tclass);
             self.schedule_credit(now, t_c + lat as u64, up_lid);
         }
     }
@@ -1987,6 +2267,7 @@ impl Network {
             router.inj[in_idx - pp].pop(vc_in)
         };
         let released_class = pkt.buffered_class;
+        let released_tclass = pkt.tclass;
         // Injection transfers serialize at link rate (the node-to-router
         // channel); network transfers run at crossbar speed, bounded by the
         // packet's own tail arrival (cut-through chaining).
@@ -1999,6 +2280,12 @@ impl Network {
         self.out_xbar[r * pp + port as usize] = t_c;
         router.out_credit[port as usize].add(out_vc as usize, size, pkt.credit_class());
         self.out_occ[r * pp + port as usize] += size;
+        if self.repart {
+            // The head's class now occupies part of the downstream buffer;
+            // released when its credit returns (the credit carries the
+            // class).
+            self.cls_occ[(r * pp + port as usize) * 2 + released_tclass.index()] += size;
+        }
         self.rel_wheel.schedule(
             now,
             t_c,
@@ -2022,7 +2309,16 @@ impl Network {
             vc: out_vc,
         });
         // Return the credit for the buffer we just vacated.
-        self.return_credit(r, in_idx, vc_in, size, released_class, t_c, now);
+        self.return_credit(
+            r,
+            in_idx,
+            vc_in,
+            size,
+            released_class,
+            released_tclass,
+            t_c,
+            now,
+        );
         self.queued[r] -= 1;
         {
             let router = &self.routers[r];
@@ -2080,7 +2376,7 @@ impl Network {
                 },
             ),
         );
-        self.return_credit(r, in_idx, vc_in, size, released_class, t_c, now);
+        self.return_credit(r, in_idx, vc_in, size, released_class, pkt.tclass, t_c, now);
         self.queued[r] -= 1;
         {
             let router = &self.routers[r];
@@ -2104,6 +2400,7 @@ impl Network {
         if self.in_window(now) {
             self.metrics.consume(
                 pkt.class,
+                pkt.tclass,
                 size,
                 done - pkt.gen_cycle,
                 pkt.hops,
@@ -2119,7 +2416,7 @@ impl Network {
             if let Some(tag) = self.flow_tags.remove(&(pkt.src, pkt.id)) {
                 if self.in_window(tag.start) && self.metrics.flow_packet_done(&tag) {
                     let ideal = self.flow_ideal(&tag, pkt.src, pkt.dst_router, size);
-                    self.metrics.complete_flow(&tag, done, ideal);
+                    self.metrics.complete_flow(&tag, done, ideal, pkt.tclass);
                 }
             }
         }

@@ -13,7 +13,7 @@
 //! Keep this list stable: changing a point invalidates its recorded
 //! snapshot.
 
-use crate::config::{BufferOrg, SensingMode, SimConfig};
+use crate::config::{BufferOrg, QosConfig, SensingMode, SimConfig};
 use flexvc_core::{Arrangement, RoutingMode};
 use flexvc_traffic::{FlowSpec, Pattern, SizeDist, Workload};
 
@@ -303,6 +303,58 @@ pub fn points() -> Vec<EquivalencePoint> {
         )),
         0.45,
         27,
+    );
+
+    // QoS family (recorded when multi-class traffic landed): control +
+    // bulk mixes through strict-priority arbitration with bounded bypass.
+    // One Dragonfly point with class-partitioned FlexVC budgets, one
+    // HyperX point with the dynamic per-class buffer repartitioner, and
+    // one Dragonfly+ VAL point with shared budgets (priority only) — all
+    // must shard bit-identically like every other point.
+    add(
+        "qos_ctrlbulk_df_min_flexvc42_part",
+        smoke(SimConfig::dragonfly_baseline(
+            2,
+            RoutingMode::Min,
+            Workload::oblivious(Pattern::Uniform).with_mix(0.1),
+        ))
+        .with_flexvc(Arrangement::dragonfly(4, 2))
+        .with_qos(QosConfig::partitioned(2, 1)),
+        0.6,
+        28,
+    );
+    add(
+        "qos_repart_hyperx2d_min_flexvc4",
+        smoke(
+            SimConfig::hyperx_baseline(
+                2,
+                4,
+                2,
+                RoutingMode::Min,
+                Workload::oblivious(Pattern::Uniform).with_mix(0.15),
+            )
+            .with_flexvc(Arrangement::generic(4)),
+        )
+        .with_qos(QosConfig::shared().with_repartition()),
+        0.7,
+        29,
+    );
+    add(
+        "qos_prio_dfplus_val_flexvc42",
+        smoke(
+            SimConfig::dfplus_baseline(
+                2,
+                2,
+                2,
+                5,
+                RoutingMode::Valiant,
+                Workload::oblivious(Pattern::adv1()).with_mix(0.1),
+            )
+            .with_flexvc(Arrangement::dragonfly(4, 2)),
+        )
+        .with_qos(QosConfig::shared()),
+        0.5,
+        30,
     );
 
     points

@@ -6,7 +6,7 @@
 //! in [`RunError`] with the index of the offending point. Both implement
 //! `std::error::Error`, so they compose with `?` and `Box<dyn Error>`.
 
-use flexvc_core::{LinkClass, MessageClass, RoutingMode};
+use flexvc_core::{LinkClass, MessageClass, RoutingMode, TrafficClass};
 use std::fmt;
 
 /// A configuration that cannot be simulated deadlock-free (or at all).
@@ -90,6 +90,32 @@ pub enum ConfigError {
         /// Router count of the configured topology.
         routers: usize,
     },
+    /// Class-partitioned QoS VC budgets require the FlexVC policy: the
+    /// baseline's fixed hop-to-VC map assigns every packet the VC of its
+    /// reference position and cannot confine a class to a VC subset.
+    QosPartitionRequiresFlexVc,
+    /// A QoS class partition carves out a per-class VC subset whose
+    /// sub-arrangement has no safe minimal embedding — packets of that
+    /// class could deadlock inside their own partition, so strict priority
+    /// cannot be composed with FlexVC's position-based safety argument on
+    /// this split.
+    QosPartitionUnsafe {
+        /// Traffic class whose sub-arrangement is unsafe.
+        tclass: TrafficClass,
+        /// Display rendering of the class's sub-arrangement.
+        arrangement: String,
+    },
+    /// QoS classes do not compose with request–reply (reactive) workloads:
+    /// replies already occupy a dedicated virtual network and the priority
+    /// rule would be ambiguous across the two splits.
+    QosReactiveUnsupported,
+    /// A QoS parameter is out of range (zero bypass bound, a control quota
+    /// fraction outside `(0, 1)`, a partition that exceeds the VC
+    /// budget, …).
+    QosInvalidParam {
+        /// What is wrong with the QoS specification.
+        why: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -155,6 +181,32 @@ impl fmt::Display for ConfigError {
                     "{shards} engine shards exceed the topology's {routers} routers \
                      (every shard must own at least one router; use 0 to auto-detect)"
                 )
+            }
+            ConfigError::QosPartitionRequiresFlexVc => {
+                write!(
+                    f,
+                    "class-partitioned QoS VC budgets require the FlexVC policy \
+                     (the baseline's fixed hop-to-VC map cannot confine a class \
+                     to a VC subset)"
+                )
+            }
+            ConfigError::QosPartitionUnsafe {
+                tclass,
+                arrangement,
+            } => write!(
+                f,
+                "QoS partition is deadlock-unsafe: the {tclass}-class VC subset \
+                 ({arrangement}) has no safe minimal embedding"
+            ),
+            ConfigError::QosReactiveUnsupported => {
+                write!(
+                    f,
+                    "QoS traffic classes do not compose with reactive \
+                     (request-reply) workloads"
+                )
+            }
+            ConfigError::QosInvalidParam { why } => {
+                write!(f, "invalid QoS parameter: {why}")
             }
         }
     }
@@ -253,6 +305,34 @@ mod tests {
         assert_eq!(
             wl.to_string(),
             "invalid workload: incast fan-in must be at least 1"
+        );
+    }
+
+    /// The QoS rejections render the class, the offending sub-arrangement,
+    /// and the reason — the "refute" half of the priority-composition
+    /// argument must be actionable, not a bare error code.
+    #[test]
+    fn qos_errors_render_class_and_reason() {
+        let e = ConfigError::QosPartitionUnsafe {
+            tclass: TrafficClass::Bulk,
+            arrangement: "G L".to_string(),
+        };
+        let rendered = e.to_string();
+        assert!(rendered.contains("bulk"), "{rendered}");
+        assert!(rendered.contains("G L"), "{rendered}");
+        assert!(rendered.contains("safe minimal"), "{rendered}");
+        assert!(ConfigError::QosPartitionRequiresFlexVc
+            .to_string()
+            .contains("FlexVC"));
+        assert!(ConfigError::QosReactiveUnsupported
+            .to_string()
+            .contains("reactive"));
+        assert_eq!(
+            ConfigError::QosInvalidParam {
+                why: "bypass bound must be at least 1"
+            }
+            .to_string(),
+            "invalid QoS parameter: bypass bound must be at least 1"
         );
     }
 

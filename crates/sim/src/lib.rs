@@ -48,8 +48,8 @@ pub mod shard;
 
 pub use builder::SimConfigBuilder;
 pub use config::{
-    paper_routing_for, BufferConfig, BufferOrg, BufferSizing, SensingConfig, SensingMode,
-    SimConfig, TopologySpec,
+    paper_routing_for, BufferConfig, BufferOrg, BufferSizing, ClassVcMap, QosConfig, SensingConfig,
+    SensingMode, SimConfig, TopologySpec,
 };
 pub use engine::Network;
 pub use error::{ConfigError, RunError};
@@ -64,8 +64,8 @@ pub use shard::{ShardStats, ShardedNetwork};
 pub mod prelude {
     pub use crate::builder::SimConfigBuilder;
     pub use crate::config::{
-        paper_routing_for, BufferConfig, BufferOrg, BufferSizing, SensingConfig, SensingMode,
-        SimConfig, TopologySpec,
+        paper_routing_for, BufferConfig, BufferOrg, BufferSizing, ClassVcMap, QosConfig,
+        SensingConfig, SensingMode, SimConfig, TopologySpec,
     };
     pub use crate::engine::Network;
     pub use crate::error::{ConfigError, RunError};

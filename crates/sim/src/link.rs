@@ -6,7 +6,7 @@
 //! on the reverse direction with the same latency.
 
 use crate::packet::Packet;
-use flexvc_core::CreditClass;
+use flexvc_core::{CreditClass, TrafficClass};
 use std::collections::VecDeque;
 
 /// A packet in flight on a link.
@@ -33,6 +33,9 @@ pub struct CreditMsg {
     pub phits: u32,
     /// Routing type of the released packet (minCred flag).
     pub class: CreditClass,
+    /// QoS class of the released packet (per-class occupancy accounting
+    /// for the dynamic buffer repartitioner).
+    pub tclass: TrafficClass,
 }
 
 /// State of one directed link (plus its reverse credit flow).
@@ -119,7 +122,14 @@ impl LinkState {
     /// downstream end of this link. Mirrors [`LinkState::send_credit`] with a
     /// pre-computed arrival cycle; the same single-source monotonicity
     /// argument applies because boundary events are applied in emission order.
-    pub fn receive_credit(&mut self, arrival: u64, vc: u8, phits: u32, class: CreditClass) {
+    pub fn receive_credit(
+        &mut self,
+        arrival: u64,
+        vc: u8,
+        phits: u32,
+        class: CreditClass,
+        tclass: TrafficClass,
+    ) {
         debug_assert!(
             self.credits.back().is_none_or(|c| c.arrival <= arrival),
             "credit departures must be monotonic per link"
@@ -129,6 +139,7 @@ impl LinkState {
             vc,
             phits,
             class,
+            tclass,
         });
     }
 
@@ -150,12 +161,14 @@ impl LinkState {
         vc: u8,
         phits: u32,
         class: CreditClass,
+        tclass: TrafficClass,
     ) {
         let msg = CreditMsg {
             arrival: departs + latency as u64,
             vc,
             phits,
             class,
+            tclass,
         };
         // Credit departures on one link are strictly monotonic: they all
         // originate from the single downstream input port feeding this
@@ -198,6 +211,7 @@ mod tests {
             dst: 1,
             dst_router: 0,
             class: MessageClass::Request,
+            tclass: TrafficClass::Bulk,
             size,
             gen_cycle: 0,
             head_arrival: 0,
@@ -246,8 +260,8 @@ mod tests {
     #[test]
     fn credits_pop_in_arrival_order() {
         let mut link = LinkState::default();
-        link.send_credit(5, 10, 0, 8, CreditClass::NonMinRouted);
-        link.send_credit(20, 10, 1, 8, CreditClass::MinRouted);
+        link.send_credit(5, 10, 0, 8, CreditClass::NonMinRouted, TrafficClass::Bulk);
+        link.send_credit(20, 10, 1, 8, CreditClass::MinRouted, TrafficClass::Control);
         assert!(link.pop_credit(14).is_none());
         assert_eq!(link.pop_credit(15).unwrap().vc, 0);
         assert!(link.pop_credit(29).is_none());
@@ -260,8 +274,8 @@ mod tests {
     #[should_panic(expected = "monotonic")]
     fn out_of_order_credit_departure_is_a_bug() {
         let mut link = LinkState::default();
-        link.send_credit(20, 10, 1, 8, CreditClass::MinRouted);
-        link.send_credit(5, 10, 0, 8, CreditClass::NonMinRouted);
+        link.send_credit(20, 10, 1, 8, CreditClass::MinRouted, TrafficClass::Bulk);
+        link.send_credit(5, 10, 0, 8, CreditClass::NonMinRouted, TrafficClass::Bulk);
     }
 
     #[test]

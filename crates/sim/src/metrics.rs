@@ -1,6 +1,6 @@
 //! Measurement-window statistics and simulation results.
 
-use flexvc_core::MessageClass;
+use flexvc_core::{MessageClass, TrafficClass};
 use flexvc_traffic::FlowTag;
 use std::collections::HashMap;
 
@@ -217,6 +217,9 @@ pub struct FlowStats {
     pub slowdown_milli_sum: u64,
     /// FCT histogram over completed flows.
     pub fct_hist: LatencyHistogram,
+    /// FCT histograms per QoS traffic class (mice flows are control,
+    /// elephants bulk), indexed by [`TrafficClass::index`].
+    pub fct_class_hist: [LatencyHistogram; 2],
 }
 
 /// Raw counters accumulated inside the measurement window.
@@ -234,6 +237,15 @@ pub struct Metrics {
     pub consumed_phits: [u64; 2],
     /// Sum of packet latencies (generation → tail consumption), per class.
     pub latency_sum: [u64; 2],
+    /// Packets consumed per QoS traffic class
+    /// ([`TrafficClass::index`]: control = 0, bulk = 1).
+    pub class_packets: [u64; 2],
+    /// Phits consumed per QoS traffic class.
+    pub class_phits: [u64; 2],
+    /// Latency sums per QoS traffic class.
+    pub class_latency_sum: [u64; 2],
+    /// Latency histograms per QoS traffic class.
+    pub class_latency_hist: [LatencyHistogram; 2],
     /// Consumed packets that travelled non-minimally.
     pub misrouted_packets: u64,
     /// Total opportunistic-path reversions among consumed packets.
@@ -254,9 +266,11 @@ pub struct Metrics {
 
 impl Metrics {
     /// Record a consumed packet.
+    #[allow(clippy::too_many_arguments)] // mirrors the packet's fields
     pub fn consume(
         &mut self,
         class: MessageClass,
+        tclass: TrafficClass,
         size: u32,
         latency: u64,
         hops: u16,
@@ -268,6 +282,11 @@ impl Metrics {
         self.consumed_packets[i] += 1;
         self.consumed_phits[i] += size as u64;
         self.latency_sum[i] += latency;
+        let t = tclass.index();
+        self.class_packets[t] += 1;
+        self.class_phits[t] += size as u64;
+        self.class_latency_sum[t] += latency;
+        self.class_latency_hist[t].record(latency);
         self.hop_sum += hops as u64;
         self.reverts += reverts as u64;
         if !min_routed {
@@ -297,7 +316,7 @@ impl Metrics {
     /// was consumed; `ideal` is its zero-load FCT (serialization time plus
     /// unloaded min-path latency). The flow's FCT (`done − start`) and
     /// slowdown (FCT ÷ ideal, in exact integer millis) are accumulated.
-    pub fn complete_flow(&mut self, tag: &FlowTag, done: u64, ideal: u64) {
+    pub fn complete_flow(&mut self, tag: &FlowTag, done: u64, ideal: u64, tclass: TrafficClass) {
         let fct = done.saturating_sub(tag.start);
         let ideal = ideal.max(1);
         self.flows.completed += 1;
@@ -305,6 +324,7 @@ impl Metrics {
         self.flows.ideal_sum += ideal;
         self.flows.slowdown_milli_sum += fct * 1000 / ideal;
         self.flows.fct_hist.record(fct);
+        self.flows.fct_class_hist[tclass.index()].record(fct);
     }
 
     /// Fold another shard's counters into this one. Every field is either a
@@ -325,6 +345,11 @@ impl Metrics {
             self.consumed_packets[i] += other.consumed_packets[i];
             self.consumed_phits[i] += other.consumed_phits[i];
             self.latency_sum[i] += other.latency_sum[i];
+            self.class_packets[i] += other.class_packets[i];
+            self.class_phits[i] += other.class_phits[i];
+            self.class_latency_sum[i] += other.class_latency_sum[i];
+            self.class_latency_hist[i].merge(&other.class_latency_hist[i]);
+            self.flows.fct_class_hist[i].merge(&other.flows.fct_class_hist[i]);
         }
         self.misrouted_packets += other.misrouted_packets;
         self.reverts += other.reverts;
@@ -358,6 +383,28 @@ impl Metrics {
             }
         }
     }
+}
+
+/// Per-QoS-class slice of a simulation result, indexed by
+/// [`TrafficClass::index`] (control = 0, bulk = 1). All fields are zero
+/// for the classes a single-class run never tags (legacy runs put every
+/// packet in `Bulk` via [`TrafficClass::default`]).
+#[derive(Debug, Clone, Default)]
+pub struct ClassResult {
+    /// Accepted load of the class, phits/node/cycle.
+    pub accepted: f64,
+    /// Mean packet latency of the class (cycles).
+    pub latency: f64,
+    /// Approximate 99th-percentile packet latency of the class (cycles).
+    pub latency_p99: f64,
+    /// 99th-percentile flow completion time of the class (cycles; 0
+    /// without completed flows of the class).
+    pub fct_p99: f64,
+    /// Packet latency histogram of the class (merged across seeds like
+    /// [`SimResult::latency_hist`]).
+    pub latency_hist: LatencyHistogram,
+    /// FCT histogram of the class.
+    pub fct_hist: LatencyHistogram,
 }
 
 /// Aggregated result of one simulation run.
@@ -408,6 +455,8 @@ pub struct SimResult {
     /// FCT histogram of the run (merged for multi-seed quantiles, like
     /// `latency_hist`).
     pub fct_hist: LatencyHistogram,
+    /// Per-QoS-class results (control = 0, bulk = 1).
+    pub classes: [ClassResult; 2],
 }
 
 impl SimResult {
@@ -473,7 +522,32 @@ impl SimResult {
                 m.flows.slowdown_milli_sum as f64 / (m.flows.completed as f64 * 1000.0)
             },
             fct_hist: m.flows.fct_hist.clone(),
+            classes: std::array::from_fn(|t| {
+                let hist = m.class_latency_hist[t].clone();
+                let fct = m.flows.fct_class_hist[t].clone();
+                ClassResult {
+                    accepted: m.class_phits[t] as f64 / (nodes as f64 * cycles),
+                    latency: if m.class_packets[t] == 0 {
+                        0.0
+                    } else {
+                        m.class_latency_sum[t] as f64 / m.class_packets[t] as f64
+                    },
+                    latency_p99: hist.quantile(0.99) as f64,
+                    fct_p99: if fct.count() == 0 {
+                        0.0
+                    } else {
+                        fct.quantile_interp(0.99)
+                    },
+                    latency_hist: hist,
+                    fct_hist: fct,
+                }
+            }),
         }
+    }
+
+    /// Per-class result slice (control or bulk).
+    pub fn class(&self, tclass: TrafficClass) -> &ClassResult {
+        &self.classes[tclass.index()]
     }
 
     /// Average several runs (different seeds) into one result.
@@ -506,6 +580,8 @@ impl SimResult {
         let mut p99_mean = 0.0;
         let mut fct_p50_mean = 0.0;
         let mut fct_p99_mean = 0.0;
+        let mut class_p99_mean = [0.0f64; 2];
+        let mut class_fct_p99_mean = [0.0f64; 2];
         for r in results {
             out.offered += r.offered / n;
             p99_mean += r.latency_p99 / n;
@@ -525,6 +601,16 @@ impl SimResult {
             fct_p50_mean += r.fct_p50 / n;
             fct_p99_mean += r.fct_p99 / n;
             out.fct_hist.merge(&r.fct_hist);
+            for t in 0..2 {
+                out.classes[t].accepted += r.classes[t].accepted / n;
+                out.classes[t].latency += r.classes[t].latency / n;
+                class_p99_mean[t] += r.classes[t].latency_p99 / n;
+                class_fct_p99_mean[t] += r.classes[t].fct_p99 / n;
+                out.classes[t]
+                    .latency_hist
+                    .merge(&r.classes[t].latency_hist);
+                out.classes[t].fct_hist.merge(&r.classes[t].fct_hist);
+            }
         }
         out.latency_p99 = if out.latency_hist.count() > 0 {
             out.latency_hist.quantile(0.99) as f64
@@ -539,6 +625,18 @@ impl SimResult {
         } else {
             (fct_p50_mean, fct_p99_mean)
         };
+        for t in 0..2 {
+            out.classes[t].latency_p99 = if out.classes[t].latency_hist.count() > 0 {
+                out.classes[t].latency_hist.quantile(0.99) as f64
+            } else {
+                class_p99_mean[t]
+            };
+            out.classes[t].fct_p99 = if out.classes[t].fct_hist.count() > 0 {
+                out.classes[t].fct_hist.quantile_interp(0.99)
+            } else {
+                class_fct_p99_mean[t]
+            };
+        }
         out
     }
 }
@@ -550,8 +648,16 @@ mod tests {
     #[test]
     fn consume_accumulates() {
         let mut m = Metrics::default();
-        m.consume(MessageClass::Request, 8, 100, 3, true, 0);
-        m.consume(MessageClass::Reply, 8, 200, 6, false, 2);
+        m.consume(
+            MessageClass::Request,
+            TrafficClass::Control,
+            8,
+            100,
+            3,
+            true,
+            0,
+        );
+        m.consume(MessageClass::Reply, TrafficClass::Bulk, 8, 200, 6, false, 2);
         assert_eq!(m.consumed_packets, [1, 1]);
         assert_eq!(m.consumed_phits, [8, 8]);
         assert_eq!(m.latency_sum, [100, 200]);
@@ -568,7 +674,15 @@ mod tests {
         m.generated_packets = 30;
         m.dropped_packets = 3;
         for _ in 0..10 {
-            m.consume(MessageClass::Request, 8, 150, 3, true, 0);
+            m.consume(
+                MessageClass::Request,
+                TrafficClass::Bulk,
+                8,
+                150,
+                3,
+                true,
+                0,
+            );
         }
         let r = SimResult::from_metrics(&m, 0.5, 16);
         assert!((r.accepted - 80.0 / 16_000.0).abs() < 1e-12);
@@ -578,6 +692,110 @@ mod tests {
         assert_eq!(r.avg_hops, 3.0);
         assert_eq!(r.drop_fraction, 0.1);
         assert!(!r.deadlocked);
+    }
+
+    /// Tentpole: per-traffic-class accounting splits accepted load,
+    /// latency and p99 by class, merges exactly across shards, and
+    /// re-derives class p99s from merged histograms when averaging seeds.
+    #[test]
+    fn per_class_accounting_and_averaging() {
+        let mut m = Metrics {
+            cycles: 1000,
+            ..Metrics::default()
+        };
+        for _ in 0..10 {
+            m.consume(
+                MessageClass::Request,
+                TrafficClass::Control,
+                8,
+                100,
+                3,
+                true,
+                0,
+            );
+        }
+        for _ in 0..30 {
+            m.consume(
+                MessageClass::Request,
+                TrafficClass::Bulk,
+                8,
+                900,
+                3,
+                true,
+                0,
+            );
+        }
+        assert_eq!(m.class_packets, [10, 30]);
+        assert_eq!(m.class_phits, [80, 240]);
+        let r = SimResult::from_metrics(&m, 0.5, 16);
+        let ctrl = r.class(TrafficClass::Control);
+        let bulk = r.class(TrafficClass::Bulk);
+        assert!((ctrl.accepted - 80.0 / 16_000.0).abs() < 1e-12);
+        assert!((bulk.accepted - 240.0 / 16_000.0).abs() < 1e-12);
+        assert_eq!(ctrl.latency, 100.0);
+        assert_eq!(bulk.latency, 900.0);
+        assert_eq!(ctrl.latency_p99, 64.0); // bucket [64,128)
+        assert_eq!(bulk.latency_p99, 512.0); // bucket [512,1024)
+                                             // Whole-run counters still see both classes.
+        assert_eq!(r.latency, (10.0 * 100.0 + 30.0 * 900.0) / 40.0);
+
+        // Sharded absorb reproduces the single-engine class counters.
+        let mut a = Metrics::default();
+        a.consume(
+            MessageClass::Request,
+            TrafficClass::Control,
+            8,
+            100,
+            3,
+            true,
+            0,
+        );
+        let mut b = Metrics::default();
+        b.consume(
+            MessageClass::Request,
+            TrafficClass::Bulk,
+            8,
+            900,
+            3,
+            true,
+            0,
+        );
+        a.absorb(&b);
+        assert_eq!(a.class_packets, [1, 1]);
+        assert_eq!(a.class_latency_sum, [100, 900]);
+        assert_eq!(a.class_latency_hist[0].count(), 1);
+        assert_eq!(a.class_latency_hist[1].count(), 1);
+
+        // Seed averaging merges the class histograms.
+        let avg = SimResult::average(&[r.clone(), r]);
+        assert_eq!(avg.class(TrafficClass::Control).latency_p99, 64.0);
+        assert!((avg.class(TrafficClass::Bulk).accepted - 240.0 / 16_000.0).abs() < 1e-12);
+        assert_eq!(avg.class(TrafficClass::Control).latency_hist.count(), 20);
+    }
+
+    /// Per-class FCT histograms: mice (control) and elephants (bulk)
+    /// complete into separate distributions.
+    #[test]
+    fn per_class_fct_histograms() {
+        let mut m = Metrics::default();
+        let tag = |id| FlowTag {
+            id,
+            len: 1,
+            index: 0,
+            start: 0,
+        };
+        if m.flow_packet_done(&tag(1)) {
+            m.complete_flow(&tag(1), 50, 8, TrafficClass::Control);
+        }
+        if m.flow_packet_done(&tag(2)) {
+            m.complete_flow(&tag(2), 5000, 80, TrafficClass::Bulk);
+        }
+        assert_eq!(m.flows.fct_class_hist[0].count(), 1);
+        assert_eq!(m.flows.fct_class_hist[1].count(), 1);
+        let r = SimResult::from_metrics(&m, 0.5, 16);
+        assert_eq!(r.class(TrafficClass::Control).fct_p99, 50.0);
+        assert_eq!(r.class(TrafficClass::Bulk).fct_p99, 5000.0);
+        assert_eq!(r.flows_completed, 2.0);
     }
 
     #[test]
@@ -640,13 +858,37 @@ mod tests {
         // from the merged distribution, not the mean of the per-seed p99s.
         let mut m1 = Metrics::default();
         for _ in 0..99 {
-            m1.consume(MessageClass::Request, 8, 100, 3, true, 0);
+            m1.consume(
+                MessageClass::Request,
+                TrafficClass::Bulk,
+                8,
+                100,
+                3,
+                true,
+                0,
+            );
         }
         let mut m2 = Metrics::default();
         for _ in 0..99 {
-            m2.consume(MessageClass::Request, 8, 100, 3, true, 0);
+            m2.consume(
+                MessageClass::Request,
+                TrafficClass::Bulk,
+                8,
+                100,
+                3,
+                true,
+                0,
+            );
         }
-        m2.consume(MessageClass::Request, 8, 100_000, 3, true, 0);
+        m2.consume(
+            MessageClass::Request,
+            TrafficClass::Bulk,
+            8,
+            100_000,
+            3,
+            true,
+            0,
+        );
         let r1 = SimResult::from_metrics(&m1, 0.5, 16);
         let r2 = SimResult::from_metrics(&m2, 0.5, 16);
         let avg = SimResult::average(&[r1.clone(), r2.clone()]);
@@ -783,7 +1025,7 @@ mod tests {
     /// `complete_flow` with an explicit ideal.
     fn track(m: &mut Metrics, tag: &FlowTag, done: u64, ideal: u64) {
         if m.flow_packet_done(tag) {
-            m.complete_flow(tag, done, ideal);
+            m.complete_flow(tag, done, ideal, TrafficClass::Bulk);
         }
     }
 

@@ -1,6 +1,6 @@
 //! Packets and planned paths.
 
-use flexvc_core::{CreditClass, HopVcs, MessageClass};
+use flexvc_core::{CreditClass, HopVcs, MessageClass, TrafficClass};
 use flexvc_topology::{Route, RouteHop};
 
 /// Maximum hops of any plan (the PAR reference path has 7).
@@ -101,6 +101,9 @@ pub struct Packet {
     pub dst_router: u32,
     /// Message class (request/reply).
     pub class: MessageClass,
+    /// QoS traffic class (control/bulk) assigned by the workload layer;
+    /// drives priority arbitration and per-class metrics.
+    pub tclass: TrafficClass,
     /// Size in phits.
     pub size: u32,
     /// Generation cycle (latency baseline; reply creation time for replies).
@@ -229,6 +232,7 @@ mod tests {
             dst: 1,
             dst_router: 0,
             class: MessageClass::Request,
+            tclass: TrafficClass::Bulk,
             size: 8,
             gen_cycle: 0,
             head_arrival: 0,

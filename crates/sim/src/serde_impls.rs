@@ -7,9 +7,10 @@
 //! files only need to spell out what differs from the baseline.
 
 use crate::config::{
-    BufferConfig, BufferOrg, BufferSizing, SensingConfig, SensingMode, SimConfig, TopologySpec,
+    BufferConfig, BufferOrg, BufferSizing, ClassVcMap, QosConfig, SensingConfig, SensingMode,
+    SimConfig, TopologySpec,
 };
-use crate::metrics::{LatencyHistogram, SimResult};
+use crate::metrics::{ClassResult, LatencyHistogram, SimResult};
 use flexvc_serde::{Deserialize, Error, Map, Serialize, Value};
 use flexvc_topology::GlobalArrangement;
 
@@ -272,6 +273,79 @@ impl Deserialize for SensingConfig {
     }
 }
 
+impl Serialize for ClassVcMap {
+    fn to_value(&self) -> Value {
+        match *self {
+            ClassVcMap::Shared => Value::Str("shared".to_string()),
+            ClassVcMap::Partitioned {
+                control_local,
+                control_global,
+            } => Value::Map(
+                Map::new()
+                    .with("kind", Value::from("partitioned"))
+                    .with("control_local", control_local.to_value())
+                    .with("control_global", control_global.to_value()),
+            ),
+        }
+    }
+}
+
+impl Deserialize for ClassVcMap {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => match s.to_ascii_lowercase().as_str() {
+                "shared" => Ok(ClassVcMap::Shared),
+                other => Err(Error::new(format!(
+                    "unknown class VC map `{other}` (expected shared or a partitioned map)"
+                ))),
+            },
+            Value::Map(m) => match m.field::<String>("kind")?.to_ascii_lowercase().as_str() {
+                "shared" => Ok(ClassVcMap::Shared),
+                "partitioned" => Ok(ClassVcMap::Partitioned {
+                    control_local: m.field("control_local")?,
+                    control_global: m.field("control_global")?,
+                }),
+                other => Err(Error::new(format!(
+                    "unknown class VC map kind `{other}` (expected shared or partitioned)"
+                ))),
+            },
+            other => Err(Error::new(format!(
+                "expected string or map for class VC map, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for QosConfig {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            Map::new()
+                .with("vc_map", self.vc_map.to_value())
+                .with("bypass_bound", self.bypass_bound.to_value())
+                .with("repartition", self.repartition.to_value())
+                .with(
+                    "control_quota_fraction",
+                    self.control_quota_fraction.to_value(),
+                ),
+        )
+    }
+}
+
+impl Deserialize for QosConfig {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map()?;
+        let defaults = QosConfig::default();
+        Ok(QosConfig {
+            vc_map: m.field_or("vc_map", defaults.vc_map)?,
+            bypass_bound: m.field_or("bypass_bound", defaults.bypass_bound)?,
+            repartition: m.field_or("repartition", defaults.repartition)?,
+            control_quota_fraction: m
+                .field_or("control_quota_fraction", defaults.control_quota_fraction)?,
+        })
+    }
+}
+
 impl Serialize for SimConfig {
     fn to_value(&self) -> Value {
         Value::Map(
@@ -296,7 +370,16 @@ impl Serialize for SimConfig {
                 .with("revert_patience", self.revert_patience.to_value())
                 .with("reply_queue_packets", self.reply_queue_packets.to_value())
                 .with("adaptive_copies", self.adaptive_copies.to_value())
-                .with("shards", self.shards.to_value()),
+                .with("shards", self.shards.to_value())
+                // `with` drops Nulls, so single-class configs keep the
+                // legacy wire form with no `qos` key at all.
+                .with(
+                    "qos",
+                    match &self.qos {
+                        Some(q) => q.to_value(),
+                        None => Value::Null,
+                    },
+                ),
         )
     }
 }
@@ -349,6 +432,65 @@ impl Deserialize for SimConfig {
             reply_queue_packets: m.field_or("reply_queue_packets", 4)?,
             adaptive_copies: m.field_or("adaptive_copies", false)?,
             shards: m.field_or("shards", 1)?,
+            qos: m.opt("qos")?,
+        })
+    }
+}
+
+impl Serialize for ClassResult {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            Map::new()
+                .with("accepted", self.accepted.to_value())
+                .with("latency", self.latency.to_value())
+                .with("latency_p99", self.latency_p99.to_value())
+                .with("fct_p99", self.fct_p99.to_value())
+                .with(
+                    "latency_buckets",
+                    self.latency_hist.buckets().to_vec().to_value(),
+                )
+                .with("latency_max", self.latency_hist.max().to_value())
+                .with("fct_buckets", self.fct_hist.buckets().to_vec().to_value())
+                .with(
+                    "fct_bucket_sums",
+                    self.fct_hist.bucket_sums().to_vec().to_value(),
+                )
+                .with("fct_max", self.fct_hist.max().to_value()),
+        )
+    }
+}
+
+impl Deserialize for ClassResult {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map()?;
+        let hist = |buckets_key: &str,
+                    max_key: &str,
+                    sums_key: Option<&str>|
+         -> Result<LatencyHistogram, Error> {
+            let buckets: Vec<u64> = m.field_or(buckets_key, Vec::new())?;
+            let mut fixed = [0u64; 21];
+            for (slot, b) in fixed.iter_mut().zip(&buckets) {
+                *slot = *b;
+            }
+            let mut hist = LatencyHistogram::from_buckets(fixed);
+            hist.observe_max(m.field_or(max_key, 0u64)?);
+            if let Some(sk) = sums_key {
+                let sums: Vec<u64> = m.field_or(sk, Vec::new())?;
+                let mut fixed_sums = [0u64; 21];
+                for (slot, s) in fixed_sums.iter_mut().zip(&sums) {
+                    *slot = *s;
+                }
+                hist.restore_bucket_sums(fixed_sums);
+            }
+            Ok(hist)
+        };
+        Ok(ClassResult {
+            accepted: m.field_or("accepted", 0.0)?,
+            latency: m.field_or("latency", 0.0)?,
+            latency_p99: m.field_or("latency_p99", 0.0)?,
+            fct_p99: m.field_or("fct_p99", 0.0)?,
+            latency_hist: hist("latency_buckets", "latency_max", None)?,
+            fct_hist: hist("fct_buckets", "fct_max", Some("fct_bucket_sums"))?,
         })
     }
 }
@@ -385,7 +527,19 @@ impl Serialize for SimResult {
                     "fct_bucket_sums",
                     self.fct_hist.bucket_sums().to_vec().to_value(),
                 )
-                .with("fct_max", self.fct_hist.max().to_value()),
+                .with("fct_max", self.fct_hist.max().to_value())
+                // Per-class slices appear only once a run actually tagged
+                // control traffic: single-class runs (which put every
+                // packet in the default bulk class) keep the legacy wire
+                // form byte-for-byte.
+                .with(
+                    "classes",
+                    if self.classes[0].latency_hist.count() > 0 || self.classes[0].accepted > 0.0 {
+                        self.classes.to_vec().to_value()
+                    } else {
+                        Value::Null
+                    },
+                ),
         )
     }
 }
@@ -443,6 +597,14 @@ impl Deserialize for SimResult {
                 }
                 hist.restore_bucket_sums(fixed_sums);
                 hist
+            },
+            classes: {
+                let cls: Vec<ClassResult> = m.field_or("classes", Vec::new())?;
+                let mut arr: [ClassResult; 2] = Default::default();
+                for (slot, c) in arr.iter_mut().zip(cls) {
+                    *slot = c;
+                }
+                arr
             },
         })
     }

@@ -118,7 +118,7 @@ use crate::engine::Network;
 use crate::error::ConfigError;
 use crate::link::InFlight;
 use crate::metrics::{Metrics, SimResult};
-use flexvc_core::{CreditClass, MessageClass};
+use flexvc_core::{CreditClass, MessageClass, TrafficClass};
 use flexvc_topology::Topology;
 use std::ops::Range;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -160,6 +160,9 @@ pub(crate) enum BoundaryPayload {
         phits: u32,
         /// Routing type of the released packet.
         class: CreditClass,
+        /// QoS class of the released packet (per-class occupancy
+        /// accounting for the dynamic buffer repartitioner).
+        tclass: TrafficClass,
     },
     /// A Piggyback saturation-flag publish, replicated to all shards.
     Board {

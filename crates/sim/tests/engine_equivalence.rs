@@ -505,6 +505,89 @@ const GOLDENS: &[Golden] = &[
         fct_p99: 1293.6521739130435,
         slowdown_mean: 2.736770670826833,
     },
+    // Recorded at the commit introducing multi-class QoS (`cargo run
+    // --release -p flexvc-sim --example record_goldens
+    // qos_ctrlbulk_df_min_flexvc42_part qos_repart_hyperx2d_min_flexvc4
+    // qos_prio_dfplus_val_flexvc42`): guard class-partitioned VC masks,
+    // the dynamic per-class buffer repartitioner, and strict-priority
+    // arbitration with bounded bypass against behavioral drift. The
+    // sharded tests below run these at shards {1..5} so the class-tagged
+    // credit exchange is also pinned.
+    Golden {
+        name: "qos_ctrlbulk_df_min_flexvc42_part",
+        accepted: 0.5994074074074074,
+        latency: 159.0490608007909,
+        latency_req: 159.0490608007909,
+        latency_rep: 0.0,
+        misroute_fraction: 0.0,
+        avg_hops: 2.3413247652001976,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.0,
+        deadlocked: false,
+        latency_p99: 256.0,
+        hist_count: 16184,
+        local_vc_occupancy: &[
+            0.10802469135802469,
+            0.5401234567901234,
+            3.373456790123457,
+            2.8518518518518516,
+        ],
+        global_vc_occupancy: &[0.6666666666666666, 8.856481481481481],
+        flows_completed: 0.0,
+        fct_p50: 0.0,
+        fct_p99: 0.0,
+        slowdown_mean: 0.0,
+    },
+    Golden {
+        name: "qos_repart_hyperx2d_min_flexvc4",
+        accepted: 0.70675,
+        latency: 60.324843768423534,
+        latency_req: 60.324843768423534,
+        latency_rep: 0.0,
+        misroute_fraction: 0.0,
+        avg_hops: 1.5533545572456078,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.0,
+        deadlocked: false,
+        latency_p99: 128.0,
+        hist_count: 8481,
+        local_vc_occupancy: &[
+            0.6875,
+            1.1319444444444444,
+            1.7847222222222223,
+            1.5902777777777777,
+        ],
+        global_vc_occupancy: &[],
+        flows_completed: 0.0,
+        fct_p50: 0.0,
+        fct_p99: 0.0,
+        slowdown_mean: 0.0,
+    },
+    Golden {
+        name: "qos_prio_dfplus_val_flexvc42",
+        accepted: 0.4478666666666667,
+        latency: 535.9705269425424,
+        latency_req: 535.9705269425424,
+        latency_rep: 0.0,
+        misroute_fraction: 1.0,
+        avg_hops: 5.194998511461745,
+        reverts_per_packet: 0.0,
+        drop_fraction: 0.0010579211848717272,
+        deadlocked: false,
+        latency_p99: 1024.0,
+        hist_count: 3359,
+        local_vc_occupancy: &[
+            7.0,
+            4.566666666666666,
+            2.533333333333333,
+            1.3083333333333333,
+        ],
+        global_vc_occupancy: &[20.566666666666666, 7.108333333333333],
+        flows_completed: 0.0,
+        fct_p50: 0.0,
+        fct_p99: 0.0,
+        slowdown_mean: 0.0,
+    },
 ];
 
 /// Differential check: a 2-D unit-multiplicity HyperX is the same machine

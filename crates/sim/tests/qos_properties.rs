@@ -1,0 +1,212 @@
+//! Classifier property tests for class-partitioned QoS.
+//!
+//! `SimConfig::validate` claims a composition proof: strict priority is
+//! safe on a partitioned VC map iff each class's sub-arrangement
+//! independently admits a safe minimal embedding. These properties
+//! restate that claim as implications the validator must satisfy over
+//! random Dragonfly / Dragonfly+ / HyperX shapes, VC budgets and
+//! partitions:
+//!
+//! * accepted partition ⇒ each sub-arrangement validates as a
+//!   *single-class* FlexVC config of the same routing (the partition adds
+//!   no safety the classes don't have on their own);
+//! * accepted partition ⇒ the class VC masks tile the budget exactly
+//!   (disjoint, exhaustive, control owning the low indices);
+//! * accepted partition ⇒ the combined minimal-escape dependency graph
+//!   (disjoint union — priority adds no cross-class buffer edges) is
+//!   acyclic;
+//! * rejected-as-unsafe partition ⇒ the named class's sub-arrangement
+//!   really is empty or unsafe on its own (rejections are refutations,
+//!   not false alarms).
+
+use flexvc_core::{Arrangement, LinkClass, RoutingMode, TrafficClass};
+use flexvc_sim::cdg::{build_qos_min_cdg, is_acyclic};
+use flexvc_sim::prelude::*;
+use flexvc_traffic::{Pattern, Workload};
+use proptest::prelude::*;
+
+/// Random (topology, routing, arrangement, partition) draw. The raw
+/// integers are folded into valid shape parameters here so every draw is
+/// constructible; whether the *partition* is legal is exactly what the
+/// properties interrogate.
+fn qos_point(
+    (kind, a, b): (u32, u32, u32),
+    (routing, l, g): (u32, usize, usize),
+    (cl, cg): (usize, usize),
+) -> SimConfig {
+    let workload = Workload::oblivious(Pattern::Uniform).with_mix(0.1);
+    let routing = if routing == 0 {
+        RoutingMode::Min
+    } else {
+        RoutingMode::Valiant
+    };
+    let (base, arr) = match kind % 3 {
+        0 => (
+            SimConfig::dragonfly_baseline(2 + (a % 2) as usize, routing, workload),
+            Arrangement::dragonfly(l, g),
+        ),
+        1 => (
+            SimConfig::dfplus_baseline(2, 2, 1, 3 + 2 * (a % 2) as usize, routing, workload),
+            Arrangement::dragonfly(l, g),
+        ),
+        // All HyperX links are Local-class: the whole budget is local.
+        _ => (
+            SimConfig::hyperx_baseline(
+                2 + (a % 2) as usize,
+                2 + (b % 2) as usize,
+                1,
+                routing,
+                workload,
+            ),
+            Arrangement::generic(l + g),
+        ),
+    };
+    let (cl, cg) = if kind % 3 == 2 {
+        ((cl + cg) % (l + g + 1), 0)
+    } else {
+        (cl % (l + 1), cg % (g + 1))
+    };
+    base.with_flexvc(arr)
+        .with_qos(QosConfig::partitioned(cl, cg))
+}
+
+fn arb_qos_point() -> impl Strategy<Value = SimConfig> {
+    (
+        (0u32..3, 0u32..2, 0u32..2),
+        (0u32..2, 2usize..6, 1usize..3),
+        (0usize..7, 0usize..4),
+    )
+        .prop_map(|(shape, arr, part)| qos_point(shape, arr, part))
+}
+
+/// The same config with `sub` as its whole (single-class) arrangement.
+fn single_class(cfg: &SimConfig, sub: Arrangement) -> SimConfig {
+    let mut single = cfg.clone();
+    single.arrangement = sub;
+    single.qos = None;
+    single
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn partition_verdicts_match_single_class_safety(cfg in arb_qos_point()) {
+        let Some(QosConfig { vc_map: ClassVcMap::Partitioned { control_local, control_global }, .. }) = cfg.qos
+        else { unreachable!("draws are partitioned") };
+        match cfg.validate() {
+            Ok(()) => {
+                // Accepted ⇒ both sub-arrangements stand on their own.
+                for tclass in [TrafficClass::Control, TrafficClass::Bulk] {
+                    let sub = cfg
+                        .qos_sub_arrangement(tclass)
+                        .expect("accepted partitions are two-sided");
+                    let single = single_class(&cfg, sub.clone());
+                    prop_assert!(
+                        single.validate().is_ok(),
+                        "accepted partition but {tclass:?} sub {sub} fails single-class: {:?}",
+                        single.validate()
+                    );
+                }
+
+                // Accepted ⇒ the masks tile each link budget exactly.
+                for link in [LinkClass::Local, LinkClass::Global] {
+                    let n = cfg.arrangement.vc_count(link);
+                    if n == 0 {
+                        continue;
+                    }
+                    let ctrl = cfg.qos_vc_mask(link, TrafficClass::Control);
+                    let bulk = cfg.qos_vc_mask(link, TrafficClass::Bulk);
+                    let full = (1u32 << n) - 1;
+                    prop_assert_eq!(ctrl & bulk, 0, "overlapping masks on {:?}", link);
+                    prop_assert_eq!(ctrl | bulk, full, "masks leave {:?} VCs unowned", link);
+                    let budget = match link {
+                        LinkClass::Local => control_local,
+                        LinkClass::Global => control_global,
+                    };
+                    prop_assert_eq!(
+                        ctrl.count_ones() as usize,
+                        budget.min(n),
+                        "control owns the wrong number of {:?} VCs",
+                        link
+                    );
+                    prop_assert_eq!(ctrl, ctrl & ((1u32 << budget.min(n)) - 1),
+                        "control does not own the low {:?} indices", link);
+                }
+
+                // Accepted ⇒ the combined escape CDG is acyclic.
+                let ctrl = cfg.qos_sub_arrangement(TrafficClass::Control).unwrap();
+                let bulk = cfg.qos_sub_arrangement(TrafficClass::Bulk).unwrap();
+                let topo = cfg.topology.build();
+                let edges = build_qos_min_cdg(&*topo, &ctrl, &bulk)
+                    .expect("accepted partitions embed their minimal routes");
+                prop_assert!(
+                    is_acyclic(&edges),
+                    "accepted partition but CDG cyclic (control {}, bulk {})",
+                    ctrl,
+                    bulk
+                );
+            }
+            Err(ConfigError::QosPartitionUnsafe { tclass, .. }) => {
+                // Rejected-as-unsafe ⇒ the named class really is empty or
+                // unsafe on its own; the rejection is a refutation.
+                match cfg.qos_sub_arrangement(tclass) {
+                    None => {}
+                    Some(sub) => {
+                        let single = single_class(&cfg, sub.clone());
+                        prop_assert!(
+                            single.validate().is_err(),
+                            "refuted {tclass:?} but sub {sub} validates single-class"
+                        );
+                    }
+                }
+            }
+            // Other rejections (budget bounds, empty partitions, FlexVC
+            // missing) are parameter checks, not safety claims.
+            Err(_) => {}
+        }
+    }
+
+    /// The sub-arrangements partition the master sequence: together they
+    /// hold every position, separately they are disjoint subsequences
+    /// with the same per-class VC counts as the mask popcounts.
+    #[test]
+    fn sub_arrangements_partition_the_master_sequence(cfg in arb_qos_point()) {
+        if cfg.validate().is_ok() {
+            let ctrl = cfg.qos_sub_arrangement(TrafficClass::Control).unwrap();
+            let bulk = cfg.qos_sub_arrangement(TrafficClass::Bulk).unwrap();
+            prop_assert_eq!(
+                ctrl.len() + bulk.len(),
+                cfg.arrangement.len(),
+                "sub-arrangements {} + {} do not tile {}",
+                ctrl,
+                bulk,
+                cfg.arrangement
+            );
+            for link in [LinkClass::Local, LinkClass::Global] {
+                prop_assert_eq!(
+                    ctrl.vc_count(link),
+                    cfg.qos_vc_mask(link, TrafficClass::Control).count_ones() as usize,
+                    "control {:?} count disagrees with its mask",
+                    link
+                );
+            }
+        }
+    }
+
+    /// Shared budgets under priority never change what validates: QoS
+    /// with `ClassVcMap::Shared` is accepted exactly when the same config
+    /// without QoS is (priority only reorders legal grants).
+    #[test]
+    fn shared_qos_validates_iff_base_does(cfg in arb_qos_point()) {
+        let mut shared = cfg.clone();
+        shared.qos = Some(QosConfig::shared());
+        let mut base = cfg;
+        base.qos = None;
+        prop_assert_eq!(
+            shared.validate().is_ok(),
+            base.validate().is_ok(),
+            "shared-budget QoS changed the validation verdict"
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Serde properties for the QoS additions: workload class mixes and
+//! per-class QoS/buffer specs round-trip losslessly through JSON and
+//! TOML, and a single-class configuration still serializes to the legacy
+//! wire form — no `qos`, `control_fraction` or `classes` keys — so
+//! pre-QoS files and recorded results parse unchanged.
+
+use flexvc_core::{Arrangement, RoutingMode};
+use flexvc_sim::prelude::*;
+use flexvc_sim::{BufferSizing, ClassVcMap, QosConfig};
+use flexvc_traffic::{Pattern, Workload};
+use proptest::prelude::*;
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        Just(Pattern::Uniform),
+        Just(Pattern::adv1()),
+        Just(Pattern::bursty()),
+        (1usize..5).prop_map(|offset| Pattern::Adversarial { offset }),
+    ]
+}
+
+/// Synthetic workloads across the class-mix space: no mix (legacy),
+/// and control fractions sweeping (0, 1) at milli resolution.
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (arb_pattern(), any::<bool>(), 0u32..1000).prop_map(|(p, reactive, mix_milli)| {
+        let w = if reactive {
+            Workload::reactive(p)
+        } else {
+            Workload::oblivious(p)
+        };
+        if mix_milli == 0 {
+            w // legacy single-class form
+        } else {
+            w.with_mix(mix_milli as f64 / 1000.0)
+        }
+    })
+}
+
+fn arb_qos() -> impl Strategy<Value = QosConfig> {
+    ((0usize..5, 0usize..4), 1u32..9, any::<bool>(), 1u32..1000).prop_map(
+        |((cl, cg), bypass, repart, frac_milli)| {
+            let mut q = if cl + cg == 0 {
+                QosConfig::shared()
+            } else {
+                QosConfig::partitioned(cl, cg)
+            };
+            q.bypass_bound = bypass;
+            if repart {
+                q = q.with_repartition();
+            }
+            q.control_quota_fraction = frac_milli as f64 / 1000.0;
+            q
+        },
+    )
+}
+
+/// Full configs over the QoS/buffer product space. Not necessarily
+/// *valid* — serde must round-trip what it is given; validation is a
+/// separate layer.
+fn arb_cfg() -> impl Strategy<Value = SimConfig> {
+    (
+        arb_workload(),
+        proptest::option::of(arb_qos()),
+        (6u32..10, 8u32..12),
+        any::<bool>(),
+    )
+        .prop_map(|(workload, qos, (lb, gb), per_port)| {
+            let mut cfg = SimConfig::dragonfly_baseline(2, RoutingMode::Min, workload)
+                .with_flexvc(Arrangement::dragonfly(4, 2));
+            // Per-class buffer budgets in packets (local/global drawn
+            // independently), in both sizing shapes.
+            cfg.buffers.sizing = if per_port {
+                BufferSizing::PerPort {
+                    local: lb * cfg.packet_size * 4,
+                    global: gb * cfg.packet_size * 2,
+                }
+            } else {
+                BufferSizing::PerVc {
+                    local: lb * cfg.packet_size,
+                    global: gb * cfg.packet_size,
+                }
+            };
+            cfg.qos = qos;
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Workload class mixes survive a JSON round trip exactly.
+    #[test]
+    fn workload_class_mix_round_trips(wl in arb_workload()) {
+        let json = flexvc_serde::to_json(&wl);
+        let back: Workload = flexvc_serde::from_json(&json).unwrap();
+        prop_assert_eq!(&back, &wl, "JSON: {}", json);
+        prop_assert_eq!(back.class_mix(), wl.class_mix());
+    }
+
+    /// Full configs — class mixes, QoS maps, bypass bounds, repartition
+    /// flags, quota fractions and per-class buffer budgets — round-trip
+    /// through both JSON and TOML.
+    #[test]
+    fn qos_config_round_trips(cfg in arb_cfg()) {
+        let json = flexvc_serde::to_json(&cfg);
+        let back: SimConfig = flexvc_serde::from_json(&json).unwrap();
+        prop_assert_eq!(flexvc_serde::to_json(&back), json.clone(), "JSON: {}", json);
+
+        let toml = flexvc_serde::to_toml(&cfg).unwrap();
+        let back: SimConfig = flexvc_serde::from_toml(&toml).unwrap();
+        prop_assert_eq!(flexvc_serde::to_json(&back), json, "TOML: {}", toml);
+    }
+
+    /// The `qos` key is present exactly when QoS is configured; a
+    /// single-class config keeps the legacy wire form.
+    #[test]
+    fn qos_key_mirrors_configuration(cfg in arb_cfg()) {
+        let json = flexvc_serde::to_json(&cfg);
+        prop_assert_eq!(
+            json.contains("\"qos\""),
+            cfg.qos.is_some(),
+            "wire form: {}",
+            json
+        );
+    }
+}
+
+/// A pre-QoS (legacy) config file — no `qos` key, no `control_fraction`
+/// — parses to exactly `qos: None`, `mix: None`, and re-serializes
+/// byte-identically: old files and new single-class files are the same
+/// wire form.
+#[test]
+fn legacy_single_class_wire_form_is_stable() {
+    let cfg =
+        SimConfig::dragonfly_baseline(2, RoutingMode::Min, Workload::oblivious(Pattern::Uniform))
+            .with_flexvc(Arrangement::dragonfly(4, 2));
+    let json = flexvc_serde::to_json(&cfg);
+    assert!(
+        !json.contains("qos"),
+        "single-class JSON grew a qos key: {json}"
+    );
+    assert!(
+        !json.contains("control_fraction"),
+        "single-class JSON grew a mix key: {json}"
+    );
+    let back: SimConfig = flexvc_serde::from_json(&json).unwrap();
+    assert_eq!(back.qos, None);
+    assert_eq!(back.workload.class_mix(), None);
+    assert_eq!(flexvc_serde::to_json(&back), json);
+    back.validate().unwrap();
+}
+
+/// Partitioned maps keep their budgets through the wire; shared maps
+/// collapse to the compact string form.
+#[test]
+fn class_vc_map_wire_forms() {
+    let part = QosConfig::partitioned(3, 1);
+    let json = flexvc_serde::to_json(&part);
+    let back: QosConfig = flexvc_serde::from_json(&json).unwrap();
+    assert_eq!(
+        back.vc_map,
+        ClassVcMap::Partitioned {
+            control_local: 3,
+            control_global: 1
+        }
+    );
+    let shared = flexvc_serde::to_json(&QosConfig::shared());
+    assert!(
+        shared.contains("\"shared\""),
+        "shared map wire form: {shared}"
+    );
+}

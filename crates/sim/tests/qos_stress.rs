@@ -1,0 +1,217 @@
+//! QoS starvation/deadlock stress pass.
+//!
+//! The worst case for strict-priority arbitration is a saturated bulk
+//! plane with a trickle of control packets riding on top: priority must
+//! keep control latency bounded *without* starving bulk (the bounded
+//! bypass) and *without* introducing a cyclic credit dependency (the
+//! per-class sub-arrangement safety argument in `SimConfig::validate`).
+//!
+//! Every point here drives the network at 100% offered load — deep into
+//! saturation — with a small control fraction mixed in, across the
+//! routing × policy × shard matrix, then asserts four liveness
+//! properties:
+//!
+//! 1. the deadlock watchdog never fires;
+//! 2. bulk makes nonzero forward progress (no starvation under priority);
+//! 3. control-plane p99 latency stays bounded and never exceeds bulk p99
+//!    (priority actually prioritizes);
+//! 4. after injection stops, the network drains to zero packets in
+//!    flight — conservation "injected = consumed", so no packet of either
+//!    class is stranded in a buffer, queue or link by the class masks,
+//!    the bypass counters or the repartitioner.
+//!
+//! Results are also asserted shard-invariant: partitioning must not
+//! change behavior even under saturation with class-tagged credits.
+
+use flexvc_core::{Arrangement, RoutingMode, TrafficClass};
+use flexvc_sim::prelude::*;
+use flexvc_traffic::{Pattern, Workload};
+
+/// Trickle of control traffic on top of the bulk flood.
+const CONTROL_FRACTION: f64 = 0.03;
+
+/// Saturating offered load (phits/node/cycle).
+const SATURATION: f64 = 1.0;
+
+/// Drain budget after the measured run; generous because the run ends
+/// with every buffer in the network full.
+const DRAIN_CYCLES: u64 = 60_000;
+
+/// Base h=2 Dragonfly at short windows, 100% load, mixed-class traffic.
+fn stress_cfg(routing: RoutingMode, pattern: Pattern) -> SimConfig {
+    let mut cfg = SimConfig::dragonfly_baseline(
+        2,
+        routing,
+        Workload::oblivious(pattern).with_mix(CONTROL_FRACTION),
+    );
+    cfg.warmup = 500;
+    cfg.measure = 1_500;
+    cfg.watchdog = 6_000;
+    cfg
+}
+
+/// The stress matrix: MIN / VAL / UGAL-L, each under the baseline policy
+/// (shared budgets — the only legal map without FlexVC) and under FlexVC
+/// (class-partitioned budgets where the per-class sub-arrangements stay
+/// safe, shared otherwise).
+fn stress_points() -> Vec<(String, SimConfig)> {
+    let mut pts = Vec::new();
+    for routing in [RoutingMode::Min, RoutingMode::Valiant, RoutingMode::UgalL] {
+        // Non-minimal modes need adversarial pressure to actually fill
+        // the escape paths; MIN saturates on uniform traffic already.
+        let pattern = if routing == RoutingMode::Min {
+            Pattern::Uniform
+        } else {
+            Pattern::adv1()
+        };
+        pts.push((
+            format!("{routing:?}_baseline_shared"),
+            stress_cfg(routing, pattern).with_qos(QosConfig::shared()),
+        ));
+        // MIN's per-class sub-arrangements (2/1 + 2/1) are each MIN-safe,
+        // so it exercises hard partitioning; VAL and UGAL-L need the full
+        // 4/2 window per class and run shared budgets under priority.
+        let qos = if routing == RoutingMode::Min {
+            QosConfig::partitioned(2, 1)
+        } else {
+            QosConfig::shared()
+        };
+        pts.push((
+            format!(
+                "{routing:?}_flexvc_{}",
+                if routing == RoutingMode::Min {
+                    "part"
+                } else {
+                    "shared"
+                }
+            ),
+            stress_cfg(routing, pattern)
+                .with_flexvc(Arrangement::dragonfly(4, 2))
+                .with_qos(qos),
+        ));
+    }
+    pts
+}
+
+/// Run one point at a shard count, assert the liveness properties, and
+/// return the serialized result for shard-invariance comparison.
+fn run_and_check(name: &str, cfg: &SimConfig, shards: usize) -> String {
+    let mut sharded_cfg = cfg.clone();
+    sharded_cfg.shards = shards;
+    let mut net =
+        ShardedNetwork::new(sharded_cfg, SATURATION, 11).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let r = net.run();
+
+    assert!(!r.deadlocked, "{name} shards={shards}: watchdog fired");
+
+    let ctrl = &r.classes[TrafficClass::Control.index()];
+    let bulk = &r.classes[TrafficClass::Bulk.index()];
+    assert!(
+        bulk.accepted > 0.0,
+        "{name} shards={shards}: bulk starved under priority (accepted = 0)"
+    );
+    assert!(
+        ctrl.accepted > 0.0,
+        "{name} shards={shards}: no control traffic delivered"
+    );
+    // Priority must actually prioritize: the control plane's tail stays
+    // at or below bulk's even with bulk holding every buffer, and stays
+    // absolutely bounded (the histogram top bucket is 2^20 cycles; a
+    // starved class pins p99 there).
+    assert!(
+        ctrl.latency_p99 <= bulk.latency_p99,
+        "{name} shards={shards}: control p99 {} above bulk p99 {}",
+        ctrl.latency_p99,
+        bulk.latency_p99
+    );
+    assert!(
+        ctrl.latency_p99 <= 4096.0,
+        "{name} shards={shards}: control p99 {} unbounded at saturation",
+        ctrl.latency_p99
+    );
+
+    // Conservation at drain: mute the generators and step until empty.
+    let pending = net.drain(DRAIN_CYCLES);
+    assert_eq!(
+        pending, 0,
+        "{name} shards={shards}: {pending} packets stranded after drain"
+    );
+    assert!(
+        !net.deadlocked(),
+        "{name} shards={shards}: watchdog fired during drain"
+    );
+
+    flexvc_serde::to_json(&r)
+}
+
+#[test]
+fn saturated_bulk_never_starves_or_strands_packets() {
+    for (name, cfg) in stress_points() {
+        let single = run_and_check(&name, &cfg, 1);
+        for shards in [2, 4] {
+            let sharded = run_and_check(&name, &cfg, shards);
+            assert_eq!(
+                single, sharded,
+                "{name}: shards={shards} diverged from the single engine under saturation"
+            );
+        }
+    }
+}
+
+/// The dynamic repartitioner under the same saturation stress: bulk
+/// occupancy pressure pulls buffer credit away from the idle control
+/// partition, which must not strand control packets (each class keeps a
+/// one-packet floor) nor leak credit (per-port quota sums are invariant,
+/// checked indirectly by the drain-to-zero property).
+#[test]
+fn repartitioner_under_saturation_keeps_both_classes_live() {
+    let cfg = stress_cfg(RoutingMode::Min, Pattern::Uniform)
+        .with_flexvc(Arrangement::dragonfly(4, 2))
+        .with_qos(QosConfig::shared().with_repartition());
+    let single = run_and_check("min_flexvc_repart", &cfg, 1);
+    for shards in [2, 4] {
+        let sharded = run_and_check("min_flexvc_repart", &cfg, shards);
+        assert_eq!(
+            single, sharded,
+            "min_flexvc_repart: shards={shards} diverged under repartitioning"
+        );
+    }
+}
+
+/// Control-plane protection is the point of the whole feature: a
+/// trickle-control run at saturation must see a *much* better control
+/// tail than the same traffic without QoS (where the trickle queues
+/// behind the bulk flood).
+#[test]
+fn priority_beats_fifo_for_the_control_tail() {
+    let mut base =
+        stress_cfg(RoutingMode::Min, Pattern::Uniform).with_flexvc(Arrangement::dragonfly(4, 2));
+    // Longer window than the matrix points so bulk queueing fully
+    // develops — the tail gap is what this test measures.
+    base.warmup = 1_000;
+    base.measure = 4_000;
+    base.watchdog = 10_000;
+    // Hard-partitioned budgets: control owns its VCs outright, so its
+    // packets never sit behind bulk in a shared buffer — priority at the
+    // arbiters plus isolation in the buffers.
+    let with_qos = base.clone().with_qos(QosConfig::partitioned(2, 1));
+
+    let fifo = run_one(&base, SATURATION, 11).unwrap();
+    let prio = run_one(&with_qos, SATURATION, 11).unwrap();
+    let fifo_ctrl = &fifo.classes[TrafficClass::Control.index()];
+    let prio_ctrl = &prio.classes[TrafficClass::Control.index()];
+    assert!(
+        fifo_ctrl.accepted > 0.0 && prio_ctrl.accepted > 0.0,
+        "degenerate runs: fifo {} prio {}",
+        fifo_ctrl.accepted,
+        prio_ctrl.accepted
+    );
+    // The coarse power-of-two `latency_p99` field quantizes both tails
+    // into the same bucket; compare interpolated quantiles instead.
+    let fifo_p99 = fifo_ctrl.latency_hist.quantile_interp(0.99);
+    let prio_p99 = prio_ctrl.latency_hist.quantile_interp(0.99);
+    assert!(
+        prio_p99 <= 0.5 * fifo_p99,
+        "priority control p99 {prio_p99} not under half of FIFO control p99 {fifo_p99}"
+    );
+}

@@ -13,6 +13,7 @@
 //! same mapping without communication.
 
 use crate::generator::NodeSpace;
+use flexvc_core::TrafficClass;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -109,6 +110,24 @@ impl SizeDist {
                 // Inverse CDF of the bounded Pareto: u=0 → min, u→1 → max.
                 let x = l / (1.0 - u * (1.0 - (l / h).powf(alpha))).powf(1.0 / alpha);
                 (x.round() as u32).clamp(min, max)
+            }
+        }
+    }
+
+    /// QoS class of a flow of `len` packets: flows strictly shorter than
+    /// the distribution mean are latency-critical control traffic (mice),
+    /// the rest bulk (elephants). Fixed-size distributions are single-class
+    /// bulk. Deterministic in `len`, so it costs no RNG draws and legacy
+    /// streams are unaffected.
+    pub fn classify(&self, len: u32) -> TrafficClass {
+        match *self {
+            SizeDist::Fixed { .. } => TrafficClass::Bulk,
+            SizeDist::Bimodal { .. } | SizeDist::Pareto { .. } => {
+                if (len as f64) < self.mean_packets() {
+                    TrafficClass::Control
+                } else {
+                    TrafficClass::Bulk
+                }
             }
         }
     }
@@ -278,6 +297,9 @@ pub struct Emission {
     pub dest: usize,
     /// Flow tag, when the packet belongs to a flow workload.
     pub flow: Option<FlowTag>,
+    /// QoS traffic class ([`TrafficClass::Bulk`] for unclassified
+    /// single-class streams).
+    pub tclass: TrafficClass,
 }
 
 /// Per-node flow generator: Bernoulli flow arrivals (open loop), one flow
@@ -418,6 +440,7 @@ impl FlowGenerator {
             start: a.start,
         };
         let dest = a.dest as usize;
+        let tclass = self.spec.sizes.classify(a.len);
         a.sent += 1;
         if a.sent == a.len {
             self.active = None;
@@ -427,6 +450,7 @@ impl FlowGenerator {
         Some(Emission {
             dest,
             flow: Some(tag),
+            tclass,
         })
     }
 
@@ -624,6 +648,32 @@ mod tests {
                 "{dist:?}: empirical {empirical}, analytic {analytic}"
             );
         }
+    }
+
+    #[test]
+    fn mice_are_control_elephants_are_bulk() {
+        let bi = SizeDist::mice_elephants(); // 1/16 packets, mean 2.5
+        assert_eq!(bi.classify(1), TrafficClass::Control);
+        assert_eq!(bi.classify(16), TrafficClass::Bulk);
+        let fixed = SizeDist::Fixed { packets: 4 };
+        assert_eq!(fixed.classify(4), TrafficClass::Bulk);
+        let pareto = SizeDist::heavy_tail();
+        assert_eq!(pareto.classify(1), TrafficClass::Control);
+        assert_eq!(pareto.classify(64), TrafficClass::Bulk);
+        // Emissions carry the flow's class end to end.
+        let spec = FlowSpec::uniform(SizeDist::mice_elephants());
+        let mut g = FlowGenerator::new(spec, 4, space(), 0.6, 8, 21, None);
+        let events = run(&mut g, 50_000);
+        let (mut ctrl, mut bulk) = (0usize, 0usize);
+        for (_, e) in &events {
+            let t = e.flow.unwrap();
+            assert_eq!(e.tclass, spec.sizes.classify(t.len));
+            match e.tclass {
+                TrafficClass::Control => ctrl += 1,
+                TrafficClass::Bulk => bulk += 1,
+            }
+        }
+        assert!(ctrl > 0 && bulk > 0, "both classes present: {ctrl}/{bulk}");
     }
 
     #[test]

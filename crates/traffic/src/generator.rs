@@ -1,6 +1,7 @@
 //! Per-node traffic generator state machines.
 
 use crate::pattern::Pattern;
+use flexvc_core::TrafficClass;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,6 +48,9 @@ pub struct NodeGenerator {
     burst_end_prob: f64,
     burst_start_prob: f64,
     state: BurstState,
+    /// QoS control fraction; `None` = single-class stream (no extra RNG
+    /// draws, so legacy streams stay bit-identical).
+    mix: Option<f64>,
     rng: SmallRng,
 }
 
@@ -99,7 +103,30 @@ impl NodeGenerator {
             burst_end_prob,
             burst_start_prob,
             state: BurstState::Off,
+            mix: None,
             rng: SmallRng::seed_from_u64(seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Enable a QoS class mix: each emitted packet is control with
+    /// probability `control_fraction`. The class draw happens only after a
+    /// packet was emitted, so the arrival/destination stream is unchanged.
+    pub fn with_mix(mut self, control_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&control_fraction),
+            "control fraction is a probability"
+        );
+        self.mix = Some(control_fraction);
+        self
+    }
+
+    /// Class of the packet just emitted by [`NodeGenerator::next_packet`]
+    /// (one RNG draw iff a mix is configured).
+    pub fn draw_class(&mut self) -> TrafficClass {
+        match self.mix {
+            Some(f) if self.rng.gen::<f64>() < f => TrafficClass::Control,
+            Some(_) => TrafficClass::Bulk,
+            None => TrafficClass::Bulk,
         }
     }
 
@@ -312,6 +339,41 @@ mod tests {
         let a = run(&mut mk(), 10_000);
         let b = run(&mut mk(), 10_000);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn class_mix_hits_the_configured_fraction() {
+        let mut mixed = NodeGenerator::new(Pattern::Uniform, 5, space(), 0.7, 8, 42).with_mix(0.3);
+        let mut classes = [0usize; 2];
+        for c in 0..40_000 {
+            if mixed.next_packet(c).is_some() {
+                classes[mixed.draw_class().index()] += 1;
+            }
+        }
+        let total = (classes[0] + classes[1]) as f64;
+        let frac = classes[0] as f64 / total;
+        assert!((frac - 0.3).abs() < 0.05, "control fraction {frac}");
+    }
+
+    #[test]
+    fn unmixed_generator_draws_no_class_randomness() {
+        // `draw_class` on a mix-less generator must not consume RNG: the
+        // stream stays bit-identical to one that never calls it — the
+        // property that keeps legacy goldens intact.
+        let mut a = NodeGenerator::new(Pattern::Uniform, 5, space(), 0.7, 8, 42);
+        let mut b = NodeGenerator::new(Pattern::Uniform, 5, space(), 0.7, 8, 42);
+        let mut stream_a = Vec::new();
+        let mut stream_b = Vec::new();
+        for c in 0..10_000 {
+            if let Some(d) = a.next_packet(c) {
+                assert_eq!(a.draw_class(), TrafficClass::Bulk);
+                stream_a.push((c, d));
+            }
+            if let Some(d) = b.next_packet(c) {
+                stream_b.push((c, d));
+            }
+        }
+        assert_eq!(stream_a, stream_b);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod serde_impls;
 
 pub use flow::{Emission, FlowGenerator, FlowPattern, FlowSpec, FlowTag, SizeDist};
 pub use generator::NodeGenerator;
-pub use pattern::{Pattern, Workload};
+pub use pattern::{ClassMix, Pattern, Workload};
 
 /// Object-safe view of traffic generation, for users plugging custom
 /// patterns into the simulator.
@@ -75,14 +75,13 @@ impl NodeTraffic {
         perm_dest: Option<u32>,
     ) -> Self {
         match workload {
-            Workload::Synthetic { pattern, .. } => NodeTraffic::Synthetic(NodeGenerator::new(
-                pattern,
-                node,
-                space,
-                load,
-                packet_size,
-                seed,
-            )),
+            Workload::Synthetic { pattern, mix, .. } => {
+                let g = NodeGenerator::new(pattern, node, space, load, packet_size, seed);
+                NodeTraffic::Synthetic(match mix {
+                    Some(m) => g.with_mix(m.control_fraction),
+                    None => g,
+                })
+            }
             Workload::Flows(spec) => NodeTraffic::Flows(FlowGenerator::new(
                 spec,
                 node,
@@ -99,9 +98,14 @@ impl NodeTraffic {
     #[inline]
     pub fn next(&mut self, cycle: u64) -> Option<Emission> {
         match self {
-            NodeTraffic::Synthetic(g) => g
-                .next_packet(cycle)
-                .map(|dest| Emission { dest, flow: None }),
+            NodeTraffic::Synthetic(g) => {
+                let dest = g.next_packet(cycle)?;
+                Some(Emission {
+                    dest,
+                    flow: None,
+                    tclass: g.draw_class(),
+                })
+            }
             NodeTraffic::Flows(g) => g.next_packet(cycle),
         }
     }

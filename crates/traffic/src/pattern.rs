@@ -45,6 +45,17 @@ impl std::fmt::Display for Pattern {
     }
 }
 
+/// QoS class mix for a synthetic stream: the fraction of generated packets
+/// tagged [`flexvc_core::TrafficClass::Control`]; the rest are bulk. Flow
+/// workloads do not use a mix — their class derives from the flow size
+/// (mice = control, elephants = bulk; see
+/// [`crate::flow::SizeDist::classify`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassMix {
+    /// Probability that a generated packet is control traffic (`0..=1`).
+    pub control_fraction: f64,
+}
+
 /// A workload: either a synthetic per-packet pattern (optionally
 /// request–reply) or a flow-level workload with size distributions.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +68,10 @@ pub enum Workload {
         /// When `true`, destinations answer every consumed request with a
         /// reply to the source (protocol-deadlock scenario, paper §V-B).
         reactive: bool,
+        /// QoS class mix (`None` = single-class legacy stream; the
+        /// generator draws no extra randomness, so legacy RNG streams are
+        /// bit-identical).
+        mix: Option<ClassMix>,
     },
     /// Open-loop flow arrivals emitting per-flow packet trains
     /// (FatPaths-style datacenter evaluation).
@@ -69,6 +84,7 @@ impl Workload {
         Workload::Synthetic {
             pattern,
             reactive: false,
+            mix: None,
         }
     }
 
@@ -77,6 +93,30 @@ impl Workload {
         Workload::Synthetic {
             pattern,
             reactive: true,
+            mix: None,
+        }
+    }
+
+    /// Attach a QoS class mix (synthetic workloads only; a no-op on flow
+    /// workloads, whose class derives from flow size).
+    pub fn with_mix(self, control_fraction: f64) -> Self {
+        match self {
+            Workload::Synthetic {
+                pattern, reactive, ..
+            } => Workload::Synthetic {
+                pattern,
+                reactive,
+                mix: Some(ClassMix { control_fraction }),
+            },
+            flows => flows,
+        }
+    }
+
+    /// The synthetic class mix, when one is configured.
+    pub fn class_mix(&self) -> Option<ClassMix> {
+        match self {
+            Workload::Synthetic { mix, .. } => *mix,
+            Workload::Flows(_) => None,
         }
     }
 
@@ -102,7 +142,9 @@ impl Workload {
     /// Label such as `UN`, `UN-RR`, `FLOWS-UN` or `INCAST/BIMODAL`.
     pub fn label(&self) -> String {
         match self {
-            Workload::Synthetic { pattern, reactive } => {
+            Workload::Synthetic {
+                pattern, reactive, ..
+            } => {
                 if *reactive {
                     format!("{}-RR", pattern.label())
                 } else {
@@ -156,6 +198,23 @@ mod tests {
         );
         assert!(!Workload::flows(FlowSpec::uniform(fixed)).is_reactive());
         assert!(Workload::reactive(Pattern::Uniform).is_reactive());
+    }
+
+    #[test]
+    fn class_mix_attaches_to_synthetic_only() {
+        let w = Workload::oblivious(Pattern::Uniform);
+        assert_eq!(w.class_mix(), None);
+        let q = w.with_mix(0.05);
+        assert_eq!(
+            q.class_mix(),
+            Some(ClassMix {
+                control_fraction: 0.05
+            })
+        );
+        assert_eq!(q.label(), w.label(), "mix does not change the label");
+        use crate::flow::{FlowSpec, SizeDist};
+        let f = Workload::flows(FlowSpec::uniform(SizeDist::Fixed { packets: 4 }));
+        assert_eq!(f.with_mix(0.5).class_mix(), None);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! (`"adv+1"`, `"bursty"`) as shorthands for the default parameters.
 
 use crate::flow::{FlowPattern, FlowSpec, SizeDist};
+use crate::pattern::ClassMix;
 use crate::{Pattern, Workload};
 use flexvc_serde::{Deserialize, Error, Map, Serialize, Value};
 
@@ -198,11 +199,22 @@ impl Serialize for Workload {
     fn to_value(&self) -> Value {
         match self {
             // The synthetic wire form predates flow workloads and stays
-            // unchanged (`kind` omitted) so old documents keep parsing.
-            Workload::Synthetic { pattern, reactive } => Value::Map(
+            // unchanged (`kind` omitted) so old documents keep parsing;
+            // `control_fraction` is emitted only when a QoS mix is set
+            // (`with` drops Null), keeping the single-class wire form
+            // byte-stable.
+            Workload::Synthetic {
+                pattern,
+                reactive,
+                mix,
+            } => Value::Map(
                 Map::new()
                     .with("pattern", pattern.to_value())
-                    .with("reactive", reactive.to_value()),
+                    .with("reactive", reactive.to_value())
+                    .with(
+                        "control_fraction",
+                        mix.map_or(Value::Null, |m| m.control_fraction.to_value()),
+                    ),
             ),
             Workload::Flows(spec) => Value::Map(
                 Map::new()
@@ -225,6 +237,13 @@ impl Deserialize for Workload {
             "synthetic" => Ok(Workload::Synthetic {
                 pattern: m.field("pattern")?,
                 reactive: m.field_or("reactive", false)?,
+                mix: match m.get("control_fraction") {
+                    None | Some(Value::Null) => None,
+                    Some(v) => Some(ClassMix {
+                        control_fraction: f64::from_value(v)
+                            .map_err(|e| e.context("control_fraction"))?,
+                    }),
+                },
             }),
             "flows" => Ok(Workload::Flows(FlowSpec {
                 pattern: m.field("pattern")?,
@@ -265,6 +284,20 @@ mod tests {
         // `reactive` defaults to false when omitted.
         let parsed: Workload = from_toml("pattern = \"uniform\"\n").unwrap();
         assert_eq!(parsed, Workload::oblivious(Pattern::Uniform));
+    }
+
+    #[test]
+    fn class_mix_round_trips_and_legacy_form_is_stable() {
+        let wl = Workload::oblivious(Pattern::Uniform).with_mix(0.05);
+        assert_eq!(from_json::<Workload>(&to_json(&wl)).unwrap(), wl);
+        // A mix-less workload serializes to the legacy wire form: no
+        // `control_fraction` key at all.
+        let plain = Workload::oblivious(Pattern::Uniform);
+        assert!(!to_json(&plain).contains("control_fraction"));
+        // And the legacy wire form (no key) parses to `mix: None`.
+        let parsed: Workload = from_toml("pattern = \"uniform\"\nreactive = false\n").unwrap();
+        assert_eq!(parsed.class_mix(), None);
+        assert_eq!(parsed, plain);
     }
 
     #[test]
